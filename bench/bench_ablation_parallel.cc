@@ -1,0 +1,64 @@
+// Ablation (DESIGN.md #4, beyond the paper's figures): how much of
+// the aggregate UDF's speed comes from Teradata-style shared-nothing
+// parallelism? The paper runs on 20 fixed AMP threads; here the same
+// UDF scan is repeated with 1..16 partitions/worker threads.
+//
+// Expected shape: near-linear scaling until the machine's cores are
+// saturated; the partial-merge cost (one NlqState per partition) is
+// negligible.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "stats/scoring.h"
+
+namespace {
+
+using namespace nlq;
+constexpr size_t kPartitions[] = {1, 2, 4, 8, 16};
+constexpr size_t kD = 32;
+
+void BM_UdfScan(benchmark::State& state) {
+  const size_t parts = kPartitions[state.range(0)];
+  const uint64_t rows = bench::ScaledRows(1600);
+  engine::DatabaseOptions options;
+  options.num_partitions = parts;
+  engine::Database db(options);
+  if (Status s = stats::RegisterAllStatsUdfs(&db.udfs()); !s.ok()) {
+    state.SkipWithError(s.ToString().c_str());
+    return;
+  }
+  bench::LoadMixture(&db, "X", rows, kD);
+  stats::WarehouseMiner miner(&db);
+  for (auto _ : state) {
+    auto stats = miner.ComputeSufStats("X", stats::DimensionColumns(kD),
+                                       stats::MatrixKind::kLowerTriangular,
+                                       stats::ComputeVia::kUdfList);
+    bench::Require(stats.status(), state);
+    benchmark::DoNotOptimize(stats);
+  }
+  state.counters["partitions"] = static_cast<double>(parts);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "=== Ablation: shared-nothing parallelism — UDF scan at d=32, "
+      "n=1600k scaled 1/%zu, 1..16 partitions ===\n",
+      nlq::bench::ScaleDivisor());
+  for (size_t pi = 0; pi < 5; ++pi) {
+    const std::string label =
+        "Ablation/UDF/partitions=" + std::to_string(kPartitions[pi]);
+    benchmark::RegisterBenchmark(label.c_str(), BM_UdfScan)
+        ->Arg(static_cast<int>(pi))
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

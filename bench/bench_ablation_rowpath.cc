@@ -1,0 +1,111 @@
+// Ablation (DESIGN.md #5): where does the aggregate-UDF scan time go?
+// The same (n, L, Q) computation is run at three altitudes:
+//   raw    — tight loop over a contiguous double array (pure flops,
+//            the lower bound the paper's "UDFs exploit C's speed"
+//            refers to);
+//   rows   — SufStats::Update over materialized Datum rows (adds the
+//            value-model cost);
+//   engine — the full nlq_list query (adds page decode, expression
+//            argument evaluation, partitioned execution + merge).
+//
+// The gap between `raw` and `engine` is the DBMS tax the paper's
+// Figure 5 calls the I/O bottleneck ("no matter how much we optimize
+// the aggregation step, I/O will remain a bottleneck").
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "storage/partitioned_table.h"
+
+namespace {
+
+using namespace nlq;
+constexpr size_t kDims[] = {8, 32, 64};
+
+void BM_RawArray(benchmark::State& state) {
+  const size_t d = kDims[state.range(0)];
+  const uint64_t rows = bench::ScaledRows(1600);
+  gen::MixtureOptions options;
+  options.n = rows;
+  options.d = d;
+  std::vector<double> flat;
+  flat.reserve(rows * d);
+  for (const auto& p : gen::GeneratePoints(options)) {
+    flat.insert(flat.end(), p.begin(), p.end());
+  }
+  for (auto _ : state) {
+    stats::SufStats suf(d, stats::MatrixKind::kLowerTriangular);
+    for (uint64_t r = 0; r < rows; ++r) suf.Update(&flat[r * d]);
+    benchmark::DoNotOptimize(suf);
+  }
+}
+
+void BM_DatumRows(benchmark::State& state) {
+  const size_t d = kDims[state.range(0)];
+  const uint64_t rows = bench::ScaledRows(1600);
+  auto db = bench::MakeBenchDatabase();
+  bench::LoadMixture(db.get(), "X", rows, d);
+  auto table = db->catalog().GetTable("X");
+  auto all_rows = (*table)->ReadAllRows();
+  if (!all_rows.ok()) {
+    state.SkipWithError("load failed");
+    return;
+  }
+  std::vector<double> x(d);
+  for (auto _ : state) {
+    stats::SufStats suf(d, stats::MatrixKind::kLowerTriangular);
+    for (const auto& row : *all_rows) {
+      for (size_t a = 0; a < d; ++a) x[a] = row[1 + a].AsDouble();
+      suf.Update(x.data());
+    }
+    benchmark::DoNotOptimize(suf);
+  }
+}
+
+void BM_EngineScan(benchmark::State& state) {
+  const size_t d = kDims[state.range(0)];
+  const uint64_t rows = bench::ScaledRows(1600);
+  auto db = bench::MakeBenchDatabase();
+  bench::LoadMixture(db.get(), "X", rows, d);
+  stats::WarehouseMiner miner(db.get());
+  for (auto _ : state) {
+    auto suf = miner.ComputeSufStats("X", stats::DimensionColumns(d),
+                                     stats::MatrixKind::kLowerTriangular,
+                                     stats::ComputeVia::kUdfList);
+    bench::Require(suf.status(), state);
+    benchmark::DoNotOptimize(suf);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "=== Ablation: row-path altitude (raw array vs Datum rows vs full "
+      "engine scan), n=1600k scaled 1/%zu ===\n",
+      nlq::bench::ScaleDivisor());
+  for (size_t di = 0; di < 3; ++di) {
+    const std::string suffix = "/d=" + std::to_string(kDims[di]);
+    benchmark::RegisterBenchmark(("Ablation/raw" + suffix).c_str(),
+                                 BM_RawArray)
+        ->Arg(static_cast<int>(di))
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark(("Ablation/rows" + suffix).c_str(),
+                                 BM_DatumRows)
+        ->Arg(static_cast<int>(di))
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark(("Ablation/engine" + suffix).c_str(),
+                                 BM_EngineScan)
+        ->Arg(static_cast<int>(di))
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,54 @@
+#include "bench/bench_common.h"
+
+#include <cstdlib>
+
+#include "stats/scoring.h"
+
+namespace nlq::bench {
+
+size_t ScaleDivisor() {
+  if (const char* full = std::getenv("NLQ_BENCH_FULL");
+      full != nullptr && full[0] == '1') {
+    return 1;
+  }
+  if (const char* scale = std::getenv("NLQ_BENCH_SCALE")) {
+    const long value = std::strtol(scale, nullptr, 10);
+    if (value >= 1) return static_cast<size_t>(value);
+  }
+  return 50;
+}
+
+uint64_t ScaledRows(uint64_t paper_thousands) {
+  const uint64_t rows = paper_thousands * 1000 / ScaleDivisor();
+  return rows < 500 ? 500 : rows;
+}
+
+std::string PaperN(uint64_t paper_thousands) {
+  return std::to_string(paper_thousands) + "k";
+}
+
+std::unique_ptr<engine::Database> MakeBenchDatabase() {
+  engine::DatabaseOptions options;
+  options.num_partitions = 8;
+  auto db = std::make_unique<engine::Database>(options);
+  const Status s = stats::RegisterAllStatsUdfs(&db->udfs());
+  if (!s.ok()) std::abort();
+  return db;
+}
+
+void LoadMixture(engine::Database* db, const std::string& name, uint64_t rows,
+                 size_t d, bool with_y, uint64_t seed) {
+  gen::MixtureOptions options;
+  options.n = rows;
+  options.d = d;
+  options.with_y = with_y;
+  options.seed = seed;
+  const auto result = gen::GenerateDataSetTable(db, name, options);
+  if (!result.ok()) std::abort();
+}
+
+void Require(const Status& status, benchmark::State& state) {
+  if (!status.ok()) state.SkipWithError(status.ToString().c_str());
+}
+
+}  // namespace nlq::bench

@@ -1,0 +1,43 @@
+#ifndef NLQ_BENCH_BENCH_COMMON_H_
+#define NLQ_BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "engine/database.h"
+#include "gen/datagen.h"
+#include "stats/miner.h"
+
+namespace nlq::bench {
+
+/// Every bench binary reproduces one table/figure of the paper with
+/// the same parameter grid, scaled down by a row divisor so the suite
+/// finishes in minutes on a laptop (the paper's largest runs took
+/// tens of minutes on a 2007 4-node Teradata system).
+///
+///   NLQ_BENCH_FULL=1   — paper-scale row counts (divisor 1)
+///   NLQ_BENCH_SCALE=K  — divide the paper's n by K (default 50)
+size_t ScaleDivisor();
+
+/// paper_thousands is the paper's "n x 1000" value; returns the scaled
+/// absolute row count (at least 500).
+uint64_t ScaledRows(uint64_t paper_thousands);
+
+/// Label helper: "100k" etc. for the paper's n.
+std::string PaperN(uint64_t paper_thousands);
+
+/// Fresh engine with 8 partitions and all stats UDFs registered.
+std::unique_ptr<engine::Database> MakeBenchDatabase();
+
+/// Generates the paper's mixture data set into `name`.
+void LoadMixture(engine::Database* db, const std::string& name, uint64_t rows,
+                 size_t d, bool with_y = false, uint64_t seed = 42);
+
+/// Aborts the benchmark with a readable message on error.
+void Require(const Status& status, benchmark::State& state);
+
+}  // namespace nlq::bench
+
+#endif  // NLQ_BENCH_BENCH_COMMON_H_

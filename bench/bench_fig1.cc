@@ -1,0 +1,66 @@
+// Paper Figure 1: SQL vs aggregate UDF computing the triangular
+// n, L, Q as n grows, for d ∈ {8, 16, 32, 64}.
+//
+// Expected shape (paper): both linear in n; SQL is competitive (even
+// faster) at low d, the UDF clearly wins at d = 64 where SQL pays for
+// 1 + d + d(d+1)/2 interpreted SUM expressions per row.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace nlq;
+constexpr uint64_t kPaperN[] = {200, 400, 800, 1600};
+constexpr size_t kDims[] = {8, 16, 32, 64};
+
+void RunOne(benchmark::State& state, stats::ComputeVia via) {
+  const uint64_t rows = bench::ScaledRows(kPaperN[state.range(0)]);
+  const size_t d = kDims[state.range(1)];
+  auto db = bench::MakeBenchDatabase();
+  bench::LoadMixture(db.get(), "X", rows, d);
+  stats::WarehouseMiner miner(db.get());
+  for (auto _ : state) {
+    auto stats = miner.ComputeSufStats("X", stats::DimensionColumns(d),
+                                       stats::MatrixKind::kLowerTriangular,
+                                       via);
+    bench::Require(stats.status(), state);
+    benchmark::DoNotOptimize(stats);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+}
+
+void BM_Sql(benchmark::State& state) { RunOne(state, stats::ComputeVia::kSql); }
+void BM_Udf(benchmark::State& state) {
+  RunOne(state, stats::ComputeVia::kUdfList);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "=== Paper Figure 1: SQL vs UDF (triangular), time vs n for each d, "
+      "n scaled 1/%zu ===\n",
+      nlq::bench::ScaleDivisor());
+  for (size_t di = 0; di < 4; ++di) {
+    for (size_t ni = 0; ni < 4; ++ni) {
+      const std::string suffix = "/d=" + std::to_string(kDims[di]) +
+                                 "/n=" + nlq::bench::PaperN(kPaperN[ni]);
+      benchmark::RegisterBenchmark(("Fig1/SQL" + suffix).c_str(), BM_Sql)
+          ->Args({static_cast<int>(ni), static_cast<int>(di)})
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+      benchmark::RegisterBenchmark(("Fig1/UDF" + suffix).c_str(), BM_Udf)
+          ->Args({static_cast<int>(ni), static_cast<int>(di)})
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Paper Figure 2: SQL vs aggregate UDF computing the triangular
+// n, L, Q as d grows, for fixed n ∈ {100k, 200k, 800k, 1600k}.
+//
+// Expected shape (paper): UDF time grows almost linearly in d (I/O
+// dominated); SQL grows quadratically (interpreted term count is
+// 1 + d + d(d+1)/2), so the curves cross around d = 32.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace nlq;
+constexpr uint64_t kPaperN[] = {100, 200, 800, 1600};
+constexpr size_t kDims[] = {8, 16, 32, 48, 64};
+
+void RunOne(benchmark::State& state, stats::ComputeVia via) {
+  const uint64_t rows = bench::ScaledRows(kPaperN[state.range(0)]);
+  const size_t d = kDims[state.range(1)];
+  auto db = bench::MakeBenchDatabase();
+  bench::LoadMixture(db.get(), "X", rows, d);
+  stats::WarehouseMiner miner(db.get());
+  for (auto _ : state) {
+    auto stats = miner.ComputeSufStats("X", stats::DimensionColumns(d),
+                                       stats::MatrixKind::kLowerTriangular,
+                                       via);
+    bench::Require(stats.status(), state);
+    benchmark::DoNotOptimize(stats);
+  }
+}
+
+void BM_Sql(benchmark::State& state) { RunOne(state, stats::ComputeVia::kSql); }
+void BM_Udf(benchmark::State& state) {
+  RunOne(state, stats::ComputeVia::kUdfList);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "=== Paper Figure 2: SQL vs UDF (triangular), time vs d for each n, "
+      "n scaled 1/%zu ===\n",
+      nlq::bench::ScaleDivisor());
+  for (size_t ni = 0; ni < 4; ++ni) {
+    for (size_t di = 0; di < 5; ++di) {
+      const std::string suffix = "/n=" + nlq::bench::PaperN(kPaperN[ni]) +
+                                 "/d=" + std::to_string(kDims[di]);
+      benchmark::RegisterBenchmark(("Fig2/SQL" + suffix).c_str(), BM_Sql)
+          ->Args({static_cast<int>(ni), static_cast<int>(di)})
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+      benchmark::RegisterBenchmark(("Fig2/UDF" + suffix).c_str(), BM_Udf)
+          ->Args({static_cast<int>(ni), static_cast<int>(di)})
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

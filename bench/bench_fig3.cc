@@ -1,0 +1,80 @@
+// Paper Figure 3: aggregate-UDF parameter passing — packed string vs
+// parameter list. Left panel: time vs n at d = 8; right panel: time
+// vs d at n = 1600k.
+//
+// Expected shape (paper): marginal difference at d <= 16; the string
+// version grows clearly faster with d because every row pays a
+// numbers->text cast (pack_point) plus a text->numbers parse inside
+// the UDF. List-version growth with d is nearly flat.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace nlq;
+constexpr uint64_t kPanelAN[] = {200, 400, 800, 1600};  // d = 8
+constexpr size_t kPanelBD[] = {8, 16, 32, 48, 64};      // n = 1600k
+
+void RunOne(benchmark::State& state, uint64_t rows, size_t d,
+            bool use_string) {
+  auto db = bench::MakeBenchDatabase();
+  bench::LoadMixture(db.get(), "X", rows, d);
+  stats::WarehouseMiner miner(db.get());
+  for (auto _ : state) {
+    auto stats = miner.ComputeSufStats(
+        "X", stats::DimensionColumns(d), stats::MatrixKind::kLowerTriangular,
+        use_string ? stats::ComputeVia::kUdfString
+                   : stats::ComputeVia::kUdfList);
+    bench::Require(stats.status(), state);
+    benchmark::DoNotOptimize(stats);
+  }
+}
+
+void BM_PanelA(benchmark::State& state) {
+  RunOne(state, bench::ScaledRows(kPanelAN[state.range(0)]), 8,
+         state.range(1) != 0);
+}
+
+void BM_PanelB(benchmark::State& state) {
+  RunOne(state, bench::ScaledRows(1600), kPanelBD[state.range(0)],
+         state.range(1) != 0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "=== Paper Figure 3: UDF parameter passing, string vs list, "
+      "n scaled 1/%zu ===\n",
+      nlq::bench::ScaleDivisor());
+  for (size_t ni = 0; ni < 4; ++ni) {
+    for (int str = 0; str <= 1; ++str) {
+      const std::string label = std::string("Fig3/varyN/d=8/") +
+                                (str ? "string" : "list") +
+                                "/n=" + nlq::bench::PaperN(kPanelAN[ni]);
+      benchmark::RegisterBenchmark(label.c_str(), BM_PanelA)
+          ->Args({static_cast<int>(ni), str})
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+  for (size_t di = 0; di < 5; ++di) {
+    for (int str = 0; str <= 1; ++str) {
+      const std::string label = std::string("Fig3/varyD/n=1600k/") +
+                                (str ? "string" : "list") +
+                                "/d=" + std::to_string(kPanelBD[di]);
+      benchmark::RegisterBenchmark(label.c_str(), BM_PanelB)
+          ->Args({static_cast<int>(di), str})
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

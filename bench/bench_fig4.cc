@@ -1,0 +1,81 @@
+// Paper Figure 4: aggregate-UDF matrix optimization — diagonal vs
+// lower-triangular vs full Q. Left panel: time vs n at d = 64; right
+// panel: time vs d at n = 1600k.
+//
+// Expected shape (paper): diag <= triang <= full everywhere; the gap
+// is marginal at low d and becomes important at d = 64 (d vs d(d+1)/2
+// vs d^2 multiply-adds per row), while all three grow linearly in n.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace nlq;
+constexpr uint64_t kPanelAN[] = {200, 400, 800, 1600};  // d = 64
+constexpr size_t kPanelBD[] = {8, 16, 32, 48, 64};      // n = 1600k
+constexpr stats::MatrixKind kKinds[] = {stats::MatrixKind::kDiagonal,
+                                        stats::MatrixKind::kLowerTriangular,
+                                        stats::MatrixKind::kFull};
+constexpr const char* kKindNames[] = {"diag", "triang", "full"};
+
+void RunOne(benchmark::State& state, uint64_t rows, size_t d,
+            stats::MatrixKind kind) {
+  auto db = bench::MakeBenchDatabase();
+  bench::LoadMixture(db.get(), "X", rows, d);
+  stats::WarehouseMiner miner(db.get());
+  for (auto _ : state) {
+    auto stats = miner.ComputeSufStats("X", stats::DimensionColumns(d), kind,
+                                       stats::ComputeVia::kUdfList);
+    bench::Require(stats.status(), state);
+    benchmark::DoNotOptimize(stats);
+  }
+}
+
+void BM_PanelA(benchmark::State& state) {
+  RunOne(state, bench::ScaledRows(kPanelAN[state.range(0)]), 64,
+         kKinds[state.range(1)]);
+}
+
+void BM_PanelB(benchmark::State& state) {
+  RunOne(state, bench::ScaledRows(1600), kPanelBD[state.range(0)],
+         kKinds[state.range(1)]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "=== Paper Figure 4: UDF matrix kinds diag/triang/full, "
+      "n scaled 1/%zu ===\n",
+      nlq::bench::ScaleDivisor());
+  for (size_t ni = 0; ni < 4; ++ni) {
+    for (size_t kind = 0; kind < 3; ++kind) {
+      const std::string label = std::string("Fig4/varyN/d=64/") +
+                                kKindNames[kind] +
+                                "/n=" + nlq::bench::PaperN(kPanelAN[ni]);
+      benchmark::RegisterBenchmark(label.c_str(), BM_PanelA)
+          ->Args({static_cast<int>(ni), static_cast<int>(kind)})
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+  for (size_t di = 0; di < 5; ++di) {
+    for (size_t kind = 0; kind < 3; ++kind) {
+      const std::string label = std::string("Fig4/varyD/n=1600k/") +
+                                kKindNames[kind] +
+                                "/d=" + std::to_string(kPanelBD[di]);
+      benchmark::RegisterBenchmark(label.c_str(), BM_PanelB)
+          ->Args({static_cast<int>(di), static_cast<int>(kind)})
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

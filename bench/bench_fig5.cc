@@ -1,0 +1,92 @@
+// Paper Figure 5: time complexity of the aggregate UDF over the two
+// matrix sizes that matter — n and d — for all three matrix kinds at
+// d ∈ {32, 64} (left) and n ∈ {800k, 1600k} (right).
+//
+// Expected shape (paper): clearly linear in n for every kind; growth
+// with d is almost flat for the diagonal kind and modest (close to
+// linear despite the d^2 in-memory work) for triangular/full — the
+// scan I/O, not the arithmetic, is the bottleneck.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace nlq;
+constexpr uint64_t kNValues[] = {200, 400, 800, 1600};
+constexpr size_t kLeftD[] = {32, 64};
+constexpr size_t kRightD[] = {8, 16, 32, 48, 64};
+constexpr uint64_t kRightN[] = {800, 1600};
+constexpr stats::MatrixKind kKinds[] = {stats::MatrixKind::kDiagonal,
+                                        stats::MatrixKind::kLowerTriangular,
+                                        stats::MatrixKind::kFull};
+constexpr const char* kKindNames[] = {"diag", "triang", "full"};
+
+void RunOne(benchmark::State& state, uint64_t rows, size_t d,
+            stats::MatrixKind kind) {
+  auto db = bench::MakeBenchDatabase();
+  bench::LoadMixture(db.get(), "X", rows, d);
+  stats::WarehouseMiner miner(db.get());
+  for (auto _ : state) {
+    auto stats = miner.ComputeSufStats("X", stats::DimensionColumns(d), kind,
+                                       stats::ComputeVia::kUdfList);
+    bench::Require(stats.status(), state);
+    benchmark::DoNotOptimize(stats);
+  }
+}
+
+void BM_VaryN(benchmark::State& state) {
+  RunOne(state, bench::ScaledRows(kNValues[state.range(0)]),
+         kLeftD[state.range(1)], kKinds[state.range(2)]);
+}
+
+void BM_VaryD(benchmark::State& state) {
+  RunOne(state, bench::ScaledRows(kRightN[state.range(1)]),
+         kRightD[state.range(0)], kKinds[state.range(2)]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "=== Paper Figure 5: UDF time complexity in n and d for all matrix "
+      "kinds, n scaled 1/%zu ===\n",
+      nlq::bench::ScaleDivisor());
+  for (size_t ni = 0; ni < 4; ++ni) {
+    for (size_t di = 0; di < 2; ++di) {
+      for (size_t kind = 0; kind < 3; ++kind) {
+        const std::string label =
+            std::string("Fig5/varyN/") + kKindNames[kind] +
+            "/d=" + std::to_string(kLeftD[di]) +
+            "/n=" + nlq::bench::PaperN(kNValues[ni]);
+        benchmark::RegisterBenchmark(label.c_str(), BM_VaryN)
+            ->Args({static_cast<int>(ni), static_cast<int>(di),
+                    static_cast<int>(kind)})
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+      }
+    }
+  }
+  for (size_t di = 0; di < 5; ++di) {
+    for (size_t ni = 0; ni < 2; ++ni) {
+      for (size_t kind = 0; kind < 3; ++kind) {
+        const std::string label =
+            std::string("Fig5/varyD/") + kKindNames[kind] +
+            "/n=" + nlq::bench::PaperN(kRightN[ni]) +
+            "/d=" + std::to_string(kRightD[di]);
+        benchmark::RegisterBenchmark(label.c_str(), BM_VaryD)
+            ->Args({static_cast<int>(di), static_cast<int>(ni),
+                    static_cast<int>(kind)})
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+      }
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Paper Figure 6: scalar scoring UDF time vs n at d = 32 (k = 16 for
+// PCA and clustering).
+//
+// Expected shape (paper): all three techniques scale linearly in n;
+// linear regression is fastest (one dot product per row), clustering
+// is the most demanding (k distance UDFs plus the argmin per row),
+// closely followed by PCA (k fascore projections per row).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "stats/linreg.h"
+#include "stats/pca.h"
+
+namespace {
+
+using namespace nlq;
+constexpr size_t kD = 32;
+constexpr size_t kK = 16;
+constexpr uint64_t kPaperN[] = {100, 200, 400, 800, 1600};
+
+struct Setup {
+  std::unique_ptr<engine::Database> db;
+  std::unique_ptr<stats::WarehouseMiner> miner;
+  stats::LinearRegressionModel reg;
+  stats::PcaModel pca;
+  stats::KMeansModel km;
+};
+
+Setup MakeSetup(uint64_t rows) {
+  Setup s;
+  s.db = bench::MakeBenchDatabase();
+  bench::LoadMixture(s.db.get(), "X", rows, kD, /*with_y=*/true);
+  s.miner = std::make_unique<stats::WarehouseMiner>(s.db.get());
+  auto reg = s.miner->BuildLinearRegression("X", stats::DimensionColumns(kD),
+                                            "Y", stats::ComputeVia::kUdfList);
+  auto pca = s.miner->BuildPca("X", kD, kK, stats::ComputeVia::kUdfList);
+  stats::KMeansOptions km_options;
+  km_options.k = kK;
+  km_options.max_iterations = 2;
+  auto km = s.miner->BuildKMeansInDbms("X", kD, km_options);
+  if (!reg.ok() || !pca.ok() || !km.ok()) std::abort();
+  s.reg = std::move(reg).value();
+  s.pca = std::move(pca).value();
+  s.km = std::move(km).value();
+  return s;
+}
+
+void BM_LinReg(benchmark::State& state) {
+  Setup s = MakeSetup(bench::ScaledRows(kPaperN[state.range(0)]));
+  for (auto _ : state) {
+    bench::Require(s.miner->ScoreLinearRegression("X", s.reg, "OUT", true),
+                   state);
+  }
+}
+
+void BM_Pca(benchmark::State& state) {
+  Setup s = MakeSetup(bench::ScaledRows(kPaperN[state.range(0)]));
+  for (auto _ : state) {
+    bench::Require(s.miner->ScorePca("X", s.pca, "OUT", true), state);
+  }
+}
+
+void BM_Clustering(benchmark::State& state) {
+  Setup s = MakeSetup(bench::ScaledRows(kPaperN[state.range(0)]));
+  for (auto _ : state) {
+    bench::Require(s.miner->ScoreKMeans("X", s.km, "OUT", true), state);
+  }
+}
+
+template <typename Fn>
+void RegisterSeries(const char* technique, Fn fn) {
+  for (size_t ni = 0; ni < 5; ++ni) {
+    const std::string label = std::string("Fig6/") + technique +
+                              "/n=" + nlq::bench::PaperN(kPaperN[ni]);
+    benchmark::RegisterBenchmark(label.c_str(), fn)
+        ->Arg(static_cast<int>(ni))
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "=== Paper Figure 6: scalar-UDF scoring time vs n at d=32, k=16, "
+      "n scaled 1/%zu ===\n",
+      nlq::bench::ScaleDivisor());
+  RegisterSeries("linreg", BM_LinReg);
+  RegisterSeries("pca", BM_Pca);
+  RegisterSeries("clustering", BM_Clustering);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

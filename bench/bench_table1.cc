@@ -1,0 +1,126 @@
+// Paper Table 1: total time to build models at d = 32 for
+// n = 100k..1600k — C++ (external, on an exported file) vs SQL vs
+// aggregate UDF. Each measurement covers the full model build: the
+// (n, L, Q) pass plus the client-side correlation / linear-regression
+// / PCA math (Table 3 shows the latter is negligible).
+//
+// Expected shape (paper): UDF < SQL for all n at d=32; external C++
+// slowest at scale even BEFORE adding the ODBC export time, which is
+// reported here as the odbc_modeled_s counter and dwarfs everything.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "connect/extern_analyzer.h"
+#include "connect/odbc_sim.h"
+#include "stats/linreg.h"
+#include "stats/pca.h"
+
+namespace {
+
+using namespace nlq;
+constexpr size_t kD = 32;
+constexpr uint64_t kPaperN[] = {100, 200, 400, 800, 1600};
+
+void BuildModelsFromStats(const stats::SufStats& xy_stats,
+                          benchmark::State& state) {
+  // Correlation + regression + PCA, exactly as TWM would client-side.
+  auto rho = xy_stats.CorrelationMatrix();
+  bench::Require(rho.status(), state);
+  auto reg = stats::FitLinearRegression(xy_stats);
+  bench::Require(reg.status(), state);
+  auto pca = stats::FitPca(xy_stats, 8);
+  bench::Require(pca.status(), state);
+  benchmark::DoNotOptimize(rho);
+}
+
+void BM_Sql(benchmark::State& state) {
+  const uint64_t rows = bench::ScaledRows(kPaperN[state.range(0)]);
+  auto db = bench::MakeBenchDatabase();
+  bench::LoadMixture(db.get(), "X", rows, kD + 1);  // X1..X32 + "Y"=X33
+  stats::WarehouseMiner miner(db.get());
+  for (auto _ : state) {
+    auto stats = miner.ComputeSufStats("X", stats::DimensionColumns(kD + 1),
+                                       stats::MatrixKind::kLowerTriangular,
+                                       stats::ComputeVia::kSql);
+    bench::Require(stats.status(), state);
+    if (stats.ok()) BuildModelsFromStats(*stats, state);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+}
+
+void BM_Udf(benchmark::State& state) {
+  const uint64_t rows = bench::ScaledRows(kPaperN[state.range(0)]);
+  auto db = bench::MakeBenchDatabase();
+  bench::LoadMixture(db.get(), "X", rows, kD + 1);
+  stats::WarehouseMiner miner(db.get());
+  for (auto _ : state) {
+    auto stats = miner.ComputeSufStats("X", stats::DimensionColumns(kD + 1),
+                                       stats::MatrixKind::kLowerTriangular,
+                                       stats::ComputeVia::kUdfList);
+    bench::Require(stats.status(), state);
+    if (stats.ok()) BuildModelsFromStats(*stats, state);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+}
+
+void BM_ExternalCpp(benchmark::State& state) {
+  const uint64_t rows = bench::ScaledRows(kPaperN[state.range(0)]);
+  auto db = bench::MakeBenchDatabase();
+  bench::LoadMixture(db.get(), "X", rows, kD + 1);
+  auto table = db->catalog().GetTable("X");
+  if (!table.ok()) {
+    state.SkipWithError("missing table");
+    return;
+  }
+  // Export once outside the timed loop (Table 1 excludes export time,
+  // "an unfair advantage to C++"); report the modeled link cost.
+  const std::string path = "/tmp/nlq_bench_table1.csv";
+  connect::OdbcExporter exporter;
+  auto exported = exporter.ExportTable(**table, path);
+  if (!exported.ok()) {
+    state.SkipWithError(exported.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    connect::ExternalAnalyzerOptions options;
+    options.kind = stats::MatrixKind::kLowerTriangular;
+    auto stats = connect::AnalyzeFlatFile(path, kD + 1, options);
+    bench::Require(stats.status(), state);
+    if (stats.ok()) BuildModelsFromStats(*stats, state);
+  }
+  std::remove(path.c_str());
+  state.counters["rows"] = static_cast<double>(rows);
+  state.counters["odbc_modeled_s"] = exported->modeled_link_seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "=== Paper Table 1: total model-build time at d=32 (corr + linreg + "
+      "PCA), n scaled 1/%zu ===\n",
+      nlq::bench::ScaleDivisor());
+  for (size_t i = 0; i < 5; ++i) {
+    const std::string label = "/n=" + nlq::bench::PaperN(kPaperN[i]);
+    benchmark::RegisterBenchmark(("Table1/Cpp" + label).c_str(),
+                                 BM_ExternalCpp)
+        ->Arg(static_cast<int>(i))
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark(("Table1/SQL" + label).c_str(), BM_Sql)
+        ->Arg(static_cast<int>(i))
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark(("Table1/UDF" + label).c_str(), BM_Udf)
+        ->Arg(static_cast<int>(i))
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Paper Table 2: time to compute n, L, Q with the aggregate UDF vs
+// SQL vs external C++, and the ODBC time to export X — for
+// n ∈ {100k, 200k} and d ∈ {8, 16, 32, 64}.
+//
+// Expected shape (paper): UDF nearly flat in d (I/O bound); SQL grows
+// superlinearly with d (1 + d + d(d+1)/2 interpreted SUM terms); C++
+// grows linearly but is single-threaded; the ODBC export column is
+// one to two orders of magnitude above everything else.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "connect/extern_analyzer.h"
+#include "connect/odbc_sim.h"
+
+namespace {
+
+using namespace nlq;
+constexpr uint64_t kPaperN[] = {100, 200};
+constexpr size_t kDims[] = {8, 16, 32, 64};
+
+struct Config {
+  uint64_t rows;
+  size_t d;
+};
+
+Config GetConfig(const benchmark::State& state) {
+  return {bench::ScaledRows(kPaperN[state.range(0)]),
+          kDims[static_cast<size_t>(state.range(1))]};
+}
+
+void BM_Sql(benchmark::State& state) {
+  const Config cfg = GetConfig(state);
+  auto db = bench::MakeBenchDatabase();
+  bench::LoadMixture(db.get(), "X", cfg.rows, cfg.d);
+  stats::WarehouseMiner miner(db.get());
+  for (auto _ : state) {
+    auto stats = miner.ComputeSufStats("X", stats::DimensionColumns(cfg.d),
+                                       stats::MatrixKind::kLowerTriangular,
+                                       stats::ComputeVia::kSql);
+    bench::Require(stats.status(), state);
+    benchmark::DoNotOptimize(stats);
+  }
+}
+
+void BM_Udf(benchmark::State& state) {
+  const Config cfg = GetConfig(state);
+  auto db = bench::MakeBenchDatabase();
+  bench::LoadMixture(db.get(), "X", cfg.rows, cfg.d);
+  stats::WarehouseMiner miner(db.get());
+  for (auto _ : state) {
+    auto stats = miner.ComputeSufStats("X", stats::DimensionColumns(cfg.d),
+                                       stats::MatrixKind::kLowerTriangular,
+                                       stats::ComputeVia::kUdfList);
+    bench::Require(stats.status(), state);
+    benchmark::DoNotOptimize(stats);
+  }
+}
+
+void BM_ExternalCpp(benchmark::State& state) {
+  const Config cfg = GetConfig(state);
+  auto db = bench::MakeBenchDatabase();
+  bench::LoadMixture(db.get(), "X", cfg.rows, cfg.d);
+  auto table = db->catalog().GetTable("X");
+  const std::string path = "/tmp/nlq_bench_table2.csv";
+  connect::OdbcExporter exporter;
+  auto exported = exporter.ExportTable(**table, path);
+  if (!exported.ok()) {
+    state.SkipWithError(exported.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    connect::ExternalAnalyzerOptions options;
+    options.kind = stats::MatrixKind::kLowerTriangular;
+    auto stats = connect::AnalyzeFlatFile(path, cfg.d, options);
+    bench::Require(stats.status(), state);
+    benchmark::DoNotOptimize(stats);
+  }
+  std::remove(path.c_str());
+  // The paper's ODBC column (scaled data, modeled 100 Mbps link).
+  state.counters["odbc_modeled_s"] = exported->modeled_link_seconds;
+  state.counters["export_bytes"] = static_cast<double>(exported->bytes);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "=== Paper Table 2: n,L,Q computation time and ODBC export cost, "
+      "n scaled 1/%zu ===\n",
+      nlq::bench::ScaleDivisor());
+  for (size_t ni = 0; ni < 2; ++ni) {
+    for (size_t di = 0; di < 4; ++di) {
+      const std::string label = "/n=" + nlq::bench::PaperN(kPaperN[ni]) +
+                                "/d=" + std::to_string(kDims[di]);
+      benchmark::RegisterBenchmark(("Table2/Cpp" + label).c_str(),
+                                   BM_ExternalCpp)
+          ->Args({static_cast<int>(ni), static_cast<int>(di)})
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+      benchmark::RegisterBenchmark(("Table2/SQL" + label).c_str(), BM_Sql)
+          ->Args({static_cast<int>(ni), static_cast<int>(di)})
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+      benchmark::RegisterBenchmark(("Table2/UDF" + label).c_str(), BM_Udf)
+          ->Args({static_cast<int>(ni), static_cast<int>(di)})
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

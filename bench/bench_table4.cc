@@ -1,0 +1,105 @@
+// Paper Table 4: time to score X at d = 32, k = 16 for
+// n = 100k..800k — SQL arithmetic expressions vs scalar UDFs, for
+// linear regression, PCA and clustering.
+//
+// Expected shape (paper): UDF ≈ SQL for linear regression and PCA;
+// clustering is the clear UDF win because pure SQL needs TWO scans
+// (materialize k distances, then CASE-argmin) while the UDF does one.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "stats/linreg.h"
+#include "stats/pca.h"
+
+namespace {
+
+using namespace nlq;
+constexpr size_t kD = 32;
+constexpr size_t kK = 16;
+constexpr uint64_t kPaperN[] = {100, 200, 400, 800};
+
+struct Setup {
+  std::unique_ptr<engine::Database> db;
+  std::unique_ptr<stats::WarehouseMiner> miner;
+  stats::LinearRegressionModel reg;
+  stats::PcaModel pca;
+  stats::KMeansModel km;
+};
+
+Setup MakeSetup(uint64_t rows) {
+  Setup s;
+  s.db = bench::MakeBenchDatabase();
+  bench::LoadMixture(s.db.get(), "X", rows, kD, /*with_y=*/true);
+  s.miner = std::make_unique<stats::WarehouseMiner>(s.db.get());
+  auto reg = s.miner->BuildLinearRegression("X", stats::DimensionColumns(kD),
+                                            "Y", stats::ComputeVia::kUdfList);
+  auto pca = s.miner->BuildPca("X", kD, kK, stats::ComputeVia::kUdfList);
+  stats::KMeansOptions km_options;
+  km_options.k = kK;
+  km_options.max_iterations = 2;
+  auto km = s.miner->BuildKMeansInDbms("X", kD, km_options);
+  if (!reg.ok() || !pca.ok() || !km.ok()) std::abort();
+  s.reg = std::move(reg).value();
+  s.pca = std::move(pca).value();
+  s.km = std::move(km).value();
+  return s;
+}
+
+void BM_LinReg(benchmark::State& state) {
+  Setup s = MakeSetup(bench::ScaledRows(kPaperN[state.range(0)]));
+  const bool use_udf = state.range(1) != 0;
+  for (auto _ : state) {
+    bench::Require(
+        s.miner->ScoreLinearRegression("X", s.reg, "OUT", use_udf), state);
+  }
+}
+
+void BM_Pca(benchmark::State& state) {
+  Setup s = MakeSetup(bench::ScaledRows(kPaperN[state.range(0)]));
+  const bool use_udf = state.range(1) != 0;
+  for (auto _ : state) {
+    bench::Require(s.miner->ScorePca("X", s.pca, "OUT", use_udf), state);
+  }
+}
+
+void BM_Clustering(benchmark::State& state) {
+  Setup s = MakeSetup(bench::ScaledRows(kPaperN[state.range(0)]));
+  const bool use_udf = state.range(1) != 0;
+  for (auto _ : state) {
+    bench::Require(s.miner->ScoreKMeans("X", s.km, "OUT", use_udf), state);
+  }
+}
+
+template <typename Fn>
+void RegisterGrid(const char* technique, Fn fn) {
+  for (size_t ni = 0; ni < 4; ++ni) {
+    for (int udf = 0; udf <= 1; ++udf) {
+      const std::string label = std::string("Table4/") + technique +
+                                (udf ? "/UDF" : "/SQL") +
+                                "/n=" + nlq::bench::PaperN(kPaperN[ni]);
+      benchmark::RegisterBenchmark(label.c_str(), fn)
+          ->Args({static_cast<int>(ni), udf})
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "=== Paper Table 4: scoring time at d=32, k=16 (SQL vs UDF), "
+      "n scaled 1/%zu ===\n",
+      nlq::bench::ScaleDivisor());
+  RegisterGrid("linreg", BM_LinReg);
+  RegisterGrid("pca", BM_Pca);
+  RegisterGrid("clustering", BM_Clustering);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

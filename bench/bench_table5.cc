@@ -1,0 +1,68 @@
+// Paper Table 5: aggregate UDF with GROUP BY — k groups (1..32) at
+// d = 32, n ∈ {800k, 1600k}, diagonal matrix, comparing the string
+// and list parameter-passing styles.
+//
+// Expected shape (paper): list < string for every k; time grows slowly
+// for k <= 8 and jumps as the number of per-group aggregation states
+// grows (k=32 is markedly slower).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace nlq;
+constexpr size_t kD = 32;
+constexpr uint64_t kPaperN[] = {800, 1600};
+constexpr int kGroups[] = {1, 2, 4, 8, 16, 32};
+
+void BM_Grouped(benchmark::State& state) {
+  const uint64_t rows = bench::ScaledRows(kPaperN[state.range(0)]);
+  const int k = kGroups[state.range(1)];
+  const bool use_string = state.range(2) != 0;
+  auto db = bench::MakeBenchDatabase();
+  bench::LoadMixture(db.get(), "X", rows, kD);
+  stats::WarehouseMiner miner(db.get());
+  const std::string group_expr = "i % " + std::to_string(k);
+  for (auto _ : state) {
+    auto groups = miner.ComputeGroupedSufStats(
+        "X", stats::DimensionColumns(kD), stats::MatrixKind::kDiagonal,
+        use_string ? stats::ComputeVia::kUdfString
+                   : stats::ComputeVia::kUdfList,
+        group_expr);
+    bench::Require(groups.status(), state);
+    if (groups.ok() && groups->size() != static_cast<size_t>(k)) {
+      state.SkipWithError("unexpected group count");
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "=== Paper Table 5: GROUP BY aggregate UDF, d=32 diagonal, varying "
+      "group count k, string vs list, n scaled 1/%zu ===\n",
+      nlq::bench::ScaleDivisor());
+  for (size_t ni = 0; ni < 2; ++ni) {
+    for (size_t ki = 0; ki < 6; ++ki) {
+      for (int str = 0; str <= 1; ++str) {
+        const std::string label =
+            std::string("Table5/") + (str ? "string" : "list") +
+            "/n=" + nlq::bench::PaperN(kPaperN[ni]) +
+            "/k=" + std::to_string(kGroups[ki]);
+        benchmark::RegisterBenchmark(label.c_str(), BM_Grouped)
+            ->Args({static_cast<int>(ni), static_cast<int>(ki), str})
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+      }
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Paper Table 6: time growth for high-dimensional data sets
+// (d = 64..1024) where L and Q are computed by partitioned nlq_block
+// UDF calls over MAX_d-sized submatrices, all in one scan.
+//
+// Expected shape (paper): total time proportional to the number of
+// UDF calls — 1, 4(paper counts full-matrix blocks; we compute the
+// lower-triangular block set and mirror, so calls grow as
+// b(b+1)/2 with b = d/64), 16, 64, 256.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "stats/nlq_udaf.h"
+#include "stats/sqlgen.h"
+
+namespace {
+
+using namespace nlq;
+constexpr size_t kDims[] = {64, 128, 256, 512, 1024};
+constexpr uint64_t kPaperN = 100;  // the paper fixes n = 100k
+
+void BM_Blocks(benchmark::State& state) {
+  const size_t d = kDims[state.range(0)];
+  // Scale rows down further for the widest tables: work per row grows
+  // quadratically with d, exactly what the bench demonstrates.
+  const uint64_t rows = bench::ScaledRows(kPaperN) / (d >= 512 ? 4 : 1);
+  auto db = bench::MakeBenchDatabase();
+  bench::LoadMixture(db.get(), "X", rows, d);
+  stats::WarehouseMiner miner(db.get());
+  for (auto _ : state) {
+    auto stats = miner.ComputeSufStats("X", stats::DimensionColumns(d),
+                                       stats::MatrixKind::kFull,
+                                       stats::ComputeVia::kBlocks);
+    bench::Require(stats.status(), state);
+    benchmark::DoNotOptimize(stats);
+  }
+  const size_t blocks_per_side = (d + stats::kMaxUdfDims - 1) / stats::kMaxUdfDims;
+  state.counters["udf_calls"] =
+      static_cast<double>(blocks_per_side * (blocks_per_side + 1) / 2);
+  state.counters["rows"] = static_cast<double>(rows);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "=== Paper Table 6: high-d (64..1024) via partitioned nlq_block "
+      "calls in one scan, n scaled 1/%zu ===\n",
+      nlq::bench::ScaleDivisor());
+  for (size_t di = 0; di < 5; ++di) {
+    const std::string label = "Table6/blocks/d=" + std::to_string(kDims[di]);
+    benchmark::RegisterBenchmark(label.c_str(), BM_Blocks)
+        ->Arg(static_cast<int>(di))
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

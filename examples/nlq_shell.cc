@@ -1,0 +1,139 @@
+// Minimal interactive SQL shell over the nlq engine. All statistical
+// UDFs are pre-registered, so the paper's statements work directly:
+//
+//   $ ./nlq_shell
+//   nlq> CREATE TABLE X (i BIGINT, X1 DOUBLE, X2 DOUBLE);
+//   nlq> INSERT INTO X VALUES (1, 2, 3), (2, 4, 5);
+//   nlq> SELECT nlq_list('triang', X1, X2) FROM X;
+//   nlq> EXPLAIN SELECT sum(X1 * X2) FROM X GROUP BY i % 2;
+//   nlq> \gen X 10000 8       -- synthetic mixture table helper
+//   nlq> \save /tmp/snapshot  -- persist / \load to restore
+//
+// Also works non-interactively: echo "SELECT 1+1;" | ./nlq_shell
+
+#include <cstdio>
+#include <string>
+
+#include "nlq.h"
+
+namespace {
+
+using namespace nlq;
+
+void PrintHelp() {
+  std::printf(
+      "statements: SELECT / CREATE TABLE [AS] / INSERT / DROP TABLE;\n"
+      "            prefix a SELECT with EXPLAIN to see the plan\n"
+      "commands:   \\gen NAME N D   generate a mixture data set\n"
+      "            \\tables         list tables\n"
+      "            \\save DIR       snapshot the catalog\n"
+      "            \\load DIR       restore a snapshot\n"
+      "            \\help           this text\n"
+      "            \\quit           exit\n");
+}
+
+bool HandleCommand(engine::Database& db, const std::string& line) {
+  if (line == "\\help") {
+    PrintHelp();
+    return true;
+  }
+  if (line == "\\tables") {
+    for (const auto& name : db.catalog().TableNames()) {
+      auto table = db.catalog().GetTable(name);
+      if (table.ok()) {
+        std::printf("%s (%llu rows): %s\n", name.c_str(),
+                    static_cast<unsigned long long>((*table)->num_rows()),
+                    (*table)->schema().ToString().c_str());
+      }
+    }
+    return true;
+  }
+  if (line.rfind("\\gen ", 0) == 0) {
+    std::string name;
+    unsigned long long n = 0;
+    unsigned long d = 0;
+    char buf[128];
+    if (std::sscanf(line.c_str(), "\\gen %127s %llu %lu", buf, &n, &d) == 3) {
+      name = buf;
+      gen::MixtureOptions options;
+      options.n = n;
+      options.d = d;
+      options.with_y = true;
+      auto rows = gen::GenerateDataSetTable(&db, name, options);
+      if (rows.ok()) {
+        std::printf("generated %s with %llu rows x %lu dims (+Y)\n",
+                    name.c_str(), n, d);
+      } else {
+        std::printf("error: %s\n", rows.status().ToString().c_str());
+      }
+    } else {
+      std::printf("usage: \\gen NAME N D\n");
+    }
+    return true;
+  }
+  if (line.rfind("\\save ", 0) == 0) {
+    const Status s = engine::SaveDatabase(db, line.substr(6));
+    std::printf("%s\n", s.ok() ? "saved" : s.ToString().c_str());
+    return true;
+  }
+  if (line.rfind("\\load ", 0) == 0) {
+    const Status s = engine::LoadDatabase(&db, line.substr(6));
+    std::printf("%s\n", s.ok() ? "loaded" : s.ToString().c_str());
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main() {
+  engine::Database db;
+  if (Status s = stats::RegisterAllStatsUdfs(&db.udfs()); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("nlq shell — \\help for commands, \\quit to exit\n");
+
+  std::string line;
+  char buffer[1 << 16];
+  for (;;) {
+    std::printf("nlq> ");
+    std::fflush(stdout);
+    if (std::fgets(buffer, sizeof(buffer), stdin) == nullptr) break;
+    line = buffer;
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r' ||
+                             line.back() == ' ')) {
+      line.pop_back();
+    }
+    if (line.empty()) continue;
+    if (line == "\\quit" || line == "\\q") break;
+    if (line[0] == '\\') {
+      if (!HandleCommand(db, line)) std::printf("unknown command\n");
+      continue;
+    }
+
+    // EXPLAIN prefix.
+    if (line.size() > 8 && EqualsIgnoreCase(line.substr(0, 8), "EXPLAIN ")) {
+      auto plan = db.Explain(line.substr(8));
+      if (plan.ok()) {
+        std::printf("%s", plan->c_str());
+      } else {
+        std::printf("error: %s\n", plan.status().ToString().c_str());
+      }
+      continue;
+    }
+
+    Stopwatch watch;
+    auto result = db.Execute(line);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    if (result->num_columns() > 0) {
+      std::printf("%s", result->ToString(40).c_str());
+    }
+    std::printf("(%zu rows, %.1f ms)\n", result->num_rows(),
+                watch.ElapsedMillis());
+  }
+  return 0;
+}

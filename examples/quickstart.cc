@@ -1,0 +1,135 @@
+// Quickstart: the full in-DBMS analytics flow of the paper in ~100
+// lines — generate a data set, compute the (n, L, Q) summary matrices
+// in one table scan with the aggregate UDF, build all four statistical
+// models from the summary matrices alone, and score the data set back
+// inside the engine with the scalar UDFs.
+//
+//   ./quickstart [n] [d]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "nlq.h"
+
+namespace {
+
+int Run(uint64_t n, size_t d) {
+  using namespace nlq;
+
+  // 1. Spin up the embedded engine (8 AMP-style partitions) and
+  //    install the statistical UDFs.
+  engine::Database db;
+  if (Status s = stats::RegisterAllStatsUdfs(&db.udfs()); !s.ok()) {
+    std::fprintf(stderr, "UDF registration failed: %s\n",
+                 s.ToString().c_str());
+    return 1;
+  }
+
+  // 2. Generate the paper's synthetic mixture data set with a linear
+  //    regression target Y.
+  gen::MixtureOptions data;
+  data.n = n;
+  data.d = d;
+  data.with_y = true;
+  data.seed = 7;
+  if (auto rows = gen::GenerateDataSetTable(&db, "X", data); !rows.ok()) {
+    std::fprintf(stderr, "data generation failed: %s\n",
+                 rows.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Loaded X(i, X1..X%zu, Y) with %llu rows\n", d,
+              static_cast<unsigned long long>(n));
+
+  stats::WarehouseMiner miner(&db);
+
+  // 3. ONE table scan computes n, L, Q; every linear model below is
+  //    built from these summary matrices without rereading X.
+  Stopwatch watch;
+  auto summary = miner.ComputeSufStats("X", stats::DimensionColumns(d),
+                                       stats::MatrixKind::kLowerTriangular,
+                                       stats::ComputeVia::kUdfList);
+  if (!summary.ok()) {
+    std::fprintf(stderr, "%s\n", summary.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Aggregate UDF computed n, L, Q in %.1f ms (n=%.0f)\n",
+              watch.ElapsedMillis(), summary->n());
+
+  // 4a. Correlation analysis.
+  auto rho = summary->CorrelationMatrix();
+  if (rho.ok()) {
+    std::printf("Correlation rho(1,2) = %.4f\n", (*rho)(0, 1));
+  }
+
+  // 4b. PCA: how many components cover 90%% of the variance?
+  for (size_t k = 1; k <= d; ++k) {
+    auto pca = stats::FitPca(*summary, k);
+    if (pca.ok() && pca->ExplainedVarianceRatio() >= 0.9) {
+      std::printf("PCA: %zu of %zu components explain %.1f%% of variance\n",
+                  k, d, 100.0 * pca->ExplainedVarianceRatio());
+      break;
+    }
+  }
+
+  // 4c. Linear regression of Y on X1..Xd (needs stats over (x, y)).
+  auto x_cols = stats::DimensionColumns(d);
+  auto reg = miner.BuildLinearRegression("X", x_cols, "Y",
+                                         stats::ComputeVia::kUdfList);
+  if (!reg.ok()) {
+    std::fprintf(stderr, "%s\n", reg.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Linear regression: R^2 = %.4f, beta0 = %.3f\n", reg->r2,
+              reg->beta[0]);
+
+  // 4d. K-means with the in-DBMS iteration loop (one GROUP BY scan
+  //     per iteration).
+  stats::KMeansOptions km;
+  km.k = 8;
+  km.max_iterations = 5;
+  auto clusters = miner.BuildKMeansInDbms("X", d, km);
+  if (!clusters.ok()) {
+    std::fprintf(stderr, "%s\n", clusters.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("K-means: %zu clusters, largest weight %.3f\n", km.k, [&] {
+    double max_w = 0;
+    for (double w : clusters->weights) max_w = std::max(max_w, w);
+    return max_w;
+  }());
+
+  // 5. Score the data set inside the engine with scalar UDFs: one
+  //    scan each, results land in regular tables.
+  if (Status s = miner.ScoreLinearRegression("X", *reg, "X_YHAT", true);
+      !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (Status s = miner.ScoreKMeans("X", *clusters, "X_CLUSTER", true);
+      !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // 6. The scored tables are plain SQL citizens.
+  auto preview = db.Execute(
+      "SELECT j, count(*) AS points FROM X_CLUSTER GROUP BY j ORDER BY 1");
+  if (preview.ok()) {
+    std::printf("\nCluster assignment counts:\n%s",
+                preview->ToString(10).c_str());
+  }
+  auto yhat = db.Execute(
+      "SELECT min(yhat), avg(yhat), max(yhat) FROM X_YHAT");
+  if (yhat.ok()) {
+    std::printf("\nPredicted Y range:\n%s", yhat->ToString(3).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint64_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20000;
+  const size_t d = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 8;
+  return Run(n, d);
+}

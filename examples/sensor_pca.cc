@@ -1,0 +1,123 @@
+// High-dimensional sensor compression — exercises the paper's
+// Table 6 scheme: when d exceeds the UDF's MAX_d (64), the (n, L, Q)
+// computation is partitioned into nlq_block calls over submatrix
+// ranges, all evaluated in ONE synchronized table scan. The assembled
+// full Q then drives PCA, and the d-dimensional readings are reduced
+// to k principal components with the fascore scalar UDF.
+//
+//   ./sensor_pca [n] [d] [k]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "nlq.h"
+
+namespace {
+
+using nlq::Status;
+
+#define CHECK_OK(expr)                                             \
+  do {                                                             \
+    const Status _s = (expr);                                      \
+    if (!_s.ok()) {                                                \
+      std::fprintf(stderr, "FAILED: %s\n", _s.ToString().c_str()); \
+      return 1;                                                    \
+    }                                                              \
+  } while (0)
+
+int Run(uint64_t n, size_t d, size_t k) {
+  using namespace nlq;
+  engine::Database db;
+  CHECK_OK(stats::RegisterAllStatsUdfs(&db.udfs()));
+
+  // Sensor array: d channels driven by a handful of latent physical
+  // processes (temperature fronts, vibration modes) plus noise — so a
+  // low-dimensional representation exists for PCA to find.
+  const size_t latent = 4;
+  {
+    Random rng(77);
+    linalg::Matrix mixing(d, latent);
+    for (size_t a = 0; a < d; ++a) {
+      for (size_t f = 0; f < latent; ++f) {
+        mixing(a, f) = rng.NextUniform(-1, 1);
+      }
+    }
+    auto table = db.catalog().CreateTable("READINGS",
+                                          storage::Schema::DataSet(d));
+    if (!table.ok()) return 1;
+    storage::Row row(1 + d);
+    for (uint64_t i = 1; i <= n; ++i) {
+      double factors[8];
+      for (size_t f = 0; f < latent; ++f) factors[f] = rng.NextGaussian(0, 10);
+      row[0] = storage::Datum::Int64(static_cast<int64_t>(i));
+      for (size_t a = 0; a < d; ++a) {
+        double v = 50.0;
+        for (size_t f = 0; f < latent; ++f) v += mixing(a, f) * factors[f];
+        row[1 + a] = storage::Datum::Double(v + rng.NextGaussian(0, 0.5));
+      }
+      CHECK_OK((*table)->AppendRow(row));
+    }
+  }
+  std::printf("Loaded READINGS with %llu rows x %zu channels\n",
+              static_cast<unsigned long long>(n), d);
+
+  // One scan, ceil(d/64) diagonal + lower off-diagonal block calls.
+  stats::WarehouseMiner miner(&db);
+  Stopwatch watch;
+  auto summary =
+      miner.ComputeSufStats("READINGS", stats::DimensionColumns(d),
+                            stats::MatrixKind::kFull,
+                            stats::ComputeVia::kBlocks);
+  if (!summary.ok()) {
+    std::fprintf(stderr, "%s\n", summary.status().ToString().c_str());
+    return 1;
+  }
+  const size_t blocks_per_side = (d + stats::kMaxUdfDims - 1) / stats::kMaxUdfDims;
+  const size_t calls = blocks_per_side * (blocks_per_side + 1) / 2;
+  std::printf(
+      "Assembled full %zux%zu Q from %zu nlq_block calls in %.1f ms\n", d, d,
+      calls, watch.ElapsedMillis());
+
+  // Client-side model math: eigendecomposition of the covariance.
+  watch.Restart();
+  auto pca = stats::FitPca(*summary, k, stats::PcaInput::kCovariance);
+  if (!pca.ok()) {
+    std::fprintf(stderr, "%s\n", pca.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("PCA (%zu -> %zu) in %.1f ms; explained variance %.1f%%\n", d,
+              k, watch.ElapsedMillis(),
+              100.0 * pca->ExplainedVarianceRatio());
+
+  // Score: reduce every reading to k coordinates in one scan.
+  watch.Restart();
+  CHECK_OK(miner.ScorePca("READINGS", *pca, "REDUCED", /*use_udf=*/true));
+  std::printf("Reduced data set written to REDUCED in %.1f ms\n",
+              watch.ElapsedMillis());
+
+  auto preview = db.Execute("SELECT * FROM REDUCED ORDER BY i LIMIT 3");
+  if (preview.ok()) {
+    std::printf("\nFirst reduced rows:\n%s", preview->ToString(3).c_str());
+  }
+
+  // Compression summary.
+  auto readings = db.catalog().GetTable("READINGS");
+  auto reduced = db.catalog().GetTable("REDUCED");
+  if (readings.ok() && reduced.ok()) {
+    std::printf("\nStored bytes: %llu -> %llu (%.1fx smaller)\n",
+                static_cast<unsigned long long>((*readings)->data_bytes()),
+                static_cast<unsigned long long>((*reduced)->data_bytes()),
+                static_cast<double>((*readings)->data_bytes()) /
+                    static_cast<double>((*reduced)->data_bytes()));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint64_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 5000;
+  const size_t d = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 96;
+  const size_t k = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 4;
+  return Run(n, d, k);
+}

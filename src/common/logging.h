@@ -1,0 +1,42 @@
+#ifndef NLQ_COMMON_LOGGING_H_
+#define NLQ_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace nlq {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+/// Default is kWarning so library users are not spammed.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink; emits the accumulated message on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace nlq
+
+#define NLQ_LOG(level)                                                      \
+  ::nlq::internal_logging::LogMessage(::nlq::LogLevel::k##level, __FILE__, \
+                                      __LINE__)                             \
+      .stream()
+
+#endif  // NLQ_COMMON_LOGGING_H_

@@ -1,0 +1,42 @@
+#ifndef NLQ_COMMON_RANDOM_H_
+#define NLQ_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace nlq {
+
+/// Deterministic pseudo-random generator (xoshiro256** seeded via
+/// splitmix64). Every stochastic component in the library takes an
+/// explicit seed so experiments are exactly reproducible run-to-run.
+class Random {
+ public:
+  /// Seeds the generator; equal seeds produce identical streams.
+  explicit Random(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform in [0, bound). `bound` must be > 0.
+  uint64_t NextUint64(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextUniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (cached second variate).
+  double NextGaussian();
+
+  /// Normal with the given mean and standard deviation.
+  double NextGaussian(double mean, double stddev);
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace nlq
+
+#endif  // NLQ_COMMON_RANDOM_H_

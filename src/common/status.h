@@ -1,0 +1,152 @@
+#ifndef NLQ_COMMON_STATUS_H_
+#define NLQ_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace nlq {
+
+/// Error categories used across the library. Modeled after the
+/// RocksDB/Abseil convention: fallible operations return a `Status`
+/// (or `StatusOr<T>`) instead of throwing exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kResourceExhausted,
+  kInternal,
+  kNotSupported,
+  kIOError,
+  kParseError,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap value type carrying success or an error code plus message.
+///
+/// The success path stores no allocation: `Status::OK()` is trivially
+/// copyable in practice (empty message string).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers for each error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type `T` or an error `Status`.
+///
+/// Accessing `value()` on an error StatusOr is a programming error and
+/// asserts in debug builds.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value (success).
+  StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit construction from an error status. Must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr(Status) requires an error status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace nlq
+
+/// Propagates an error status from an expression returning Status.
+#define NLQ_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::nlq::Status _nlq_status = (expr);        \
+    if (!_nlq_status.ok()) return _nlq_status; \
+  } while (0)
+
+/// Evaluates an expression returning StatusOr<T>; on success assigns the
+/// value to `lhs`, otherwise propagates the error status.
+#define NLQ_ASSIGN_OR_RETURN(lhs, expr)            \
+  NLQ_ASSIGN_OR_RETURN_IMPL_(                      \
+      NLQ_STATUS_CONCAT_(_nlq_statusor, __LINE__), lhs, expr)
+
+#define NLQ_STATUS_CONCAT_INNER_(a, b) a##b
+#define NLQ_STATUS_CONCAT_(a, b) NLQ_STATUS_CONCAT_INNER_(a, b)
+#define NLQ_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#endif  // NLQ_COMMON_STATUS_H_

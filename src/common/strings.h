@@ -1,0 +1,44 @@
+#ifndef NLQ_COMMON_STRINGS_H_
+#define NLQ_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace nlq {
+
+/// Splits `input` on `sep`, keeping empty fields.
+std::vector<std::string_view> SplitString(std::string_view input, char sep);
+
+/// Lower-cases ASCII characters.
+std::string AsciiToLower(std::string_view s);
+
+/// Case-insensitive ASCII equality (used by the SQL keyword matcher).
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// Parses a double; rejects trailing garbage.
+StatusOr<double> ParseDouble(std::string_view s);
+
+/// Parses a signed 64-bit integer; rejects trailing garbage.
+StatusOr<int64_t> ParseInt64(std::string_view s);
+
+/// Appends a shortest-round-trip representation of `v` to `out`.
+/// This is the hot path for the string-parameter UDF style and the
+/// ODBC exporter, so it avoids ostream formatting.
+void AppendDouble(std::string* out, double v);
+
+/// Convenience wrapper around AppendDouble.
+std::string DoubleToString(double v);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace nlq
+
+#endif  // NLQ_COMMON_STRINGS_H_

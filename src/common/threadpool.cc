@@ -1,0 +1,60 @@
+#include "common/threadpool.h"
+
+namespace nlq {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock,
+                           [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --outstanding_;
+      if (outstanding_ == 0) batch_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t count,
+                             const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    outstanding_ += count;
+    for (size_t i = 0; i < count; ++i) {
+      queue_.push([&fn, i] { fn(i); });
+    }
+  }
+  work_available_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  batch_done_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+}  // namespace nlq

@@ -1,0 +1,48 @@
+#ifndef NLQ_COMMON_THREADPOOL_H_
+#define NLQ_COMMON_THREADPOOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace nlq {
+
+/// Fixed-size worker pool used by the engine to run one task per table
+/// partition ("AMP" in Teradata terms). Tasks are plain callables;
+/// `ParallelFor` blocks until every task in the batch finished.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Runs fn(i) for i in [0, count), distributed over the pool, and
+  /// waits for completion. Safe to call concurrently from one thread
+  /// at a time per pool.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable batch_done_;
+  std::queue<std::function<void()>> queue_;
+  size_t outstanding_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace nlq
+
+#endif  // NLQ_COMMON_THREADPOOL_H_

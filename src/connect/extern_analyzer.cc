@@ -1,0 +1,90 @@
+#include "connect/extern_analyzer.h"
+
+#include <charconv>
+#include <cstdio>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace nlq::connect {
+
+StatusOr<stats::SufStats> AnalyzeFlatFile(
+    const std::string& path, size_t d,
+    const ExternalAnalyzerOptions& options) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+
+  stats::SufStats stats(d, options.kind);
+  std::vector<double> x(d);
+  std::string line;
+  char buffer[64 * 1024];
+  std::string pending;
+
+  auto process_line = [&](std::string_view text) -> Status {
+    if (text.empty()) return Status::OK();
+    size_t field = 0;
+    size_t value_index = 0;
+    const char* cursor = text.data();
+    const char* end = text.data() + text.size();
+    while (cursor <= end) {
+      const char* comma = cursor;
+      while (comma < end && *comma != ',') ++comma;
+      const bool is_id = options.skip_id_column && field == 0;
+      if (!is_id) {
+        if (value_index >= d) break;  // extra columns (e.g. Y) ignored
+        double value = 0.0;
+        auto [ptr, ec] = std::from_chars(cursor, comma, value);
+        if (ec != std::errc() || ptr != comma) {
+          return Status::ParseError("bad numeric field in flat file");
+        }
+        x[value_index++] = value;
+      }
+      ++field;
+      if (comma == end) break;
+      cursor = comma + 1;
+    }
+    if (value_index != d) {
+      return Status::ParseError(StringPrintf(
+          "expected %zu value columns, found %zu", d, value_index));
+    }
+    stats.Update(x.data());
+    return Status::OK();
+  };
+
+  // Buffered line reader (the workstation program is a plain
+  // single-threaded scan).
+  for (;;) {
+    const size_t got = std::fread(buffer, 1, sizeof(buffer), file);
+    if (got == 0) break;
+    size_t start = 0;
+    for (size_t i = 0; i < got; ++i) {
+      if (buffer[i] != '\n') continue;
+      if (pending.empty()) {
+        const Status s = process_line(std::string_view(buffer + start, i - start));
+        if (!s.ok()) {
+          std::fclose(file);
+          return s;
+        }
+      } else {
+        pending.append(buffer + start, i - start);
+        const Status s = process_line(pending);
+        if (!s.ok()) {
+          std::fclose(file);
+          return s;
+        }
+        pending.clear();
+      }
+      start = i + 1;
+    }
+    pending.append(buffer + start, got - start);
+  }
+  std::fclose(file);
+  if (!pending.empty()) {
+    NLQ_RETURN_IF_ERROR(process_line(pending));
+  }
+  return stats;
+}
+
+}  // namespace nlq::connect

@@ -1,0 +1,32 @@
+#ifndef NLQ_CONNECT_EXTERN_ANALYZER_H_
+#define NLQ_CONNECT_EXTERN_ANALYZER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "stats/sufstats.h"
+
+namespace nlq::connect {
+
+/// The paper's external comparator: "a workstation ... with a C++
+/// implementation computing n, L, Q" over "data sets stored in text
+/// files exported out from the DBMS". Single-threaded (the
+/// workstation has one CPU vs. the server's 20 parallel threads),
+/// scans the flat file once, keeps L and Q in main memory at all
+/// times.
+struct ExternalAnalyzerOptions {
+  stats::MatrixKind kind = stats::MatrixKind::kLowerTriangular;
+  /// The exported file's first column is the point id `i`, which is
+  /// "not used for statistical purposes" — skip it.
+  bool skip_id_column = true;
+};
+
+/// Computes (n, L, Q) over the d value columns of the CSV at `path`.
+/// Rows with a different field count fail with ParseError.
+StatusOr<stats::SufStats> AnalyzeFlatFile(
+    const std::string& path, size_t d,
+    const ExternalAnalyzerOptions& options = {});
+
+}  // namespace nlq::connect
+
+#endif  // NLQ_CONNECT_EXTERN_ANALYZER_H_

@@ -1,0 +1,78 @@
+#include "connect/odbc_sim.h"
+
+#include <cstdio>
+
+#include "common/stopwatch.h"
+#include "common/strings.h"
+
+namespace nlq::connect {
+
+double LinkModel::TransferSeconds(uint64_t rows, size_t values_per_row,
+                                  uint64_t bytes) const {
+  const double overhead_us =
+      static_cast<double>(rows) *
+      (per_row_overhead_us +
+       per_value_overhead_us * static_cast<double>(values_per_row));
+  const double wire_seconds =
+      static_cast<double>(bytes) / (bandwidth_mbps * 125000.0);
+  return overhead_us / 1e6 + wire_seconds;
+}
+
+double OdbcExportResult::TotalSeconds() const {
+  return std::max(serialize_seconds, modeled_link_seconds);
+}
+
+StatusOr<OdbcExportResult> OdbcExporter::ExportTable(
+    const storage::PartitionedTable& table, const std::string& path) const {
+  Stopwatch watch;
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+
+  OdbcExportResult result;
+  std::string line;
+  for (size_t p = 0; p < table.num_partitions(); ++p) {
+    storage::TableScanner scanner = table.partition(p).Scan();
+    while (scanner.Next()) {
+      const storage::Row& row = scanner.row();
+      line.clear();
+      for (size_t c = 0; c < row.size(); ++c) {
+        if (c > 0) line.push_back(',');
+        const storage::Datum& v = row[c];
+        if (v.is_null()) continue;  // empty field
+        switch (v.type()) {
+          case storage::DataType::kDouble:
+            AppendDouble(&line, v.double_value());
+            break;
+          case storage::DataType::kInt64:
+            line += std::to_string(v.int_value());
+            break;
+          case storage::DataType::kVarchar:
+            line += v.string_value();
+            break;
+        }
+      }
+      line.push_back('\n');
+      if (std::fwrite(line.data(), 1, line.size(), file) != line.size()) {
+        std::fclose(file);
+        return Status::IOError("short write exporting to '" + path + "'");
+      }
+      result.bytes += line.size();
+      ++result.rows;
+    }
+    if (!scanner.status().ok()) {
+      std::fclose(file);
+      return scanner.status();
+    }
+  }
+  if (std::fclose(file) != 0) {
+    return Status::IOError("close failed for '" + path + "'");
+  }
+  result.serialize_seconds = watch.ElapsedSeconds();
+  result.modeled_link_seconds = link_.TransferSeconds(
+      result.rows, table.schema().num_columns(), result.bytes);
+  return result;
+}
+
+}  // namespace nlq::connect

@@ -1,0 +1,137 @@
+#include "engine/ast.h"
+
+namespace nlq::engine {
+namespace {
+
+const char* BinaryOpText(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "<>";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      if (literal.type() == storage::DataType::kVarchar &&
+          !literal.is_null()) {
+        return "'" + literal.string_value() + "'";
+      }
+      return literal.ToString();
+    case ExprKind::kColumnRef:
+      return table.empty() ? column : table + "." + column;
+    case ExprKind::kStar:
+      return "*";
+    case ExprKind::kUnary:
+      return std::string(unary_op == UnaryOp::kNegate ? "-" : "NOT ") + "(" +
+             left->ToString() + ")";
+    case ExprKind::kBinary:
+      return "(" + left->ToString() + " " + BinaryOpText(binary_op) + " " +
+             right->ToString() + ")";
+    case ExprKind::kFunction: {
+      std::string out = function_name + "(";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += args[i]->ToString();
+      }
+      return out + ")";
+    }
+    case ExprKind::kCase: {
+      std::string out = "CASE";
+      for (const auto& b : branches) {
+        out += " WHEN " + b.condition->ToString() + " THEN " +
+               b.result->ToString();
+      }
+      if (else_expr) out += " ELSE " + else_expr->ToString();
+      return out + " END";
+    }
+    case ExprKind::kIsNull:
+      return "(" + left->ToString() + (is_null_negated ? " IS NOT NULL" : " IS NULL") + ")";
+  }
+  return "?";
+}
+
+ExprPtr Expr::Clone() const {
+  auto out = std::make_unique<Expr>();
+  out->kind = kind;
+  out->literal = literal;
+  out->table = table;
+  out->column = column;
+  out->unary_op = unary_op;
+  out->binary_op = binary_op;
+  if (left) out->left = left->Clone();
+  if (right) out->right = right->Clone();
+  out->function_name = function_name;
+  for (const auto& a : args) out->args.push_back(a->Clone());
+  for (const auto& b : branches) {
+    CaseBranch nb;
+    nb.condition = b.condition->Clone();
+    nb.result = b.result->Clone();
+    out->branches.push_back(std::move(nb));
+  }
+  if (else_expr) out->else_expr = else_expr->Clone();
+  out->is_null_negated = is_null_negated;
+  return out;
+}
+
+ExprPtr MakeLiteral(storage::Datum value) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(value);
+  return e;
+}
+
+ExprPtr MakeColumnRef(std::string table, std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->table = std::move(table);
+  e->column = std::move(column);
+  return e;
+}
+
+ExprPtr MakeStar() {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kStar;
+  return e;
+}
+
+ExprPtr MakeUnary(UnaryOp op, ExprPtr operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->unary_op = op;
+  e->left = std::move(operand);
+  return e;
+}
+
+ExprPtr MakeBinary(BinaryOp op, ExprPtr left, ExprPtr right) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->binary_op = op;
+  e->left = std::move(left);
+  e->right = std::move(right);
+  return e;
+}
+
+ExprPtr MakeFunction(std::string name, std::vector<ExprPtr> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kFunction;
+  e->function_name = std::move(name);
+  e->args = std::move(args);
+  return e;
+}
+
+}  // namespace nlq::engine

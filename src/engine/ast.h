@@ -1,0 +1,143 @@
+#ifndef NLQ_ENGINE_AST_H_
+#define NLQ_ENGINE_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace nlq::engine {
+
+/// Unbound expression AST produced by the parser.
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind {
+  kLiteral,     // number / string / NULL
+  kColumnRef,   // [table.]column
+  kStar,        // * (only valid inside COUNT(*) / SELECT *)
+  kUnary,       // - expr | NOT expr
+  kBinary,      // arithmetic / comparison / AND / OR
+  kFunction,    // name(args...) — builtin scalar, scalar UDF or aggregate
+  kCase,        // CASE WHEN ... THEN ... [ELSE ...] END
+  kIsNull,      // expr IS [NOT] NULL
+};
+
+enum class BinaryOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+
+enum class UnaryOp { kNegate, kNot };
+
+struct CaseBranch;
+
+struct Expr {
+  ExprKind kind;
+
+  // kLiteral
+  storage::Datum literal;
+
+  // kColumnRef
+  std::string table;   // optional qualifier (alias), may be empty
+  std::string column;
+
+  // kUnary / kBinary
+  UnaryOp unary_op = UnaryOp::kNegate;
+  BinaryOp binary_op = BinaryOp::kAdd;
+  ExprPtr left;
+  ExprPtr right;
+
+  // kFunction
+  std::string function_name;  // lower-cased
+  std::vector<ExprPtr> args;
+
+  // kCase
+  std::vector<CaseBranch> branches;
+  ExprPtr else_expr;  // may be null
+
+  // kIsNull
+  bool is_null_negated = false;  // IS NOT NULL
+
+  /// Canonical text form; used for GROUP BY ↔ SELECT matching and
+  /// for generated result column names.
+  std::string ToString() const;
+
+  /// Deep copy.
+  ExprPtr Clone() const;
+};
+
+struct CaseBranch {
+  ExprPtr condition;
+  ExprPtr result;
+};
+
+/// Convenience constructors used by the parser and by tests.
+ExprPtr MakeLiteral(storage::Datum value);
+ExprPtr MakeColumnRef(std::string table, std::string column);
+ExprPtr MakeStar();
+ExprPtr MakeUnary(UnaryOp op, ExprPtr operand);
+ExprPtr MakeBinary(BinaryOp op, ExprPtr left, ExprPtr right);
+ExprPtr MakeFunction(std::string name, std::vector<ExprPtr> args);
+
+/// One item in a SELECT list.
+struct SelectItem {
+  ExprPtr expr;        // null for bare `*`
+  std::string alias;   // empty if none
+};
+
+/// One table reference in FROM (comma list and CROSS JOIN are
+/// equivalent; only cross products are supported — the paper's scoring
+/// queries cross-join X with tiny model tables).
+struct TableRef {
+  std::string table_name;
+  std::string alias;  // empty -> table name itself
+};
+
+struct OrderByItem {
+  ExprPtr expr;
+  bool descending = false;
+};
+
+struct SelectStatement {
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;        // may be empty (SELECT 1+1)
+  ExprPtr where;                     // may be null
+  std::vector<ExprPtr> group_by;     // may be empty
+  ExprPtr having;                    // may be null (aggregate filter)
+  std::vector<OrderByItem> order_by; // may be empty
+  int64_t limit = -1;                // -1 = no limit
+};
+
+struct CreateTableStatement {
+  std::string table_name;
+  storage::Schema schema;                    // for column-list form
+  std::unique_ptr<SelectStatement> as_select;  // for CREATE TABLE AS
+};
+
+struct InsertStatement {
+  std::string table_name;
+  std::vector<std::vector<ExprPtr>> value_rows;  // INSERT ... VALUES
+  std::unique_ptr<SelectStatement> select;       // INSERT ... SELECT
+};
+
+struct DropTableStatement {
+  std::string table_name;
+};
+
+enum class StatementKind { kSelect, kCreateTable, kInsert, kDropTable };
+
+struct Statement {
+  StatementKind kind;
+  std::unique_ptr<SelectStatement> select;
+  std::unique_ptr<CreateTableStatement> create_table;
+  std::unique_ptr<InsertStatement> insert;
+  std::unique_ptr<DropTableStatement> drop_table;
+};
+
+}  // namespace nlq::engine
+
+#endif  // NLQ_ENGINE_AST_H_

@@ -1,0 +1,80 @@
+#ifndef NLQ_ENGINE_DATABASE_H_
+#define NLQ_ENGINE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "common/threadpool.h"
+#include "engine/result_set.h"
+#include "storage/catalog.h"
+#include "udf/udf.h"
+
+namespace nlq::engine {
+
+/// Engine configuration.
+struct DatabaseOptions {
+  /// Horizontal partitions per table — the "parallel processing
+  /// threads" of the paper's Teradata deployment (it used 20).
+  size_t num_partitions = 8;
+
+  /// Worker threads executing per-partition scan/aggregate tasks.
+  /// 0 = one per partition, capped at hardware concurrency.
+  size_t num_threads = 0;
+};
+
+/// Embedded relational engine: catalog + SQL executor + UDF registry.
+///
+/// Statements execute their partition scans in parallel internally,
+/// but the Database object itself is NOT thread-safe: issue one
+/// statement at a time per Database (DDL mutates the catalog and the
+/// worker pool serves one batch at a time).
+///
+/// This is the DBMS substrate standing in for Teradata V2R6: tables
+/// are hash-partitioned across AMP-style partitions, scans and
+/// aggregations run one task per partition on a thread pool, and
+/// aggregate UDFs follow the Init/Accumulate/Merge/Finalize protocol
+/// with per-group bounded heap segments.
+class Database {
+ public:
+  explicit Database(DatabaseOptions options = {});
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  const DatabaseOptions& options() const { return options_; }
+  storage::Catalog& catalog() { return catalog_; }
+  const storage::Catalog& catalog() const { return catalog_; }
+  udf::UdfRegistry& udfs() { return registry_; }
+  const udf::UdfRegistry& udfs() const { return registry_; }
+  ThreadPool& pool() { return *pool_; }
+
+  /// Parses and executes one SQL statement. SELECT returns rows;
+  /// CREATE/INSERT/DROP return an empty result set.
+  StatusOr<ResultSet> Execute(std::string_view sql);
+
+  /// Executes a statement expected to return no rows; convenience for
+  /// DDL in tests and examples.
+  Status ExecuteCommand(std::string_view sql);
+
+  /// Scalar convenience: runs a query that must return exactly one
+  /// row / one column and coerces it to double.
+  StatusOr<double> QueryDouble(std::string_view sql);
+
+  /// Plans a SELECT without executing it and returns a textual plan:
+  /// driver table, materialized small tables with their pushed-down
+  /// predicates (the §3.6 join-optimization decisions), residual
+  /// filter, aggregation structure and output columns.
+  StatusOr<std::string> Explain(std::string_view sql);
+
+ private:
+  DatabaseOptions options_;
+  storage::Catalog catalog_;
+  udf::UdfRegistry registry_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace nlq::engine
+
+#endif  // NLQ_ENGINE_DATABASE_H_

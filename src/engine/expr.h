@@ -1,0 +1,118 @@
+#ifndef NLQ_ENGINE_EXPR_H_
+#define NLQ_ENGINE_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/ast.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+#include "udf/udf.h"
+
+namespace nlq::engine {
+
+/// Row context a bound expression evaluates against.
+///
+/// Row-level expressions read `input` (the joined input row).
+/// Post-aggregation projections read `keys` (GROUP BY values) and
+/// `aggs` (aggregate results). `error` collects the first evaluation
+/// error (e.g. a scalar UDF failure); expression evaluation itself
+/// returns NULL on SQL-level soft errors such as division by zero.
+struct EvalContext {
+  const storage::Row* input = nullptr;
+  const storage::Row* keys = nullptr;
+  const storage::Row* aggs = nullptr;
+  Status* error = nullptr;
+};
+
+/// A bound, directly evaluable expression tree. Evaluation is
+/// deliberately *interpreted* (virtual dispatch per node per row):
+/// this models the paper's observation that "SQL arithmetic
+/// expressions are interpreted at run-time, whereas UDF arithmetic
+/// expressions are compiled".
+class BoundExpr {
+ public:
+  virtual ~BoundExpr() = default;
+
+  /// Evaluates against `ctx`; returns NULL on soft errors and reports
+  /// hard errors through ctx.error.
+  virtual storage::Datum Eval(const EvalContext& ctx) const = 0;
+
+  /// Static result type of this expression.
+  virtual storage::DataType result_type() const = 0;
+};
+
+using BoundExprPtr = std::unique_ptr<BoundExpr>;
+
+/// Resolves unqualified/qualified column references against the
+/// concatenated row of one or more FROM tables.
+class BindingScope {
+ public:
+  /// Adds a table with alias; its columns occupy the next
+  /// `schema.num_columns()` slots of the joined row.
+  void AddTable(std::string alias, const storage::Schema* schema);
+
+  /// Resolves `[table.]column`; InvalidArgument if ambiguous,
+  /// NotFound if missing. Returns {slot, type}.
+  StatusOr<std::pair<size_t, storage::DataType>> Resolve(
+      const std::string& table, const std::string& column) const;
+
+  /// Total number of slots in the joined row.
+  size_t total_slots() const { return total_slots_; }
+
+  /// All (qualified) columns in slot order, for SELECT *.
+  std::vector<storage::Column> AllColumns() const;
+
+ private:
+  struct TableEntry {
+    std::string alias;
+    const storage::Schema* schema;
+    size_t offset;
+  };
+  std::vector<TableEntry> tables_;
+  size_t total_slots_ = 0;
+};
+
+/// One aggregate call extracted from a SELECT list during binding.
+struct AggregateSpec {
+  enum class Kind { kSum, kCount, kCountStar, kMin, kMax, kAvg, kUdf };
+  Kind kind = Kind::kSum;
+  const udf::AggregateUdf* udaf = nullptr;  // for kUdf
+  std::vector<BoundExprPtr> args;           // row-level argument exprs
+  storage::DataType result_type = storage::DataType::kDouble;
+};
+
+/// Output of binding a SELECT item in an aggregation query: the
+/// expression reads KeyRef/AggRef slots instead of input columns.
+struct BoundAggregation {
+  std::vector<BoundExprPtr> key_exprs;   // row-level GROUP BY exprs
+  std::vector<AggregateSpec> specs;      // aggregate calls, in slot order
+  std::vector<BoundExprPtr> projections; // per SELECT item (keys/aggs ctx)
+};
+
+/// Binds a row-level expression (aggregates are rejected).
+StatusOr<BoundExprPtr> BindRowExpr(const Expr& expr, const BindingScope& scope,
+                                   const udf::UdfRegistry* registry);
+
+/// Creates a bound reference to input slot `slot` directly (used for
+/// positional ORDER BY over materialized results).
+BoundExprPtr MakeBoundInputRef(size_t slot, storage::DataType type);
+
+/// Returns true if `expr` contains an aggregate function call
+/// (builtin or registered aggregate UDF).
+bool ContainsAggregate(const Expr& expr, const udf::UdfRegistry* registry);
+
+/// Binds the SELECT list of an aggregation query: group_by expressions
+/// become key slots, aggregate calls become AggregateSpecs, and each
+/// select item becomes a projection over (keys, aggs). Non-aggregated
+/// column references must match a GROUP BY expression textually.
+StatusOr<BoundAggregation> BindAggregation(
+    const std::vector<const Expr*>& select_exprs,
+    const std::vector<const Expr*>& group_by, const BindingScope& scope,
+    const udf::UdfRegistry* registry);
+
+}  // namespace nlq::engine
+
+#endif  // NLQ_ENGINE_EXPR_H_

@@ -1,0 +1,152 @@
+#include "engine/lexer.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace nlq::engine {
+namespace {
+
+// Reserved words recognized as keywords (upper-cased in tokens).
+// Anything else alphabetic is an identifier.
+constexpr const char* kKeywords[] = {
+    "SELECT", "FROM",   "WHERE",  "GROUP",    "BY",     "ORDER",  "HAVING",
+    "AS",     "AND",    "OR",     "NOT",      "NULL",   "CASE",   "WHEN",
+    "THEN",   "ELSE",   "END",    "CREATE",   "TABLE",  "INSERT", "INTO",
+    "VALUES", "DROP",   "CROSS",  "JOIN",     "IS",     "ASC",    "DESC",
+    "LIMIT",  "DOUBLE", "BIGINT", "INT",      "INTEGER", "FLOAT", "VARCHAR",
+    "PRECISION",
+};
+
+bool IsKeywordWord(std::string_view upper) {
+  for (const char* kw : kKeywords) {
+    if (upper == kw) return true;
+  }
+  return false;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+bool Token::IsKeyword(std::string_view kw) const {
+  return type == TokenType::kKeyword && text == kw;
+}
+
+bool Token::IsSymbol(std::string_view sym) const {
+  return type == TokenType::kSymbol && text == sym;
+}
+
+StatusOr<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments: -- to end of line, /* ... */.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && sql[i + 1] == '*') {
+      const size_t close = sql.find("*/", i + 2);
+      if (close == std::string_view::npos) {
+        return Status::ParseError("unterminated /* comment");
+      }
+      i = close + 2;
+      continue;
+    }
+    const size_t start = i;
+    if (IsIdentStart(c)) {
+      while (i < n && IsIdentChar(sql[i])) ++i;
+      std::string word(sql.substr(start, i - start));
+      std::string upper = word;
+      for (char& ch : upper) {
+        ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      }
+      if (IsKeywordWord(upper)) {
+        tokens.push_back({TokenType::kKeyword, std::move(upper), start});
+      } else {
+        tokens.push_back({TokenType::kIdentifier, std::move(word), start});
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      ++i;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '.')) {
+        ++i;
+      }
+      // Exponent part.
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        size_t j = i + 1;
+        if (j < n && (sql[j] == '+' || sql[j] == '-')) ++j;
+        if (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) {
+          i = j;
+          while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) {
+            ++i;
+          }
+        }
+      }
+      tokens.push_back(
+          {TokenType::kNumber, std::string(sql.substr(start, i - start)),
+           start});
+      continue;
+    }
+    if (c == '\'') {
+      std::string value;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // '' escape
+            value.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        value.push_back(sql[i]);
+        ++i;
+      }
+      if (!closed) return Status::ParseError("unterminated string literal");
+      tokens.push_back({TokenType::kString, std::move(value), start});
+      continue;
+    }
+    // Two-character operators first.
+    if (i + 1 < n) {
+      const std::string_view two = sql.substr(i, 2);
+      if (two == "<=" || two == ">=" || two == "<>" || two == "!=") {
+        tokens.push_back(
+            {TokenType::kSymbol, two == "!=" ? "<>" : std::string(two), start});
+        i += 2;
+        continue;
+      }
+    }
+    if (std::string_view("(),*+-/.=<>;%").find(c) != std::string_view::npos) {
+      tokens.push_back({TokenType::kSymbol, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    return Status::ParseError(
+        StringPrintf("unexpected character '%c' at offset %zu", c, start));
+  }
+  tokens.push_back({TokenType::kEndOfInput, "", n});
+  return tokens;
+}
+
+}  // namespace nlq::engine

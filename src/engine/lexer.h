@@ -1,0 +1,37 @@
+#ifndef NLQ_ENGINE_LEXER_H_
+#define NLQ_ENGINE_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace nlq::engine {
+
+enum class TokenType {
+  kIdentifier,   // X1, BETA, my_table
+  kNumber,       // 12, 3.5, 1e-3
+  kString,       // 'abc' (single quotes, '' escape)
+  kSymbol,       // ( ) , * + - / . = < > <= >= <> ;
+  kKeyword,      // reserved words, stored upper-case
+  kEndOfInput,
+};
+
+/// One lexical token with its source offset (for error messages).
+struct Token {
+  TokenType type;
+  std::string text;  // keyword text is upper-cased; identifiers keep case
+  size_t offset;
+
+  bool IsKeyword(std::string_view kw) const;
+  bool IsSymbol(std::string_view sym) const;
+};
+
+/// Tokenizes a SQL statement. Fails on unterminated strings or
+/// unexpected characters.
+StatusOr<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace nlq::engine
+
+#endif  // NLQ_ENGINE_LEXER_H_

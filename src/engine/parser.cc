@@ -1,0 +1,496 @@
+#include "engine/parser.h"
+
+#include <optional>
+
+#include "common/strings.h"
+#include "engine/lexer.h"
+
+namespace nlq::engine {
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<Statement> ParseStatement();
+  StatusOr<ExprPtr> ParseExpressionOnly();
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t idx = pos_ + ahead;
+    return idx < tokens_.size() ? tokens_[idx] : tokens_.back();
+  }
+  const Token& Advance() {
+    const Token& t = Peek();
+    if (pos_ < tokens_.size() - 1) ++pos_;
+    return t;
+  }
+  bool Match(TokenType type, std::string_view text) {
+    const Token& t = Peek();
+    const bool hit = t.type == type && t.text == text;
+    if (hit) Advance();
+    return hit;
+  }
+  bool MatchKeyword(std::string_view kw) {
+    return Match(TokenType::kKeyword, kw);
+  }
+  bool MatchSymbol(std::string_view sym) {
+    return Match(TokenType::kSymbol, sym);
+  }
+  Status Expect(TokenType type, std::string_view text) {
+    if (Match(type, text)) return Status::OK();
+    return Error("expected '" + std::string(text) + "'");
+  }
+  Status Error(const std::string& what) const {
+    return Status::ParseError(StringPrintf("%s near offset %zu (got '%s')",
+                                           what.c_str(), Peek().offset,
+                                           Peek().text.c_str()));
+  }
+
+  StatusOr<std::unique_ptr<SelectStatement>> ParseSelect();
+  StatusOr<Statement> ParseCreate();
+  StatusOr<Statement> ParseInsert();
+  StatusOr<Statement> ParseDrop();
+
+  StatusOr<ExprPtr> ParseExpr() { return ParseOr(); }
+  StatusOr<ExprPtr> ParseOr();
+  StatusOr<ExprPtr> ParseAnd();
+  StatusOr<ExprPtr> ParseNot();
+  StatusOr<ExprPtr> ParseComparison();
+  StatusOr<ExprPtr> ParseAdditive();
+  StatusOr<ExprPtr> ParseMultiplicative();
+  StatusOr<ExprPtr> ParseUnary();
+  StatusOr<ExprPtr> ParsePrimary();
+  StatusOr<ExprPtr> ParseCase();
+
+  StatusOr<storage::DataType> ParseDataType();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+StatusOr<Statement> Parser::ParseStatement() {
+  Statement stmt;
+  if (Peek().IsKeyword("SELECT")) {
+    stmt.kind = StatementKind::kSelect;
+    NLQ_ASSIGN_OR_RETURN(stmt.select, ParseSelect());
+  } else if (Peek().IsKeyword("CREATE")) {
+    NLQ_ASSIGN_OR_RETURN(stmt, ParseCreate());
+  } else if (Peek().IsKeyword("INSERT")) {
+    NLQ_ASSIGN_OR_RETURN(stmt, ParseInsert());
+  } else if (Peek().IsKeyword("DROP")) {
+    NLQ_ASSIGN_OR_RETURN(stmt, ParseDrop());
+  } else {
+    return Error("expected SELECT, CREATE, INSERT or DROP");
+  }
+  MatchSymbol(";");
+  if (Peek().type != TokenType::kEndOfInput) {
+    return Error("unexpected trailing input");
+  }
+  return stmt;
+}
+
+StatusOr<ExprPtr> Parser::ParseExpressionOnly() {
+  NLQ_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+  if (Peek().type != TokenType::kEndOfInput) {
+    return Error("unexpected trailing input after expression");
+  }
+  return e;
+}
+
+StatusOr<std::unique_ptr<SelectStatement>> Parser::ParseSelect() {
+  NLQ_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "SELECT"));
+  auto select = std::make_unique<SelectStatement>();
+
+  // Select list.
+  for (;;) {
+    SelectItem item;
+    if (Peek().IsSymbol("*")) {
+      Advance();
+      item.expr = nullptr;  // bare star
+    } else {
+      NLQ_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (MatchKeyword("AS")) {
+        if (Peek().type != TokenType::kIdentifier) {
+          return Error("expected alias after AS");
+        }
+        item.alias = Advance().text;
+      } else if (Peek().type == TokenType::kIdentifier) {
+        // Implicit alias: `expr name`.
+        item.alias = Advance().text;
+      }
+    }
+    select->items.push_back(std::move(item));
+    if (!MatchSymbol(",")) break;
+  }
+
+  // FROM clause.
+  if (MatchKeyword("FROM")) {
+    for (;;) {
+      if (Peek().type != TokenType::kIdentifier) {
+        return Error("expected table name in FROM");
+      }
+      TableRef ref;
+      ref.table_name = Advance().text;
+      if (MatchKeyword("AS")) {
+        if (Peek().type != TokenType::kIdentifier) {
+          return Error("expected alias after AS");
+        }
+        ref.alias = Advance().text;
+      } else if (Peek().type == TokenType::kIdentifier) {
+        ref.alias = Advance().text;
+      }
+      if (ref.alias.empty()) ref.alias = ref.table_name;
+      select->from.push_back(std::move(ref));
+      if (MatchSymbol(",")) continue;
+      if (Peek().IsKeyword("CROSS")) {
+        Advance();
+        NLQ_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "JOIN"));
+        continue;
+      }
+      break;
+    }
+  }
+
+  if (MatchKeyword("WHERE")) {
+    NLQ_ASSIGN_OR_RETURN(select->where, ParseExpr());
+  }
+  if (MatchKeyword("GROUP")) {
+    NLQ_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "BY"));
+    for (;;) {
+      NLQ_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      select->group_by.push_back(std::move(e));
+      if (!MatchSymbol(",")) break;
+    }
+  }
+  if (MatchKeyword("HAVING")) {
+    NLQ_ASSIGN_OR_RETURN(select->having, ParseExpr());
+  }
+  if (MatchKeyword("ORDER")) {
+    NLQ_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "BY"));
+    for (;;) {
+      OrderByItem item;
+      NLQ_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (MatchKeyword("DESC")) {
+        item.descending = true;
+      } else {
+        MatchKeyword("ASC");
+      }
+      select->order_by.push_back(std::move(item));
+      if (!MatchSymbol(",")) break;
+    }
+  }
+  if (MatchKeyword("LIMIT")) {
+    if (Peek().type != TokenType::kNumber) {
+      return Error("expected number after LIMIT");
+    }
+    NLQ_ASSIGN_OR_RETURN(int64_t limit, ParseInt64(Advance().text));
+    select->limit = limit;
+  }
+  return select;
+}
+
+StatusOr<storage::DataType> Parser::ParseDataType() {
+  const Token& t = Peek();
+  if (t.IsKeyword("DOUBLE")) {
+    Advance();
+    MatchKeyword("PRECISION");
+    return storage::DataType::kDouble;
+  }
+  if (t.IsKeyword("FLOAT")) {
+    Advance();
+    return storage::DataType::kDouble;
+  }
+  if (t.IsKeyword("BIGINT") || t.IsKeyword("INT") || t.IsKeyword("INTEGER")) {
+    Advance();
+    return storage::DataType::kInt64;
+  }
+  if (t.IsKeyword("VARCHAR")) {
+    Advance();
+    if (MatchSymbol("(")) {  // optional length, ignored
+      if (Peek().type != TokenType::kNumber) {
+        return Error("expected length in VARCHAR(n)");
+      }
+      Advance();
+      NLQ_RETURN_IF_ERROR(Expect(TokenType::kSymbol, ")"));
+    }
+    return storage::DataType::kVarchar;
+  }
+  return Error("expected a data type");
+}
+
+StatusOr<Statement> Parser::ParseCreate() {
+  NLQ_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "CREATE"));
+  NLQ_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "TABLE"));
+  if (Peek().type != TokenType::kIdentifier) {
+    return Error("expected table name");
+  }
+  auto create = std::make_unique<CreateTableStatement>();
+  create->table_name = Advance().text;
+
+  if (MatchKeyword("AS")) {
+    NLQ_ASSIGN_OR_RETURN(create->as_select, ParseSelect());
+  } else {
+    NLQ_RETURN_IF_ERROR(Expect(TokenType::kSymbol, "("));
+    std::vector<storage::Column> cols;
+    for (;;) {
+      if (Peek().type != TokenType::kIdentifier) {
+        return Error("expected column name");
+      }
+      storage::Column col;
+      col.name = Advance().text;
+      NLQ_ASSIGN_OR_RETURN(col.type, ParseDataType());
+      cols.push_back(std::move(col));
+      if (!MatchSymbol(",")) break;
+    }
+    NLQ_RETURN_IF_ERROR(Expect(TokenType::kSymbol, ")"));
+    create->schema = storage::Schema(std::move(cols));
+  }
+  Statement stmt;
+  stmt.kind = StatementKind::kCreateTable;
+  stmt.create_table = std::move(create);
+  return stmt;
+}
+
+StatusOr<Statement> Parser::ParseInsert() {
+  NLQ_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "INSERT"));
+  NLQ_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "INTO"));
+  if (Peek().type != TokenType::kIdentifier) {
+    return Error("expected table name");
+  }
+  auto insert = std::make_unique<InsertStatement>();
+  insert->table_name = Advance().text;
+
+  if (Peek().IsKeyword("SELECT")) {
+    NLQ_ASSIGN_OR_RETURN(insert->select, ParseSelect());
+  } else {
+    NLQ_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "VALUES"));
+    for (;;) {
+      NLQ_RETURN_IF_ERROR(Expect(TokenType::kSymbol, "("));
+      std::vector<ExprPtr> row;
+      for (;;) {
+        NLQ_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        row.push_back(std::move(e));
+        if (!MatchSymbol(",")) break;
+      }
+      NLQ_RETURN_IF_ERROR(Expect(TokenType::kSymbol, ")"));
+      insert->value_rows.push_back(std::move(row));
+      if (!MatchSymbol(",")) break;
+    }
+  }
+  Statement stmt;
+  stmt.kind = StatementKind::kInsert;
+  stmt.insert = std::move(insert);
+  return stmt;
+}
+
+StatusOr<Statement> Parser::ParseDrop() {
+  NLQ_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "DROP"));
+  NLQ_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "TABLE"));
+  if (Peek().type != TokenType::kIdentifier) {
+    return Error("expected table name");
+  }
+  auto drop = std::make_unique<DropTableStatement>();
+  drop->table_name = Advance().text;
+  Statement stmt;
+  stmt.kind = StatementKind::kDropTable;
+  stmt.drop_table = std::move(drop);
+  return stmt;
+}
+
+StatusOr<ExprPtr> Parser::ParseOr() {
+  NLQ_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+  while (MatchKeyword("OR")) {
+    NLQ_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+    left = MakeBinary(BinaryOp::kOr, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+StatusOr<ExprPtr> Parser::ParseAnd() {
+  NLQ_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+  while (MatchKeyword("AND")) {
+    NLQ_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+    left = MakeBinary(BinaryOp::kAnd, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+StatusOr<ExprPtr> Parser::ParseNot() {
+  if (MatchKeyword("NOT")) {
+    NLQ_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+    return MakeUnary(UnaryOp::kNot, std::move(operand));
+  }
+  return ParseComparison();
+}
+
+StatusOr<ExprPtr> Parser::ParseComparison() {
+  NLQ_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+  // IS [NOT] NULL.
+  if (Peek().IsKeyword("IS")) {
+    Advance();
+    bool negated = false;
+    if (MatchKeyword("NOT")) negated = true;
+    NLQ_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "NULL"));
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kIsNull;
+    e->left = std::move(left);
+    e->is_null_negated = negated;
+    return e;
+  }
+  static constexpr struct {
+    const char* sym;
+    BinaryOp op;
+  } kOps[] = {{"<=", BinaryOp::kLe}, {">=", BinaryOp::kGe},
+              {"<>", BinaryOp::kNe}, {"=", BinaryOp::kEq},
+              {"<", BinaryOp::kLt},  {">", BinaryOp::kGt}};
+  for (const auto& entry : kOps) {
+    if (Peek().IsSymbol(entry.sym)) {
+      Advance();
+      NLQ_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+      return MakeBinary(entry.op, std::move(left), std::move(right));
+    }
+  }
+  return left;
+}
+
+StatusOr<ExprPtr> Parser::ParseAdditive() {
+  NLQ_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+  for (;;) {
+    if (MatchSymbol("+")) {
+      NLQ_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+      left = MakeBinary(BinaryOp::kAdd, std::move(left), std::move(right));
+    } else if (MatchSymbol("-")) {
+      NLQ_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+      left = MakeBinary(BinaryOp::kSub, std::move(left), std::move(right));
+    } else {
+      return left;
+    }
+  }
+}
+
+StatusOr<ExprPtr> Parser::ParseMultiplicative() {
+  NLQ_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+  for (;;) {
+    if (MatchSymbol("*")) {
+      NLQ_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+      left = MakeBinary(BinaryOp::kMul, std::move(left), std::move(right));
+    } else if (MatchSymbol("/")) {
+      NLQ_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+      left = MakeBinary(BinaryOp::kDiv, std::move(left), std::move(right));
+    } else if (MatchSymbol("%")) {
+      NLQ_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+      left = MakeBinary(BinaryOp::kMod, std::move(left), std::move(right));
+    } else {
+      return left;
+    }
+  }
+}
+
+StatusOr<ExprPtr> Parser::ParseUnary() {
+  if (MatchSymbol("-")) {
+    NLQ_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+    return MakeUnary(UnaryOp::kNegate, std::move(operand));
+  }
+  if (MatchSymbol("+")) return ParseUnary();
+  return ParsePrimary();
+}
+
+StatusOr<ExprPtr> Parser::ParsePrimary() {
+  const Token& t = Peek();
+  if (t.type == TokenType::kNumber) {
+    Advance();
+    // Integers without '.'/'e' stay BIGINT; everything else DOUBLE.
+    if (t.text.find_first_of(".eE") == std::string::npos) {
+      NLQ_ASSIGN_OR_RETURN(int64_t v, ParseInt64(t.text));
+      return MakeLiteral(storage::Datum::Int64(v));
+    }
+    NLQ_ASSIGN_OR_RETURN(double v, ParseDouble(t.text));
+    return MakeLiteral(storage::Datum::Double(v));
+  }
+  if (t.type == TokenType::kString) {
+    Advance();
+    return MakeLiteral(storage::Datum::Varchar(t.text));
+  }
+  if (t.IsKeyword("NULL")) {
+    Advance();
+    return MakeLiteral(storage::Datum::Null(storage::DataType::kDouble));
+  }
+  if (t.IsKeyword("CASE")) return ParseCase();
+  if (t.IsSymbol("(")) {
+    Advance();
+    NLQ_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    NLQ_RETURN_IF_ERROR(Expect(TokenType::kSymbol, ")"));
+    return e;
+  }
+  if (t.type == TokenType::kIdentifier) {
+    std::string first = Advance().text;
+    // Function call?
+    if (Peek().IsSymbol("(")) {
+      Advance();
+      std::vector<ExprPtr> args;
+      if (Peek().IsSymbol("*")) {
+        // COUNT(*).
+        Advance();
+        args.push_back(MakeStar());
+      } else if (!Peek().IsSymbol(")")) {
+        for (;;) {
+          NLQ_ASSIGN_OR_RETURN(ExprPtr a, ParseExpr());
+          args.push_back(std::move(a));
+          if (!MatchSymbol(",")) break;
+        }
+      }
+      NLQ_RETURN_IF_ERROR(Expect(TokenType::kSymbol, ")"));
+      return MakeFunction(AsciiToLower(first), std::move(args));
+    }
+    // Qualified column `t.col`?
+    if (Peek().IsSymbol(".")) {
+      Advance();
+      if (Peek().type != TokenType::kIdentifier) {
+        return Error("expected column name after '.'");
+      }
+      std::string col = Advance().text;
+      return MakeColumnRef(std::move(first), std::move(col));
+    }
+    return MakeColumnRef("", std::move(first));
+  }
+  return Error("expected an expression");
+}
+
+StatusOr<ExprPtr> Parser::ParseCase() {
+  NLQ_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "CASE"));
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kCase;
+  while (MatchKeyword("WHEN")) {
+    CaseBranch branch;
+    NLQ_ASSIGN_OR_RETURN(branch.condition, ParseExpr());
+    NLQ_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "THEN"));
+    NLQ_ASSIGN_OR_RETURN(branch.result, ParseExpr());
+    e->branches.push_back(std::move(branch));
+  }
+  if (e->branches.empty()) {
+    return Error("CASE requires at least one WHEN branch");
+  }
+  if (MatchKeyword("ELSE")) {
+    NLQ_ASSIGN_OR_RETURN(e->else_expr, ParseExpr());
+  }
+  NLQ_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "END"));
+  return e;
+}
+
+}  // namespace
+
+StatusOr<Statement> ParseStatement(std::string_view sql) {
+  NLQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+StatusOr<ExprPtr> ParseExpression(std::string_view sql) {
+  NLQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseExpressionOnly();
+}
+
+}  // namespace nlq::engine

@@ -1,0 +1,33 @@
+#ifndef NLQ_ENGINE_PARSER_H_
+#define NLQ_ENGINE_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "engine/ast.h"
+
+namespace nlq::engine {
+
+/// Parses one SQL statement (optionally `;`-terminated).
+///
+/// Supported grammar (the subset the paper's workloads need):
+///   SELECT item[, ...] [FROM tref[, ...]] [WHERE expr]
+///       [GROUP BY expr[, ...]] [ORDER BY expr [ASC|DESC][, ...]]
+///       [LIMIT n]
+///   CREATE TABLE name (col type[, ...])
+///   CREATE TABLE name AS SELECT ...
+///   INSERT INTO name VALUES (expr[, ...])[, (...)]
+///   INSERT INTO name SELECT ...
+///   DROP TABLE name
+/// with expressions over + - * / %, comparisons, AND/OR/NOT,
+/// CASE WHEN, IS [NOT] NULL, function calls, `t.col` references and
+/// CROSS JOIN (equivalent to comma-separated FROM).
+StatusOr<Statement> ParseStatement(std::string_view sql);
+
+/// Parses a standalone expression (used by tests and by the scoring
+/// SQL generators).
+StatusOr<ExprPtr> ParseExpression(std::string_view sql);
+
+}  // namespace nlq::engine
+
+#endif  // NLQ_ENGINE_PARSER_H_

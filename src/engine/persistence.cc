@@ -1,0 +1,132 @@
+#include "engine/persistence.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+#include "storage/partitioned_table.h"
+
+namespace nlq::engine {
+namespace {
+
+Status EnsureDirectory(const std::string& directory) {
+  if (::mkdir(directory.c_str(), 0755) == 0 || errno == EEXIST) {
+    return Status::OK();
+  }
+  return Status::IOError("cannot create directory '" + directory +
+                         "': " + std::strerror(errno));
+}
+
+std::string PartitionPath(const std::string& directory,
+                          const std::string& table, size_t partition) {
+  return directory + "/" + table + "." + std::to_string(partition) +
+         ".pages";
+}
+
+StatusOr<storage::DataType> TypeFromName(std::string_view name) {
+  if (name == "DOUBLE") return storage::DataType::kDouble;
+  if (name == "BIGINT") return storage::DataType::kInt64;
+  if (name == "VARCHAR") return storage::DataType::kVarchar;
+  return Status::ParseError("unknown type '" + std::string(name) +
+                            "' in manifest");
+}
+
+}  // namespace
+
+std::string SerializeSchema(const storage::Schema& schema) {
+  std::string out;
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    if (c > 0) out += ',';
+    out += schema.column(c).name;
+    out += ':';
+    out += storage::DataTypeName(schema.column(c).type);
+  }
+  return out;
+}
+
+StatusOr<storage::Schema> DeserializeSchema(std::string_view text) {
+  std::vector<storage::Column> columns;
+  for (std::string_view field : SplitString(text, ',')) {
+    const size_t colon = field.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return Status::ParseError("malformed schema entry '" +
+                                std::string(field) + "'");
+    }
+    storage::Column column;
+    column.name = std::string(field.substr(0, colon));
+    NLQ_ASSIGN_OR_RETURN(column.type, TypeFromName(field.substr(colon + 1)));
+    columns.push_back(std::move(column));
+  }
+  if (columns.empty()) {
+    return Status::ParseError("manifest schema has no columns");
+  }
+  return storage::Schema(std::move(columns));
+}
+
+Status SaveDatabase(const Database& db, const std::string& directory) {
+  NLQ_RETURN_IF_ERROR(EnsureDirectory(directory));
+  std::ostringstream manifest;
+  for (const std::string& name : db.catalog().TableNames()) {
+    NLQ_ASSIGN_OR_RETURN(storage::PartitionedTable * table,
+                         db.catalog().GetTable(name));
+    manifest << name << '|' << table->num_partitions() << '|'
+             << SerializeSchema(table->schema()) << '\n';
+    for (size_t p = 0; p < table->num_partitions(); ++p) {
+      NLQ_RETURN_IF_ERROR(
+          table->partition(p).SaveToFile(PartitionPath(directory, name, p)));
+    }
+  }
+  std::ofstream out(directory + "/manifest.txt", std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot write manifest in '" + directory + "'");
+  }
+  out << manifest.str();
+  out.close();
+  if (!out) {
+    return Status::IOError("short write to manifest in '" + directory + "'");
+  }
+  return Status::OK();
+}
+
+Status LoadDatabase(Database* db, const std::string& directory) {
+  std::ifstream manifest(directory + "/manifest.txt");
+  if (!manifest) {
+    return Status::IOError("cannot open manifest in '" + directory + "'");
+  }
+  std::string line;
+  while (std::getline(manifest, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string_view> fields = SplitString(line, '|');
+    if (fields.size() != 3) {
+      return Status::ParseError("malformed manifest line: " + line);
+    }
+    const std::string name(fields[0]);
+    NLQ_ASSIGN_OR_RETURN(int64_t partitions, ParseInt64(fields[1]));
+    if (partitions < 1 || partitions > 4096) {
+      return Status::ParseError("implausible partition count in manifest");
+    }
+    NLQ_ASSIGN_OR_RETURN(storage::Schema schema,
+                         DeserializeSchema(fields[2]));
+
+    if (db->catalog().HasTable(name)) {
+      NLQ_RETURN_IF_ERROR(db->catalog().DropTable(name));
+    }
+    NLQ_ASSIGN_OR_RETURN(
+        storage::PartitionedTable * table,
+        db->catalog().CreateTable(name, std::move(schema),
+                                  static_cast<size_t>(partitions)));
+    for (size_t p = 0; p < static_cast<size_t>(partitions); ++p) {
+      NLQ_RETURN_IF_ERROR(table->partition(p).LoadFromFile(
+          PartitionPath(directory, name, p)));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace nlq::engine

@@ -1,0 +1,26 @@
+#include "engine/result_set.h"
+
+namespace nlq::engine {
+
+std::string ResultSet::ToString(size_t max_rows) const {
+  std::string out;
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    if (c > 0) out += " | ";
+    out += schema_.column(c).name;
+  }
+  out += "\n";
+  const size_t shown = std::min(max_rows, rows_.size());
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t c = 0; c < rows_[r].size(); ++c) {
+      if (c > 0) out += " | ";
+      out += rows_[r][c].ToString();
+    }
+    out += "\n";
+  }
+  if (shown < rows_.size()) {
+    out += "... (" + std::to_string(rows_.size() - shown) + " more rows)\n";
+  }
+  return out;
+}
+
+}  // namespace nlq::engine

@@ -1,0 +1,53 @@
+#ifndef NLQ_ENGINE_RESULT_SET_H_
+#define NLQ_ENGINE_RESULT_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace nlq::engine {
+
+/// Materialized query result: output schema plus row data.
+class ResultSet {
+ public:
+  ResultSet() = default;
+  ResultSet(storage::Schema schema, std::vector<storage::Row> rows)
+      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+  const storage::Schema& schema() const { return schema_; }
+  const std::vector<storage::Row>& rows() const { return rows_; }
+  std::vector<storage::Row>& mutable_rows() { return rows_; }
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return schema_.num_columns(); }
+
+  /// Value accessors with bounds checking left to the caller in
+  /// release builds (asserts in debug).
+  const storage::Datum& At(size_t row, size_t col) const {
+    return rows_[row][col];
+  }
+
+  /// Numeric convenience accessor.
+  double GetDouble(size_t row, size_t col) const {
+    return rows_[row][col].AsDouble();
+  }
+
+  /// Column lookup + numeric read; errors if the column is missing.
+  StatusOr<double> GetDouble(size_t row, const std::string& column) const {
+    NLQ_ASSIGN_OR_RETURN(size_t idx, schema_.ColumnIndex(column));
+    return rows_[row][idx].AsDouble();
+  }
+
+  /// Pretty-prints up to `max_rows` rows (debugging / examples).
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  storage::Schema schema_;
+  std::vector<storage::Row> rows_;
+};
+
+}  // namespace nlq::engine
+
+#endif  // NLQ_ENGINE_RESULT_SET_H_

@@ -1,0 +1,105 @@
+#include "gen/csv_loader.h"
+
+#include <cstdio>
+
+#include "common/strings.h"
+#include "storage/partitioned_table.h"
+
+namespace nlq::gen {
+namespace {
+
+StatusOr<storage::Datum> ParseField(std::string_view field,
+                                    storage::DataType type) {
+  if (field.empty()) return storage::Datum::Null(type);
+  switch (type) {
+    case storage::DataType::kDouble: {
+      NLQ_ASSIGN_OR_RETURN(double v, ParseDouble(field));
+      return storage::Datum::Double(v);
+    }
+    case storage::DataType::kInt64: {
+      NLQ_ASSIGN_OR_RETURN(int64_t v, ParseInt64(field));
+      return storage::Datum::Int64(v);
+    }
+    case storage::DataType::kVarchar:
+      return storage::Datum::Varchar(std::string(field));
+  }
+  return Status::Internal("unhandled column type");
+}
+
+}  // namespace
+
+StatusOr<uint64_t> LoadCsvIntoTable(engine::Database* db,
+                                    const std::string& table_name,
+                                    const storage::Schema& schema,
+                                    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  if (db->catalog().HasTable(table_name)) {
+    const Status dropped = db->catalog().DropTable(table_name);
+    if (!dropped.ok()) {
+      std::fclose(file);
+      return dropped;
+    }
+  }
+  auto created = db->catalog().CreateTable(table_name, schema);
+  if (!created.ok()) {
+    std::fclose(file);
+    return created.status();
+  }
+  storage::PartitionedTable* table = created.value();
+
+  uint64_t rows = 0;
+  storage::Row row(schema.num_columns());
+  std::string pending;
+  char buffer[64 * 1024];
+
+  auto process_line = [&](std::string_view line) -> Status {
+    if (line.empty()) return Status::OK();
+    const std::vector<std::string_view> fields = SplitString(line, ',');
+    if (fields.size() != schema.num_columns()) {
+      return Status::ParseError(StringPrintf(
+          "row %llu has %zu fields, schema has %zu columns",
+          static_cast<unsigned long long>(rows + 1), fields.size(),
+          schema.num_columns()));
+    }
+    for (size_t c = 0; c < fields.size(); ++c) {
+      NLQ_ASSIGN_OR_RETURN(row[c],
+                           ParseField(fields[c], schema.column(c).type));
+    }
+    table->AppendRowUnchecked(row);
+    ++rows;
+    return Status::OK();
+  };
+
+  for (;;) {
+    const size_t got = std::fread(buffer, 1, sizeof(buffer), file);
+    if (got == 0) break;
+    size_t start = 0;
+    for (size_t i = 0; i < got; ++i) {
+      if (buffer[i] != '\n') continue;
+      Status s;
+      if (pending.empty()) {
+        s = process_line(std::string_view(buffer + start, i - start));
+      } else {
+        pending.append(buffer + start, i - start);
+        s = process_line(pending);
+        pending.clear();
+      }
+      if (!s.ok()) {
+        std::fclose(file);
+        return s;
+      }
+      start = i + 1;
+    }
+    pending.append(buffer + start, got - start);
+  }
+  std::fclose(file);
+  if (!pending.empty()) {
+    NLQ_RETURN_IF_ERROR(process_line(pending));
+  }
+  return rows;
+}
+
+}  // namespace nlq::gen

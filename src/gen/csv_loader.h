@@ -1,0 +1,27 @@
+#ifndef NLQ_GEN_CSV_LOADER_H_
+#define NLQ_GEN_CSV_LOADER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "engine/database.h"
+#include "storage/schema.h"
+
+namespace nlq::gen {
+
+/// Bulk-loads a comma-separated text file into a new table. Field
+/// types follow `schema`; empty fields load as NULL. This closes the
+/// loop with connect::OdbcExporter — a table exported to text can be
+/// re-imported bit-exactly (shortest-round-trip double printing).
+///
+/// Replaces any existing table named `table_name`. Returns the number
+/// of rows loaded. Rows whose field count does not match the schema
+/// fail the load with ParseError.
+StatusOr<uint64_t> LoadCsvIntoTable(engine::Database* db,
+                                    const std::string& table_name,
+                                    const storage::Schema& schema,
+                                    const std::string& path);
+
+}  // namespace nlq::gen
+
+#endif  // NLQ_GEN_CSV_LOADER_H_

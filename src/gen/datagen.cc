@@ -1,0 +1,120 @@
+#include "gen/datagen.h"
+
+#include "common/strings.h"
+#include "storage/partitioned_table.h"
+
+namespace nlq::gen {
+
+MixtureGenerator::MixtureGenerator(const MixtureOptions& options)
+    : options_(options), rng_(options.seed) {
+  // The population structure (means, true beta) comes from its own
+  // seed so independent train/test streams share the same model.
+  Random structure_rng(options.structure_seed != 0 ? options.structure_seed
+                                                   : options.seed);
+  means_ = linalg::Matrix(options_.num_clusters, options_.d);
+  for (size_t j = 0; j < options_.num_clusters; ++j) {
+    for (size_t a = 0; a < options_.d; ++a) {
+      means_(j, a) =
+          structure_rng.NextUniform(options_.mean_lo, options_.mean_hi);
+    }
+  }
+  beta_.resize(options_.d + 1);
+  for (size_t a = 0; a <= options_.d; ++a) {
+    beta_[a] = structure_rng.NextUniform(-2.0, 2.0);
+  }
+}
+
+int MixtureGenerator::NextPoint(double* x, double* y) {
+  int cluster = -1;
+  if (rng_.NextDouble() < options_.noise_fraction) {
+    // Uniform noise over the mean range (±2σ margin).
+    const double lo = options_.mean_lo - 2.0 * options_.stddev;
+    const double hi = options_.mean_hi + 2.0 * options_.stddev;
+    for (size_t a = 0; a < options_.d; ++a) {
+      x[a] = rng_.NextUniform(lo, hi);
+    }
+  } else {
+    cluster = static_cast<int>(rng_.NextUint64(options_.num_clusters));
+    for (size_t a = 0; a < options_.d; ++a) {
+      x[a] = rng_.NextGaussian(means_(static_cast<size_t>(cluster), a),
+                               options_.stddev);
+    }
+  }
+  if (options_.with_y && y != nullptr) {
+    double value = beta_[0];
+    for (size_t a = 0; a < options_.d; ++a) value += beta_[a + 1] * x[a];
+    *y = value + rng_.NextGaussian(0.0, options_.y_noise_stddev);
+  }
+  return cluster;
+}
+
+StatusOr<uint64_t> GenerateDataSetTable(engine::Database* db,
+                                        const std::string& name,
+                                        const MixtureOptions& options) {
+  if (db->catalog().HasTable(name)) {
+    NLQ_RETURN_IF_ERROR(db->catalog().DropTable(name));
+  }
+  NLQ_ASSIGN_OR_RETURN(
+      storage::PartitionedTable * table,
+      db->catalog().CreateTable(
+          name, storage::Schema::DataSet(options.d, options.with_y)));
+
+  MixtureGenerator generator(options);
+  std::vector<double> x(options.d);
+  double y = 0.0;
+  storage::Row row(1 + options.d + (options.with_y ? 1 : 0));
+  for (uint64_t i = 1; i <= options.n; ++i) {
+    generator.NextPoint(x.data(), &y);
+    row[0] = storage::Datum::Int64(static_cast<int64_t>(i));
+    for (size_t a = 0; a < options.d; ++a) {
+      row[1 + a] = storage::Datum::Double(x[a]);
+    }
+    if (options.with_y) row[1 + options.d] = storage::Datum::Double(y);
+    table->AppendRowUnchecked(row);
+  }
+  return table->num_rows();
+}
+
+std::vector<linalg::Vector> GeneratePoints(const MixtureOptions& options) {
+  MixtureGenerator generator(options);
+  std::vector<linalg::Vector> points;
+  points.reserve(options.n);
+  linalg::Vector x(options.d);
+  for (uint64_t i = 0; i < options.n; ++i) {
+    generator.NextPoint(x.data(), nullptr);
+    points.push_back(x);
+  }
+  return points;
+}
+
+
+StatusOr<std::pair<uint64_t, uint64_t>> SplitDataSetTable(
+    engine::Database* db, const std::string& source,
+    const std::string& train_name, const std::string& test_name,
+    int64_t modulo, int64_t remainder) {
+  if (modulo < 2 || remainder < 0 || remainder >= modulo) {
+    return Status::InvalidArgument(
+        "split requires modulo >= 2 and 0 <= remainder < modulo");
+  }
+  for (const std::string* name : {&train_name, &test_name}) {
+    if (db->catalog().HasTable(*name)) {
+      NLQ_RETURN_IF_ERROR(db->catalog().DropTable(*name));
+    }
+  }
+  const std::string mod = std::to_string(modulo);
+  const std::string rem = std::to_string(remainder);
+  NLQ_RETURN_IF_ERROR(db->ExecuteCommand(
+      "CREATE TABLE " + test_name + " AS SELECT * FROM " + source +
+      " WHERE i % " + mod + " = " + rem));
+  NLQ_RETURN_IF_ERROR(db->ExecuteCommand(
+      "CREATE TABLE " + train_name + " AS SELECT * FROM " + source +
+      " WHERE i % " + mod + " <> " + rem));
+  NLQ_ASSIGN_OR_RETURN(double train_rows,
+                       db->QueryDouble("SELECT count(*) FROM " + train_name));
+  NLQ_ASSIGN_OR_RETURN(double test_rows,
+                       db->QueryDouble("SELECT count(*) FROM " + test_name));
+  return std::make_pair(static_cast<uint64_t>(train_rows),
+                        static_cast<uint64_t>(test_rows));
+}
+
+}  // namespace nlq::gen

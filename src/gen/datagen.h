@@ -1,0 +1,89 @@
+#ifndef NLQ_GEN_DATAGEN_H_
+#define NLQ_GEN_DATAGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "engine/database.h"
+#include "linalg/matrix.h"
+
+namespace nlq::gen {
+
+/// Synthetic data matching the paper's Section 4 "Data Sets": a
+/// mixture of k normal distributions with means in [0, 100] and
+/// standard deviation around 10 per dimension, with about 15% of
+/// points being uniformly distributed noise.
+struct MixtureOptions {
+  uint64_t n = 10000;
+  size_t d = 8;
+  size_t num_clusters = 16;       // the paper's k = 16 distributions
+  double mean_lo = 0.0;
+  double mean_hi = 100.0;
+  double stddev = 10.0;
+  double noise_fraction = 0.15;   // uniform noise points
+  uint64_t seed = 42;
+
+  /// Seed for the data-set *structure* (cluster means and the true
+  /// regression coefficients). 0 means "same as seed". Distinct train
+  /// and test sets from the same population use the same
+  /// structure_seed with different seeds.
+  uint64_t structure_seed = 0;
+
+  /// When true an extra column Y = β₀ + βᵀx + ε is generated so the
+  /// same table serves linear regression experiments.
+  bool with_y = false;
+  double y_noise_stddev = 5.0;
+};
+
+/// Streaming generator (deterministic for a given options.seed).
+class MixtureGenerator {
+ public:
+  explicit MixtureGenerator(const MixtureOptions& options);
+
+  const MixtureOptions& options() const { return options_; }
+
+  /// Ground-truth cluster means (num_clusters x d).
+  const linalg::Matrix& cluster_means() const { return means_; }
+
+  /// Ground-truth regression coefficients (d+1, intercept first).
+  const linalg::Vector& true_beta() const { return beta_; }
+
+  /// Fills `x` (size d) with the next point; when options.with_y is
+  /// set also produces `y` (may be null otherwise). Returns the
+  /// 0-based index of the generating cluster, or -1 for noise points.
+  int NextPoint(double* x, double* y);
+
+ private:
+  MixtureOptions options_;
+  Random rng_;
+  linalg::Matrix means_;
+  linalg::Vector beta_;
+};
+
+/// Creates table `name` in `db` with schema X(i, X1..Xd[, Y]) and
+/// bulk-loads `options.n` generated rows. Replaces any existing
+/// table. Returns the row count.
+StatusOr<uint64_t> GenerateDataSetTable(engine::Database* db,
+                                        const std::string& name,
+                                        const MixtureOptions& options);
+
+/// Generates points in memory (for the linalg-level tests and the
+/// in-memory K-means baseline).
+std::vector<linalg::Vector> GeneratePoints(const MixtureOptions& options);
+
+/// Splits `source` into two tables by the deterministic id rule
+/// `i % modulo = remainder` (test) vs the rest (train) — the standard
+/// in-database train/test split, done with two INSERT ... SELECT
+/// statements. Replaces existing target tables. Returns
+/// {train_rows, test_rows}.
+StatusOr<std::pair<uint64_t, uint64_t>> SplitDataSetTable(
+    engine::Database* db, const std::string& source,
+    const std::string& train_name, const std::string& test_name,
+    int64_t modulo = 5, int64_t remainder = 0);
+
+}  // namespace nlq::gen
+
+#endif  // NLQ_GEN_DATAGEN_H_

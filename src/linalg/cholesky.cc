@@ -1,0 +1,74 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+namespace nlq::linalg {
+
+StatusOr<CholeskyDecomposition> CholeskyDecomposition::Compute(
+    const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Cholesky requires a square matrix");
+  }
+  if (!a.IsSymmetric(1e-8 * (1.0 + a.FrobeniusNorm()))) {
+    return Status::InvalidArgument("Cholesky requires a symmetric matrix");
+  }
+  const size_t n = a.rows();
+  Matrix l(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0) {
+      return Status::Internal("matrix is not positive definite");
+    }
+    l(j, j) = std::sqrt(diag);
+    for (size_t i = j + 1; i < n; ++i) {
+      double sum = a(i, j);
+      for (size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      l(i, j) = sum / l(j, j);
+    }
+  }
+  return CholeskyDecomposition(std::move(l));
+}
+
+StatusOr<Vector> CholeskyDecomposition::Solve(const Vector& b) const {
+  const size_t n = size();
+  if (b.size() != n) {
+    return Status::InvalidArgument("rhs size does not match matrix");
+  }
+  // L y = b.
+  Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t j = 0; j < i; ++j) sum -= l_(i, j) * y[j];
+    y[i] = sum / l_(i, i);
+  }
+  // L^T x = y.
+  Vector x(n);
+  for (size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (size_t j = ii + 1; j < n; ++j) sum -= l_(j, ii) * x[j];
+    x[ii] = sum / l_(ii, ii);
+  }
+  return x;
+}
+
+StatusOr<Matrix> CholeskyDecomposition::Inverse() const {
+  const size_t n = size();
+  Matrix inv(n, n);
+  Vector e(n, 0.0);
+  for (size_t c = 0; c < n; ++c) {
+    e[c] = 1.0;
+    NLQ_ASSIGN_OR_RETURN(Vector col, Solve(e));
+    for (size_t r = 0; r < n; ++r) inv(r, c) = col[r];
+    e[c] = 0.0;
+  }
+  return inv;
+}
+
+double CholeskyDecomposition::LogDeterminant() const {
+  double sum = 0.0;
+  for (size_t i = 0; i < size(); ++i) sum += std::log(l_(i, i));
+  return 2.0 * sum;
+}
+
+}  // namespace nlq::linalg

@@ -1,0 +1,41 @@
+#ifndef NLQ_LINALG_CHOLESKY_H_
+#define NLQ_LINALG_CHOLESKY_H_
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace nlq::linalg {
+
+/// Cholesky factorization A = L L^T for symmetric positive-definite
+/// matrices. Preferred over LU for the normal-equation solves since
+/// Q = X X^T (plus a ridge term if needed) is SPD whenever X has full
+/// row rank.
+class CholeskyDecomposition {
+ public:
+  /// Factors `a`. Fails with InvalidArgument for non-square or
+  /// asymmetric input and Internal if `a` is not positive definite.
+  static StatusOr<CholeskyDecomposition> Compute(const Matrix& a);
+
+  /// Solves A x = b.
+  StatusOr<Vector> Solve(const Vector& b) const;
+
+  /// A^{-1}.
+  StatusOr<Matrix> Inverse() const;
+
+  /// The lower-triangular factor L.
+  const Matrix& L() const { return l_; }
+
+  /// log(det(A)) — numerically stable via the factor diagonal.
+  double LogDeterminant() const;
+
+  size_t size() const { return l_.rows(); }
+
+ private:
+  explicit CholeskyDecomposition(Matrix l) : l_(std::move(l)) {}
+
+  Matrix l_;
+};
+
+}  // namespace nlq::linalg
+
+#endif  // NLQ_LINALG_CHOLESKY_H_

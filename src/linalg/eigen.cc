@@ -1,0 +1,86 @@
+#include "linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace nlq::linalg {
+
+StatusOr<EigenDecomposition> SymmetricEigen(const Matrix& a, int max_sweeps,
+                                            double tol) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("eigendecomposition requires square input");
+  }
+  if (!a.IsSymmetric(1e-8 * (1.0 + a.FrobeniusNorm()))) {
+    return Status::InvalidArgument(
+        "eigendecomposition requires symmetric input");
+  }
+  const size_t n = a.rows();
+  Matrix m = a;
+  Matrix v = Matrix::Identity(n);
+
+  auto off_diagonal_norm = [&m, n] {
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) sum += m(i, j) * m(i, j);
+    }
+    return std::sqrt(2.0 * sum);
+  };
+
+  const double scale = std::max(1.0, m.FrobeniusNorm());
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diagonal_norm() <= tol * scale) break;
+    for (size_t p = 0; p + 1 < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = m(p, q);
+        if (std::fabs(apq) <= 1e-300) continue;
+        const double app = m(p, p);
+        const double aqq = m(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        // Stable tangent of the rotation angle.
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (size_t k = 0; k < n; ++k) {
+          const double mkp = m(k, p);
+          const double mkq = m(k, q);
+          m(k, p) = c * mkp - s * mkq;
+          m(k, q) = s * mkp + c * mkq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double mpk = m(p, k);
+          const double mqk = m(q, k);
+          m(p, k) = c * mpk - s * mqk;
+          m(q, k) = s * mpk + c * mqk;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&m](size_t i, size_t j) { return m(i, i) > m(j, j); });
+
+  EigenDecomposition out;
+  out.eigenvalues.resize(n);
+  out.eigenvectors = Matrix(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    out.eigenvalues[j] = m(order[j], order[j]);
+    for (size_t i = 0; i < n; ++i) {
+      out.eigenvectors(i, j) = v(i, order[j]);
+    }
+  }
+  return out;
+}
+
+}  // namespace nlq::linalg

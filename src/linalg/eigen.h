@@ -1,0 +1,27 @@
+#ifndef NLQ_LINALG_EIGEN_H_
+#define NLQ_LINALG_EIGEN_H_
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace nlq::linalg {
+
+/// Result of a symmetric eigendecomposition A = V diag(w) V^T with
+/// eigenvalues sorted in descending order and orthonormal columns in V.
+struct EigenDecomposition {
+  Vector eigenvalues;   // descending
+  Matrix eigenvectors;  // column j pairs with eigenvalues[j]
+};
+
+/// Cyclic Jacobi eigensolver for symmetric matrices.
+///
+/// PCA decomposes the d x d correlation (or covariance) matrix; Jacobi
+/// is exact up to rotation round-off, unconditionally stable, and more
+/// than fast enough for the d <= 1024 regime of the paper.
+StatusOr<EigenDecomposition> SymmetricEigen(const Matrix& a,
+                                            int max_sweeps = 64,
+                                            double tol = 1e-12);
+
+}  // namespace nlq::linalg
+
+#endif  // NLQ_LINALG_EIGEN_H_

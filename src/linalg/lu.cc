@@ -1,0 +1,101 @@
+#include "linalg/lu.h"
+
+#include <cmath>
+
+namespace nlq::linalg {
+
+StatusOr<LuDecomposition> LuDecomposition::Compute(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("LU requires a square matrix");
+  }
+  const size_t n = a.rows();
+  Matrix lu = a;
+  std::vector<size_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = i;
+  int sign = 1;
+
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivoting: pick the largest |entry| in this column.
+    size_t pivot = col;
+    double best = std::fabs(lu(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      const double v = std::fabs(lu(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) {
+      return Status::Internal("matrix is singular to working precision");
+    }
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) std::swap(lu(col, c), lu(pivot, c));
+      std::swap(perm[col], perm[pivot]);
+      sign = -sign;
+    }
+    const double diag = lu(col, col);
+    for (size_t r = col + 1; r < n; ++r) {
+      const double factor = lu(r, col) / diag;
+      lu(r, col) = factor;
+      for (size_t c = col + 1; c < n; ++c) {
+        lu(r, c) -= factor * lu(col, c);
+      }
+    }
+  }
+  return LuDecomposition(std::move(lu), std::move(perm), sign);
+}
+
+StatusOr<Vector> LuDecomposition::Solve(const Vector& b) const {
+  const size_t n = size();
+  if (b.size() != n) {
+    return Status::InvalidArgument("rhs size does not match matrix");
+  }
+  Vector x(n);
+  // Forward substitution with permuted rhs (L has unit diagonal).
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[perm_[i]];
+    for (size_t j = 0; j < i; ++j) sum -= lu_(i, j) * x[j];
+    x[i] = sum;
+  }
+  // Back substitution on U.
+  for (size_t ii = n; ii-- > 0;) {
+    double sum = x[ii];
+    for (size_t j = ii + 1; j < n; ++j) sum -= lu_(ii, j) * x[j];
+    x[ii] = sum / lu_(ii, ii);
+  }
+  return x;
+}
+
+StatusOr<Matrix> LuDecomposition::Solve(const Matrix& b) const {
+  if (b.rows() != size()) {
+    return Status::InvalidArgument("rhs rows do not match matrix");
+  }
+  Matrix x(size(), b.cols());
+  for (size_t c = 0; c < b.cols(); ++c) {
+    NLQ_ASSIGN_OR_RETURN(Vector col, Solve(b.Column(c)));
+    for (size_t r = 0; r < size(); ++r) x(r, c) = col[r];
+  }
+  return x;
+}
+
+StatusOr<Matrix> LuDecomposition::Inverse() const {
+  return Solve(Matrix::Identity(size()));
+}
+
+double LuDecomposition::Determinant() const {
+  double det = sign_;
+  for (size_t i = 0; i < size(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+StatusOr<Matrix> Invert(const Matrix& a) {
+  NLQ_ASSIGN_OR_RETURN(LuDecomposition lu, LuDecomposition::Compute(a));
+  return lu.Inverse();
+}
+
+StatusOr<Vector> SolveLinearSystem(const Matrix& a, const Vector& b) {
+  NLQ_ASSIGN_OR_RETURN(LuDecomposition lu, LuDecomposition::Compute(a));
+  return lu.Solve(b);
+}
+
+}  // namespace nlq::linalg

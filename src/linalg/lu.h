@@ -1,0 +1,52 @@
+#ifndef NLQ_LINALG_LU_H_
+#define NLQ_LINALG_LU_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace nlq::linalg {
+
+/// LU decomposition with partial pivoting of a square matrix.
+///
+/// Used by linear regression to invert Q = X X^T (the paper's
+/// beta = Q^{-1} (X Y^T) step, performed "outside the DBMS").
+class LuDecomposition {
+ public:
+  /// Factors `a`. Fails with InvalidArgument for non-square input and
+  /// Internal for (numerically) singular matrices.
+  static StatusOr<LuDecomposition> Compute(const Matrix& a);
+
+  /// Solves A x = b for one right-hand side.
+  StatusOr<Vector> Solve(const Vector& b) const;
+
+  /// Solves A X = B column-by-column.
+  StatusOr<Matrix> Solve(const Matrix& b) const;
+
+  /// A^{-1}.
+  StatusOr<Matrix> Inverse() const;
+
+  /// det(A), including the pivot sign.
+  double Determinant() const;
+
+  size_t size() const { return lu_.rows(); }
+
+ private:
+  LuDecomposition(Matrix lu, std::vector<size_t> perm, int sign)
+      : lu_(std::move(lu)), perm_(std::move(perm)), sign_(sign) {}
+
+  Matrix lu_;                 // packed L (unit diagonal) and U
+  std::vector<size_t> perm_;  // row permutation
+  int sign_;                  // permutation parity for the determinant
+};
+
+/// Convenience: inverts a square matrix via LU.
+StatusOr<Matrix> Invert(const Matrix& a);
+
+/// Convenience: solves A x = b via LU.
+StatusOr<Vector> SolveLinearSystem(const Matrix& a, const Vector& b);
+
+}  // namespace nlq::linalg
+
+#endif  // NLQ_LINALG_LU_H_

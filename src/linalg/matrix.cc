@@ -1,0 +1,189 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace nlq::linalg {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    assert(rows[r].size() == m.cols());
+    for (size_t c = 0; c < m.cols(); ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::ColumnVector(const Vector& v) {
+  Matrix m(v.size(), 1);
+  for (size_t i = 0; i < v.size(); ++i) m(i, 0) = v[i];
+  return m;
+}
+
+Vector Matrix::Row(size_t r) const {
+  assert(r < rows_);
+  return Vector(data_.begin() + static_cast<ptrdiff_t>(r * cols_),
+                data_.begin() + static_cast<ptrdiff_t>((r + 1) * cols_));
+}
+
+Vector Matrix::Column(size_t c) const {
+  assert(c < cols_);
+  Vector out(rows_);
+  for (size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::Block(size_t r0, size_t c0, size_t nr, size_t nc) const {
+  assert(r0 + nr <= rows_ && c0 + nc <= cols_);
+  Matrix b(nr, nc);
+  for (size_t r = 0; r < nr; ++r) {
+    for (size_t c = 0; c < nc; ++c) b(r, c) = (*this)(r0 + r, c0 + c);
+  }
+  return b;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  assert(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  assert(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+  for (double& v : data_) v *= scalar;
+  return *this;
+}
+
+double Matrix::MaxAbsDiff(const Matrix& other) const {
+  assert(SameShape(other));
+  double max = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    max = std::max(max, std::fabs(data_[i] - other.data_[i]));
+  }
+  return max;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+bool Matrix::IsSymmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = r + 1; c < cols_; ++c) {
+      if (std::fabs((*this)(r, c) - (*this)(c, r)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+std::string Matrix::ToString() const {
+  std::string out = StringPrintf("Matrix %zux%zu\n", rows_, cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    out += "  [";
+    for (size_t c = 0; c < cols_; ++c) {
+      out += StringPrintf("%s%.6g", c == 0 ? "" : ", ", (*this)(r, c));
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+Matrix operator+(Matrix a, const Matrix& b) {
+  a += b;
+  return a;
+}
+
+Matrix operator-(Matrix a, const Matrix& b) {
+  a -= b;
+  return a;
+}
+
+Matrix operator*(Matrix a, double s) {
+  a *= s;
+  return a;
+}
+
+Matrix operator*(double s, Matrix a) {
+  a *= s;
+  return a;
+}
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (size_t j = 0; j < b.cols(); ++j) {
+        c(i, j) += aik * b(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+Vector MatVec(const Matrix& a, const Vector& v) {
+  assert(v.size() == a.cols());
+  Vector out(a.rows(), 0.0);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    double sum = 0.0;
+    for (size_t j = 0; j < a.cols(); ++j) sum += a(i, j) * v[j];
+    out[i] = sum;
+  }
+  return out;
+}
+
+double Dot(const Vector& a, const Vector& b) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double SquaredDistance(const Vector& a, const Vector& b) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+double Norm(const Vector& v) { return std::sqrt(Dot(v, v)); }
+
+Matrix Outer(const Vector& a, const Vector& b) {
+  Matrix m(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = 0; j < b.size(); ++j) m(i, j) = a[i] * b[j];
+  }
+  return m;
+}
+
+}  // namespace nlq::linalg

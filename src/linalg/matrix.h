@@ -1,0 +1,119 @@
+#ifndef NLQ_LINALG_MATRIX_H_
+#define NLQ_LINALG_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace nlq::linalg {
+
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix of doubles.
+///
+/// This is the workhorse for the "outside the DBMS" model math the
+/// paper leaves to a client-side library: correlation/covariance
+/// assembly, normal-equation solves, eigendecomposition input, etc.
+/// Matrices here are tiny (d x d with d <= ~1024) so the implementation
+/// favours clarity over blocking/vectorization tricks.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// rows x cols matrix filled with `fill`.
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds a matrix from nested initializer-style data; all inner
+  /// vectors must have equal length.
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  /// n x n identity.
+  static Matrix Identity(size_t n);
+
+  /// Column vector (n x 1) from `v`.
+  static Matrix ColumnVector(const Vector& v);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  const double* data() const { return data_.data(); }
+  double* data() { return data_.data(); }
+
+  /// Extracts row `r` as a vector.
+  Vector Row(size_t r) const;
+  /// Extracts column `c` as a vector.
+  Vector Column(size_t c) const;
+
+  Matrix Transpose() const;
+
+  /// Submatrix [r0, r0+nr) x [c0, c0+nc).
+  Matrix Block(size_t r0, size_t c0, size_t nr, size_t nc) const;
+
+  /// Element-wise operations; shapes must match.
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scalar);
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// Max |a_ij - b_ij|; shapes must match.
+  double MaxAbsDiff(const Matrix& other) const;
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+  /// True if |a_ij - a_ji| <= tol for all i, j (square only).
+  bool IsSymmetric(double tol = 1e-9) const;
+
+  /// Multi-line debug representation.
+  std::string ToString() const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+Matrix operator+(Matrix a, const Matrix& b);
+Matrix operator-(Matrix a, const Matrix& b);
+Matrix operator*(Matrix a, double s);
+Matrix operator*(double s, Matrix a);
+
+/// Dense matrix product; a.cols() must equal b.rows().
+Matrix operator*(const Matrix& a, const Matrix& b);
+
+/// Matrix * vector; `v.size()` must equal `a.cols()`.
+Vector MatVec(const Matrix& a, const Vector& v);
+
+/// Dot product; sizes must match.
+double Dot(const Vector& a, const Vector& b);
+
+/// Squared Euclidean distance; sizes must match.
+double SquaredDistance(const Vector& a, const Vector& b);
+
+/// Euclidean (L2) norm.
+double Norm(const Vector& v);
+
+/// Outer product a * b^T as an |a| x |b| matrix.
+Matrix Outer(const Vector& a, const Vector& b);
+
+}  // namespace nlq::linalg
+
+#endif  // NLQ_LINALG_MATRIX_H_

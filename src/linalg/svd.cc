@@ -1,0 +1,74 @@
+#include "linalg/svd.h"
+
+#include <cmath>
+
+#include "linalg/eigen.h"
+
+namespace nlq::linalg {
+
+StatusOr<SvdDecomposition> ComputeSvd(const Matrix& a, double rank_tol) {
+  if (a.rows() < a.cols()) {
+    return Status::InvalidArgument("ComputeSvd requires rows >= cols");
+  }
+  const size_t m = a.rows();
+  const size_t n = a.cols();
+
+  // Gram matrix G = A^T A; eigenvalues are squared singular values.
+  Matrix g(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      double sum = 0.0;
+      for (size_t k = 0; k < m; ++k) sum += a(k, i) * a(k, j);
+      g(i, j) = sum;
+      g(j, i) = sum;
+    }
+  }
+  NLQ_ASSIGN_OR_RETURN(EigenDecomposition eig, SymmetricEigen(g));
+
+  SvdDecomposition out;
+  out.v = eig.eigenvectors;
+  out.singular_values.resize(n);
+  double s_max = 0.0;
+  for (size_t j = 0; j < n; ++j) {
+    const double ev = std::max(0.0, eig.eigenvalues[j]);
+    out.singular_values[j] = std::sqrt(ev);
+    s_max = std::max(s_max, out.singular_values[j]);
+  }
+
+  // U column j = A v_j / s_j for significant singular values.
+  out.u = Matrix(m, n);
+  const double cutoff = rank_tol * std::max(1.0, s_max);
+  for (size_t j = 0; j < n; ++j) {
+    if (out.singular_values[j] <= cutoff) {
+      out.singular_values[j] = 0.0;
+      continue;
+    }
+    const Vector vj = out.v.Column(j);
+    const Vector uj = MatVec(a, vj);
+    for (size_t i = 0; i < m; ++i) out.u(i, j) = uj[i] / out.singular_values[j];
+  }
+
+  // Complete null-space U columns by Gram-Schmidt against existing ones
+  // so U always has orthonormal columns.
+  for (size_t j = 0; j < n; ++j) {
+    if (out.singular_values[j] > 0.0) continue;
+    Vector candidate(m, 0.0);
+    for (size_t attempt = 0; attempt < m; ++attempt) {
+      for (size_t i = 0; i < m; ++i) candidate[i] = (i == (j + attempt) % m);
+      for (size_t k = 0; k < n; ++k) {
+        if (k == j) continue;
+        const Vector uk = out.u.Column(k);
+        const double proj = Dot(candidate, uk);
+        for (size_t i = 0; i < m; ++i) candidate[i] -= proj * uk[i];
+      }
+      const double norm = Norm(candidate);
+      if (norm > 1e-6) {
+        for (size_t i = 0; i < m; ++i) out.u(i, j) = candidate[i] / norm;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace nlq::linalg

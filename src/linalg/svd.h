@@ -1,0 +1,28 @@
+#ifndef NLQ_LINALG_SVD_H_
+#define NLQ_LINALG_SVD_H_
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace nlq::linalg {
+
+/// Thin singular value decomposition A = U diag(s) V^T for an m x n
+/// matrix with m >= n: U is m x n with orthonormal columns, V is n x n
+/// orthogonal, singular values are non-negative and descending.
+struct SvdDecomposition {
+  Matrix u;
+  Vector singular_values;
+  Matrix v;
+};
+
+/// Computes the thin SVD via the symmetric eigendecomposition of
+/// A^T A (one-sided Gram approach). Adequate for the small, well-
+/// conditioned d x d statistical matrices this library handles; tiny
+/// singular values below `rank_tol * s_max` are clamped to zero and
+/// their U columns completed by Gram-Schmidt.
+StatusOr<SvdDecomposition> ComputeSvd(const Matrix& a,
+                                      double rank_tol = 1e-12);
+
+}  // namespace nlq::linalg
+
+#endif  // NLQ_LINALG_SVD_H_

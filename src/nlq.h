@@ -1,0 +1,53 @@
+#ifndef NLQ_NLQ_H_
+#define NLQ_NLQ_H_
+
+/// Umbrella header for the nlq library — an in-DBMS statistical
+/// modeling system reproducing Ordonez, "Building Statistical Models
+/// and Scoring with UDFs" (SIGMOD 2007).
+///
+/// Typical flow (see examples/quickstart.cc):
+///   engine::Database db;                       // the DBMS substrate
+///   stats::RegisterAllStatsUdfs(&db.udfs());   // install the UDFs
+///   gen::GenerateDataSetTable(&db, "X", ...);  // or load your data
+///   stats::WarehouseMiner miner(&db);
+///   auto stats = miner.ComputeSufStats("X", cols, kind, via);
+///   auto model = stats::FitLinearRegression(*stats);
+///   miner.ScoreLinearRegression("X", model, "X_SCORED", /*udf=*/true);
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "connect/extern_analyzer.h"
+#include "connect/odbc_sim.h"
+#include "engine/database.h"
+#include "engine/parser.h"
+#include "engine/persistence.h"
+#include "engine/result_set.h"
+#include "gen/csv_loader.h"
+#include "gen/datagen.h"
+#include "linalg/cholesky.h"
+#include "linalg/eigen.h"
+#include "linalg/lu.h"
+#include "linalg/matrix.h"
+#include "linalg/svd.h"
+#include "stats/describe.h"
+#include "stats/em.h"
+#include "stats/histogram.h"
+#include "stats/kmeans.h"
+#include "stats/linreg.h"
+#include "stats/miner.h"
+#include "stats/model_tables.h"
+#include "stats/naive_bayes.h"
+#include "stats/nlq_udaf.h"
+#include "stats/pca.h"
+#include "stats/scoring.h"
+#include "stats/sqlgen.h"
+#include "stats/stepwise.h"
+#include "stats/sufstats.h"
+#include "storage/catalog.h"
+#include "udf/packing.h"
+#include "udf/udf.h"
+
+#endif  // NLQ_NLQ_H_

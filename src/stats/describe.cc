@@ -1,0 +1,47 @@
+#include "stats/describe.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace nlq::stats {
+
+StatusOr<std::vector<DimensionSummary>> Describe(const SufStats& stats) {
+  if (stats.n() <= 0.0) {
+    return Status::InvalidArgument("cannot describe empty statistics");
+  }
+  const double n = stats.n();
+  std::vector<DimensionSummary> out(stats.d());
+  for (size_t a = 0; a < stats.d(); ++a) {
+    DimensionSummary& s = out[a];
+    s.mean = stats.L(a) / n;
+    s.variance = std::max(0.0, stats.Q(a, a) / n - s.mean * s.mean);
+    s.stddev = std::sqrt(s.variance);
+    s.min = stats.Min(a);
+    s.max = stats.Max(a);
+  }
+  return out;
+}
+
+StatusOr<std::string> DescribeTable(const SufStats& stats,
+                                    const std::vector<std::string>& names) {
+  if (!names.empty() && names.size() != stats.d()) {
+    return Status::InvalidArgument(
+        "names must be empty or have one entry per dimension");
+  }
+  NLQ_ASSIGN_OR_RETURN(std::vector<DimensionSummary> summaries,
+                       Describe(stats));
+  std::string out = StringPrintf("n = %.0f\n", stats.n());
+  out += StringPrintf("%-12s %12s %12s %12s %12s\n", "dimension", "mean",
+                      "stddev", "min", "max");
+  for (size_t a = 0; a < summaries.size(); ++a) {
+    const std::string name =
+        names.empty() ? "X" + std::to_string(a + 1) : names[a];
+    out += StringPrintf("%-12s %12.4f %12.4f %12.4f %12.4f\n", name.c_str(),
+                        summaries[a].mean, summaries[a].stddev,
+                        summaries[a].min, summaries[a].max);
+  }
+  return out;
+}
+
+}  // namespace nlq::stats

@@ -1,0 +1,34 @@
+#ifndef NLQ_STATS_DESCRIBE_H_
+#define NLQ_STATS_DESCRIBE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "stats/sufstats.h"
+
+namespace nlq::stats {
+
+/// Per-dimension descriptive statistics — everything here falls out
+/// of the one-scan summary (n, L, Q-diagonal, min, max), the paper's
+/// observation that the sufficient statistics "summarize a lot of
+/// properties about X".
+struct DimensionSummary {
+  double mean = 0.0;
+  double variance = 0.0;  // population variance Q_aa/n − mean²
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// One summary per dimension. Requires n > 0.
+StatusOr<std::vector<DimensionSummary>> Describe(const SufStats& stats);
+
+/// Formatted table (one row per dimension). `names` may be empty, in
+/// which case X1..Xd is used; otherwise it must have d entries.
+StatusOr<std::string> DescribeTable(const SufStats& stats,
+                                    const std::vector<std::string>& names = {});
+
+}  // namespace nlq::stats
+
+#endif  // NLQ_STATS_DESCRIBE_H_

@@ -1,0 +1,166 @@
+#include "stats/em.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/random.h"
+
+namespace nlq::stats {
+namespace {
+
+constexpr double kLog2Pi = 1.8378770664093453;
+
+/// log N(x | mean_j, diag(var_j)) for one cluster row of the model.
+double LogGaussianDiag(const double* x, const linalg::Matrix& means,
+                       const linalg::Matrix& variances, size_t j, size_t d) {
+  double log_det = 0.0;
+  double quad = 0.0;
+  for (size_t a = 0; a < d; ++a) {
+    const double var = variances(j, a);
+    const double diff = x[a] - means(j, a);
+    log_det += std::log(var);
+    quad += diff * diff / var;
+  }
+  return -0.5 * (static_cast<double>(d) * kLog2Pi + log_det + quad);
+}
+
+/// log(Σ exp(v_i)) without overflow.
+double LogSumExp(const linalg::Vector& v) {
+  double max = -std::numeric_limits<double>::infinity();
+  for (double x : v) max = std::max(max, x);
+  if (!std::isfinite(max)) return max;
+  double sum = 0.0;
+  for (double x : v) sum += std::exp(x - max);
+  return max + std::log(sum);
+}
+
+}  // namespace
+
+double GaussianMixtureModel::LogDensity(const double* x) const {
+  linalg::Vector logs(k);
+  for (size_t j = 0; j < k; ++j) {
+    logs[j] = std::log(std::max(weights[j], 1e-300)) +
+              LogGaussianDiag(x, means, variances, j, d);
+  }
+  return LogSumExp(logs);
+}
+
+linalg::Vector GaussianMixtureModel::Responsibilities(const double* x) const {
+  linalg::Vector logs(k);
+  for (size_t j = 0; j < k; ++j) {
+    logs[j] = std::log(std::max(weights[j], 1e-300)) +
+              LogGaussianDiag(x, means, variances, j, d);
+  }
+  const double normalizer = LogSumExp(logs);
+  linalg::Vector out(k);
+  for (size_t j = 0; j < k; ++j) out[j] = std::exp(logs[j] - normalizer);
+  return out;
+}
+
+size_t GaussianMixtureModel::MostLikelyCluster(const double* x) const {
+  const linalg::Vector resp = Responsibilities(x);
+  size_t best = 0;
+  for (size_t j = 1; j < k; ++j) {
+    if (resp[j] > resp[best]) best = j;
+  }
+  return best;
+}
+
+GaussianMixtureModel MixtureFromKMeans(const KMeansModel& kmeans,
+                                       double min_variance) {
+  GaussianMixtureModel model;
+  model.d = kmeans.d;
+  model.k = kmeans.k;
+  model.means = kmeans.centroids;
+  model.variances = kmeans.radii;
+  model.weights = kmeans.weights;
+  double weight_sum = 0.0;
+  for (double w : model.weights) weight_sum += w;
+  for (size_t j = 0; j < model.k; ++j) {
+    if (weight_sum > 0.0) {
+      model.weights[j] /= weight_sum;
+    } else {
+      model.weights[j] = 1.0 / static_cast<double>(model.k);
+    }
+    for (size_t a = 0; a < model.d; ++a) {
+      model.variances(j, a) = std::max(model.variances(j, a), min_variance);
+    }
+  }
+  return model;
+}
+
+StatusOr<GaussianMixtureModel> FitGaussianMixture(
+    const std::vector<linalg::Vector>& points, const EmOptions& options) {
+  if (points.empty()) {
+    return Status::InvalidArgument("EM needs at least one point");
+  }
+  if (options.k == 0) return Status::InvalidArgument("EM needs k >= 1");
+  const size_t d = points[0].size();
+  const size_t k = options.k;
+  const double n = static_cast<double>(points.size());
+
+  // Initialize from a short K-means run (standard EM practice).
+  KMeansOptions km;
+  km.k = k;
+  km.max_iterations = 3;
+  km.seed = options.seed;
+  NLQ_ASSIGN_OR_RETURN(KMeansModel seed_model, FitKMeans(points, km));
+  GaussianMixtureModel model =
+      MixtureFromKMeans(seed_model, options.min_variance);
+  // Degenerate K-means radii (singleton clusters) get a global-scale
+  // floor so the first E step is well-conditioned.
+  for (size_t j = 0; j < k; ++j) {
+    for (size_t a = 0; a < d; ++a) {
+      if (model.variances(j, a) <= options.min_variance) {
+        model.variances(j, a) = 1.0;
+      }
+    }
+  }
+
+  double prev_ll = -std::numeric_limits<double>::infinity();
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // E step + weighted sufficient statistics in one pass: soft
+    // counts N_j, weighted sums L_j, weighted squared sums Q_j(diag).
+    linalg::Vector soft_n(k, 0.0);
+    linalg::Matrix soft_l(k, d);
+    linalg::Matrix soft_q(k, d);
+    double log_likelihood = 0.0;
+    for (const auto& p : points) {
+      const linalg::Vector resp = model.Responsibilities(p.data());
+      log_likelihood += model.LogDensity(p.data());
+      for (size_t j = 0; j < k; ++j) {
+        const double r = resp[j];
+        if (r <= 0.0) continue;
+        soft_n[j] += r;
+        for (size_t a = 0; a < d; ++a) {
+          soft_l(j, a) += r * p[a];
+          soft_q(j, a) += r * p[a] * p[a];
+        }
+      }
+    }
+
+    // M step: C = L/N, R = Q/N - C^2, W = N/n — the Section 3.2
+    // equations with soft counts.
+    for (size_t j = 0; j < k; ++j) {
+      model.weights[j] = soft_n[j] / n;
+      if (soft_n[j] <= 1e-12) continue;  // dead component keeps params
+      for (size_t a = 0; a < d; ++a) {
+        const double mean = soft_l(j, a) / soft_n[j];
+        model.means(j, a) = mean;
+        model.variances(j, a) = std::max(
+            options.min_variance, soft_q(j, a) / soft_n[j] - mean * mean);
+      }
+    }
+
+    model.log_likelihood = log_likelihood;
+    model.iterations_run = iter + 1;
+    if (std::isfinite(prev_ll) &&
+        (log_likelihood - prev_ll) / n < options.tolerance) {
+      break;
+    }
+    prev_ll = log_likelihood;
+  }
+  return model;
+}
+
+}  // namespace nlq::stats

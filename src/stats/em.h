@@ -1,0 +1,63 @@
+#ifndef NLQ_STATS_EM_H_
+#define NLQ_STATS_EM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "stats/kmeans.h"
+
+namespace nlq::stats {
+
+/// Gaussian mixture model with diagonal covariances — the EM
+/// counterpart of K-means the paper discusses in Section 3.1
+/// ("Clustering and mixtures of distributions"; clustering techniques
+/// "assume dimensions are independent, which makes R_j a diagonal
+/// matrix"). The model reuses the clustering layout: C (means),
+/// R (per-dimension variances) and W (mixture weights).
+struct GaussianMixtureModel {
+  size_t d = 0;
+  size_t k = 0;
+  linalg::Matrix means;      // k x d
+  linalg::Matrix variances;  // k x d (diagonal R_j)
+  linalg::Vector weights;    // k, sums to 1
+  double log_likelihood = 0.0;
+  size_t iterations_run = 0;
+
+  /// log p(x) under the mixture.
+  double LogDensity(const double* x) const;
+
+  /// Posterior responsibilities p(j | x), size k.
+  linalg::Vector Responsibilities(const double* x) const;
+
+  /// Hard assignment: argmax_j p(j | x).
+  size_t MostLikelyCluster(const double* x) const;
+};
+
+struct EmOptions {
+  size_t k = 8;
+  size_t max_iterations = 50;
+  /// Stop when the per-point log-likelihood improves by less than this.
+  double tolerance = 1e-6;
+  uint64_t seed = 42;
+  /// Variance floor, avoids singularities on degenerate clusters.
+  double min_variance = 1e-6;
+};
+
+/// Fits the mixture by EM. Each iteration is exactly the paper's
+/// sufficient-statistics pattern with soft counts: the E step computes
+/// responsibilities, the M step folds every point into per-cluster
+/// weighted (N_j, L_j, Q_j-diagonal) and rebuilds C, R, W — i.e. the
+/// same (n, L, Q) summaries, just weighted.
+StatusOr<GaussianMixtureModel> FitGaussianMixture(
+    const std::vector<linalg::Vector>& points, const EmOptions& options);
+
+/// Initializes the mixture from a K-means solution (the standard
+/// practice; also shows the two models share C/R/W).
+GaussianMixtureModel MixtureFromKMeans(const KMeansModel& kmeans,
+                                       double min_variance = 1e-6);
+
+}  // namespace nlq::stats
+
+#endif  // NLQ_STATS_EM_H_

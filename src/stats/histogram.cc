@@ -1,0 +1,223 @@
+#include "stats/histogram.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/strings.h"
+#include "udf/heap_segment.h"
+
+namespace nlq::stats {
+
+using storage::DataType;
+using storage::Datum;
+
+namespace {
+
+struct HistState {
+  int64_t bins;  // -1 until the first row fixes the layout
+  double lo;
+  double hi;
+  double width;
+  uint64_t below;
+  uint64_t above;
+  uint64_t counts[kMaxHistogramBins];
+};
+static_assert(sizeof(HistState) <= udf::kDefaultHeapCapacity);
+
+class HistUdf : public udf::AggregateUdf {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "hist";
+    return kName;
+  }
+  DataType return_type() const override { return DataType::kVarchar; }
+
+  Status CheckArity(size_t num_args) const override {
+    if (num_args != 4) {
+      return Status::InvalidArgument(
+          "hist(x, lo, hi, bins) needs exactly 4 arguments");
+    }
+    return Status::OK();
+  }
+
+  StatusOr<void*> Init(udf::HeapSegment* heap) const override {
+    auto* state = static_cast<HistState*>(heap->Allocate(sizeof(HistState)));
+    if (state == nullptr) {
+      return Status::ResourceExhausted("hist state exceeds heap segment");
+    }
+    std::memset(state, 0, sizeof(HistState));
+    state->bins = -1;
+    return state;
+  }
+
+  Status Accumulate(void* raw_state,
+                    const std::vector<Datum>& args) const override {
+    auto* s = static_cast<HistState*>(raw_state);
+    if (s->bins < 0) {
+      const double lo = args[1].AsDouble();
+      const double hi = args[2].AsDouble();
+      const int64_t bins = static_cast<int64_t>(args[3].AsDouble());
+      if (!(hi > lo)) {
+        return Status::InvalidArgument("hist: requires hi > lo");
+      }
+      if (bins < 1 || bins > static_cast<int64_t>(kMaxHistogramBins)) {
+        return Status::InvalidArgument(StringPrintf(
+            "hist: bins must be in 1..%zu", kMaxHistogramBins));
+      }
+      s->lo = lo;
+      s->hi = hi;
+      s->bins = bins;
+      s->width = (hi - lo) / static_cast<double>(bins);
+    }
+    if (args[0].is_null()) return Status::OK();  // NULLs are not binned
+    const double x = args[0].AsDouble();
+    if (x < s->lo) {
+      ++s->below;
+    } else if (x >= s->hi) {
+      ++s->above;
+    } else {
+      int64_t bin = static_cast<int64_t>((x - s->lo) / s->width);
+      if (bin >= s->bins) bin = s->bins - 1;  // guard FP edge
+      ++s->counts[bin];
+    }
+    return Status::OK();
+  }
+
+  Status Merge(void* state, const void* other) const override {
+    auto* dst = static_cast<HistState*>(state);
+    const auto* src = static_cast<const HistState*>(other);
+    if (src->bins < 0) return Status::OK();
+    if (dst->bins < 0) {
+      std::memcpy(dst, src, sizeof(HistState));
+      return Status::OK();
+    }
+    if (dst->bins != src->bins || dst->lo != src->lo || dst->hi != src->hi) {
+      return Status::Internal("hist: partial states disagree on layout");
+    }
+    dst->below += src->below;
+    dst->above += src->above;
+    for (int64_t b = 0; b < dst->bins; ++b) dst->counts[b] += src->counts[b];
+    return Status::OK();
+  }
+
+  StatusOr<Datum> Finalize(const void* raw_state) const override {
+    const auto* s = static_cast<const HistState*>(raw_state);
+    std::string packed;
+    if (s->bins < 0) {
+      packed = "0|0|0||0|0";
+      return Datum::Varchar(std::move(packed));
+    }
+    AppendDouble(&packed, s->lo);
+    packed += '|';
+    AppendDouble(&packed, s->hi);
+    packed += '|';
+    packed += std::to_string(s->bins);
+    packed += '|';
+    for (int64_t b = 0; b < s->bins; ++b) {
+      if (b > 0) packed += ';';
+      packed += std::to_string(s->counts[b]);
+    }
+    packed += '|';
+    packed += std::to_string(s->below);
+    packed += '|';
+    packed += std::to_string(s->above);
+    return Datum::Varchar(std::move(packed));
+  }
+};
+
+class ZScoreUdf : public udf::ScalarUdf {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "zscore";
+    return kName;
+  }
+  DataType return_type() const override { return DataType::kDouble; }
+
+  Status CheckArity(size_t num_args) const override {
+    if (num_args != 3) {
+      return Status::InvalidArgument(
+          "zscore(x, mu, sigma) needs exactly 3 arguments");
+    }
+    return Status::OK();
+  }
+
+  StatusOr<Datum> Invoke(const std::vector<Datum>& args) const override {
+    if (args[0].is_null() || args[1].is_null() || args[2].is_null()) {
+      return Datum::Null(DataType::kDouble);
+    }
+    const double sigma = args[2].AsDouble();
+    if (sigma <= 0.0) return Datum::Null(DataType::kDouble);
+    return Datum::Double(
+        std::fabs(args[0].AsDouble() - args[1].AsDouble()) / sigma);
+  }
+};
+
+}  // namespace
+
+uint64_t Histogram::TotalCount() const {
+  uint64_t total = below + above;
+  for (uint64_t c : counts) total += c;
+  return total;
+}
+
+size_t Histogram::BinFor(double x) const {
+  const double width = BinWidth();
+  if (width <= 0.0) return 0;
+  size_t bin = static_cast<size_t>((x - lo) / width);
+  if (bin >= bins) bin = bins - 1;
+  return bin;
+}
+
+StatusOr<Histogram> Histogram::FromPackedString(std::string_view packed) {
+  const std::vector<std::string_view> sections = SplitString(packed, '|');
+  if (sections.size() != 6) {
+    return Status::ParseError("packed histogram must have 6 '|' sections");
+  }
+  Histogram h;
+  NLQ_ASSIGN_OR_RETURN(h.lo, ParseDouble(sections[0]));
+  NLQ_ASSIGN_OR_RETURN(h.hi, ParseDouble(sections[1]));
+  NLQ_ASSIGN_OR_RETURN(int64_t bins, ParseInt64(sections[2]));
+  if (bins < 0 || bins > static_cast<int64_t>(kMaxHistogramBins)) {
+    return Status::ParseError("histogram bin count out of range");
+  }
+  h.bins = static_cast<size_t>(bins);
+  if (h.bins > 0) {
+    const std::vector<std::string_view> parts = SplitString(sections[3], ';');
+    if (parts.size() != h.bins) {
+      return Status::ParseError("histogram count list does not match bins");
+    }
+    h.counts.resize(h.bins);
+    for (size_t b = 0; b < h.bins; ++b) {
+      NLQ_ASSIGN_OR_RETURN(int64_t c, ParseInt64(parts[b]));
+      if (c < 0) return Status::ParseError("negative histogram count");
+      h.counts[b] = static_cast<uint64_t>(c);
+    }
+  }
+  NLQ_ASSIGN_OR_RETURN(int64_t below, ParseInt64(sections[4]));
+  NLQ_ASSIGN_OR_RETURN(int64_t above, ParseInt64(sections[5]));
+  h.below = static_cast<uint64_t>(below);
+  h.above = static_cast<uint64_t>(above);
+  return h;
+}
+
+Status RegisterHistogramUdfs(udf::UdfRegistry* registry) {
+  NLQ_RETURN_IF_ERROR(registry->RegisterAggregate(std::make_unique<HistUdf>()));
+  return registry->RegisterScalar(std::make_unique<ZScoreUdf>());
+}
+
+std::string HistogramQuery(const std::string& table,
+                           const std::string& column, const SufStats& stats,
+                           size_t dim, size_t bins) {
+  const double lo = stats.Min(dim);
+  // Widen the top edge so the maximum falls inside the last bin.
+  const double span = stats.Max(dim) - lo;
+  const double hi = stats.Max(dim) + (span > 0 ? span * 1e-9 : 1.0);
+  std::string sql = "SELECT hist(" + column + ", ";
+  AppendDouble(&sql, lo);
+  sql += ", ";
+  AppendDouble(&sql, hi);
+  sql += ", " + std::to_string(bins) + ") FROM " + table;
+  return sql;
+}
+
+}  // namespace nlq::stats

@@ -1,0 +1,65 @@
+#ifndef NLQ_STATS_HISTOGRAM_H_
+#define NLQ_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "stats/sufstats.h"
+#include "udf/udf.h"
+
+namespace nlq::stats {
+
+/// Maximum bins one histogram UDF state holds (fits the 64 KB heap
+/// segment with room to spare).
+inline constexpr size_t kMaxHistogramBins = 1024;
+
+/// An equi-width histogram decoded from the hist() aggregate UDF.
+/// The paper notes the nlq UDF "also computes the minimum and maximum
+/// for each dimension, which can be used to detect outliers or build
+/// histograms" — this module is that follow-through: one nlq pass
+/// yields the ranges, a second pass bins each dimension.
+struct Histogram {
+  double lo = 0.0;
+  double hi = 0.0;
+  size_t bins = 0;
+  std::vector<uint64_t> counts;  // bins entries
+  uint64_t below = 0;            // x < lo
+  uint64_t above = 0;            // x >= hi
+
+  double BinWidth() const {
+    return bins == 0 ? 0.0 : (hi - lo) / static_cast<double>(bins);
+  }
+  uint64_t TotalCount() const;
+
+  /// Bin index for a value inside [lo, hi); callers must range-check.
+  size_t BinFor(double x) const;
+
+  /// Parses the packed VARCHAR produced by the hist() UDF:
+  ///   "lo|hi|bins|c0;c1;...|below|above"
+  static StatusOr<Histogram> FromPackedString(std::string_view packed);
+};
+
+/// Registers the histogram aggregate UDF and the outlier scalar UDF:
+///
+///   hist(x, lo, hi, bins) -> VARCHAR
+///     Equi-width histogram of x over [lo, hi) with `bins` buckets;
+///     out-of-range values are tallied in below/above. lo, hi and
+///     bins must be constant across rows (first row fixes them).
+///
+///   zscore(x, mu, sigma) -> DOUBLE
+///     |x - mu| / sigma; with mu, sigma from the nlq statistics this
+///     scores outliers in one scan.
+Status RegisterHistogramUdfs(udf::UdfRegistry* registry);
+
+/// Builds the hist() call SQL for dimension column `column` using the
+/// min/max tracked by `stats` for dimension index `dim` (slightly
+/// widened so the max lands inside the last bin).
+std::string HistogramQuery(const std::string& table,
+                           const std::string& column, const SufStats& stats,
+                           size_t dim, size_t bins);
+
+}  // namespace nlq::stats
+
+#endif  // NLQ_STATS_HISTOGRAM_H_

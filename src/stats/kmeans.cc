@@ -1,0 +1,182 @@
+#include "stats/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/random.h"
+
+namespace nlq::stats {
+
+size_t KMeansModel::NearestCentroid(const double* x) const {
+  size_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (size_t j = 0; j < k; ++j) {
+    const double dist = SquaredDistanceTo(x, j);
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = j;
+    }
+  }
+  return best;
+}
+
+double KMeansModel::SquaredDistanceTo(const double* x, size_t j) const {
+  double dist = 0.0;
+  for (size_t a = 0; a < d; ++a) {
+    const double diff = x[a] - centroids(j, a);
+    dist += diff * diff;
+  }
+  return dist;
+}
+
+double KMeansModel::SumSquaredError(
+    const std::vector<linalg::Vector>& points) const {
+  double sse = 0.0;
+  for (const auto& p : points) {
+    sse += SquaredDistanceTo(p.data(), NearestCentroid(p.data()));
+  }
+  return sse;
+}
+
+Status UpdateClusterFromStats(const SufStats& cluster_stats, double total_n,
+                              size_t j, KMeansModel* model) {
+  if (cluster_stats.d() != model->d) {
+    return Status::InvalidArgument("cluster stats dimensionality mismatch");
+  }
+  if (j >= model->k) {
+    return Status::InvalidArgument("cluster index out of range");
+  }
+  const double nj = cluster_stats.n();
+  model->counts[j] = nj;
+  model->weights[j] = total_n > 0.0 ? nj / total_n : 0.0;
+  if (nj <= 0.0) return Status::OK();  // empty cluster keeps its centroid
+  for (size_t a = 0; a < model->d; ++a) {
+    const double cja = cluster_stats.L(a) / nj;
+    model->centroids(j, a) = cja;
+    // R_j = Q_j / N_j − C_j C_jᵀ restricted to the diagonal.
+    model->radii(j, a) =
+        std::max(0.0, cluster_stats.Q(a, a) / nj - cja * cja);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+KMeansModel MakeEmptyModel(size_t d, size_t k) {
+  KMeansModel model;
+  model.d = d;
+  model.k = k;
+  model.centroids = linalg::Matrix(k, d);
+  model.radii = linalg::Matrix(k, d);
+  model.weights.assign(k, 0.0);
+  model.counts.assign(k, 0.0);
+  return model;
+}
+
+/// k-means++ seeding: the first centroid uniform, each subsequent one
+/// sampled with probability proportional to its squared distance to
+/// the nearest chosen centroid. Avoids the classic failure of two
+/// uniform seeds landing in the same blob.
+void SeedCentroids(const std::vector<linalg::Vector>& points, Random* rng,
+                   KMeansModel* model) {
+  const size_t d = model->d;
+  std::vector<double> min_dist(points.size(),
+                               std::numeric_limits<double>::infinity());
+  size_t first = rng->NextUint64(points.size());
+  for (size_t a = 0; a < d; ++a) model->centroids(0, a) = points[first][a];
+
+  for (size_t j = 1; j < model->k; ++j) {
+    // Refresh distances to the newest centroid.
+    double total = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      const double dist = model->SquaredDistanceTo(points[i].data(), j - 1);
+      if (dist < min_dist[i]) min_dist[i] = dist;
+      total += min_dist[i];
+    }
+    size_t pick = 0;
+    if (total > 0.0) {
+      double target = rng->NextDouble() * total;
+      for (size_t i = 0; i < points.size(); ++i) {
+        target -= min_dist[i];
+        if (target <= 0.0) {
+          pick = i;
+          break;
+        }
+      }
+    } else {
+      pick = rng->NextUint64(points.size());  // all points identical
+    }
+    for (size_t a = 0; a < d; ++a) model->centroids(j, a) = points[pick][a];
+  }
+}
+
+StatusOr<KMeansModel> FitIncremental(
+    const std::vector<linalg::Vector>& points, KMeansModel model) {
+  // One pass: online update of the nearest centroid per point, with
+  // per-cluster running sums for the radii.
+  const size_t d = model.d;
+  std::vector<SufStats> cluster_stats(
+      model.k, SufStats(d, MatrixKind::kDiagonal));
+  for (const auto& p : points) {
+    const size_t j = model.NearestCentroid(p.data());
+    cluster_stats[j].Update(p.data());
+    const double nj = cluster_stats[j].n();
+    for (size_t a = 0; a < d; ++a) {
+      // Online mean: C += (x − C) / N_j.
+      model.centroids(j, a) += (p[a] - model.centroids(j, a)) / nj;
+    }
+  }
+  for (size_t j = 0; j < model.k; ++j) {
+    NLQ_RETURN_IF_ERROR(UpdateClusterFromStats(
+        cluster_stats[j], static_cast<double>(points.size()), j, &model));
+  }
+  return model;
+}
+
+}  // namespace
+
+StatusOr<KMeansModel> FitKMeans(const std::vector<linalg::Vector>& points,
+                                const KMeansOptions& options) {
+  if (points.empty()) {
+    return Status::InvalidArgument("K-means needs at least one point");
+  }
+  if (options.k == 0) {
+    return Status::InvalidArgument("K-means needs k >= 1");
+  }
+  const size_t d = points[0].size();
+  KMeansModel model = MakeEmptyModel(d, options.k);
+  Random rng(options.seed);
+  SeedCentroids(points, &rng, &model);
+
+  if (options.incremental) {
+    return FitIncremental(points, std::move(model));
+  }
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // E step folds every point into its nearest cluster's diagonal
+    // sufficient statistics (one scan); M step rebuilds C, R, W.
+    std::vector<SufStats> cluster_stats(
+        options.k, SufStats(d, MatrixKind::kDiagonal));
+    for (const auto& p : points) {
+      cluster_stats[model.NearestCentroid(p.data())].Update(p.data());
+    }
+    linalg::Matrix old_centroids = model.centroids;
+    for (size_t j = 0; j < options.k; ++j) {
+      NLQ_RETURN_IF_ERROR(UpdateClusterFromStats(
+          cluster_stats[j], static_cast<double>(points.size()), j, &model));
+    }
+    double max_move = 0.0;
+    for (size_t j = 0; j < options.k; ++j) {
+      double move = 0.0;
+      for (size_t a = 0; a < d; ++a) {
+        const double diff = model.centroids(j, a) - old_centroids(j, a);
+        move += diff * diff;
+      }
+      max_move = std::max(max_move, std::sqrt(move));
+    }
+    if (max_move < options.tolerance) break;
+  }
+  return model;
+}
+
+}  // namespace nlq::stats

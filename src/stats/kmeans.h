@@ -1,0 +1,65 @@
+#ifndef NLQ_STATS_KMEANS_H_
+#define NLQ_STATS_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "stats/sufstats.h"
+
+namespace nlq::stats {
+
+/// K-means clustering model (Section 3.1): centroids C (d x k),
+/// per-dimension radii/variances R (diagonal, d x k) and weights W.
+/// Stored row-per-cluster here for cache-friendly scoring.
+struct KMeansModel {
+  size_t d = 0;
+  size_t k = 0;
+  linalg::Matrix centroids;  // k x d; row j = C_j
+  linalg::Matrix radii;      // k x d; row j = diag(R_j)
+  linalg::Vector weights;    // k; W_j = N_j / n
+  linalg::Vector counts;     // k; N_j
+
+  /// 0-based index of the nearest centroid (squared Euclidean).
+  size_t NearestCentroid(const double* x) const;
+  size_t NearestCentroid(const linalg::Vector& x) const {
+    return NearestCentroid(x.data());
+  }
+
+  /// Squared distance from x to centroid j.
+  double SquaredDistanceTo(const double* x, size_t j) const;
+
+  /// Total within-cluster squared error of the model over `points`.
+  double SumSquaredError(const std::vector<linalg::Vector>& points) const;
+};
+
+struct KMeansOptions {
+  size_t k = 8;
+  size_t max_iterations = 20;
+  /// Stop when the max centroid movement (L2) drops below this.
+  double tolerance = 1e-6;
+  uint64_t seed = 42;
+  /// Incremental mode: one pass over the data, assigning each point
+  /// to the nearest centroid of the running model and updating that
+  /// centroid online (the paper's "incremental versions that can get
+  /// a good, but probably suboptimal, solution in ... one iteration").
+  bool incremental = false;
+};
+
+/// In-memory K-means (Lloyd iterations over per-cluster sufficient
+/// statistics: each iteration folds points into per-cluster
+/// (N_j, L_j, Q_j diag) and recomputes C_j = L_j/N_j,
+/// R_j = Q_j/N_j − C_j² — exactly the paper's GROUP BY computation).
+StatusOr<KMeansModel> FitKMeans(const std::vector<linalg::Vector>& points,
+                                const KMeansOptions& options);
+
+/// Rebuilds (C_j, R_j, W_j) for one cluster from its diagonal
+/// sufficient statistics; used by both the in-memory fit and the
+/// DBMS-driven loop in miner.cc.
+Status UpdateClusterFromStats(const SufStats& cluster_stats, double total_n,
+                              size_t j, KMeansModel* model);
+
+}  // namespace nlq::stats
+
+#endif  // NLQ_STATS_KMEANS_H_

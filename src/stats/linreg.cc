@@ -1,0 +1,99 @@
+#include "stats/linreg.h"
+
+#include <cmath>
+#include <limits>
+
+#include "linalg/cholesky.h"
+#include "linalg/lu.h"
+
+namespace nlq::stats {
+
+double LinearRegressionModel::Predict(const double* x) const {
+  double yhat = beta[0];
+  for (size_t a = 0; a < d; ++a) yhat += beta[a + 1] * x[a];
+  return yhat;
+}
+
+double LinearRegressionModel::StdError(size_t i) const {
+  return std::sqrt(std::max(0.0, var_beta(i, i)));
+}
+
+double LinearRegressionModel::TStatistic(size_t i) const {
+  const double se = StdError(i);
+  if (se <= 0.0) {
+    return beta[i] == 0.0 ? 0.0
+                          : std::numeric_limits<double>::infinity();
+  }
+  return beta[i] / se;
+}
+
+StatusOr<LinearRegressionModel> FitLinearRegression(const SufStats& stats) {
+  return FitRidgeRegression(stats, 0.0);
+}
+
+StatusOr<LinearRegressionModel> FitRidgeRegression(const SufStats& stats,
+                                                   double lambda) {
+  if (lambda < 0.0) {
+    return Status::InvalidArgument("ridge penalty must be non-negative");
+  }
+  if (stats.kind() == MatrixKind::kDiagonal) {
+    return Status::InvalidArgument(
+        "linear regression requires a triangular or full Q");
+  }
+  if (stats.d() < 2) {
+    return Status::InvalidArgument(
+        "regression stats must cover at least one predictor plus Y");
+  }
+  const size_t d = stats.d() - 1;  // last dimension is Y
+  const double n = stats.n();
+  if (n <= static_cast<double>(d) + 1.0) {
+    return Status::InvalidArgument(
+        "linear regression needs n > d + 1 observations");
+  }
+
+  // Assemble A = augmented X Xᵀ (with the implicit X0 = 1 row) and
+  // b = augmented X Yᵀ from the sufficient statistics.
+  linalg::Matrix a(d + 1, d + 1);
+  linalg::Vector b(d + 1);
+  a(0, 0) = n;
+  b[0] = stats.L(d);  // Σ y
+  for (size_t i = 0; i < d; ++i) {
+    a(0, i + 1) = stats.L(i);
+    a(i + 1, 0) = stats.L(i);
+    b[i + 1] = stats.Q(i, d);  // Σ xᵢ y
+    for (size_t j = 0; j < d; ++j) a(i + 1, j + 1) = stats.Q(i, j);
+    a(i + 1, i + 1) += lambda;  // unpenalized intercept: row/col 0 untouched
+  }
+
+  LinearRegressionModel model;
+  model.d = d;
+  model.n = n;
+
+  // Prefer Cholesky (A is SPD when X has full rank); fall back to LU
+  // for borderline-conditioned inputs.
+  StatusOr<linalg::CholeskyDecomposition> chol =
+      linalg::CholeskyDecomposition::Compute(a);
+  linalg::Matrix a_inv;
+  if (chol.ok()) {
+    NLQ_ASSIGN_OR_RETURN(model.beta, chol->Solve(b));
+    NLQ_ASSIGN_OR_RETURN(a_inv, chol->Inverse());
+  } else {
+    NLQ_ASSIGN_OR_RETURN(linalg::LuDecomposition lu,
+                         linalg::LuDecomposition::Compute(a));
+    NLQ_ASSIGN_OR_RETURN(model.beta, lu.Solve(b));
+    NLQ_ASSIGN_OR_RETURN(a_inv, lu.Inverse());
+  }
+
+  // SSE = Q_yy − βᵀ b; guard against tiny negative round-off.
+  const double q_yy = stats.Q(d, d);
+  model.sse = std::max(0.0, q_yy - linalg::Dot(model.beta, b));
+  model.sst = std::max(0.0, q_yy - stats.L(d) * stats.L(d) / n);
+  model.r2 = model.sst > 0.0 ? 1.0 - model.sse / model.sst : 0.0;
+
+  // var(β) = (X Xᵀ)⁻¹ SSE / (n − d − 1)   (Section 3.1).
+  const double dof = n - static_cast<double>(d) - 1.0;
+  model.var_beta = a_inv * (model.sse / dof);
+  return model;
+}
+
+}  // namespace nlq::stats

@@ -1,0 +1,56 @@
+#ifndef NLQ_STATS_LINREG_H_
+#define NLQ_STATS_LINREG_H_
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "stats/sufstats.h"
+
+namespace nlq::stats {
+
+/// Linear regression model Y = β₀ + βᵀx fitted by least squares from
+/// sufficient statistics alone (Section 3.2: "β = Q⁻¹ (X Yᵀ)").
+struct LinearRegressionModel {
+  size_t d = 0;          // number of predictor dimensions
+  double n = 0.0;        // training rows
+  linalg::Vector beta;   // d+1 coefficients; beta[0] is the intercept β₀
+  linalg::Matrix var_beta;  // (d+1)x(d+1) variance-covariance of β
+  double sse = 0.0;      // Σ (yᵢ − ŷᵢ)²
+  double sst = 0.0;      // Σ (yᵢ − ȳ)²
+  double r2 = 0.0;       // 1 − SSE/SST
+
+  /// ŷ = β₀ + Σ βₐ xₐ for a d-vector.
+  double Predict(const double* x) const;
+  double Predict(const linalg::Vector& x) const { return Predict(x.data()); }
+
+  /// Standard error of coefficient i (sqrt of var_beta diagonal).
+  double StdError(size_t i) const;
+
+  /// t-statistic βᵢ / se(βᵢ); infinite when the fit is exact.
+  double TStatistic(size_t i) const;
+};
+
+/// Fits from SufStats computed over the augmented point z = (x, y):
+/// `stats.d()` must be d+1 with the dependent variable Y as the LAST
+/// dimension, and the kind must be triangular or full.
+///
+/// The normal-equation system is assembled from (n, L, Q):
+///   A = [[n, Lₓᵀ], [Lₓ, Qₓₓ]],  b = [L_y, Q_{x,y}],  A β = b.
+/// SSE follows without the paper's second data scan because
+/// Σ(y−ŷ)² = Q_yy − βᵀb when β solves the normal equations exactly
+/// (the paper rescans X since its UDF returns only the packed
+/// matrices; the closed form is algebraically identical).
+StatusOr<LinearRegressionModel> FitLinearRegression(const SufStats& stats);
+
+/// Ridge (L2-regularized) regression from the same statistics:
+/// β = (X Xᵀ + λ I')⁻¹ X Yᵀ with I' the identity except a zero in the
+/// intercept position (the intercept is conventionally unpenalized).
+/// λ = 0 reduces to FitLinearRegression; small λ also stabilizes
+/// nearly-collinear predictors. sse/sst/r2 are reported for the
+/// regularized coefficients; var_beta uses the classical formula with
+/// the regularized inverse (an approximation, as usual for ridge).
+StatusOr<LinearRegressionModel> FitRidgeRegression(const SufStats& stats,
+                                                   double lambda);
+
+}  // namespace nlq::stats
+
+#endif  // NLQ_STATS_LINREG_H_

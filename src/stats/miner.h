@@ -1,0 +1,102 @@
+#ifndef NLQ_STATS_MINER_H_
+#define NLQ_STATS_MINER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/database.h"
+#include "stats/em.h"
+#include "stats/kmeans.h"
+#include "stats/linreg.h"
+#include "stats/pca.h"
+#include "stats/sqlgen.h"
+#include "stats/sufstats.h"
+
+namespace nlq::stats {
+
+/// How the in-DBMS pass computing n, L, Q is executed — the
+/// implementation alternatives the paper compares.
+enum class ComputeVia {
+  kSql,        // one long interpreted SQL query (1 + d + |Q| SUM terms)
+  kUdfList,    // aggregate UDF, list parameter passing
+  kUdfString,  // aggregate UDF, string parameter passing
+  kBlocks,     // partitioned nlq_block calls (d > kMaxUdfDims)
+};
+
+/// High-level analytics facade — the role Teradata Warehouse Miner
+/// plays in the paper: it generates SQL/UDF statements, runs them
+/// against the engine, and finishes the (tiny) model math client-side
+/// with the linalg library.
+class WarehouseMiner {
+ public:
+  explicit WarehouseMiner(engine::Database* db) : db_(db) {}
+
+  engine::Database* db() const { return db_; }
+
+  /// One-scan computation of (n, L, Q) over `columns` of `table`.
+  StatusOr<SufStats> ComputeSufStats(const std::string& table,
+                                     const std::vector<std::string>& columns,
+                                     MatrixKind kind, ComputeVia via);
+
+  /// GROUP BY variant: one SufStats per integer group value of
+  /// `group_expr` (e.g. "j" or "i % 16"). kBlocks is not supported.
+  StatusOr<std::map<int64_t, SufStats>> ComputeGroupedSufStats(
+      const std::string& table, const std::vector<std::string>& columns,
+      MatrixKind kind, ComputeVia via, const std::string& group_expr);
+
+  /// Correlation matrix ρ over X1..Xd of `table`.
+  StatusOr<linalg::Matrix> BuildCorrelation(const std::string& table, size_t d,
+                                            ComputeVia via);
+
+  /// Linear regression of `y_column` on `x_columns`.
+  StatusOr<LinearRegressionModel> BuildLinearRegression(
+      const std::string& table, const std::vector<std::string>& x_columns,
+      const std::string& y_column, ComputeVia via);
+
+  /// PCA with k components over X1..Xd.
+  StatusOr<PcaModel> BuildPca(const std::string& table, size_t d, size_t k,
+                              ComputeVia via,
+                              PcaInput input = PcaInput::kCorrelation);
+
+  /// DBMS-driven K-means: every iteration is ONE scan — a GROUP BY
+  /// query whose group key is the clusterscore(...) nearest-centroid
+  /// UDF expression and whose aggregate is nlq_list('diag', ...),
+  /// exactly the paper's "recompute centroids and radiuses" usage.
+  /// Temporary centroid tables are named <table>_KMC.
+  StatusOr<KMeansModel> BuildKMeansInDbms(const std::string& table, size_t d,
+                                          const KMeansOptions& options);
+
+  /// In-DBMS classification-EM clustering (the hard-assignment EM of
+  /// the paper's SQLEM lineage): like BuildKMeansInDbms, but each
+  /// iteration assigns rows to the component with the highest
+  /// posterior — clusterscore over gaussnll(x, μ_j, σ²_j) − ln W_j —
+  /// and refits (μ, σ², W) from the grouped diagonal statistics.
+  /// Still ONE scan per iteration. Temporary tables <table>_EM*.
+  StatusOr<GaussianMixtureModel> BuildGaussianMixtureInDbms(
+      const std::string& table, size_t d, const EmOptions& options);
+
+  /// Scoring (Section 3.5): each writes `out_table` (replacing it)
+  /// with one scored row per input row, in a single scan (clustering
+  /// SQL needs the paper's two scans).
+  Status ScoreLinearRegression(const std::string& x_table,
+                               const LinearRegressionModel& model,
+                               const std::string& out_table, bool use_udf);
+
+  Status ScorePca(const std::string& x_table, const PcaModel& model,
+                  const std::string& out_table, bool use_udf);
+
+  Status ScoreKMeans(const std::string& x_table, const KMeansModel& model,
+                     const std::string& out_table, bool use_udf);
+
+ private:
+  StatusOr<SufStats> ComputeViaBlocks(const std::string& table,
+                                      const std::vector<std::string>& columns);
+
+  engine::Database* db_;
+};
+
+}  // namespace nlq::stats
+
+#endif  // NLQ_STATS_MINER_H_

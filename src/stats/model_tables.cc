@@ -1,0 +1,165 @@
+#include "stats/model_tables.h"
+
+#include "common/strings.h"
+
+namespace nlq::stats {
+namespace {
+
+std::string DimColumnsDdl(size_t d) {
+  std::string out;
+  for (size_t a = 1; a <= d; ++a) {
+    out += StringPrintf(", X%zu DOUBLE", a);
+  }
+  return out;
+}
+
+void AppendValues(std::string* sql, const double* values, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    if (i > 0) *sql += ", ";
+    AppendDouble(sql, values[i]);
+  }
+}
+
+}  // namespace
+
+Status DropTableIfExists(engine::Database* db, const std::string& name) {
+  if (!db->catalog().HasTable(name)) return Status::OK();
+  return db->ExecuteCommand("DROP TABLE " + name);
+}
+
+Status StoreBetaTable(engine::Database* db, const std::string& name,
+                      const LinearRegressionModel& model) {
+  NLQ_RETURN_IF_ERROR(DropTableIfExists(db, name));
+  std::string ddl = "CREATE TABLE " + name + " (b0 DOUBLE";
+  for (size_t a = 1; a <= model.d; ++a) {
+    ddl += StringPrintf(", b%zu DOUBLE", a);
+  }
+  ddl += ")";
+  NLQ_RETURN_IF_ERROR(db->ExecuteCommand(ddl));
+
+  std::string insert = "INSERT INTO " + name + " VALUES (";
+  AppendValues(&insert, model.beta.data(), model.beta.size());
+  insert += ")";
+  return db->ExecuteCommand(insert);
+}
+
+StatusOr<linalg::Vector> LoadBetaTable(engine::Database* db,
+                                       const std::string& name) {
+  NLQ_ASSIGN_OR_RETURN(engine::ResultSet result,
+                       db->Execute("SELECT * FROM " + name));
+  if (result.num_rows() != 1) {
+    return Status::InvalidArgument("BETA table must have exactly one row");
+  }
+  linalg::Vector beta(result.num_columns());
+  for (size_t c = 0; c < result.num_columns(); ++c) {
+    beta[c] = result.GetDouble(0, c);
+  }
+  return beta;
+}
+
+Status StorePcaTables(engine::Database* db, const std::string& mu_name,
+                      const std::string& lambda_name, const PcaModel& model) {
+  NLQ_RETURN_IF_ERROR(DropTableIfExists(db, mu_name));
+  NLQ_RETURN_IF_ERROR(DropTableIfExists(db, lambda_name));
+
+  std::string mu_ddl =
+      "CREATE TABLE " + mu_name + " (" + DimColumnsDdl(model.d).substr(2) + ")";
+  NLQ_RETURN_IF_ERROR(db->ExecuteCommand(mu_ddl));
+  std::string mu_insert = "INSERT INTO " + mu_name + " VALUES (";
+  AppendValues(&mu_insert, model.mu.data(), model.mu.size());
+  mu_insert += ")";
+  NLQ_RETURN_IF_ERROR(db->ExecuteCommand(mu_insert));
+
+  std::string lambda_ddl =
+      "CREATE TABLE " + lambda_name + " (j BIGINT" + DimColumnsDdl(model.d) +
+      ")";
+  NLQ_RETURN_IF_ERROR(db->ExecuteCommand(lambda_ddl));
+  for (size_t j = 0; j < model.k; ++j) {
+    std::string insert =
+        "INSERT INTO " + lambda_name + StringPrintf(" VALUES (%zu", j + 1);
+    for (size_t a = 0; a < model.d; ++a) {
+      insert += ", ";
+      double entry = model.lambda(a, j);
+      if (model.input == PcaInput::kCorrelation && model.sigma[a] > 0.0) {
+        entry /= model.sigma[a];  // fold the 1/σ centering scale in
+      }
+      AppendDouble(&insert, entry);
+    }
+    insert += ")";
+    NLQ_RETURN_IF_ERROR(db->ExecuteCommand(insert));
+  }
+  return Status::OK();
+}
+
+Status StoreClusterTables(engine::Database* db, const std::string& c_name,
+                          const std::string& r_name, const std::string& w_name,
+                          const KMeansModel& model) {
+  NLQ_RETURN_IF_ERROR(DropTableIfExists(db, c_name));
+  NLQ_RETURN_IF_ERROR(DropTableIfExists(db, r_name));
+  NLQ_RETURN_IF_ERROR(DropTableIfExists(db, w_name));
+
+  for (const std::string* name : {&c_name, &r_name}) {
+    NLQ_RETURN_IF_ERROR(db->ExecuteCommand(
+        "CREATE TABLE " + *name + " (j BIGINT" + DimColumnsDdl(model.d) + ")"));
+  }
+  NLQ_RETURN_IF_ERROR(
+      db->ExecuteCommand("CREATE TABLE " + w_name + " (j BIGINT, w DOUBLE)"));
+
+  for (size_t j = 0; j < model.k; ++j) {
+    std::string c_insert =
+        "INSERT INTO " + c_name + StringPrintf(" VALUES (%zu", j + 1);
+    std::string r_insert =
+        "INSERT INTO " + r_name + StringPrintf(" VALUES (%zu", j + 1);
+    for (size_t a = 0; a < model.d; ++a) {
+      c_insert += ", ";
+      AppendDouble(&c_insert, model.centroids(j, a));
+      r_insert += ", ";
+      AppendDouble(&r_insert, model.radii(j, a));
+    }
+    NLQ_RETURN_IF_ERROR(db->ExecuteCommand(c_insert + ")"));
+    NLQ_RETURN_IF_ERROR(db->ExecuteCommand(r_insert + ")"));
+    std::string w_insert =
+        "INSERT INTO " + w_name + StringPrintf(" VALUES (%zu, ", j + 1);
+    AppendDouble(&w_insert, model.weights[j]);
+    NLQ_RETURN_IF_ERROR(db->ExecuteCommand(w_insert + ")"));
+  }
+  return Status::OK();
+}
+
+StatusOr<KMeansModel> LoadClusterTables(engine::Database* db,
+                                        const std::string& c_name,
+                                        const std::string& r_name,
+                                        const std::string& w_name) {
+  NLQ_ASSIGN_OR_RETURN(engine::ResultSet c_rows,
+                       db->Execute("SELECT * FROM " + c_name + " ORDER BY j"));
+  NLQ_ASSIGN_OR_RETURN(engine::ResultSet r_rows,
+                       db->Execute("SELECT * FROM " + r_name + " ORDER BY j"));
+  NLQ_ASSIGN_OR_RETURN(engine::ResultSet w_rows,
+                       db->Execute("SELECT * FROM " + w_name + " ORDER BY j"));
+  const size_t k = c_rows.num_rows();
+  if (k == 0 || c_rows.num_columns() < 2) {
+    return Status::InvalidArgument("empty or malformed centroid table");
+  }
+  const size_t d = c_rows.num_columns() - 1;
+  if (r_rows.num_rows() != k || w_rows.num_rows() != k) {
+    return Status::InvalidArgument("cluster tables disagree on k");
+  }
+
+  KMeansModel model;
+  model.d = d;
+  model.k = k;
+  model.centroids = linalg::Matrix(k, d);
+  model.radii = linalg::Matrix(k, d);
+  model.weights.assign(k, 0.0);
+  model.counts.assign(k, 0.0);
+  for (size_t j = 0; j < k; ++j) {
+    for (size_t a = 0; a < d; ++a) {
+      model.centroids(j, a) = c_rows.GetDouble(j, a + 1);
+      model.radii(j, a) = r_rows.GetDouble(j, a + 1);
+    }
+    model.weights[j] = w_rows.GetDouble(j, 1);
+  }
+  return model;
+}
+
+}  // namespace nlq::stats

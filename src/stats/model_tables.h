@@ -1,0 +1,50 @@
+#ifndef NLQ_STATS_MODEL_TABLES_H_
+#define NLQ_STATS_MODEL_TABLES_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "engine/database.h"
+#include "stats/kmeans.h"
+#include "stats/linreg.h"
+#include "stats/pca.h"
+
+namespace nlq::stats {
+
+/// Drops `name` if it exists (idempotent model refresh).
+Status DropTableIfExists(engine::Database* db, const std::string& name);
+
+/// Stores β as the paper's single-row layout BETA(b0, b1, ..., bd)
+/// ("this table layout allows retrieving all coefficients in a single
+/// I/O"). Replaces any existing table.
+Status StoreBetaTable(engine::Database* db, const std::string& name,
+                      const LinearRegressionModel& model);
+
+/// Loads the d+1 coefficients back (b0 first).
+StatusOr<linalg::Vector> LoadBetaTable(engine::Database* db,
+                                       const std::string& name);
+
+/// Stores the PCA scoring tables:
+///   MU(X1..Xd)        — one row, the mean;
+///   LAMBDA(j, X1..Xd) — k rows, row j = component j.
+/// For correlation-based PCA the 1/σ scaling is folded into the
+/// stored component entries so the fascore UDF's Λᵀ(x − μ) matches
+/// PcaModel::Score exactly.
+Status StorePcaTables(engine::Database* db, const std::string& mu_name,
+                      const std::string& lambda_name, const PcaModel& model);
+
+/// Stores the clustering tables C(j, X1..Xd), R(j, X1..Xd) and
+/// W(j, w). Replaces existing tables.
+Status StoreClusterTables(engine::Database* db, const std::string& c_name,
+                          const std::string& r_name, const std::string& w_name,
+                          const KMeansModel& model);
+
+/// Reloads a KMeansModel from its three tables.
+StatusOr<KMeansModel> LoadClusterTables(engine::Database* db,
+                                        const std::string& c_name,
+                                        const std::string& r_name,
+                                        const std::string& w_name);
+
+}  // namespace nlq::stats
+
+#endif  // NLQ_STATS_MODEL_TABLES_H_

@@ -1,0 +1,209 @@
+#include "stats/naive_bayes.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/strings.h"
+#include "stats/model_tables.h"
+
+namespace nlq::stats {
+
+using storage::DataType;
+using storage::Datum;
+
+namespace {
+
+constexpr double kLog2Pi = 1.8378770664093453;
+
+class GaussNllUdf : public udf::ScalarUdf {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "gaussnll";
+    return kName;
+  }
+  DataType return_type() const override { return DataType::kDouble; }
+
+  Status CheckArity(size_t num_args) const override {
+    if (num_args < 3 || num_args % 3 != 0) {
+      return Status::InvalidArgument(
+          "gaussnll(X1..Xd, mu1..mud, var1..vard) needs 3d arguments");
+    }
+    return Status::OK();
+  }
+
+  StatusOr<Datum> Invoke(const std::vector<Datum>& args) const override {
+    const size_t d = args.size() / 3;
+    double nll = 0.5 * static_cast<double>(d) * kLog2Pi;
+    for (size_t a = 0; a < d; ++a) {
+      const double var = args[2 * d + a].AsDouble();
+      if (var <= 0.0) {
+        return Status::InvalidArgument("gaussnll: variance must be positive");
+      }
+      const double diff = args[a].AsDouble() - args[d + a].AsDouble();
+      nll += 0.5 * (std::log(var) + diff * diff / var);
+    }
+    return Datum::Double(nll);
+  }
+};
+
+}  // namespace
+
+double NaiveBayesModel::LogJoint(const double* x, size_t j) const {
+  double log_joint = std::log(std::max(priors[j], 1e-300));
+  for (size_t a = 0; a < d; ++a) {
+    const double var = variances(j, a);
+    const double diff = x[a] - means(j, a);
+    log_joint -= 0.5 * (kLog2Pi + std::log(var) + diff * diff / var);
+  }
+  return log_joint;
+}
+
+size_t NaiveBayesModel::Classify(const double* x) const {
+  size_t best = 0;
+  double best_joint = -std::numeric_limits<double>::infinity();
+  for (size_t j = 0; j < k; ++j) {
+    const double joint = LogJoint(x, j);
+    if (joint > best_joint) {
+      best_joint = joint;
+      best = j;
+    }
+  }
+  return best;
+}
+
+StatusOr<NaiveBayesModel> FitNaiveBayes(
+    const std::map<int64_t, SufStats>& per_class, double variance_floor) {
+  if (per_class.empty()) {
+    return Status::InvalidArgument("naive Bayes needs at least one class");
+  }
+  NaiveBayesModel model;
+  model.k = per_class.size();
+  model.d = per_class.begin()->second.d();
+  model.means = linalg::Matrix(model.k, model.d);
+  model.variances = linalg::Matrix(model.k, model.d);
+  model.priors.assign(model.k, 0.0);
+
+  double total_n = 0.0;
+  for (const auto& [label, stats] : per_class) total_n += stats.n();
+  if (total_n <= 0.0) {
+    return Status::InvalidArgument("naive Bayes needs training rows");
+  }
+
+  size_t j = 0;
+  for (const auto& [label, stats] : per_class) {
+    if (stats.d() != model.d) {
+      return Status::InvalidArgument(
+          "per-class statistics disagree on dimensionality");
+    }
+    if (stats.n() <= 0.0) {
+      return Status::InvalidArgument(StringPrintf(
+          "class %lld has no training rows", static_cast<long long>(label)));
+    }
+    model.class_labels.push_back(label);
+    model.priors[j] = stats.n() / total_n;
+    for (size_t a = 0; a < model.d; ++a) {
+      const double mean = stats.L(a) / stats.n();
+      model.means(j, a) = mean;
+      model.variances(j, a) = std::max(
+          variance_floor, stats.Q(a, a) / stats.n() - mean * mean);
+    }
+    ++j;
+  }
+  return model;
+}
+
+Status RegisterNaiveBayesUdfs(udf::UdfRegistry* registry) {
+  return registry->RegisterScalar(std::make_unique<GaussNllUdf>());
+}
+
+Status StoreNaiveBayesTable(engine::Database* db, const std::string& name,
+                            const NaiveBayesModel& model) {
+  NLQ_RETURN_IF_ERROR(DropTableIfExists(db, name));
+  std::string ddl = "CREATE TABLE " + name + " (j BIGINT, prior DOUBLE";
+  for (size_t a = 1; a <= model.d; ++a) {
+    ddl += StringPrintf(", M%zu DOUBLE", a);
+  }
+  for (size_t a = 1; a <= model.d; ++a) {
+    ddl += StringPrintf(", V%zu DOUBLE", a);
+  }
+  ddl += ")";
+  NLQ_RETURN_IF_ERROR(db->ExecuteCommand(ddl));
+
+  for (size_t j = 0; j < model.k; ++j) {
+    std::string insert =
+        "INSERT INTO " + name + StringPrintf(" VALUES (%zu, ", j + 1);
+    AppendDouble(&insert, model.priors[j]);
+    for (size_t a = 0; a < model.d; ++a) {
+      insert += ", ";
+      AppendDouble(&insert, model.means(j, a));
+    }
+    for (size_t a = 0; a < model.d; ++a) {
+      insert += ", ";
+      AppendDouble(&insert, model.variances(j, a));
+    }
+    insert += ")";
+    NLQ_RETURN_IF_ERROR(db->ExecuteCommand(insert));
+  }
+  return Status::OK();
+}
+
+std::string NaiveBayesScoreUdfQuery(const std::string& x_table,
+                                    const std::string& nb_table, size_t d,
+                                    size_t k, const std::string& id_column) {
+  std::string sql = "SELECT " + id_column + ", clusterscore(";
+  for (size_t j = 1; j <= k; ++j) {
+    if (j > 1) sql += ", ";
+    sql += "gaussnll(";
+    for (size_t a = 1; a <= d; ++a) {
+      if (a > 1) sql += ", ";
+      sql += StringPrintf("%s.X%zu", x_table.c_str(), a);
+    }
+    for (size_t a = 1; a <= d; ++a) {
+      sql += StringPrintf(", N%zu.M%zu", j, a);
+    }
+    for (size_t a = 1; a <= d; ++a) {
+      sql += StringPrintf(", N%zu.V%zu", j, a);
+    }
+    sql += StringPrintf(") - ln(N%zu.prior)", j);
+  }
+  sql += ") AS j FROM " + x_table;
+  for (size_t j = 1; j <= k; ++j) {
+    sql += StringPrintf(", %s N%zu", nb_table.c_str(), j);
+  }
+  sql += " WHERE ";
+  for (size_t j = 1; j <= k; ++j) {
+    if (j > 1) sql += " AND ";
+    sql += StringPrintf("N%zu.j = %zu", j, j);
+  }
+  return sql;
+}
+
+
+std::string NaiveBayesNllSqlQuery(const std::string& x_table,
+                                  const std::string& nb_table, size_t d,
+                                  size_t k, const std::string& id_column) {
+  std::string sql = "SELECT " + id_column;
+  for (size_t j = 1; j <= k; ++j) {
+    sql += ", 0.5 * (";
+    for (size_t a = 1; a <= d; ++a) {
+      if (a > 1) sql += " + ";
+      sql += StringPrintf(
+          "ln(N%zu.V%zu) + (%s.X%zu - N%zu.M%zu) * (%s.X%zu - N%zu.M%zu) / "
+          "N%zu.V%zu",
+          j, a, x_table.c_str(), a, j, a, x_table.c_str(), a, j, a, j, a);
+    }
+    sql += StringPrintf(") - ln(N%zu.prior) AS d%zu", j, j);
+  }
+  sql += " FROM " + x_table;
+  for (size_t j = 1; j <= k; ++j) {
+    sql += StringPrintf(", %s N%zu", nb_table.c_str(), j);
+  }
+  sql += " WHERE ";
+  for (size_t j = 1; j <= k; ++j) {
+    if (j > 1) sql += " AND ";
+    sql += StringPrintf("N%zu.j = %zu", j, j);
+  }
+  return sql;
+}
+
+}  // namespace nlq::stats

@@ -1,0 +1,82 @@
+#ifndef NLQ_STATS_NAIVE_BAYES_H_
+#define NLQ_STATS_NAIVE_BAYES_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/database.h"
+#include "linalg/matrix.h"
+#include "stats/sufstats.h"
+
+namespace nlq::stats {
+
+/// Gaussian Naive Bayes — the paper's future-work claim made concrete
+/// ("other statistical techniques can benefit from the same approach:
+/// finding matrices that summarize large data sets"). The classifier
+/// is fully determined by per-class diagonal sufficient statistics
+/// (N_j, L_j, Q_j), i.e. ONE grouped aggregate-UDF scan:
+///   prior_j = N_j / n,  mean_j = L_j / N_j,
+///   var_j = Q_j / N_j − mean_j²  (per dimension).
+struct NaiveBayesModel {
+  size_t d = 0;
+  size_t k = 0;                       // number of classes
+  std::vector<int64_t> class_labels;  // original label per class index
+  linalg::Vector priors;              // k
+  linalg::Matrix means;               // k x d
+  linalg::Matrix variances;           // k x d (floored)
+
+  /// log p(class j) + log p(x | class j).
+  double LogJoint(const double* x, size_t j) const;
+
+  /// 0-based index of the most probable class.
+  size_t Classify(const double* x) const;
+  size_t Classify(const linalg::Vector& x) const { return Classify(x.data()); }
+
+  /// The original label of the most probable class.
+  int64_t PredictLabel(const double* x) const {
+    return class_labels[Classify(x)];
+  }
+};
+
+/// Builds the classifier from per-class statistics (e.g. the result of
+/// WarehouseMiner::ComputeGroupedSufStats grouped by the label
+/// column). Classes with no rows are rejected; variances are floored
+/// at `variance_floor`.
+StatusOr<NaiveBayesModel> FitNaiveBayes(
+    const std::map<int64_t, SufStats>& per_class,
+    double variance_floor = 1e-6);
+
+/// Registers gaussnll(x1..xd, mu1..mud, var1..vard) -> DOUBLE, the
+/// negative Gaussian log-likelihood used by the in-engine scoring
+/// query (smaller = more likely).
+Status RegisterNaiveBayesUdfs(udf::UdfRegistry* registry);
+
+/// Stores the model as table NB(j, prior, M1..Md, V1..Vd) with
+/// j = 1..k row indices (labels are a client-side mapping via
+/// `class_labels`). Replaces an existing table.
+Status StoreNaiveBayesTable(engine::Database* db, const std::string& name,
+                            const NaiveBayesModel& model);
+
+/// One-scan scoring query: for each row the k per-class negative
+/// log-joints are computed with gaussnll and the argmin picked with
+/// clusterscore, yielding the 1-based class INDEX as column `j`.
+std::string NaiveBayesScoreUdfQuery(const std::string& x_table,
+                                    const std::string& nb_table, size_t d,
+                                    size_t k,
+                                    const std::string& id_column = "i");
+
+/// Pure-SQL alternative (no gaussnll UDF): one scan materializing the
+/// k per-class negative log-joints d1..dk as interpreted arithmetic,
+/// then pick the argmin with KMeansAssignSqlQuery over the result —
+/// the same two-scan structure the paper measures for clustering SQL.
+std::string NaiveBayesNllSqlQuery(const std::string& x_table,
+                                  const std::string& nb_table, size_t d,
+                                  size_t k,
+                                  const std::string& id_column = "i");
+
+}  // namespace nlq::stats
+
+#endif  // NLQ_STATS_NAIVE_BAYES_H_

@@ -1,0 +1,165 @@
+#include "stats/pca.h"
+
+#include <cmath>
+
+#include "linalg/eigen.h"
+#include "linalg/lu.h"
+
+namespace nlq::stats {
+
+double PcaModel::ExplainedVarianceRatio() const {
+  if (total_variance <= 0.0) return 0.0;
+  double captured = 0.0;
+  for (double ev : eigenvalues) captured += ev;
+  return captured / total_variance;
+}
+
+linalg::Vector PcaModel::Score(const double* x) const {
+  linalg::Vector centered(d);
+  for (size_t a = 0; a < d; ++a) {
+    centered[a] = x[a] - mu[a];
+    if (input == PcaInput::kCorrelation && sigma[a] > 0.0) {
+      centered[a] /= sigma[a];
+    }
+  }
+  linalg::Vector out(k, 0.0);
+  for (size_t j = 0; j < k; ++j) {
+    double sum = 0.0;
+    for (size_t a = 0; a < d; ++a) sum += lambda(a, j) * centered[a];
+    out[j] = sum;
+  }
+  return out;
+}
+
+StatusOr<PcaModel> FitPca(const SufStats& stats, size_t k, PcaInput input) {
+  const size_t d = stats.d();
+  if (k == 0 || k > d) {
+    return Status::InvalidArgument("PCA requires 1 <= k <= d");
+  }
+  linalg::Matrix target;
+  if (input == PcaInput::kCorrelation) {
+    NLQ_ASSIGN_OR_RETURN(target, stats.CorrelationMatrix());
+  } else {
+    NLQ_ASSIGN_OR_RETURN(target, stats.CovarianceMatrix());
+  }
+  NLQ_ASSIGN_OR_RETURN(linalg::EigenDecomposition eig,
+                       linalg::SymmetricEigen(target));
+
+  PcaModel model;
+  model.d = d;
+  model.k = k;
+  model.input = input;
+  model.mu = stats.Mean();
+  model.sigma.assign(d, 1.0);
+  if (input == PcaInput::kCorrelation) {
+    NLQ_ASSIGN_OR_RETURN(linalg::Matrix cov, stats.CovarianceMatrix());
+    for (size_t a = 0; a < d; ++a) {
+      model.sigma[a] = std::sqrt(std::max(0.0, cov(a, a)));
+    }
+  }
+  model.lambda = linalg::Matrix(d, k);
+  model.eigenvalues.resize(k);
+  model.total_variance = 0.0;
+  for (double ev : eig.eigenvalues) model.total_variance += std::max(0.0, ev);
+  for (size_t j = 0; j < k; ++j) {
+    model.eigenvalues[j] = std::max(0.0, eig.eigenvalues[j]);
+    for (size_t a = 0; a < d; ++a) {
+      model.lambda(a, j) = eig.eigenvectors(a, j);
+    }
+  }
+  return model;
+}
+
+StatusOr<FactorAnalysisModel> FitFactorAnalysis(const SufStats& stats,
+                                                size_t k) {
+  NLQ_ASSIGN_OR_RETURN(PcaModel pca,
+                       FitPca(stats, k, PcaInput::kCorrelation));
+  FactorAnalysisModel model;
+  model.d = pca.d;
+  model.k = k;
+  model.loadings = linalg::Matrix(pca.d, k);
+  model.communalities.assign(pca.d, 0.0);
+  model.uniquenesses.assign(pca.d, 0.0);
+  for (size_t j = 0; j < k; ++j) {
+    const double scale = std::sqrt(std::max(0.0, pca.eigenvalues[j]));
+    for (size_t a = 0; a < pca.d; ++a) {
+      model.loadings(a, j) = pca.lambda(a, j) * scale;
+    }
+  }
+  for (size_t a = 0; a < pca.d; ++a) {
+    double communality = 0.0;
+    for (size_t j = 0; j < k; ++j) {
+      communality += model.loadings(a, j) * model.loadings(a, j);
+    }
+    model.communalities[a] = communality;
+    // On the correlation scale each dimension has unit variance.
+    model.uniquenesses[a] = std::max(0.0, 1.0 - communality);
+  }
+  return model;
+}
+
+StatusOr<FactorAnalysisModel> FitFactorAnalysisML(const SufStats& stats,
+                                                  size_t k,
+                                                  size_t max_iterations,
+                                                  double tolerance) {
+  NLQ_ASSIGN_OR_RETURN(linalg::Matrix rho, stats.CorrelationMatrix());
+  const size_t d = stats.d();
+  if (k == 0 || k >= d) {
+    return Status::InvalidArgument(
+        "ML factor analysis requires 1 <= k < d factors");
+  }
+
+  // Initialize Lambda / Psi from the principal-factor solution.
+  NLQ_ASSIGN_OR_RETURN(FactorAnalysisModel init,
+                       FitFactorAnalysis(stats, k));
+  linalg::Matrix lambda = init.loadings;  // d x k
+  linalg::Vector psi = init.uniquenesses; // d
+  for (double& u : psi) u = std::max(u, 1e-4);
+
+  for (size_t iter = 0; iter < max_iterations; ++iter) {
+    // Sigma = Lambda Lambda^T + Psi; beta = Lambda^T Sigma^{-1}.
+    linalg::Matrix sigma = lambda * lambda.Transpose();
+    for (size_t a = 0; a < d; ++a) sigma(a, a) += psi[a];
+    NLQ_ASSIGN_OR_RETURN(linalg::Matrix sigma_inv, linalg::Invert(sigma));
+    const linalg::Matrix beta = lambda.Transpose() * sigma_inv;  // k x d
+
+    // Posterior moments over the data summarized by rho:
+    //   E[z x^T] = beta rho                       (k x d)
+    //   E[z z^T] = I - beta Lambda + beta rho beta^T  (k x k)
+    const linalg::Matrix ezx = beta * rho;
+    linalg::Matrix ezz =
+        linalg::Matrix::Identity(k) - beta * lambda + ezx * beta.Transpose();
+
+    // M step: Lambda = (rho beta^T) E[zz]^{-1};
+    //         Psi    = diag(rho - Lambda beta rho).
+    NLQ_ASSIGN_OR_RETURN(linalg::Matrix ezz_inv, linalg::Invert(ezz));
+    const linalg::Matrix lambda_new = ezx.Transpose() * ezz_inv;  // d x k
+    const linalg::Matrix reconstructed = lambda_new * ezx;        // d x d
+    linalg::Vector psi_new(d);
+    for (size_t a = 0; a < d; ++a) {
+      psi_new[a] = std::max(1e-6, rho(a, a) - reconstructed(a, a));
+    }
+
+    const double moved = lambda_new.MaxAbsDiff(lambda);
+    lambda = lambda_new;
+    psi = psi_new;
+    if (moved < tolerance) break;
+  }
+
+  FactorAnalysisModel model;
+  model.d = d;
+  model.k = k;
+  model.loadings = std::move(lambda);
+  model.communalities.assign(d, 0.0);
+  model.uniquenesses = psi;
+  for (size_t a = 0; a < d; ++a) {
+    double communality = 0.0;
+    for (size_t j = 0; j < k; ++j) {
+      communality += model.loadings(a, j) * model.loadings(a, j);
+    }
+    model.communalities[a] = communality;
+  }
+  return model;
+}
+
+}  // namespace nlq::stats

@@ -1,0 +1,72 @@
+#ifndef NLQ_STATS_PCA_H_
+#define NLQ_STATS_PCA_H_
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "stats/sufstats.h"
+
+namespace nlq::stats {
+
+/// Which d x d matrix PCA decomposes (Section 3.1: "the correlation
+/// matrix leaves dimensions in the same scale, whereas the covariance
+/// matrix maintains dimensions in their original scale").
+enum class PcaInput { kCorrelation, kCovariance };
+
+/// Principal component analysis model: the d x k dimensionality-
+/// reduction matrix Λ with orthonormal columns plus the centering
+/// vector μ.
+struct PcaModel {
+  size_t d = 0;
+  size_t k = 0;
+  PcaInput input = PcaInput::kCorrelation;
+  linalg::Vector mu;           // mean of X, used to center new points
+  linalg::Vector sigma;        // per-dim stddev (correlation input only)
+  linalg::Matrix lambda;       // d x k, column j = component j
+  linalg::Vector eigenvalues;  // k leading eigenvalues (descending)
+  double total_variance = 0.0; // Σ of all d eigenvalues
+
+  /// Fraction of variance captured by the k components.
+  double ExplainedVarianceRatio() const;
+
+  /// x' = Λᵀ (x − μ) — the scoring equation of Section 3.5. For
+  /// correlation-based PCA the centered vector is also scaled by 1/σ.
+  linalg::Vector Score(const double* x) const;
+  linalg::Vector Score(const linalg::Vector& x) const {
+    return Score(x.data());
+  }
+};
+
+/// Fits PCA with k components from sufficient statistics (kind must
+/// be triangular or full; 1 <= k <= d).
+StatusOr<PcaModel> FitPca(const SufStats& stats, size_t k,
+                          PcaInput input = PcaInput::kCorrelation);
+
+/// Factor analysis loadings derived from the PCA solution (principal-
+/// factor method): loading(a, j) = Λ_aj sqrt(λ_j); communality of a
+/// dimension is the row sum of squared loadings and the uniqueness is
+/// its complement.
+struct FactorAnalysisModel {
+  size_t d = 0;
+  size_t k = 0;
+  linalg::Matrix loadings;        // d x k
+  linalg::Vector communalities;   // d
+  linalg::Vector uniquenesses;    // d (1 − communality, correlation scale)
+};
+
+StatusOr<FactorAnalysisModel> FitFactorAnalysis(const SufStats& stats,
+                                                size_t k);
+
+/// Maximum-likelihood factor analysis fitted with the EM algorithm the
+/// paper cites for "ML factor analysis" (Section 3.1): the correlation
+/// matrix ρ is modeled as Λ Λᵀ + Ψ with diagonal uniquenesses Ψ, and
+/// EM alternates the posterior factor moments with closed-form Λ, Ψ
+/// updates. Initialized from the principal-factor solution; converges
+/// when the loadings stop moving.
+StatusOr<FactorAnalysisModel> FitFactorAnalysisML(const SufStats& stats,
+                                                  size_t k,
+                                                  size_t max_iterations = 200,
+                                                  double tolerance = 1e-8);
+
+}  // namespace nlq::stats
+
+#endif  // NLQ_STATS_PCA_H_

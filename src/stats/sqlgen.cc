@@ -1,0 +1,201 @@
+#include "stats/sqlgen.h"
+
+#include "common/strings.h"
+#include "stats/nlq_udaf.h"
+
+namespace nlq::stats {
+namespace {
+
+void AppendQTerms(const std::vector<std::string>& cols, MatrixKind kind,
+                  std::string* sql) {
+  const size_t d = cols.size();
+  for (size_t a = 0; a < d; ++a) {
+    switch (kind) {
+      case MatrixKind::kDiagonal:
+        *sql += StringPrintf(", sum(%s * %s) AS Q%zu_%zu", cols[a].c_str(),
+                             cols[a].c_str(), a + 1, a + 1);
+        break;
+      case MatrixKind::kLowerTriangular:
+        for (size_t b = 0; b <= a; ++b) {
+          *sql += StringPrintf(", sum(%s * %s) AS Q%zu_%zu", cols[a].c_str(),
+                               cols[b].c_str(), a + 1, b + 1);
+        }
+        break;
+      case MatrixKind::kFull:
+        for (size_t b = 0; b < d; ++b) {
+          *sql += StringPrintf(", sum(%s * %s) AS Q%zu_%zu", cols[a].c_str(),
+                               cols[b].c_str(), a + 1, b + 1);
+        }
+        break;
+    }
+  }
+}
+
+std::string UdfCall(const std::vector<std::string>& cols, MatrixKind kind,
+                    ParamStyle style) {
+  std::string call;
+  if (style == ParamStyle::kList) {
+    call = StringPrintf("nlq_list('%s'", MatrixKindName(kind));
+    for (const auto& c : cols) {
+      call += ", ";
+      call += c;
+    }
+    call += ")";
+  } else {
+    call = StringPrintf("nlq_string('%s', pack_point(", MatrixKindName(kind));
+    for (size_t a = 0; a < cols.size(); ++a) {
+      if (a > 0) call += ", ";
+      call += cols[a];
+    }
+    call += "))";
+  }
+  return call;
+}
+
+}  // namespace
+
+std::vector<std::string> DimensionColumns(size_t d) {
+  std::vector<std::string> cols;
+  cols.reserve(d);
+  for (size_t a = 1; a <= d; ++a) cols.push_back("X" + std::to_string(a));
+  return cols;
+}
+
+std::string NlqSqlQuery(const std::string& table,
+                        const std::vector<std::string>& columns,
+                        MatrixKind kind) {
+  std::string sql = "SELECT sum(1.0) AS n";
+  for (size_t a = 0; a < columns.size(); ++a) {
+    sql += StringPrintf(", sum(%s) AS L%zu", columns[a].c_str(), a + 1);
+  }
+  AppendQTerms(columns, kind, &sql);
+  sql += " FROM " + table;
+  return sql;
+}
+
+std::string NlqSqlQueryGrouped(const std::string& table,
+                               const std::vector<std::string>& columns,
+                               MatrixKind kind,
+                               const std::string& group_expr) {
+  std::string sql = "SELECT " + group_expr + " AS grp, sum(1.0) AS n";
+  for (size_t a = 0; a < columns.size(); ++a) {
+    sql += StringPrintf(", sum(%s) AS L%zu", columns[a].c_str(), a + 1);
+  }
+  AppendQTerms(columns, kind, &sql);
+  sql += " FROM " + table + " GROUP BY " + group_expr + " ORDER BY 1";
+  return sql;
+}
+
+std::string NlqUdfQuery(const std::string& table,
+                        const std::vector<std::string>& columns,
+                        MatrixKind kind, ParamStyle style) {
+  return "SELECT " + UdfCall(columns, kind, style) + " AS nlq FROM " + table;
+}
+
+std::string NlqUdfQueryGrouped(const std::string& table,
+                               const std::vector<std::string>& columns,
+                               MatrixKind kind, ParamStyle style,
+                               const std::string& group_expr) {
+  return "SELECT " + group_expr + " AS grp, " + UdfCall(columns, kind, style) +
+         " AS nlq FROM " + table + " GROUP BY " + group_expr + " ORDER BY 1";
+}
+
+std::string NlqBlockQuery(const std::string& table,
+                          const std::vector<std::string>& columns,
+                          size_t block_dims) {
+  const size_t d = columns.size();
+  if (block_dims == 0 || block_dims > kMaxUdfDims) block_dims = kMaxUdfDims;
+  std::string sql = "SELECT ";
+  bool first = true;
+  size_t call_index = 0;
+  // Lower-triangular set of blocks (diagonal + below); the assembler
+  // mirrors off-diagonal blocks.
+  for (size_t a_lo = 1; a_lo <= d; a_lo += block_dims) {
+    const size_t a_hi = std::min(d, a_lo + block_dims - 1);
+    for (size_t b_lo = 1; b_lo <= a_lo; b_lo += block_dims) {
+      const size_t b_hi = std::min(d, b_lo + block_dims - 1);
+      if (!first) sql += ", ";
+      first = false;
+      sql += StringPrintf("nlq_block(%zu, %zu, %zu, %zu", a_lo, a_hi, b_lo,
+                          b_hi);
+      for (size_t a = a_lo; a <= a_hi; ++a) {
+        sql += ", ";
+        sql += columns[a - 1];
+      }
+      for (size_t b = b_lo; b <= b_hi; ++b) {
+        sql += ", ";
+        sql += columns[b - 1];
+      }
+      sql += StringPrintf(") AS blk%zu", call_index++);
+    }
+  }
+  sql += " FROM " + table;
+  return sql;
+}
+
+StatusOr<SufStats> SufStatsFromWideRow(const engine::ResultSet& result,
+                                       size_t row, size_t d, MatrixKind kind,
+                                       size_t first_col) {
+  SufStats stats(d, kind);
+  if (row >= result.num_rows()) {
+    return Status::InvalidArgument("result row index out of range");
+  }
+  size_t col = first_col;
+  const size_t expected = 1 + d + stats.NumQEntries();
+  if (result.num_columns() < first_col + expected) {
+    return Status::InvalidArgument(StringPrintf(
+        "wide result has %zu columns, need %zu", result.num_columns(),
+        first_col + expected));
+  }
+  stats.AddToN(result.GetDouble(row, col++));
+  for (size_t a = 0; a < d; ++a) stats.AddToL(a, result.GetDouble(row, col++));
+  for (size_t a = 0; a < d; ++a) {
+    switch (kind) {
+      case MatrixKind::kDiagonal:
+        stats.AddToQ(a, a, result.GetDouble(row, col++));
+        break;
+      case MatrixKind::kLowerTriangular:
+        for (size_t b = 0; b <= a; ++b) {
+          stats.AddToQ(a, b, result.GetDouble(row, col++));
+        }
+        break;
+      case MatrixKind::kFull:
+        for (size_t b = 0; b < d; ++b) {
+          stats.AddToQ(a, b, result.GetDouble(row, col++));
+        }
+        break;
+    }
+  }
+  return stats;
+}
+
+StatusOr<SufStats> SufStatsFromUdfResult(const engine::ResultSet& result,
+                                         size_t row, size_t col) {
+  if (row >= result.num_rows() || col >= result.num_columns()) {
+    return Status::InvalidArgument("UDF result index out of range");
+  }
+  const storage::Datum& value = result.At(row, col);
+  if (value.is_null() || value.type() != storage::DataType::kVarchar) {
+    return Status::InvalidArgument("UDF result is not a packed VARCHAR");
+  }
+  return SufStats::FromPackedString(value.string_value());
+}
+
+StatusOr<SufStats> SufStatsFromBlockResults(const engine::ResultSet& result,
+                                            size_t d) {
+  if (result.num_rows() != 1) {
+    return Status::InvalidArgument("block query must return one row");
+  }
+  SufStats stats(d, MatrixKind::kFull);
+  for (size_t c = 0; c < result.num_columns(); ++c) {
+    const storage::Datum& value = result.At(0, c);
+    if (value.is_null() || value.type() != storage::DataType::kVarchar) {
+      return Status::InvalidArgument("block result is not a packed VARCHAR");
+    }
+    NLQ_ASSIGN_OR_RETURN(NlqBlock block, ParseNlqBlock(value.string_value()));
+    NLQ_RETURN_IF_ERROR(MergeBlockIntoSufStats(block, &stats));
+  }
+  return stats;
+}
+
+}  // namespace nlq::stats

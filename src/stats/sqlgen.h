@@ -1,0 +1,80 @@
+#ifndef NLQ_STATS_SQLGEN_H_
+#define NLQ_STATS_SQLGEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/result_set.h"
+#include "stats/sufstats.h"
+
+namespace nlq::stats {
+
+/// How a point is passed to the aggregate UDF (paper Figure 3).
+enum class ParamStyle {
+  kList,    // nlq_list('kind', X1, ..., Xd)
+  kString,  // nlq_string('kind', pack_point(X1, ..., Xd))
+};
+
+/// Generates the paper's single "long" SQL query computing n, L and Q
+/// in one scan with 1 + d + |Q| SUM terms (Section 3.4):
+///   SELECT sum(1.0) AS n, sum(X1) AS L1, ..., sum(X2*X1) AS Q2_1, ...
+///   FROM table
+/// `columns` are the dimension columns (e.g. {"X1",...,"Xd"} or
+/// {"X1",...,"Xd","Y"} for regression). The Q term list follows
+/// `kind` (diagonal / lower-triangular / full).
+std::string NlqSqlQuery(const std::string& table,
+                        const std::vector<std::string>& columns,
+                        MatrixKind kind);
+
+/// GROUP BY variant: one (n, L, Q) set per group. `group_expr` is any
+/// SQL expression (e.g. "j" or "i % 16"); it is aliased as grp.
+std::string NlqSqlQueryGrouped(const std::string& table,
+                               const std::vector<std::string>& columns,
+                               MatrixKind kind,
+                               const std::string& group_expr);
+
+/// Generates the aggregate-UDF query computing the same statistics:
+///   SELECT nlq_list('kind', X1, ..., Xd) FROM table   (list style)
+///   SELECT nlq_string('kind', pack_point(X1, ..., Xd)) FROM table
+std::string NlqUdfQuery(const std::string& table,
+                        const std::vector<std::string>& columns,
+                        MatrixKind kind, ParamStyle style);
+
+/// GROUP BY variant of the UDF query.
+std::string NlqUdfQueryGrouped(const std::string& table,
+                               const std::vector<std::string>& columns,
+                               MatrixKind kind, ParamStyle style,
+                               const std::string& group_expr);
+
+/// Generates the partitioned nlq_block calls covering a d-dimensional
+/// data set with blocks of side `block_dims` (paper Table 6): one
+/// SELECT whose items are nlq_block(...) calls for every diagonal and
+/// lower off-diagonal block pair.
+std::string NlqBlockQuery(const std::string& table,
+                          const std::vector<std::string>& columns,
+                          size_t block_dims);
+
+/// Decodes the wide one-row result of NlqSqlQuery back into SufStats.
+/// `row` selects the result row (0 unless grouped); for grouped
+/// queries the first result column is the group key, so pass
+/// `first_col = 1`.
+StatusOr<SufStats> SufStatsFromWideRow(const engine::ResultSet& result,
+                                       size_t row, size_t d, MatrixKind kind,
+                                       size_t first_col = 0);
+
+/// Decodes the packed-string result of NlqUdfQuery.
+StatusOr<SufStats> SufStatsFromUdfResult(const engine::ResultSet& result,
+                                         size_t row = 0, size_t col = 0);
+
+/// Decodes and assembles all nlq_block results of NlqBlockQuery into a
+/// full-kind SufStats of dimensionality `d`.
+StatusOr<SufStats> SufStatsFromBlockResults(const engine::ResultSet& result,
+                                            size_t d);
+
+/// Default dimension column names X1..Xd.
+std::vector<std::string> DimensionColumns(size_t d);
+
+}  // namespace nlq::stats
+
+#endif  // NLQ_STATS_SQLGEN_H_

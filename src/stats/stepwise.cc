@@ -1,0 +1,150 @@
+#include "stats/stepwise.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+#include "linalg/cholesky.h"
+#include "linalg/lu.h"
+
+namespace nlq::stats {
+
+StatusOr<LinearRegressionModel> FitLinearRegressionSubset(
+    const SufStats& stats, const std::vector<size_t>& predictors) {
+  if (stats.kind() == MatrixKind::kDiagonal) {
+    return Status::InvalidArgument(
+        "subset regression requires a triangular or full Q");
+  }
+  if (stats.d() < 2) {
+    return Status::InvalidArgument("stats must cover predictors plus Y");
+  }
+  const size_t y = stats.d() - 1;  // Y is the last dimension
+  if (predictors.empty()) {
+    return Status::InvalidArgument("predictor subset must not be empty");
+  }
+  for (size_t i = 0; i < predictors.size(); ++i) {
+    if (predictors[i] >= y) {
+      return Status::InvalidArgument(StringPrintf(
+          "predictor index %zu out of range 0..%zu", predictors[i], y - 1));
+    }
+    for (size_t j = 0; j < i; ++j) {
+      if (predictors[j] == predictors[i]) {
+        return Status::InvalidArgument("duplicate predictor index");
+      }
+    }
+  }
+  const size_t p = predictors.size();
+  const double n = stats.n();
+  if (n <= static_cast<double>(p) + 1.0) {
+    return Status::InvalidArgument("subset regression needs n > p + 1");
+  }
+
+  // Subset normal equations: A and b are just index-gathered entries
+  // of the full statistics.
+  linalg::Matrix a(p + 1, p + 1);
+  linalg::Vector b(p + 1);
+  a(0, 0) = n;
+  b[0] = stats.L(y);
+  for (size_t i = 0; i < p; ++i) {
+    const size_t pi = predictors[i];
+    a(0, i + 1) = stats.L(pi);
+    a(i + 1, 0) = stats.L(pi);
+    b[i + 1] = stats.Q(pi, y);
+    for (size_t j = 0; j < p; ++j) {
+      a(i + 1, j + 1) = stats.Q(pi, predictors[j]);
+    }
+  }
+
+  LinearRegressionModel model;
+  model.d = p;
+  model.n = n;
+  StatusOr<linalg::CholeskyDecomposition> chol =
+      linalg::CholeskyDecomposition::Compute(a);
+  linalg::Matrix a_inv;
+  if (chol.ok()) {
+    NLQ_ASSIGN_OR_RETURN(model.beta, chol->Solve(b));
+    NLQ_ASSIGN_OR_RETURN(a_inv, chol->Inverse());
+  } else {
+    NLQ_ASSIGN_OR_RETURN(linalg::LuDecomposition lu,
+                         linalg::LuDecomposition::Compute(a));
+    NLQ_ASSIGN_OR_RETURN(model.beta, lu.Solve(b));
+    NLQ_ASSIGN_OR_RETURN(a_inv, lu.Inverse());
+  }
+
+  const double q_yy = stats.Q(y, y);
+  model.sse = std::max(0.0, q_yy - linalg::Dot(model.beta, b));
+  model.sst = std::max(0.0, q_yy - stats.L(y) * stats.L(y) / n);
+  model.r2 = model.sst > 0.0 ? 1.0 - model.sse / model.sst : 0.0;
+  const double dof = n - static_cast<double>(p) - 1.0;
+  model.var_beta = a_inv * (model.sse / dof);
+  return model;
+}
+
+StatusOr<StepwiseResult> ForwardStepwiseRegression(
+    const SufStats& stats, const StepwiseOptions& options) {
+  if (stats.d() < 2) {
+    return Status::InvalidArgument("stats must cover predictors plus Y");
+  }
+  const size_t d = stats.d() - 1;
+  const size_t limit =
+      options.max_predictors == 0 ? d : std::min(options.max_predictors, d);
+
+  StepwiseResult result;
+  double current_r2 = 0.0;
+  std::vector<bool> used(d, false);
+
+  while (result.selected.size() < limit) {
+    double best_r2 = current_r2;
+    size_t best_var = d;  // sentinel
+    LinearRegressionModel best_model;
+    for (size_t candidate = 0; candidate < d; ++candidate) {
+      if (used[candidate]) continue;
+      std::vector<size_t> trial = result.selected;
+      trial.push_back(candidate);
+      // A candidate that makes the system singular (collinear) is
+      // simply skipped, as classic stepwise procedures do.
+      StatusOr<LinearRegressionModel> fit =
+          FitLinearRegressionSubset(stats, trial);
+      if (!fit.ok()) continue;
+      if (fit->r2 > best_r2) {
+        best_r2 = fit->r2;
+        best_var = candidate;
+        best_model = std::move(fit).value();
+      }
+    }
+    if (best_var == d || best_r2 - current_r2 < options.min_r2_gain) break;
+    used[best_var] = true;
+    result.selected.push_back(best_var);
+    result.r2_path.push_back(best_r2);
+    result.model = std::move(best_model);
+    current_r2 = best_r2;
+  }
+
+  if (result.selected.empty()) {
+    return Status::Internal(
+        "stepwise selection found no predictor with positive R^2 gain");
+  }
+  return result;
+}
+
+
+StatusOr<std::vector<std::pair<size_t, double>>> RankPredictorsByCorrelation(
+    const SufStats& stats) {
+  if (stats.d() < 2) {
+    return Status::InvalidArgument("stats must cover predictors plus Y");
+  }
+  NLQ_ASSIGN_OR_RETURN(linalg::Matrix rho, stats.CorrelationMatrix());
+  const size_t y = stats.d() - 1;
+  std::vector<std::pair<size_t, double>> ranking;
+  ranking.reserve(y);
+  for (size_t a = 0; a < y; ++a) {
+    ranking.emplace_back(a, std::fabs(rho(a, y)));
+  }
+  std::sort(ranking.begin(), ranking.end(),
+            [](const auto& lhs, const auto& rhs) {
+              return lhs.second > rhs.second;
+            });
+  return ranking;
+}
+
+}  // namespace nlq::stats

@@ -1,0 +1,53 @@
+#ifndef NLQ_STATS_STEPWISE_H_
+#define NLQ_STATS_STEPWISE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "stats/linreg.h"
+#include "stats/sufstats.h"
+
+namespace nlq::stats {
+
+/// Fits Y on the given predictor subset using ONLY the full model's
+/// sufficient statistics: the subset's normal equations are a
+/// submatrix of Q' and a subvector of L, so no rescan of X is needed.
+/// This is the machinery behind the paper's "step-wise procedures for
+/// linear regression ... reduce d to some lower dimensionality d'".
+///
+/// `stats` covers (X1..Xd, Y) as in FitLinearRegression;
+/// `predictors` holds 0-based dimension indices into X1..Xd (must be
+/// distinct, non-empty, and exclude the Y dimension). The returned
+/// model's beta has 1 + |predictors| entries in `predictors` order.
+StatusOr<LinearRegressionModel> FitLinearRegressionSubset(
+    const SufStats& stats, const std::vector<size_t>& predictors);
+
+struct StepwiseOptions {
+  /// Stop after this many predictors (0 = up to d).
+  size_t max_predictors = 0;
+  /// Stop when the best remaining candidate improves R² by less.
+  double min_r2_gain = 1e-4;
+};
+
+struct StepwiseResult {
+  std::vector<size_t> selected;        // chosen predictors, in order
+  std::vector<double> r2_path;         // R² after each addition
+  LinearRegressionModel model;         // final subset model
+};
+
+/// Greedy forward selection: starting empty, repeatedly adds the
+/// predictor with the largest R² gain. Every candidate fit reuses the
+/// same (n, L, Q') — the whole search costs zero additional scans of
+/// the data, the paper's motivation for keeping Q' around.
+StatusOr<StepwiseResult> ForwardStepwiseRegression(
+    const SufStats& stats, const StepwiseOptions& options = {});
+
+/// Cheap filter alternative to stepwise: predictors ranked by
+/// |corr(Xa, Y)| descending, straight off the correlation matrix.
+/// Returns (0-based predictor index, |ρ|) pairs.
+StatusOr<std::vector<std::pair<size_t, double>>> RankPredictorsByCorrelation(
+    const SufStats& stats);
+
+}  // namespace nlq::stats
+
+#endif  // NLQ_STATS_STEPWISE_H_

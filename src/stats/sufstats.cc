@@ -1,0 +1,310 @@
+#include "stats/sufstats.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/strings.h"
+
+namespace nlq::stats {
+
+StatusOr<MatrixKind> MatrixKindFromString(std::string_view s) {
+  const std::string lower = AsciiToLower(s);
+  if (lower == "diag" || lower == "diagonal") return MatrixKind::kDiagonal;
+  if (lower == "triang" || lower == "triangular" || lower == "lower") {
+    return MatrixKind::kLowerTriangular;
+  }
+  if (lower == "full") return MatrixKind::kFull;
+  return Status::InvalidArgument("unknown matrix kind '" + std::string(s) +
+                                 "' (expected diag|triang|full)");
+}
+
+const char* MatrixKindName(MatrixKind kind) {
+  switch (kind) {
+    case MatrixKind::kDiagonal:
+      return "diag";
+    case MatrixKind::kLowerTriangular:
+      return "triang";
+    case MatrixKind::kFull:
+      return "full";
+  }
+  return "?";
+}
+
+SufStats::SufStats(size_t d, MatrixKind kind)
+    : d_(d),
+      kind_(kind),
+      l_(d, 0.0),
+      q_(d * d, 0.0),
+      min_(d, std::numeric_limits<double>::infinity()),
+      max_(d, -std::numeric_limits<double>::infinity()) {}
+
+void SufStats::Update(const double* x) {
+  n_ += 1.0;
+  const size_t d = d_;
+  switch (kind_) {
+    case MatrixKind::kDiagonal:
+      for (size_t a = 0; a < d; ++a) {
+        const double xa = x[a];
+        l_[a] += xa;
+        q_[a * d + a] += xa * xa;
+      }
+      break;
+    case MatrixKind::kLowerTriangular:
+      for (size_t a = 0; a < d; ++a) {
+        const double xa = x[a];
+        l_[a] += xa;
+        double* row = &q_[a * d];
+        for (size_t b = 0; b <= a; ++b) row[b] += xa * x[b];
+      }
+      break;
+    case MatrixKind::kFull:
+      for (size_t a = 0; a < d; ++a) {
+        const double xa = x[a];
+        l_[a] += xa;
+        double* row = &q_[a * d];
+        for (size_t b = 0; b < d; ++b) row[b] += xa * x[b];
+      }
+      break;
+  }
+  for (size_t a = 0; a < d; ++a) {
+    if (x[a] < min_[a]) min_[a] = x[a];
+    if (x[a] > max_[a]) max_[a] = x[a];
+  }
+}
+
+Status SufStats::Merge(const SufStats& other) {
+  if (other.d_ != d_ || other.kind_ != kind_) {
+    return Status::InvalidArgument(
+        "cannot merge SufStats with different d or matrix kind");
+  }
+  n_ += other.n_;
+  for (size_t a = 0; a < d_; ++a) {
+    l_[a] += other.l_[a];
+    if (other.min_[a] < min_[a]) min_[a] = other.min_[a];
+    if (other.max_[a] > max_[a]) max_[a] = other.max_[a];
+  }
+  for (size_t i = 0; i < q_.size(); ++i) q_[i] += other.q_[i];
+  return Status::OK();
+}
+
+
+void SufStats::Downdate(const double* x) {
+  n_ -= 1.0;
+  const size_t d = d_;
+  switch (kind_) {
+    case MatrixKind::kDiagonal:
+      for (size_t a = 0; a < d; ++a) {
+        l_[a] -= x[a];
+        q_[a * d + a] -= x[a] * x[a];
+      }
+      break;
+    case MatrixKind::kLowerTriangular:
+      for (size_t a = 0; a < d; ++a) {
+        const double xa = x[a];
+        l_[a] -= xa;
+        double* row = &q_[a * d];
+        for (size_t b = 0; b <= a; ++b) row[b] -= xa * x[b];
+      }
+      break;
+    case MatrixKind::kFull:
+      for (size_t a = 0; a < d; ++a) {
+        const double xa = x[a];
+        l_[a] -= xa;
+        double* row = &q_[a * d];
+        for (size_t b = 0; b < d; ++b) row[b] -= xa * x[b];
+      }
+      break;
+  }
+}
+
+Status SufStats::Subtract(const SufStats& other) {
+  if (other.d_ != d_ || other.kind_ != kind_) {
+    return Status::InvalidArgument(
+        "cannot subtract SufStats with different d or matrix kind");
+  }
+  n_ -= other.n_;
+  for (size_t a = 0; a < d_; ++a) l_[a] -= other.l_[a];
+  for (size_t i = 0; i < q_.size(); ++i) q_[i] -= other.q_[i];
+  return Status::OK();
+}
+
+linalg::Vector SufStats::Mean() const {
+  linalg::Vector mu(d_, 0.0);
+  if (n_ <= 0.0) return mu;
+  for (size_t a = 0; a < d_; ++a) mu[a] = l_[a] / n_;
+  return mu;
+}
+
+StatusOr<linalg::Matrix> SufStats::CovarianceMatrix() const {
+  if (kind_ == MatrixKind::kDiagonal) {
+    return Status::InvalidArgument(
+        "covariance matrix requires a triangular or full Q");
+  }
+  if (n_ <= 0.0) return Status::InvalidArgument("covariance requires n > 0");
+  linalg::Matrix v(d_, d_);
+  const double inv_n = 1.0 / n_;
+  const double inv_n2 = inv_n * inv_n;
+  for (size_t a = 0; a < d_; ++a) {
+    for (size_t b = 0; b < d_; ++b) {
+      v(a, b) = Q(a, b) * inv_n - l_[a] * l_[b] * inv_n2;
+    }
+  }
+  return v;
+}
+
+StatusOr<linalg::Matrix> SufStats::CorrelationMatrix() const {
+  if (kind_ == MatrixKind::kDiagonal) {
+    return Status::InvalidArgument(
+        "correlation matrix requires a triangular or full Q");
+  }
+  if (n_ <= 1.0) return Status::InvalidArgument("correlation requires n > 1");
+  std::vector<double> denom(d_);
+  for (size_t a = 0; a < d_; ++a) {
+    const double s = n_ * Q(a, a) - l_[a] * l_[a];
+    if (s <= 0.0) {
+      return Status::Internal(StringPrintf(
+          "dimension %zu is constant; correlation undefined", a + 1));
+    }
+    denom[a] = std::sqrt(s);
+  }
+  linalg::Matrix rho(d_, d_);
+  for (size_t a = 0; a < d_; ++a) {
+    rho(a, a) = 1.0;
+    for (size_t b = 0; b < a; ++b) {
+      const double r = (n_ * Q(a, b) - l_[a] * l_[b]) / (denom[a] * denom[b]);
+      rho(a, b) = r;
+      rho(b, a) = r;
+    }
+  }
+  return rho;
+}
+
+linalg::Matrix SufStats::QMatrix() const {
+  linalg::Matrix q(d_, d_);
+  for (size_t a = 0; a < d_; ++a) {
+    for (size_t b = 0; b < d_; ++b) q(a, b) = Q(a, b);
+  }
+  return q;
+}
+
+size_t SufStats::NumQEntries() const {
+  switch (kind_) {
+    case MatrixKind::kDiagonal:
+      return d_;
+    case MatrixKind::kLowerTriangular:
+      return d_ * (d_ + 1) / 2;
+    case MatrixKind::kFull:
+      return d_ * d_;
+  }
+  return 0;
+}
+
+std::string SufStats::ToPackedString() const {
+  std::string out;
+  out.reserve(32 + (3 * d_ + NumQEntries()) * 18);
+  out += std::to_string(d_);
+  out += '|';
+  out += std::to_string(static_cast<int>(kind_));
+  out += '|';
+  AppendDouble(&out, n_);
+  out += '|';
+  for (size_t a = 0; a < d_; ++a) {
+    if (a > 0) out += ';';
+    AppendDouble(&out, l_[a]);
+  }
+  out += '|';
+  for (size_t a = 0; a < d_; ++a) {
+    if (a > 0) out += ';';
+    AppendDouble(&out, n_ > 0 ? min_[a] : 0.0);
+  }
+  out += '|';
+  for (size_t a = 0; a < d_; ++a) {
+    if (a > 0) out += ';';
+    AppendDouble(&out, n_ > 0 ? max_[a] : 0.0);
+  }
+  out += '|';
+  bool first = true;
+  for (size_t a = 0; a < d_; ++a) {
+    if (kind_ == MatrixKind::kDiagonal) {
+      if (!first) out += ';';
+      AppendDouble(&out, q_[a * d_ + a]);
+      first = false;
+      continue;
+    }
+    const size_t b_hi = kind_ == MatrixKind::kLowerTriangular ? a + 1 : d_;
+    for (size_t b = 0; b < b_hi; ++b) {
+      if (!first) out += ';';
+      AppendDouble(&out, q_[a * d_ + b]);
+      first = false;
+    }
+  }
+  return out;
+}
+
+StatusOr<SufStats> SufStats::FromPackedString(std::string_view packed) {
+  const std::vector<std::string_view> sections = SplitString(packed, '|');
+  if (sections.size() != 7) {
+    return Status::ParseError("packed SufStats must have 7 '|' sections");
+  }
+  NLQ_ASSIGN_OR_RETURN(int64_t d_val, ParseInt64(sections[0]));
+  NLQ_ASSIGN_OR_RETURN(int64_t kind_val, ParseInt64(sections[1]));
+  if (d_val < 0 || kind_val < 0 || kind_val > 2) {
+    return Status::ParseError("invalid d or kind in packed SufStats");
+  }
+  const size_t d = static_cast<size_t>(d_val);
+  SufStats stats(d, static_cast<MatrixKind>(kind_val));
+  NLQ_ASSIGN_OR_RETURN(stats.n_, ParseDouble(sections[2]));
+
+  auto parse_list = [](std::string_view text, size_t expect,
+                       std::vector<double>* out) -> Status {
+    const std::vector<std::string_view> parts = SplitString(text, ';');
+    if (expect == 0 && text.empty()) return Status::OK();
+    if (parts.size() != expect) {
+      return Status::ParseError(
+          StringPrintf("expected %zu values, found %zu", expect, parts.size()));
+    }
+    for (size_t i = 0; i < expect; ++i) {
+      NLQ_ASSIGN_OR_RETURN((*out)[i], ParseDouble(parts[i]));
+    }
+    return Status::OK();
+  };
+
+  NLQ_RETURN_IF_ERROR(parse_list(sections[3], d, &stats.l_));
+  NLQ_RETURN_IF_ERROR(parse_list(sections[4], d, &stats.min_));
+  NLQ_RETURN_IF_ERROR(parse_list(sections[5], d, &stats.max_));
+
+  const size_t num_q = stats.NumQEntries();
+  std::vector<double> q_entries(num_q);
+  NLQ_RETURN_IF_ERROR(parse_list(sections[6], num_q, &q_entries));
+  size_t idx = 0;
+  for (size_t a = 0; a < d; ++a) {
+    switch (stats.kind_) {
+      case MatrixKind::kDiagonal:
+        stats.q_[a * d + a] = q_entries[idx++];
+        break;
+      case MatrixKind::kLowerTriangular:
+        for (size_t b = 0; b <= a; ++b) stats.q_[a * d + b] = q_entries[idx++];
+        break;
+      case MatrixKind::kFull:
+        for (size_t b = 0; b < d; ++b) stats.q_[a * d + b] = q_entries[idx++];
+        break;
+    }
+  }
+  return stats;
+}
+
+double SufStats::MaxAbsDiff(const SufStats& other) const {
+  if (other.d_ != d_) return std::numeric_limits<double>::infinity();
+  double max = std::fabs(n_ - other.n_);
+  for (size_t a = 0; a < d_; ++a) {
+    max = std::max(max, std::fabs(l_[a] - other.l_[a]));
+  }
+  for (size_t a = 0; a < d_; ++a) {
+    for (size_t b = 0; b < d_; ++b) {
+      max = std::max(max, std::fabs(Q(a, b) - other.Q(a, b)));
+    }
+  }
+  return max;
+}
+
+}  // namespace nlq::stats

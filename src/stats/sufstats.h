@@ -1,0 +1,140 @@
+#ifndef NLQ_STATS_SUFSTATS_H_
+#define NLQ_STATS_SUFSTATS_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace nlq::stats {
+
+/// Which entries of Q are maintained (Section 3.4 of the paper):
+/// diagonal for clustering, lower-triangular (default) for
+/// correlation / PCA / regression exploiting symmetry, full for
+/// querying / visualization.
+enum class MatrixKind {
+  kDiagonal = 0,
+  kLowerTriangular = 1,
+  kFull = 2,
+};
+
+/// Parses "diag" / "triang" / "full" (case-insensitive).
+StatusOr<MatrixKind> MatrixKindFromString(std::string_view s);
+const char* MatrixKindName(MatrixKind kind);
+
+/// The paper's sufficient statistics for linear models over a
+/// d-dimensional data set X:
+///   n — row count,
+///   L = Σ xᵢ — linear sum of points (d-vector),
+///   Q = Σ xᵢ xᵢᵀ — quadratic sum of cross-products (d x d),
+/// plus per-dimension min/max (the aggregate UDF also tracks these for
+/// outlier detection / histograms).
+///
+/// Everything a linear model needs — the correlation matrix ρ, the
+/// covariance matrix V, regression normal equations — derives from
+/// (n, L, Q) without revisiting X.
+class SufStats {
+ public:
+  SufStats() : d_(0), kind_(MatrixKind::kLowerTriangular) {}
+  SufStats(size_t d, MatrixKind kind);
+
+  size_t d() const { return d_; }
+  MatrixKind kind() const { return kind_; }
+  double n() const { return n_; }
+
+  /// Folds one point (array of d doubles) into the statistics.
+  void Update(const double* x);
+  void Update(const std::vector<double>& x) { Update(x.data()); }
+
+  /// Folds another partial SufStats (same d and kind) into this one.
+  /// This is the aggregate-UDF Merge phase.
+  Status Merge(const SufStats& other);
+
+  /// Removes one previously-folded point. Because (n, L, Q) are plain
+  /// sums, deletions maintain models incrementally without rescanning
+  /// X — min/max are NOT maintained under deletion (they are hints,
+  /// not sums) and become stale.
+  void Downdate(const double* x);
+  void Downdate(const std::vector<double>& x) { Downdate(x.data()); }
+
+  /// Removes a previously-merged partial (same d and kind); the
+  /// decomposability property behind incremental view maintenance of
+  /// statistical models. min/max become stale, as with Downdate.
+  Status Subtract(const SufStats& other);
+
+  /// L_a, 0-based subscript.
+  double L(size_t a) const { return l_[a]; }
+
+  /// Q_ab, 0-based; symmetric access for the triangular kind. For the
+  /// diagonal kind off-diagonal entries were never computed and read
+  /// as 0.
+  double Q(size_t a, size_t b) const {
+    if (kind_ == MatrixKind::kDiagonal) return a == b ? q_[a * d_ + a] : 0.0;
+    if (kind_ == MatrixKind::kLowerTriangular && b > a) {
+      return q_[b * d_ + a];
+    }
+    return q_[a * d_ + b];
+  }
+
+  double Min(size_t a) const { return min_[a]; }
+  double Max(size_t a) const { return max_[a]; }
+
+  /// Mean vector μ = L / n (zero vector when n == 0).
+  linalg::Vector Mean() const;
+
+  /// Covariance matrix V = Q/n − L Lᵀ/n² (Section 3.2). Requires a
+  /// non-diagonal kind and n > 0.
+  StatusOr<linalg::Matrix> CovarianceMatrix() const;
+
+  /// Correlation matrix ρ_ab = (n Q_ab − L_a L_b) /
+  /// (sqrt(n Q_aa − L_a²) sqrt(n Q_bb − L_b²)). Requires a
+  /// non-diagonal kind, n > 1 and non-constant dimensions.
+  StatusOr<linalg::Matrix> CorrelationMatrix() const;
+
+  /// Q as a full symmetric matrix (diagonal kind yields a diagonal
+  /// matrix).
+  linalg::Matrix QMatrix() const;
+
+  /// Number of Q entries maintained for this (d, kind).
+  size_t NumQEntries() const;
+
+  /// Serializes to the packed text form the aggregate UDF returns
+  /// ("UDFs can only return one value of a simple data type"):
+  ///   d|kind|n|L₁;…;L_d|min…|max…|Q entries (kind-dependent count)
+  std::string ToPackedString() const;
+
+  /// Parses the packed form back.
+  static StatusOr<SufStats> FromPackedString(std::string_view packed);
+
+  /// Max |difference| across n, L and maintained Q entries — used by
+  /// equivalence tests between the SQL, UDF and external-C++ paths.
+  double MaxAbsDiff(const SufStats& other) const;
+
+  /// Direct accumulation mutators. These exist for assembling
+  /// statistics from partial results (wide SQL result rows, nlq_block
+  /// pieces) rather than from raw points; min/max are not tracked on
+  /// this path.
+  void AddToN(double v) { n_ += v; }
+  void AddToL(size_t a, double v) { l_[a] += v; }
+  void AddToQ(size_t a, size_t b, double v) { q_[a * d_ + b] += v; }
+  void SetMinMax(size_t a, double mn, double mx) {
+    min_[a] = mn;
+    max_[a] = mx;
+  }
+
+ private:
+  size_t d_;
+  MatrixKind kind_;
+  double n_ = 0.0;
+  std::vector<double> l_;
+  std::vector<double> q_;  // d*d storage; valid entries depend on kind
+  std::vector<double> min_;
+  std::vector<double> max_;
+};
+
+}  // namespace nlq::stats
+
+#endif  // NLQ_STATS_SUFSTATS_H_

@@ -1,0 +1,54 @@
+#include "storage/catalog.h"
+
+#include "common/strings.h"
+
+namespace nlq::storage {
+
+StatusOr<PartitionedTable*> Catalog::CreateTable(const std::string& name,
+                                                 Schema schema) {
+  return CreateTable(name, std::move(schema), default_partitions_);
+}
+
+StatusOr<PartitionedTable*> Catalog::CreateTable(const std::string& name,
+                                                 Schema schema,
+                                                 size_t num_partitions) {
+  const std::string key = AsciiToLower(name);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  auto table =
+      std::make_unique<PartitionedTable>(std::move(schema), num_partitions);
+  PartitionedTable* raw = table.get();
+  tables_[key] = std::move(table);
+  return raw;
+}
+
+StatusOr<PartitionedTable*> Catalog::GetTable(const std::string& name) const {
+  const auto it = tables_.find(AsciiToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  return it->second.get();
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(AsciiToLower(name)) > 0;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  const auto it = tables_.find(AsciiToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  tables_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace nlq::storage

@@ -1,0 +1,49 @@
+#ifndef NLQ_STORAGE_CATALOG_H_
+#define NLQ_STORAGE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/partitioned_table.h"
+
+namespace nlq::storage {
+
+/// Name → table registry (case-insensitive names).
+class Catalog {
+ public:
+  explicit Catalog(size_t default_partitions = 1)
+      : default_partitions_(default_partitions) {}
+
+  /// Creates a table; AlreadyExists if the name is taken.
+  StatusOr<PartitionedTable*> CreateTable(const std::string& name,
+                                          Schema schema);
+
+  /// Creates with an explicit partition count.
+  StatusOr<PartitionedTable*> CreateTable(const std::string& name,
+                                          Schema schema,
+                                          size_t num_partitions);
+
+  /// Looks up a table; NotFound if missing.
+  StatusOr<PartitionedTable*> GetTable(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const;
+
+  /// Drops a table; NotFound if missing.
+  Status DropTable(const std::string& name);
+
+  /// All table names, sorted.
+  std::vector<std::string> TableNames() const;
+
+  size_t default_partitions() const { return default_partitions_; }
+
+ private:
+  size_t default_partitions_;
+  std::map<std::string, std::unique_ptr<PartitionedTable>> tables_;
+};
+
+}  // namespace nlq::storage
+
+#endif  // NLQ_STORAGE_CATALOG_H_

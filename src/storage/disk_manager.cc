@@ -1,0 +1,85 @@
+#include "storage/disk_manager.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace nlq::storage {
+namespace {
+
+Status ErrnoStatus(const char* op, const std::string& path) {
+  return Status::IOError(std::string(op) + " failed for '" + path +
+                         "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+DiskManager::~DiskManager() { Close(); }
+
+Status DiskManager::Open(const std::string& path, bool truncate) {
+  Close();
+  int flags = O_RDWR | O_CREAT;
+  if (truncate) flags |= O_TRUNC;
+  fd_ = ::open(path.c_str(), flags, 0644);
+  if (fd_ < 0) return ErrnoStatus("open", path);
+  path_ = path;
+  return Status::OK();
+}
+
+void DiskManager::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<uint64_t> DiskManager::PageCount() const {
+  if (fd_ < 0) return Status::Internal("DiskManager not open");
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) return ErrnoStatus("fstat", path_);
+  return static_cast<uint64_t>(st.st_size) / kPageSize;
+}
+
+Status DiskManager::WritePage(uint64_t page_id, const Page& page) {
+  if (fd_ < 0) return Status::Internal("DiskManager not open");
+  const off_t offset = static_cast<off_t>(page_id * kPageSize);
+  size_t written = 0;
+  while (written < kPageSize) {
+    const ssize_t n = ::pwrite(fd_, page.raw() + written, kPageSize - written,
+                               offset + static_cast<off_t>(written));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("pwrite", path_);
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status DiskManager::ReadPage(uint64_t page_id, Page* page) const {
+  if (fd_ < 0) return Status::Internal("DiskManager not open");
+  const off_t offset = static_cast<off_t>(page_id * kPageSize);
+  size_t read = 0;
+  while (read < kPageSize) {
+    const ssize_t n = ::pread(fd_, page->raw() + read, kPageSize - read,
+                              offset + static_cast<off_t>(read));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("pread", path_);
+    }
+    if (n == 0) return Status::IOError("short read: page beyond end of file");
+    read += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status DiskManager::Sync() {
+  if (fd_ < 0) return Status::Internal("DiskManager not open");
+  if (::fsync(fd_) != 0) return ErrnoStatus("fsync", path_);
+  return Status::OK();
+}
+
+}  // namespace nlq::storage

@@ -1,0 +1,52 @@
+#ifndef NLQ_STORAGE_DISK_MANAGER_H_
+#define NLQ_STORAGE_DISK_MANAGER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace nlq::storage {
+
+/// Page-granular file I/O (pread/pwrite on a single backing file).
+/// Tables use it to persist and reload page runs; the tests use it to
+/// verify that page images round-trip through disk.
+class DiskManager {
+ public:
+  DiskManager() = default;
+  ~DiskManager();
+
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  /// Opens (creating if needed) the backing file. `truncate` discards
+  /// existing content.
+  Status Open(const std::string& path, bool truncate);
+
+  /// Closes the backing file (no-op if not open).
+  void Close();
+
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+  /// Number of whole pages currently in the file.
+  StatusOr<uint64_t> PageCount() const;
+
+  /// Writes a full page image at index `page_id`.
+  Status WritePage(uint64_t page_id, const Page& page);
+
+  /// Reads the page at index `page_id` into `*page`.
+  Status ReadPage(uint64_t page_id, Page* page) const;
+
+  /// Flushes file data to stable storage.
+  Status Sync();
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+}  // namespace nlq::storage
+
+#endif  // NLQ_STORAGE_DISK_MANAGER_H_

@@ -1,0 +1,15 @@
+#include "storage/page.h"
+
+#include <cassert>
+
+namespace nlq::storage {
+
+void Page::AppendEncodedRow(const char* data, size_t size) {
+  assert(Fits(size));
+  const uint32_t used = used_bytes();
+  std::memcpy(data_.data() + used, data, size);
+  WriteU32(0, used + static_cast<uint32_t>(size));
+  WriteU32(4, row_count() + 1);
+}
+
+}  // namespace nlq::storage

@@ -1,0 +1,58 @@
+#ifndef NLQ_STORAGE_PAGE_H_
+#define NLQ_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace nlq::storage {
+
+/// Fixed page size. 64 KB mirrors the Teradata segment granularity the
+/// paper mentions and keeps page headers cheap relative to payload.
+inline constexpr size_t kPageSize = 64 * 1024;
+
+/// A fixed-size slotted page holding a run of encoded rows.
+///
+/// Layout: [u32 used_bytes][u32 row_count][payload...]. Rows are
+/// decoded sequentially with RowCodec, so no slot directory is needed.
+class Page {
+ public:
+  Page() : data_(kPageSize, 0) { SetUsed(kHeaderSize); }
+
+  static constexpr size_t kHeaderSize = 8;
+
+  uint32_t used_bytes() const { return ReadU32(0); }
+  uint32_t row_count() const { return ReadU32(4); }
+  size_t free_bytes() const { return kPageSize - used_bytes(); }
+
+  /// True if an encoded row of `encoded_size` bytes fits.
+  bool Fits(size_t encoded_size) const { return encoded_size <= free_bytes(); }
+
+  /// Appends pre-encoded row bytes; caller must have checked Fits().
+  void AppendEncodedRow(const char* data, size_t size);
+
+  /// Payload pointer/extent for sequential decoding.
+  const char* payload() const { return data_.data() + kHeaderSize; }
+  size_t payload_size() const { return used_bytes() - kHeaderSize; }
+
+  /// Raw page bytes (for DiskManager I/O).
+  const char* raw() const { return data_.data(); }
+  char* raw() { return data_.data(); }
+
+ private:
+  uint32_t ReadU32(size_t off) const {
+    uint32_t v;
+    std::memcpy(&v, data_.data() + off, 4);
+    return v;
+  }
+  void WriteU32(size_t off, uint32_t v) {
+    std::memcpy(data_.data() + off, &v, 4);
+  }
+  void SetUsed(uint32_t used) { WriteU32(0, used); }
+
+  std::vector<char> data_;
+};
+
+}  // namespace nlq::storage
+
+#endif  // NLQ_STORAGE_PAGE_H_

@@ -1,0 +1,54 @@
+#ifndef NLQ_STORAGE_PARTITIONED_TABLE_H_
+#define NLQ_STORAGE_PARTITIONED_TABLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+
+namespace nlq::storage {
+
+/// Horizontally hash-partitioned table — the shared-nothing layout the
+/// paper's Teradata deployment uses ("data sets were horizontally
+/// partitioned evenly among threads"). Rows are routed by the hash of
+/// the first column (the point id `i`), which spreads a sequential id
+/// space evenly across partitions.
+class PartitionedTable {
+ public:
+  PartitionedTable(Schema schema, size_t num_partitions);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_partitions() const { return partitions_.size(); }
+
+  uint64_t num_rows() const;
+  uint64_t data_bytes() const;
+
+  /// Validates and appends, routing by hash of column 0.
+  Status AppendRow(const Row& row);
+
+  /// Trusted bulk-load path (no validation).
+  void AppendRowUnchecked(const Row& row);
+
+  /// Partition accessors for per-AMP parallel scans.
+  const Table& partition(size_t p) const { return *partitions_[p]; }
+  Table& partition(size_t p) { return *partitions_[p]; }
+
+  /// Materializes all rows across partitions (partition order, then
+  /// insertion order within a partition).
+  StatusOr<std::vector<Row>> ReadAllRows() const;
+
+  /// Removes all rows from all partitions.
+  void Clear();
+
+ private:
+  size_t RouteRow(const Row& row) const;
+
+  Schema schema_;
+  std::vector<std::unique_ptr<Table>> partitions_;
+};
+
+}  // namespace nlq::storage
+
+#endif  // NLQ_STORAGE_PARTITIONED_TABLE_H_

@@ -1,0 +1,109 @@
+#include "storage/row_codec.h"
+
+#include <cstring>
+
+namespace nlq::storage {
+namespace {
+
+void AppendRaw(std::string* out, const void* src, size_t len) {
+  out->append(static_cast<const char*>(src), len);
+}
+
+}  // namespace
+
+void RowCodec::Encode(const Row& row, std::string* out) const {
+  const auto& cols = schema_->columns();
+  for (size_t c = 0; c < cols.size(); ++c) {
+    const Datum& d = row[c];
+    const char null_byte = d.is_null() ? 1 : 0;
+    out->push_back(null_byte);
+    if (d.is_null()) continue;
+    switch (cols[c].type) {
+      case DataType::kDouble: {
+        const double v = d.AsDouble();
+        AppendRaw(out, &v, sizeof(v));
+        break;
+      }
+      case DataType::kInt64: {
+        const int64_t v = d.type() == DataType::kInt64
+                              ? d.int_value()
+                              : static_cast<int64_t>(d.AsDouble());
+        AppendRaw(out, &v, sizeof(v));
+        break;
+      }
+      case DataType::kVarchar: {
+        const std::string& s = d.string_value();
+        const uint32_t len = static_cast<uint32_t>(s.size());
+        AppendRaw(out, &len, sizeof(len));
+        AppendRaw(out, s.data(), s.size());
+        break;
+      }
+    }
+  }
+}
+
+size_t RowCodec::EncodedSize(const Row& row) const {
+  const auto& cols = schema_->columns();
+  size_t size = cols.size();  // null bytes
+  for (size_t c = 0; c < cols.size(); ++c) {
+    if (row[c].is_null()) continue;
+    switch (cols[c].type) {
+      case DataType::kDouble:
+      case DataType::kInt64:
+        size += 8;
+        break;
+      case DataType::kVarchar:
+        size += 4 + row[c].string_value().size();
+        break;
+    }
+  }
+  return size;
+}
+
+Status RowCodec::Decode(const char* data, size_t size, size_t* offset,
+                        Row* row) const {
+  const auto& cols = schema_->columns();
+  row->resize(cols.size());
+  size_t pos = *offset;
+  for (size_t c = 0; c < cols.size(); ++c) {
+    if (pos + 1 > size) return Status::Internal("truncated row (null byte)");
+    const bool is_null = data[pos] != 0;
+    ++pos;
+    if (is_null) {
+      (*row)[c] = Datum::Null(cols[c].type);
+      continue;
+    }
+    switch (cols[c].type) {
+      case DataType::kDouble: {
+        if (pos + 8 > size) return Status::Internal("truncated row (double)");
+        double v;
+        std::memcpy(&v, data + pos, 8);
+        pos += 8;
+        (*row)[c] = Datum::Double(v);
+        break;
+      }
+      case DataType::kInt64: {
+        if (pos + 8 > size) return Status::Internal("truncated row (int64)");
+        int64_t v;
+        std::memcpy(&v, data + pos, 8);
+        pos += 8;
+        (*row)[c] = Datum::Int64(v);
+        break;
+      }
+      case DataType::kVarchar: {
+        if (pos + 4 > size) return Status::Internal("truncated row (vlen)");
+        uint32_t len;
+        std::memcpy(&len, data + pos, 4);
+        pos += 4;
+        if (pos + len > size) return Status::Internal("truncated row (vchar)");
+        (*row)[c] = Datum::Varchar(std::string(data + pos, len));
+        pos += len;
+        break;
+      }
+    }
+  }
+  *offset = pos;
+  return Status::OK();
+}
+
+}  // namespace nlq::storage

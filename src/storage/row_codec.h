@@ -1,0 +1,41 @@
+#ifndef NLQ_STORAGE_ROW_CODEC_H_
+#define NLQ_STORAGE_ROW_CODEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace nlq::storage {
+
+/// Binary row format (schema-directed, no per-row schema info):
+///   per column: 1 null byte (0/1); if non-null:
+///     DOUBLE / BIGINT: 8 bytes little-endian
+///     VARCHAR: u32 length + bytes
+/// Rows are decoded sequentially inside a page, so no offset table is
+/// required.
+class RowCodec {
+ public:
+  explicit RowCodec(const Schema* schema) : schema_(schema) {}
+
+  /// Appends the encoded row to `out`. The row must match the schema.
+  void Encode(const Row& row, std::string* out) const;
+
+  /// Encoded size in bytes of `row`.
+  size_t EncodedSize(const Row& row) const;
+
+  /// Decodes one row starting at data[*offset]; advances *offset.
+  /// Fails on truncated input.
+  Status Decode(const char* data, size_t size, size_t* offset, Row* row) const;
+
+  const Schema& schema() const { return *schema_; }
+
+ private:
+  const Schema* schema_;
+};
+
+}  // namespace nlq::storage
+
+#endif  // NLQ_STORAGE_ROW_CODEC_H_

@@ -1,0 +1,74 @@
+#include "storage/schema.h"
+
+#include "common/strings.h"
+
+namespace nlq::storage {
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+Schema Schema::DataSet(size_t d, bool with_y) {
+  std::vector<Column> cols;
+  cols.reserve(d + 2);
+  cols.push_back({"i", DataType::kInt64});
+  for (size_t a = 1; a <= d; ++a) {
+    cols.push_back({"X" + std::to_string(a), DataType::kDouble});
+  }
+  if (with_y) cols.push_back({"Y", DataType::kDouble});
+  return Schema(std::move(cols));
+}
+
+StatusOr<size_t> Schema::ColumnIndex(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return i;
+  }
+  return Status::NotFound("no column named '" + std::string(name) + "'");
+}
+
+bool Schema::HasColumn(std::string_view name) const {
+  return ColumnIndex(name).ok();
+}
+
+Status Schema::ValidateRow(const Row& row) const {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(StringPrintf(
+        "row has %zu values but schema has %zu columns", row.size(),
+        columns_.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) continue;
+    const DataType expect = columns_[i].type;
+    const DataType got = row[i].type();
+    const bool numeric_ok =
+        expect != DataType::kVarchar && got != DataType::kVarchar;
+    if (got != expect && !numeric_ok) {
+      return Status::InvalidArgument(StringPrintf(
+          "column '%s' expects %s but row has %s", columns_[i].name.c_str(),
+          DataTypeName(expect), DataTypeName(got)));
+    }
+  }
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += DataTypeName(columns_[i].type);
+  }
+  return out;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].type != other.columns_[i].type) return false;
+    if (!EqualsIgnoreCase(columns_[i].name, other.columns_[i].name)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace nlq::storage

@@ -1,0 +1,52 @@
+#ifndef NLQ_STORAGE_SCHEMA_H_
+#define NLQ_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace nlq::storage {
+
+/// One column definition.
+struct Column {
+  std::string name;
+  DataType type;
+};
+
+/// Ordered list of columns with case-insensitive name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  /// Convenience: X(i BIGINT, X1..Xd DOUBLE [, Y DOUBLE]) — the layout
+  /// the paper uses for the input data set (Section 2.1).
+  static Schema DataSet(size_t d, bool with_y = false);
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t idx) const { return columns_[idx]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Case-insensitive lookup; NotFound if missing.
+  StatusOr<size_t> ColumnIndex(std::string_view name) const;
+
+  /// True if a column with this name exists.
+  bool HasColumn(std::string_view name) const;
+
+  /// Validates that `row` matches arity and column types (NULLs pass).
+  Status ValidateRow(const Row& row) const;
+
+  /// "name TYPE, name TYPE, ..." for error messages and CREATE TABLE.
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace nlq::storage
+
+#endif  // NLQ_STORAGE_SCHEMA_H_

@@ -1,0 +1,91 @@
+#include "storage/table.h"
+
+#include "common/strings.h"
+#include "storage/disk_manager.h"
+
+namespace nlq::storage {
+
+TableScanner::TableScanner(const Table* table)
+    : table_(table), codec_(&table->schema()) {
+  if (table_->num_pages() > 0) {
+    rows_left_in_page_ = table_->page(0).row_count();
+  }
+}
+
+bool TableScanner::Next() {
+  while (page_index_ < table_->num_pages() && rows_left_in_page_ == 0) {
+    ++page_index_;
+    page_offset_ = 0;
+    if (page_index_ < table_->num_pages()) {
+      rows_left_in_page_ = table_->page(page_index_).row_count();
+    }
+  }
+  if (page_index_ >= table_->num_pages()) return false;
+  const Page& page = table_->page(page_index_);
+  status_ =
+      codec_.Decode(page.payload(), page.payload_size(), &page_offset_, &row_);
+  if (!status_.ok()) return false;
+  --rows_left_in_page_;
+  return true;
+}
+
+Table::Table(Schema schema) : schema_(std::move(schema)), codec_(&schema_) {}
+
+Status Table::AppendRow(const Row& row) {
+  NLQ_RETURN_IF_ERROR(schema_.ValidateRow(row));
+  AppendRowUnchecked(row);
+  return Status::OK();
+}
+
+void Table::AppendRowUnchecked(const Row& row) {
+  encode_buffer_.clear();
+  codec_.Encode(row, &encode_buffer_);
+  if (pages_.empty() || !pages_.back()->Fits(encode_buffer_.size())) {
+    pages_.push_back(std::make_unique<Page>());
+  }
+  pages_.back()->AppendEncodedRow(encode_buffer_.data(),
+                                  encode_buffer_.size());
+  ++num_rows_;
+  data_bytes_ += encode_buffer_.size();
+}
+
+StatusOr<std::vector<Row>> Table::ReadAllRows() const {
+  std::vector<Row> rows;
+  rows.reserve(num_rows_);
+  TableScanner scanner = Scan();
+  while (scanner.Next()) rows.push_back(scanner.row());
+  if (!scanner.status().ok()) return scanner.status();
+  return rows;
+}
+
+void Table::Clear() {
+  pages_.clear();
+  num_rows_ = 0;
+  data_bytes_ = 0;
+}
+
+Status Table::SaveToFile(const std::string& path) const {
+  DiskManager disk;
+  NLQ_RETURN_IF_ERROR(disk.Open(path, /*truncate=*/true));
+  for (size_t i = 0; i < pages_.size(); ++i) {
+    NLQ_RETURN_IF_ERROR(disk.WritePage(i, *pages_[i]));
+  }
+  return disk.Sync();
+}
+
+Status Table::LoadFromFile(const std::string& path) {
+  DiskManager disk;
+  NLQ_RETURN_IF_ERROR(disk.Open(path, /*truncate=*/false));
+  NLQ_ASSIGN_OR_RETURN(uint64_t page_count, disk.PageCount());
+  Clear();
+  for (uint64_t i = 0; i < page_count; ++i) {
+    auto page = std::make_unique<Page>();
+    NLQ_RETURN_IF_ERROR(disk.ReadPage(i, page.get()));
+    num_rows_ += page->row_count();
+    data_bytes_ += page->used_bytes() - Page::kHeaderSize;
+    pages_.push_back(std::move(page));
+  }
+  return Status::OK();
+}
+
+}  // namespace nlq::storage

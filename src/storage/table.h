@@ -1,0 +1,102 @@
+#ifndef NLQ_STORAGE_TABLE_H_
+#define NLQ_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page.h"
+#include "storage/row_codec.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace nlq::storage {
+
+class Table;
+
+/// Sequential cursor over one table partition. Decodes rows page by
+/// page; `Next` returns false at end of data.
+class TableScanner {
+ public:
+  explicit TableScanner(const Table* table);
+
+  /// Advances to the next row; returns false at end. On success the
+  /// decoded row is available via `row()` (valid until the next call).
+  bool Next();
+
+  const Row& row() const { return row_; }
+
+  /// Error observed during the scan, if any.
+  const Status& status() const { return status_; }
+
+ private:
+  const Table* table_;
+  RowCodec codec_;
+  size_t page_index_ = 0;
+  size_t page_offset_ = 0;
+  size_t rows_left_in_page_ = 0;
+  Row row_;
+  Status status_;
+};
+
+/// Append-only heap table: a schema plus a run of 64 KB pages.
+///
+/// A Table is one *partition* in engine terms; PartitionedTable
+/// aggregates several into the shared-nothing layout the paper's
+/// Teradata system uses.
+class Table {
+ public:
+  explicit Table(Schema schema);
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
+
+  const Schema& schema() const { return schema_; }
+  uint64_t num_rows() const { return num_rows_; }
+  size_t num_pages() const { return pages_.size(); }
+
+  /// Total payload bytes across pages (row data only).
+  uint64_t data_bytes() const { return data_bytes_; }
+
+  /// Validates against the schema and appends.
+  Status AppendRow(const Row& row);
+
+  /// Appends without schema validation (trusted bulk-load path).
+  void AppendRowUnchecked(const Row& row);
+
+  /// Opens a scan cursor.
+  TableScanner Scan() const { return TableScanner(this); }
+
+  /// Materializes every row (tests / small model tables only).
+  StatusOr<std::vector<Row>> ReadAllRows() const;
+
+  /// Removes all rows, keeping the schema.
+  void Clear();
+
+  /// Persists pages to `path` (page images preceded by no catalog
+  /// metadata; the caller re-creates the schema).
+  Status SaveToFile(const std::string& path) const;
+
+  /// Replaces this table's pages with the content of `path`. The file
+  /// must have been produced by SaveToFile with the same schema.
+  Status LoadFromFile(const std::string& path);
+
+  const Page& page(size_t idx) const { return *pages_[idx]; }
+
+ private:
+  friend class TableScanner;
+
+  Schema schema_;
+  RowCodec codec_;
+  std::vector<std::unique_ptr<Page>> pages_;
+  uint64_t num_rows_ = 0;
+  uint64_t data_bytes_ = 0;
+  std::string encode_buffer_;
+};
+
+}  // namespace nlq::storage
+
+#endif  // NLQ_STORAGE_TABLE_H_

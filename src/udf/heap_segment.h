@@ -1,0 +1,62 @@
+#ifndef NLQ_UDF_HEAP_SEGMENT_H_
+#define NLQ_UDF_HEAP_SEGMENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+
+namespace nlq::udf {
+
+/// Default heap capacity per aggregate state. Mirrors the Teradata
+/// constraint the paper describes: "the amount of memory that can be
+/// allocated ... is currently limited to one 64 kb segment".
+inline constexpr size_t kDefaultHeapCapacity = 64 * 1024;
+
+/// Bump allocator bounded to a single segment. Aggregate UDFs keep all
+/// cross-row state here; an allocation that would exceed the segment
+/// fails (forcing the MAX_d-style static sizing and the partitioned
+/// high-d scheme of the paper's Table 6).
+class HeapSegment {
+ public:
+  explicit HeapSegment(size_t capacity = kDefaultHeapCapacity)
+      : capacity_(capacity), buffer_(new char[capacity]) {}
+
+  HeapSegment(const HeapSegment&) = delete;
+  HeapSegment& operator=(const HeapSegment&) = delete;
+
+  size_t capacity() const { return capacity_; }
+  size_t used() const { return used_; }
+  size_t remaining() const { return capacity_ - used_; }
+
+  /// Allocates `bytes` (8-byte aligned); nullptr when the segment
+  /// would overflow.
+  void* Allocate(size_t bytes) {
+    const size_t aligned = (bytes + 7) & ~size_t{7};
+    if (aligned > remaining()) return nullptr;
+    void* ptr = buffer_.get() + used_;
+    used_ += aligned;
+    return ptr;
+  }
+
+  /// Typed allocation, zero-initialized. T must be trivially
+  /// destructible — UDF state is dropped without destructor calls,
+  /// exactly like a C struct in the Teradata API.
+  template <typename T>
+  T* AllocateObject() {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "UDF heap state must be trivially destructible");
+    void* ptr = Allocate(sizeof(T));
+    if (ptr == nullptr) return nullptr;
+    return new (ptr) T{};
+  }
+
+ private:
+  size_t capacity_;
+  size_t used_ = 0;
+  std::unique_ptr<char[]> buffer_;
+};
+
+}  // namespace nlq::udf
+
+#endif  // NLQ_UDF_HEAP_SEGMENT_H_

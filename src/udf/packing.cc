@@ -1,0 +1,66 @@
+#include "udf/packing.h"
+
+#include <charconv>
+
+#include "common/strings.h"
+
+namespace nlq::udf {
+
+std::string PackDoubles(const std::vector<double>& values) {
+  std::string out;
+  AppendPackedDoubles(values, &out);
+  return out;
+}
+
+void AppendPackedDoubles(const std::vector<double>& values, std::string* out) {
+  out->reserve(out->size() + values.size() * 12);
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out->push_back(kPackSeparator);
+    AppendDouble(out, values[i]);
+  }
+}
+
+StatusOr<std::vector<double>> UnpackDoubles(std::string_view packed) {
+  std::vector<double> out;
+  if (packed.empty()) return out;
+  size_t start = 0;
+  for (size_t i = 0; i <= packed.size(); ++i) {
+    if (i == packed.size() || packed[i] == kPackSeparator) {
+      NLQ_ASSIGN_OR_RETURN(double v,
+                           ParseDouble(packed.substr(start, i - start)));
+      out.push_back(v);
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+StatusOr<size_t> UnpackDoublesInto(std::string_view packed, double* out,
+                                   size_t capacity) {
+  if (packed.empty()) return size_t{0};
+  size_t count = 0;
+  const char* cursor = packed.data();
+  const char* end = packed.data() + packed.size();
+  for (;;) {
+    if (count >= capacity) {
+      return Status::OutOfRange("packed vector exceeds buffer capacity");
+    }
+    double value = 0.0;
+    auto [ptr, ec] = std::from_chars(cursor, end, value);
+    if (ec != std::errc()) {
+      return Status::ParseError("invalid number in packed vector");
+    }
+    out[count++] = value;
+    if (ptr == end) break;
+    if (*ptr != kPackSeparator) {
+      return Status::ParseError("unexpected character in packed vector");
+    }
+    cursor = ptr + 1;
+    if (cursor == end) {
+      return Status::ParseError("trailing separator in packed vector");
+    }
+  }
+  return count;
+}
+
+}  // namespace nlq::udf

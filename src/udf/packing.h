@@ -1,0 +1,36 @@
+#ifndef NLQ_UDF_PACKING_H_
+#define NLQ_UDF_PACKING_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace nlq::udf {
+
+/// Separator for packed numeric vectors ("x1;x2;...;xd").
+inline constexpr char kPackSeparator = ';';
+
+/// Packs `values` as separator-joined decimal text. This is the exact
+/// run-time cost the paper attributes to the string parameter-passing
+/// style: "floating point numbers must be cast as strings".
+std::string PackDoubles(const std::vector<double>& values);
+
+/// Appends the packed form of `values` to `out` (hot-path variant).
+void AppendPackedDoubles(const std::vector<double>& values, std::string* out);
+
+/// Parses a packed vector back to doubles; the reverse run-time cost
+/// ("the long string ... must be parsed to get numbers back").
+StatusOr<std::vector<double>> UnpackDoubles(std::string_view packed);
+
+/// Unpacks into a caller-provided fixed-capacity buffer; returns the
+/// number of values written, or an error if parsing fails or more than
+/// `capacity` values are present. Used inside aggregate UDF state so
+/// the hot loop performs no allocation.
+StatusOr<size_t> UnpackDoublesInto(std::string_view packed, double* out,
+                                   size_t capacity);
+
+}  // namespace nlq::udf
+
+#endif  // NLQ_UDF_PACKING_H_

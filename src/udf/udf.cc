@@ -1,0 +1,48 @@
+#include "udf/udf.h"
+
+#include "common/strings.h"
+
+namespace nlq::udf {
+
+Status UdfRegistry::RegisterScalar(std::unique_ptr<ScalarUdf> udf) {
+  const std::string key = AsciiToLower(udf->name());
+  if (scalars_.count(key) > 0) {
+    return Status::AlreadyExists("scalar UDF '" + key + "' already registered");
+  }
+  scalars_[key] = std::move(udf);
+  return Status::OK();
+}
+
+Status UdfRegistry::RegisterAggregate(std::unique_ptr<AggregateUdf> udf) {
+  const std::string key = AsciiToLower(udf->name());
+  if (aggregates_.count(key) > 0) {
+    return Status::AlreadyExists("aggregate UDF '" + key +
+                                 "' already registered");
+  }
+  aggregates_[key] = std::move(udf);
+  return Status::OK();
+}
+
+const ScalarUdf* UdfRegistry::FindScalar(const std::string& name) const {
+  const auto it = scalars_.find(AsciiToLower(name));
+  return it == scalars_.end() ? nullptr : it->second.get();
+}
+
+const AggregateUdf* UdfRegistry::FindAggregate(const std::string& name) const {
+  const auto it = aggregates_.find(AsciiToLower(name));
+  return it == aggregates_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> UdfRegistry::ScalarNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, _] : scalars_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> UdfRegistry::AggregateNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, _] : aggregates_) names.push_back(name);
+  return names;
+}
+
+}  // namespace nlq::udf

@@ -1,0 +1,104 @@
+#ifndef NLQ_UDF_UDF_H_
+#define NLQ_UDF_UDF_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/value.h"
+#include "udf/heap_segment.h"
+
+namespace nlq::udf {
+
+/// A scalar User-Defined Function: one value per input row, computed
+/// from the row's parameter values only (no cross-row state, matching
+/// the paper's "scalar functions cannot keep values in main memory
+/// from row to row").
+class ScalarUdf {
+ public:
+  virtual ~ScalarUdf() = default;
+
+  /// SQL-visible (case-insensitive) function name.
+  virtual const std::string& name() const = 0;
+
+  /// Type of the returned value.
+  virtual storage::DataType return_type() const = 0;
+
+  /// Validates an argument count at plan time. Default accepts any.
+  virtual Status CheckArity(size_t num_args) const {
+    (void)num_args;
+    return Status::OK();
+  }
+
+  /// Computes the value for one row.
+  virtual StatusOr<storage::Datum> Invoke(
+      const std::vector<storage::Datum>& args) const = 0;
+};
+
+/// An aggregate UDF following the Teradata four-phase run-time
+/// protocol the paper describes in Section 3.4:
+///   1. Init      — allocate per-thread (or per-group) state in a
+///                  bounded heap segment;
+///   2. Accumulate — called once per row with the parameter values;
+///   3. Merge     — combine a partial state computed by another
+///                  thread into this one (parallel shared-nothing);
+///   4. Finalize  — pack the result into a single return value
+///                  (UDFs "can only return one value of a simple
+///                  data type").
+class AggregateUdf {
+ public:
+  virtual ~AggregateUdf() = default;
+
+  virtual const std::string& name() const = 0;
+  virtual storage::DataType return_type() const = 0;
+
+  virtual Status CheckArity(size_t num_args) const {
+    (void)num_args;
+    return Status::OK();
+  }
+
+  /// Allocates zeroed state inside `heap`. Fails with
+  /// ResourceExhausted if the state does not fit the segment.
+  virtual StatusOr<void*> Init(HeapSegment* heap) const = 0;
+
+  /// Folds one row into `state`.
+  virtual Status Accumulate(void* state,
+                            const std::vector<storage::Datum>& args) const = 0;
+
+  /// Folds the partial aggregate `other` into `state`.
+  virtual Status Merge(void* state, const void* other) const = 0;
+
+  /// Produces the single return value.
+  virtual StatusOr<storage::Datum> Finalize(const void* state) const = 0;
+};
+
+/// Case-insensitive registry of scalar and aggregate UDFs. The engine
+/// resolves function calls in SELECT lists against a registry, exactly
+/// as Teradata resolves compiled UDFs "like any other SQL function".
+class UdfRegistry {
+ public:
+  /// Registers a scalar UDF; AlreadyExists on name clash with another
+  /// scalar UDF.
+  Status RegisterScalar(std::unique_ptr<ScalarUdf> udf);
+
+  /// Registers an aggregate UDF; AlreadyExists on name clash with
+  /// another aggregate UDF.
+  Status RegisterAggregate(std::unique_ptr<AggregateUdf> udf);
+
+  /// Lookup; nullptr when not registered.
+  const ScalarUdf* FindScalar(const std::string& name) const;
+  const AggregateUdf* FindAggregate(const std::string& name) const;
+
+  std::vector<std::string> ScalarNames() const;
+  std::vector<std::string> AggregateNames() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<ScalarUdf>> scalars_;
+  std::map<std::string, std::unique_ptr<AggregateUdf>> aggregates_;
+};
+
+}  // namespace nlq::udf
+
+#endif  // NLQ_UDF_UDF_H_

@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/threadpool.h"
+#include "tests/test_util.h"
+
+namespace nlq {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / StatusOr
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad d");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad d");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad d");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kParseError); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("nope");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+StatusOr<int> Double(StatusOr<int> in) {
+  NLQ_ASSIGN_OR_RETURN(int v, in);
+  return v * 2;
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Double(21), 42);
+  EXPECT_FALSE(Double(Status::Internal("x")).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Strings
+// ---------------------------------------------------------------------------
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  auto parts = SplitString("a;;b;", ';');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringsTest, SplitSingleField) {
+  auto parts = SplitString("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringsTest, CaseHelpers) {
+  EXPECT_EQ(AsciiToLower("SeLeCt"), "select");
+  EXPECT_TRUE(EqualsIgnoreCase("BETA", "beta"));
+  EXPECT_FALSE(EqualsIgnoreCase("BETA", "betas"));
+}
+
+TEST(StringsTest, TrimWhitespace) {
+  EXPECT_EQ(TrimWhitespace("  x1 \t\n"), "x1");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+}
+
+TEST(StringsTest, ParseDoubleValid) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.25"), 3.25);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-1e3"), -1000.0);
+  EXPECT_DOUBLE_EQ(*ParseDouble("  7 "), 7.0);
+}
+
+TEST(StringsTest, ParseDoubleRejectsGarbage) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("1.5x").ok());
+}
+
+TEST(StringsTest, ParseInt64) {
+  EXPECT_EQ(*ParseInt64("-42"), -42);
+  EXPECT_FALSE(ParseInt64("4.2").ok());
+}
+
+TEST(StringsTest, StringPrintfFormats) {
+  EXPECT_EQ(StringPrintf("Q%zu_%zu=%d", size_t{2}, size_t{1}, 7), "Q2_1=7");
+  EXPECT_EQ(StringPrintf("%s", ""), "");
+}
+
+// Property: AppendDouble emits a shortest round-trip representation.
+class DoubleRoundTripTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DoubleRoundTripTest, RoundTrips) {
+  std::string text;
+  AppendDouble(&text, GetParam());
+  auto parsed = ParseDouble(text);
+  ASSERT_TRUE(parsed.ok()) << text;
+  EXPECT_EQ(*parsed, GetParam()) << text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, DoubleRoundTripTest,
+    ::testing::Values(0.0, -0.0, 1.0, -1.5, 3.141592653589793, 1e-300, 1e300,
+                      123456789.123456789, -2.2250738585072014e-308,
+                      0.1, 1.0 / 3.0, 65504.0));
+
+TEST(StringsTest, RandomDoubleRoundTripSweep) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = (rng.NextDouble() - 0.5) * std::pow(10.0, static_cast<double>(rng.NextUint64(60)) - 30.0);
+    std::string text;
+    AppendDouble(&text, v);
+    auto parsed = ParseDouble(text);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, v);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Random
+// ---------------------------------------------------------------------------
+
+TEST(RandomTest, DeterministicForSeed) {
+  Random a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextUint64() == b.NextUint64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RandomTest, BoundedStaysInRange) {
+  Random rng(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.NextUint64(17), 17u);
+}
+
+TEST(RandomTest, UniformRange) {
+  Random rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextUniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RandomTest, GaussianMoments) {
+  Random rng(11);
+  const int n = 200000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian();
+    sum += v;
+    sum2 += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+}
+
+TEST(RandomTest, GaussianMeanStddev) {
+  Random rng(13);
+  const int n = 100000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.NextGaussian(50.0, 10.0);
+  EXPECT_NEAR(sum / n, 50.0, 0.2);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.ParallelFor(100, [&](size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ZeroTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, SequentialBatches) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int batch = 0; batch < 10; ++batch) {
+    pool.ParallelFor(10, [&](size_t) { counter++; });
+    EXPECT_EQ(counter.load(), (batch + 1) * 10);
+  }
+}
+
+TEST(ThreadPoolTest, AtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(5, [&](size_t) { counter++; });
+  EXPECT_EQ(counter.load(), 5);
+}
+
+TEST(ThreadPoolTest, ActuallyParallel) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::set<std::thread::id> ids;
+  std::mutex mu;
+  pool.ParallelFor(64, [&](size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    std::lock_guard<std::mutex> lock(mu);
+    ids.insert(std::this_thread::get_id());
+  });
+  EXPECT_GT(ids.size(), 1u);
+}
+
+}  // namespace
+}  // namespace nlq

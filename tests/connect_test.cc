@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "connect/extern_analyzer.h"
+#include "connect/odbc_sim.h"
+#include "gen/datagen.h"
+#include "stats/miner.h"
+#include "tests/test_util.h"
+
+namespace nlq::connect {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+class ConnectTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = nlq::testing::MakeTestDatabase();
+    gen::MixtureOptions options;
+    options.n = 1500;
+    options.d = 4;
+    options.seed = 555;
+    NLQ_ASSERT_OK(gen::GenerateDataSetTable(db_.get(), "X", options).status());
+  }
+
+  std::unique_ptr<nlq::engine::Database> db_;
+};
+
+TEST_F(ConnectTest, ExportWritesEveryRow) {
+  const std::string path = TempPath("export_all.csv");
+  OdbcExporter exporter;
+  auto table = db_->catalog().GetTable("X");
+  ASSERT_TRUE(table.ok());
+  NLQ_ASSERT_OK_AND_ASSIGN(OdbcExportResult result,
+                           exporter.ExportTable(**table, path));
+  EXPECT_EQ(result.rows, 1500u);
+  EXPECT_GT(result.bytes, 0u);
+  EXPECT_GT(result.modeled_link_seconds, 0.0);
+
+  // Count lines in the file.
+  std::ifstream in(path);
+  size_t lines = 0;
+  std::string line;
+  size_t commas = 0;
+  while (std::getline(in, line)) {
+    if (lines == 0) commas = std::count(line.begin(), line.end(), ',');
+    ++lines;
+  }
+  EXPECT_EQ(lines, 1500u);
+  EXPECT_EQ(commas, 4u);  // i + 4 dims -> 4 separators
+  std::remove(path.c_str());
+}
+
+TEST_F(ConnectTest, ExternalAnalyzerMatchesInDbmsStats) {
+  const std::string path = TempPath("export_analyze.csv");
+  OdbcExporter exporter;
+  auto table = db_->catalog().GetTable("X");
+  ASSERT_TRUE(table.ok());
+  NLQ_ASSERT_OK(exporter.ExportTable(**table, path).status());
+
+  ExternalAnalyzerOptions options;
+  options.kind = stats::MatrixKind::kFull;
+  NLQ_ASSERT_OK_AND_ASSIGN(stats::SufStats external,
+                           AnalyzeFlatFile(path, 4, options));
+
+  stats::WarehouseMiner miner(db_.get());
+  NLQ_ASSERT_OK_AND_ASSIGN(
+      stats::SufStats internal,
+      miner.ComputeSufStats("X", stats::DimensionColumns(4),
+                            stats::MatrixKind::kFull,
+                            stats::ComputeVia::kUdfList));
+  EXPECT_EQ(external.n(), internal.n());
+  // Text round trip is exact; the only difference is floating-point
+  // summation order (parallel partitions vs. sequential file scan).
+  EXPECT_LT(external.MaxAbsDiff(internal), 1e-5);
+  std::remove(path.c_str());
+}
+
+TEST_F(ConnectTest, LinkModelCalibratedToPaper) {
+  // Paper Table 2: n=100k d=8 -> 168 s; d=64 -> 1204 s; n=200k d=64 ->
+  // 2407 s. Our defaults should land within ~15% of those anchors.
+  LinkModel link;
+  // 9 columns (i + 8 dims) at ~12 text bytes each.
+  const double t1 = link.TransferSeconds(100000, 9, 100000 * 9 * 12);
+  EXPECT_NEAR(t1, 168.0, 0.15 * 168.0);
+  const double t2 = link.TransferSeconds(100000, 65, 100000 * 65 * 12);
+  EXPECT_NEAR(t2, 1204.0, 0.15 * 1204.0);
+  const double t3 = link.TransferSeconds(200000, 65, 200000 * 65 * 12);
+  EXPECT_NEAR(t3, 2407.0, 0.15 * 2407.0);
+}
+
+TEST_F(ConnectTest, LinkModelMonotonicity) {
+  LinkModel link;
+  EXPECT_LT(link.TransferSeconds(1000, 8, 100000),
+            link.TransferSeconds(2000, 8, 200000));
+  EXPECT_LT(link.TransferSeconds(1000, 8, 100000),
+            link.TransferSeconds(1000, 16, 100000));
+  LinkModel fast = link;
+  fast.bandwidth_mbps = 1000.0;
+  EXPECT_LE(fast.TransferSeconds(1000, 8, 100000000),
+            link.TransferSeconds(1000, 8, 100000000));
+}
+
+TEST_F(ConnectTest, TotalSecondsIsMaxOfPhases) {
+  OdbcExportResult result;
+  result.serialize_seconds = 2.0;
+  result.modeled_link_seconds = 5.0;
+  EXPECT_DOUBLE_EQ(result.TotalSeconds(), 5.0);
+  result.serialize_seconds = 9.0;
+  EXPECT_DOUBLE_EQ(result.TotalSeconds(), 9.0);
+}
+
+TEST_F(ConnectTest, AnalyzerRejectsMissingFile) {
+  EXPECT_FALSE(AnalyzeFlatFile("/no/such/file.csv", 4).ok());
+}
+
+TEST_F(ConnectTest, AnalyzerRejectsMalformedRows) {
+  const std::string path = TempPath("malformed.csv");
+  {
+    std::ofstream out(path);
+    out << "1,1.0,2.0\n";
+    out << "2,not_a_number,2.0\n";
+  }
+  EXPECT_FALSE(AnalyzeFlatFile(path, 2).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(ConnectTest, AnalyzerRejectsWrongColumnCount) {
+  const std::string path = TempPath("wrong_cols.csv");
+  {
+    std::ofstream out(path);
+    out << "1,1.0\n";  // only one value column, d=2 expected
+  }
+  EXPECT_FALSE(AnalyzeFlatFile(path, 2).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(ConnectTest, AnalyzerHandlesNoTrailingNewline) {
+  const std::string path = TempPath("no_trailing.csv");
+  {
+    std::ofstream out(path);
+    out << "1,1.0,2.0\n2,3.0,4.0";  // no final newline
+  }
+  NLQ_ASSERT_OK_AND_ASSIGN(stats::SufStats stats, AnalyzeFlatFile(path, 2));
+  EXPECT_EQ(stats.n(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.L(0), 4.0);
+  EXPECT_DOUBLE_EQ(stats.L(1), 6.0);
+  std::remove(path.c_str());
+}
+
+TEST_F(ConnectTest, AnalyzerIgnoresExtraColumns) {
+  // Extra Y column beyond d is ignored (regression exports).
+  const std::string path = TempPath("extra_cols.csv");
+  {
+    std::ofstream out(path);
+    out << "1,1.0,2.0,99.0\n";
+  }
+  NLQ_ASSERT_OK_AND_ASSIGN(stats::SufStats stats, AnalyzeFlatFile(path, 2));
+  EXPECT_EQ(stats.n(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.Q(0, 1), 2.0);
+  std::remove(path.c_str());
+}
+
+TEST_F(ConnectTest, ExportFailsOnBadPath) {
+  OdbcExporter exporter;
+  auto table = db_->catalog().GetTable("X");
+  ASSERT_TRUE(table.ok());
+  EXPECT_FALSE(exporter.ExportTable(**table, "/no/such/dir/out.csv").ok());
+}
+
+}  // namespace
+}  // namespace nlq::connect

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/datagen.h"
+#include "stats/miner.h"
+#include "tests/test_util.h"
+
+namespace nlq::gen {
+namespace {
+
+TEST(DataGenTest, GeneratesRequestedRowCount) {
+  auto db = nlq::testing::MakeTestDatabase();
+  MixtureOptions options;
+  options.n = 1234;
+  options.d = 3;
+  NLQ_ASSERT_OK_AND_ASSIGN(uint64_t rows,
+                           GenerateDataSetTable(db.get(), "X", options));
+  EXPECT_EQ(rows, 1234u);
+  NLQ_ASSERT_OK_AND_ASSIGN(double count,
+                           db->QueryDouble("SELECT count(*) FROM X"));
+  EXPECT_DOUBLE_EQ(count, 1234.0);
+}
+
+TEST(DataGenTest, SchemaMatchesOptions) {
+  auto db = nlq::testing::MakeTestDatabase();
+  MixtureOptions options;
+  options.n = 10;
+  options.d = 2;
+  options.with_y = true;
+  NLQ_ASSERT_OK(GenerateDataSetTable(db.get(), "XY", options).status());
+  auto table = db->catalog().GetTable("XY");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->schema().num_columns(), 4u);  // i, X1, X2, Y
+  EXPECT_TRUE((*table)->schema().HasColumn("Y"));
+}
+
+TEST(DataGenTest, ReplacesExistingTable) {
+  auto db = nlq::testing::MakeTestDatabase();
+  MixtureOptions options;
+  options.n = 50;
+  options.d = 2;
+  NLQ_ASSERT_OK(GenerateDataSetTable(db.get(), "X", options).status());
+  options.n = 70;
+  NLQ_ASSERT_OK(GenerateDataSetTable(db.get(), "X", options).status());
+  NLQ_ASSERT_OK_AND_ASSIGN(double count,
+                           db->QueryDouble("SELECT count(*) FROM X"));
+  EXPECT_DOUBLE_EQ(count, 70.0);
+}
+
+TEST(DataGenTest, DeterministicForSeed) {
+  MixtureOptions options;
+  options.n = 100;
+  options.d = 4;
+  options.seed = 77;
+  const auto a = GeneratePoints(options);
+  const auto b = GeneratePoints(options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = 0; j < 4; ++j) EXPECT_EQ(a[i][j], b[i][j]);
+  }
+  options.seed = 78;
+  const auto c = GeneratePoints(options);
+  EXPECT_NE(a[0][0], c[0][0]);
+}
+
+TEST(DataGenTest, MixtureStatisticsPlausible) {
+  // Means in [0,100], sigma=10, 15% noise: the overall per-dimension
+  // mean should land well inside [20, 80] and stddev should be large
+  // (cluster spread dominates sigma).
+  MixtureOptions options;
+  options.n = 20000;
+  options.d = 3;
+  options.seed = 99;
+  const auto points = GeneratePoints(options);
+  for (size_t a = 0; a < 3; ++a) {
+    double sum = 0, sum2 = 0;
+    for (const auto& p : points) {
+      sum += p[a];
+      sum2 += p[a] * p[a];
+    }
+    const double mean = sum / points.size();
+    const double var = sum2 / points.size() - mean * mean;
+    EXPECT_GT(mean, 10.0);
+    EXPECT_LT(mean, 90.0);
+    EXPECT_GT(std::sqrt(var), 10.0);  // more spread than one component
+  }
+}
+
+TEST(DataGenTest, NoiseFractionRoughlyRespected) {
+  MixtureOptions options;
+  options.n = 20000;
+  options.d = 2;
+  options.noise_fraction = 0.15;
+  MixtureGenerator generator(options);
+  std::vector<double> x(2);
+  size_t noise = 0;
+  for (uint64_t i = 0; i < options.n; ++i) {
+    if (generator.NextPoint(x.data(), nullptr) < 0) ++noise;
+  }
+  const double fraction = static_cast<double>(noise) / options.n;
+  EXPECT_NEAR(fraction, 0.15, 0.01);
+}
+
+TEST(DataGenTest, YFollowsLinearModel) {
+  MixtureOptions options;
+  options.n = 5000;
+  options.d = 3;
+  options.with_y = true;
+  options.y_noise_stddev = 0.0;  // exact linear target
+  MixtureGenerator generator(options);
+  const linalg::Vector beta = generator.true_beta();
+  std::vector<double> x(3);
+  double y = 0;
+  for (int i = 0; i < 100; ++i) {
+    generator.NextPoint(x.data(), &y);
+    double expect = beta[0];
+    for (size_t a = 0; a < 3; ++a) expect += beta[a + 1] * x[a];
+    EXPECT_NEAR(y, expect, 1e-9);
+  }
+}
+
+TEST(DataGenTest, RegressionOnGeneratedDataRecoversBeta) {
+  auto db = nlq::testing::MakeTestDatabase();
+  MixtureOptions options;
+  options.n = 8000;
+  options.d = 3;
+  options.with_y = true;
+  options.y_noise_stddev = 1.0;
+  options.seed = 123;
+  NLQ_ASSERT_OK(GenerateDataSetTable(db.get(), "X", options).status());
+  MixtureGenerator generator(options);  // same seed -> same beta
+
+  stats::WarehouseMiner miner(db.get());
+  NLQ_ASSERT_OK_AND_ASSIGN(
+      stats::LinearRegressionModel model,
+      miner.BuildLinearRegression("X", stats::DimensionColumns(3), "Y",
+                                  stats::ComputeVia::kUdfList));
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(model.beta[i], generator.true_beta()[i], 0.05) << i;
+  }
+}
+
+TEST(DataGenTest, ClusterMeansInRange) {
+  MixtureOptions options;
+  options.d = 5;
+  MixtureGenerator generator(options);
+  const auto& means = generator.cluster_means();
+  EXPECT_EQ(means.rows(), options.num_clusters);
+  for (size_t j = 0; j < means.rows(); ++j) {
+    for (size_t a = 0; a < 5; ++a) {
+      EXPECT_GE(means(j, a), 0.0);
+      EXPECT_LT(means(j, a), 100.0);
+    }
+  }
+}
+
+
+TEST(SplitDataSetTest, PartitionsByIdRule) {
+  auto db = nlq::testing::MakeTestDatabase();
+  MixtureOptions options;
+  options.n = 1000;
+  options.d = 2;
+  NLQ_ASSERT_OK(GenerateDataSetTable(db.get(), "X", options).status());
+  NLQ_ASSERT_OK_AND_ASSIGN(
+      auto counts, SplitDataSetTable(db.get(), "X", "TR", "TE", 5, 0));
+  EXPECT_EQ(counts.first, 800u);
+  EXPECT_EQ(counts.second, 200u);
+  // Disjoint and exhaustive.
+  NLQ_ASSERT_OK_AND_ASSIGN(double overlap,
+                           db->QueryDouble(
+                               "SELECT count(*) FROM TR WHERE i % 5 = 0"));
+  EXPECT_DOUBLE_EQ(overlap, 0.0);
+  NLQ_ASSERT_OK_AND_ASSIGN(double test_rule,
+                           db->QueryDouble(
+                               "SELECT count(*) FROM TE WHERE i % 5 <> 0"));
+  EXPECT_DOUBLE_EQ(test_rule, 0.0);
+}
+
+TEST(SplitDataSetTest, ReplacesAndValidates) {
+  auto db = nlq::testing::MakeTestDatabase();
+  MixtureOptions options;
+  options.n = 100;
+  options.d = 1;
+  NLQ_ASSERT_OK(GenerateDataSetTable(db.get(), "X", options).status());
+  NLQ_ASSERT_OK(SplitDataSetTable(db.get(), "X", "TR", "TE").status());
+  NLQ_ASSERT_OK(SplitDataSetTable(db.get(), "X", "TR", "TE").status());
+  EXPECT_FALSE(SplitDataSetTable(db.get(), "X", "A", "B", 1, 0).ok());
+  EXPECT_FALSE(SplitDataSetTable(db.get(), "X", "A", "B", 5, 9).ok());
+  EXPECT_FALSE(SplitDataSetTable(db.get(), "MISSING", "A", "B").ok());
+}
+
+}  // namespace
+}  // namespace nlq::gen

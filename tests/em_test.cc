@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "common/strings.h"
+#include "stats/em.h"
+#include "stats/miner.h"
+#include "tests/test_util.h"
+
+namespace nlq::stats {
+namespace {
+
+std::vector<linalg::Vector> TwoBlobs(size_t per_cluster, uint64_t seed,
+                                     double separation = 50.0) {
+  Random rng(seed);
+  std::vector<linalg::Vector> points;
+  for (size_t j = 0; j < 2; ++j) {
+    for (size_t i = 0; i < per_cluster; ++i) {
+      points.push_back({separation * j + rng.NextGaussian(0, 2.0),
+                        separation * j + rng.NextGaussian(0, 3.0)});
+    }
+  }
+  return points;
+}
+
+TEST(EmTest, RecoversTwoGaussians) {
+  const auto points = TwoBlobs(1000, 5);
+  EmOptions options;
+  options.k = 2;
+  NLQ_ASSERT_OK_AND_ASSIGN(GaussianMixtureModel model,
+                           FitGaussianMixture(points, options));
+  // One component near (0,0), one near (50,50); weights about even.
+  std::vector<bool> covered(2, false);
+  for (size_t j = 0; j < 2; ++j) {
+    for (int blob = 0; blob < 2; ++blob) {
+      if (std::fabs(model.means(j, 0) - 50.0 * blob) < 2.0 &&
+          std::fabs(model.means(j, 1) - 50.0 * blob) < 2.0) {
+        covered[blob] = true;
+        EXPECT_NEAR(model.weights[j], 0.5, 0.05);
+        EXPECT_NEAR(model.variances(j, 0), 4.0, 1.0);
+        EXPECT_NEAR(model.variances(j, 1), 9.0, 2.0);
+      }
+    }
+  }
+  EXPECT_TRUE(covered[0] && covered[1]);
+}
+
+TEST(EmTest, WeightsFormDistribution) {
+  const auto points = TwoBlobs(200, 7);
+  EmOptions options;
+  options.k = 4;
+  NLQ_ASSERT_OK_AND_ASSIGN(GaussianMixtureModel model,
+                           FitGaussianMixture(points, options));
+  double sum = 0.0;
+  for (double w : model.weights) {
+    EXPECT_GE(w, 0.0);
+    sum += w;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(EmTest, ResponsibilitiesSumToOne) {
+  const auto points = TwoBlobs(100, 11);
+  EmOptions options;
+  options.k = 3;
+  NLQ_ASSERT_OK_AND_ASSIGN(GaussianMixtureModel model,
+                           FitGaussianMixture(points, options));
+  for (size_t i = 0; i < 10; ++i) {
+    const auto resp = model.Responsibilities(points[i].data());
+    double sum = 0.0;
+    for (double r : resp) {
+      EXPECT_GE(r, 0.0);
+      EXPECT_LE(r, 1.0 + 1e-12);
+      sum += r;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(EmTest, LogLikelihoodImprovesOverSingleIteration) {
+  const auto points = TwoBlobs(500, 13);
+  EmOptions one;
+  one.k = 2;
+  one.max_iterations = 1;
+  one.tolerance = 0.0;
+  EmOptions many = one;
+  many.max_iterations = 30;
+  NLQ_ASSERT_OK_AND_ASSIGN(GaussianMixtureModel m1,
+                           FitGaussianMixture(points, one));
+  NLQ_ASSERT_OK_AND_ASSIGN(GaussianMixtureModel m30,
+                           FitGaussianMixture(points, many));
+  EXPECT_GE(m30.log_likelihood, m1.log_likelihood - 1e-6);
+  EXPECT_GE(m30.iterations_run, m1.iterations_run);
+}
+
+TEST(EmTest, HardAssignmentSeparatesBlobs) {
+  const auto points = TwoBlobs(300, 17);
+  EmOptions options;
+  options.k = 2;
+  NLQ_ASSERT_OK_AND_ASSIGN(GaussianMixtureModel model,
+                           FitGaussianMixture(points, options));
+  // Points from the same blob should map to the same component.
+  const size_t first_blob = model.MostLikelyCluster(points[0].data());
+  const size_t second_blob = model.MostLikelyCluster(points[599].data());
+  EXPECT_NE(first_blob, second_blob);
+  size_t agree = 0;
+  for (size_t i = 0; i < 300; ++i) {
+    agree += model.MostLikelyCluster(points[i].data()) == first_blob;
+  }
+  EXPECT_GT(agree, 295u);
+}
+
+TEST(EmTest, MixtureFromKMeansSharesLayout) {
+  const auto points = TwoBlobs(200, 19);
+  KMeansOptions km;
+  km.k = 2;
+  NLQ_ASSERT_OK_AND_ASSIGN(KMeansModel kmeans, FitKMeans(points, km));
+  const GaussianMixtureModel model = MixtureFromKMeans(kmeans);
+  EXPECT_EQ(model.d, kmeans.d);
+  EXPECT_EQ(model.k, kmeans.k);
+  EXPECT_EQ(model.means.MaxAbsDiff(kmeans.centroids), 0.0);
+  double sum = 0.0;
+  for (double w : model.weights) sum += w;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  for (size_t j = 0; j < model.k; ++j) {
+    for (size_t a = 0; a < model.d; ++a) {
+      EXPECT_GT(model.variances(j, a), 0.0);
+    }
+  }
+}
+
+TEST(EmTest, DensityIntegratesConsistently) {
+  // Sanity: the density at a component mean is higher than far away.
+  const auto points = TwoBlobs(500, 23);
+  EmOptions options;
+  options.k = 2;
+  NLQ_ASSERT_OK_AND_ASSIGN(GaussianMixtureModel model,
+                           FitGaussianMixture(points, options));
+  const linalg::Vector at_mean{model.means(0, 0), model.means(0, 1)};
+  const linalg::Vector far{model.means(0, 0) + 500, model.means(0, 1) + 500};
+  EXPECT_GT(model.LogDensity(at_mean.data()), model.LogDensity(far.data()));
+}
+
+TEST(EmTest, ErrorCases) {
+  EXPECT_FALSE(FitGaussianMixture({}, EmOptions{}).ok());
+  EmOptions zero_k;
+  zero_k.k = 0;
+  EXPECT_FALSE(FitGaussianMixture({{1.0, 2.0}}, zero_k).ok());
+}
+
+class EmKSweepTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(EmKSweepTest, MoreComponentsNeverHurtLikelihood) {
+  const auto points = TwoBlobs(400, 29);
+  EmOptions small;
+  small.k = 1;
+  small.max_iterations = 25;
+  EmOptions big = small;
+  big.k = GetParam();
+  NLQ_ASSERT_OK_AND_ASSIGN(GaussianMixtureModel m1,
+                           FitGaussianMixture(points, small));
+  NLQ_ASSERT_OK_AND_ASSIGN(GaussianMixtureModel mk,
+                           FitGaussianMixture(points, big));
+  EXPECT_GE(mk.log_likelihood, m1.log_likelihood - 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, EmKSweepTest, ::testing::Values(2, 3, 4, 8));
+
+
+// ---------------------------------------------------------------------------
+// In-DBMS classification EM
+// ---------------------------------------------------------------------------
+
+TEST(EmInDbmsTest, RecoversComponentsInOneScanPerIteration) {
+  auto db = nlq::testing::MakeTestDatabase();
+  NLQ_ASSERT_OK(db->ExecuteCommand(
+      "CREATE TABLE X (i BIGINT, X1 DOUBLE, X2 DOUBLE)"));
+  Random rng(33);
+  int64_t id = 0;
+  for (int blob = 0; blob < 2; ++blob) {
+    for (int i = 0; i < 400; ++i) {
+      NLQ_ASSERT_OK(db->ExecuteCommand(StringPrintf(
+          "INSERT INTO X VALUES (%lld, %.17g, %.17g)",
+          static_cast<long long>(++id),
+          rng.NextGaussian(60.0 * blob, 2.0),
+          rng.NextGaussian(60.0 * blob, 3.0))));
+    }
+  }
+  stats::WarehouseMiner miner(db.get());
+  EmOptions options;
+  options.k = 2;
+  options.max_iterations = 10;
+  NLQ_ASSERT_OK_AND_ASSIGN(GaussianMixtureModel model,
+                           miner.BuildGaussianMixtureInDbms("X", 2, options));
+  // Both blob centers covered; weights about even; variances sane.
+  std::vector<bool> covered(2, false);
+  for (size_t j = 0; j < 2; ++j) {
+    for (int blob = 0; blob < 2; ++blob) {
+      if (std::fabs(model.means(j, 0) - 60.0 * blob) < 3.0) {
+        covered[blob] = true;
+        EXPECT_NEAR(model.weights[j], 0.5, 0.05);
+        EXPECT_GT(model.variances(j, 0), 1.0);
+        EXPECT_LT(model.variances(j, 0), 10.0);
+      }
+    }
+  }
+  EXPECT_TRUE(covered[0] && covered[1]);
+  // The parameter table for scoring is left behind.
+  EXPECT_TRUE(db->catalog().HasTable("X_EMP"));
+}
+
+TEST(EmInDbmsTest, RejectsZeroK) {
+  auto db = nlq::testing::MakeTestDatabase();
+  NLQ_ASSERT_OK(db->ExecuteCommand("CREATE TABLE X (i BIGINT, X1 DOUBLE)"));
+  NLQ_ASSERT_OK(db->ExecuteCommand("INSERT INTO X VALUES (1, 1)"));
+  stats::WarehouseMiner miner(db.get());
+  EmOptions options;
+  options.k = 0;
+  EXPECT_FALSE(miner.BuildGaussianMixtureInDbms("X", 1, options).ok());
+}
+
+}  // namespace
+}  // namespace nlq::stats

@@ -1,0 +1,274 @@
+// Failure-injection and edge-case coverage for the engine: errors
+// raised inside parallel partition scans, UDF failures mid-query,
+// heap-segment exhaustion, NULL ordering, type quirks.
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "tests/test_util.h"
+#include "udf/heap_segment.h"
+#include "udf/udf.h"
+
+namespace nlq::engine {
+namespace {
+
+using storage::DataType;
+using storage::Datum;
+
+// A scalar UDF that fails whenever its argument exceeds a threshold —
+// used to verify that errors raised deep inside a parallel partition
+// scan abort the whole query and surface to the caller.
+class FailAboveUdf : public udf::ScalarUdf {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "fail_above";
+    return kName;
+  }
+  DataType return_type() const override { return DataType::kDouble; }
+  Status CheckArity(size_t num_args) const override {
+    return num_args == 2
+               ? Status::OK()
+               : Status::InvalidArgument("fail_above(x, limit) needs 2 args");
+  }
+  StatusOr<Datum> Invoke(const std::vector<Datum>& args) const override {
+    if (args[0].AsDouble() > args[1].AsDouble()) {
+      return Status::Internal("injected failure");
+    }
+    return args[0];
+  }
+};
+
+// An aggregate UDF whose state never fits the 64 KB heap segment.
+class HugeStateUdaf : public udf::AggregateUdf {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "huge_state";
+    return kName;
+  }
+  DataType return_type() const override { return DataType::kDouble; }
+  StatusOr<void*> Init(udf::HeapSegment* heap) const override {
+    void* p = heap->Allocate(udf::kDefaultHeapCapacity + 1);
+    if (p == nullptr) {
+      return Status::ResourceExhausted("state exceeds the heap segment");
+    }
+    return p;
+  }
+  Status Accumulate(void*, const std::vector<Datum>&) const override {
+    return Status::OK();
+  }
+  Status Merge(void*, const void*) const override { return Status::OK(); }
+  StatusOr<Datum> Finalize(const void*) const override {
+    return Datum::Double(0);
+  }
+};
+
+// An aggregate UDF that fails during Accumulate after a few rows.
+class FailingUdaf : public udf::AggregateUdf {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "failing_agg";
+    return kName;
+  }
+  DataType return_type() const override { return DataType::kDouble; }
+  StatusOr<void*> Init(udf::HeapSegment* heap) const override {
+    return heap->Allocate(8);
+  }
+  Status Accumulate(void* state,
+                    const std::vector<Datum>& args) const override {
+    auto* count = static_cast<int64_t*>(state);
+    if (++(*count) > 3 && args[0].AsDouble() > 0) {
+      return Status::Internal("aggregate blew up");
+    }
+    return Status::OK();
+  }
+  Status Merge(void*, const void*) const override { return Status::OK(); }
+  StatusOr<Datum> Finalize(const void*) const override {
+    return Datum::Double(0);
+  }
+};
+
+class EngineErrorsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = nlq::testing::MakeTestDatabase();
+    NLQ_ASSERT_OK(db_->udfs().RegisterScalar(std::make_unique<FailAboveUdf>()));
+    NLQ_ASSERT_OK(
+        db_->udfs().RegisterAggregate(std::make_unique<HugeStateUdaf>()));
+    NLQ_ASSERT_OK(
+        db_->udfs().RegisterAggregate(std::make_unique<FailingUdaf>()));
+    NLQ_ASSERT_OK(db_->ExecuteCommand("CREATE TABLE t (i BIGINT, v DOUBLE)"));
+    for (int i = 1; i <= 200; ++i) {
+      NLQ_ASSERT_OK(db_->ExecuteCommand(
+          "INSERT INTO t VALUES (" + std::to_string(i) + ", " +
+          std::to_string(i * 1.0) + ")"));
+    }
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(EngineErrorsTest, ScalarUdfErrorInParallelScanSurfaces) {
+  auto result = db_->Execute("SELECT fail_above(v, 150) FROM t");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_NE(result.status().message().find("injected failure"),
+            std::string::npos);
+}
+
+TEST_F(EngineErrorsTest, ScalarUdfErrorInWhereSurfaces) {
+  EXPECT_FALSE(
+      db_->Execute("SELECT i FROM t WHERE fail_above(v, 10) > 0").ok());
+}
+
+TEST_F(EngineErrorsTest, ScalarUdfSucceedsBelowThreshold) {
+  auto result = db_->Execute("SELECT fail_above(v, 1e9) FROM t");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->num_rows(), 200u);
+}
+
+TEST_F(EngineErrorsTest, AggregateHeapExhaustionSurfaces) {
+  auto result = db_->Execute("SELECT huge_state(v) FROM t");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(EngineErrorsTest, AggregateAccumulateErrorSurfaces) {
+  auto result = db_->Execute("SELECT failing_agg(v) FROM t");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+TEST_F(EngineErrorsTest, ScalarUdfArityCheckedAtPlanTime) {
+  EXPECT_FALSE(db_->Execute("SELECT fail_above(v) FROM t").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Edge cases
+// ---------------------------------------------------------------------------
+
+TEST_F(EngineErrorsTest, NullsSortFirstAscending) {
+  NLQ_ASSERT_OK(db_->ExecuteCommand("CREATE TABLE s (v DOUBLE)"));
+  NLQ_ASSERT_OK(
+      db_->ExecuteCommand("INSERT INTO s VALUES (2), (NULL), (1)"));
+  auto asc = db_->Execute("SELECT v FROM s ORDER BY v");
+  ASSERT_TRUE(asc.ok());
+  EXPECT_TRUE(asc->At(0, 0).is_null());
+  EXPECT_DOUBLE_EQ(asc->GetDouble(1, 0), 1.0);
+  auto desc = db_->Execute("SELECT v FROM s ORDER BY v DESC");
+  ASSERT_TRUE(desc.ok());
+  EXPECT_TRUE(desc->At(2, 0).is_null());
+}
+
+TEST_F(EngineErrorsTest, VarcharOrderingAndGroupKeys) {
+  NLQ_ASSERT_OK(db_->ExecuteCommand("CREATE TABLE names (s VARCHAR(8))"));
+  NLQ_ASSERT_OK(db_->ExecuteCommand(
+      "INSERT INTO names VALUES ('b'), ('a'), ('b'), ('c')"));
+  auto grouped = db_->Execute(
+      "SELECT s, count(*) FROM names GROUP BY s ORDER BY s");
+  ASSERT_TRUE(grouped.ok());
+  ASSERT_EQ(grouped->num_rows(), 3u);
+  EXPECT_EQ(grouped->At(0, 0).string_value(), "a");
+  EXPECT_EQ(grouped->At(1, 0).string_value(), "b");
+  EXPECT_EQ(grouped->At(1, 1).int_value(), 2);
+}
+
+TEST_F(EngineErrorsTest, VarcharComparisonInWhere) {
+  NLQ_ASSERT_OK(db_->ExecuteCommand("CREATE TABLE w (s VARCHAR(8))"));
+  NLQ_ASSERT_OK(
+      db_->ExecuteCommand("INSERT INTO w VALUES ('tx'), ('ca'), ('ny')"));
+  NLQ_ASSERT_OK_AND_ASSIGN(
+      double hits, db_->QueryDouble("SELECT count(*) FROM w WHERE s = 'tx'"));
+  EXPECT_DOUBLE_EQ(hits, 1.0);
+  NLQ_ASSERT_OK_AND_ASSIGN(
+      double range,
+      db_->QueryDouble("SELECT count(*) FROM w WHERE s > 'ca'"));
+  EXPECT_DOUBLE_EQ(range, 2.0);
+}
+
+TEST_F(EngineErrorsTest, CaseWithoutElseYieldsNull) {
+  auto result =
+      db_->Execute("SELECT CASE WHEN 1 = 2 THEN 5 END");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->At(0, 0).is_null());
+}
+
+TEST_F(EngineErrorsTest, LimitZero) {
+  auto result = db_->Execute("SELECT i FROM t LIMIT 0");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 0u);
+}
+
+TEST_F(EngineErrorsTest, MinMaxOnIntKeepsIntType) {
+  auto result = db_->Execute("SELECT min(i), max(i) FROM t");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->At(0, 0).type(), DataType::kInt64);
+  EXPECT_EQ(result->At(0, 0).int_value(), 1);
+  EXPECT_EQ(result->At(0, 1).int_value(), 200);
+}
+
+TEST_F(EngineErrorsTest, VarcharCoercionRejected) {
+  NLQ_ASSERT_OK(db_->ExecuteCommand("CREATE TABLE c (v DOUBLE)"));
+  EXPECT_FALSE(db_->Execute("INSERT INTO c VALUES ('abc')").ok());
+}
+
+TEST_F(EngineErrorsTest, OrPredicateNotPusheddown) {
+  // OR across tables cannot be pushed to one side; result must still
+  // be correct via the residual filter.
+  NLQ_ASSERT_OK(db_->ExecuteCommand("CREATE TABLE m (j BIGINT)"));
+  NLQ_ASSERT_OK(db_->ExecuteCommand("INSERT INTO m VALUES (1), (2)"));
+  auto result = db_->Execute(
+      "SELECT count(*) FROM t, m WHERE m.j = 1 OR i = 1");
+  ASSERT_TRUE(result.ok());
+  // j=1 matches all 200 t-rows; j=2 matches only i=1 -> 201.
+  EXPECT_EQ(result->At(0, 0).int_value(), 201);
+}
+
+TEST_F(EngineErrorsTest, ThreeWayCrossJoin) {
+  NLQ_ASSERT_OK(db_->ExecuteCommand("CREATE TABLE a (x BIGINT)"));
+  NLQ_ASSERT_OK(db_->ExecuteCommand("CREATE TABLE b (y BIGINT)"));
+  NLQ_ASSERT_OK(db_->ExecuteCommand("INSERT INTO a VALUES (1), (2)"));
+  NLQ_ASSERT_OK(db_->ExecuteCommand("INSERT INTO b VALUES (10), (20), (30)"));
+  NLQ_ASSERT_OK_AND_ASSIGN(
+      double count,
+      db_->QueryDouble("SELECT count(*) FROM t, a, b"));
+  EXPECT_DOUBLE_EQ(count, 200.0 * 2 * 3);
+}
+
+TEST_F(EngineErrorsTest, SelectFromEmptyTable) {
+  NLQ_ASSERT_OK(db_->ExecuteCommand("CREATE TABLE e (v DOUBLE)"));
+  auto rows = db_->Execute("SELECT v, v * 2 FROM e");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->num_rows(), 0u);
+  auto grouped = db_->Execute("SELECT v, count(*) FROM e GROUP BY v");
+  ASSERT_TRUE(grouped.ok());
+  EXPECT_EQ(grouped->num_rows(), 0u);
+}
+
+TEST_F(EngineErrorsTest, OrderByAliasWorks) {
+  auto result =
+      db_->Execute("SELECT i, v * -1 AS neg FROM t ORDER BY neg LIMIT 1");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->At(0, 0).int_value(), 200);  // most negative neg
+}
+
+TEST_F(EngineErrorsTest, IntegerOverflowFreeModGrouping) {
+  // Large ids with modulo grouping — exercises int64 arithmetic.
+  NLQ_ASSERT_OK(db_->ExecuteCommand("CREATE TABLE big (i BIGINT)"));
+  NLQ_ASSERT_OK(db_->ExecuteCommand(
+      "INSERT INTO big VALUES (9000000000000), (9000000000001)"));
+  auto result = db_->Execute("SELECT i % 2, count(*) FROM big GROUP BY i % 2 "
+                             "ORDER BY 1");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 2u);
+}
+
+TEST_F(EngineErrorsTest, DivisionByZeroInAggregateIsNullNotError) {
+  // 1/(i-1) is NULL for i=1; sum skips NULLs instead of failing.
+  auto result = db_->Execute("SELECT count(*), sum(1 / (i - 1)) FROM t");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->At(0, 0).int_value(), 200);
+  EXPECT_FALSE(result->At(0, 1).is_null());
+}
+
+}  // namespace
+}  // namespace nlq::engine

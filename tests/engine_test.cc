@@ -1,0 +1,371 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "engine/database.h"
+#include "tests/test_util.h"
+
+namespace nlq::engine {
+namespace {
+
+using storage::DataType;
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override { db_ = nlq::testing::MakeTestDatabase(); }
+
+  void Exec(const std::string& sql) {
+    auto result = db_->Execute(sql);
+    ASSERT_TRUE(result.ok()) << sql << "\n" << result.status().ToString();
+  }
+
+  ResultSet Query(const std::string& sql) {
+    auto result = db_->Execute(sql);
+    EXPECT_TRUE(result.ok()) << sql << "\n" << result.status().ToString();
+    return result.ok() ? std::move(result).value() : ResultSet();
+  }
+
+  void LoadSmallTable() {
+    Exec("CREATE TABLE t (i BIGINT, a DOUBLE, b DOUBLE)");
+    Exec("INSERT INTO t VALUES (1, 1.0, 10.0), (2, 2.0, 20.0), "
+         "(3, 3.0, 30.0), (4, 4.0, 40.0)");
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+// ---------------------------------------------------------------------------
+// Constants / no FROM
+// ---------------------------------------------------------------------------
+
+TEST_F(EngineTest, ConstantSelect) {
+  const ResultSet r = Query("SELECT 1 + 2 * 3 AS v, 'abc', NULL");
+  ASSERT_EQ(r.num_rows(), 1u);
+  EXPECT_EQ(r.At(0, 0).int_value(), 7);
+  EXPECT_EQ(r.At(0, 1).string_value(), "abc");
+  EXPECT_TRUE(r.At(0, 2).is_null());
+  EXPECT_EQ(r.schema().column(0).name, "v");
+}
+
+TEST_F(EngineTest, BuiltinScalarFunctions) {
+  const ResultSet r = Query(
+      "SELECT sqrt(16), abs(-3.5), power(2, 10), mod(10, 3), floor(2.7), "
+      "ceil(2.1), round(2.5), least(3, 1, 2), greatest(3, 1, 2), "
+      "coalesce(NULL, NULL, 9), exp(0), ln(1)");
+  EXPECT_DOUBLE_EQ(r.GetDouble(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(r.GetDouble(0, 1), 3.5);
+  EXPECT_DOUBLE_EQ(r.GetDouble(0, 2), 1024.0);
+  EXPECT_DOUBLE_EQ(r.GetDouble(0, 3), 1.0);
+  EXPECT_DOUBLE_EQ(r.GetDouble(0, 4), 2.0);
+  EXPECT_DOUBLE_EQ(r.GetDouble(0, 5), 3.0);
+  EXPECT_DOUBLE_EQ(r.GetDouble(0, 6), 3.0);
+  EXPECT_DOUBLE_EQ(r.GetDouble(0, 7), 1.0);
+  EXPECT_DOUBLE_EQ(r.GetDouble(0, 8), 3.0);
+  EXPECT_DOUBLE_EQ(r.GetDouble(0, 9), 9.0);
+  EXPECT_DOUBLE_EQ(r.GetDouble(0, 10), 1.0);
+  EXPECT_DOUBLE_EQ(r.GetDouble(0, 11), 0.0);
+}
+
+TEST_F(EngineTest, NullSemantics) {
+  const ResultSet r = Query(
+      "SELECT 1 + NULL, NULL = NULL, 1 / 0, sqrt(-1), ln(0), "
+      "NULL IS NULL, 1 IS NOT NULL");
+  EXPECT_TRUE(r.At(0, 0).is_null());   // arithmetic with NULL
+  EXPECT_TRUE(r.At(0, 1).is_null());   // comparison with NULL is unknown
+  EXPECT_TRUE(r.At(0, 2).is_null());   // division by zero
+  EXPECT_TRUE(r.At(0, 3).is_null());   // domain error
+  EXPECT_TRUE(r.At(0, 4).is_null());
+  EXPECT_EQ(r.At(0, 5).int_value(), 1);
+  EXPECT_EQ(r.At(0, 6).int_value(), 1);
+}
+
+TEST_F(EngineTest, ThreeValuedLogic) {
+  const ResultSet r = Query(
+      "SELECT NULL AND 0, NULL AND 1, NULL OR 1, NULL OR 0, NOT NULL");
+  EXPECT_EQ(r.At(0, 0).int_value(), 0);  // unknown AND false = false
+  EXPECT_TRUE(r.At(0, 1).is_null());     // unknown AND true = unknown
+  EXPECT_EQ(r.At(0, 2).int_value(), 1);  // unknown OR true = true
+  EXPECT_TRUE(r.At(0, 3).is_null());
+  EXPECT_TRUE(r.At(0, 4).is_null());  // NOT unknown = unknown
+}
+
+// ---------------------------------------------------------------------------
+// Basic scans, WHERE, projections
+// ---------------------------------------------------------------------------
+
+TEST_F(EngineTest, ScanWithProjectionAndFilter) {
+  LoadSmallTable();
+  const ResultSet r =
+      Query("SELECT i, a * b FROM t WHERE a >= 2 AND b < 40 ORDER BY i");
+  ASSERT_EQ(r.num_rows(), 2u);
+  EXPECT_EQ(r.At(0, 0).int_value(), 2);
+  EXPECT_DOUBLE_EQ(r.GetDouble(0, 1), 40.0);
+  EXPECT_DOUBLE_EQ(r.GetDouble(1, 1), 90.0);
+}
+
+TEST_F(EngineTest, SelectStar) {
+  LoadSmallTable();
+  const ResultSet r = Query("SELECT * FROM t ORDER BY i");
+  ASSERT_EQ(r.num_rows(), 4u);
+  ASSERT_EQ(r.num_columns(), 3u);
+  EXPECT_DOUBLE_EQ(r.GetDouble(3, 2), 40.0);
+}
+
+TEST_F(EngineTest, CaseExpression) {
+  LoadSmallTable();
+  const ResultSet r = Query(
+      "SELECT i, CASE WHEN a <= 2 THEN 'low' ELSE 'high' END FROM t "
+      "ORDER BY i");
+  EXPECT_EQ(r.At(0, 1).string_value(), "low");
+  EXPECT_EQ(r.At(3, 1).string_value(), "high");
+}
+
+TEST_F(EngineTest, OrderByDescendingAndPositional) {
+  LoadSmallTable();
+  const ResultSet r = Query("SELECT i, a FROM t ORDER BY 2 DESC");
+  EXPECT_EQ(r.At(0, 0).int_value(), 4);
+  EXPECT_EQ(r.At(3, 0).int_value(), 1);
+}
+
+TEST_F(EngineTest, Limit) {
+  LoadSmallTable();
+  const ResultSet r = Query("SELECT i FROM t ORDER BY i LIMIT 2");
+  ASSERT_EQ(r.num_rows(), 2u);
+  EXPECT_EQ(r.At(1, 0).int_value(), 2);
+}
+
+TEST_F(EngineTest, ModuloInWhere) {
+  LoadSmallTable();
+  const ResultSet r = Query("SELECT i FROM t WHERE i % 2 = 0 ORDER BY i");
+  ASSERT_EQ(r.num_rows(), 2u);
+  EXPECT_EQ(r.At(0, 0).int_value(), 2);
+  EXPECT_EQ(r.At(1, 0).int_value(), 4);
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+TEST_F(EngineTest, GlobalAggregates) {
+  LoadSmallTable();
+  const ResultSet r = Query(
+      "SELECT count(*), count(a), sum(a), avg(a), min(a), max(b), "
+      "sum(a * b) FROM t");
+  ASSERT_EQ(r.num_rows(), 1u);
+  EXPECT_EQ(r.At(0, 0).int_value(), 4);
+  EXPECT_EQ(r.At(0, 1).int_value(), 4);
+  EXPECT_DOUBLE_EQ(r.GetDouble(0, 2), 10.0);
+  EXPECT_DOUBLE_EQ(r.GetDouble(0, 3), 2.5);
+  EXPECT_DOUBLE_EQ(r.GetDouble(0, 4), 1.0);
+  EXPECT_DOUBLE_EQ(r.GetDouble(0, 5), 40.0);
+  EXPECT_DOUBLE_EQ(r.GetDouble(0, 6), 300.0);
+}
+
+TEST_F(EngineTest, AggregatesIgnoreNulls) {
+  Exec("CREATE TABLE n (i BIGINT, v DOUBLE)");
+  Exec("INSERT INTO n VALUES (1, 10), (2, NULL), (3, 20)");
+  const ResultSet r = Query("SELECT count(*), count(v), sum(v), avg(v) FROM n");
+  EXPECT_EQ(r.At(0, 0).int_value(), 3);
+  EXPECT_EQ(r.At(0, 1).int_value(), 2);
+  EXPECT_DOUBLE_EQ(r.GetDouble(0, 2), 30.0);
+  EXPECT_DOUBLE_EQ(r.GetDouble(0, 3), 15.0);
+}
+
+TEST_F(EngineTest, EmptyInputAggregates) {
+  Exec("CREATE TABLE e (v DOUBLE)");
+  const ResultSet r = Query("SELECT count(*), sum(v), min(v) FROM e");
+  ASSERT_EQ(r.num_rows(), 1u);
+  EXPECT_EQ(r.At(0, 0).int_value(), 0);
+  EXPECT_TRUE(r.At(0, 1).is_null());
+  EXPECT_TRUE(r.At(0, 2).is_null());
+}
+
+TEST_F(EngineTest, GroupByWithExpressions) {
+  LoadSmallTable();
+  const ResultSet r = Query(
+      "SELECT i % 2 AS parity, count(*) AS c, sum(a) AS s FROM t "
+      "GROUP BY i % 2 ORDER BY parity");
+  ASSERT_EQ(r.num_rows(), 2u);
+  EXPECT_EQ(r.At(0, 0).int_value(), 0);
+  EXPECT_EQ(r.At(0, 1).int_value(), 2);
+  EXPECT_DOUBLE_EQ(r.GetDouble(0, 2), 6.0);  // 2 + 4
+  EXPECT_DOUBLE_EQ(r.GetDouble(1, 2), 4.0);  // 1 + 3
+}
+
+TEST_F(EngineTest, MixedKeyAndAggregateExpression) {
+  LoadSmallTable();
+  const ResultSet r = Query(
+      "SELECT i % 2, sum(a) / count(a) + (i % 2) AS blended FROM t "
+      "GROUP BY i % 2 ORDER BY 1");
+  ASSERT_EQ(r.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(r.GetDouble(0, 1), 3.0);  // 6/2 + 0
+  EXPECT_DOUBLE_EQ(r.GetDouble(1, 1), 3.0);  // 4/2 + 1
+}
+
+TEST_F(EngineTest, GroupByIsPartitionInvariant) {
+  for (size_t parts : {1u, 3u, 8u}) {
+    auto db = nlq::testing::MakeTestDatabase(parts);
+    NLQ_ASSERT_OK(db->ExecuteCommand("CREATE TABLE g (i BIGINT, v DOUBLE)"));
+    for (int i = 1; i <= 100; ++i) {
+      NLQ_ASSERT_OK(db->ExecuteCommand(
+          "INSERT INTO g VALUES (" + std::to_string(i) + ", " +
+          std::to_string(i * 0.5) + ")"));
+    }
+    auto r = db->Execute("SELECT i % 7, sum(v), count(*) FROM g GROUP BY i % 7 ORDER BY 1");
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r->num_rows(), 7u);
+    double total = 0;
+    int64_t count = 0;
+    for (size_t row = 0; row < 7; ++row) {
+      total += r->GetDouble(row, 1);
+      count += r->At(row, 2).int_value();
+    }
+    EXPECT_DOUBLE_EQ(total, 2525.0);
+    EXPECT_EQ(count, 100);
+  }
+}
+
+TEST_F(EngineTest, NonGroupedColumnRejected) {
+  LoadSmallTable();
+  EXPECT_FALSE(db_->Execute("SELECT a, sum(b) FROM t").ok());
+  EXPECT_FALSE(db_->Execute("SELECT i, sum(a) FROM t GROUP BY a").ok());
+}
+
+TEST_F(EngineTest, AggregateInWhereRejected) {
+  LoadSmallTable();
+  EXPECT_FALSE(db_->Execute("SELECT i FROM t WHERE sum(a) > 1").ok());
+}
+
+TEST_F(EngineTest, NestedAggregateRejected) {
+  LoadSmallTable();
+  EXPECT_FALSE(db_->Execute("SELECT sum(sum(a)) FROM t").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Joins
+// ---------------------------------------------------------------------------
+
+TEST_F(EngineTest, CrossJoinWithSingleRowTable) {
+  LoadSmallTable();
+  Exec("CREATE TABLE scale (f DOUBLE)");
+  Exec("INSERT INTO scale VALUES (10.0)");
+  const ResultSet r = Query("SELECT i, a * f FROM t, scale ORDER BY i");
+  ASSERT_EQ(r.num_rows(), 4u);
+  EXPECT_DOUBLE_EQ(r.GetDouble(3, 1), 40.0);
+}
+
+TEST_F(EngineTest, CrossJoinCardinality) {
+  LoadSmallTable();
+  Exec("CREATE TABLE u (j BIGINT)");
+  Exec("INSERT INTO u VALUES (1), (2), (3)");
+  const ResultSet r = Query("SELECT i, j FROM t, u");
+  EXPECT_EQ(r.num_rows(), 12u);
+}
+
+TEST_F(EngineTest, AliasedSelfJoinWithPushdown) {
+  LoadSmallTable();
+  Exec("CREATE TABLE m (j BIGINT, c DOUBLE)");
+  Exec("INSERT INTO m VALUES (1, 100), (2, 200), (3, 300)");
+  // The paper's scoring pattern: several aliased copies pinned by
+  // j = const predicates (these must be pushed down, not exploded).
+  const ResultSet r = Query(
+      "SELECT i, m1.c + m2.c FROM t, m m1, m m2 "
+      "WHERE m1.j = 1 AND m2.j = 3 ORDER BY i");
+  ASSERT_EQ(r.num_rows(), 4u);
+  EXPECT_DOUBLE_EQ(r.GetDouble(0, 1), 400.0);
+}
+
+TEST_F(EngineTest, AmbiguousColumnRejected) {
+  LoadSmallTable();
+  Exec("CREATE TABLE t2 (i BIGINT, z DOUBLE)");
+  Exec("INSERT INTO t2 VALUES (9, 1)");
+  EXPECT_FALSE(db_->Execute("SELECT i FROM t, t2").ok());
+  // Qualified access works.
+  const ResultSet r = Query("SELECT t2.i FROM t, t2");
+  EXPECT_EQ(r.num_rows(), 4u);
+}
+
+TEST_F(EngineTest, EmptySmallTableEmptiesCrossProduct) {
+  LoadSmallTable();
+  Exec("CREATE TABLE empty_m (j BIGINT)");
+  const ResultSet r = Query("SELECT i FROM t, empty_m");
+  EXPECT_EQ(r.num_rows(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// DDL / DML
+// ---------------------------------------------------------------------------
+
+TEST_F(EngineTest, CreateTableAsSelect) {
+  LoadSmallTable();
+  Exec("CREATE TABLE squares AS SELECT i, a * a AS a2 FROM t");
+  const ResultSet r = Query("SELECT sum(a2) FROM squares");
+  EXPECT_DOUBLE_EQ(r.GetDouble(0, 0), 30.0);
+}
+
+TEST_F(EngineTest, InsertSelect) {
+  LoadSmallTable();
+  Exec("CREATE TABLE copy (i BIGINT, a DOUBLE, b DOUBLE)");
+  Exec("INSERT INTO copy SELECT i, a, b FROM t WHERE a > 2");
+  const ResultSet r = Query("SELECT count(*) FROM copy");
+  EXPECT_EQ(r.At(0, 0).int_value(), 2);
+}
+
+TEST_F(EngineTest, InsertCoercesNumericTypes) {
+  Exec("CREATE TABLE c (i BIGINT, v DOUBLE)");
+  Exec("INSERT INTO c VALUES (1.0, 5)");  // double -> bigint, int -> double
+  const ResultSet r = Query("SELECT i, v FROM c");
+  EXPECT_EQ(r.At(0, 0).type(), DataType::kInt64);
+  EXPECT_EQ(r.At(0, 1).type(), DataType::kDouble);
+}
+
+TEST_F(EngineTest, DropTableRemoves) {
+  LoadSmallTable();
+  Exec("DROP TABLE t");
+  EXPECT_FALSE(db_->Execute("SELECT 1 FROM t").ok());
+}
+
+TEST_F(EngineTest, ErrorsSurfaceCleanly) {
+  EXPECT_FALSE(db_->Execute("SELECT 1 FROM missing").ok());
+  LoadSmallTable();
+  EXPECT_FALSE(db_->Execute("SELECT nope FROM t").ok());
+  EXPECT_FALSE(db_->Execute("SELECT unknown_fn(a) FROM t").ok());
+  EXPECT_FALSE(db_->Execute("INSERT INTO t VALUES (1)").ok());
+  EXPECT_FALSE(db_->Execute("CREATE TABLE t (x DOUBLE)").ok());
+}
+
+TEST_F(EngineTest, QueryDoubleHelper) {
+  LoadSmallTable();
+  NLQ_ASSERT_OK_AND_ASSIGN(double v, db_->QueryDouble("SELECT sum(a) FROM t"));
+  EXPECT_DOUBLE_EQ(v, 10.0);
+  EXPECT_FALSE(db_->QueryDouble("SELECT i FROM t").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Parallelism sanity: results identical across thread counts
+// ---------------------------------------------------------------------------
+
+class ParallelismTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ParallelismTest, SameResultAnyPartitionCount) {
+  auto db = nlq::testing::MakeTestDatabase(GetParam());
+  NLQ_ASSERT_OK(db->ExecuteCommand("CREATE TABLE p (i BIGINT, v DOUBLE)"));
+  for (int i = 1; i <= 500; ++i) {
+    NLQ_ASSERT_OK(db->ExecuteCommand("INSERT INTO p VALUES (" +
+                                     std::to_string(i) + ", " +
+                                     std::to_string(i) + ")"));
+  }
+  NLQ_ASSERT_OK_AND_ASSIGN(double sum,
+                           db->QueryDouble("SELECT sum(v) FROM p"));
+  EXPECT_DOUBLE_EQ(sum, 125250.0);
+  NLQ_ASSERT_OK_AND_ASSIGN(
+      double filtered,
+      db->QueryDouble("SELECT count(*) FROM p WHERE v > 250"));
+  EXPECT_DOUBLE_EQ(filtered, 250.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Partitions, ParallelismTest,
+                         ::testing::Values(1, 2, 4, 8, 16, 20));
+
+}  // namespace
+}  // namespace nlq::engine

@@ -1,0 +1,119 @@
+// Tests for Database::Explain — the plan printout that exposes the
+// engine's §3.6-style pushdown decisions without executing the query.
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "stats/scoring.h"
+#include "stats/sqlgen.h"
+#include "tests/test_util.h"
+
+namespace nlq::engine {
+namespace {
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = nlq::testing::MakeTestDatabase();
+    NLQ_ASSERT_OK(db_->ExecuteCommand(
+        "CREATE TABLE X (i BIGINT, X1 DOUBLE, X2 DOUBLE)"));
+    for (int i = 1; i <= 50; ++i) {
+      NLQ_ASSERT_OK(db_->ExecuteCommand(
+          "INSERT INTO X VALUES (" + std::to_string(i) + ", 1, 2)"));
+    }
+    NLQ_ASSERT_OK(db_->ExecuteCommand("CREATE TABLE M (j BIGINT, c DOUBLE)"));
+    NLQ_ASSERT_OK(
+        db_->ExecuteCommand("INSERT INTO M VALUES (1, 10), (2, 20), (3, 30)"));
+  }
+
+  std::string Plan(const std::string& sql) {
+    auto plan = db_->Explain(sql);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    return plan.ok() ? *plan : "";
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(ExplainTest, SimpleScan) {
+  const std::string plan = Plan("SELECT X1 FROM X");
+  EXPECT_NE(plan.find("scan X (50 rows"), std::string::npos);
+  EXPECT_NE(plan.find("project: 1 column(s)"), std::string::npos);
+}
+
+TEST_F(ExplainTest, ShowsPushdownDecision) {
+  const std::string plan = Plan(
+      "SELECT X1, m1.c FROM X, M m1, M m2 "
+      "WHERE m1.j = 1 AND m2.j = 2 AND X1 > 0");
+  // Pushed predicates shrink the materialized sides to one row each.
+  EXPECT_NE(plan.find("cross join M AS m1 (materialized, 1 rows after "
+                      "pushdown: (m1.j = 1))"),
+            std::string::npos)
+      << plan;
+  EXPECT_NE(plan.find("cross join M AS m2 (materialized, 1 rows after "
+                      "pushdown: (m2.j = 2))"),
+            std::string::npos);
+  // The driver-only conjunct stays in the residual filter.
+  EXPECT_NE(plan.find("filter: (X1 > 0)"), std::string::npos);
+}
+
+TEST_F(ExplainTest, AggregatePlanCountsUdfCalls) {
+  const std::string plan = Plan(
+      "SELECT i % 2, nlq_list('diag', X1, X2), sum(X1) FROM X GROUP BY i % 2");
+  EXPECT_NE(plan.find("hash aggregate: 1 group key(s), 2 aggregate(s) "
+                      "(1 aggregate UDF call(s))"),
+            std::string::npos)
+      << plan;
+  EXPECT_NE(plan.find("merge:"), std::string::npos);
+}
+
+TEST_F(ExplainTest, HavingAndSortAndLimitShown) {
+  const std::string plan = Plan(
+      "SELECT i % 2, count(*) FROM X GROUP BY i % 2 "
+      "HAVING count(*) > 1 ORDER BY 1 DESC LIMIT 5");
+  EXPECT_NE(plan.find("having: (count(*) > 1)"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("sort: 1 key(s)"), std::string::npos);
+  EXPECT_NE(plan.find("limit: 5"), std::string::npos);
+}
+
+TEST_F(ExplainTest, ConstantInput) {
+  const std::string plan = Plan("SELECT 1 + 1");
+  EXPECT_NE(plan.find("constant input (no FROM)"), std::string::npos);
+}
+
+TEST_F(ExplainTest, ExplainDoesNotExecute) {
+  // Explaining a query with a failing UDF argument must succeed —
+  // nothing is evaluated.
+  const std::string plan =
+      Plan("SELECT sqrt(X1) FROM X WHERE X1 / 0 > 1");
+  EXPECT_FALSE(plan.empty());
+}
+
+TEST_F(ExplainTest, RejectsNonSelect) {
+  EXPECT_FALSE(db_->Explain("DROP TABLE X").ok());
+  EXPECT_FALSE(db_->Explain("not sql at all").ok());
+  EXPECT_FALSE(db_->Explain("SELECT z FROM missing").ok());
+}
+
+TEST_F(ExplainTest, NlqScoringPlanIsCompact) {
+  // The paper's k-way aliased cross join stays k rows per side after
+  // pushdown, never k^k.
+  NLQ_ASSERT_OK(db_->ExecuteCommand(
+      "CREATE TABLE C (j BIGINT, X1 DOUBLE, X2 DOUBLE)"));
+  for (int j = 1; j <= 3; ++j) {
+    NLQ_ASSERT_OK(db_->ExecuteCommand(
+        "INSERT INTO C VALUES (" + std::to_string(j) + ", 0, 0)"));
+  }
+  const std::string sql = stats::KMeansScoreUdfQuery("X", "C", 2, 3);
+  const std::string plan = Plan(sql);
+  // Each aliased copy is pre-filtered to exactly one centroid row.
+  for (int j = 1; j <= 3; ++j) {
+    EXPECT_NE(plan.find("AS C" + std::to_string(j) +
+                        " (materialized, 1 rows"),
+              std::string::npos)
+        << plan;
+  }
+}
+
+}  // namespace
+}  // namespace nlq::engine

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/strings.h"
+#include "engine/database.h"
+#include "gen/datagen.h"
+#include "stats/histogram.h"
+#include "stats/miner.h"
+#include "tests/test_util.h"
+
+namespace nlq::stats {
+namespace {
+
+class HistogramTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = nlq::testing::MakeTestDatabase();
+    NLQ_ASSERT_OK(db_->ExecuteCommand("CREATE TABLE T (i BIGINT, v DOUBLE)"));
+    // Values 0.5, 1.5, ..., 9.5 — one per unit bucket of [0, 10).
+    for (int i = 0; i < 10; ++i) {
+      NLQ_ASSERT_OK(db_->ExecuteCommand(
+          "INSERT INTO T VALUES (" + std::to_string(i) + ", " +
+          std::to_string(i + 0.5) + ")"));
+    }
+  }
+
+  Histogram RunHist(const std::string& sql) {
+    auto result = db_->Execute(sql);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    auto hist = Histogram::FromPackedString(result->At(0, 0).string_value());
+    EXPECT_TRUE(hist.ok()) << hist.status().ToString();
+    return std::move(hist).value();
+  }
+
+  std::unique_ptr<engine::Database> db_;
+};
+
+TEST_F(HistogramTest, UniformValuesOnePerBin) {
+  const Histogram h = RunHist("SELECT hist(v, 0, 10, 10) FROM T");
+  EXPECT_EQ(h.bins, 10u);
+  EXPECT_DOUBLE_EQ(h.lo, 0.0);
+  EXPECT_DOUBLE_EQ(h.hi, 10.0);
+  EXPECT_DOUBLE_EQ(h.BinWidth(), 1.0);
+  for (uint64_t c : h.counts) EXPECT_EQ(c, 1u);
+  EXPECT_EQ(h.below, 0u);
+  EXPECT_EQ(h.above, 0u);
+  EXPECT_EQ(h.TotalCount(), 10u);
+}
+
+TEST_F(HistogramTest, OutOfRangeGoesToTails) {
+  const Histogram h = RunHist("SELECT hist(v, 2, 8, 3) FROM T");
+  EXPECT_EQ(h.below, 2u);  // 0.5, 1.5
+  EXPECT_EQ(h.above, 2u);  // 8.5, 9.5
+  uint64_t in_range = 0;
+  for (uint64_t c : h.counts) in_range += c;
+  EXPECT_EQ(in_range, 6u);
+}
+
+TEST_F(HistogramTest, NullsAreSkipped) {
+  NLQ_ASSERT_OK(db_->ExecuteCommand("INSERT INTO T VALUES (99, NULL)"));
+  const Histogram h = RunHist("SELECT hist(v, 0, 10, 5) FROM T");
+  EXPECT_EQ(h.TotalCount(), 10u);
+}
+
+TEST_F(HistogramTest, GroupedHistograms) {
+  auto result =
+      db_->Execute("SELECT i % 2, hist(v, 0, 10, 10) FROM T GROUP BY i % 2 "
+                   "ORDER BY 1");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->num_rows(), 2u);
+  for (size_t r = 0; r < 2; ++r) {
+    NLQ_ASSERT_OK_AND_ASSIGN(
+        Histogram h,
+        Histogram::FromPackedString(result->At(r, 1).string_value()));
+    EXPECT_EQ(h.TotalCount(), 5u);
+  }
+}
+
+TEST_F(HistogramTest, PartitionInvariant) {
+  for (size_t parts : {1u, 3u, 8u}) {
+    auto db = nlq::testing::MakeTestDatabase(parts);
+    NLQ_ASSERT_OK(db->ExecuteCommand("CREATE TABLE U (i BIGINT, v DOUBLE)"));
+    for (int i = 0; i < 100; ++i) {
+      NLQ_ASSERT_OK(db->ExecuteCommand(
+          "INSERT INTO U VALUES (" + std::to_string(i) + ", " +
+          std::to_string(i % 10) + ")"));
+    }
+    auto result = db->Execute("SELECT hist(v, 0, 10, 10) FROM U");
+    ASSERT_TRUE(result.ok());
+    NLQ_ASSERT_OK_AND_ASSIGN(
+        Histogram h,
+        Histogram::FromPackedString(result->At(0, 0).string_value()));
+    for (uint64_t c : h.counts) EXPECT_EQ(c, 10u);
+  }
+}
+
+TEST_F(HistogramTest, ErrorCases) {
+  EXPECT_FALSE(db_->Execute("SELECT hist(v) FROM T").ok());
+  EXPECT_FALSE(db_->Execute("SELECT hist(v, 10, 0, 5) FROM T").ok());
+  EXPECT_FALSE(db_->Execute("SELECT hist(v, 0, 10, 0) FROM T").ok());
+  EXPECT_FALSE(db_->Execute("SELECT hist(v, 0, 10, 99999) FROM T").ok());
+}
+
+TEST_F(HistogramTest, PackedParsingRejectsGarbage) {
+  EXPECT_FALSE(Histogram::FromPackedString("").ok());
+  EXPECT_FALSE(Histogram::FromPackedString("0|10|3|1;2|0|0").ok());
+  EXPECT_FALSE(Histogram::FromPackedString("0|10|3|1;2;-1|0|0").ok());
+  EXPECT_FALSE(Histogram::FromPackedString("0|10|x|1;2;3|0|0").ok());
+}
+
+TEST_F(HistogramTest, EmptyInputYieldsEmptyHistogram) {
+  NLQ_ASSERT_OK(db_->ExecuteCommand("CREATE TABLE E (v DOUBLE)"));
+  auto result = db_->Execute("SELECT hist(v, 0, 1, 4) FROM E");
+  ASSERT_TRUE(result.ok());
+  NLQ_ASSERT_OK_AND_ASSIGN(
+      Histogram h,
+      Histogram::FromPackedString(result->At(0, 0).string_value()));
+  EXPECT_EQ(h.bins, 0u);
+  EXPECT_EQ(h.TotalCount(), 0u);
+}
+
+// The paper's use case: the nlq UDF's min/max drive histogram ranges
+// and z-score outlier detection — all inside the engine.
+TEST_F(HistogramTest, NlqMinMaxDrivesHistogramAndOutliers) {
+  auto db = nlq::testing::MakeTestDatabase();
+  gen::MixtureOptions options;
+  options.n = 2000;
+  options.d = 2;
+  options.seed = 404;
+  NLQ_ASSERT_OK(gen::GenerateDataSetTable(db.get(), "X", options).status());
+  WarehouseMiner miner(db.get());
+  NLQ_ASSERT_OK_AND_ASSIGN(
+      SufStats stats,
+      miner.ComputeSufStats("X", DimensionColumns(2),
+                            MatrixKind::kLowerTriangular,
+                            ComputeVia::kUdfList));
+
+  // Histogram over the observed range of X1: nothing may fall outside.
+  const std::string sql = HistogramQuery("X", "X1", stats, 0, 20);
+  auto result = db->Execute(sql);
+  ASSERT_TRUE(result.ok()) << sql << " -> " << result.status().ToString();
+  NLQ_ASSERT_OK_AND_ASSIGN(
+      Histogram h,
+      Histogram::FromPackedString(result->At(0, 0).string_value()));
+  EXPECT_EQ(h.below, 0u);
+  EXPECT_EQ(h.above, 0u);
+  EXPECT_EQ(h.TotalCount(), 2000u);
+
+  // Z-score outliers against mu/sigma derived from the statistics.
+  const auto mu = stats.Mean();
+  NLQ_ASSERT_OK_AND_ASSIGN(linalg::Matrix cov, stats.CovarianceMatrix());
+  const double sigma = std::sqrt(cov(0, 0));
+  const std::string outlier_sql = nlq::StringPrintf(
+      "SELECT count(*) FROM X WHERE zscore(X1, %f, %f) > 3", mu[0], sigma);
+  NLQ_ASSERT_OK_AND_ASSIGN(double outliers, db->QueryDouble(outlier_sql));
+  // A mixture over [0,100] has thin 3-sigma tails: a small fraction.
+  EXPECT_LT(outliers, 2000 * 0.05);
+}
+
+TEST_F(HistogramTest, ZScoreScalar) {
+  auto result = db_->Execute(
+      "SELECT zscore(7, 5, 2), zscore(3, 5, 2), zscore(1, 1, 0), "
+      "zscore(NULL, 0, 1)");
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->GetDouble(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(result->GetDouble(0, 1), 1.0);
+  EXPECT_TRUE(result->At(0, 2).is_null());  // sigma <= 0
+  EXPECT_TRUE(result->At(0, 3).is_null());
+}
+
+}  // namespace
+}  // namespace nlq::stats

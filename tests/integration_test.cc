@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "connect/extern_analyzer.h"
+#include "connect/odbc_sim.h"
+#include "engine/database.h"
+#include "gen/datagen.h"
+#include "stats/miner.h"
+#include "stats/model_tables.h"
+#include "tests/test_util.h"
+
+namespace nlq {
+namespace {
+
+using stats::ComputeVia;
+using stats::DimensionColumns;
+using stats::MatrixKind;
+
+/// Full reproduction of the paper's workflow on one synthetic data
+/// set: compute summary matrices via every implementation alternative
+/// (SQL, UDF list, UDF string, external C++ over an ODBC export),
+/// build all four statistical models from the summary matrices alone,
+/// score the data set inside the DBMS, and cross-check everything.
+class PipelineIntegrationTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kD = 8;
+  static constexpr size_t kK = 4;
+  static constexpr uint64_t kN = 4000;
+
+  void SetUp() override {
+    db_ = testing::MakeTestDatabase(/*num_partitions=*/8);
+    miner_ = std::make_unique<stats::WarehouseMiner>(db_.get());
+    gen::MixtureOptions options;
+    options.n = kN;
+    options.d = kD;
+    options.num_clusters = kK;
+    options.noise_fraction = 0.10;
+    options.with_y = true;
+    options.seed = 20070611;  // SIGMOD 2007
+    NLQ_ASSERT_OK(gen::GenerateDataSetTable(db_.get(), "X", options).status());
+  }
+
+  std::unique_ptr<engine::Database> db_;
+  std::unique_ptr<stats::WarehouseMiner> miner_;
+};
+
+TEST_F(PipelineIntegrationTest, AllFourImplementationsProduceSameResults) {
+  NLQ_ASSERT_OK_AND_ASSIGN(
+      stats::SufStats sql,
+      miner_->ComputeSufStats("X", DimensionColumns(kD), MatrixKind::kFull,
+                              ComputeVia::kSql));
+  NLQ_ASSERT_OK_AND_ASSIGN(
+      stats::SufStats udf,
+      miner_->ComputeSufStats("X", DimensionColumns(kD), MatrixKind::kFull,
+                              ComputeVia::kUdfList));
+
+  // External path: export over simulated ODBC, analyze the flat file
+  // with the single-threaded workstation program.
+  const std::string path = ::testing::TempDir() + "/integration_export.csv";
+  connect::OdbcExporter exporter;
+  auto table = db_->catalog().GetTable("X");
+  ASSERT_TRUE(table.ok());
+  NLQ_ASSERT_OK_AND_ASSIGN(connect::OdbcExportResult export_result,
+                           exporter.ExportTable(**table, path));
+  EXPECT_EQ(export_result.rows, kN);
+  connect::ExternalAnalyzerOptions ext_options;
+  ext_options.kind = MatrixKind::kFull;
+  NLQ_ASSERT_OK_AND_ASSIGN(stats::SufStats external,
+                           connect::AnalyzeFlatFile(path, kD, ext_options));
+  std::remove(path.c_str());
+
+  EXPECT_EQ(sql.n(), static_cast<double>(kN));
+  EXPECT_LT(sql.MaxAbsDiff(udf), 1e-4);
+  // Values round-trip through text exactly; only summation order
+  // differs between the parallel scan and the sequential file scan.
+  EXPECT_LT(udf.MaxAbsDiff(external), 1e-4);
+}
+
+TEST_F(PipelineIntegrationTest, ModelsFromSummaryMatricesOnly) {
+  // One UDF scan; then every model is built without touching X again.
+  NLQ_ASSERT_OK_AND_ASSIGN(
+      stats::SufStats stats,
+      miner_->ComputeSufStats("X", DimensionColumns(kD),
+                              MatrixKind::kLowerTriangular,
+                              ComputeVia::kUdfList));
+
+  NLQ_ASSERT_OK_AND_ASSIGN(linalg::Matrix rho, stats.CorrelationMatrix());
+  EXPECT_TRUE(rho.IsSymmetric(1e-9));
+
+  NLQ_ASSERT_OK_AND_ASSIGN(stats::PcaModel pca, stats::FitPca(stats, 3));
+  EXPECT_GT(pca.ExplainedVarianceRatio(), 0.2);
+
+  NLQ_ASSERT_OK_AND_ASSIGN(stats::FactorAnalysisModel fa,
+                           stats::FitFactorAnalysis(stats, 3));
+  for (double u : fa.uniquenesses) EXPECT_GE(u, 0.0);
+
+  // Regression needs (x, y) statistics.
+  std::vector<std::string> cols = DimensionColumns(kD);
+  cols.push_back("Y");
+  NLQ_ASSERT_OK_AND_ASSIGN(
+      stats::SufStats reg_stats,
+      miner_->ComputeSufStats("X", cols, MatrixKind::kLowerTriangular,
+                              ComputeVia::kUdfList));
+  NLQ_ASSERT_OK_AND_ASSIGN(stats::LinearRegressionModel reg,
+                           stats::FitLinearRegression(reg_stats));
+  EXPECT_GT(reg.r2, 0.9);
+}
+
+TEST_F(PipelineIntegrationTest, TrainScoreEvaluateRegression) {
+  // Train on X, score a fresh test set generated with the same
+  // distribution but a different seed (the paper's train/test usage).
+  gen::MixtureOptions test_options;
+  test_options.n = 1000;
+  test_options.d = kD;
+  test_options.num_clusters = kK;
+  test_options.with_y = true;
+  test_options.structure_seed = 20070611;  // same ground-truth beta
+  test_options.seed = 20070612;            // fresh point stream
+  NLQ_ASSERT_OK(
+      gen::GenerateDataSetTable(db_.get(), "XTEST", test_options).status());
+
+  NLQ_ASSERT_OK_AND_ASSIGN(
+      stats::LinearRegressionModel model,
+      miner_->BuildLinearRegression("X", DimensionColumns(kD), "Y",
+                                    ComputeVia::kUdfList));
+  NLQ_ASSERT_OK(miner_->ScoreLinearRegression("XTEST", model, "XTEST_SCORED",
+                                              /*use_udf=*/true));
+
+  // Compute out-of-sample R^2 inside the DBMS with plain SQL over the
+  // joined actual/predicted values.
+  NLQ_ASSERT_OK(db_->ExecuteCommand(
+      "CREATE TABLE EVAL AS SELECT XTEST.i AS i, Y, yhat "
+      "FROM XTEST, XTEST_SCORED WHERE XTEST.i = XTEST_SCORED.i"));
+  NLQ_ASSERT_OK_AND_ASSIGN(double n_eval,
+                           db_->QueryDouble("SELECT count(*) FROM EVAL"));
+  EXPECT_DOUBLE_EQ(n_eval, 1000.0);
+  NLQ_ASSERT_OK_AND_ASSIGN(
+      double sse,
+      db_->QueryDouble("SELECT sum((Y - yhat) * (Y - yhat)) FROM EVAL"));
+  NLQ_ASSERT_OK_AND_ASSIGN(
+      double sst, db_->QueryDouble(
+                      "SELECT sum(Y * Y) - sum(Y) * sum(Y) / count(*) "
+                      "FROM EVAL"));
+  const double r2 = 1.0 - sse / sst;
+  EXPECT_GT(r2, 0.9);
+}
+
+TEST_F(PipelineIntegrationTest, ClusteringPipelineEndToEnd) {
+  stats::KMeansOptions options;
+  options.k = kK;
+  options.max_iterations = 8;
+  NLQ_ASSERT_OK_AND_ASSIGN(stats::KMeansModel model,
+                           miner_->BuildKMeansInDbms("X", kD, options));
+  NLQ_ASSERT_OK(miner_->ScoreKMeans("X", model, "XC", /*use_udf=*/true));
+
+  // Scored assignments cover 1..k and every row.
+  NLQ_ASSERT_OK_AND_ASSIGN(double scored,
+                           db_->QueryDouble("SELECT count(*) FROM XC"));
+  EXPECT_DOUBLE_EQ(scored, static_cast<double>(kN));
+  NLQ_ASSERT_OK_AND_ASSIGN(
+      double min_j, db_->QueryDouble("SELECT min(j) FROM XC"));
+  NLQ_ASSERT_OK_AND_ASSIGN(
+      double max_j, db_->QueryDouble("SELECT max(j) FROM XC"));
+  EXPECT_GE(min_j, 1.0);
+  EXPECT_LE(max_j, static_cast<double>(kK));
+
+  // Per-cluster sub-models via GROUP BY on the scored assignment —
+  // the paper's "several sub-models from the same data set" usage.
+  NLQ_ASSERT_OK(db_->ExecuteCommand(
+      "CREATE TABLE XJ AS SELECT X.i AS i, j"
+      ", X1, X2, X3, X4, X5, X6, X7, X8 FROM X, XC WHERE X.i = XC.i"));
+  NLQ_ASSERT_OK_AND_ASSIGN(
+      auto groups,
+      miner_->ComputeGroupedSufStats("XJ", DimensionColumns(kD),
+                                     MatrixKind::kDiagonal,
+                                     ComputeVia::kUdfList, "j"));
+  EXPECT_LE(groups.size(), kK);
+  double total = 0;
+  for (const auto& [j, stats] : groups) total += stats.n();
+  EXPECT_DOUBLE_EQ(total, static_cast<double>(kN));
+}
+
+TEST_F(PipelineIntegrationTest, PcaReducesDimensionalityInOneScan) {
+  NLQ_ASSERT_OK_AND_ASSIGN(stats::PcaModel model,
+                           miner_->BuildPca("X", kD, 2, ComputeVia::kUdfList));
+  NLQ_ASSERT_OK(miner_->ScorePca("X", model, "XP", /*use_udf=*/true));
+  auto reduced = db_->Execute("SELECT * FROM XP");
+  ASSERT_TRUE(reduced.ok());
+  EXPECT_EQ(reduced->num_rows(), kN);
+  EXPECT_EQ(reduced->num_columns(), 3u);  // i, f1, f2
+}
+
+// Cross-check that the WHERE i = i join above works: the engine only
+// supports cross joins plus predicates, so equality joins come out of
+// pushdown + residual filtering. Sanity-check the row count is n not
+// n^2 after filtering.
+TEST_F(PipelineIntegrationTest, EquiJoinViaResidualPredicate) {
+  NLQ_ASSERT_OK(db_->ExecuteCommand(
+      "CREATE TABLE SMALL AS SELECT i, X1 FROM X WHERE i <= 20"));
+  auto result = db_->Execute(
+      "SELECT count(*) FROM SMALL s1, SMALL s2 WHERE s1.i = s2.i");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->At(0, 0).int_value(), 20);
+}
+
+}  // namespace
+}  // namespace nlq

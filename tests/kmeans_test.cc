@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "stats/kmeans.h"
+#include "tests/test_util.h"
+
+namespace nlq::stats {
+namespace {
+
+/// Well-separated blobs: cluster j centered at (100j, 100j, ...).
+std::vector<linalg::Vector> SeparatedBlobs(size_t k, size_t per_cluster,
+                                           size_t d, uint64_t seed) {
+  Random rng(seed);
+  std::vector<linalg::Vector> points;
+  for (size_t j = 0; j < k; ++j) {
+    for (size_t i = 0; i < per_cluster; ++i) {
+      linalg::Vector x(d);
+      for (size_t a = 0; a < d; ++a) {
+        x[a] = 100.0 * static_cast<double>(j) + rng.NextGaussian(0, 1.0);
+      }
+      points.push_back(std::move(x));
+    }
+  }
+  return points;
+}
+
+TEST(KMeansTest, RecoversSeparatedClusters) {
+  const auto points = SeparatedBlobs(4, 200, 3, 7);
+  KMeansOptions options;
+  options.k = 4;
+  options.seed = 3;
+  NLQ_ASSERT_OK_AND_ASSIGN(KMeansModel model, FitKMeans(points, options));
+
+  // Each recovered centroid should be near one blob center; all blobs
+  // should be covered.
+  std::vector<bool> covered(4, false);
+  for (size_t j = 0; j < 4; ++j) {
+    for (size_t blob = 0; blob < 4; ++blob) {
+      bool near = true;
+      for (size_t a = 0; a < 3; ++a) {
+        if (std::fabs(model.centroids(j, a) - 100.0 * blob) > 5.0) {
+          near = false;
+          break;
+        }
+      }
+      if (near) covered[blob] = true;
+    }
+  }
+  EXPECT_TRUE(std::all_of(covered.begin(), covered.end(),
+                          [](bool c) { return c; }));
+}
+
+TEST(KMeansTest, WeightsSumToOneAndCountsSumToN) {
+  const auto points = SeparatedBlobs(3, 100, 2, 11);
+  KMeansOptions options;
+  options.k = 3;
+  NLQ_ASSERT_OK_AND_ASSIGN(KMeansModel model, FitKMeans(points, options));
+  double weight_sum = 0, count_sum = 0;
+  for (size_t j = 0; j < 3; ++j) {
+    weight_sum += model.weights[j];
+    count_sum += model.counts[j];
+  }
+  EXPECT_NEAR(weight_sum, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(count_sum, 300.0);
+}
+
+TEST(KMeansTest, RadiiApproximateClusterVariance) {
+  // Blobs have per-dimension variance 1.
+  const auto points = SeparatedBlobs(2, 5000, 2, 13);
+  KMeansOptions options;
+  options.k = 2;
+  NLQ_ASSERT_OK_AND_ASSIGN(KMeansModel model, FitKMeans(points, options));
+  for (size_t j = 0; j < 2; ++j) {
+    for (size_t a = 0; a < 2; ++a) {
+      EXPECT_NEAR(model.radii(j, a), 1.0, 0.15);
+    }
+  }
+}
+
+TEST(KMeansTest, NearestCentroidConsistent) {
+  const auto points = SeparatedBlobs(3, 50, 2, 17);
+  KMeansOptions options;
+  options.k = 3;
+  NLQ_ASSERT_OK_AND_ASSIGN(KMeansModel model, FitKMeans(points, options));
+  for (const auto& p : points) {
+    const size_t j = model.NearestCentroid(p);
+    for (size_t other = 0; other < 3; ++other) {
+      EXPECT_LE(model.SquaredDistanceTo(p.data(), j),
+                model.SquaredDistanceTo(p.data(), other) + 1e-12);
+    }
+  }
+}
+
+TEST(KMeansTest, MoreIterationsNeverWorse) {
+  Random rng(19);
+  std::vector<linalg::Vector> points;
+  for (int i = 0; i < 2000; ++i) {
+    points.push_back({rng.NextUniform(0, 100), rng.NextUniform(0, 100)});
+  }
+  KMeansOptions one;
+  one.k = 8;
+  one.max_iterations = 1;
+  one.tolerance = 0;
+  KMeansOptions many = one;
+  many.max_iterations = 25;
+  NLQ_ASSERT_OK_AND_ASSIGN(KMeansModel m1, FitKMeans(points, one));
+  NLQ_ASSERT_OK_AND_ASSIGN(KMeansModel m25, FitKMeans(points, many));
+  EXPECT_LE(m25.SumSquaredError(points), m1.SumSquaredError(points) + 1e-6);
+}
+
+TEST(KMeansTest, IncrementalOnePassIsReasonable) {
+  const auto points = SeparatedBlobs(3, 300, 2, 23);
+  KMeansOptions options;
+  options.k = 3;
+  options.incremental = true;
+  NLQ_ASSERT_OK_AND_ASSIGN(KMeansModel model, FitKMeans(points, options));
+  // The paper: incremental gets a "good, but probably suboptimal"
+  // solution in one pass. Sanity: SSE within 5x of the full solution.
+  KMeansOptions full = options;
+  full.incremental = false;
+  NLQ_ASSERT_OK_AND_ASSIGN(KMeansModel reference, FitKMeans(points, full));
+  EXPECT_LT(model.SumSquaredError(points),
+            5.0 * reference.SumSquaredError(points) + 100.0);
+  double weight_sum = 0;
+  for (double w : model.weights) weight_sum += w;
+  EXPECT_NEAR(weight_sum, 1.0, 1e-9);
+}
+
+TEST(KMeansTest, DeterministicForSeed) {
+  const auto points = SeparatedBlobs(2, 100, 2, 29);
+  KMeansOptions options;
+  options.k = 2;
+  options.seed = 77;
+  NLQ_ASSERT_OK_AND_ASSIGN(KMeansModel a, FitKMeans(points, options));
+  NLQ_ASSERT_OK_AND_ASSIGN(KMeansModel b, FitKMeans(points, options));
+  EXPECT_EQ(a.centroids.MaxAbsDiff(b.centroids), 0.0);
+}
+
+TEST(KMeansTest, KEqualsOneGivesGlobalMean) {
+  const auto points = SeparatedBlobs(2, 100, 2, 31);
+  KMeansOptions options;
+  options.k = 1;
+  NLQ_ASSERT_OK_AND_ASSIGN(KMeansModel model, FitKMeans(points, options));
+  linalg::Vector mean(2, 0.0);
+  for (const auto& p : points) {
+    mean[0] += p[0];
+    mean[1] += p[1];
+  }
+  mean[0] /= points.size();
+  mean[1] /= points.size();
+  EXPECT_NEAR(model.centroids(0, 0), mean[0], 1e-9);
+  EXPECT_NEAR(model.centroids(0, 1), mean[1], 1e-9);
+  EXPECT_DOUBLE_EQ(model.weights[0], 1.0);
+}
+
+TEST(KMeansTest, ErrorCases) {
+  EXPECT_FALSE(FitKMeans({}, KMeansOptions{}).ok());
+  KMeansOptions zero_k;
+  zero_k.k = 0;
+  EXPECT_FALSE(FitKMeans({{1.0, 2.0}}, zero_k).ok());
+}
+
+TEST(KMeansTest, UpdateClusterFromStatsValidation) {
+  KMeansModel model;
+  model.d = 2;
+  model.k = 2;
+  model.centroids = linalg::Matrix(2, 2);
+  model.radii = linalg::Matrix(2, 2);
+  model.weights.assign(2, 0.0);
+  model.counts.assign(2, 0.0);
+
+  SufStats wrong_d(3, MatrixKind::kDiagonal);
+  EXPECT_FALSE(UpdateClusterFromStats(wrong_d, 10, 0, &model).ok());
+
+  SufStats stats(2, MatrixKind::kDiagonal);
+  EXPECT_FALSE(UpdateClusterFromStats(stats, 10, 5, &model).ok());
+
+  stats.Update(std::vector<double>{2, 4});
+  stats.Update(std::vector<double>{4, 8});
+  NLQ_ASSERT_OK(UpdateClusterFromStats(stats, 10, 1, &model));
+  EXPECT_DOUBLE_EQ(model.centroids(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(model.centroids(1, 1), 6.0);
+  EXPECT_DOUBLE_EQ(model.weights[1], 0.2);
+  EXPECT_DOUBLE_EQ(model.radii(1, 0), 1.0);  // var of {2,4}
+}
+
+class KMeansSweepTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(KMeansSweepTest, SseDecreasesWithK) {
+  Random rng(37);
+  std::vector<linalg::Vector> points;
+  for (int i = 0; i < 3000; ++i) {
+    points.push_back({rng.NextUniform(0, 100), rng.NextUniform(0, 100),
+                      rng.NextUniform(0, 100)});
+  }
+  KMeansOptions small;
+  small.k = GetParam();
+  small.seed = 5;
+  KMeansOptions bigger = small;
+  bigger.k = GetParam() * 2;
+  NLQ_ASSERT_OK_AND_ASSIGN(KMeansModel m_small, FitKMeans(points, small));
+  NLQ_ASSERT_OK_AND_ASSIGN(KMeansModel m_big, FitKMeans(points, bigger));
+  EXPECT_LT(m_big.SumSquaredError(points), m_small.SumSquaredError(points));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KMeansSweepTest, ::testing::Values(2, 4, 8, 16));
+
+}  // namespace
+}  // namespace nlq::stats

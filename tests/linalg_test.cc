@@ -1,0 +1,342 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "linalg/cholesky.h"
+#include "linalg/eigen.h"
+#include "linalg/lu.h"
+#include "linalg/matrix.h"
+#include "linalg/svd.h"
+#include "tests/test_util.h"
+
+namespace nlq::linalg {
+namespace {
+
+Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Random rng(seed);
+  Matrix m(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) m(r, c) = rng.NextUniform(-1.0, 1.0);
+  }
+  return m;
+}
+
+Matrix RandomSpd(size_t n, uint64_t seed) {
+  // A Aᵀ + n·I is symmetric positive definite.
+  const Matrix a = RandomMatrix(n, n, seed);
+  Matrix spd = a * a.Transpose();
+  for (size_t i = 0; i < n; ++i) spd(i, i) += static_cast<double>(n);
+  return spd;
+}
+
+// ---------------------------------------------------------------------------
+// Matrix basics
+// ---------------------------------------------------------------------------
+
+TEST(MatrixTest, ConstructAndIndex) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(MatrixTest, IdentityAndFromRows) {
+  const Matrix id = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(id(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(id(0, 2), 0.0);
+  const Matrix m = Matrix::FromRows({{1, 2}, {3, 4}});
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(MatrixTest, TransposeRoundTrip) {
+  const Matrix m = RandomMatrix(4, 7, 1);
+  EXPECT_DOUBLE_EQ(m.Transpose().Transpose().MaxAbsDiff(m), 0.0);
+}
+
+TEST(MatrixTest, RowColumnBlock) {
+  const Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}, {7, 8, 9}});
+  EXPECT_EQ(m.Row(1), (Vector{4, 5, 6}));
+  EXPECT_EQ(m.Column(2), (Vector{3, 6, 9}));
+  const Matrix b = m.Block(1, 1, 2, 2);
+  EXPECT_DOUBLE_EQ(b(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(b(1, 1), 9.0);
+}
+
+TEST(MatrixTest, ArithmeticOperators) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  const Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(0, 0), 6.0);
+  const Matrix diff = b - a;
+  EXPECT_DOUBLE_EQ(diff(1, 1), 4.0);
+  const Matrix scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled(1, 0), 6.0);
+}
+
+TEST(MatrixTest, ProductMatchesHandComputation) {
+  const Matrix a = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  const Matrix b = Matrix::FromRows({{7, 8}, {9, 10}, {11, 12}});
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(MatrixTest, ProductWithIdentity) {
+  const Matrix a = RandomMatrix(5, 5, 3);
+  EXPECT_LT((a * Matrix::Identity(5)).MaxAbsDiff(a), 1e-15);
+}
+
+TEST(MatrixTest, MatVecAndDot) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  const Vector v = MatVec(a, {1, 1});
+  EXPECT_DOUBLE_EQ(v[0], 3.0);
+  EXPECT_DOUBLE_EQ(v[1], 7.0);
+  EXPECT_DOUBLE_EQ(Dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance({0, 0}, {3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(Norm({3, 4}), 5.0);
+}
+
+TEST(MatrixTest, OuterProduct) {
+  const Matrix o = Outer({1, 2}, {3, 4, 5});
+  EXPECT_EQ(o.rows(), 2u);
+  EXPECT_EQ(o.cols(), 3u);
+  EXPECT_DOUBLE_EQ(o(1, 2), 10.0);
+}
+
+TEST(MatrixTest, SymmetryCheck) {
+  Matrix m = RandomSpd(4, 5);
+  EXPECT_TRUE(m.IsSymmetric());
+  m(0, 1) += 1.0;
+  EXPECT_FALSE(m.IsSymmetric());
+}
+
+// ---------------------------------------------------------------------------
+// LU
+// ---------------------------------------------------------------------------
+
+TEST(LuTest, SolvesKnownSystem) {
+  const Matrix a = Matrix::FromRows({{2, 1}, {1, 3}});
+  NLQ_ASSERT_OK_AND_ASSIGN(LuDecomposition lu, LuDecomposition::Compute(a));
+  NLQ_ASSERT_OK_AND_ASSIGN(Vector x, lu.Solve(Vector{3, 5}));
+  EXPECT_NEAR(x[0], 0.8, 1e-12);
+  EXPECT_NEAR(x[1], 1.4, 1e-12);
+}
+
+TEST(LuTest, DeterminantAndInverse) {
+  const Matrix a = Matrix::FromRows({{4, 3}, {6, 3}});
+  NLQ_ASSERT_OK_AND_ASSIGN(LuDecomposition lu, LuDecomposition::Compute(a));
+  EXPECT_NEAR(lu.Determinant(), -6.0, 1e-12);
+  NLQ_ASSERT_OK_AND_ASSIGN(Matrix inv, lu.Inverse());
+  EXPECT_LT((a * inv).MaxAbsDiff(Matrix::Identity(2)), 1e-12);
+}
+
+TEST(LuTest, RejectsSingular) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {2, 4}});
+  EXPECT_FALSE(LuDecomposition::Compute(a).ok());
+}
+
+TEST(LuTest, RejectsNonSquare) {
+  EXPECT_FALSE(LuDecomposition::Compute(Matrix(2, 3)).ok());
+}
+
+TEST(LuTest, NeedsPivoting) {
+  // Zero on the leading diagonal forces a row swap.
+  const Matrix a = Matrix::FromRows({{0, 1}, {1, 0}});
+  NLQ_ASSERT_OK_AND_ASSIGN(LuDecomposition lu, LuDecomposition::Compute(a));
+  NLQ_ASSERT_OK_AND_ASSIGN(Vector x, lu.Solve(Vector{2, 5}));
+  EXPECT_NEAR(x[0], 5.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+class LuPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(LuPropertyTest, InverseReconstructsIdentity) {
+  const size_t n = GetParam();
+  const Matrix a = RandomSpd(n, 100 + n);
+  NLQ_ASSERT_OK_AND_ASSIGN(Matrix inv, Invert(a));
+  EXPECT_LT((a * inv).MaxAbsDiff(Matrix::Identity(n)), 1e-8);
+}
+
+TEST_P(LuPropertyTest, SolveMatchesMultiply) {
+  const size_t n = GetParam();
+  const Matrix a = RandomSpd(n, 200 + n);
+  Random rng(300 + n);
+  Vector x_true(n);
+  for (auto& v : x_true) v = rng.NextUniform(-5, 5);
+  const Vector b = MatVec(a, x_true);
+  NLQ_ASSERT_OK_AND_ASSIGN(Vector x, SolveLinearSystem(a, b));
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 33, 64));
+
+// ---------------------------------------------------------------------------
+// Cholesky
+// ---------------------------------------------------------------------------
+
+class CholeskyPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CholeskyPropertyTest, FactorReconstructs) {
+  const size_t n = GetParam();
+  const Matrix a = RandomSpd(n, 400 + n);
+  NLQ_ASSERT_OK_AND_ASSIGN(CholeskyDecomposition chol,
+                           CholeskyDecomposition::Compute(a));
+  const Matrix l = chol.L();
+  EXPECT_LT((l * l.Transpose()).MaxAbsDiff(a), 1e-8);
+}
+
+TEST_P(CholeskyPropertyTest, SolveAgreesWithLu) {
+  const size_t n = GetParam();
+  const Matrix a = RandomSpd(n, 500 + n);
+  Random rng(600 + n);
+  Vector b(n);
+  for (auto& v : b) v = rng.NextUniform(-1, 1);
+  NLQ_ASSERT_OK_AND_ASSIGN(CholeskyDecomposition chol,
+                           CholeskyDecomposition::Compute(a));
+  NLQ_ASSERT_OK_AND_ASSIGN(Vector x1, chol.Solve(b));
+  NLQ_ASSERT_OK_AND_ASSIGN(Vector x2, SolveLinearSystem(a, b));
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR(x1[i], x2[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskyPropertyTest,
+                         ::testing::Values(1, 2, 4, 9, 17, 32));
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {2, 1}});  // eigenvalues 3, -1
+  EXPECT_FALSE(CholeskyDecomposition::Compute(a).ok());
+}
+
+TEST(CholeskyTest, RejectsAsymmetric) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {0, 1}});
+  EXPECT_FALSE(CholeskyDecomposition::Compute(a).ok());
+}
+
+TEST(CholeskyTest, LogDeterminant) {
+  const Matrix a = Matrix::FromRows({{4, 0}, {0, 9}});
+  NLQ_ASSERT_OK_AND_ASSIGN(CholeskyDecomposition chol,
+                           CholeskyDecomposition::Compute(a));
+  EXPECT_NEAR(chol.LogDeterminant(), std::log(36.0), 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Symmetric eigendecomposition
+// ---------------------------------------------------------------------------
+
+TEST(EigenTest, DiagonalMatrix) {
+  const Matrix a = Matrix::FromRows({{3, 0}, {0, 7}});
+  NLQ_ASSERT_OK_AND_ASSIGN(EigenDecomposition eig, SymmetricEigen(a));
+  EXPECT_NEAR(eig.eigenvalues[0], 7.0, 1e-10);
+  EXPECT_NEAR(eig.eigenvalues[1], 3.0, 1e-10);
+}
+
+TEST(EigenTest, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  const Matrix a = Matrix::FromRows({{2, 1}, {1, 2}});
+  NLQ_ASSERT_OK_AND_ASSIGN(EigenDecomposition eig, SymmetricEigen(a));
+  EXPECT_NEAR(eig.eigenvalues[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig.eigenvalues[1], 1.0, 1e-10);
+}
+
+class EigenPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(EigenPropertyTest, Reconstructs) {
+  const size_t n = GetParam();
+  Matrix a = RandomMatrix(n, n, 700 + n);
+  a = 0.5 * (a + a.Transpose());  // symmetrize
+  NLQ_ASSERT_OK_AND_ASSIGN(EigenDecomposition eig, SymmetricEigen(a));
+  // Rebuild V diag(w) Vᵀ.
+  Matrix vd = eig.eigenvectors;
+  for (size_t c = 0; c < n; ++c) {
+    for (size_t r = 0; r < n; ++r) vd(r, c) *= eig.eigenvalues[c];
+  }
+  EXPECT_LT((vd * eig.eigenvectors.Transpose()).MaxAbsDiff(a), 1e-8);
+}
+
+TEST_P(EigenPropertyTest, VectorsOrthonormal) {
+  const size_t n = GetParam();
+  Matrix a = RandomMatrix(n, n, 800 + n);
+  a = 0.5 * (a + a.Transpose());
+  NLQ_ASSERT_OK_AND_ASSIGN(EigenDecomposition eig, SymmetricEigen(a));
+  const Matrix vtv = eig.eigenvectors.Transpose() * eig.eigenvectors;
+  EXPECT_LT(vtv.MaxAbsDiff(Matrix::Identity(n)), 1e-9);
+}
+
+TEST_P(EigenPropertyTest, TraceEqualsEigenSum) {
+  const size_t n = GetParam();
+  Matrix a = RandomMatrix(n, n, 900 + n);
+  a = 0.5 * (a + a.Transpose());
+  NLQ_ASSERT_OK_AND_ASSIGN(EigenDecomposition eig, SymmetricEigen(a));
+  double trace = 0, sum = 0;
+  for (size_t i = 0; i < n; ++i) trace += a(i, i);
+  for (double ev : eig.eigenvalues) sum += ev;
+  EXPECT_NEAR(trace, sum, 1e-8 * (1.0 + std::fabs(trace)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenPropertyTest,
+                         ::testing::Values(1, 2, 3, 6, 12, 24, 48));
+
+TEST(EigenTest, RejectsAsymmetric) {
+  EXPECT_FALSE(SymmetricEigen(Matrix::FromRows({{1, 2}, {0, 1}})).ok());
+}
+
+// ---------------------------------------------------------------------------
+// SVD
+// ---------------------------------------------------------------------------
+
+class SvdPropertyTest
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(SvdPropertyTest, Reconstructs) {
+  const auto [m, n] = GetParam();
+  const Matrix a = RandomMatrix(m, n, 1000 + m * 13 + n);
+  NLQ_ASSERT_OK_AND_ASSIGN(SvdDecomposition svd, ComputeSvd(a));
+  // U diag(s) Vᵀ.
+  Matrix us = svd.u;
+  for (size_t c = 0; c < n; ++c) {
+    for (size_t r = 0; r < m; ++r) us(r, c) *= svd.singular_values[c];
+  }
+  EXPECT_LT((us * svd.v.Transpose()).MaxAbsDiff(a), 1e-8);
+}
+
+TEST_P(SvdPropertyTest, SingularValuesDescendingNonNegative) {
+  const auto [m, n] = GetParam();
+  const Matrix a = RandomMatrix(m, n, 2000 + m * 13 + n);
+  NLQ_ASSERT_OK_AND_ASSIGN(SvdDecomposition svd, ComputeSvd(a));
+  for (size_t i = 0; i < svd.singular_values.size(); ++i) {
+    EXPECT_GE(svd.singular_values[i], 0.0);
+    if (i > 0) {
+      EXPECT_LE(svd.singular_values[i], svd.singular_values[i - 1] + 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SvdPropertyTest,
+    ::testing::Values(std::pair<size_t, size_t>{3, 3},
+                      std::pair<size_t, size_t>{5, 3},
+                      std::pair<size_t, size_t>{8, 8},
+                      std::pair<size_t, size_t>{16, 4},
+                      std::pair<size_t, size_t>{32, 16}));
+
+TEST(SvdTest, RankDeficientCompletesOrthonormalU) {
+  // Rank-1 3x2 matrix.
+  const Matrix a = Matrix::FromRows({{1, 2}, {2, 4}, {3, 6}});
+  NLQ_ASSERT_OK_AND_ASSIGN(SvdDecomposition svd, ComputeSvd(a));
+  EXPECT_GT(svd.singular_values[0], 0.0);
+  EXPECT_DOUBLE_EQ(svd.singular_values[1], 0.0);
+  const Matrix utu = svd.u.Transpose() * svd.u;
+  EXPECT_LT(utu.MaxAbsDiff(Matrix::Identity(2)), 1e-8);
+}
+
+TEST(SvdTest, RejectsWideMatrix) {
+  EXPECT_FALSE(ComputeSvd(Matrix(2, 5)).ok());
+}
+
+}  // namespace
+}  // namespace nlq::linalg

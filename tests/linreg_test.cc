@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "stats/linreg.h"
+#include "stats/sufstats.h"
+#include "tests/test_util.h"
+
+namespace nlq::stats {
+namespace {
+
+/// Builds SufStats over (x, y) points with y = b0 + b^T x + noise.
+SufStats MakeRegressionStats(const linalg::Vector& beta, size_t n,
+                             double noise, uint64_t seed,
+                             linalg::Vector* out_x_sample = nullptr) {
+  const size_t d = beta.size() - 1;
+  Random rng(seed);
+  SufStats stats(d + 1, MatrixKind::kLowerTriangular);
+  std::vector<double> z(d + 1);
+  for (size_t i = 0; i < n; ++i) {
+    double y = beta[0];
+    for (size_t a = 0; a < d; ++a) {
+      z[a] = rng.NextUniform(-10, 10);
+      y += beta[a + 1] * z[a];
+    }
+    z[d] = y + (noise > 0 ? rng.NextGaussian(0, noise) : 0.0);
+    stats.Update(z);
+    if (out_x_sample != nullptr && i == 0) {
+      out_x_sample->assign(z.begin(), z.end() - 1);
+    }
+  }
+  return stats;
+}
+
+TEST(LinRegTest, RecoversExactCoefficientsWithoutNoise) {
+  const linalg::Vector truth{2.0, -1.5, 0.5, 3.0};
+  const SufStats stats = MakeRegressionStats(truth, 500, 0.0, 7);
+  NLQ_ASSERT_OK_AND_ASSIGN(LinearRegressionModel model,
+                           FitLinearRegression(stats));
+  ASSERT_EQ(model.beta.size(), 4u);
+  for (size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_NEAR(model.beta[i], truth[i], 1e-8);
+  }
+  EXPECT_NEAR(model.sse, 0.0, 1e-6);
+  EXPECT_NEAR(model.r2, 1.0, 1e-9);
+}
+
+TEST(LinRegTest, ApproximatesUnderNoise) {
+  const linalg::Vector truth{-1.0, 4.0, 2.0};
+  const SufStats stats = MakeRegressionStats(truth, 20000, 1.0, 11);
+  NLQ_ASSERT_OK_AND_ASSIGN(LinearRegressionModel model,
+                           FitLinearRegression(stats));
+  for (size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_NEAR(model.beta[i], truth[i], 0.05);
+  }
+  EXPECT_GT(model.r2, 0.99);  // signal dominates sigma=1 noise
+  EXPECT_LT(model.r2, 1.0);
+}
+
+TEST(LinRegTest, PredictMatchesEquation) {
+  const linalg::Vector truth{1.0, 2.0, -3.0};
+  const SufStats stats = MakeRegressionStats(truth, 200, 0.0, 13);
+  NLQ_ASSERT_OK_AND_ASSIGN(LinearRegressionModel model,
+                           FitLinearRegression(stats));
+  const linalg::Vector x{0.5, -1.5};
+  EXPECT_NEAR(model.Predict(x), 1.0 + 2.0 * 0.5 - 3.0 * -1.5, 1e-8);
+}
+
+TEST(LinRegTest, SseMatchesDirectResidualSum) {
+  // Cross-check the algebraic SSE = Q_yy − βᵀb against an explicit
+  // residual scan (the paper computes the latter with a second pass).
+  const size_t d = 3, n = 1000;
+  Random rng(17);
+  std::vector<std::vector<double>> rows;
+  SufStats stats(d + 1, MatrixKind::kLowerTriangular);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> z(d + 1);
+    for (size_t a = 0; a < d; ++a) z[a] = rng.NextUniform(0, 5);
+    z[d] = 2.0 + z[0] - 0.5 * z[1] + rng.NextGaussian(0, 2.0);
+    stats.Update(z);
+    rows.push_back(std::move(z));
+  }
+  NLQ_ASSERT_OK_AND_ASSIGN(LinearRegressionModel model,
+                           FitLinearRegression(stats));
+  double direct_sse = 0;
+  for (const auto& z : rows) {
+    const double yhat = model.Predict(z.data());
+    direct_sse += (z[d] - yhat) * (z[d] - yhat);
+  }
+  EXPECT_NEAR(model.sse, direct_sse, 1e-6 * direct_sse);
+}
+
+TEST(LinRegTest, VarBetaShrinksWithN) {
+  const linalg::Vector truth{0.0, 1.0};
+  const SufStats small = MakeRegressionStats(truth, 100, 2.0, 19);
+  const SufStats large = MakeRegressionStats(truth, 10000, 2.0, 19);
+  NLQ_ASSERT_OK_AND_ASSIGN(LinearRegressionModel m_small,
+                           FitLinearRegression(small));
+  NLQ_ASSERT_OK_AND_ASSIGN(LinearRegressionModel m_large,
+                           FitLinearRegression(large));
+  EXPECT_GT(m_small.var_beta(1, 1), m_large.var_beta(1, 1));
+  EXPECT_GT(m_small.var_beta(1, 1), 0.0);
+}
+
+TEST(LinRegTest, VarBetaIsSymmetric) {
+  const SufStats stats =
+      MakeRegressionStats(linalg::Vector{1, 2, 3}, 500, 1.0, 23);
+  NLQ_ASSERT_OK_AND_ASSIGN(LinearRegressionModel model,
+                           FitLinearRegression(stats));
+  EXPECT_TRUE(model.var_beta.IsSymmetric(1e-9));
+}
+
+TEST(LinRegTest, RejectsDiagonalKind) {
+  SufStats stats(3, MatrixKind::kDiagonal);
+  EXPECT_FALSE(FitLinearRegression(stats).ok());
+}
+
+TEST(LinRegTest, RejectsTooFewRows) {
+  SufStats stats(3, MatrixKind::kLowerTriangular);  // d=2 predictors + y
+  stats.Update(std::vector<double>{1, 2, 3});
+  stats.Update(std::vector<double>{2, 3, 4});
+  EXPECT_FALSE(FitLinearRegression(stats).ok());
+}
+
+TEST(LinRegTest, RejectsSingleColumn) {
+  SufStats stats(1, MatrixKind::kFull);
+  EXPECT_FALSE(FitLinearRegression(stats).ok());
+}
+
+TEST(LinRegTest, CollinearPredictorsHandled) {
+  // X2 = 2 * X1 makes the normal equations singular: either the fit
+  // is rejected, or (if floating-point round-off leaves a tiny pivot)
+  // the returned solution must still reproduce y = x1 + 1 on the data,
+  // since every solution of a consistent singular system predicts
+  // identically on the training span.
+  SufStats stats(3, MatrixKind::kLowerTriangular);
+  Random rng(29);
+  std::vector<double> sample{0.4, 0.8, 1.4};
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.NextUniform(0, 1);
+    stats.Update(std::vector<double>{x, 2 * x, x + 1});
+  }
+  auto model = FitLinearRegression(stats);
+  if (model.ok()) {
+    EXPECT_NEAR(model->Predict(sample.data()), 1.4, 1e-4);
+  }
+}
+
+class LinRegDimsTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(LinRegDimsTest, RecoversAcrossDimensionalities) {
+  const size_t d = GetParam();
+  Random rng(100 + d);
+  linalg::Vector truth(d + 1);
+  for (auto& b : truth) b = rng.NextUniform(-3, 3);
+  const SufStats stats = MakeRegressionStats(truth, 50 * d + 200, 0.0, 31 + d);
+  NLQ_ASSERT_OK_AND_ASSIGN(LinearRegressionModel model,
+                           FitLinearRegression(stats));
+  for (size_t i = 0; i <= d; ++i) {
+    EXPECT_NEAR(model.beta[i], truth[i], 1e-6) << "coef " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, LinRegDimsTest,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));
+
+
+TEST(LinRegTest, TStatisticsFlagInformativePredictors) {
+  // Y = 1 + 5*X1 + 0*X2 + noise: X1 highly significant, X2 not.
+  Random rng(71);
+  SufStats stats(3, MatrixKind::kLowerTriangular);
+  std::vector<double> z(3);
+  for (int i = 0; i < 5000; ++i) {
+    z[0] = rng.NextUniform(-5, 5);
+    z[1] = rng.NextUniform(-5, 5);
+    z[2] = 1.0 + 5.0 * z[0] + rng.NextGaussian(0, 1.0);
+    stats.Update(z);
+  }
+  NLQ_ASSERT_OK_AND_ASSIGN(LinearRegressionModel model,
+                           FitLinearRegression(stats));
+  EXPECT_GT(std::fabs(model.TStatistic(1)), 50.0);   // X1 coefficient
+  EXPECT_LT(std::fabs(model.TStatistic(2)), 4.0);    // X2 coefficient
+  EXPECT_GT(model.StdError(1), 0.0);
+}
+
+}  // namespace
+}  // namespace nlq::stats

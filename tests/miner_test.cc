@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "engine/database.h"
+#include "gen/datagen.h"
+#include "stats/miner.h"
+#include "tests/test_util.h"
+
+namespace nlq::stats {
+namespace {
+
+class MinerTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kD = 6;
+
+  void SetUp() override {
+    db_ = nlq::testing::MakeTestDatabase();
+    miner_ = std::make_unique<WarehouseMiner>(db_.get());
+    gen::MixtureOptions options;
+    options.n = 3000;
+    options.d = kD;
+    options.num_clusters = 4;
+    options.seed = 2024;
+    options.with_y = true;
+    NLQ_ASSERT_OK(gen::GenerateDataSetTable(db_.get(), "X", options).status());
+  }
+
+  std::unique_ptr<engine::Database> db_;
+  std::unique_ptr<WarehouseMiner> miner_;
+};
+
+// The paper's central claim: "the three implementations produce the
+// same results". All in-DBMS paths must agree bit-for-bit-ish.
+TEST_F(MinerTest, AllComputePathsAgree) {
+  NLQ_ASSERT_OK_AND_ASSIGN(
+      SufStats sql, miner_->ComputeSufStats("X", DimensionColumns(kD),
+                                            MatrixKind::kFull,
+                                            ComputeVia::kSql));
+  NLQ_ASSERT_OK_AND_ASSIGN(
+      SufStats udf_list, miner_->ComputeSufStats("X", DimensionColumns(kD),
+                                                 MatrixKind::kFull,
+                                                 ComputeVia::kUdfList));
+  NLQ_ASSERT_OK_AND_ASSIGN(
+      SufStats udf_string, miner_->ComputeSufStats("X", DimensionColumns(kD),
+                                                   MatrixKind::kFull,
+                                                   ComputeVia::kUdfString));
+  NLQ_ASSERT_OK_AND_ASSIGN(
+      SufStats blocks, miner_->ComputeSufStats("X", DimensionColumns(kD),
+                                               MatrixKind::kFull,
+                                               ComputeVia::kBlocks));
+  EXPECT_EQ(sql.n(), 3000.0);
+  EXPECT_LT(sql.MaxAbsDiff(udf_list), 1e-5);
+  EXPECT_EQ(udf_list.MaxAbsDiff(udf_string), 0.0);
+  EXPECT_LT(udf_list.MaxAbsDiff(blocks), 1e-5);
+}
+
+TEST_F(MinerTest, BlocksRequireFullKind) {
+  EXPECT_FALSE(miner_->ComputeSufStats("X", DimensionColumns(kD),
+                                       MatrixKind::kDiagonal,
+                                       ComputeVia::kBlocks)
+                   .ok());
+}
+
+TEST_F(MinerTest, GroupedStatsPartitionTheData) {
+  NLQ_ASSERT_OK_AND_ASSIGN(
+      auto groups, miner_->ComputeGroupedSufStats(
+                       "X", DimensionColumns(kD), MatrixKind::kDiagonal,
+                       ComputeVia::kUdfList, "i % 5"));
+  ASSERT_EQ(groups.size(), 5u);
+  double total = 0;
+  for (const auto& [key, stats] : groups) {
+    EXPECT_GE(key, 0);
+    EXPECT_LT(key, 5);
+    total += stats.n();
+  }
+  EXPECT_DOUBLE_EQ(total, 3000.0);
+
+  // SQL grouped path agrees.
+  NLQ_ASSERT_OK_AND_ASSIGN(
+      auto sql_groups, miner_->ComputeGroupedSufStats(
+                           "X", DimensionColumns(kD), MatrixKind::kDiagonal,
+                           ComputeVia::kSql, "i % 5"));
+  ASSERT_EQ(sql_groups.size(), 5u);
+  for (const auto& [key, stats] : groups) {
+    EXPECT_LT(stats.MaxAbsDiff(sql_groups.at(key)), 1e-5);
+  }
+}
+
+TEST_F(MinerTest, BuildCorrelationViaBothPaths) {
+  NLQ_ASSERT_OK_AND_ASSIGN(linalg::Matrix rho_sql,
+                           miner_->BuildCorrelation("X", kD, ComputeVia::kSql));
+  NLQ_ASSERT_OK_AND_ASSIGN(
+      linalg::Matrix rho_udf,
+      miner_->BuildCorrelation("X", kD, ComputeVia::kUdfList));
+  EXPECT_LT(rho_sql.MaxAbsDiff(rho_udf), 1e-9);
+  for (size_t a = 0; a < kD; ++a) EXPECT_DOUBLE_EQ(rho_sql(a, a), 1.0);
+}
+
+TEST_F(MinerTest, BuildLinearRegressionPredictsY) {
+  NLQ_ASSERT_OK_AND_ASSIGN(
+      LinearRegressionModel model,
+      miner_->BuildLinearRegression("X", DimensionColumns(kD), "Y",
+                                    ComputeVia::kUdfList));
+  // The generator's Y is linear plus sigma=5 noise over a wide range;
+  // the fit should be strong.
+  EXPECT_GT(model.r2, 0.95);
+  EXPECT_EQ(model.d, kD);
+}
+
+TEST_F(MinerTest, BuildPcaReturnsRequestedComponents) {
+  NLQ_ASSERT_OK_AND_ASSIGN(PcaModel model,
+                           miner_->BuildPca("X", kD, 3, ComputeVia::kSql));
+  EXPECT_EQ(model.k, 3u);
+  EXPECT_EQ(model.lambda.rows(), kD);
+  EXPECT_EQ(model.lambda.cols(), 3u);
+  EXPECT_GT(model.ExplainedVarianceRatio(), 0.0);
+  EXPECT_LE(model.ExplainedVarianceRatio(), 1.0 + 1e-12);
+}
+
+TEST_F(MinerTest, DbmsKMeansMatchesInMemoryQuality) {
+  // Build with the DBMS loop and in memory on the same data; SSE
+  // should be in the same ballpark (both are local optima).
+  KMeansOptions options;
+  options.k = 4;
+  options.max_iterations = 10;
+  NLQ_ASSERT_OK_AND_ASSIGN(KMeansModel db_model,
+                           miner_->BuildKMeansInDbms("X", kD, options));
+
+  auto table = db_->catalog().GetTable("X");
+  ASSERT_TRUE(table.ok());
+  auto rows = (*table)->ReadAllRows();
+  ASSERT_TRUE(rows.ok());
+  std::vector<linalg::Vector> points;
+  for (const auto& row : *rows) {
+    linalg::Vector x(kD);
+    for (size_t a = 0; a < kD; ++a) x[a] = row[1 + a].AsDouble();
+    points.push_back(std::move(x));
+  }
+  NLQ_ASSERT_OK_AND_ASSIGN(KMeansModel mem_model, FitKMeans(points, options));
+
+  const double db_sse = db_model.SumSquaredError(points);
+  const double mem_sse = mem_model.SumSquaredError(points);
+  EXPECT_LT(db_sse, 3.0 * mem_sse);
+  EXPECT_LT(mem_sse, 3.0 * db_sse);
+
+  // Weights normalized.
+  double weight_sum = 0;
+  for (double w : db_model.weights) weight_sum += w;
+  EXPECT_NEAR(weight_sum, 1.0, 1e-9);
+
+  // The loop's final model tables are left in the catalog.
+  EXPECT_TRUE(db_->catalog().HasTable("X_KMC"));
+  EXPECT_TRUE(db_->catalog().HasTable("X_KMR"));
+  EXPECT_TRUE(db_->catalog().HasTable("X_KMW"));
+}
+
+TEST_F(MinerTest, KMeansRejectsBadInputs) {
+  KMeansOptions options;
+  options.k = 0;
+  EXPECT_FALSE(miner_->BuildKMeansInDbms("X", kD, options).ok());
+  options.k = 5000;  // more clusters than rows
+  EXPECT_FALSE(miner_->BuildKMeansInDbms("X", kD, options).ok());
+}
+
+TEST_F(MinerTest, MissingTableSurfacesError) {
+  EXPECT_FALSE(miner_->ComputeSufStats("NOPE", DimensionColumns(2),
+                                       MatrixKind::kFull, ComputeVia::kSql)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace nlq::stats

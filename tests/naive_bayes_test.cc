@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "common/strings.h"
+#include "engine/database.h"
+#include "stats/miner.h"
+#include "stats/naive_bayes.h"
+#include "stats/scoring.h"
+#include "tests/test_util.h"
+
+namespace nlq::stats {
+namespace {
+
+/// Two labeled Gaussian classes, loaded both in-memory and as a table
+/// X(i, j, X1, X2) so the DB-driven path can be exercised.
+class NaiveBayesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = nlq::testing::MakeTestDatabase();
+    NLQ_ASSERT_OK(db_->ExecuteCommand(
+        "CREATE TABLE X (i BIGINT, j BIGINT, X1 DOUBLE, X2 DOUBLE)"));
+    Random rng(42);
+    int64_t id = 0;
+    for (int64_t label : {10, 20}) {  // non-contiguous labels on purpose
+      const double center = label == 10 ? 0.0 : 8.0;
+      for (int i = 0; i < 400; ++i) {
+        const double x1 = rng.NextGaussian(center, 1.0);
+        const double x2 = rng.NextGaussian(-center, 2.0);
+        NLQ_ASSERT_OK(db_->ExecuteCommand(StringPrintf(
+            "INSERT INTO X VALUES (%lld, %lld, %.17g, %.17g)",
+            static_cast<long long>(++id), static_cast<long long>(label), x1,
+            x2)));
+        points_.push_back({x1, x2});
+        labels_.push_back(label);
+      }
+    }
+  }
+
+  NaiveBayesModel Train() {
+    WarehouseMiner miner(db_.get());
+    auto groups = miner.ComputeGroupedSufStats(
+        "X", DimensionColumns(2), MatrixKind::kDiagonal,
+        ComputeVia::kUdfList, "j");
+    EXPECT_TRUE(groups.ok()) << groups.status().ToString();
+    auto model = FitNaiveBayes(*groups);
+    EXPECT_TRUE(model.ok()) << model.status().ToString();
+    return std::move(model).value();
+  }
+
+  std::unique_ptr<engine::Database> db_;
+  std::vector<linalg::Vector> points_;
+  std::vector<int64_t> labels_;
+};
+
+TEST_F(NaiveBayesTest, OneGroupedScanTrainsAccurateClassifier) {
+  const NaiveBayesModel model = Train();
+  EXPECT_EQ(model.k, 2u);
+  EXPECT_EQ(model.d, 2u);
+  EXPECT_EQ(model.class_labels[0], 10);
+  EXPECT_EQ(model.class_labels[1], 20);
+  EXPECT_NEAR(model.priors[0], 0.5, 1e-9);
+
+  size_t correct = 0;
+  for (size_t i = 0; i < points_.size(); ++i) {
+    correct += model.PredictLabel(points_[i].data()) == labels_[i];
+  }
+  // 8-sigma separation: essentially perfect training accuracy.
+  EXPECT_GT(static_cast<double>(correct) / points_.size(), 0.99);
+}
+
+TEST_F(NaiveBayesTest, RecoveredParametersMatchGenerator) {
+  const NaiveBayesModel model = Train();
+  EXPECT_NEAR(model.means(0, 0), 0.0, 0.2);
+  EXPECT_NEAR(model.means(1, 0), 8.0, 0.2);
+  EXPECT_NEAR(model.variances(0, 0), 1.0, 0.3);
+  EXPECT_NEAR(model.variances(0, 1), 4.0, 0.8);
+}
+
+TEST_F(NaiveBayesTest, InEngineScoringMatchesClientSideModel) {
+  // gaussnll is part of RegisterAllStatsUdfs, already installed.
+  const NaiveBayesModel model = Train();
+  NLQ_ASSERT_OK(StoreNaiveBayesTable(db_.get(), "NB", model));
+  NLQ_ASSERT_OK(db_->ExecuteCommand(
+      "CREATE TABLE SCORED AS " +
+      NaiveBayesScoreUdfQuery("X", "NB", 2, model.k)));
+
+  auto scored = db_->Execute("SELECT i, j FROM SCORED ORDER BY i");
+  ASSERT_TRUE(scored.ok()) << scored.status().ToString();
+  ASSERT_EQ(scored->num_rows(), points_.size());
+  for (size_t r = 0; r < points_.size(); ++r) {
+    const size_t predicted_index =
+        static_cast<size_t>(scored->At(r, 1).int_value()) - 1;  // 1-based
+    EXPECT_EQ(predicted_index, model.Classify(points_[r].data()))
+        << "row " << r;
+  }
+}
+
+TEST_F(NaiveBayesTest, PriorsReflectClassImbalance) {
+  // Remove most of class 20 and retrain via SQL-grouped stats.
+  NLQ_ASSERT_OK(db_->ExecuteCommand(
+      "CREATE TABLE XS AS SELECT * FROM X WHERE j = 10 OR i % 10 = 0"));
+  WarehouseMiner miner(db_.get());
+  NLQ_ASSERT_OK_AND_ASSIGN(
+      auto groups, miner.ComputeGroupedSufStats(
+                       "XS", DimensionColumns(2), MatrixKind::kDiagonal,
+                       ComputeVia::kSql, "j"));
+  NLQ_ASSERT_OK_AND_ASSIGN(NaiveBayesModel model, FitNaiveBayes(groups));
+  EXPECT_GT(model.priors[0], 0.8);
+  EXPECT_NEAR(model.priors[0] + model.priors[1], 1.0, 1e-9);
+}
+
+TEST_F(NaiveBayesTest, ErrorCases) {
+  EXPECT_FALSE(FitNaiveBayes({}).ok());
+  std::map<int64_t, SufStats> mismatched;
+  mismatched.emplace(1, SufStats(2, MatrixKind::kDiagonal));
+  EXPECT_FALSE(FitNaiveBayes(mismatched).ok());  // class with no rows
+  SufStats two(2, MatrixKind::kDiagonal);
+  two.Update(std::vector<double>{1, 2});
+  SufStats three(3, MatrixKind::kDiagonal);
+  three.Update(std::vector<double>{1, 2, 3});
+  std::map<int64_t, SufStats> wrong_d;
+  wrong_d.emplace(1, two);
+  wrong_d.emplace(2, three);
+  EXPECT_FALSE(FitNaiveBayes(wrong_d).ok());
+}
+
+TEST_F(NaiveBayesTest, GaussNllUdfValidation) {
+  // d=1: x=0, mu=0, var=1 -> 0.5*log(2*pi) ~ 0.9189.
+  NLQ_ASSERT_OK_AND_ASSIGN(double nll,
+                           db_->QueryDouble("SELECT gaussnll(0, 0, 1)"));
+  EXPECT_NEAR(nll, 0.9189385332046727, 1e-12);
+  EXPECT_FALSE(db_->Execute("SELECT gaussnll(0, 0)").ok());
+  EXPECT_FALSE(db_->Execute("SELECT gaussnll(0, 0, 0)").ok());  // var <= 0
+}
+
+TEST_F(NaiveBayesTest, HavingFiltersSmallClasses) {
+  // HAVING (new engine feature) composes with the grouped stats flow:
+  // keep only classes with enough support.
+  auto result = db_->Execute(
+      "SELECT j, count(*) AS support FROM X GROUP BY j "
+      "HAVING count(*) >= 100 ORDER BY j");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->num_rows(), 2u);
+  auto none = db_->Execute(
+      "SELECT j FROM X GROUP BY j HAVING count(*) > 100000");
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none->num_rows(), 0u);
+}
+
+
+TEST_F(NaiveBayesTest, SqlScoringMatchesUdfScoring) {
+  const NaiveBayesModel model = Train();
+  NLQ_ASSERT_OK(StoreNaiveBayesTable(db_.get(), "NB", model));
+
+  // UDF path: one scan.
+  NLQ_ASSERT_OK(db_->ExecuteCommand(
+      "CREATE TABLE S_UDF AS " +
+      NaiveBayesScoreUdfQuery("X", "NB", 2, model.k)));
+  // SQL path: two scans (log-joint arithmetic, then CASE argmin) —
+  // the same structure as the paper's clustering SQL.
+  NLQ_ASSERT_OK(db_->ExecuteCommand(
+      "CREATE TABLE S_NLL AS " +
+      NaiveBayesNllSqlQuery("X", "NB", 2, model.k)));
+  NLQ_ASSERT_OK(db_->ExecuteCommand(
+      "CREATE TABLE S_SQL AS " + KMeansAssignSqlQuery("S_NLL", model.k)));
+
+  auto udf = db_->Execute("SELECT i, j FROM S_UDF ORDER BY i");
+  auto sql = db_->Execute("SELECT i, j FROM S_SQL ORDER BY i");
+  ASSERT_TRUE(udf.ok() && sql.ok());
+  ASSERT_EQ(udf->num_rows(), sql->num_rows());
+  for (size_t r = 0; r < udf->num_rows(); ++r) {
+    EXPECT_EQ(udf->At(r, 1).int_value(), sql->At(r, 1).int_value())
+        << "row " << r;
+  }
+}
+
+}  // namespace
+}  // namespace nlq::stats

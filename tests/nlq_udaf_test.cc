@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "gen/datagen.h"
+#include "stats/nlq_udaf.h"
+#include "stats/sqlgen.h"
+#include "stats/sufstats.h"
+#include "tests/test_util.h"
+
+namespace nlq::stats {
+namespace {
+
+class NlqUdafTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = nlq::testing::MakeTestDatabase();
+    gen::MixtureOptions options;
+    options.n = 2000;
+    options.d = 5;
+    options.seed = 99;
+    NLQ_ASSERT_OK(gen::GenerateDataSetTable(db_.get(), "X", options).status());
+
+    // Reference stats straight from the stored rows.
+    auto table = db_->catalog().GetTable("X");
+    ASSERT_TRUE(table.ok());
+    auto rows = (*table)->ReadAllRows();
+    ASSERT_TRUE(rows.ok());
+    for (const auto& row : *rows) {
+      std::vector<double> x(5);
+      for (size_t a = 0; a < 5; ++a) x[a] = row[1 + a].AsDouble();
+      points_.push_back(std::move(x));
+    }
+  }
+
+  SufStats Reference(MatrixKind kind) {
+    return nlq::testing::ReferenceStats(points_, kind);
+  }
+
+  SufStats RunUdf(const std::string& sql) {
+    auto result = db_->Execute(sql);
+    EXPECT_TRUE(result.ok()) << sql << "\n" << result.status().ToString();
+    auto stats = SufStatsFromUdfResult(*result);
+    EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+    return std::move(stats).value();
+  }
+
+  std::unique_ptr<engine::Database> db_;
+  std::vector<std::vector<double>> points_;
+};
+
+class NlqUdafKindTest : public NlqUdafTest,
+                        public ::testing::WithParamInterface<MatrixKind> {};
+
+TEST_P(NlqUdafKindTest, ListStyleMatchesReference) {
+  const SufStats udf = RunUdf(
+      NlqUdfQuery("X", DimensionColumns(5), GetParam(), ParamStyle::kList));
+  const SufStats ref = Reference(GetParam());
+  EXPECT_EQ(udf.n(), ref.n());
+  EXPECT_LT(udf.MaxAbsDiff(ref), 1e-5);
+  for (size_t a = 0; a < 5; ++a) {
+    EXPECT_DOUBLE_EQ(udf.Min(a), ref.Min(a));
+    EXPECT_DOUBLE_EQ(udf.Max(a), ref.Max(a));
+  }
+}
+
+TEST_P(NlqUdafKindTest, StringStyleMatchesList) {
+  const SufStats list = RunUdf(
+      NlqUdfQuery("X", DimensionColumns(5), GetParam(), ParamStyle::kList));
+  const SufStats str = RunUdf(
+      NlqUdfQuery("X", DimensionColumns(5), GetParam(), ParamStyle::kString));
+  // pack_point prints shortest-round-trip doubles, so the string path
+  // is numerically identical.
+  EXPECT_EQ(list.MaxAbsDiff(str), 0.0);
+}
+
+TEST_P(NlqUdafKindTest, SqlWideQueryMatchesUdf) {
+  auto result = db_->Execute(NlqSqlQuery("X", DimensionColumns(5), GetParam()));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  NLQ_ASSERT_OK_AND_ASSIGN(SufStats sql,
+                           SufStatsFromWideRow(*result, 0, 5, GetParam()));
+  const SufStats udf = RunUdf(
+      NlqUdfQuery("X", DimensionColumns(5), GetParam(), ParamStyle::kList));
+  EXPECT_LT(sql.MaxAbsDiff(udf), 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, NlqUdafKindTest,
+                         ::testing::Values(MatrixKind::kDiagonal,
+                                           MatrixKind::kLowerTriangular,
+                                           MatrixKind::kFull));
+
+TEST_F(NlqUdafTest, GroupedUdfMatchesGroupedReference) {
+  auto result = db_->Execute(NlqUdfQueryGrouped(
+      "X", DimensionColumns(5), MatrixKind::kDiagonal, ParamStyle::kList,
+      "i % 4"));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->num_rows(), 4u);
+  double total_n = 0;
+  for (size_t r = 0; r < 4; ++r) {
+    NLQ_ASSERT_OK_AND_ASSIGN(SufStats group,
+                             SufStatsFromUdfResult(*result, r, 1));
+    total_n += group.n();
+  }
+  EXPECT_DOUBLE_EQ(total_n, 2000.0);
+}
+
+TEST_F(NlqUdafTest, GroupedSqlMatchesGroupedUdf) {
+  auto sql_result = db_->Execute(NlqSqlQueryGrouped(
+      "X", DimensionColumns(5), MatrixKind::kDiagonal, "i % 3"));
+  ASSERT_TRUE(sql_result.ok()) << sql_result.status().ToString();
+  auto udf_result = db_->Execute(NlqUdfQueryGrouped(
+      "X", DimensionColumns(5), MatrixKind::kDiagonal, ParamStyle::kList,
+      "i % 3"));
+  ASSERT_TRUE(udf_result.ok());
+  ASSERT_EQ(sql_result->num_rows(), udf_result->num_rows());
+  for (size_t r = 0; r < sql_result->num_rows(); ++r) {
+    NLQ_ASSERT_OK_AND_ASSIGN(
+        SufStats sql_stats,
+        SufStatsFromWideRow(*sql_result, r, 5, MatrixKind::kDiagonal, 1));
+    NLQ_ASSERT_OK_AND_ASSIGN(SufStats udf_stats,
+                             SufStatsFromUdfResult(*udf_result, r, 1));
+    EXPECT_LT(sql_stats.MaxAbsDiff(udf_stats), 1e-6);
+  }
+}
+
+TEST_F(NlqUdafTest, BlockQueryAssemblesFullMatrix) {
+  // Cover d=5 with 2-wide blocks: exercises diagonal and off-diagonal
+  // assembly plus mirroring.
+  auto result = db_->Execute(NlqBlockQuery("X", DimensionColumns(5), 2));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  NLQ_ASSERT_OK_AND_ASSIGN(SufStats assembled,
+                           SufStatsFromBlockResults(*result, 5));
+  const SufStats ref = Reference(MatrixKind::kFull);
+  EXPECT_EQ(assembled.n(), ref.n());
+  EXPECT_LT(assembled.MaxAbsDiff(ref), 1e-5);
+}
+
+TEST_F(NlqUdafTest, EmptyTableYieldsEmptyStats) {
+  NLQ_ASSERT_OK(db_->ExecuteCommand("CREATE TABLE E (i BIGINT, X1 DOUBLE)"));
+  const SufStats stats = RunUdf(NlqUdfQuery(
+      "E", {"X1"}, MatrixKind::kLowerTriangular, ParamStyle::kList));
+  EXPECT_EQ(stats.n(), 0.0);
+  EXPECT_EQ(stats.d(), 0u);
+}
+
+TEST_F(NlqUdafTest, RejectsTooManyDimensions) {
+  // d = 65 exceeds MAX_d = 64 at plan time.
+  std::string sql = "SELECT nlq_list('triang'";
+  for (int a = 0; a < 65; ++a) sql += ", X1";
+  sql += ") FROM X";
+  EXPECT_FALSE(db_->Execute(sql).ok());
+}
+
+TEST_F(NlqUdafTest, RejectsBadKind) {
+  EXPECT_FALSE(db_->Execute("SELECT nlq_list('banana', X1) FROM X").ok());
+}
+
+TEST_F(NlqUdafTest, RejectsTooFewArgs) {
+  EXPECT_FALSE(db_->Execute("SELECT nlq_list('diag') FROM X").ok());
+  EXPECT_FALSE(db_->Execute("SELECT nlq_string('diag') FROM X").ok());
+  EXPECT_FALSE(db_->Execute("SELECT nlq_block(1, 2) FROM X").ok());
+}
+
+TEST_F(NlqUdafTest, BlockRejectsBadRanges) {
+  EXPECT_FALSE(
+      db_->Execute("SELECT nlq_block(2, 1, 1, 1, X1, X1) FROM X").ok());
+  EXPECT_FALSE(
+      db_->Execute("SELECT nlq_block(0, 1, 1, 1, X1, X2, X1) FROM X").ok());
+}
+
+TEST_F(NlqUdafTest, ParseNlqBlockRejectsGarbage) {
+  EXPECT_FALSE(ParseNlqBlock("").ok());
+  EXPECT_FALSE(ParseNlqBlock("1|2|3").ok());
+  EXPECT_FALSE(ParseNlqBlock("1|2|1|2|10|1;2|1;2;3").ok());  // bad q count
+}
+
+TEST_F(NlqUdafTest, UdfIsPartitionInvariant) {
+  // Same data loaded under different partition counts must produce
+  // identical statistics (merge-phase correctness).
+  SufStats reference = Reference(MatrixKind::kFull);
+  for (size_t parts : {1u, 2u, 7u, 16u}) {
+    auto db = nlq::testing::MakeTestDatabase(parts);
+    gen::MixtureOptions options;
+    options.n = 2000;
+    options.d = 5;
+    options.seed = 99;
+    NLQ_ASSERT_OK(gen::GenerateDataSetTable(db.get(), "X", options).status());
+    auto result = db->Execute(NlqUdfQuery("X", DimensionColumns(5),
+                                          MatrixKind::kFull,
+                                          ParamStyle::kList));
+    ASSERT_TRUE(result.ok());
+    NLQ_ASSERT_OK_AND_ASSIGN(SufStats stats, SufStatsFromUdfResult(*result));
+    EXPECT_LT(stats.MaxAbsDiff(reference), 1e-5) << parts << " partitions";
+  }
+}
+
+
+class BlockSizeSweepTest : public NlqUdafTest,
+                           public ::testing::WithParamInterface<size_t> {};
+
+TEST_P(BlockSizeSweepTest, AnyBlockPartitioningAssemblesTheSameMatrix) {
+  const size_t block = GetParam();
+  auto result = db_->Execute(NlqBlockQuery("X", DimensionColumns(5), block));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  NLQ_ASSERT_OK_AND_ASSIGN(SufStats assembled,
+                           SufStatsFromBlockResults(*result, 5));
+  EXPECT_LT(assembled.MaxAbsDiff(Reference(MatrixKind::kFull)), 1e-5)
+      << "block side " << block;
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSides, BlockSizeSweepTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace nlq::stats

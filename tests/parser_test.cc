@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include "engine/ast.h"
+#include "engine/lexer.h"
+#include "engine/parser.h"
+#include "tests/test_util.h"
+
+namespace nlq::engine {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+TEST(LexerTest, BasicTokens) {
+  NLQ_ASSERT_OK_AND_ASSIGN(std::vector<Token> tokens,
+                           Tokenize("SELECT x1, 2.5 FROM t"));
+  ASSERT_EQ(tokens.size(), 7u);  // incl. end-of-input
+  EXPECT_TRUE(tokens[0].IsKeyword("SELECT"));
+  EXPECT_EQ(tokens[1].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[1].text, "x1");
+  EXPECT_TRUE(tokens[2].IsSymbol(","));
+  EXPECT_EQ(tokens[3].type, TokenType::kNumber);
+  EXPECT_TRUE(tokens[4].IsKeyword("FROM"));
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  NLQ_ASSERT_OK_AND_ASSIGN(std::vector<Token> tokens, Tokenize("select"));
+  EXPECT_TRUE(tokens[0].IsKeyword("SELECT"));
+}
+
+TEST(LexerTest, StringLiteralsWithEscapes) {
+  NLQ_ASSERT_OK_AND_ASSIGN(std::vector<Token> tokens, Tokenize("'it''s'"));
+  EXPECT_EQ(tokens[0].type, TokenType::kString);
+  EXPECT_EQ(tokens[0].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(LexerTest, TwoCharOperators) {
+  NLQ_ASSERT_OK_AND_ASSIGN(std::vector<Token> tokens, Tokenize("a <= b <> c"));
+  EXPECT_TRUE(tokens[1].IsSymbol("<="));
+  EXPECT_TRUE(tokens[3].IsSymbol("<>"));
+}
+
+TEST(LexerTest, BangEqualsNormalizedToDiamond) {
+  NLQ_ASSERT_OK_AND_ASSIGN(std::vector<Token> tokens, Tokenize("a != b"));
+  EXPECT_TRUE(tokens[1].IsSymbol("<>"));
+}
+
+TEST(LexerTest, Comments) {
+  NLQ_ASSERT_OK_AND_ASSIGN(std::vector<Token> tokens,
+                           Tokenize("SELECT 1 -- trailing\n/* block */ + 2"));
+  // SELECT 1 + 2 <eoi>
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_TRUE(tokens[2].IsSymbol("+"));
+}
+
+TEST(LexerTest, UnterminatedBlockCommentFails) {
+  EXPECT_FALSE(Tokenize("SELECT /* oops").ok());
+}
+
+TEST(LexerTest, ScientificNumbers) {
+  NLQ_ASSERT_OK_AND_ASSIGN(std::vector<Token> tokens, Tokenize("1.5e-3 2E6"));
+  EXPECT_EQ(tokens[0].text, "1.5e-3");
+  EXPECT_EQ(tokens[1].text, "2E6");
+}
+
+TEST(LexerTest, RejectsUnknownCharacter) {
+  EXPECT_FALSE(Tokenize("SELECT @").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Expression parsing (checked via canonical ToString)
+// ---------------------------------------------------------------------------
+
+std::string Canon(const std::string& expr) {
+  auto parsed = ParseExpression(expr);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return parsed.ok() ? parsed.value()->ToString() : "<error>";
+}
+
+TEST(ExprParseTest, PrecedenceMulOverAdd) {
+  EXPECT_EQ(Canon("1 + 2 * 3"), "(1 + (2 * 3))");
+  EXPECT_EQ(Canon("(1 + 2) * 3"), "((1 + 2) * 3)");
+}
+
+TEST(ExprParseTest, ComparisonBindsLooserThanArithmetic) {
+  EXPECT_EQ(Canon("a + 1 < b * 2"), "((a + 1) < (b * 2))");
+}
+
+TEST(ExprParseTest, BooleanPrecedence) {
+  EXPECT_EQ(Canon("a = 1 AND b = 2 OR c = 3"),
+            "(((a = 1) AND (b = 2)) OR (c = 3))");
+  EXPECT_EQ(Canon("NOT a = 1"), "NOT ((a = 1))");
+}
+
+TEST(ExprParseTest, UnaryMinus) {
+  EXPECT_EQ(Canon("-x"), "-(x)");
+  EXPECT_EQ(Canon("3 - -2"), "(3 - -(2))");
+}
+
+TEST(ExprParseTest, FunctionCalls) {
+  EXPECT_EQ(Canon("SUM(x1 * x2)"), "sum((x1 * x2))");
+  EXPECT_EQ(Canon("count(*)"), "count(*)");
+  EXPECT_EQ(Canon("power(2, 10)"), "power(2, 10)");
+}
+
+TEST(ExprParseTest, QualifiedColumns) {
+  EXPECT_EQ(Canon("t1.x2"), "t1.x2");
+}
+
+TEST(ExprParseTest, CaseExpression) {
+  EXPECT_EQ(Canon("CASE WHEN a < b THEN 1 ELSE 2 END"),
+            "CASE WHEN (a < b) THEN 1 ELSE 2 END");
+}
+
+TEST(ExprParseTest, IsNull) {
+  EXPECT_EQ(Canon("x IS NULL"), "(x IS NULL)");
+  EXPECT_EQ(Canon("x IS NOT NULL"), "(x IS NOT NULL)");
+}
+
+TEST(ExprParseTest, StringLiteral) {
+  EXPECT_EQ(Canon("'diag'"), "'diag'");
+}
+
+TEST(ExprParseTest, ModuloOperator) {
+  EXPECT_EQ(Canon("i % 16"), "(i % 16)");
+}
+
+TEST(ExprParseTest, CloneProducesIdenticalText) {
+  NLQ_ASSERT_OK_AND_ASSIGN(
+      ExprPtr e, ParseExpression("CASE WHEN a IS NULL THEN f(x, 1) ELSE "
+                                 "-b * 2 END"));
+  EXPECT_EQ(e->Clone()->ToString(), e->ToString());
+}
+
+TEST(ExprParseTest, RejectsTrailingGarbage) {
+  EXPECT_FALSE(ParseExpression("1 + 2 extra junk ,").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Statement parsing
+// ---------------------------------------------------------------------------
+
+TEST(ParserTest, SelectStructure) {
+  NLQ_ASSERT_OK_AND_ASSIGN(
+      Statement stmt,
+      ParseStatement("SELECT a, sum(b) AS total FROM t WHERE a > 0 "
+                     "GROUP BY a ORDER BY total DESC LIMIT 5;"));
+  ASSERT_EQ(stmt.kind, StatementKind::kSelect);
+  const SelectStatement& s = *stmt.select;
+  ASSERT_EQ(s.items.size(), 2u);
+  EXPECT_EQ(s.items[1].alias, "total");
+  ASSERT_EQ(s.from.size(), 1u);
+  EXPECT_EQ(s.from[0].table_name, "t");
+  EXPECT_NE(s.where, nullptr);
+  ASSERT_EQ(s.group_by.size(), 1u);
+  ASSERT_EQ(s.order_by.size(), 1u);
+  EXPECT_TRUE(s.order_by[0].descending);
+  EXPECT_EQ(s.limit, 5);
+}
+
+TEST(ParserTest, SelectStar) {
+  NLQ_ASSERT_OK_AND_ASSIGN(Statement stmt, ParseStatement("SELECT * FROM t"));
+  EXPECT_EQ(stmt.select->items.size(), 1u);
+  EXPECT_EQ(stmt.select->items[0].expr, nullptr);
+}
+
+TEST(ParserTest, CrossJoinAndCommaEquivalent) {
+  NLQ_ASSERT_OK_AND_ASSIGN(Statement a,
+                           ParseStatement("SELECT 1 FROM t CROSS JOIN u v"));
+  NLQ_ASSERT_OK_AND_ASSIGN(Statement b, ParseStatement("SELECT 1 FROM t, u v"));
+  ASSERT_EQ(a.select->from.size(), 2u);
+  ASSERT_EQ(b.select->from.size(), 2u);
+  EXPECT_EQ(a.select->from[1].alias, "v");
+  EXPECT_EQ(b.select->from[1].alias, "v");
+}
+
+TEST(ParserTest, ImplicitAndExplicitAliases) {
+  NLQ_ASSERT_OK_AND_ASSIGN(
+      Statement stmt, ParseStatement("SELECT t.a x, b AS y FROM tbl AS t"));
+  EXPECT_EQ(stmt.select->items[0].alias, "x");
+  EXPECT_EQ(stmt.select->items[1].alias, "y");
+  EXPECT_EQ(stmt.select->from[0].alias, "t");
+}
+
+TEST(ParserTest, CreateTableColumns) {
+  NLQ_ASSERT_OK_AND_ASSIGN(
+      Statement stmt,
+      ParseStatement(
+          "CREATE TABLE m (j BIGINT, x1 DOUBLE, name VARCHAR(20))"));
+  ASSERT_EQ(stmt.kind, StatementKind::kCreateTable);
+  const auto& schema = stmt.create_table->schema;
+  ASSERT_EQ(schema.num_columns(), 3u);
+  EXPECT_EQ(schema.column(0).type, storage::DataType::kInt64);
+  EXPECT_EQ(schema.column(1).type, storage::DataType::kDouble);
+  EXPECT_EQ(schema.column(2).type, storage::DataType::kVarchar);
+}
+
+TEST(ParserTest, CreateTableAsSelect) {
+  NLQ_ASSERT_OK_AND_ASSIGN(
+      Statement stmt, ParseStatement("CREATE TABLE out AS SELECT a FROM t"));
+  ASSERT_EQ(stmt.kind, StatementKind::kCreateTable);
+  EXPECT_NE(stmt.create_table->as_select, nullptr);
+}
+
+TEST(ParserTest, InsertValuesMultipleRows) {
+  NLQ_ASSERT_OK_AND_ASSIGN(
+      Statement stmt,
+      ParseStatement("INSERT INTO t VALUES (1, 2.5), (2, -1e3)"));
+  ASSERT_EQ(stmt.kind, StatementKind::kInsert);
+  ASSERT_EQ(stmt.insert->value_rows.size(), 2u);
+  EXPECT_EQ(stmt.insert->value_rows[0].size(), 2u);
+}
+
+TEST(ParserTest, InsertSelect) {
+  NLQ_ASSERT_OK_AND_ASSIGN(
+      Statement stmt, ParseStatement("INSERT INTO t SELECT a, b FROM u"));
+  EXPECT_NE(stmt.insert->select, nullptr);
+}
+
+TEST(ParserTest, DropTable) {
+  NLQ_ASSERT_OK_AND_ASSIGN(Statement stmt, ParseStatement("DROP TABLE x"));
+  ASSERT_EQ(stmt.kind, StatementKind::kDropTable);
+  EXPECT_EQ(stmt.drop_table->table_name, "x");
+}
+
+TEST(ParserTest, DoublePrecisionType) {
+  NLQ_ASSERT_OK_AND_ASSIGN(
+      Statement stmt,
+      ParseStatement("CREATE TABLE t (x DOUBLE PRECISION)"));
+  EXPECT_EQ(stmt.create_table->schema.column(0).type,
+            storage::DataType::kDouble);
+}
+
+TEST(ParserTest, ErrorCases) {
+  EXPECT_FALSE(ParseStatement("SELECT").ok());
+  EXPECT_FALSE(ParseStatement("SELECT 1 FROM").ok());
+  EXPECT_FALSE(ParseStatement("CREATE t (x DOUBLE)").ok());
+  EXPECT_FALSE(ParseStatement("INSERT t VALUES (1)").ok());
+  EXPECT_FALSE(ParseStatement("SELECT 1; SELECT 2").ok());
+  EXPECT_FALSE(ParseStatement("SELECT CASE END").ok());
+  EXPECT_FALSE(ParseStatement("SELECT 1 LIMIT x").ok());
+  EXPECT_FALSE(ParseStatement("").ok());
+}
+
+// The paper's wide query at d=64 has 1 + 64 + 2080 = 2145 SUM terms;
+// the parser must handle very long SELECT lists.
+TEST(ParserTest, HandlesVeryLongSelectList) {
+  std::string sql = "SELECT sum(1.0)";
+  for (int a = 1; a <= 64; ++a) {
+    for (int b = 1; b <= a; ++b) {
+      sql += ", sum(X" + std::to_string(a) + " * X" + std::to_string(b) + ")";
+    }
+  }
+  sql += " FROM X";
+  NLQ_ASSERT_OK_AND_ASSIGN(Statement stmt, ParseStatement(sql));
+  EXPECT_EQ(stmt.select->items.size(), 1u + 2080u);
+}
+
+}  // namespace
+}  // namespace nlq::engine

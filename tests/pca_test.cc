@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "stats/pca.h"
+#include "stats/sufstats.h"
+#include "tests/test_util.h"
+
+namespace nlq::stats {
+namespace {
+
+/// Data with a dominant direction: x = t * dir + small noise.
+SufStats MakeLowRankStats(size_t d, size_t n, uint64_t seed,
+                          linalg::Vector* dominant_direction) {
+  Random rng(seed);
+  linalg::Vector dir(d);
+  double norm = 0;
+  for (auto& v : dir) {
+    v = rng.NextUniform(-1, 1);
+    norm += v * v;
+  }
+  norm = std::sqrt(norm);
+  for (auto& v : dir) v /= norm;
+  *dominant_direction = dir;
+
+  SufStats stats(d, MatrixKind::kLowerTriangular);
+  std::vector<double> x(d);
+  for (size_t i = 0; i < n; ++i) {
+    const double t = rng.NextGaussian(0, 20);
+    for (size_t a = 0; a < d; ++a) {
+      x[a] = 5.0 + t * dir[a] + rng.NextGaussian(0, 0.1);
+    }
+    stats.Update(x);
+  }
+  return stats;
+}
+
+SufStats MakeGaussianStats(size_t d, size_t n, uint64_t seed) {
+  Random rng(seed);
+  SufStats stats(d, MatrixKind::kLowerTriangular);
+  std::vector<double> x(d);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t a = 0; a < d; ++a) {
+      x[a] = rng.NextGaussian(10.0 * static_cast<double>(a), 1.0 + static_cast<double>(a));
+    }
+    stats.Update(x);
+  }
+  return stats;
+}
+
+TEST(PcaTest, LambdaColumnsAreOrthonormal) {
+  const SufStats stats = MakeGaussianStats(6, 2000, 5);
+  NLQ_ASSERT_OK_AND_ASSIGN(PcaModel model, FitPca(stats, 4));
+  const linalg::Matrix ltl = model.lambda.Transpose() * model.lambda;
+  EXPECT_LT(ltl.MaxAbsDiff(linalg::Matrix::Identity(4)), 1e-9);
+}
+
+TEST(PcaTest, FindsDominantDirection) {
+  linalg::Vector dir;
+  const SufStats stats = MakeLowRankStats(5, 5000, 7, &dir);
+  NLQ_ASSERT_OK_AND_ASSIGN(PcaModel model,
+                           FitPca(stats, 1, PcaInput::kCovariance));
+  // First component parallel (up to sign) to the planted direction.
+  double dot = 0;
+  for (size_t a = 0; a < 5; ++a) dot += model.lambda(a, 0) * dir[a];
+  EXPECT_GT(std::fabs(dot), 0.999);
+  // And it captures nearly all the variance.
+  EXPECT_GT(model.ExplainedVarianceRatio(), 0.99);
+}
+
+TEST(PcaTest, EigenvaluesDescending) {
+  const SufStats stats = MakeGaussianStats(8, 3000, 11);
+  NLQ_ASSERT_OK_AND_ASSIGN(PcaModel model, FitPca(stats, 8));
+  for (size_t j = 1; j < 8; ++j) {
+    EXPECT_LE(model.eigenvalues[j], model.eigenvalues[j - 1] + 1e-12);
+  }
+}
+
+TEST(PcaTest, CorrelationEigenvaluesSumToD) {
+  const size_t d = 6;
+  const SufStats stats = MakeGaussianStats(d, 4000, 13);
+  NLQ_ASSERT_OK_AND_ASSIGN(PcaModel model,
+                           FitPca(stats, d, PcaInput::kCorrelation));
+  double sum = 0;
+  for (double ev : model.eigenvalues) sum += ev;
+  // trace(correlation matrix) = d.
+  EXPECT_NEAR(sum, static_cast<double>(d), 1e-8);
+  EXPECT_NEAR(model.total_variance, static_cast<double>(d), 1e-8);
+}
+
+TEST(PcaTest, FullRankScorePreservesDistances) {
+  // With k = d, scoring is an isometry of the (scaled) centered data.
+  const size_t d = 4;
+  const SufStats stats = MakeGaussianStats(d, 1000, 17);
+  NLQ_ASSERT_OK_AND_ASSIGN(PcaModel model,
+                           FitPca(stats, d, PcaInput::kCovariance));
+  Random rng(19);
+  for (int trial = 0; trial < 10; ++trial) {
+    linalg::Vector x(d), y(d);
+    for (size_t a = 0; a < d; ++a) {
+      x[a] = rng.NextUniform(0, 50);
+      y[a] = rng.NextUniform(0, 50);
+    }
+    const double orig = linalg::SquaredDistance(x, y);
+    const double reduced =
+        linalg::SquaredDistance(model.Score(x), model.Score(y));
+    EXPECT_NEAR(orig, reduced, 1e-6 * (1.0 + orig));
+  }
+}
+
+TEST(PcaTest, ScoreCentersAtMean) {
+  const SufStats stats = MakeGaussianStats(3, 500, 23);
+  NLQ_ASSERT_OK_AND_ASSIGN(PcaModel model, FitPca(stats, 2));
+  const linalg::Vector at_mean = model.Score(model.mu);
+  for (double v : at_mean) EXPECT_NEAR(v, 0.0, 1e-9);
+}
+
+TEST(PcaTest, RejectsBadK) {
+  const SufStats stats = MakeGaussianStats(3, 100, 29);
+  EXPECT_FALSE(FitPca(stats, 0).ok());
+  EXPECT_FALSE(FitPca(stats, 4).ok());
+}
+
+TEST(PcaTest, RejectsDiagonalKind) {
+  SufStats stats(3, MatrixKind::kDiagonal);
+  stats.Update(std::vector<double>{1, 2, 3});
+  stats.Update(std::vector<double>{2, 1, 0});
+  EXPECT_FALSE(FitPca(stats, 2).ok());
+}
+
+class PcaDimsTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PcaDimsTest, ReconstructionImprovesWithK) {
+  const size_t d = GetParam();
+  const SufStats stats = MakeGaussianStats(d, 200 * d, 31 + d);
+  double prev_ratio = 0.0;
+  for (size_t k = 1; k <= d; ++k) {
+    NLQ_ASSERT_OK_AND_ASSIGN(PcaModel model, FitPca(stats, k));
+    const double ratio = model.ExplainedVarianceRatio();
+    EXPECT_GE(ratio, prev_ratio - 1e-12);
+    prev_ratio = ratio;
+  }
+  EXPECT_NEAR(prev_ratio, 1.0, 1e-9);  // k = d explains everything
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, PcaDimsTest, ::testing::Values(2, 3, 5, 8, 16));
+
+// ---------------------------------------------------------------------------
+// Factor analysis
+// ---------------------------------------------------------------------------
+
+TEST(FactorAnalysisTest, CommunalitiesBounded) {
+  const SufStats stats = MakeGaussianStats(6, 2000, 37);
+  NLQ_ASSERT_OK_AND_ASSIGN(FactorAnalysisModel model,
+                           FitFactorAnalysis(stats, 3));
+  ASSERT_EQ(model.communalities.size(), 6u);
+  for (size_t a = 0; a < 6; ++a) {
+    EXPECT_GE(model.communalities[a], 0.0);
+    EXPECT_LE(model.communalities[a], 1.0 + 1e-9);
+    EXPECT_NEAR(model.communalities[a] + model.uniquenesses[a], 1.0, 1e-9);
+  }
+}
+
+TEST(FactorAnalysisTest, FullModelExplainsEverything) {
+  const SufStats stats = MakeGaussianStats(4, 1500, 41);
+  NLQ_ASSERT_OK_AND_ASSIGN(FactorAnalysisModel model,
+                           FitFactorAnalysis(stats, 4));
+  for (size_t a = 0; a < 4; ++a) {
+    EXPECT_NEAR(model.communalities[a], 1.0, 1e-8);
+    EXPECT_NEAR(model.uniquenesses[a], 0.0, 1e-8);
+  }
+}
+
+TEST(FactorAnalysisTest, LoadingsReproduceCorrelation) {
+  // With k = d, L Lᵀ equals the correlation matrix.
+  const size_t d = 5;
+  const SufStats stats = MakeGaussianStats(d, 3000, 43);
+  NLQ_ASSERT_OK_AND_ASSIGN(FactorAnalysisModel model,
+                           FitFactorAnalysis(stats, d));
+  NLQ_ASSERT_OK_AND_ASSIGN(linalg::Matrix rho, stats.CorrelationMatrix());
+  const linalg::Matrix reconstructed =
+      model.loadings * model.loadings.Transpose();
+  EXPECT_LT(reconstructed.MaxAbsDiff(rho), 1e-8);
+}
+
+TEST(FactorAnalysisTest, StrongFactorStructureDetected) {
+  // Two blocks of mutually correlated dimensions -> 2 factors explain
+  // most communality.
+  Random rng(47);
+  SufStats stats(4, MatrixKind::kLowerTriangular);
+  std::vector<double> x(4);
+  for (int i = 0; i < 5000; ++i) {
+    const double f1 = rng.NextGaussian(0, 1);
+    const double f2 = rng.NextGaussian(0, 1);
+    x[0] = f1 + rng.NextGaussian(0, 0.1);
+    x[1] = f1 + rng.NextGaussian(0, 0.1);
+    x[2] = f2 + rng.NextGaussian(0, 0.1);
+    x[3] = f2 + rng.NextGaussian(0, 0.1);
+    stats.Update(x);
+  }
+  NLQ_ASSERT_OK_AND_ASSIGN(FactorAnalysisModel model,
+                           FitFactorAnalysis(stats, 2));
+  for (size_t a = 0; a < 4; ++a) {
+    EXPECT_GT(model.communalities[a], 0.95);
+  }
+}
+
+
+// ---------------------------------------------------------------------------
+// ML factor analysis (EM)
+// ---------------------------------------------------------------------------
+
+TEST(MlFactorAnalysisTest, ReconstructsFactorStructure) {
+  // Two latent factors driving 4 observed dimensions: ML-FA should
+  // model the correlation matrix as L L^T + Psi with small residual.
+  Random rng(53);
+  SufStats stats(4, MatrixKind::kLowerTriangular);
+  std::vector<double> x(4);
+  for (int i = 0; i < 8000; ++i) {
+    const double f1 = rng.NextGaussian(0, 1);
+    const double f2 = rng.NextGaussian(0, 1);
+    x[0] = f1 + rng.NextGaussian(0, 0.3);
+    x[1] = f1 + rng.NextGaussian(0, 0.3);
+    x[2] = f2 + rng.NextGaussian(0, 0.3);
+    x[3] = f2 + rng.NextGaussian(0, 0.3);
+    stats.Update(x);
+  }
+  NLQ_ASSERT_OK_AND_ASSIGN(FactorAnalysisModel model,
+                           FitFactorAnalysisML(stats, 2));
+  NLQ_ASSERT_OK_AND_ASSIGN(linalg::Matrix rho, stats.CorrelationMatrix());
+  linalg::Matrix implied = model.loadings * model.loadings.Transpose();
+  for (size_t a = 0; a < 4; ++a) implied(a, a) += model.uniquenesses[a];
+  EXPECT_LT(implied.MaxAbsDiff(rho), 0.05);
+}
+
+TEST(MlFactorAnalysisTest, UniquenessesPositive) {
+  const SufStats stats = MakeGaussianStats(5, 3000, 59);
+  NLQ_ASSERT_OK_AND_ASSIGN(FactorAnalysisModel model,
+                           FitFactorAnalysisML(stats, 2));
+  for (size_t a = 0; a < 5; ++a) {
+    EXPECT_GT(model.uniquenesses[a], 0.0);
+    EXPECT_GE(model.communalities[a], 0.0);
+  }
+}
+
+TEST(MlFactorAnalysisTest, BetterFitThanPrincipalFactorStart) {
+  // ML-EM refines the principal-factor initialization: the implied
+  // correlation matrix residual must not get worse.
+  Random rng(61);
+  SufStats stats(5, MatrixKind::kLowerTriangular);
+  std::vector<double> x(5);
+  for (int i = 0; i < 5000; ++i) {
+    const double f = rng.NextGaussian(0, 1);
+    for (size_t a = 0; a < 5; ++a) {
+      x[a] = (0.3 + 0.15 * static_cast<double>(a)) * f +
+             rng.NextGaussian(0, 0.5 + 0.1 * static_cast<double>(a));
+    }
+    stats.Update(x);
+  }
+  NLQ_ASSERT_OK_AND_ASSIGN(linalg::Matrix rho, stats.CorrelationMatrix());
+  NLQ_ASSERT_OK_AND_ASSIGN(FactorAnalysisModel pf, FitFactorAnalysis(stats, 1));
+  NLQ_ASSERT_OK_AND_ASSIGN(FactorAnalysisModel ml,
+                           FitFactorAnalysisML(stats, 1));
+
+  auto residual = [&rho](const FactorAnalysisModel& m) {
+    linalg::Matrix implied = m.loadings * m.loadings.Transpose();
+    for (size_t a = 0; a < implied.rows(); ++a) {
+      implied(a, a) += m.uniquenesses[a];
+    }
+    // Off-diagonal residual (diagonal is matched by construction).
+    double worst = 0.0;
+    for (size_t a = 0; a < implied.rows(); ++a) {
+      for (size_t b = 0; b < a; ++b) {
+        worst = std::max(worst, std::fabs(implied(a, b) - rho(a, b)));
+      }
+    }
+    return worst;
+  };
+  EXPECT_LE(residual(ml), residual(pf) + 1e-6);
+}
+
+TEST(MlFactorAnalysisTest, RejectsBadK) {
+  const SufStats stats = MakeGaussianStats(3, 500, 67);
+  EXPECT_FALSE(FitFactorAnalysisML(stats, 0).ok());
+  EXPECT_FALSE(FitFactorAnalysisML(stats, 3).ok());
+}
+
+}  // namespace
+}  // namespace nlq::stats

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "engine/persistence.h"
+#include "gen/datagen.h"
+#include "stats/describe.h"
+#include "stats/miner.h"
+#include "tests/test_util.h"
+
+namespace nlq::engine {
+namespace {
+
+std::string SnapshotDir(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(SchemaSerializationTest, RoundTrips) {
+  const storage::Schema schema = storage::Schema::DataSet(3, true);
+  NLQ_ASSERT_OK_AND_ASSIGN(storage::Schema back,
+                           DeserializeSchema(SerializeSchema(schema)));
+  EXPECT_TRUE(schema == back);
+}
+
+TEST(SchemaSerializationTest, RejectsGarbage) {
+  EXPECT_FALSE(DeserializeSchema("").ok());
+  EXPECT_FALSE(DeserializeSchema("noseparator").ok());
+  EXPECT_FALSE(DeserializeSchema("a:FLOATY").ok());
+  EXPECT_FALSE(DeserializeSchema(":DOUBLE").ok());
+}
+
+TEST(PersistenceTest, SaveLoadRoundTripPreservesData) {
+  const std::string dir = SnapshotDir("snapshot_roundtrip");
+  auto db = nlq::testing::MakeTestDatabase(/*num_partitions=*/3);
+  gen::MixtureOptions options;
+  options.n = 2000;
+  options.d = 4;
+  options.seed = 1234;
+  NLQ_ASSERT_OK(gen::GenerateDataSetTable(db.get(), "X", options).status());
+  NLQ_ASSERT_OK(db->ExecuteCommand(
+      "CREATE TABLE META (k VARCHAR(16), v DOUBLE)"));
+  NLQ_ASSERT_OK(db->ExecuteCommand(
+      "INSERT INTO META VALUES ('version', 1), ('rows', 2000)"));
+
+  NLQ_ASSERT_OK(SaveDatabase(*db, dir));
+
+  // Reload into a fresh database with a DIFFERENT default partition
+  // count; the manifest must win.
+  auto db2 = nlq::testing::MakeTestDatabase(/*num_partitions=*/8);
+  NLQ_ASSERT_OK(LoadDatabase(db2.get(), dir));
+
+  NLQ_ASSERT_OK_AND_ASSIGN(double rows,
+                           db2->QueryDouble("SELECT count(*) FROM X"));
+  EXPECT_DOUBLE_EQ(rows, 2000.0);
+  NLQ_ASSERT_OK_AND_ASSIGN(
+      double version,
+      db2->QueryDouble("SELECT v FROM META WHERE k = 'version'"));
+  EXPECT_DOUBLE_EQ(version, 1.0);
+
+  auto table = db2->catalog().GetTable("X");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->num_partitions(), 3u);
+
+  // Statistics recomputed after reload match the original exactly
+  // (same partitioning, same per-partition row order).
+  stats::WarehouseMiner m1(db.get());
+  stats::WarehouseMiner m2(db2.get());
+  NLQ_ASSERT_OK_AND_ASSIGN(
+      stats::SufStats s1,
+      m1.ComputeSufStats("X", stats::DimensionColumns(4),
+                         stats::MatrixKind::kFull,
+                         stats::ComputeVia::kUdfList));
+  NLQ_ASSERT_OK_AND_ASSIGN(
+      stats::SufStats s2,
+      m2.ComputeSufStats("X", stats::DimensionColumns(4),
+                         stats::MatrixKind::kFull,
+                         stats::ComputeVia::kUdfList));
+  EXPECT_EQ(s1.MaxAbsDiff(s2), 0.0);
+}
+
+TEST(PersistenceTest, LoadReplacesExistingTable) {
+  const std::string dir = SnapshotDir("snapshot_replace");
+  auto db = nlq::testing::MakeTestDatabase();
+  NLQ_ASSERT_OK(db->ExecuteCommand("CREATE TABLE T (v DOUBLE)"));
+  NLQ_ASSERT_OK(db->ExecuteCommand("INSERT INTO T VALUES (1), (2)"));
+  NLQ_ASSERT_OK(SaveDatabase(*db, dir));
+
+  NLQ_ASSERT_OK(db->ExecuteCommand("INSERT INTO T VALUES (3)"));
+  NLQ_ASSERT_OK_AND_ASSIGN(double before,
+                           db->QueryDouble("SELECT count(*) FROM T"));
+  EXPECT_DOUBLE_EQ(before, 3.0);
+
+  NLQ_ASSERT_OK(LoadDatabase(db.get(), dir));
+  NLQ_ASSERT_OK_AND_ASSIGN(double after,
+                           db->QueryDouble("SELECT count(*) FROM T"));
+  EXPECT_DOUBLE_EQ(after, 2.0);
+}
+
+TEST(PersistenceTest, MissingDirectoryFails) {
+  auto db = nlq::testing::MakeTestDatabase();
+  EXPECT_FALSE(LoadDatabase(db.get(), "/no/such/snapshot/dir").ok());
+}
+
+TEST(PersistenceTest, EmptyDatabaseRoundTrips) {
+  const std::string dir = SnapshotDir("snapshot_empty");
+  auto db = nlq::testing::MakeTestDatabase();
+  NLQ_ASSERT_OK(SaveDatabase(*db, dir));
+  auto db2 = nlq::testing::MakeTestDatabase();
+  NLQ_ASSERT_OK(LoadDatabase(db2.get(), dir));
+  EXPECT_TRUE(db2->catalog().TableNames().empty());
+}
+
+}  // namespace
+}  // namespace nlq::engine
+
+namespace nlq::stats {
+namespace {
+
+TEST(DescribeTest, MatchesHandComputation) {
+  SufStats stats(2, MatrixKind::kDiagonal);
+  stats.Update(std::vector<double>{1.0, 10.0});
+  stats.Update(std::vector<double>{3.0, 20.0});
+  NLQ_ASSERT_OK_AND_ASSIGN(std::vector<DimensionSummary> summary,
+                           Describe(stats));
+  ASSERT_EQ(summary.size(), 2u);
+  EXPECT_DOUBLE_EQ(summary[0].mean, 2.0);
+  EXPECT_DOUBLE_EQ(summary[0].variance, 1.0);
+  EXPECT_DOUBLE_EQ(summary[0].stddev, 1.0);
+  EXPECT_DOUBLE_EQ(summary[0].min, 1.0);
+  EXPECT_DOUBLE_EQ(summary[0].max, 3.0);
+  EXPECT_DOUBLE_EQ(summary[1].mean, 15.0);
+}
+
+TEST(DescribeTest, RejectsEmptyStats) {
+  SufStats stats(2, MatrixKind::kFull);
+  EXPECT_FALSE(Describe(stats).ok());
+  EXPECT_FALSE(DescribeTable(stats).ok());
+}
+
+TEST(DescribeTest, TableFormatting) {
+  SufStats stats(1, MatrixKind::kDiagonal);
+  stats.Update(std::vector<double>{5.0});
+  NLQ_ASSERT_OK_AND_ASSIGN(std::string table,
+                           DescribeTable(stats, {"spend"}));
+  EXPECT_NE(table.find("spend"), std::string::npos);
+  EXPECT_NE(table.find("n = 1"), std::string::npos);
+  EXPECT_FALSE(DescribeTable(stats, {"a", "b"}).ok());
+}
+
+}  // namespace
+}  // namespace nlq::stats

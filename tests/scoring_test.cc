@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "engine/database.h"
+#include "gen/datagen.h"
+#include "stats/miner.h"
+#include "stats/model_tables.h"
+#include "stats/scoring.h"
+#include "tests/test_util.h"
+
+namespace nlq::stats {
+namespace {
+
+using storage::DataType;
+using storage::Datum;
+
+// ---------------------------------------------------------------------------
+// Direct scalar-UDF invocation
+// ---------------------------------------------------------------------------
+
+class ScalarUdfDirectTest : public ::testing::Test {
+ protected:
+  void SetUp() override { NLQ_ASSERT_OK(RegisterScoringUdfs(&registry_)); }
+
+  StatusOr<Datum> Call(const std::string& name, std::vector<double> args) {
+    const udf::ScalarUdf* fn = registry_.FindScalar(name);
+    EXPECT_NE(fn, nullptr);
+    std::vector<Datum> datums;
+    for (double v : args) datums.push_back(Datum::Double(v));
+    NLQ_RETURN_IF_ERROR(fn->CheckArity(datums.size()));
+    return fn->Invoke(datums);
+  }
+
+  udf::UdfRegistry registry_;
+};
+
+TEST_F(ScalarUdfDirectTest, LinearRegScoreDotProduct) {
+  // d=2: x = (3, 4), b0 = 1, b = (2, -1) -> 1 + 6 - 4 = 3.
+  NLQ_ASSERT_OK_AND_ASSIGN(Datum v,
+                           Call("linearregscore", {3, 4, 1, 2, -1}));
+  EXPECT_DOUBLE_EQ(v.double_value(), 3.0);
+}
+
+TEST_F(ScalarUdfDirectTest, LinearRegScoreArity) {
+  EXPECT_FALSE(Call("linearregscore", {1, 2}).ok());
+  EXPECT_FALSE(Call("linearregscore", {1, 2, 3, 4}).ok());
+}
+
+TEST_F(ScalarUdfDirectTest, FaScoreCentersAndProjects) {
+  // d=2: x=(5, 7), mu=(1, 2), lambda=(0.5, -1) -> 4*0.5 + 5*(-1) = -3.
+  NLQ_ASSERT_OK_AND_ASSIGN(Datum v, Call("fascore", {5, 7, 1, 2, 0.5, -1}));
+  EXPECT_DOUBLE_EQ(v.double_value(), -3.0);
+}
+
+TEST_F(ScalarUdfDirectTest, FaScoreArity) {
+  EXPECT_FALSE(Call("fascore", {1, 2, 3, 4}).ok());
+}
+
+TEST_F(ScalarUdfDirectTest, KMeansDistanceSquaredEuclidean) {
+  NLQ_ASSERT_OK_AND_ASSIGN(Datum v, Call("kmeansdistance", {0, 0, 3, 4}));
+  EXPECT_DOUBLE_EQ(v.double_value(), 25.0);
+}
+
+TEST_F(ScalarUdfDirectTest, ClusterScorePicksMinimumOneBased) {
+  NLQ_ASSERT_OK_AND_ASSIGN(Datum v, Call("clusterscore", {9, 2, 5}));
+  EXPECT_EQ(v.int_value(), 2);
+  NLQ_ASSERT_OK_AND_ASSIGN(Datum first, Call("clusterscore", {1, 1, 1}));
+  EXPECT_EQ(first.int_value(), 1);  // ties break to the lowest j
+}
+
+TEST_F(ScalarUdfDirectTest, ClusterScoreAllNullGivesNull) {
+  const udf::ScalarUdf* fn = registry_.FindScalar("clusterscore");
+  std::vector<Datum> args{Datum::Null(DataType::kDouble),
+                          Datum::Null(DataType::kDouble)};
+  NLQ_ASSERT_OK_AND_ASSIGN(Datum v, fn->Invoke(args));
+  EXPECT_TRUE(v.is_null());
+}
+
+TEST_F(ScalarUdfDirectTest, PackPointFormat) {
+  NLQ_ASSERT_OK_AND_ASSIGN(Datum v, Call("pack_point", {1.5, -2, 3}));
+  EXPECT_EQ(v.string_value(), "1.5;-2;3");
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end scoring through the engine (SQL vs UDF vs direct model)
+// ---------------------------------------------------------------------------
+
+class ScoringPipelineTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kD = 4;
+  static constexpr size_t kK = 3;
+
+  void SetUp() override {
+    db_ = nlq::testing::MakeTestDatabase();
+    miner_ = std::make_unique<WarehouseMiner>(db_.get());
+    gen::MixtureOptions options;
+    options.n = 500;
+    options.d = kD;
+    options.num_clusters = kK;
+    options.noise_fraction = 0.05;
+    options.seed = 321;
+    options.with_y = true;
+    NLQ_ASSERT_OK(gen::GenerateDataSetTable(db_.get(), "X", options).status());
+  }
+
+  /// Reads a scored table into id -> value maps for comparison.
+  std::map<int64_t, std::vector<double>> ReadScores(const std::string& table) {
+    auto result = db_->Execute("SELECT * FROM " + table + " ORDER BY i");
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    std::map<int64_t, std::vector<double>> scores;
+    for (size_t r = 0; r < result->num_rows(); ++r) {
+      std::vector<double> values;
+      for (size_t c = 1; c < result->num_columns(); ++c) {
+        values.push_back(result->GetDouble(r, c));
+      }
+      scores[static_cast<int64_t>(result->GetDouble(r, 0))] =
+          std::move(values);
+    }
+    return scores;
+  }
+
+  std::unique_ptr<engine::Database> db_;
+  std::unique_ptr<WarehouseMiner> miner_;
+};
+
+TEST_F(ScoringPipelineTest, LinRegSqlAndUdfAgreeWithModel) {
+  NLQ_ASSERT_OK_AND_ASSIGN(
+      LinearRegressionModel model,
+      miner_->BuildLinearRegression("X", DimensionColumns(kD), "Y",
+                                    ComputeVia::kUdfList));
+  NLQ_ASSERT_OK(
+      miner_->ScoreLinearRegression("X", model, "SC_UDF", /*use_udf=*/true));
+  NLQ_ASSERT_OK(
+      miner_->ScoreLinearRegression("X", model, "SC_SQL", /*use_udf=*/false));
+  auto udf_scores = ReadScores("SC_UDF");
+  auto sql_scores = ReadScores("SC_SQL");
+  ASSERT_EQ(udf_scores.size(), 500u);
+  ASSERT_EQ(sql_scores.size(), 500u);
+
+  // Both agree with each other and with direct model prediction.
+  auto x_rows = db_->Execute("SELECT * FROM X ORDER BY i");
+  ASSERT_TRUE(x_rows.ok());
+  for (size_t r = 0; r < x_rows->num_rows(); ++r) {
+    const int64_t id = x_rows->At(r, 0).int_value();
+    std::vector<double> x(kD);
+    for (size_t a = 0; a < kD; ++a) x[a] = x_rows->GetDouble(r, a + 1);
+    const double expect = model.Predict(x.data());
+    EXPECT_NEAR(udf_scores[id][0], expect, 1e-9);
+    EXPECT_NEAR(sql_scores[id][0], expect, 1e-9);
+  }
+}
+
+TEST_F(ScoringPipelineTest, PcaSqlAndUdfAgreeWithModel) {
+  NLQ_ASSERT_OK_AND_ASSIGN(
+      PcaModel model, miner_->BuildPca("X", kD, 2, ComputeVia::kUdfList));
+  NLQ_ASSERT_OK(miner_->ScorePca("X", model, "PC_UDF", /*use_udf=*/true));
+  NLQ_ASSERT_OK(miner_->ScorePca("X", model, "PC_SQL", /*use_udf=*/false));
+  auto udf_scores = ReadScores("PC_UDF");
+  auto sql_scores = ReadScores("PC_SQL");
+  ASSERT_EQ(udf_scores.size(), 500u);
+
+  auto x_rows = db_->Execute("SELECT * FROM X ORDER BY i");
+  ASSERT_TRUE(x_rows.ok());
+  for (size_t r = 0; r < x_rows->num_rows(); ++r) {
+    const int64_t id = x_rows->At(r, 0).int_value();
+    std::vector<double> x(kD);
+    for (size_t a = 0; a < kD; ++a) x[a] = x_rows->GetDouble(r, a + 1);
+    const linalg::Vector expect = model.Score(x.data());
+    ASSERT_EQ(udf_scores[id].size(), 2u);
+    for (size_t j = 0; j < 2; ++j) {
+      EXPECT_NEAR(udf_scores[id][j], expect[j], 1e-6);
+      EXPECT_NEAR(sql_scores[id][j], expect[j], 1e-6);
+    }
+  }
+}
+
+TEST_F(ScoringPipelineTest, KMeansSqlAndUdfAgreeWithModel) {
+  KMeansOptions options;
+  options.k = kK;
+  options.max_iterations = 5;
+  NLQ_ASSERT_OK_AND_ASSIGN(KMeansModel model,
+                           miner_->BuildKMeansInDbms("X", kD, options));
+  NLQ_ASSERT_OK(miner_->ScoreKMeans("X", model, "KM_UDF", /*use_udf=*/true));
+  NLQ_ASSERT_OK(miner_->ScoreKMeans("X", model, "KM_SQL", /*use_udf=*/false));
+  auto udf_scores = ReadScores("KM_UDF");
+  auto sql_scores = ReadScores("KM_SQL");
+  ASSERT_EQ(udf_scores.size(), 500u);
+  ASSERT_EQ(sql_scores.size(), 500u);
+
+  auto x_rows = db_->Execute("SELECT * FROM X ORDER BY i");
+  ASSERT_TRUE(x_rows.ok());
+  for (size_t r = 0; r < x_rows->num_rows(); ++r) {
+    const int64_t id = x_rows->At(r, 0).int_value();
+    std::vector<double> x(kD);
+    for (size_t a = 0; a < kD; ++a) x[a] = x_rows->GetDouble(r, a + 1);
+    const int64_t expect =
+        static_cast<int64_t>(model.NearestCentroid(x.data())) + 1;
+    EXPECT_EQ(static_cast<int64_t>(udf_scores[id][0]), expect);
+    EXPECT_EQ(static_cast<int64_t>(sql_scores[id][0]), expect);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Model tables
+// ---------------------------------------------------------------------------
+
+TEST_F(ScoringPipelineTest, BetaTableRoundTrip) {
+  NLQ_ASSERT_OK_AND_ASSIGN(
+      LinearRegressionModel model,
+      miner_->BuildLinearRegression("X", DimensionColumns(kD), "Y",
+                                    ComputeVia::kSql));
+  NLQ_ASSERT_OK(StoreBetaTable(db_.get(), "B", model));
+  NLQ_ASSERT_OK_AND_ASSIGN(linalg::Vector beta, LoadBetaTable(db_.get(), "B"));
+  ASSERT_EQ(beta.size(), model.beta.size());
+  for (size_t i = 0; i < beta.size(); ++i) {
+    EXPECT_EQ(beta[i], model.beta[i]);  // exact text round trip
+  }
+  // Re-storing replaces the table.
+  NLQ_ASSERT_OK(StoreBetaTable(db_.get(), "B", model));
+}
+
+TEST_F(ScoringPipelineTest, ClusterTablesRoundTrip) {
+  KMeansOptions options;
+  options.k = kK;
+  options.max_iterations = 3;
+  NLQ_ASSERT_OK_AND_ASSIGN(KMeansModel model,
+                           miner_->BuildKMeansInDbms("X", kD, options));
+  NLQ_ASSERT_OK(StoreClusterTables(db_.get(), "TC", "TR", "TW", model));
+  NLQ_ASSERT_OK_AND_ASSIGN(KMeansModel loaded,
+                           LoadClusterTables(db_.get(), "TC", "TR", "TW"));
+  EXPECT_EQ(loaded.k, model.k);
+  EXPECT_EQ(loaded.d, model.d);
+  EXPECT_EQ(loaded.centroids.MaxAbsDiff(model.centroids), 0.0);
+  EXPECT_EQ(loaded.radii.MaxAbsDiff(model.radii), 0.0);
+}
+
+TEST_F(ScoringPipelineTest, GeneratedSqlTextLooksRight) {
+  const std::string sql = LinRegScoreSqlQuery("X", "BETA", 2);
+  EXPECT_NE(sql.find("b0 + b1 * X1 + b2 * X2"), std::string::npos);
+  const std::string udf = KMeansScoreUdfQuery("X", "C", 2, 2);
+  EXPECT_NE(udf.find("clusterscore("), std::string::npos);
+  EXPECT_NE(udf.find("C1.j = 1 AND C2.j = 2"), std::string::npos);
+  const std::string assign = KMeansAssignSqlQuery("D", 3);
+  EXPECT_NE(assign.find("CASE"), std::string::npos);
+  EXPECT_NE(assign.find("ELSE 3 END"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nlq::stats

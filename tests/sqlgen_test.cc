@@ -1,0 +1,137 @@
+// Golden-text and decoding tests for the SQL generators — the exact
+// statements the paper presents in Sections 3.4-3.5.
+
+#include <gtest/gtest.h>
+
+#include "engine/parser.h"
+#include "stats/sqlgen.h"
+#include "tests/test_util.h"
+
+namespace nlq::stats {
+namespace {
+
+TEST(SqlGenTest, DimensionColumns) {
+  const auto cols = DimensionColumns(3);
+  ASSERT_EQ(cols.size(), 3u);
+  EXPECT_EQ(cols[0], "X1");
+  EXPECT_EQ(cols[2], "X3");
+}
+
+TEST(SqlGenTest, TriangularSqlQueryGolden) {
+  // The paper's "one long SQL query" for d=2: n, L1, L2, Q11, Q21, Q22.
+  EXPECT_EQ(
+      NlqSqlQuery("X", DimensionColumns(2), MatrixKind::kLowerTriangular),
+      "SELECT sum(1.0) AS n, sum(X1) AS L1, sum(X2) AS L2, "
+      "sum(X1 * X1) AS Q1_1, sum(X2 * X1) AS Q2_1, sum(X2 * X2) AS Q2_2 "
+      "FROM X");
+}
+
+TEST(SqlGenTest, DiagonalSqlQueryGolden) {
+  EXPECT_EQ(NlqSqlQuery("X", DimensionColumns(2), MatrixKind::kDiagonal),
+            "SELECT sum(1.0) AS n, sum(X1) AS L1, sum(X2) AS L2, "
+            "sum(X1 * X1) AS Q1_1, sum(X2 * X2) AS Q2_2 FROM X");
+}
+
+TEST(SqlGenTest, FullSqlQueryTermCount) {
+  // 1 + d + d^2 SUM terms (paper Section 3.4).
+  for (size_t d : {2, 4, 8, 16}) {
+    const std::string sql =
+        NlqSqlQuery("X", DimensionColumns(d), MatrixKind::kFull);
+    size_t terms = 0;
+    for (size_t pos = sql.find("sum("); pos != std::string::npos;
+         pos = sql.find("sum(", pos + 1)) {
+      ++terms;
+    }
+    EXPECT_EQ(terms, 1 + d + d * d) << "d=" << d;
+  }
+}
+
+TEST(SqlGenTest, GeneratedSqlParses) {
+  for (MatrixKind kind : {MatrixKind::kDiagonal,
+                          MatrixKind::kLowerTriangular, MatrixKind::kFull}) {
+    for (size_t d : {1, 3, 8}) {
+      const std::string sql = NlqSqlQuery("X", DimensionColumns(d), kind);
+      EXPECT_TRUE(engine::ParseStatement(sql).ok()) << sql;
+      const std::string grouped =
+          NlqSqlQueryGrouped("X", DimensionColumns(d), kind, "i % 4");
+      EXPECT_TRUE(engine::ParseStatement(grouped).ok()) << grouped;
+    }
+  }
+}
+
+TEST(SqlGenTest, UdfQueryGolden) {
+  EXPECT_EQ(NlqUdfQuery("X", DimensionColumns(2),
+                        MatrixKind::kLowerTriangular, ParamStyle::kList),
+            "SELECT nlq_list('triang', X1, X2) AS nlq FROM X");
+  EXPECT_EQ(NlqUdfQuery("X", DimensionColumns(2), MatrixKind::kDiagonal,
+                        ParamStyle::kString),
+            "SELECT nlq_string('diag', pack_point(X1, X2)) AS nlq FROM X");
+}
+
+TEST(SqlGenTest, UdfGroupedQueryGolden) {
+  EXPECT_EQ(
+      NlqUdfQueryGrouped("X", DimensionColumns(1), MatrixKind::kFull,
+                         ParamStyle::kList, "j"),
+      "SELECT j AS grp, nlq_list('full', X1) AS nlq FROM X GROUP BY j "
+      "ORDER BY 1");
+}
+
+TEST(SqlGenTest, BlockQueryCoversLowerTriangleOfBlocks) {
+  // d=5, block side 2 -> per-side blocks at [1,2],[3,4],[5,5]; lower
+  // triangular pairs: (1,1),(2,1),(2,2),(3,1),(3,2),(3,3) = 6 calls.
+  const std::string sql = NlqBlockQuery("X", DimensionColumns(5), 2);
+  size_t calls = 0;
+  for (size_t pos = sql.find("nlq_block("); pos != std::string::npos;
+       pos = sql.find("nlq_block(", pos + 1)) {
+    ++calls;
+  }
+  EXPECT_EQ(calls, 6u);
+  EXPECT_TRUE(engine::ParseStatement(sql).ok()) << sql;
+  // First call: diagonal block over dims 1..2.
+  EXPECT_NE(sql.find("nlq_block(1, 2, 1, 2, X1, X2, X1, X2)"),
+            std::string::npos);
+}
+
+TEST(SqlGenTest, WideRowDecodingErrors) {
+  // Build a tiny real result to exercise the decoder error paths.
+  auto db = nlq::testing::MakeTestDatabase();
+  NLQ_ASSERT_OK(db->ExecuteCommand("CREATE TABLE X (i BIGINT, X1 DOUBLE)"));
+  NLQ_ASSERT_OK(db->ExecuteCommand("INSERT INTO X VALUES (1, 2.0)"));
+  auto result = db->Execute(
+      NlqSqlQuery("X", DimensionColumns(1), MatrixKind::kFull));
+  ASSERT_TRUE(result.ok());
+
+  // Correct decode: n=1, L1=2, Q11=4.
+  NLQ_ASSERT_OK_AND_ASSIGN(
+      SufStats stats, SufStatsFromWideRow(*result, 0, 1, MatrixKind::kFull));
+  EXPECT_EQ(stats.n(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.L(0), 2.0);
+  EXPECT_DOUBLE_EQ(stats.Q(0, 0), 4.0);
+
+  // Row out of range.
+  EXPECT_FALSE(SufStatsFromWideRow(*result, 5, 1, MatrixKind::kFull).ok());
+  // Asking for more dimensions than the result has columns for.
+  EXPECT_FALSE(SufStatsFromWideRow(*result, 0, 4, MatrixKind::kFull).ok());
+}
+
+TEST(SqlGenTest, UdfResultDecodingErrors) {
+  auto db = nlq::testing::MakeTestDatabase();
+  NLQ_ASSERT_OK(db->ExecuteCommand("CREATE TABLE X (i BIGINT, X1 DOUBLE)"));
+  NLQ_ASSERT_OK(db->ExecuteCommand("INSERT INTO X VALUES (1, 2.0)"));
+  auto result = db->Execute("SELECT sum(X1) FROM X");  // not a packed string
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(SufStatsFromUdfResult(*result).ok());
+  EXPECT_FALSE(SufStatsFromUdfResult(*result, 3, 0).ok());
+}
+
+TEST(SqlGenTest, BlockResultsRequireOneRow) {
+  auto db = nlq::testing::MakeTestDatabase();
+  NLQ_ASSERT_OK(db->ExecuteCommand("CREATE TABLE X (i BIGINT, X1 DOUBLE)"));
+  NLQ_ASSERT_OK(db->ExecuteCommand("INSERT INTO X VALUES (1, 2), (2, 3)"));
+  auto two_rows = db->Execute("SELECT X1 FROM X");
+  ASSERT_TRUE(two_rows.ok());
+  EXPECT_FALSE(SufStatsFromBlockResults(*two_rows, 1).ok());
+}
+
+}  // namespace
+}  // namespace nlq::stats

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "stats/stepwise.h"
+#include "tests/test_util.h"
+
+namespace nlq::stats {
+namespace {
+
+/// Builds stats over (X1..Xd, Y) where Y depends only on the
+/// predictors listed in `informative` with the given coefficients.
+SufStats MakeSparseRegressionStats(size_t d, size_t n,
+                                   const std::vector<size_t>& informative,
+                                   const std::vector<double>& coefs,
+                                   double noise, uint64_t seed) {
+  Random rng(seed);
+  SufStats stats(d + 1, MatrixKind::kLowerTriangular);
+  std::vector<double> z(d + 1);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t a = 0; a < d; ++a) z[a] = rng.NextUniform(-5, 5);
+    double y = 1.0;  // intercept
+    for (size_t j = 0; j < informative.size(); ++j) {
+      y += coefs[j] * z[informative[j]];
+    }
+    z[d] = y + (noise > 0 ? rng.NextGaussian(0, noise) : 0.0);
+    stats.Update(z);
+  }
+  return stats;
+}
+
+TEST(SubsetRegressionTest, MatchesFullFitWhenSubsetIsEverything) {
+  const SufStats stats =
+      MakeSparseRegressionStats(3, 2000, {0, 1, 2}, {2, -1, 0.5}, 0.5, 7);
+  NLQ_ASSERT_OK_AND_ASSIGN(LinearRegressionModel full,
+                           FitLinearRegression(stats));
+  NLQ_ASSERT_OK_AND_ASSIGN(LinearRegressionModel subset,
+                           FitLinearRegressionSubset(stats, {0, 1, 2}));
+  ASSERT_EQ(subset.beta.size(), full.beta.size());
+  for (size_t i = 0; i < full.beta.size(); ++i) {
+    EXPECT_NEAR(subset.beta[i], full.beta[i], 1e-10);
+  }
+  EXPECT_NEAR(subset.r2, full.r2, 1e-12);
+}
+
+TEST(SubsetRegressionTest, SubsetOrderingPermutesCoefficients) {
+  const SufStats stats =
+      MakeSparseRegressionStats(3, 2000, {0, 1, 2}, {2, -1, 0.5}, 0.0, 11);
+  NLQ_ASSERT_OK_AND_ASSIGN(LinearRegressionModel forward,
+                           FitLinearRegressionSubset(stats, {0, 2}));
+  NLQ_ASSERT_OK_AND_ASSIGN(LinearRegressionModel reversed,
+                           FitLinearRegressionSubset(stats, {2, 0}));
+  EXPECT_NEAR(forward.beta[1], reversed.beta[2], 1e-10);
+  EXPECT_NEAR(forward.beta[2], reversed.beta[1], 1e-10);
+  EXPECT_NEAR(forward.r2, reversed.r2, 1e-12);
+}
+
+TEST(SubsetRegressionTest, DroppingInformativeVariableLowersR2) {
+  const SufStats stats =
+      MakeSparseRegressionStats(4, 5000, {0, 1}, {3, 2}, 0.5, 13);
+  NLQ_ASSERT_OK_AND_ASSIGN(LinearRegressionModel both,
+                           FitLinearRegressionSubset(stats, {0, 1}));
+  NLQ_ASSERT_OK_AND_ASSIGN(LinearRegressionModel one,
+                           FitLinearRegressionSubset(stats, {0}));
+  NLQ_ASSERT_OK_AND_ASSIGN(LinearRegressionModel noise_only,
+                           FitLinearRegressionSubset(stats, {2, 3}));
+  EXPECT_GT(both.r2, 0.98);
+  EXPECT_LT(one.r2, both.r2);
+  EXPECT_LT(noise_only.r2, 0.05);
+}
+
+TEST(SubsetRegressionTest, InputValidation) {
+  const SufStats stats =
+      MakeSparseRegressionStats(3, 100, {0}, {1}, 0.1, 17);
+  EXPECT_FALSE(FitLinearRegressionSubset(stats, {}).ok());
+  EXPECT_FALSE(FitLinearRegressionSubset(stats, {0, 0}).ok());
+  EXPECT_FALSE(FitLinearRegressionSubset(stats, {3}).ok());  // Y itself
+  EXPECT_FALSE(FitLinearRegressionSubset(stats, {9}).ok());
+  SufStats diag(3, MatrixKind::kDiagonal);
+  EXPECT_FALSE(FitLinearRegressionSubset(diag, {0}).ok());
+}
+
+TEST(ForwardStepwiseTest, SelectsTheInformativeVariables) {
+  // d = 8, only X3 and X6 (0-based 2, 5) drive Y.
+  const SufStats stats =
+      MakeSparseRegressionStats(8, 10000, {2, 5}, {4, -3}, 0.5, 19);
+  NLQ_ASSERT_OK_AND_ASSIGN(StepwiseResult result,
+                           ForwardStepwiseRegression(stats));
+  ASSERT_GE(result.selected.size(), 2u);
+  // The first two picks are exactly the informative pair (strongest
+  // first: |4| > |-3| on the same input scale).
+  EXPECT_EQ(result.selected[0], 2u);
+  EXPECT_EQ(result.selected[1], 5u);
+  EXPECT_GT(result.model.r2, 0.98);
+  // The gain threshold stops it well before using all 8 predictors.
+  EXPECT_LE(result.selected.size(), 4u);
+}
+
+TEST(ForwardStepwiseTest, R2PathMonotonic) {
+  const SufStats stats =
+      MakeSparseRegressionStats(6, 5000, {0, 1, 2}, {1, 1, 1}, 1.0, 23);
+  StepwiseOptions options;
+  options.min_r2_gain = 0.0;
+  options.max_predictors = 6;
+  NLQ_ASSERT_OK_AND_ASSIGN(StepwiseResult result,
+                           ForwardStepwiseRegression(stats, options));
+  for (size_t i = 1; i < result.r2_path.size(); ++i) {
+    EXPECT_GE(result.r2_path[i], result.r2_path[i - 1] - 1e-12);
+  }
+}
+
+TEST(ForwardStepwiseTest, MaxPredictorsRespected) {
+  const SufStats stats = MakeSparseRegressionStats(
+      6, 3000, {0, 1, 2, 3}, {1, 1, 1, 1}, 0.5, 29);
+  StepwiseOptions options;
+  options.max_predictors = 2;
+  NLQ_ASSERT_OK_AND_ASSIGN(StepwiseResult result,
+                           ForwardStepwiseRegression(stats, options));
+  EXPECT_EQ(result.selected.size(), 2u);
+  EXPECT_EQ(result.model.beta.size(), 3u);
+}
+
+TEST(ForwardStepwiseTest, SkipsCollinearCandidates) {
+  // X2 duplicates X1; after picking one, the duplicate must be
+  // skipped (singular) and selection must still finish cleanly.
+  Random rng(31);
+  SufStats stats(4, MatrixKind::kLowerTriangular);
+  std::vector<double> z(4);
+  for (int i = 0; i < 3000; ++i) {
+    z[0] = rng.NextUniform(-5, 5);
+    z[1] = z[0];  // exact copy
+    z[2] = rng.NextUniform(-5, 5);
+    z[3] = 2 * z[0] + z[2] + rng.NextGaussian(0, 0.2);
+    stats.Update(z);
+  }
+  NLQ_ASSERT_OK_AND_ASSIGN(StepwiseResult result,
+                           ForwardStepwiseRegression(stats));
+  EXPECT_GT(result.model.r2, 0.98);
+  // Never both of the identical pair.
+  const bool has0 = std::count(result.selected.begin(),
+                               result.selected.end(), 0u) > 0;
+  const bool has1 = std::count(result.selected.begin(),
+                               result.selected.end(), 1u) > 0;
+  EXPECT_FALSE(has0 && has1);
+}
+
+
+TEST(CorrelationRankingTest, OrdersByAssociationStrength) {
+  // Y driven strongly by X3 (idx 2), weakly by X1 (idx 0), not at all
+  // by the others.
+  Random rng(83);
+  SufStats stats(5, MatrixKind::kLowerTriangular);
+  std::vector<double> z(5);
+  for (int i = 0; i < 20000; ++i) {
+    for (size_t a = 0; a < 4; ++a) z[a] = rng.NextUniform(-5, 5);
+    z[4] = 5.0 * z[2] + 0.5 * z[0] + rng.NextGaussian(0, 1.0);
+    stats.Update(z);
+  }
+  NLQ_ASSERT_OK_AND_ASSIGN(auto ranking, RankPredictorsByCorrelation(stats));
+  ASSERT_EQ(ranking.size(), 4u);
+  EXPECT_EQ(ranking[0].first, 2u);
+  EXPECT_EQ(ranking[1].first, 0u);
+  EXPECT_GT(ranking[0].second, 0.95);
+  EXPECT_LT(ranking[3].second, 0.1);
+  // Descending invariant.
+  for (size_t i = 1; i < ranking.size(); ++i) {
+    EXPECT_LE(ranking[i].second, ranking[i - 1].second);
+  }
+}
+
+TEST(RidgeRegressionTest, ZeroLambdaMatchesOls) {
+  const SufStats stats =
+      MakeSparseRegressionStats(3, 2000, {0, 1, 2}, {2, -1, 0.5}, 0.5, 89);
+  NLQ_ASSERT_OK_AND_ASSIGN(LinearRegressionModel ols,
+                           FitLinearRegression(stats));
+  NLQ_ASSERT_OK_AND_ASSIGN(LinearRegressionModel ridge,
+                           FitRidgeRegression(stats, 0.0));
+  for (size_t i = 0; i < ols.beta.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ridge.beta[i], ols.beta[i]);
+  }
+}
+
+TEST(RidgeRegressionTest, ShrinksCoefficients) {
+  const SufStats stats =
+      MakeSparseRegressionStats(3, 500, {0, 1, 2}, {4, -3, 2}, 1.0, 97);
+  NLQ_ASSERT_OK_AND_ASSIGN(LinearRegressionModel ols,
+                           FitLinearRegression(stats));
+  NLQ_ASSERT_OK_AND_ASSIGN(LinearRegressionModel heavy,
+                           FitRidgeRegression(stats, 1e6));
+  double ols_norm = 0, heavy_norm = 0;
+  for (size_t i = 1; i < ols.beta.size(); ++i) {  // slopes only
+    ols_norm += ols.beta[i] * ols.beta[i];
+    heavy_norm += heavy.beta[i] * heavy.beta[i];
+  }
+  EXPECT_LT(heavy_norm, ols_norm * 0.01);
+}
+
+TEST(RidgeRegressionTest, StabilizesCollinearPredictors) {
+  // Exact collinearity: OLS is singular/ill-posed but a small ridge
+  // penalty must produce a finite, predictive model.
+  Random rng(101);
+  SufStats stats(3, MatrixKind::kLowerTriangular);
+  std::vector<double> z(3);
+  for (int i = 0; i < 1000; ++i) {
+    z[0] = rng.NextUniform(-5, 5);
+    z[1] = z[0];
+    z[2] = 3.0 * z[0] + rng.NextGaussian(0, 0.1);
+    stats.Update(z);
+  }
+  NLQ_ASSERT_OK_AND_ASSIGN(LinearRegressionModel ridge,
+                           FitRidgeRegression(stats, 1.0));
+  // The two identical predictors split the coefficient.
+  EXPECT_NEAR(ridge.beta[1] + ridge.beta[2], 3.0, 0.1);
+  EXPECT_GT(ridge.r2, 0.99);
+}
+
+TEST(RidgeRegressionTest, RejectsNegativeLambda) {
+  const SufStats stats =
+      MakeSparseRegressionStats(2, 100, {0}, {1}, 0.1, 103);
+  EXPECT_FALSE(FitRidgeRegression(stats, -1.0).ok());
+}
+
+}  // namespace
+}  // namespace nlq::stats

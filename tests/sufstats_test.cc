@@ -1,0 +1,343 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "stats/sufstats.h"
+#include "tests/test_util.h"
+
+namespace nlq::stats {
+namespace {
+
+std::vector<std::vector<double>> RandomPoints(size_t n, size_t d,
+                                              uint64_t seed) {
+  Random rng(seed);
+  std::vector<std::vector<double>> points(n, std::vector<double>(d));
+  for (auto& p : points) {
+    for (auto& v : p) v = rng.NextUniform(-50, 150);
+  }
+  return points;
+}
+
+TEST(MatrixKindTest, ParseAndName) {
+  EXPECT_EQ(*MatrixKindFromString("diag"), MatrixKind::kDiagonal);
+  EXPECT_EQ(*MatrixKindFromString("TRIANG"), MatrixKind::kLowerTriangular);
+  EXPECT_EQ(*MatrixKindFromString("Full"), MatrixKind::kFull);
+  EXPECT_FALSE(MatrixKindFromString("bogus").ok());
+  EXPECT_STREQ(MatrixKindName(MatrixKind::kDiagonal), "diag");
+}
+
+TEST(SufStatsTest, EmptyStats) {
+  SufStats stats(3, MatrixKind::kFull);
+  EXPECT_EQ(stats.n(), 0.0);
+  EXPECT_EQ(stats.d(), 3u);
+  EXPECT_EQ(stats.L(0), 0.0);
+  EXPECT_EQ(stats.Q(1, 2), 0.0);
+}
+
+TEST(SufStatsTest, SinglePoint) {
+  SufStats stats(2, MatrixKind::kFull);
+  const std::vector<double> x{3.0, -4.0};
+  stats.Update(x);
+  EXPECT_EQ(stats.n(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.L(0), 3.0);
+  EXPECT_DOUBLE_EQ(stats.L(1), -4.0);
+  EXPECT_DOUBLE_EQ(stats.Q(0, 0), 9.0);
+  EXPECT_DOUBLE_EQ(stats.Q(0, 1), -12.0);
+  EXPECT_DOUBLE_EQ(stats.Q(1, 1), 16.0);
+  EXPECT_DOUBLE_EQ(stats.Min(1), -4.0);
+  EXPECT_DOUBLE_EQ(stats.Max(0), 3.0);
+}
+
+TEST(SufStatsTest, TriangularGivesSymmetricAccess) {
+  SufStats stats(3, MatrixKind::kLowerTriangular);
+  stats.Update(std::vector<double>{1, 2, 3});
+  stats.Update(std::vector<double>{4, 5, 6});
+  EXPECT_DOUBLE_EQ(stats.Q(0, 2), stats.Q(2, 0));
+  EXPECT_DOUBLE_EQ(stats.Q(0, 2), 1.0 * 3 + 4.0 * 6);
+}
+
+TEST(SufStatsTest, DiagonalSkipsOffDiagonal) {
+  SufStats stats(2, MatrixKind::kDiagonal);
+  stats.Update(std::vector<double>{2, 3});
+  EXPECT_DOUBLE_EQ(stats.Q(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(stats.Q(1, 1), 9.0);
+  EXPECT_DOUBLE_EQ(stats.Q(0, 1), 0.0);  // never computed
+}
+
+TEST(SufStatsTest, NumQEntries) {
+  EXPECT_EQ(SufStats(5, MatrixKind::kDiagonal).NumQEntries(), 5u);
+  EXPECT_EQ(SufStats(5, MatrixKind::kLowerTriangular).NumQEntries(), 15u);
+  EXPECT_EQ(SufStats(5, MatrixKind::kFull).NumQEntries(), 25u);
+}
+
+// Property sweep: every kind agrees with the full kind on the entries
+// it maintains, and triangular == full everywhere.
+class SufStatsKindTest : public ::testing::TestWithParam<MatrixKind> {};
+
+TEST_P(SufStatsKindTest, MatchesNaiveComputation) {
+  const size_t d = 6, n = 200;
+  const auto points = RandomPoints(n, d, 17);
+  SufStats stats(d, GetParam());
+  for (const auto& p : points) stats.Update(p);
+
+  // Naive reference.
+  EXPECT_EQ(stats.n(), static_cast<double>(n));
+  for (size_t a = 0; a < d; ++a) {
+    double l = 0, q_aa = 0, mn = 1e300, mx = -1e300;
+    for (const auto& p : points) {
+      l += p[a];
+      q_aa += p[a] * p[a];
+      mn = std::min(mn, p[a]);
+      mx = std::max(mx, p[a]);
+    }
+    EXPECT_NEAR(stats.L(a), l, 1e-9 * std::fabs(l));
+    EXPECT_NEAR(stats.Q(a, a), q_aa, 1e-9 * q_aa);
+    EXPECT_DOUBLE_EQ(stats.Min(a), mn);
+    EXPECT_DOUBLE_EQ(stats.Max(a), mx);
+  }
+  if (GetParam() != MatrixKind::kDiagonal) {
+    for (size_t a = 0; a < d; ++a) {
+      for (size_t b = 0; b < d; ++b) {
+        double q_ab = 0;
+        for (const auto& p : points) q_ab += p[a] * p[b];
+        EXPECT_NEAR(stats.Q(a, b), q_ab, 1e-9 * std::fabs(q_ab) + 1e-9);
+      }
+    }
+  }
+}
+
+TEST_P(SufStatsKindTest, MergeEqualsSequential) {
+  const size_t d = 4;
+  const auto points = RandomPoints(300, d, 23);
+  SufStats whole(d, GetParam());
+  for (const auto& p : points) whole.Update(p);
+
+  // Split into 3 partials, merge.
+  SufStats merged(d, GetParam());
+  for (size_t part = 0; part < 3; ++part) {
+    SufStats partial(d, GetParam());
+    for (size_t i = part; i < points.size(); i += 3) partial.Update(points[i]);
+    NLQ_ASSERT_OK(merged.Merge(partial));
+  }
+  EXPECT_LT(whole.MaxAbsDiff(merged), 1e-6);
+  for (size_t a = 0; a < d; ++a) {
+    EXPECT_DOUBLE_EQ(whole.Min(a), merged.Min(a));
+    EXPECT_DOUBLE_EQ(whole.Max(a), merged.Max(a));
+  }
+}
+
+TEST_P(SufStatsKindTest, PackedRoundTrip) {
+  const size_t d = 5;
+  const auto points = RandomPoints(50, d, 29);
+  SufStats stats(d, GetParam());
+  for (const auto& p : points) stats.Update(p);
+
+  NLQ_ASSERT_OK_AND_ASSIGN(SufStats back,
+                           SufStats::FromPackedString(stats.ToPackedString()));
+  EXPECT_EQ(back.d(), d);
+  EXPECT_EQ(back.kind(), GetParam());
+  EXPECT_EQ(back.n(), stats.n());
+  EXPECT_EQ(stats.MaxAbsDiff(back), 0.0);  // exact round trip
+  for (size_t a = 0; a < d; ++a) {
+    EXPECT_EQ(back.Min(a), stats.Min(a));
+    EXPECT_EQ(back.Max(a), stats.Max(a));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, SufStatsKindTest,
+                         ::testing::Values(MatrixKind::kDiagonal,
+                                           MatrixKind::kLowerTriangular,
+                                           MatrixKind::kFull));
+
+
+// ---------------------------------------------------------------------------
+// Decremental maintenance (sufficient statistics are decomposable)
+// ---------------------------------------------------------------------------
+
+TEST_P(SufStatsKindTest, DowndateInvertsUpdate) {
+  const size_t d = 4;
+  const auto points = RandomPoints(100, d, 41);
+  SufStats with_all(d, GetParam());
+  for (const auto& p : points) with_all.Update(p);
+  // Remove the last 30 points one by one.
+  for (size_t i = 70; i < 100; ++i) with_all.Downdate(points[i]);
+
+  SufStats only_first(d, GetParam());
+  for (size_t i = 0; i < 70; ++i) only_first.Update(points[i]);
+  EXPECT_EQ(with_all.n(), 70.0);
+  EXPECT_LT(with_all.MaxAbsDiff(only_first), 1e-6);
+}
+
+TEST_P(SufStatsKindTest, SubtractInvertsMerge) {
+  const size_t d = 3;
+  const auto points = RandomPoints(200, d, 43);
+  SufStats base(d, GetParam());
+  SufStats extra(d, GetParam());
+  for (size_t i = 0; i < 120; ++i) base.Update(points[i]);
+  for (size_t i = 120; i < 200; ++i) extra.Update(points[i]);
+
+  SufStats combined = base;
+  NLQ_ASSERT_OK(combined.Merge(extra));
+  NLQ_ASSERT_OK(combined.Subtract(extra));
+  EXPECT_EQ(combined.n(), base.n());
+  EXPECT_LT(combined.MaxAbsDiff(base), 1e-6);
+}
+
+TEST(SufStatsTest, ModelRefreshAfterDeletesMatchesRecompute) {
+  // The point of decomposability: drop a batch of rows, rebuild the
+  // regression from the adjusted statistics, and match a from-scratch
+  // recompute — no rescan of the retained rows.
+  const size_t d = 3;
+  Random rng(47);
+  std::vector<std::vector<double>> rows;
+  SufStats live(d + 1, MatrixKind::kLowerTriangular);
+  for (int i = 0; i < 500; ++i) {
+    std::vector<double> z(d + 1);
+    for (size_t a = 0; a < d; ++a) z[a] = rng.NextUniform(-3, 3);
+    z[d] = 1.0 + 2.0 * z[0] - z[1] + rng.NextGaussian(0, 0.5);
+    live.Update(z);
+    rows.push_back(std::move(z));
+  }
+  // Delete every 5th row incrementally.
+  SufStats recomputed(d + 1, MatrixKind::kLowerTriangular);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (i % 5 == 0) {
+      live.Downdate(rows[i]);
+    } else {
+      recomputed.Update(rows[i]);
+    }
+  }
+  EXPECT_LT(live.MaxAbsDiff(recomputed), 1e-6);
+}
+
+TEST(SufStatsTest, SubtractRejectsMismatch) {
+  SufStats a(3, MatrixKind::kFull);
+  SufStats b(2, MatrixKind::kFull);
+  EXPECT_FALSE(a.Subtract(b).ok());
+}
+
+TEST(SufStatsTest, MergeRejectsMismatch) {
+  SufStats a(3, MatrixKind::kFull);
+  SufStats b(2, MatrixKind::kFull);
+  SufStats c(3, MatrixKind::kDiagonal);
+  EXPECT_FALSE(a.Merge(b).ok());
+  EXPECT_FALSE(a.Merge(c).ok());
+}
+
+TEST(SufStatsTest, EmptyPackedRoundTrip) {
+  SufStats empty(0, MatrixKind::kLowerTriangular);
+  NLQ_ASSERT_OK_AND_ASSIGN(SufStats back,
+                           SufStats::FromPackedString(empty.ToPackedString()));
+  EXPECT_EQ(back.d(), 0u);
+  EXPECT_EQ(back.n(), 0.0);
+}
+
+TEST(SufStatsTest, FromPackedStringRejectsGarbage) {
+  EXPECT_FALSE(SufStats::FromPackedString("").ok());
+  EXPECT_FALSE(SufStats::FromPackedString("1|2").ok());
+  EXPECT_FALSE(SufStats::FromPackedString("2|1|x|1;2|0;0|0;0|1;2;3").ok());
+  EXPECT_FALSE(SufStats::FromPackedString("2|9|5|1;2|0;0|0;0|1;2;3").ok());
+  // Wrong Q count for the kind.
+  EXPECT_FALSE(SufStats::FromPackedString("2|0|5|1;2|0;0|0;0|1;2;3").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Derived matrices (Section 3.2 identities)
+// ---------------------------------------------------------------------------
+
+TEST(SufStatsTest, MeanMatchesDefinition) {
+  SufStats stats(2, MatrixKind::kFull);
+  stats.Update(std::vector<double>{1, 10});
+  stats.Update(std::vector<double>{3, 30});
+  const auto mu = stats.Mean();
+  EXPECT_DOUBLE_EQ(mu[0], 2.0);
+  EXPECT_DOUBLE_EQ(mu[1], 20.0);
+}
+
+TEST(SufStatsTest, CovarianceMatchesNaive) {
+  const size_t d = 4, n = 500;
+  const auto points = RandomPoints(n, d, 31);
+  SufStats stats(d, MatrixKind::kLowerTriangular);
+  for (const auto& p : points) stats.Update(p);
+  NLQ_ASSERT_OK_AND_ASSIGN(linalg::Matrix v, stats.CovarianceMatrix());
+
+  // Naive two-pass covariance.
+  std::vector<double> mean(d, 0);
+  for (const auto& p : points) {
+    for (size_t a = 0; a < d; ++a) mean[a] += p[a];
+  }
+  for (auto& m : mean) m /= n;
+  for (size_t a = 0; a < d; ++a) {
+    for (size_t b = 0; b < d; ++b) {
+      double cov = 0;
+      for (const auto& p : points) cov += (p[a] - mean[a]) * (p[b] - mean[b]);
+      cov /= n;
+      EXPECT_NEAR(v(a, b), cov, 1e-6 * (1.0 + std::fabs(cov)));
+    }
+  }
+}
+
+TEST(SufStatsTest, CorrelationProperties) {
+  const size_t d = 5;
+  const auto points = RandomPoints(1000, d, 37);
+  SufStats stats(d, MatrixKind::kLowerTriangular);
+  for (const auto& p : points) stats.Update(p);
+  NLQ_ASSERT_OK_AND_ASSIGN(linalg::Matrix rho, stats.CorrelationMatrix());
+  for (size_t a = 0; a < d; ++a) {
+    EXPECT_DOUBLE_EQ(rho(a, a), 1.0);
+    for (size_t b = 0; b < d; ++b) {
+      EXPECT_GE(rho(a, b), -1.0 - 1e-12);
+      EXPECT_LE(rho(a, b), 1.0 + 1e-12);
+      EXPECT_DOUBLE_EQ(rho(a, b), rho(b, a));
+    }
+  }
+}
+
+TEST(SufStatsTest, PerfectlyCorrelatedDimensions) {
+  SufStats stats(2, MatrixKind::kFull);
+  Random rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const double v = rng.NextGaussian(0, 1);
+    stats.Update(std::vector<double>{v, 3.0 * v + 1.0});
+  }
+  NLQ_ASSERT_OK_AND_ASSIGN(linalg::Matrix rho, stats.CorrelationMatrix());
+  EXPECT_NEAR(rho(0, 1), 1.0, 1e-9);
+}
+
+TEST(SufStatsTest, AnticorrelatedDimensions) {
+  SufStats stats(2, MatrixKind::kFull);
+  Random rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const double v = rng.NextGaussian(0, 1);
+    stats.Update(std::vector<double>{v, -2.0 * v});
+  }
+  NLQ_ASSERT_OK_AND_ASSIGN(linalg::Matrix rho, stats.CorrelationMatrix());
+  EXPECT_NEAR(rho(0, 1), -1.0, 1e-9);
+}
+
+TEST(SufStatsTest, DerivedMatricesRejectDiagonalKind) {
+  SufStats stats(2, MatrixKind::kDiagonal);
+  stats.Update(std::vector<double>{1, 2});
+  stats.Update(std::vector<double>{2, 4});
+  EXPECT_FALSE(stats.CovarianceMatrix().ok());
+  EXPECT_FALSE(stats.CorrelationMatrix().ok());
+}
+
+TEST(SufStatsTest, CorrelationRejectsConstantDimension) {
+  SufStats stats(2, MatrixKind::kFull);
+  stats.Update(std::vector<double>{1, 5});
+  stats.Update(std::vector<double>{2, 5});
+  EXPECT_FALSE(stats.CorrelationMatrix().ok());
+}
+
+TEST(SufStatsTest, QMatrixSymmetrizes) {
+  SufStats stats(3, MatrixKind::kLowerTriangular);
+  stats.Update(std::vector<double>{1, 2, 3});
+  const linalg::Matrix q = stats.QMatrix();
+  EXPECT_TRUE(q.IsSymmetric());
+  EXPECT_DOUBLE_EQ(q(2, 1), 6.0);
+}
+
+}  // namespace
+}  // namespace nlq::stats

@@ -1,0 +1,59 @@
+#ifndef NLQ_TESTS_TEST_UTIL_H_
+#define NLQ_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "stats/scoring.h"
+#include "stats/sufstats.h"
+
+namespace nlq::testing {
+
+/// Creates a Database with all stats UDFs registered.
+inline std::unique_ptr<engine::Database> MakeTestDatabase(
+    size_t num_partitions = 4) {
+  engine::DatabaseOptions options;
+  options.num_partitions = num_partitions;
+  auto db = std::make_unique<engine::Database>(options);
+  const Status s = stats::RegisterAllStatsUdfs(&db->udfs());
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return db;
+}
+
+/// Computes SufStats directly from in-memory points (the reference
+/// implementation tests compare everything against).
+inline stats::SufStats ReferenceStats(
+    const std::vector<std::vector<double>>& points, stats::MatrixKind kind) {
+  if (points.empty()) return stats::SufStats(0, kind);
+  stats::SufStats stats(points[0].size(), kind);
+  for (const auto& p : points) stats.Update(p.data());
+  return stats;
+}
+
+/// gtest-friendly Status assertions.
+#define NLQ_ASSERT_OK(expr)                                 \
+  do {                                                      \
+    const ::nlq::Status _s = (expr);                        \
+    ASSERT_TRUE(_s.ok()) << "status: " << _s.ToString();    \
+  } while (0)
+
+#define NLQ_EXPECT_OK(expr)                                 \
+  do {                                                      \
+    const ::nlq::Status _s = (expr);                        \
+    EXPECT_TRUE(_s.ok()) << "status: " << _s.ToString();    \
+  } while (0)
+
+/// Asserts a StatusOr is OK and moves its value into `lhs`.
+#define NLQ_ASSERT_OK_AND_ASSIGN(lhs, expr)                        \
+  auto NLQ_STATUS_CONCAT_(_assert_statusor, __LINE__) = (expr);    \
+  ASSERT_TRUE(NLQ_STATUS_CONCAT_(_assert_statusor, __LINE__).ok()) \
+      << NLQ_STATUS_CONCAT_(_assert_statusor, __LINE__).status().ToString(); \
+  lhs = std::move(NLQ_STATUS_CONCAT_(_assert_statusor, __LINE__)).value()
+
+}  // namespace nlq::testing
+
+#endif  // NLQ_TESTS_TEST_UTIL_H_
