@@ -5,8 +5,13 @@
 //            refers to);
 //   rows   — SufStats::Update over materialized Datum rows (adds the
 //            value-model cost);
-//   engine — the full nlq_list query (adds page decode, expression
-//            argument evaluation, partitioned execution + merge).
+//   batched — SufStats::Update over the storage layer's batch scan
+//            (page decode into reused 1024-row RowBatches, no
+//            expression evaluation) — the raw cost of the morsel
+//            scan feeding the operator pipeline;
+//   engine — the full nlq_list query (adds expression argument
+//            evaluation, the operator tree, partitioned execution +
+//            merge).
 //
 // The gap between `raw` and `engine` is the DBMS tax the paper's
 // Figure 5 calls the I/O bottleneck ("no matter how much we optimize
@@ -64,6 +69,35 @@ void BM_DatumRows(benchmark::State& state) {
   }
 }
 
+void BM_BatchedScan(benchmark::State& state) {
+  const size_t d = kDims[state.range(0)];
+  const uint64_t rows = bench::ScaledRows(1600);
+  auto db = bench::MakeBenchDatabase();
+  bench::LoadMixture(db.get(), "X", rows, d);
+  auto table = db->catalog().GetTable("X");
+  if (!table.ok()) {
+    state.SkipWithError("load failed");
+    return;
+  }
+  std::vector<double> x(d);
+  for (auto _ : state) {
+    stats::SufStats suf(d, stats::MatrixKind::kLowerTriangular);
+    for (size_t p = 0; p < (*table)->num_partitions(); ++p) {
+      storage::BatchScanner scanner = (*table)->ScanPartitionBatches(p);
+      storage::RowBatch batch;
+      while (scanner.Next(&batch)) {
+        for (size_t i = 0; i < batch.size(); ++i) {
+          const storage::Row& row = batch.row(i);
+          for (size_t a = 0; a < d; ++a) x[a] = row[1 + a].AsDouble();
+          suf.Update(x.data());
+        }
+      }
+      bench::Require(scanner.status(), state);
+    }
+    benchmark::DoNotOptimize(suf);
+  }
+}
+
 void BM_EngineScan(benchmark::State& state) {
   const size_t d = kDims[state.range(0)];
   const uint64_t rows = bench::ScaledRows(1600);
@@ -95,6 +129,11 @@ int main(int argc, char** argv) {
         ->Iterations(1);
     benchmark::RegisterBenchmark(("Ablation/rows" + suffix).c_str(),
                                  BM_DatumRows)
+        ->Arg(static_cast<int>(di))
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark(("Ablation/batched" + suffix).c_str(),
+                                 BM_BatchedScan)
         ->Arg(static_cast<int>(di))
         ->Unit(benchmark::kMillisecond)
         ->Iterations(1);

@@ -2,13 +2,13 @@
 
 #include <algorithm>
 #include <thread>
-#include <unordered_map>
 
 #include "common/strings.h"
+#include "engine/exec/executor.h"
+#include "engine/exec/planner.h"
 #include "engine/expr.h"
 #include "engine/parser.h"
 #include "storage/partitioned_table.h"
-#include "udf/heap_segment.h"
 
 namespace nlq::engine {
 namespace {
@@ -18,177 +18,6 @@ using storage::Datum;
 using storage::PartitionedTable;
 using storage::Row;
 using storage::Schema;
-
-// ---------------------------------------------------------------------------
-// Aggregation state
-// ---------------------------------------------------------------------------
-
-struct BuiltinAggState {
-  double sum = 0.0;
-  int64_t count = 0;
-  double min = 0.0;
-  double max = 0.0;
-  bool seen = false;
-};
-
-struct GroupState {
-  Row keys;
-  std::vector<BuiltinAggState> builtin;  // parallel to specs
-  std::vector<std::unique_ptr<udf::HeapSegment>> heaps;
-  std::vector<void*> udf_states;  // parallel to specs, null for builtins
-};
-
-struct RowKeyHash {
-  size_t operator()(const Row& row) const {
-    size_t h = 0x9e3779b97f4a7c15ULL;
-    for (const Datum& d : row) {
-      h ^= d.KeyHash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-    }
-    return h;
-  }
-};
-
-struct RowKeyEq {
-  bool operator()(const Row& a, const Row& b) const {
-    if (a.size() != b.size()) return false;
-    for (size_t i = 0; i < a.size(); ++i) {
-      if (!a[i].KeyEquals(b[i])) return false;
-    }
-    return true;
-  }
-};
-
-using GroupMap = std::unordered_map<Row, GroupState, RowKeyHash, RowKeyEq>;
-
-StatusOr<GroupState> InitGroupState(const std::vector<AggregateSpec>& specs,
-                                    Row keys) {
-  GroupState state;
-  state.keys = std::move(keys);
-  state.builtin.resize(specs.size());
-  state.heaps.resize(specs.size());
-  state.udf_states.resize(specs.size(), nullptr);
-  for (size_t i = 0; i < specs.size(); ++i) {
-    if (specs[i].kind != AggregateSpec::Kind::kUdf) continue;
-    state.heaps[i] = std::make_unique<udf::HeapSegment>();
-    NLQ_ASSIGN_OR_RETURN(void* udf_state, specs[i].udaf->Init(
-                                              state.heaps[i].get()));
-    state.udf_states[i] = udf_state;
-  }
-  return state;
-}
-
-Status AccumulateRow(const std::vector<AggregateSpec>& specs,
-                     GroupState* state, const EvalContext& ctx,
-                     std::vector<Datum>* scratch) {
-  for (size_t i = 0; i < specs.size(); ++i) {
-    const AggregateSpec& spec = specs[i];
-    if (spec.kind == AggregateSpec::Kind::kCountStar) {
-      ++state->builtin[i].count;
-      continue;
-    }
-    scratch->resize(spec.args.size());
-    for (size_t a = 0; a < spec.args.size(); ++a) {
-      (*scratch)[a] = spec.args[a]->Eval(ctx);
-    }
-    if (ctx.error != nullptr && !ctx.error->ok()) return *ctx.error;
-    if (spec.kind == AggregateSpec::Kind::kUdf) {
-      NLQ_RETURN_IF_ERROR(
-          spec.udaf->Accumulate(state->udf_states[i], *scratch));
-      continue;
-    }
-    const Datum& v = (*scratch)[0];
-    if (v.is_null()) continue;  // SQL aggregates skip NULLs
-    BuiltinAggState& b = state->builtin[i];
-    const double x = v.AsDouble();
-    switch (spec.kind) {
-      case AggregateSpec::Kind::kSum:
-      case AggregateSpec::Kind::kAvg:
-        b.sum += x;
-        ++b.count;
-        break;
-      case AggregateSpec::Kind::kCount:
-        ++b.count;
-        break;
-      case AggregateSpec::Kind::kMin:
-        if (!b.seen || x < b.min) b.min = x;
-        break;
-      case AggregateSpec::Kind::kMax:
-        if (!b.seen || x > b.max) b.max = x;
-        break;
-      default:
-        break;
-    }
-    b.seen = true;
-  }
-  return Status::OK();
-}
-
-Status MergeGroup(const std::vector<AggregateSpec>& specs, GroupState* dst,
-                  GroupState* src) {
-  for (size_t i = 0; i < specs.size(); ++i) {
-    if (specs[i].kind == AggregateSpec::Kind::kUdf) {
-      NLQ_RETURN_IF_ERROR(
-          specs[i].udaf->Merge(dst->udf_states[i], src->udf_states[i]));
-      continue;
-    }
-    BuiltinAggState& d = dst->builtin[i];
-    const BuiltinAggState& s = src->builtin[i];
-    d.sum += s.sum;
-    d.count += s.count;
-    if (s.seen) {
-      if (!d.seen || s.min < d.min) d.min = s.min;
-      if (!d.seen || s.max > d.max) d.max = s.max;
-      d.seen = true;
-    }
-  }
-  return Status::OK();
-}
-
-StatusOr<Row> FinalizeGroup(const std::vector<AggregateSpec>& specs,
-                            const GroupState& state) {
-  Row out(specs.size());
-  for (size_t i = 0; i < specs.size(); ++i) {
-    const AggregateSpec& spec = specs[i];
-    const BuiltinAggState& b = state.builtin[i];
-    switch (spec.kind) {
-      case AggregateSpec::Kind::kCountStar:
-      case AggregateSpec::Kind::kCount:
-        out[i] = Datum::Int64(b.count);
-        break;
-      case AggregateSpec::Kind::kSum:
-        out[i] = b.seen ? Datum::Double(b.sum) : Datum::Null(DataType::kDouble);
-        break;
-      case AggregateSpec::Kind::kAvg:
-        out[i] = b.count > 0
-                     ? Datum::Double(b.sum / static_cast<double>(b.count))
-                     : Datum::Null(DataType::kDouble);
-        break;
-      case AggregateSpec::Kind::kMin:
-      case AggregateSpec::Kind::kMax: {
-        if (!b.seen) {
-          out[i] = Datum::Null(spec.result_type);
-          break;
-        }
-        const double v =
-            spec.kind == AggregateSpec::Kind::kMin ? b.min : b.max;
-        out[i] = spec.result_type == DataType::kInt64
-                     ? Datum::Int64(static_cast<int64_t>(v))
-                     : Datum::Double(v);
-        break;
-      }
-      case AggregateSpec::Kind::kUdf: {
-        NLQ_ASSIGN_OR_RETURN(Datum v, spec.udaf->Finalize(state.udf_states[i]));
-        out[i] = std::move(v);
-        break;
-      }
-    }
-  }
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Row coercion for INSERT / CREATE AS
-// ---------------------------------------------------------------------------
 
 StatusOr<Row> CoerceRowToSchema(const Row& row, const Schema& schema) {
   if (row.size() != schema.num_columns()) {
@@ -224,260 +53,15 @@ StatusOr<Row> CoerceRowToSchema(const Row& row, const Schema& schema) {
   return out;
 }
 
-// ---------------------------------------------------------------------------
-// ORDER BY support
-// ---------------------------------------------------------------------------
-
-// NULLs sort first; numerics by value; strings lexicographically.
-int CompareDatum(const Datum& a, const Datum& b) {
-  if (a.is_null() || b.is_null()) {
-    if (a.is_null() && b.is_null()) return 0;
-    return a.is_null() ? -1 : 1;
-  }
-  if (a.type() == DataType::kVarchar && b.type() == DataType::kVarchar) {
-    const int c = a.string_value().compare(b.string_value());
-    return c < 0 ? -1 : (c > 0 ? 1 : 0);
-  }
-  const double x = a.AsDouble();
-  const double y = b.AsDouble();
-  return x < y ? -1 : (x > y ? 1 : 0);
-}
-
-Status SortResult(const SelectStatement& select,
-                  const udf::UdfRegistry* registry, ResultSet* result) {
-  if (select.order_by.empty()) return Status::OK();
-
-  BindingScope scope;
-  scope.AddTable("", &result->schema());
-  const size_t num_keys = select.order_by.size();
-  std::vector<BoundExprPtr> key_exprs;
-  std::vector<bool> descending;
-  for (const auto& item : select.order_by) {
-    descending.push_back(item.descending);
-    // Positional form: ORDER BY 2.
-    if (item.expr->kind == ExprKind::kLiteral &&
-        item.expr->literal.type() == DataType::kInt64 &&
-        !item.expr->literal.is_null()) {
-      const int64_t pos = item.expr->literal.int_value();
-      if (pos < 1 || pos > static_cast<int64_t>(result->num_columns())) {
-        return Status::InvalidArgument("ORDER BY position out of range");
-      }
-      const auto& col = result->schema().column(static_cast<size_t>(pos - 1));
-      key_exprs.push_back(
-          MakeBoundInputRef(static_cast<size_t>(pos - 1), col.type));
-      continue;
-    }
-    NLQ_ASSIGN_OR_RETURN(BoundExprPtr bound,
-                         BindRowExpr(*item.expr, scope, registry));
-    key_exprs.push_back(std::move(bound));
-  }
-
-  auto& rows = result->mutable_rows();
-  std::vector<Row> sort_keys(rows.size());
-  Status error;
-  for (size_t r = 0; r < rows.size(); ++r) {
-    EvalContext ctx;
-    ctx.input = &rows[r];
-    ctx.error = &error;
-    Row keys(num_keys);
-    for (size_t k = 0; k < num_keys; ++k) keys[k] = key_exprs[k]->Eval(ctx);
-    sort_keys[r] = std::move(keys);
-  }
-  NLQ_RETURN_IF_ERROR(error);
-
-  std::vector<size_t> order(rows.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    for (size_t k = 0; k < num_keys; ++k) {
-      int c = CompareDatum(sort_keys[a][k], sort_keys[b][k]);
-      if (descending[k]) c = -c;
-      if (c != 0) return c < 0;
-    }
-    return false;
-  });
-  std::vector<Row> sorted(rows.size());
-  for (size_t i = 0; i < order.size(); ++i) sorted[i] = std::move(rows[order[i]]);
-  rows = std::move(sorted);
-  return Status::OK();
-}
-
-// ---------------------------------------------------------------------------
-// SELECT execution
-// ---------------------------------------------------------------------------
-
-struct FromInputs {
-  PartitionedTable* driver = nullptr;  // first table; scanned in parallel
-  std::vector<std::vector<Row>> small_tables;  // remaining, materialized
-  std::vector<const storage::Schema*> small_schemas;
-  std::vector<std::string> small_aliases;
-  BindingScope scope;
-  BoundExprPtr residual_where;  // WHERE after pushdown (may be null)
-
-  // Plan notes for EXPLAIN: conjuncts pushed per small-table alias and
-  // the residual conjunct texts.
-  std::vector<std::pair<std::string, std::string>> pushed_predicates;
-  std::vector<std::string> residual_predicates;
-};
-
-StatusOr<FromInputs> PrepareFrom(const SelectStatement& select,
-                                 storage::Catalog& catalog) {
-  FromInputs inputs;
-  for (size_t t = 0; t < select.from.size(); ++t) {
-    NLQ_ASSIGN_OR_RETURN(PartitionedTable * table,
-                         catalog.GetTable(select.from[t].table_name));
-    inputs.scope.AddTable(select.from[t].alias, &table->schema());
-    if (t == 0) {
-      inputs.driver = table;
-    } else {
-      NLQ_ASSIGN_OR_RETURN(std::vector<Row> rows, table->ReadAllRows());
-      inputs.small_tables.push_back(std::move(rows));
-      inputs.small_schemas.push_back(&table->schema());
-      inputs.small_aliases.push_back(select.from[t].alias);
-    }
-  }
-  return inputs;
-}
-
-void SplitConjuncts(const Expr* e, std::vector<const Expr*>* out) {
-  if (e->kind == ExprKind::kBinary && e->binary_op == BinaryOp::kAnd) {
-    SplitConjuncts(e->left.get(), out);
-    SplitConjuncts(e->right.get(), out);
-    return;
-  }
-  out->push_back(e);
-}
-
-/// Pushes WHERE conjuncts that reference only one materialized small
-/// table down to that table (pre-filtering its rows before the cross
-/// product). Without this, the paper's scoring pattern — X
-/// cross-joined with a k-row model table k times under `Lj.j = j`
-/// predicates — would enumerate k^k combinations per X row. This is
-/// the cross-join analogue of the paper's Section 3.6 join
-/// optimizations. The remaining conjuncts are bound against the full
-/// scope into `inputs->residual_where`.
-Status ApplyWherePushdown(const SelectStatement& select,
-                          const udf::UdfRegistry* registry,
-                          FromInputs* inputs) {
-  if (!select.where) return Status::OK();
-  std::vector<const Expr*> conjuncts;
-  SplitConjuncts(select.where.get(), &conjuncts);
-
-  std::vector<const Expr*> residual;
-  for (const Expr* conjunct : conjuncts) {
-    if (ContainsAggregate(*conjunct, registry)) {
-      return Status::InvalidArgument("aggregates are not allowed in WHERE");
-    }
-    bool pushed = false;
-    for (size_t s = 0; s < inputs->small_tables.size() && !pushed; ++s) {
-      BindingScope single;
-      single.AddTable(inputs->small_aliases[s], inputs->small_schemas[s]);
-      StatusOr<BoundExprPtr> bound = BindRowExpr(*conjunct, single, registry);
-      if (!bound.ok()) continue;  // references other tables; try next
-      // Pre-filter the materialized rows.
-      std::vector<Row> kept;
-      Status error;
-      EvalContext ctx;
-      ctx.error = &error;
-      for (Row& row : inputs->small_tables[s]) {
-        ctx.input = &row;
-        const Datum cond = bound.value()->Eval(ctx);
-        if (!cond.is_null() && cond.AsDouble() != 0.0) {
-          kept.push_back(std::move(row));
-        }
-      }
-      NLQ_RETURN_IF_ERROR(error);
-      inputs->small_tables[s] = std::move(kept);
-      inputs->pushed_predicates.emplace_back(inputs->small_aliases[s],
-                                             conjunct->ToString());
-      pushed = true;
-    }
-    if (!pushed) {
-      residual.push_back(conjunct);
-      inputs->residual_predicates.push_back(conjunct->ToString());
-    }
-  }
-
-  if (!residual.empty()) {
-    // Re-AND the residual conjuncts and bind against the full scope.
-    ExprPtr combined = residual[0]->Clone();
-    for (size_t i = 1; i < residual.size(); ++i) {
-      combined = MakeBinary(BinaryOp::kAnd, std::move(combined),
-                            residual[i]->Clone());
-    }
-    NLQ_ASSIGN_OR_RETURN(inputs->residual_where,
-                         BindRowExpr(*combined, inputs->scope, registry));
+Status AppendResultToTable(const ResultSet& result, PartitionedTable* table) {
+  for (const Row& row : result.rows()) {
+    NLQ_ASSIGN_OR_RETURN(Row coerced, CoerceRowToSchema(row, table->schema()));
+    NLQ_RETURN_IF_ERROR(table->AppendRow(coerced));
   }
   return Status::OK();
-}
-
-/// Iterates the cross product of driver partition `part` with the
-/// materialized small tables, invoking `fn(joined_row)` for rows that
-/// pass `where` (may be null). `fn` returns a Status; first error
-/// aborts the scan.
-Status ScanPartition(const storage::Table& part,
-                     const std::vector<std::vector<Row>>& smalls,
-                     size_t total_slots, const BoundExpr* where,
-                     Status* eval_error,
-                     const std::function<Status(const Row&)>& fn) {
-  Row joined(total_slots);
-  storage::TableScanner scanner = part.Scan();
-  EvalContext ctx;
-  ctx.input = &joined;
-  ctx.error = eval_error;
-
-  // Any empty small table empties the cross product.
-  for (const auto& s : smalls) {
-    if (s.empty()) return Status::OK();
-  }
-
-  std::vector<size_t> odometer(smalls.size(), 0);
-  while (scanner.Next()) {
-    const Row& drow = scanner.row();
-    std::copy(drow.begin(), drow.end(), joined.begin());
-    // Odometer over the small tables' cartesian product.
-    std::fill(odometer.begin(), odometer.end(), 0);
-    for (;;) {
-      size_t offset = drow.size();
-      for (size_t s = 0; s < smalls.size(); ++s) {
-        const Row& srow = smalls[s][odometer[s]];
-        std::copy(srow.begin(), srow.end(),
-                  joined.begin() + static_cast<ptrdiff_t>(offset));
-        offset += srow.size();
-      }
-      bool pass = true;
-      if (where != nullptr) {
-        const Datum cond = where->Eval(ctx);
-        pass = !cond.is_null() && cond.AsDouble() != 0.0;
-      }
-      if (eval_error != nullptr && !eval_error->ok()) return *eval_error;
-      if (pass) NLQ_RETURN_IF_ERROR(fn(joined));
-
-      // Advance odometer.
-      size_t s = 0;
-      for (; s < smalls.size(); ++s) {
-        if (++odometer[s] < smalls[s].size()) break;
-        odometer[s] = 0;
-      }
-      if (s == smalls.size()) break;  // wrapped (or no small tables)
-    }
-  }
-  return scanner.status();
-}
-
-std::string ResultColumnName(const SelectItem& item, size_t index) {
-  if (!item.alias.empty()) return item.alias;
-  if (item.expr != nullptr) {
-    std::string name = item.expr->ToString();
-    if (name.size() <= 64) return name;
-  }
-  return "col" + std::to_string(index + 1);
 }
 
 }  // namespace
-
-// ---------------------------------------------------------------------------
-// Database
-// ---------------------------------------------------------------------------
 
 Database::Database(DatabaseOptions options)
     : options_(options), catalog_(options.num_partitions) {
@@ -489,262 +73,23 @@ Database::Database(DatabaseOptions options)
   pool_ = std::make_unique<ThreadPool>(threads);
 }
 
-namespace {
-
-StatusOr<ResultSet> ExecuteSelect(Database& db, const SelectStatement& select);
-
-StatusOr<ResultSet> ExecuteNonAggregate(Database& db,
-                                        const SelectStatement& select,
-                                        FromInputs& inputs) {
-  const udf::UdfRegistry* registry = &db.udfs();
-
-  // Expand the select list (handling bare `*`).
-  std::vector<storage::Column> out_cols;
-  std::vector<BoundExprPtr> projections;
-  for (size_t i = 0; i < select.items.size(); ++i) {
-    const SelectItem& item = select.items[i];
-    if (item.expr == nullptr) {  // bare *
-      for (const auto& col : inputs.scope.AllColumns()) out_cols.push_back(col);
-      continue;
-    }
-    NLQ_ASSIGN_OR_RETURN(BoundExprPtr bound,
-                         BindRowExpr(*item.expr, inputs.scope, registry));
-    out_cols.push_back({ResultColumnName(item, i), bound->result_type()});
-    projections.push_back(std::move(bound));
-  }
-  const bool has_star =
-      std::any_of(select.items.begin(), select.items.end(),
-                  [](const SelectItem& item) { return item.expr == nullptr; });
-
-  const BoundExpr* where = inputs.residual_where.get();
-
-  Schema out_schema{std::move(out_cols)};
-
-  // No FROM: evaluate once against an empty row.
-  if (inputs.driver == nullptr) {
-    Row empty;
-    Status error;
-    EvalContext ctx;
-    ctx.input = &empty;
-    ctx.error = &error;
-    bool pass = true;
-    if (where != nullptr) {
-      const Datum cond = where->Eval(ctx);
-      pass = !cond.is_null() && cond.AsDouble() != 0.0;
-    }
-    std::vector<Row> rows;
-    if (pass) {
-      Row out(projections.size());
-      for (size_t c = 0; c < projections.size(); ++c) {
-        out[c] = projections[c]->Eval(ctx);
-      }
-      rows.push_back(std::move(out));
-    }
-    NLQ_RETURN_IF_ERROR(error);
-    return ResultSet(std::move(out_schema), std::move(rows));
-  }
-
-  const size_t parts = inputs.driver->num_partitions();
-  std::vector<std::vector<Row>> part_rows(parts);
-  std::vector<Status> part_status(parts);
-
-  db.pool().ParallelFor(parts, [&](size_t p) {
-    Status eval_error;
-    const Status scan_status = ScanPartition(
-        inputs.driver->partition(p), inputs.small_tables,
-        inputs.scope.total_slots(), where, &eval_error,
-        [&](const Row& joined) -> Status {
-          Row out;
-          if (has_star) {
-            // SELECT * (possibly mixed with expressions is not
-            // supported: star copies the joined row).
-            out = joined;
-          } else {
-            EvalContext ctx;
-            ctx.input = &joined;
-            ctx.error = &eval_error;
-            out.resize(projections.size());
-            for (size_t c = 0; c < projections.size(); ++c) {
-              out[c] = projections[c]->Eval(ctx);
-            }
-            if (!eval_error.ok()) return eval_error;
-          }
-          part_rows[p].push_back(std::move(out));
-          return Status::OK();
-        });
-    part_status[p] = scan_status.ok() ? eval_error : scan_status;
-  });
-
-  for (const Status& s : part_status) NLQ_RETURN_IF_ERROR(s);
-  std::vector<Row> rows;
-  for (auto& pr : part_rows) {
-    for (auto& r : pr) rows.push_back(std::move(r));
-  }
-  return ResultSet(std::move(out_schema), std::move(rows));
+StatusOr<ResultSet> Database::ExecuteSelect(const SelectStatement& select) {
+  exec::Planner planner(&catalog_, &registry_, pool_.get());
+  NLQ_ASSIGN_OR_RETURN(exec::PhysicalPlan plan, planner.Plan(select));
+  return exec::ExecutePlan(plan);
 }
-
-StatusOr<ResultSet> ExecuteAggregate(Database& db,
-                                     const SelectStatement& select,
-                                     FromInputs& inputs) {
-  const udf::UdfRegistry* registry = &db.udfs();
-
-  std::vector<const Expr*> select_exprs;
-  for (const auto& item : select.items) {
-    if (item.expr == nullptr) {
-      return Status::InvalidArgument("'*' requires COUNT(*) in aggregates");
-    }
-    select_exprs.push_back(item.expr.get());
-  }
-  // HAVING is bound like one more (hidden) select item so it can mix
-  // aggregates and group keys; its value filters groups below.
-  const bool has_having = select.having != nullptr;
-  if (has_having) select_exprs.push_back(select.having.get());
-  std::vector<const Expr*> group_by;
-  for (const auto& g : select.group_by) group_by.push_back(g.get());
-
-  NLQ_ASSIGN_OR_RETURN(
-      BoundAggregation agg,
-      BindAggregation(select_exprs, group_by, inputs.scope, registry));
-
-  const BoundExpr* where = inputs.residual_where.get();
-
-  std::vector<storage::Column> out_cols;
-  for (size_t i = 0; i < select.items.size(); ++i) {
-    out_cols.push_back({ResultColumnName(select.items[i], i),
-                        agg.projections[i]->result_type()});
-  }
-  Schema out_schema{std::move(out_cols)};
-
-  const size_t parts =
-      inputs.driver == nullptr ? 0 : inputs.driver->num_partitions();
-  std::vector<GroupMap> part_groups(std::max<size_t>(parts, 1));
-  std::vector<Status> part_status(std::max<size_t>(parts, 1));
-
-  if (inputs.driver != nullptr) {
-    db.pool().ParallelFor(parts, [&](size_t p) {
-      GroupMap& groups = part_groups[p];
-      Status eval_error;
-      std::vector<Datum> scratch;
-      Row keys(agg.key_exprs.size());
-      const Status scan_status = ScanPartition(
-          inputs.driver->partition(p), inputs.small_tables,
-          inputs.scope.total_slots(), where, &eval_error,
-          [&](const Row& joined) -> Status {
-            EvalContext ctx;
-            ctx.input = &joined;
-            ctx.error = &eval_error;
-            for (size_t k = 0; k < agg.key_exprs.size(); ++k) {
-              keys[k] = agg.key_exprs[k]->Eval(ctx);
-            }
-            if (!eval_error.ok()) return eval_error;
-            auto it = groups.find(keys);
-            if (it == groups.end()) {
-              NLQ_ASSIGN_OR_RETURN(GroupState fresh,
-                                   InitGroupState(agg.specs, keys));
-              it = groups.emplace(keys, std::move(fresh)).first;
-            }
-            return AccumulateRow(agg.specs, &it->second, ctx, &scratch);
-          });
-      part_status[p] = scan_status.ok() ? eval_error : scan_status;
-    });
-    for (const Status& s : part_status) NLQ_RETURN_IF_ERROR(s);
-  }
-
-  // Merge partial aggregates into partition 0's map (the paper's
-  // "partial result aggregation ... by a master thread").
-  GroupMap& global = part_groups[0];
-  for (size_t p = 1; p < part_groups.size(); ++p) {
-    for (auto& [key, state] : part_groups[p]) {
-      auto it = global.find(key);
-      if (it == global.end()) {
-        global.emplace(key, std::move(state));
-      } else {
-        NLQ_RETURN_IF_ERROR(MergeGroup(agg.specs, &it->second, &state));
-      }
-    }
-    part_groups[p].clear();
-  }
-
-  // Global aggregate over empty input still yields one row.
-  if (global.empty() && agg.key_exprs.empty()) {
-    NLQ_ASSIGN_OR_RETURN(GroupState fresh, InitGroupState(agg.specs, Row{}));
-    global.emplace(Row{}, std::move(fresh));
-  }
-
-  std::vector<Row> rows;
-  rows.reserve(global.size());
-  Status error;
-  const size_t num_output = select.items.size();
-  for (const auto& [key, state] : global) {
-    NLQ_ASSIGN_OR_RETURN(Row agg_values, FinalizeGroup(agg.specs, state));
-    EvalContext ctx;
-    ctx.keys = &state.keys;
-    ctx.aggs = &agg_values;
-    ctx.error = &error;
-    if (has_having) {
-      const Datum keep = agg.projections[num_output]->Eval(ctx);
-      NLQ_RETURN_IF_ERROR(error);
-      if (keep.is_null() || keep.AsDouble() == 0.0) continue;
-    }
-    Row out(num_output);
-    for (size_t c = 0; c < num_output; ++c) {
-      out[c] = agg.projections[c]->Eval(ctx);
-    }
-    NLQ_RETURN_IF_ERROR(error);
-    rows.push_back(std::move(out));
-  }
-  return ResultSet(std::move(out_schema), std::move(rows));
-}
-
-StatusOr<ResultSet> ExecuteSelect(Database& db,
-                                  const SelectStatement& select) {
-  NLQ_ASSIGN_OR_RETURN(FromInputs inputs, PrepareFrom(select, db.catalog()));
-  NLQ_RETURN_IF_ERROR(ApplyWherePushdown(select, &db.udfs(), &inputs));
-
-  bool is_aggregate = !select.group_by.empty() || select.having != nullptr;
-  if (!is_aggregate) {
-    for (const auto& item : select.items) {
-      if (item.expr != nullptr && ContainsAggregate(*item.expr, &db.udfs())) {
-        is_aggregate = true;
-        break;
-      }
-    }
-  }
-
-  StatusOr<ResultSet> result =
-      is_aggregate ? ExecuteAggregate(db, select, inputs)
-                   : ExecuteNonAggregate(db, select, inputs);
-  if (!result.ok()) return result.status();
-
-  NLQ_RETURN_IF_ERROR(SortResult(select, &db.udfs(), &result.value()));
-  if (select.limit >= 0 &&
-      result->num_rows() > static_cast<size_t>(select.limit)) {
-    result->mutable_rows().resize(static_cast<size_t>(select.limit));
-  }
-  return result;
-}
-
-Status AppendResultToTable(const ResultSet& result, PartitionedTable* table) {
-  for (const Row& row : result.rows()) {
-    NLQ_ASSIGN_OR_RETURN(Row coerced, CoerceRowToSchema(row, table->schema()));
-    NLQ_RETURN_IF_ERROR(table->AppendRow(coerced));
-  }
-  return Status::OK();
-}
-
-}  // namespace
 
 StatusOr<ResultSet> Database::Execute(std::string_view sql) {
   NLQ_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
   switch (stmt.kind) {
     case StatementKind::kSelect:
-      return ExecuteSelect(*this, *stmt.select);
+      return ExecuteSelect(*stmt.select);
 
     case StatementKind::kCreateTable: {
       CreateTableStatement& create = *stmt.create_table;
       if (create.as_select != nullptr) {
         NLQ_ASSIGN_OR_RETURN(ResultSet result,
-                             ExecuteSelect(*this, *create.as_select));
+                             ExecuteSelect(*create.as_select));
         NLQ_ASSIGN_OR_RETURN(
             PartitionedTable * table,
             catalog_.CreateTable(create.table_name, result.schema()));
@@ -761,8 +106,7 @@ StatusOr<ResultSet> Database::Execute(std::string_view sql) {
       NLQ_ASSIGN_OR_RETURN(PartitionedTable * table,
                            catalog_.GetTable(insert.table_name));
       if (insert.select != nullptr) {
-        NLQ_ASSIGN_OR_RETURN(ResultSet result,
-                             ExecuteSelect(*this, *insert.select));
+        NLQ_ASSIGN_OR_RETURN(ResultSet result, ExecuteSelect(*insert.select));
         NLQ_RETURN_IF_ERROR(AppendResultToTable(result, table));
         return ResultSet();
       }
@@ -800,96 +144,14 @@ Status Database::ExecuteCommand(std::string_view sql) {
   return Execute(sql).status();
 }
 
-
 StatusOr<std::string> Database::Explain(std::string_view sql) {
   NLQ_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
   if (stmt.kind != StatementKind::kSelect) {
     return Status::InvalidArgument("EXPLAIN supports SELECT statements only");
   }
-  const SelectStatement& select = *stmt.select;
-  NLQ_ASSIGN_OR_RETURN(FromInputs inputs, PrepareFrom(select, catalog_));
-  NLQ_RETURN_IF_ERROR(ApplyWherePushdown(select, &registry_, &inputs));
-
-  std::string out;
-  if (inputs.driver != nullptr) {
-    out += StringPrintf("scan %s (%llu rows, %zu partitions in parallel)\n",
-                        select.from[0].table_name.c_str(),
-                        static_cast<unsigned long long>(
-                            inputs.driver->num_rows()),
-                        inputs.driver->num_partitions());
-  } else {
-    out += "constant input (no FROM)\n";
-  }
-  for (size_t t = 0; t < inputs.small_tables.size(); ++t) {
-    out += StringPrintf("cross join %s AS %s (materialized, %zu rows",
-                        select.from[t + 1].table_name.c_str(),
-                        inputs.small_aliases[t].c_str(),
-                        inputs.small_tables[t].size());
-    bool first = true;
-    for (const auto& [alias, text] : inputs.pushed_predicates) {
-      if (alias != inputs.small_aliases[t]) continue;
-      out += first ? " after pushdown: " : " AND ";
-      out += text;
-      first = false;
-    }
-    out += ")\n";
-  }
-  if (!inputs.residual_predicates.empty()) {
-    out += "filter: ";
-    for (size_t i = 0; i < inputs.residual_predicates.size(); ++i) {
-      if (i > 0) out += " AND ";
-      out += inputs.residual_predicates[i];
-    }
-    out += "\n";
-  }
-
-  bool is_aggregate = !select.group_by.empty() || select.having != nullptr;
-  if (!is_aggregate) {
-    for (const auto& item : select.items) {
-      if (item.expr != nullptr && ContainsAggregate(*item.expr, &registry_)) {
-        is_aggregate = true;
-        break;
-      }
-    }
-  }
-  if (is_aggregate) {
-    std::vector<const Expr*> select_exprs;
-    for (const auto& item : select.items) {
-      if (item.expr == nullptr) {
-        return Status::InvalidArgument("'*' requires COUNT(*) in aggregates");
-      }
-      select_exprs.push_back(item.expr.get());
-    }
-    if (select.having) select_exprs.push_back(select.having.get());
-    std::vector<const Expr*> group_by;
-    for (const auto& g : select.group_by) group_by.push_back(g.get());
-    NLQ_ASSIGN_OR_RETURN(
-        BoundAggregation agg,
-        BindAggregation(select_exprs, group_by, inputs.scope, &registry_));
-    out += StringPrintf("hash aggregate: %zu group key(s), %zu aggregate(s)",
-                        agg.key_exprs.size(), agg.specs.size());
-    size_t udfs = 0;
-    for (const auto& spec : agg.specs) {
-      if (spec.kind == AggregateSpec::Kind::kUdf) ++udfs;
-    }
-    if (udfs > 0) out += StringPrintf(" (%zu aggregate UDF call(s))", udfs);
-    out += "\n";
-    out += StringPrintf("merge: %zu partial state(s) per group\n",
-                        inputs.driver == nullptr
-                            ? size_t{1}
-                            : inputs.driver->num_partitions());
-    if (select.having) out += "having: " + select.having->ToString() + "\n";
-  } else {
-    out += StringPrintf("project: %zu column(s)\n", select.items.size());
-  }
-  if (!select.order_by.empty()) {
-    out += StringPrintf("sort: %zu key(s)\n", select.order_by.size());
-  }
-  if (select.limit >= 0) {
-    out += StringPrintf("limit: %lld\n",
-                        static_cast<long long>(select.limit));
-  }
-  return out;
+  exec::Planner planner(&catalog_, &registry_, pool_.get());
+  NLQ_ASSIGN_OR_RETURN(exec::PhysicalPlan plan, planner.Plan(*stmt.select));
+  return exec::ExplainPlan(*plan.root);
 }
 
 StatusOr<double> Database::QueryDouble(std::string_view sql) {

@@ -13,6 +13,8 @@
 
 namespace nlq::engine {
 
+struct SelectStatement;
+
 /// Engine configuration.
 struct DatabaseOptions {
   /// Horizontal partitions per table — the "parallel processing
@@ -62,13 +64,17 @@ class Database {
   /// row / one column and coerces it to double.
   StatusOr<double> QueryDouble(std::string_view sql);
 
-  /// Plans a SELECT without executing it and returns a textual plan:
-  /// driver table, materialized small tables with their pushed-down
-  /// predicates (the §3.6 join-optimization decisions), residual
-  /// filter, aggregation structure and output columns.
+  /// Plans a SELECT without executing it and returns the physical
+  /// operator tree, one node per line (root first): the parallel
+  /// partition scan, materialized cross-join sides with their
+  /// pushed-down predicates (the §3.6 join-optimization decisions),
+  /// residual filter, aggregation/projection, sort and limit.
   StatusOr<std::string> Explain(std::string_view sql);
 
  private:
+  /// Plans a bound SELECT (parse already done) and runs the plan.
+  StatusOr<ResultSet> ExecuteSelect(const SelectStatement& select);
+
   DatabaseOptions options_;
   storage::Catalog catalog_;
   udf::UdfRegistry registry_;

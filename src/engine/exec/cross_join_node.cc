@@ -1,0 +1,101 @@
+#include "engine/exec/cross_join_node.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace nlq::engine::exec {
+namespace {
+
+using storage::Row;
+
+class CrossJoinStream : public ExecStream {
+ public:
+  CrossJoinStream(ExecStreamPtr input, const std::vector<Row>* build,
+                  size_t out_width)
+      : input_(std::move(input)), build_(build), out_width_(out_width) {}
+
+  StatusOr<bool> Next(RowBatch* out) override {
+    out->Clear();
+    if (build_->empty()) return false;  // empty build side: empty product
+    while (!out->full()) {
+      if (input_pos_ >= input_.batch().size()) {
+        NLQ_ASSIGN_OR_RETURN(const bool more, input_.Pull(out->capacity()));
+        if (!more) break;
+        input_pos_ = 0;
+        build_pos_ = 0;
+      }
+      const Row& probe = input_.batch().row(input_pos_);
+      while (build_pos_ < build_->size() && !out->full()) {
+        const Row& build_row = (*build_)[build_pos_++];
+        Row& joined = out->AppendRow();
+        joined.resize(out_width_);
+        std::copy(probe.begin(), probe.end(), joined.begin());
+        std::copy(build_row.begin(), build_row.end(),
+                  joined.begin() + static_cast<ptrdiff_t>(probe.size()));
+      }
+      if (build_pos_ >= build_->size()) {
+        build_pos_ = 0;
+        ++input_pos_;
+      }
+    }
+    return !out->empty();
+  }
+
+ private:
+  /// Child stream plus its current batch, pulled lazily so the batch
+  /// capacity can mirror the output batch the caller drives us with.
+  class Input {
+   public:
+    explicit Input(ExecStreamPtr stream) : stream_(std::move(stream)) {}
+    const RowBatch& batch() const { return batch_; }
+    StatusOr<bool> Pull(size_t capacity) {
+      if (batch_.capacity() == 0 && capacity > 0) batch_ = RowBatch(capacity);
+      return stream_->Next(&batch_);
+    }
+
+   private:
+    ExecStreamPtr stream_;
+    RowBatch batch_{0};
+  };
+
+  Input input_;
+  const std::vector<Row>* build_;
+  size_t out_width_;
+  size_t input_pos_ = 0;  // past-the-end forces an initial Pull
+  size_t build_pos_ = 0;
+};
+
+}  // namespace
+
+CrossJoinNode::CrossJoinNode(PlanNodePtr child,
+                             std::vector<storage::Row> build_rows,
+                             size_t build_width, std::string display_name,
+                             std::vector<std::string> pushed_text)
+    : PlanNode(std::move(child)),
+      build_rows_(std::move(build_rows)),
+      build_width_(build_width),
+      display_name_(std::move(display_name)),
+      pushed_text_(std::move(pushed_text)) {}
+
+std::string CrossJoinNode::annotation() const {
+  std::string out = StringPrintf("%s: materialized, %zu rows",
+                                 display_name_.c_str(), build_rows_.size());
+  for (size_t i = 0; i < pushed_text_.size(); ++i) {
+    out += i == 0 ? " after pushdown: " : " AND ";
+    out += pushed_text_[i];
+  }
+  return out;
+}
+
+size_t CrossJoinNode::output_width() const {
+  return child_->output_width() + build_width_;
+}
+
+StatusOr<ExecStreamPtr> CrossJoinNode::OpenStream(size_t s) const {
+  NLQ_ASSIGN_OR_RETURN(ExecStreamPtr input, child_->OpenStream(s));
+  return ExecStreamPtr(
+      new CrossJoinStream(std::move(input), &build_rows_, output_width()));
+}
+
+}  // namespace nlq::engine::exec

@@ -1,0 +1,41 @@
+#ifndef NLQ_ENGINE_EXEC_CROSS_JOIN_NODE_H_
+#define NLQ_ENGINE_EXEC_CROSS_JOIN_NODE_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/exec/plan.h"
+#include "storage/value.h"
+
+namespace nlq::engine::exec {
+
+/// Cross product of the child stream (probe side) with one
+/// materialized small table (build side) — the paper's scoring
+/// pattern joins the data set X with tiny k-row model tables. The
+/// build rows are pre-filtered at plan time by WHERE-conjunct
+/// pushdown (the §3.6 join-optimization analogue); `pushed_text`
+/// records those conjuncts for EXPLAIN.
+///
+/// Output rows are `child_row ++ build_row`; streams follow the
+/// child's fan-out.
+class CrossJoinNode : public PlanNode {
+ public:
+  CrossJoinNode(PlanNodePtr child, std::vector<storage::Row> build_rows,
+                size_t build_width, std::string display_name,
+                std::vector<std::string> pushed_text);
+
+  const char* name() const override { return "CrossJoin"; }
+  std::string annotation() const override;
+  size_t output_width() const override;
+  StatusOr<ExecStreamPtr> OpenStream(size_t s) const override;
+
+ private:
+  std::vector<storage::Row> build_rows_;
+  size_t build_width_;
+  std::string display_name_;  // "M AS m1"
+  std::vector<std::string> pushed_text_;
+};
+
+}  // namespace nlq::engine::exec
+
+#endif  // NLQ_ENGINE_EXEC_CROSS_JOIN_NODE_H_

@@ -1,0 +1,27 @@
+#include "engine/exec/executor.h"
+
+#include <utility>
+#include <vector>
+
+#include "storage/row_batch.h"
+
+namespace nlq::engine::exec {
+
+StatusOr<ResultSet> ExecutePlan(const PhysicalPlan& plan) {
+  if (plan.root->num_streams() != 1) {
+    return Status::Internal("plan root must produce a single stream");
+  }
+  NLQ_ASSIGN_OR_RETURN(ExecStreamPtr stream, plan.root->OpenStream(0));
+  std::vector<storage::Row> rows;
+  RowBatch batch;
+  for (;;) {
+    NLQ_ASSIGN_OR_RETURN(const bool more, stream->Next(&batch));
+    if (!more) break;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      rows.push_back(std::move(batch.row(i)));
+    }
+  }
+  return ResultSet(plan.output_schema, std::move(rows));
+}
+
+}  // namespace nlq::engine::exec

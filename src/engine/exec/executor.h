@@ -1,0 +1,17 @@
+#ifndef NLQ_ENGINE_EXEC_EXECUTOR_H_
+#define NLQ_ENGINE_EXEC_EXECUTOR_H_
+
+#include "common/status.h"
+#include "engine/exec/planner.h"
+#include "engine/result_set.h"
+
+namespace nlq::engine::exec {
+
+/// Runs a physical plan to completion: pulls batches from the root's
+/// single output stream and materializes them into a ResultSet with
+/// the plan's output schema.
+StatusOr<ResultSet> ExecutePlan(const PhysicalPlan& plan);
+
+}  // namespace nlq::engine::exec
+
+#endif  // NLQ_ENGINE_EXEC_EXECUTOR_H_

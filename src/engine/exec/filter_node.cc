@@ -1,0 +1,66 @@
+#include "engine/exec/filter_node.h"
+
+#include <utility>
+
+namespace nlq::engine::exec {
+namespace {
+
+using storage::Datum;
+
+class FilterStream : public ExecStream {
+ public:
+  FilterStream(ExecStreamPtr input, const BoundExpr* predicate)
+      : input_(std::move(input)), predicate_(predicate) {}
+
+  StatusOr<bool> Next(RowBatch* out) override {
+    // Pull child batches directly into `out` and compact survivors in
+    // place until at least one row passes (or the input is drained).
+    for (;;) {
+      NLQ_ASSIGN_OR_RETURN(const bool more, input_->Next(out));
+      if (!more) return false;
+      const size_t n = out->size();
+      verdicts_.resize(n);
+      Status error;
+      predicate_->EvalBatch(out->rows(), n, &error, verdicts_.data());
+      NLQ_RETURN_IF_ERROR(error);
+      size_t kept = 0;
+      for (size_t i = 0; i < n; ++i) {
+        const Datum& v = verdicts_[i];
+        if (v.is_null() || v.AsDouble() == 0.0) continue;
+        if (kept != i) std::swap(out->row(kept), out->row(i));
+        ++kept;
+      }
+      out->Truncate(kept);
+      if (kept > 0) return true;
+    }
+  }
+
+ private:
+  ExecStreamPtr input_;
+  const BoundExpr* predicate_;
+  std::vector<Datum> verdicts_;
+};
+
+}  // namespace
+
+FilterNode::FilterNode(PlanNodePtr child, BoundExprPtr predicate,
+                       std::vector<std::string> conjunct_text)
+    : PlanNode(std::move(child)),
+      predicate_(std::move(predicate)),
+      conjunct_text_(std::move(conjunct_text)) {}
+
+std::string FilterNode::annotation() const {
+  std::string out;
+  for (size_t i = 0; i < conjunct_text_.size(); ++i) {
+    if (i > 0) out += " AND ";
+    out += conjunct_text_[i];
+  }
+  return out;
+}
+
+StatusOr<ExecStreamPtr> FilterNode::OpenStream(size_t s) const {
+  NLQ_ASSIGN_OR_RETURN(ExecStreamPtr input, child_->OpenStream(s));
+  return ExecStreamPtr(new FilterStream(std::move(input), predicate_.get()));
+}
+
+}  // namespace nlq::engine::exec

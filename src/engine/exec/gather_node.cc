@@ -1,0 +1,96 @@
+#include "engine/exec/gather_node.h"
+
+#include "common/strings.h"
+
+namespace nlq::engine::exec {
+namespace {
+
+using storage::Row;
+
+/// Lazily materializes the child's streams on first pull, then
+/// replays the concatenation.
+class GatherStream : public ExecStream {
+ public:
+  GatherStream(const PlanNode* child, ThreadPool* pool,
+               size_t batch_capacity)
+      : child_(child), pool_(pool), batch_capacity_(batch_capacity) {}
+
+  StatusOr<bool> Next(RowBatch* out) override {
+    if (!materialized_) {
+      NLQ_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                           DrainAllStreams(*child_, pool_, batch_capacity_));
+      replay_ = std::make_unique<VectorStream>(std::move(rows));
+      materialized_ = true;
+    }
+    return replay_->Next(out);
+  }
+
+ private:
+  const PlanNode* child_;
+  ThreadPool* pool_;
+  size_t batch_capacity_;
+  bool materialized_ = false;
+  std::unique_ptr<VectorStream> replay_;
+};
+
+}  // namespace
+
+StatusOr<std::vector<Row>> DrainAllStreams(const PlanNode& node,
+                                           ThreadPool* pool,
+                                           size_t batch_capacity) {
+  const size_t streams = node.num_streams();
+  std::vector<std::vector<Row>> buckets(streams);
+  std::vector<Status> statuses(streams);
+
+  auto drain_one = [&](size_t s) {
+    StatusOr<ExecStreamPtr> stream = node.OpenStream(s);
+    if (!stream.ok()) {
+      statuses[s] = stream.status();
+      return;
+    }
+    RowBatch batch(batch_capacity);
+    for (;;) {
+      StatusOr<bool> more = (*stream)->Next(&batch);
+      if (!more.ok()) {
+        statuses[s] = more.status();
+        return;
+      }
+      if (!more.value()) return;
+      for (size_t i = 0; i < batch.size(); ++i) {
+        buckets[s].push_back(std::move(batch.row(i)));
+      }
+    }
+  };
+
+  if (streams == 1 || pool == nullptr) {
+    for (size_t s = 0; s < streams; ++s) drain_one(s);
+  } else {
+    pool->ParallelFor(streams, drain_one);
+  }
+  for (const Status& s : statuses) NLQ_RETURN_IF_ERROR(s);
+
+  size_t total = 0;
+  for (const auto& b : buckets) total += b.size();
+  std::vector<Row> rows;
+  rows.reserve(total);
+  for (auto& b : buckets) {
+    for (auto& r : b) rows.push_back(std::move(r));
+  }
+  return rows;
+}
+
+GatherNode::GatherNode(PlanNodePtr child, ThreadPool* pool,
+                       size_t batch_capacity)
+    : PlanNode(std::move(child)), pool_(pool),
+      batch_capacity_(batch_capacity) {}
+
+std::string GatherNode::annotation() const {
+  return StringPrintf("%zu stream(s)", child_->num_streams());
+}
+
+StatusOr<ExecStreamPtr> GatherNode::OpenStream(size_t) const {
+  return ExecStreamPtr(
+      new GatherStream(child_.get(), pool_, batch_capacity_));
+}
+
+}  // namespace nlq::engine::exec

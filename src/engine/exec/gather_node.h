@@ -1,0 +1,62 @@
+#ifndef NLQ_ENGINE_EXEC_GATHER_NODE_H_
+#define NLQ_ENGINE_EXEC_GATHER_NODE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/threadpool.h"
+#include "engine/exec/plan.h"
+#include "storage/value.h"
+
+namespace nlq::engine::exec {
+
+/// Pipeline breaker that funnels the child's parallel streams into
+/// one: on the first pull every child stream is drained on the worker
+/// pool (one task per stream, the per-AMP parallelism of the previous
+/// executor), buffering rows per stream; output preserves partition
+/// order, then insertion order within a partition — the same row
+/// order the monolithic executor produced.
+class GatherNode : public PlanNode {
+ public:
+  GatherNode(PlanNodePtr child, ThreadPool* pool, size_t batch_capacity);
+
+  const char* name() const override { return "Gather"; }
+  std::string annotation() const override;
+  size_t output_width() const override { return child_->output_width(); }
+  size_t num_streams() const override { return 1; }
+  StatusOr<ExecStreamPtr> OpenStream(size_t s) const override;
+
+ private:
+  ThreadPool* pool_;
+  size_t batch_capacity_;
+};
+
+/// Drains every stream of `node` in parallel on `pool` (serially when
+/// the node has a single stream) and concatenates the rows in stream
+/// order. Shared by GatherNode and SortNode.
+StatusOr<std::vector<storage::Row>> DrainAllStreams(const PlanNode& node,
+                                                    ThreadPool* pool,
+                                                    size_t batch_capacity);
+
+/// Streams a materialized row vector batch-by-batch.
+class VectorStream : public ExecStream {
+ public:
+  explicit VectorStream(std::vector<storage::Row> rows)
+      : rows_(std::move(rows)) {}
+
+  StatusOr<bool> Next(RowBatch* out) override {
+    out->Clear();
+    while (pos_ < rows_.size() && !out->full()) {
+      out->AppendRow() = std::move(rows_[pos_++]);
+    }
+    return !out->empty();
+  }
+
+ private:
+  std::vector<storage::Row> rows_;
+  size_t pos_ = 0;
+};
+
+}  // namespace nlq::engine::exec
+
+#endif  // NLQ_ENGINE_EXEC_GATHER_NODE_H_

@@ -1,0 +1,61 @@
+#ifndef NLQ_ENGINE_EXEC_HASH_AGGREGATE_NODE_H_
+#define NLQ_ENGINE_EXEC_HASH_AGGREGATE_NODE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/threadpool.h"
+#include "engine/exec/plan.h"
+#include "engine/expr.h"
+
+namespace nlq::engine::exec {
+
+/// Parallel hash aggregation with the aggregate-UDF four-phase
+/// protocol (INIT / ROW / MERGE / FINALIZE), unchanged from the
+/// monolithic executor so results stay byte-identical:
+///
+///   INIT      — per (stream, group): builtin state zeroed; aggregate
+///               UDFs allocate their state inside a fresh 64 KB
+///               HeapSegment (the Teradata per-thread heap);
+///   ROW       — each child stream is drained on the worker pool into
+///               its own hash table; GROUP BY keys and aggregate
+///               arguments are evaluated batch-at-a-time;
+///   MERGE     — partial per-stream states fold into stream 0's table
+///               (the paper's "partial result aggregation ... by a
+///               master thread");
+///   FINALIZE  — per group: finalize aggregates, apply HAVING, and
+///               evaluate the SELECT projections over (keys, aggs).
+///
+/// Output: one stream of final result rows.
+class HashAggregateNode : public PlanNode {
+ public:
+  /// `agg` carries the bound GROUP BY keys, aggregate specs and
+  /// per-SELECT-item projections; when `has_having` is true the last
+  /// projection is the HAVING predicate and `num_output` projections
+  /// form the result row.
+  HashAggregateNode(PlanNodePtr child, BoundAggregation agg, bool has_having,
+                    std::string having_text, size_t num_output,
+                    ThreadPool* pool, size_t batch_capacity);
+
+  const char* name() const override { return "HashAggregate"; }
+  std::string annotation() const override;
+  size_t output_width() const override { return num_output_; }
+  size_t num_streams() const override { return 1; }
+  StatusOr<ExecStreamPtr> OpenStream(size_t s) const override;
+
+  /// Runs the four phases to completion and returns the result rows.
+  /// Exposed for the stream implementation and for operator tests.
+  StatusOr<std::vector<storage::Row>> Compute() const;
+
+ private:
+  BoundAggregation agg_;
+  bool has_having_;
+  std::string having_text_;
+  size_t num_output_;
+  ThreadPool* pool_;
+  size_t batch_capacity_;
+};
+
+}  // namespace nlq::engine::exec
+
+#endif  // NLQ_ENGINE_EXEC_HASH_AGGREGATE_NODE_H_

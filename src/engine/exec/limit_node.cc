@@ -1,0 +1,49 @@
+#include "engine/exec/limit_node.h"
+
+#include "common/strings.h"
+
+namespace nlq::engine::exec {
+namespace {
+
+class LimitStream : public ExecStream {
+ public:
+  LimitStream(ExecStreamPtr input, uint64_t limit)
+      : input_(std::move(input)), left_(limit) {}
+
+  StatusOr<bool> Next(RowBatch* out) override {
+    if (left_ == 0) {
+      out->Clear();
+      return false;
+    }
+    NLQ_ASSIGN_OR_RETURN(const bool more, input_->Next(out));
+    if (!more) return false;
+    if (out->size() >= left_) {
+      out->Truncate(static_cast<size_t>(left_));
+      left_ = 0;
+    } else {
+      left_ -= out->size();
+    }
+    return !out->empty();
+  }
+
+ private:
+  ExecStreamPtr input_;
+  uint64_t left_;
+};
+
+}  // namespace
+
+LimitNode::LimitNode(PlanNodePtr child, int64_t limit)
+    : PlanNode(std::move(child)), limit_(limit) {}
+
+std::string LimitNode::annotation() const {
+  return StringPrintf("%lld rows", static_cast<long long>(limit_));
+}
+
+StatusOr<ExecStreamPtr> LimitNode::OpenStream(size_t) const {
+  NLQ_ASSIGN_OR_RETURN(ExecStreamPtr input, child_->OpenStream(0));
+  return ExecStreamPtr(
+      new LimitStream(std::move(input), static_cast<uint64_t>(limit_)));
+}
+
+}  // namespace nlq::engine::exec

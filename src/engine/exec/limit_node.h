@@ -1,0 +1,29 @@
+#ifndef NLQ_ENGINE_EXEC_LIMIT_NODE_H_
+#define NLQ_ENGINE_EXEC_LIMIT_NODE_H_
+
+#include <string>
+
+#include "engine/exec/plan.h"
+
+namespace nlq::engine::exec {
+
+/// LIMIT: forwards batches until `limit` rows have been produced,
+/// truncating the final batch and short-circuiting further pulls from
+/// the child.
+class LimitNode : public PlanNode {
+ public:
+  LimitNode(PlanNodePtr child, int64_t limit);
+
+  const char* name() const override { return "Limit"; }
+  std::string annotation() const override;
+  size_t output_width() const override { return child_->output_width(); }
+  size_t num_streams() const override { return 1; }
+  StatusOr<ExecStreamPtr> OpenStream(size_t s) const override;
+
+ private:
+  int64_t limit_;
+};
+
+}  // namespace nlq::engine::exec
+
+#endif  // NLQ_ENGINE_EXEC_LIMIT_NODE_H_

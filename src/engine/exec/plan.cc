@@ -1,0 +1,26 @@
+#include "engine/exec/plan.h"
+
+namespace nlq::engine::exec {
+
+std::string ExplainPlan(const PlanNode& root) {
+  std::string out;
+  size_t depth = 0;
+  for (const PlanNode* node = &root; node != nullptr;
+       node = node->child(), ++depth) {
+    if (depth > 0) {
+      out.append(3 * (depth - 1), ' ');
+      out += "└─ ";
+    }
+    out += node->name();
+    const std::string ann = node->annotation();
+    if (!ann.empty()) {
+      out += " (";
+      out += ann;
+      out += ")";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace nlq::engine::exec

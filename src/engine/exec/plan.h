@@ -1,0 +1,82 @@
+#ifndef NLQ_ENGINE_EXEC_PLAN_H_
+#define NLQ_ENGINE_EXEC_PLAN_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "storage/row_batch.h"
+
+namespace nlq::engine::exec {
+
+using storage::RowBatch;
+
+/// A pull cursor over one parallel stream of a plan node. Streams of
+/// the same node are independent (one per driver partition below the
+/// pipeline breaker) and may be driven from different worker threads.
+class ExecStream {
+ public:
+  virtual ~ExecStream() = default;
+
+  /// Clears `out` and fills it with the next batch of rows. Returns
+  /// true while rows were produced, false once the stream is
+  /// exhausted; errors surface as a non-OK status.
+  virtual StatusOr<bool> Next(RowBatch* out) = 0;
+};
+
+using ExecStreamPtr = std::unique_ptr<ExecStream>;
+
+/// A node of the physical plan tree. Nodes are immutable after
+/// planning and hold no execution state — all mutable state lives in
+/// the ExecStream cursors they open, so one plan can be executed by
+/// several worker threads (one stream each) at once.
+///
+/// The tree is a chain: every node has at most one input child.
+/// Operators with a second, bounded input (the materialized small
+/// side of CrossJoinNode) own it as node data rather than as a child
+/// subtree, mirroring the engine's driver-table/small-table split.
+class PlanNode {
+ public:
+  explicit PlanNode(std::unique_ptr<PlanNode> child)
+      : child_(std::move(child)) {}
+  virtual ~PlanNode() = default;
+
+  PlanNode(const PlanNode&) = delete;
+  PlanNode& operator=(const PlanNode&) = delete;
+
+  /// Operator name as printed by EXPLAIN ("ParallelScan", "Filter"...).
+  virtual const char* name() const = 0;
+
+  /// One-line EXPLAIN annotation, printed as `Name (annotation)`.
+  virtual std::string annotation() const = 0;
+
+  /// Number of slots in the rows this node produces.
+  virtual size_t output_width() const = 0;
+
+  /// Number of independent parallel streams this node exposes.
+  /// Streaming operators inherit their child's fan-out; pipeline
+  /// breakers (gather/aggregate/sort) expose exactly one.
+  virtual size_t num_streams() const {
+    return child_ == nullptr ? 1 : child_->num_streams();
+  }
+
+  /// Opens the pull cursor for stream `s` in [0, num_streams()).
+  virtual StatusOr<ExecStreamPtr> OpenStream(size_t s) const = 0;
+
+  const PlanNode* child() const { return child_.get(); }
+
+ protected:
+  std::unique_ptr<PlanNode> child_;
+};
+
+using PlanNodePtr = std::unique_ptr<PlanNode>;
+
+/// Renders the plan tree top-down with `└─` connectors:
+///   Sort (1 key(s))
+///   └─ Gather (4 streams)
+///      └─ ParallelScan (X: 50 rows, 4 partitions, batch 1024)
+std::string ExplainPlan(const PlanNode& root);
+
+}  // namespace nlq::engine::exec
+
+#endif  // NLQ_ENGINE_EXEC_PLAN_H_

@@ -1,0 +1,298 @@
+#include "engine/exec/planner.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/strings.h"
+#include "engine/exec/cross_join_node.h"
+#include "engine/exec/filter_node.h"
+#include "engine/exec/gather_node.h"
+#include "engine/exec/hash_aggregate_node.h"
+#include "engine/exec/limit_node.h"
+#include "engine/exec/project_node.h"
+#include "engine/exec/scan_node.h"
+#include "engine/exec/sort_node.h"
+#include "engine/expr.h"
+#include "storage/partitioned_table.h"
+
+namespace nlq::engine::exec {
+namespace {
+
+using storage::DataType;
+using storage::Datum;
+using storage::PartitionedTable;
+using storage::Row;
+using storage::Schema;
+
+/// FROM-clause resolution: the first table drives the parallel scan;
+/// the remaining (small model) tables are materialized for the cross
+/// product.
+struct FromInputs {
+  PartitionedTable* driver = nullptr;
+  std::vector<std::vector<Row>> small_tables;
+  std::vector<const Schema*> small_schemas;
+  std::vector<std::string> small_aliases;
+  BindingScope scope;
+  BoundExprPtr residual_where;  // WHERE after pushdown (may be null)
+
+  std::vector<std::vector<std::string>> pushed_texts;  // per small table
+  std::vector<std::string> residual_texts;
+};
+
+StatusOr<FromInputs> PrepareFrom(const SelectStatement& select,
+                                 storage::Catalog& catalog) {
+  FromInputs inputs;
+  for (size_t t = 0; t < select.from.size(); ++t) {
+    NLQ_ASSIGN_OR_RETURN(PartitionedTable * table,
+                         catalog.GetTable(select.from[t].table_name));
+    inputs.scope.AddTable(select.from[t].alias, &table->schema());
+    if (t == 0) {
+      inputs.driver = table;
+    } else {
+      NLQ_ASSIGN_OR_RETURN(std::vector<Row> rows, table->ReadAllRows());
+      inputs.small_tables.push_back(std::move(rows));
+      inputs.small_schemas.push_back(&table->schema());
+      inputs.small_aliases.push_back(select.from[t].alias);
+    }
+  }
+  inputs.pushed_texts.resize(inputs.small_tables.size());
+  return inputs;
+}
+
+void SplitConjuncts(const Expr* e, std::vector<const Expr*>* out) {
+  if (e->kind == ExprKind::kBinary && e->binary_op == BinaryOp::kAnd) {
+    SplitConjuncts(e->left.get(), out);
+    SplitConjuncts(e->right.get(), out);
+    return;
+  }
+  out->push_back(e);
+}
+
+/// Pushes WHERE conjuncts that reference only one materialized small
+/// table down to that table (pre-filtering its rows before the cross
+/// product). Without this, the paper's scoring pattern — X
+/// cross-joined with a k-row model table k times under `Lj.j = j`
+/// predicates — would enumerate k^k combinations per X row. This is
+/// the cross-join analogue of the paper's Section 3.6 join
+/// optimizations. The remaining conjuncts are bound against the full
+/// scope into `inputs->residual_where`.
+Status ApplyWherePushdown(const SelectStatement& select,
+                          const udf::UdfRegistry* registry,
+                          FromInputs* inputs) {
+  if (!select.where) return Status::OK();
+  std::vector<const Expr*> conjuncts;
+  SplitConjuncts(select.where.get(), &conjuncts);
+
+  std::vector<const Expr*> residual;
+  for (const Expr* conjunct : conjuncts) {
+    if (ContainsAggregate(*conjunct, registry)) {
+      return Status::InvalidArgument("aggregates are not allowed in WHERE");
+    }
+    bool pushed = false;
+    for (size_t s = 0; s < inputs->small_tables.size() && !pushed; ++s) {
+      BindingScope single;
+      single.AddTable(inputs->small_aliases[s], inputs->small_schemas[s]);
+      StatusOr<BoundExprPtr> bound = BindRowExpr(*conjunct, single, registry);
+      if (!bound.ok()) continue;  // references other tables; try next
+      // Pre-filter the materialized rows.
+      std::vector<Row> kept;
+      Status error;
+      EvalContext ctx;
+      ctx.error = &error;
+      for (Row& row : inputs->small_tables[s]) {
+        ctx.input = &row;
+        const Datum cond = bound.value()->Eval(ctx);
+        if (!cond.is_null() && cond.AsDouble() != 0.0) {
+          kept.push_back(std::move(row));
+        }
+      }
+      NLQ_RETURN_IF_ERROR(error);
+      inputs->small_tables[s] = std::move(kept);
+      inputs->pushed_texts[s].push_back(conjunct->ToString());
+      pushed = true;
+    }
+    if (!pushed) {
+      residual.push_back(conjunct);
+      inputs->residual_texts.push_back(conjunct->ToString());
+    }
+  }
+
+  if (!residual.empty()) {
+    // Re-AND the residual conjuncts and bind against the full scope.
+    ExprPtr combined = residual[0]->Clone();
+    for (size_t i = 1; i < residual.size(); ++i) {
+      combined = MakeBinary(BinaryOp::kAnd, std::move(combined),
+                            residual[i]->Clone());
+    }
+    NLQ_ASSIGN_OR_RETURN(inputs->residual_where,
+                         BindRowExpr(*combined, inputs->scope, registry));
+  }
+  return Status::OK();
+}
+
+std::string ResultColumnName(const SelectItem& item, size_t index) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.expr != nullptr) {
+    std::string name = item.expr->ToString();
+    if (name.size() <= 64) return name;
+  }
+  return "col" + std::to_string(index + 1);
+}
+
+bool IsAggregateSelect(const SelectStatement& select,
+                       const udf::UdfRegistry* registry) {
+  if (!select.group_by.empty() || select.having != nullptr) return true;
+  for (const auto& item : select.items) {
+    if (item.expr != nullptr && ContainsAggregate(*item.expr, registry)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Planner::Planner(storage::Catalog* catalog, const udf::UdfRegistry* registry,
+                 ThreadPool* pool, size_t batch_capacity)
+    : catalog_(catalog),
+      registry_(registry),
+      pool_(pool),
+      batch_capacity_(batch_capacity) {}
+
+StatusOr<PhysicalPlan> Planner::Plan(const SelectStatement& select) const {
+  NLQ_ASSIGN_OR_RETURN(FromInputs inputs, PrepareFrom(select, *catalog_));
+  NLQ_RETURN_IF_ERROR(ApplyWherePushdown(select, registry_, &inputs));
+  const bool is_aggregate = IsAggregateSelect(select, registry_);
+
+  // Leaf: parallel partition scan, or the constant input of a
+  // FROM-less query (one empty row; none under aggregation, where an
+  // empty input still finalizes one global group).
+  PlanNodePtr node;
+  if (inputs.driver != nullptr) {
+    node = std::make_unique<ParallelScanNode>(
+        inputs.driver, select.from[0].table_name, batch_capacity_);
+  } else {
+    node = std::make_unique<ConstantInputNode>(is_aggregate ? 0 : 1);
+  }
+
+  // Cross joins against the materialized (pushdown-filtered) small
+  // tables, in FROM order.
+  for (size_t s = 0; s < inputs.small_tables.size(); ++s) {
+    const std::string display =
+        select.from[s + 1].table_name + " AS " + inputs.small_aliases[s];
+    node = std::make_unique<CrossJoinNode>(
+        std::move(node), std::move(inputs.small_tables[s]),
+        inputs.small_schemas[s]->num_columns(), display,
+        std::move(inputs.pushed_texts[s]));
+  }
+
+  // Residual WHERE.
+  if (inputs.residual_where != nullptr) {
+    node = std::make_unique<FilterNode>(std::move(node),
+                                        std::move(inputs.residual_where),
+                                        std::move(inputs.residual_texts));
+  }
+
+  std::vector<storage::Column> out_cols;
+  if (is_aggregate) {
+    std::vector<const Expr*> select_exprs;
+    for (const auto& item : select.items) {
+      if (item.expr == nullptr) {
+        return Status::InvalidArgument("'*' requires COUNT(*) in aggregates");
+      }
+      select_exprs.push_back(item.expr.get());
+    }
+    // HAVING is bound like one more (hidden) select item so it can mix
+    // aggregates and group keys; its value filters groups.
+    const bool has_having = select.having != nullptr;
+    if (has_having) select_exprs.push_back(select.having.get());
+    std::vector<const Expr*> group_by;
+    for (const auto& g : select.group_by) group_by.push_back(g.get());
+
+    NLQ_ASSIGN_OR_RETURN(
+        BoundAggregation agg,
+        BindAggregation(select_exprs, group_by, inputs.scope, registry_));
+    for (size_t i = 0; i < select.items.size(); ++i) {
+      out_cols.push_back({ResultColumnName(select.items[i], i),
+                          agg.projections[i]->result_type()});
+    }
+    node = std::make_unique<HashAggregateNode>(
+        std::move(node), std::move(agg), has_having,
+        has_having ? select.having->ToString() : std::string(),
+        select.items.size(), pool_, batch_capacity_);
+  } else {
+    // Expand the select list (handling bare `*`).
+    std::vector<BoundExprPtr> projections;
+    bool has_star = false;
+    for (size_t i = 0; i < select.items.size(); ++i) {
+      const SelectItem& item = select.items[i];
+      if (item.expr == nullptr) {  // bare *
+        has_star = true;
+        for (const auto& col : inputs.scope.AllColumns()) {
+          out_cols.push_back(col);
+        }
+        continue;
+      }
+      NLQ_ASSIGN_OR_RETURN(BoundExprPtr bound,
+                           BindRowExpr(*item.expr, inputs.scope, registry_));
+      out_cols.push_back({ResultColumnName(item, i), bound->result_type()});
+      projections.push_back(std::move(bound));
+    }
+    // SELECT * forwards the joined row (star mixed with expressions
+    // is not supported: star copies the joined row).
+    node = has_star
+               ? std::make_unique<ProjectNode>(std::move(node))
+               : std::make_unique<ProjectNode>(std::move(node),
+                                               std::move(projections));
+    if (node->num_streams() > 1) {
+      node = std::make_unique<GatherNode>(std::move(node), pool_,
+                                          batch_capacity_);
+    }
+  }
+
+  Schema output_schema{std::move(out_cols)};
+
+  // ORDER BY binds against the result schema (so aliases and
+  // positions resolve), exactly like the previous post-materialization
+  // sort.
+  if (!select.order_by.empty()) {
+    BindingScope result_scope;
+    result_scope.AddTable("", &output_schema);
+    std::vector<BoundExprPtr> key_exprs;
+    std::vector<bool> descending;
+    for (const auto& item : select.order_by) {
+      descending.push_back(item.descending);
+      // Positional form: ORDER BY 2.
+      if (item.expr->kind == ExprKind::kLiteral &&
+          item.expr->literal.type() == DataType::kInt64 &&
+          !item.expr->literal.is_null()) {
+        const int64_t pos = item.expr->literal.int_value();
+        if (pos < 1 || pos > static_cast<int64_t>(output_schema.num_columns())) {
+          return Status::InvalidArgument("ORDER BY position out of range");
+        }
+        const auto& col = output_schema.column(static_cast<size_t>(pos - 1));
+        key_exprs.push_back(
+            MakeBoundInputRef(static_cast<size_t>(pos - 1), col.type));
+        continue;
+      }
+      NLQ_ASSIGN_OR_RETURN(BoundExprPtr bound,
+                           BindRowExpr(*item.expr, result_scope, registry_));
+      key_exprs.push_back(std::move(bound));
+    }
+    node = std::make_unique<SortNode>(std::move(node), std::move(key_exprs),
+                                      std::move(descending), select.limit);
+  }
+
+  if (select.limit >= 0) {
+    node = std::make_unique<LimitNode>(std::move(node), select.limit);
+  }
+
+  PhysicalPlan plan;
+  plan.root = std::move(node);
+  plan.output_schema = std::move(output_schema);
+  return plan;
+}
+
+}  // namespace nlq::engine::exec

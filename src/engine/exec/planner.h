@@ -1,0 +1,51 @@
+#ifndef NLQ_ENGINE_EXEC_PLANNER_H_
+#define NLQ_ENGINE_EXEC_PLANNER_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "common/threadpool.h"
+#include "engine/ast.h"
+#include "engine/exec/plan.h"
+#include "storage/catalog.h"
+#include "storage/schema.h"
+#include "udf/udf.h"
+
+namespace nlq::engine::exec {
+
+/// A planned SELECT: the physical operator tree plus the result
+/// schema its root produces.
+struct PhysicalPlan {
+  PlanNodePtr root;
+  storage::Schema output_schema;
+};
+
+/// Builds a physical plan from a parsed SELECT statement:
+///
+///   [Limit] <- [Sort] <- Gather|HashAggregate <- [Filter]
+///       <- [CrossJoin...] <- ParallelScan|ConstantInput
+///
+/// Planning performs all binding (scope resolution, aggregate
+/// extraction, WHERE-conjunct pushdown into the materialized small
+/// tables, ORDER BY binding over the result schema) so that
+/// execution is pure data flow. Planning a statement does not scan
+/// the driver table; only the small cross-join sides are
+/// materialized, exactly as the previous monolithic executor did.
+class Planner {
+ public:
+  Planner(storage::Catalog* catalog, const udf::UdfRegistry* registry,
+          ThreadPool* pool,
+          size_t batch_capacity = RowBatch::kDefaultCapacity);
+
+  StatusOr<PhysicalPlan> Plan(const SelectStatement& select) const;
+
+ private:
+  storage::Catalog* catalog_;
+  const udf::UdfRegistry* registry_;
+  ThreadPool* pool_;
+  size_t batch_capacity_;
+};
+
+}  // namespace nlq::engine::exec
+
+#endif  // NLQ_ENGINE_EXEC_PLANNER_H_

@@ -1,0 +1,76 @@
+#include "engine/exec/scan_node.h"
+
+#include "common/strings.h"
+
+namespace nlq::engine::exec {
+namespace {
+
+class ScanStream : public ExecStream {
+ public:
+  explicit ScanStream(storage::BatchScanner scanner)
+      : scanner_(std::move(scanner)) {}
+
+  StatusOr<bool> Next(RowBatch* out) override {
+    const bool more = scanner_.Next(out);
+    if (!scanner_.status().ok()) return scanner_.status();
+    return more;
+  }
+
+ private:
+  storage::BatchScanner scanner_;
+};
+
+class ConstantStream : public ExecStream {
+ public:
+  explicit ConstantStream(size_t num_rows) : rows_left_(num_rows) {}
+
+  StatusOr<bool> Next(RowBatch* out) override {
+    out->Clear();
+    while (rows_left_ > 0 && !out->full()) {
+      out->AppendRow().clear();
+      --rows_left_;
+    }
+    return !out->empty();
+  }
+
+ private:
+  size_t rows_left_;
+};
+
+}  // namespace
+
+ParallelScanNode::ParallelScanNode(const storage::PartitionedTable* table,
+                                   std::string table_name,
+                                   size_t batch_capacity)
+    : PlanNode(nullptr),
+      table_(table),
+      table_name_(std::move(table_name)),
+      batch_capacity_(batch_capacity) {}
+
+std::string ParallelScanNode::annotation() const {
+  return StringPrintf("%s: %llu rows, %zu partitions, batch %zu",
+                      table_name_.c_str(),
+                      static_cast<unsigned long long>(table_->num_rows()),
+                      table_->num_partitions(), batch_capacity_);
+}
+
+size_t ParallelScanNode::output_width() const {
+  return table_->schema().num_columns();
+}
+
+size_t ParallelScanNode::num_streams() const {
+  return table_->num_partitions();
+}
+
+StatusOr<ExecStreamPtr> ParallelScanNode::OpenStream(size_t s) const {
+  return ExecStreamPtr(new ScanStream(table_->ScanPartitionBatches(s)));
+}
+
+ConstantInputNode::ConstantInputNode(size_t num_rows)
+    : PlanNode(nullptr), num_rows_(num_rows) {}
+
+StatusOr<ExecStreamPtr> ConstantInputNode::OpenStream(size_t) const {
+  return ExecStreamPtr(new ConstantStream(num_rows_));
+}
+
+}  // namespace nlq::engine::exec

@@ -1,0 +1,51 @@
+#ifndef NLQ_ENGINE_EXEC_SCAN_NODE_H_
+#define NLQ_ENGINE_EXEC_SCAN_NODE_H_
+
+#include <string>
+
+#include "engine/exec/plan.h"
+#include "storage/partitioned_table.h"
+
+namespace nlq::engine::exec {
+
+/// Leaf: batched scan over a hash-partitioned table, one stream per
+/// partition (the per-AMP parallel scan of the paper's Teradata
+/// deployment). Each stream decodes a page's worth of rows per pull
+/// via the storage layer's BatchScanner.
+class ParallelScanNode : public PlanNode {
+ public:
+  ParallelScanNode(const storage::PartitionedTable* table,
+                   std::string table_name, size_t batch_capacity);
+
+  const char* name() const override { return "ParallelScan"; }
+  std::string annotation() const override;
+  size_t output_width() const override;
+  size_t num_streams() const override;
+  StatusOr<ExecStreamPtr> OpenStream(size_t s) const override;
+
+ private:
+  const storage::PartitionedTable* table_;
+  std::string table_name_;
+  size_t batch_capacity_;
+};
+
+/// Leaf for FROM-less queries: one stream yielding `num_rows` empty
+/// (zero-width) rows — one for `SELECT 1+1`, zero under aggregation
+/// (a global aggregate over no input still finalizes one group).
+class ConstantInputNode : public PlanNode {
+ public:
+  explicit ConstantInputNode(size_t num_rows);
+
+  const char* name() const override { return "ConstantInput"; }
+  std::string annotation() const override { return "no FROM"; }
+  size_t output_width() const override { return 0; }
+  size_t num_streams() const override { return 1; }
+  StatusOr<ExecStreamPtr> OpenStream(size_t s) const override;
+
+ private:
+  size_t num_rows_;
+};
+
+}  // namespace nlq::engine::exec
+
+#endif  // NLQ_ENGINE_EXEC_SCAN_NODE_H_

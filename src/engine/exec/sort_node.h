@@ -1,0 +1,48 @@
+#ifndef NLQ_ENGINE_EXEC_SORT_NODE_H_
+#define NLQ_ENGINE_EXEC_SORT_NODE_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/exec/plan.h"
+#include "engine/expr.h"
+#include "storage/value.h"
+
+namespace nlq::engine::exec {
+
+/// Three-way ORDER BY comparison. NULLs sort first; BIGINT pairs
+/// compare as integers (exact above 2^53); mixed / floating keys
+/// compare as doubles; strings lexicographically.
+int CompareDatum(const storage::Datum& a, const storage::Datum& b);
+
+/// ORDER BY over the materialized child output. Keys are evaluated
+/// once per row into a key table, an index permutation is sorted
+/// (ties broken by input position, so the order matches a stable
+/// sort), and the permutation is applied in place with row moves.
+/// When a LIMIT sits directly above, only the first `limit` positions
+/// are sorted (std::partial_sort) and the rest are dropped.
+class SortNode : public PlanNode {
+ public:
+  /// `limit` < 0 means no limit hint.
+  SortNode(PlanNodePtr child, std::vector<BoundExprPtr> key_exprs,
+           std::vector<bool> descending, int64_t limit);
+
+  const char* name() const override { return "Sort"; }
+  std::string annotation() const override;
+  size_t output_width() const override { return child_->output_width(); }
+  size_t num_streams() const override { return 1; }
+  StatusOr<ExecStreamPtr> OpenStream(size_t s) const override;
+
+  /// Sorts `rows` in place by this node's keys (applying the LIMIT
+  /// hint). Exposed for the stream implementation and for tests.
+  Status SortRows(std::vector<storage::Row>* rows) const;
+
+ private:
+  std::vector<BoundExprPtr> key_exprs_;
+  std::vector<bool> descending_;
+  int64_t limit_;
+};
+
+}  // namespace nlq::engine::exec
+
+#endif  // NLQ_ENGINE_EXEC_SORT_NODE_H_

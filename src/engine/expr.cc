@@ -19,6 +19,10 @@ class LiteralNode : public BoundExpr {
  public:
   explicit LiteralNode(Datum value) : value_(std::move(value)) {}
   Datum Eval(const EvalContext&) const override { return value_; }
+  void EvalBatch(const storage::Row*, size_t count, Status*,
+                 Datum* out) const override {
+    for (size_t i = 0; i < count; ++i) out[i] = value_;
+  }
   DataType result_type() const override { return value_.type(); }
 
  private:
@@ -30,6 +34,10 @@ class InputRefNode : public BoundExpr {
   InputRefNode(size_t slot, DataType type) : slot_(slot), type_(type) {}
   Datum Eval(const EvalContext& ctx) const override {
     return (*ctx.input)[slot_];
+  }
+  void EvalBatch(const storage::Row* rows, size_t count, Status*,
+                 Datum* out) const override {
+    for (size_t i = 0; i < count; ++i) out[i] = rows[i][slot_];
   }
   DataType result_type() const override { return type_; }
 
@@ -77,13 +85,13 @@ class UnaryNode : public BoundExpr {
       : op_(op), operand_(std::move(operand)) {}
 
   Datum Eval(const EvalContext& ctx) const override {
-    const Datum v = operand_->Eval(ctx);
-    if (v.is_null()) return Datum::Null(result_type());
-    if (op_ == UnaryOp::kNegate) {
-      if (v.type() == DataType::kInt64) return Datum::Int64(-v.int_value());
-      return Datum::Double(-v.AsDouble());
-    }
-    return BoolDatum(!IsTrue(v));
+    return Apply(operand_->Eval(ctx));
+  }
+
+  void EvalBatch(const storage::Row* rows, size_t count, Status* error,
+                 Datum* out) const override {
+    operand_->EvalBatch(rows, count, error, out);
+    for (size_t i = 0; i < count; ++i) out[i] = Apply(std::move(out[i]));
   }
 
   DataType result_type() const override {
@@ -92,6 +100,15 @@ class UnaryNode : public BoundExpr {
   }
 
  private:
+  Datum Apply(Datum v) const {
+    if (v.is_null()) return Datum::Null(result_type());
+    if (op_ == UnaryOp::kNegate) {
+      if (v.type() == DataType::kInt64) return Datum::Int64(-v.int_value());
+      return Datum::Double(-v.AsDouble());
+    }
+    return BoolDatum(!IsTrue(v));
+  }
+
   UnaryOp op_;
   BoundExprPtr operand_;
 };
@@ -123,10 +140,44 @@ class BinaryNode : public BoundExpr {
       return BoolDatum(false);
     }
 
-    const Datum l = left_->Eval(ctx);
-    const Datum r = right_->Eval(ctx);
-    if (l.is_null() || r.is_null()) return Datum::Null(result_type());
+    return Combine(left_->Eval(ctx), right_->Eval(ctx));
+  }
 
+  void EvalBatch(const storage::Row* rows, size_t count, Status* error,
+                 Datum* out) const override {
+    // AND/OR keep the row-at-a-time path: their short-circuit order
+    // decides which operand errors surface.
+    if (op_ == BinaryOp::kAnd || op_ == BinaryOp::kOr) {
+      BoundExpr::EvalBatch(rows, count, error, out);
+      return;
+    }
+    // Children evaluate whole columns (one virtual dispatch per batch
+    // instead of two per row); the operator fold runs as a tight loop.
+    std::vector<Datum> lhs(count);
+    left_->EvalBatch(rows, count, error, lhs.data());
+    right_->EvalBatch(rows, count, error, out);
+    for (size_t i = 0; i < count; ++i) {
+      out[i] = Combine(lhs[i], out[i]);
+    }
+  }
+
+  DataType result_type() const override {
+    switch (op_) {
+      case BinaryOp::kAdd:
+      case BinaryOp::kSub:
+      case BinaryOp::kMul:
+      case BinaryOp::kMod:
+        return both_int_ ? DataType::kInt64 : DataType::kDouble;
+      case BinaryOp::kDiv:
+        return DataType::kDouble;
+      default:
+        return DataType::kInt64;  // booleans
+    }
+  }
+
+ private:
+  Datum Combine(const Datum& l, const Datum& r) const {
+    if (l.is_null() || r.is_null()) return Datum::Null(result_type());
     switch (op_) {
       case BinaryOp::kAdd:
       case BinaryOp::kSub:
@@ -151,21 +202,6 @@ class BinaryNode : public BoundExpr {
     }
   }
 
-  DataType result_type() const override {
-    switch (op_) {
-      case BinaryOp::kAdd:
-      case BinaryOp::kSub:
-      case BinaryOp::kMul:
-      case BinaryOp::kMod:
-        return both_int_ ? DataType::kInt64 : DataType::kDouble;
-      case BinaryOp::kDiv:
-        return DataType::kDouble;
-      default:
-        return DataType::kInt64;  // booleans
-    }
-  }
-
- private:
   Datum EvalIntArithmetic(int64_t a, int64_t b) const {
     switch (op_) {
       case BinaryOp::kAdd: return Datum::Int64(a + b);
@@ -227,6 +263,14 @@ class IsNullNode : public BoundExpr {
   Datum Eval(const EvalContext& ctx) const override {
     const bool is_null = operand_->Eval(ctx).is_null();
     return BoolDatum(negated_ ? !is_null : is_null);
+  }
+  void EvalBatch(const storage::Row* rows, size_t count, Status* error,
+                 Datum* out) const override {
+    operand_->EvalBatch(rows, count, error, out);
+    for (size_t i = 0; i < count; ++i) {
+      const bool is_null = out[i].is_null();
+      out[i] = BoolDatum(negated_ ? !is_null : is_null);
+    }
   }
   DataType result_type() const override { return DataType::kInt64; }
 
@@ -582,6 +626,16 @@ StatusOr<BoundExprPtr> Bind(const Expr& expr, const BindingScope& scope,
 }
 
 }  // namespace
+
+void BoundExpr::EvalBatch(const storage::Row* rows, size_t count,
+                          Status* error, Datum* out) const {
+  EvalContext ctx;
+  ctx.error = error;
+  for (size_t i = 0; i < count; ++i) {
+    ctx.input = &rows[i];
+    out[i] = Eval(ctx);
+  }
+}
 
 // ---------------------------------------------------------------------------
 // BindingScope

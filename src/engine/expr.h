@@ -40,6 +40,21 @@ class BoundExpr {
   /// hard errors through ctx.error.
   virtual storage::Datum Eval(const EvalContext& ctx) const = 0;
 
+  /// Batch evaluation entry point for the morsel executor: evaluates
+  /// this expression against `rows[0..count)` writing one Datum per
+  /// row into `out` (which must hold at least `count` slots). The
+  /// first hard error is reported through `error`; evaluation of the
+  /// remaining rows may still run (results past an error are
+  /// discarded by the caller).
+  ///
+  /// The base implementation loops `Eval` row-by-row; hot nodes
+  /// (column refs, literals, arithmetic/comparison) override it to
+  /// hoist the virtual dispatch and operator switch out of the
+  /// per-row path — the batched analogue of the paper's "compiled UDF
+  /// vs interpreted SQL" gap.
+  virtual void EvalBatch(const storage::Row* rows, size_t count,
+                         Status* error, storage::Datum* out) const;
+
   /// Static result type of this expression.
   virtual storage::DataType result_type() const = 0;
 };

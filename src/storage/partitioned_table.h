@@ -35,6 +35,12 @@ class PartitionedTable {
   const Table& partition(size_t p) const { return *partitions_[p]; }
   Table& partition(size_t p) { return *partitions_[p]; }
 
+  /// Opens a batched cursor over partition `p` — the per-partition
+  /// unit of the engine's morsel-parallel scans.
+  BatchScanner ScanPartitionBatches(size_t p) const {
+    return partitions_[p]->ScanBatch();
+  }
+
   /// Materializes all rows across partitions (partition order, then
   /// insertion order within a partition).
   StatusOr<std::vector<Row>> ReadAllRows() const;

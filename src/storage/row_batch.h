@@ -1,0 +1,58 @@
+#ifndef NLQ_STORAGE_ROW_BATCH_H_
+#define NLQ_STORAGE_ROW_BATCH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace nlq::storage {
+
+/// A fixed-capacity batch of decoded rows — the unit of data flow
+/// between execution operators (morsel-style batching) and the unit
+/// the storage layer decodes per `BatchScanner::Next` call.
+///
+/// Row storage is owned by the batch and reused across `Clear()`
+/// cycles so that steady-state scanning performs no per-row vector
+/// allocations: `AppendRow()` hands back the next pre-existing Row
+/// slot for the producer to overwrite.
+class RowBatch {
+ public:
+  static constexpr size_t kDefaultCapacity = 1024;
+
+  explicit RowBatch(size_t capacity = kDefaultCapacity)
+      : rows_(capacity), capacity_(capacity) {}
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == capacity_; }
+
+  /// Logically empties the batch; row storage is kept for reuse.
+  void Clear() { size_ = 0; }
+
+  /// Claims the next row slot. The returned Row may hold stale data
+  /// from a previous cycle; the producer must overwrite or resize it.
+  Row& AppendRow() { return rows_[size_++]; }
+
+  /// Drops rows [new_size, size()).
+  void Truncate(size_t new_size) {
+    if (new_size < size_) size_ = new_size;
+  }
+
+  Row& row(size_t i) { return rows_[i]; }
+  const Row& row(size_t i) const { return rows_[i]; }
+
+  /// Contiguous row array for batch expression evaluation.
+  const Row* rows() const { return rows_.data(); }
+  Row* mutable_rows() { return rows_.data(); }
+
+ private:
+  std::vector<Row> rows_;  // size() == capacity_; first size_ are live
+  size_t capacity_;
+  size_t size_ = 0;
+};
+
+}  // namespace nlq::storage
+
+#endif  // NLQ_STORAGE_ROW_BATCH_H_

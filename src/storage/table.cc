@@ -29,6 +29,44 @@ bool TableScanner::Next() {
   return true;
 }
 
+BatchScanner::BatchScanner(const Table* table)
+    : table_(table), codec_(&table->schema()) {
+  if (table_->num_pages() > 0) {
+    rows_left_in_page_ = table_->page(0).row_count();
+  }
+}
+
+bool BatchScanner::Next(RowBatch* out) {
+  out->Clear();
+  if (!status_.ok()) return false;
+  while (!out->full()) {
+    while (page_index_ < table_->num_pages() && rows_left_in_page_ == 0) {
+      ++page_index_;
+      page_offset_ = 0;
+      if (page_index_ < table_->num_pages()) {
+        rows_left_in_page_ = table_->page(page_index_).row_count();
+      }
+    }
+    if (page_index_ >= table_->num_pages()) break;
+    // Decode the rest of the current page (or as much as fits) in one
+    // tight loop over the page payload.
+    const Page& page = table_->page(page_index_);
+    size_t take = rows_left_in_page_;
+    const size_t space = out->capacity() - out->size();
+    if (take > space) take = space;
+    for (size_t i = 0; i < take; ++i) {
+      status_ = codec_.Decode(page.payload(), page.payload_size(),
+                              &page_offset_, &out->AppendRow());
+      if (!status_.ok()) {
+        out->Truncate(out->size() - 1);
+        return false;
+      }
+    }
+    rows_left_in_page_ -= take;
+  }
+  return !out->empty();
+}
+
 Table::Table(Schema schema) : schema_(std::move(schema)), codec_(&schema_) {}
 
 Status Table::AppendRow(const Row& row) {

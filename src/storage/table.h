@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "storage/page.h"
+#include "storage/row_batch.h"
 #include "storage/row_codec.h"
 #include "storage/schema.h"
 #include "storage/value.h"
@@ -40,6 +41,30 @@ class TableScanner {
   Status status_;
 };
 
+/// Batched cursor over one table partition: decodes up to a batch's
+/// capacity of rows per call (a page's worth or more), amortizing
+/// cursor bookkeeping over the batch instead of paying it per row.
+class BatchScanner {
+ public:
+  explicit BatchScanner(const Table* table);
+
+  /// Clears `out` and fills it with up to `out->capacity()` decoded
+  /// rows. Returns false when the scan is exhausted (out left empty)
+  /// or a decode error occurred (see `status()`).
+  bool Next(RowBatch* out);
+
+  /// Error observed during the scan, if any.
+  const Status& status() const { return status_; }
+
+ private:
+  const Table* table_;
+  RowCodec codec_;
+  size_t page_index_ = 0;
+  size_t page_offset_ = 0;
+  size_t rows_left_in_page_ = 0;
+  Status status_;
+};
+
 /// Append-only heap table: a schema plus a run of 64 KB pages.
 ///
 /// A Table is one *partition* in engine terms; PartitionedTable
@@ -70,6 +95,9 @@ class Table {
   /// Opens a scan cursor.
   TableScanner Scan() const { return TableScanner(this); }
 
+  /// Opens a batched scan cursor (one decode call per RowBatch).
+  BatchScanner ScanBatch() const { return BatchScanner(this); }
+
   /// Materializes every row (tests / small model tables only).
   StatusOr<std::vector<Row>> ReadAllRows() const;
 
@@ -88,6 +116,7 @@ class Table {
 
  private:
   friend class TableScanner;
+  friend class BatchScanner;
 
   Schema schema_;
   RowCodec codec_;

@@ -1,0 +1,139 @@
+// Property test for the batched operator pipeline: the paper's three
+// ways of computing the sufficient statistics n, L, Q — the long SQL
+// query of Section 3.4, the aggregate UDF, and the external C++
+// reference — must agree on the same data set at every partition
+// count (partitioning changes the batch/merge structure but never the
+// sums).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "stats/sqlgen.h"
+#include "stats/sufstats.h"
+#include "tests/test_util.h"
+
+namespace nlq::stats {
+namespace {
+
+constexpr size_t kDims = 3;
+constexpr size_t kRows = 1100;  // crosses the 1024-row batch boundary
+
+/// Deterministic but irregular points (no RNG in tests).
+std::vector<std::vector<double>> MakePoints() {
+  std::vector<std::vector<double>> points(kRows);
+  for (size_t i = 0; i < kRows; ++i) {
+    auto& p = points[i];
+    p.resize(kDims);
+    const double x = static_cast<double>(i);
+    p[0] = std::sin(x * 0.7) * 10.0;
+    p[1] = std::fmod(x * 1.3, 17.0) - 8.0;
+    p[2] = (i % 5 == 0 ? -1.0 : 1.0) * (x * 0.01 + 2.0);
+  }
+  return points;
+}
+
+class ExecEquivalenceTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  void SetUp() override {
+    db_ = nlq::testing::MakeTestDatabase(/*num_partitions=*/GetParam());
+    NLQ_ASSERT_OK(db_->ExecuteCommand(
+        "CREATE TABLE X (X1 DOUBLE, X2 DOUBLE, X3 DOUBLE)"));
+    points_ = MakePoints();
+    auto table = db_->catalog().GetTable("X");
+    NLQ_ASSERT_OK(table.status());
+    for (const auto& p : points_) {
+      NLQ_ASSERT_OK(table.value()->AppendRow({storage::Datum::Double(p[0]),
+                                              storage::Datum::Double(p[1]),
+                                              storage::Datum::Double(p[2])}));
+    }
+  }
+
+  SufStats SqlStats(MatrixKind kind) {
+    const std::string sql = NlqSqlQuery("X", DimensionColumns(kDims), kind);
+    auto result = db_->Execute(sql);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    auto stats = SufStatsFromWideRow(*result, 0, kDims, kind);
+    EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+    return stats.ok() ? std::move(stats.value()) : SufStats();
+  }
+
+  SufStats UdfStats(MatrixKind kind, ParamStyle style) {
+    const std::string sql =
+        NlqUdfQuery("X", DimensionColumns(kDims), kind, style);
+    auto result = db_->Execute(sql);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    auto stats = SufStatsFromUdfResult(*result);
+    EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+    return stats.ok() ? std::move(stats.value()) : SufStats();
+  }
+
+  std::unique_ptr<engine::Database> db_;
+  std::vector<std::vector<double>> points_;
+};
+
+TEST_P(ExecEquivalenceTest, SqlUdfAndExternalAgreeOnNLQ) {
+  for (const MatrixKind kind :
+       {MatrixKind::kDiagonal, MatrixKind::kLowerTriangular,
+        MatrixKind::kFull}) {
+    const SufStats reference = nlq::testing::ReferenceStats(points_, kind);
+    const SufStats sql = SqlStats(kind);
+    const SufStats udf_list = UdfStats(kind, ParamStyle::kList);
+    const SufStats udf_string = UdfStats(kind, ParamStyle::kString);
+
+    EXPECT_EQ(sql.n(), reference.n());
+    // Partitioned + batched summation reorders floating-point adds;
+    // allow a tiny relative slack against the sequential reference.
+    EXPECT_LT(sql.MaxAbsDiff(reference), 1e-6) << MatrixKindName(kind);
+    EXPECT_LT(udf_list.MaxAbsDiff(reference), 1e-6) << MatrixKindName(kind);
+    EXPECT_LT(udf_string.MaxAbsDiff(reference), 1e-6) << MatrixKindName(kind);
+    EXPECT_LT(sql.MaxAbsDiff(udf_list), 1e-6) << MatrixKindName(kind);
+  }
+}
+
+TEST_P(ExecEquivalenceTest, GroupedSqlAndUdfAgreePerGroup) {
+  const MatrixKind kind = MatrixKind::kLowerTriangular;
+  const std::string group_expr = "CASE WHEN X3 > 0 THEN 1 ELSE 0 END";
+  // Both generators already append ORDER BY 1 on the group key.
+  auto sql_result = db_->Execute(
+      NlqSqlQueryGrouped("X", DimensionColumns(kDims), kind, group_expr));
+  NLQ_ASSERT_OK(sql_result.status());
+  auto udf_result = db_->Execute(NlqUdfQueryGrouped(
+      "X", DimensionColumns(kDims), kind, ParamStyle::kList, group_expr));
+  NLQ_ASSERT_OK(udf_result.status());
+  ASSERT_EQ(sql_result->num_rows(), 2u);
+  ASSERT_EQ(udf_result->num_rows(), 2u);
+
+  for (size_t g = 0; g < 2; ++g) {
+    auto sql_stats =
+        SufStatsFromWideRow(*sql_result, g, kDims, kind, /*first_col=*/1);
+    NLQ_ASSERT_OK(sql_stats.status());
+    auto udf_stats = SufStatsFromUdfResult(*udf_result, g, /*col=*/1);
+    NLQ_ASSERT_OK(udf_stats.status());
+
+    // External reference for this group.
+    std::vector<std::vector<double>> group_points;
+    for (const auto& p : points_) {
+      if ((p[2] > 0 ? 1 : 0) == static_cast<int>(g)) {
+        group_points.push_back(p);
+      }
+    }
+    const SufStats reference =
+        nlq::testing::ReferenceStats(group_points, kind);
+    EXPECT_LT(sql_stats->MaxAbsDiff(reference), 1e-6) << "group " << g;
+    EXPECT_LT(udf_stats->MaxAbsDiff(reference), 1e-6) << "group " << g;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PartitionCounts, ExecEquivalenceTest,
+                         ::testing::Values(1, 2, 4, 7),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return "p" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace nlq::stats

@@ -1,5 +1,7 @@
-// Tests for Database::Explain — the plan printout that exposes the
-// engine's §3.6-style pushdown decisions without executing the query.
+// Tests for Database::Explain — the physical plan-tree printout that
+// exposes the engine's §3.6-style pushdown decisions without
+// executing the query. Format (documented in DESIGN.md §6): one node
+// per line, root first, children indented under "└─ ".
 
 #include <gtest/gtest.h>
 
@@ -35,10 +37,12 @@ class ExplainTest : public ::testing::Test {
   std::unique_ptr<Database> db_;
 };
 
-TEST_F(ExplainTest, SimpleScan) {
+TEST_F(ExplainTest, SimpleScanIsFullTree) {
   const std::string plan = Plan("SELECT X1 FROM X");
-  EXPECT_NE(plan.find("scan X (50 rows"), std::string::npos);
-  EXPECT_NE(plan.find("project: 1 column(s)"), std::string::npos);
+  EXPECT_EQ(plan,
+            "Gather (4 stream(s))\n"
+            "└─ Project (1 column(s))\n"
+            "   └─ ParallelScan (X: 50 rows, 4 partitions, batch 1024)\n");
 }
 
 TEST_F(ExplainTest, ShowsPushdownDecision) {
@@ -46,25 +50,28 @@ TEST_F(ExplainTest, ShowsPushdownDecision) {
       "SELECT X1, m1.c FROM X, M m1, M m2 "
       "WHERE m1.j = 1 AND m2.j = 2 AND X1 > 0");
   // Pushed predicates shrink the materialized sides to one row each.
-  EXPECT_NE(plan.find("cross join M AS m1 (materialized, 1 rows after "
+  EXPECT_NE(plan.find("CrossJoin (M AS m1: materialized, 1 rows after "
                       "pushdown: (m1.j = 1))"),
             std::string::npos)
       << plan;
-  EXPECT_NE(plan.find("cross join M AS m2 (materialized, 1 rows after "
+  EXPECT_NE(plan.find("CrossJoin (M AS m2: materialized, 1 rows after "
                       "pushdown: (m2.j = 2))"),
             std::string::npos);
   // The driver-only conjunct stays in the residual filter.
-  EXPECT_NE(plan.find("filter: (X1 > 0)"), std::string::npos);
+  EXPECT_NE(plan.find("Filter ((X1 > 0))"), std::string::npos);
 }
 
 TEST_F(ExplainTest, AggregatePlanCountsUdfCalls) {
   const std::string plan = Plan(
       "SELECT i % 2, nlq_list('diag', X1, X2), sum(X1) FROM X GROUP BY i % 2");
-  EXPECT_NE(plan.find("hash aggregate: 1 group key(s), 2 aggregate(s) "
-                      "(1 aggregate UDF call(s))"),
+  EXPECT_NE(plan.find("HashAggregate (1 group key(s), 2 aggregate(s), "
+                      "1 aggregate UDF call(s)"),
             std::string::npos)
       << plan;
-  EXPECT_NE(plan.find("merge:"), std::string::npos);
+  EXPECT_NE(plan.find("merge: 4 partial state(s) per group"),
+            std::string::npos);
+  // The aggregate is a pipeline breaker: no separate Gather above it.
+  EXPECT_EQ(plan.find("Gather"), std::string::npos);
 }
 
 TEST_F(ExplainTest, HavingAndSortAndLimitShown) {
@@ -72,13 +79,17 @@ TEST_F(ExplainTest, HavingAndSortAndLimitShown) {
       "SELECT i % 2, count(*) FROM X GROUP BY i % 2 "
       "HAVING count(*) > 1 ORDER BY 1 DESC LIMIT 5");
   EXPECT_NE(plan.find("having: (count(*) > 1)"), std::string::npos) << plan;
-  EXPECT_NE(plan.find("sort: 1 key(s)"), std::string::npos);
-  EXPECT_NE(plan.find("limit: 5"), std::string::npos);
+  // The LIMIT hint turns the sort into a bounded partial sort.
+  EXPECT_NE(plan.find("Sort (1 key(s), partial top 5)"), std::string::npos);
+  EXPECT_NE(plan.find("Limit (5 rows)"), std::string::npos);
+  // Root-first ordering: Limit above Sort above HashAggregate.
+  EXPECT_LT(plan.find("Limit"), plan.find("Sort"));
+  EXPECT_LT(plan.find("Sort"), plan.find("HashAggregate"));
 }
 
 TEST_F(ExplainTest, ConstantInput) {
   const std::string plan = Plan("SELECT 1 + 1");
-  EXPECT_NE(plan.find("constant input (no FROM)"), std::string::npos);
+  EXPECT_NE(plan.find("ConstantInput (no FROM)"), std::string::npos) << plan;
 }
 
 TEST_F(ExplainTest, ExplainDoesNotExecute) {
@@ -109,7 +120,7 @@ TEST_F(ExplainTest, NlqScoringPlanIsCompact) {
   // Each aliased copy is pre-filtered to exactly one centroid row.
   for (int j = 1; j <= 3; ++j) {
     EXPECT_NE(plan.find("AS C" + std::to_string(j) +
-                        " (materialized, 1 rows"),
+                        ": materialized, 1 rows"),
               std::string::npos)
         << plan;
   }
