@@ -9,8 +9,12 @@
 //            (page decode into reused 1024-row RowBatches, no
 //            expression evaluation) — the raw cost of the morsel
 //            scan feeding the operator pipeline;
-//   engine — the full nlq_list query (adds expression argument
-//            evaluation, the operator tree, partitioned execution +
+//   columnar — the fused N,L,Q span kernel over the columnar scan
+//            (pages decoded straight into double arrays, no Datum
+//            boxing) — what the engine's columnar fast path runs
+//            per partition;
+//   engine — the full nlq_list query (the planner's columnar fast
+//            path: decode + fused kernel + partitioned execution +
 //            merge).
 //
 // The gap between `raw` and `engine` is the DBMS tax the paper's
@@ -22,6 +26,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "stats/nlq_kernel.h"
 #include "storage/partitioned_table.h"
 
 namespace {
@@ -98,6 +103,41 @@ void BM_BatchedScan(benchmark::State& state) {
   }
 }
 
+void BM_ColumnarScan(benchmark::State& state) {
+  const size_t d = kDims[state.range(0)];
+  const uint64_t rows = bench::ScaledRows(1600);
+  auto db = bench::MakeBenchDatabase();
+  bench::LoadMixture(db.get(), "X", rows, d);
+  auto table = db->catalog().GetTable("X");
+  if (!table.ok()) {
+    state.SkipWithError("load failed");
+    return;
+  }
+  std::vector<size_t> slots(d);
+  for (size_t a = 0; a < d; ++a) slots[a] = 1 + a;
+  std::vector<const double*> spans(d);
+  for (auto _ : state) {
+    stats::NlqState nlq;
+    stats::ResetNlqState(&nlq);
+    bench::Require(
+        stats::SetNlqShape(&nlq, d, stats::MatrixKind::kLowerTriangular),
+        state);
+    for (size_t p = 0; p < (*table)->num_partitions(); ++p) {
+      storage::ColumnBatchScanner scanner =
+          (*table)->ScanPartitionColumnBatches(p, slots);
+      storage::ColumnBatch batch;
+      while (scanner.Next(&batch)) {
+        for (size_t a = 0; a < d; ++a) {
+          spans[a] = batch.column(a).double_data();
+        }
+        stats::NlqAccumulateSpans(&nlq, spans.data(), batch.size());
+      }
+      bench::Require(scanner.status(), state);
+    }
+    benchmark::DoNotOptimize(nlq);
+  }
+}
+
 void BM_EngineScan(benchmark::State& state) {
   const size_t d = kDims[state.range(0)];
   const uint64_t rows = bench::ScaledRows(1600);
@@ -137,14 +177,16 @@ int main(int argc, char** argv) {
         ->Arg(static_cast<int>(di))
         ->Unit(benchmark::kMillisecond)
         ->Iterations(1);
+    benchmark::RegisterBenchmark(("Ablation/columnar" + suffix).c_str(),
+                                 BM_ColumnarScan)
+        ->Arg(static_cast<int>(di))
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
     benchmark::RegisterBenchmark(("Ablation/engine" + suffix).c_str(),
                                  BM_EngineScan)
         ->Arg(static_cast<int>(di))
         ->Unit(benchmark::kMillisecond)
         ->Iterations(1);
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return nlq::bench::RunSuite("bench_ablation_rowpath", &argc, argv);
 }

@@ -1,6 +1,10 @@
 #include "bench/bench_common.h"
 
+#include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
 
 #include "stats/scoring.h"
 
@@ -49,6 +53,97 @@ void LoadMixture(engine::Database* db, const std::string& name, uint64_t rows,
 
 void Require(const Status& status, benchmark::State& state) {
   if (!status.ok()) state.SkipWithError(status.ToString().c_str());
+}
+
+namespace {
+
+/// One measured run, flattened for JSON emission.
+struct CapturedRun {
+  std::string name;
+  std::string time_unit;
+  int64_t iterations = 0;
+  double real_time = 0.0;
+  double cpu_time = 0.0;
+  bool skipped = false;
+};
+
+/// Console reporter that also captures every run so RunSuite can emit
+/// the NLQ_BENCH_JSON file after the suite finishes.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      CapturedRun captured;
+      captured.name = run.benchmark_name();
+      captured.time_unit = benchmark::GetTimeUnitString(run.time_unit);
+      captured.iterations = run.iterations;
+      captured.real_time = run.GetAdjustedRealTime();
+      captured.cpu_time = run.GetAdjustedCPUTime();
+      captured.skipped = run.error_occurred;
+      runs_.push_back(std::move(captured));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  const std::vector<CapturedRun>& runs() const { return runs_; }
+
+ private:
+  std::vector<CapturedRun> runs_;
+};
+
+/// Resolves NLQ_BENCH_JSON to the output file for `suite`: a value
+/// ending in ".json" is used verbatim, anything else is treated as a
+/// directory (created if missing) receiving "<suite>.json".
+std::string ResolveJsonPath(const std::string& env_value,
+                            const std::string& suite) {
+  if (env_value.size() > 5 &&
+      env_value.compare(env_value.size() - 5, 5, ".json") == 0) {
+    return env_value;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(env_value, ec);
+  return (std::filesystem::path(env_value) / (suite + ".json")).string();
+}
+
+void WriteJson(const std::string& path, const std::string& suite,
+               const std::vector<CapturedRun>& runs) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "NLQ_BENCH_JSON: cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"suite\": \"%s\",\n  \"scale_divisor\": %zu,\n",
+               suite.c_str(), ScaleDivisor());
+  std::fprintf(f, "  \"benchmarks\": [\n");
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const CapturedRun& r = runs[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"iterations\": %lld, "
+                 "\"real_time\": %.6f, \"cpu_time\": %.6f, "
+                 "\"time_unit\": \"%s\", \"skipped\": %s}%s\n",
+                 r.name.c_str(), static_cast<long long>(r.iterations),
+                 r.real_time, r.cpu_time, r.time_unit.c_str(),
+                 r.skipped ? "true" : "false",
+                 i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int RunSuite(const char* suite, int* argc, char** argv) {
+  benchmark::Initialize(argc, argv);
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (const char* json = std::getenv("NLQ_BENCH_JSON");
+      json != nullptr && json[0] != '\0') {
+    const std::string path = ResolveJsonPath(json, suite);
+    WriteJson(path, suite, reporter.runs());
+    std::printf("NLQ_BENCH_JSON: wrote %s\n", path.c_str());
+  }
+  benchmark::Shutdown();
+  return 0;
 }
 
 }  // namespace nlq::bench

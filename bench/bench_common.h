@@ -38,6 +38,22 @@ void LoadMixture(engine::Database* db, const std::string& name, uint64_t rows,
 /// Aborts the benchmark with a readable message on error.
 void Require(const Status& status, benchmark::State& state);
 
+/// Initializes google-benchmark, runs every registered benchmark, and
+/// shuts the library down; returns the process exit code. All bench
+/// mains end with `return RunSuite("bench_xyz", &argc, argv);`.
+///
+/// When `NLQ_BENCH_JSON` is set in the environment the measured runs
+/// are additionally written as machine-readable JSON — one file per
+/// suite — so perf trajectories can be tracked across commits:
+///
+///   NLQ_BENCH_JSON=out/dir         — writes out/dir/<suite>.json
+///   NLQ_BENCH_JSON=results.json    — writes exactly that file
+///
+/// The file records the suite name, the row-scale divisor, and for
+/// each benchmark its name, iteration count, and real/cpu time in the
+/// benchmark's declared time unit.
+int RunSuite(const char* suite, int* argc, char** argv);
+
 }  // namespace nlq::bench
 
 #endif  // NLQ_BENCH_BENCH_COMMON_H_

@@ -58,8 +58,5 @@ int main(int argc, char** argv) {
           ->Iterations(1);
     }
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return nlq::bench::RunSuite("bench_fig2", &argc, argv);
 }

@@ -85,8 +85,5 @@ int main(int argc, char** argv) {
       }
     }
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return nlq::bench::RunSuite("bench_fig5", &argc, argv);
 }

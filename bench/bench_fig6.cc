@@ -92,8 +92,5 @@ int main(int argc, char** argv) {
   RegisterSeries("linreg", BM_LinReg);
   RegisterSeries("pca", BM_Pca);
   RegisterSeries("clustering", BM_Clustering);
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return nlq::bench::RunSuite("bench_fig6", &argc, argv);
 }

@@ -133,8 +133,5 @@ int main(int argc, char** argv) {
   RegisterGrid("linreg", BM_LinearRegression);
   RegisterGrid("pca", BM_Pca);
   RegisterGrid("clustering", BM_Clustering);
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return nlq::bench::RunSuite("bench_table3", &argc, argv);
 }

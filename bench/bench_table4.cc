@@ -98,8 +98,5 @@ int main(int argc, char** argv) {
   RegisterGrid("linreg", BM_LinReg);
   RegisterGrid("pca", BM_Pca);
   RegisterGrid("clustering", BM_Clustering);
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return nlq::bench::RunSuite("bench_table4", &argc, argv);
 }

@@ -61,8 +61,5 @@ int main(int argc, char** argv) {
       }
     }
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return nlq::bench::RunSuite("bench_table5", &argc, argv);
 }

@@ -74,7 +74,9 @@ Database::Database(DatabaseOptions options)
 }
 
 StatusOr<ResultSet> Database::ExecuteSelect(const SelectStatement& select) {
-  exec::Planner planner(&catalog_, &registry_, pool_.get());
+  exec::Planner planner(&catalog_, &registry_, pool_.get(),
+                        storage::RowBatch::kDefaultCapacity,
+                        options_.enable_column_cache);
   NLQ_ASSIGN_OR_RETURN(exec::PhysicalPlan plan, planner.Plan(select));
   return exec::ExecutePlan(plan);
 }
@@ -149,7 +151,9 @@ StatusOr<std::string> Database::Explain(std::string_view sql) {
   if (stmt.kind != StatementKind::kSelect) {
     return Status::InvalidArgument("EXPLAIN supports SELECT statements only");
   }
-  exec::Planner planner(&catalog_, &registry_, pool_.get());
+  exec::Planner planner(&catalog_, &registry_, pool_.get(),
+                        storage::RowBatch::kDefaultCapacity,
+                        options_.enable_column_cache);
   NLQ_ASSIGN_OR_RETURN(exec::PhysicalPlan plan, planner.Plan(*stmt.select));
   return exec::ExplainPlan(*plan.root);
 }

@@ -24,6 +24,12 @@ struct DatabaseOptions {
   /// Worker threads executing per-partition scan/aggregate tasks.
   /// 0 = one per partition, capped at hardware concurrency.
   size_t num_threads = 0;
+
+  /// Keep per-partition decoded column arrays cached between columnar
+  /// fast-path scans (iterative model building re-scans the same table
+  /// many times). Appends invalidate the cache; disable to bound
+  /// memory at one decode per scan instead.
+  bool enable_column_cache = true;
 };
 
 /// Embedded relational engine: catalog + SQL executor + UDF registry.

@@ -1,0 +1,324 @@
+#include "engine/exec/columnar_aggregate_node.h"
+
+#include <utility>
+
+#include "common/strings.h"
+#include "engine/exec/gather_node.h"
+#include "storage/column_batch.h"
+#include "udf/heap_segment.h"
+
+namespace nlq::engine::exec {
+namespace {
+
+using storage::DataType;
+using storage::Datum;
+using storage::NullBitGet;
+using storage::Row;
+
+/// Builtin aggregate state; field-for-field the same struct (and the
+/// same update rules) as the row path's, so both paths stay
+/// byte-identical — see hash_aggregate_node.cc.
+struct BuiltinAggState {
+  double sum = 0.0;
+  int64_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  bool seen = false;
+};
+
+/// One partition's partial aggregation state (the row path keeps the
+/// same triple per hash-table group; here there is exactly one global
+/// group).
+struct PartialState {
+  std::vector<BuiltinAggState> builtin;
+  std::vector<std::unique_ptr<udf::HeapSegment>> heaps;
+  std::vector<void*> udf_states;  // parallel to specs, null for builtins
+};
+
+Status InitPartial(const std::vector<ColumnarAggSpec>& specs,
+                   PartialState* state) {
+  state->builtin.resize(specs.size());
+  state->heaps.resize(specs.size());
+  state->udf_states.resize(specs.size(), nullptr);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    if (specs[i].kind != AggregateSpec::Kind::kUdf) continue;
+    state->heaps[i] = std::make_unique<udf::HeapSegment>();
+    NLQ_ASSIGN_OR_RETURN(void* udf_state,
+                         specs[i].udaf->Init(state->heaps[i].get()));
+    state->udf_states[i] = udf_state;
+  }
+  return Status::OK();
+}
+
+/// ROW phase of one SQL builtin over one span: NULLs are skipped per
+/// column and `seen` is raised per surviving row, matching the row
+/// path's per-Datum loop update for update.
+void AccumulateBuiltinSpan(AggregateSpec::Kind kind,
+                           const ColumnSpanBatch& in, size_t c,
+                           BuiltinAggState* b) {
+  const double* dv = in.doubles[c];
+  const int64_t* iv = in.ints[c];
+  const uint64_t* nb = in.null_bits[c];
+  for (size_t r = 0; r < in.rows; ++r) {
+    if (nb != nullptr && NullBitGet(nb, r)) continue;
+    const double x = dv != nullptr ? dv[r] : static_cast<double>(iv[r]);
+    switch (kind) {
+      case AggregateSpec::Kind::kSum:
+      case AggregateSpec::Kind::kAvg:
+        b->sum += x;
+        ++b->count;
+        break;
+      case AggregateSpec::Kind::kCount:
+        ++b->count;
+        break;
+      case AggregateSpec::Kind::kMin:
+        if (!b->seen || x < b->min) b->min = x;
+        break;
+      case AggregateSpec::Kind::kMax:
+        if (!b->seen || x > b->max) b->max = x;
+        break;
+      default:
+        break;
+    }
+    b->seen = true;
+  }
+}
+
+/// Per-drain scratch reused across batches: widened / compacted double
+/// spans and the skip mask.
+struct SpanScratch {
+  std::vector<std::vector<double>> cols;
+  std::vector<const double*> spans;
+  std::vector<uint8_t> keep;
+};
+
+/// ROW phase of one aggregate UDF over one batch: widens BIGINT
+/// arguments to double and applies the skip-row NULL policy (a NULL in
+/// any argument drops the row from this UDF only) by order-preserving
+/// compaction, then hands dense spans to AccumulateSpans. Called even
+/// when every row compacts away — the UDF state must still fix its
+/// shape, exactly as Accumulate does before its own NULL check.
+Status AccumulateUdfSpans(const ColumnarAggSpec& spec,
+                          const ColumnSpanBatch& in, void* state,
+                          SpanScratch* scratch) {
+  const size_t ncols = spec.arg_cols.size();
+  if (scratch->cols.size() < ncols) scratch->cols.resize(ncols);
+  scratch->spans.resize(ncols);
+  bool any_nulls = false;
+  for (size_t a = 0; a < ncols; ++a) {
+    any_nulls |= in.null_bits[spec.arg_cols[a]] != nullptr;
+  }
+  size_t out_rows = in.rows;
+  if (any_nulls) {
+    scratch->keep.assign(in.rows, 1);
+    out_rows = 0;
+    for (size_t a = 0; a < ncols; ++a) {
+      const uint64_t* nb = in.null_bits[spec.arg_cols[a]];
+      if (nb == nullptr) continue;
+      for (size_t r = 0; r < in.rows; ++r) {
+        if (NullBitGet(nb, r)) scratch->keep[r] = 0;
+      }
+    }
+    for (size_t r = 0; r < in.rows; ++r) out_rows += scratch->keep[r];
+  }
+  for (size_t a = 0; a < ncols; ++a) {
+    const size_t c = spec.arg_cols[a];
+    const double* dv = in.doubles[c];
+    const int64_t* iv = in.ints[c];
+    if (!any_nulls && dv != nullptr) {
+      scratch->spans[a] = dv;  // zero-copy fast path
+      continue;
+    }
+    std::vector<double>& buf = scratch->cols[a];
+    buf.resize(out_rows);
+    size_t w = 0;
+    for (size_t r = 0; r < in.rows; ++r) {
+      if (any_nulls && !scratch->keep[r]) continue;
+      buf[w++] = dv != nullptr ? dv[r] : static_cast<double>(iv[r]);
+    }
+    scratch->spans[a] = buf.data();
+  }
+  return spec.udaf->AccumulateSpans(state, spec.const_args,
+                                    scratch->spans.data(), ncols, out_rows);
+}
+
+Status MergePartial(const std::vector<ColumnarAggSpec>& specs,
+                    PartialState* dst, const PartialState* src) {
+  for (size_t i = 0; i < specs.size(); ++i) {
+    if (specs[i].kind == AggregateSpec::Kind::kUdf) {
+      NLQ_RETURN_IF_ERROR(
+          specs[i].udaf->Merge(dst->udf_states[i], src->udf_states[i]));
+      continue;
+    }
+    BuiltinAggState& d = dst->builtin[i];
+    const BuiltinAggState& s = src->builtin[i];
+    d.sum += s.sum;
+    d.count += s.count;
+    if (s.seen) {
+      if (!d.seen || s.min < d.min) d.min = s.min;
+      if (!d.seen || s.max > d.max) d.max = s.max;
+      d.seen = true;
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<Row> FinalizePartial(const std::vector<ColumnarAggSpec>& specs,
+                              const PartialState& state) {
+  Row out(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const ColumnarAggSpec& spec = specs[i];
+    const BuiltinAggState& b = state.builtin[i];
+    switch (spec.kind) {
+      case AggregateSpec::Kind::kCountStar:
+      case AggregateSpec::Kind::kCount:
+        out[i] = Datum::Int64(b.count);
+        break;
+      case AggregateSpec::Kind::kSum:
+        out[i] = b.seen ? Datum::Double(b.sum) : Datum::Null(DataType::kDouble);
+        break;
+      case AggregateSpec::Kind::kAvg:
+        out[i] = b.count > 0
+                     ? Datum::Double(b.sum / static_cast<double>(b.count))
+                     : Datum::Null(DataType::kDouble);
+        break;
+      case AggregateSpec::Kind::kMin:
+      case AggregateSpec::Kind::kMax: {
+        if (!b.seen) {
+          out[i] = Datum::Null(spec.result_type);
+          break;
+        }
+        const double v =
+            spec.kind == AggregateSpec::Kind::kMin ? b.min : b.max;
+        out[i] = spec.result_type == DataType::kInt64
+                     ? Datum::Int64(static_cast<int64_t>(v))
+                     : Datum::Double(v);
+        break;
+      }
+      case AggregateSpec::Kind::kUdf: {
+        NLQ_ASSIGN_OR_RETURN(Datum v, spec.udaf->Finalize(state.udf_states[i]));
+        out[i] = std::move(v);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+class ColumnarAggregateStream : public ExecStream {
+ public:
+  explicit ColumnarAggregateStream(const ColumnarAggregateNode* node)
+      : node_(node) {}
+
+  StatusOr<bool> Next(RowBatch* out) override {
+    if (!materialized_) {
+      NLQ_ASSIGN_OR_RETURN(std::vector<Row> rows, node_->Compute());
+      replay_ = std::make_unique<VectorStream>(std::move(rows));
+      materialized_ = true;
+    }
+    return replay_->Next(out);
+  }
+
+ private:
+  const ColumnarAggregateNode* node_;
+  bool materialized_ = false;
+  std::unique_ptr<VectorStream> replay_;
+};
+
+}  // namespace
+
+ColumnarAggregateNode::ColumnarAggregateNode(
+    std::unique_ptr<ColumnarScanNode> child,
+    std::vector<ColumnarAggSpec> specs, std::vector<BoundExprPtr> projections,
+    size_t num_output, ThreadPool* pool)
+    : PlanNode(std::move(child)),
+      specs_(std::move(specs)),
+      projections_(std::move(projections)),
+      num_output_(num_output),
+      pool_(pool) {
+  scan_ = static_cast<const ColumnarScanNode*>(child_.get());
+}
+
+std::string ColumnarAggregateNode::annotation() const {
+  std::string out = StringPrintf("%zu aggregate(s)", specs_.size());
+  size_t udfs = 0;
+  for (const auto& spec : specs_) {
+    if (spec.kind == AggregateSpec::Kind::kUdf) ++udfs;
+  }
+  if (udfs > 0) out += StringPrintf(", %zu fused UDF span call(s)", udfs);
+  out += StringPrintf("; merge: %zu partial state(s)", scan_->num_streams());
+  return out;
+}
+
+StatusOr<ExecStreamPtr> ColumnarAggregateNode::OpenStream(size_t) const {
+  return ExecStreamPtr(new ColumnarAggregateStream(this));
+}
+
+StatusOr<std::vector<Row>> ColumnarAggregateNode::Compute() const {
+  // ROW phase: one partial state per partition, drained in parallel.
+  const size_t parts = scan_->num_streams();
+  std::vector<PartialState> partials(parts);
+  std::vector<Status> statuses(parts);
+  auto drain_one = [&](size_t p) {
+    PartialState& state = partials[p];
+    Status status = InitPartial(specs_, &state);
+    if (!status.ok()) {
+      statuses[p] = std::move(status);
+      return;
+    }
+    statuses[p] = [&]() -> Status {
+      NLQ_ASSIGN_OR_RETURN(ColumnStreamPtr source,
+                           scan_->OpenColumnStream(p));
+      ColumnSpanBatch batch;
+      SpanScratch scratch;
+      for (;;) {
+        NLQ_ASSIGN_OR_RETURN(const bool more, source->Next(&batch));
+        if (!more) return Status::OK();
+        for (size_t i = 0; i < specs_.size(); ++i) {
+          const ColumnarAggSpec& spec = specs_[i];
+          if (spec.kind == AggregateSpec::Kind::kCountStar) {
+            state.builtin[i].count += static_cast<int64_t>(batch.rows);
+          } else if (spec.kind == AggregateSpec::Kind::kUdf) {
+            NLQ_RETURN_IF_ERROR(AccumulateUdfSpans(
+                spec, batch, state.udf_states[i], &scratch));
+          } else {
+            AccumulateBuiltinSpan(spec.kind, batch, spec.arg_cols[0],
+                                  &state.builtin[i]);
+          }
+        }
+      }
+    }();
+  };
+  if (parts == 1 || pool_ == nullptr) {
+    for (size_t p = 0; p < parts; ++p) drain_one(p);
+  } else {
+    pool_->ParallelFor(parts, drain_one);
+  }
+  for (const Status& s : statuses) NLQ_RETURN_IF_ERROR(s);
+
+  // MERGE phase: fold partial states into partition 0's, in partition
+  // order (the row path folds its per-stream tables the same way).
+  for (size_t p = 1; p < parts; ++p) {
+    NLQ_RETURN_IF_ERROR(MergePartial(specs_, &partials[0], &partials[p]));
+  }
+
+  // FINALIZE phase: one global group (partials[0] exists even for an
+  // empty table, matching the row path's empty-input global group).
+  NLQ_ASSIGN_OR_RETURN(Row agg_values, FinalizePartial(specs_, partials[0]));
+  const Row empty_keys;
+  Status error;
+  EvalContext ctx;
+  ctx.keys = &empty_keys;
+  ctx.aggs = &agg_values;
+  ctx.error = &error;
+  Row out(num_output_);
+  for (size_t c = 0; c < num_output_; ++c) {
+    out[c] = projections_[c]->Eval(ctx);
+  }
+  NLQ_RETURN_IF_ERROR(error);
+  std::vector<Row> rows;
+  rows.push_back(std::move(out));
+  return rows;
+}
+
+}  // namespace nlq::engine::exec

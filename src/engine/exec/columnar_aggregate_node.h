@@ -1,0 +1,69 @@
+#ifndef NLQ_ENGINE_EXEC_COLUMNAR_AGGREGATE_NODE_H_
+#define NLQ_ENGINE_EXEC_COLUMNAR_AGGREGATE_NODE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/threadpool.h"
+#include "engine/exec/columnar_scan_node.h"
+#include "engine/exec/plan.h"
+#include "engine/expr.h"
+
+namespace nlq::engine::exec {
+
+/// One aggregate call on the columnar fast path. Mirrors
+/// AggregateSpec, but the row-level argument expressions are reduced
+/// to column indices into the child scan's projection (they were bare
+/// column references — that is what made the query eligible) plus the
+/// leading constant literal arguments of an aggregate UDF call.
+struct ColumnarAggSpec {
+  AggregateSpec::Kind kind = AggregateSpec::Kind::kCountStar;
+  const udf::AggregateUdf* udaf = nullptr;    // for kUdf
+  std::vector<storage::Datum> const_args;     // leading literals (kUdf)
+  std::vector<size_t> arg_cols;               // scan projection indices
+  storage::DataType result_type = storage::DataType::kDouble;
+};
+
+/// Pipeline breaker of the columnar fast path: one partial aggregation
+/// state per partition, fed column spans (AggregateUdf::AccumulateSpans
+/// for UDFs, tight span loops for SQL builtins), merged in partition
+/// order and finalized into the single global group's output row.
+///
+/// State transitions, merge order and NULL handling replicate
+/// HashAggregateNode exactly — for the nlq UDFs the fused kernel's
+/// per-accumulator row order also matches the row path, so both paths
+/// produce byte-identical results and the row path stays usable as a
+/// correctness oracle (see tests/columnar_equivalence_test.cc).
+class ColumnarAggregateNode : public PlanNode {
+ public:
+  /// `child` must be the ColumnarScanNode the spec column indices
+  /// refer to. `projections` evaluate over EvalContext{keys, aggs}
+  /// like HashAggregateNode's (keys is always the empty row here).
+  ColumnarAggregateNode(std::unique_ptr<ColumnarScanNode> child,
+                        std::vector<ColumnarAggSpec> specs,
+                        std::vector<BoundExprPtr> projections,
+                        size_t num_output, ThreadPool* pool);
+
+  const char* name() const override { return "ColumnarAggregate"; }
+  std::string annotation() const override;
+  size_t output_width() const override { return num_output_; }
+  size_t num_streams() const override { return 1; }
+  StatusOr<ExecStreamPtr> OpenStream(size_t s) const override;
+
+  /// Runs the full INIT/ROW/MERGE/FINALIZE protocol and returns the
+  /// single output row.
+  StatusOr<std::vector<storage::Row>> Compute() const;
+
+ private:
+  const ColumnarScanNode* scan_;  // == child_.get()
+  std::vector<ColumnarAggSpec> specs_;
+  std::vector<BoundExprPtr> projections_;
+  size_t num_output_;
+  ThreadPool* pool_;
+};
+
+}  // namespace nlq::engine::exec
+
+#endif  // NLQ_ENGINE_EXEC_COLUMNAR_AGGREGATE_NODE_H_

@@ -1,0 +1,219 @@
+#include "engine/exec/columnar_scan_node.h"
+
+#include <utility>
+
+#include "common/strings.h"
+
+namespace nlq::engine::exec {
+namespace {
+
+using storage::ColumnVector;
+using storage::DataType;
+using storage::NullBitGet;
+using storage::NullBitmapWords;
+using storage::NullBitSet;
+
+/// ANDs one pushed-down comparison into `keep`. Values are widened to
+/// double exactly like Datum::AsDouble, so the verdict matches the
+/// row-path interpreter bit for bit; NULL operands fail every
+/// comparison (UNKNOWN drops the row, as in FilterNode).
+void ApplyFilter(const ColumnFilter& f, const ColumnSpanBatch& in,
+                 uint8_t* keep) {
+  const double* dv = in.doubles[f.col];
+  const int64_t* iv = in.ints[f.col];
+  const uint64_t* nb = in.null_bits[f.col];
+  const double lit = f.value;
+  for (size_t r = 0; r < in.rows; ++r) {
+    if (!keep[r]) continue;
+    if (nb != nullptr && NullBitGet(nb, r)) {
+      keep[r] = 0;
+      continue;
+    }
+    const double v = dv != nullptr ? dv[r] : static_cast<double>(iv[r]);
+    bool pass = false;
+    switch (f.op) {
+      case BinaryOp::kEq: pass = v == lit; break;
+      case BinaryOp::kNe: pass = v != lit; break;
+      case BinaryOp::kLt: pass = v < lit; break;
+      case BinaryOp::kLe: pass = v <= lit; break;
+      case BinaryOp::kGt: pass = v > lit; break;
+      case BinaryOp::kGe: pass = v >= lit; break;
+      default: break;
+    }
+    if (!pass) keep[r] = 0;
+  }
+}
+
+/// Stream over one partition. In streaming mode batches are decoded
+/// page-by-page through a ColumnBatchScanner into stream-owned
+/// buffers; in cache mode the whole partition is served as one batch
+/// of spans aliasing the table's decoded-column cache. Filtered
+/// batches are compacted (order-preserving) into stream-owned scratch
+/// columns.
+class ColumnarScanStream : public ColumnStream {
+ public:
+  ColumnarScanStream(const storage::Table* partition,
+                     const std::vector<size_t>& slots,
+                     const std::vector<ColumnFilter>& filters, bool use_cache,
+                     size_t batch_capacity)
+      : partition_(partition),
+        slots_(slots),
+        filters_(filters),
+        use_cache_(use_cache),
+        scanner_(use_cache
+                     ? nullptr
+                     : std::make_unique<storage::ColumnBatchScanner>(
+                           partition->ScanColumnBatch(slots, batch_capacity))),
+        scratch_(slots.size()) {}
+
+  StatusOr<bool> Next(ColumnSpanBatch* out) override {
+    return use_cache_ ? NextCached(out) : NextStreaming(out);
+  }
+
+ private:
+  struct ScratchColumn {
+    std::vector<double> doubles;
+    std::vector<int64_t> ints;
+    std::vector<uint64_t> null_bits;
+    bool has_nulls = false;
+  };
+
+  StatusOr<bool> NextStreaming(ColumnSpanBatch* out) {
+    for (;;) {
+      const bool more = scanner_->Next(&batch_);
+      if (!scanner_->status().ok()) return scanner_->status();
+      if (!more) return false;
+      out->rows = batch_.size();
+      Point(out, [this](size_t c) -> const ColumnVector& {
+        return batch_.column(c);
+      });
+      if (Filter(out)) return true;
+    }
+  }
+
+  StatusOr<bool> NextCached(ColumnSpanBatch* out) {
+    if (served_) return false;
+    served_ = true;
+    if (partition_->num_rows() == 0) return false;
+    NLQ_RETURN_IF_ERROR(partition_->EnsureDecodedColumns(slots_));
+    out->rows = static_cast<size_t>(partition_->num_rows());
+    Point(out, [this](size_t c) -> const ColumnVector& {
+      return *partition_->decoded_column(slots_[c]);
+    });
+    return Filter(out);
+  }
+
+  /// Points `out`'s spans at the ColumnVectors returned by `source`.
+  template <typename Source>
+  void Point(ColumnSpanBatch* out, Source source) {
+    const size_t ncols = slots_.size();
+    out->doubles.assign(ncols, nullptr);
+    out->ints.assign(ncols, nullptr);
+    out->null_bits.assign(ncols, nullptr);
+    for (size_t c = 0; c < ncols; ++c) {
+      const ColumnVector& col = source(c);
+      if (col.type == DataType::kDouble) {
+        out->doubles[c] = col.double_data();
+      } else {
+        out->ints[c] = col.int_data();
+      }
+      if (col.has_nulls()) out->null_bits[c] = col.null_bits.data();
+    }
+  }
+
+  /// Applies the pushed-down comparisons to `out` in place, compacting
+  /// survivors into scratch columns when any row is dropped. Returns
+  /// false when no row survives (the caller skips the batch).
+  bool Filter(ColumnSpanBatch* out) {
+    if (filters_.empty()) return true;
+    const size_t rows = out->rows;
+    keep_.assign(rows, 1);
+    for (const ColumnFilter& f : filters_) ApplyFilter(f, *out, keep_.data());
+    size_t kept = 0;
+    for (size_t r = 0; r < rows; ++r) kept += keep_[r];
+    if (kept == rows) return true;
+    if (kept == 0) return false;
+    for (size_t c = 0; c < slots_.size(); ++c) {
+      ScratchColumn& dst = scratch_[c];
+      const double* dv = out->doubles[c];
+      const int64_t* iv = out->ints[c];
+      const uint64_t* nb = out->null_bits[c];
+      dst.has_nulls = false;
+      if (dv != nullptr) dst.doubles.resize(kept);
+      if (iv != nullptr) dst.ints.resize(kept);
+      if (nb != nullptr) dst.null_bits.assign(NullBitmapWords(kept), 0);
+      size_t w = 0;
+      for (size_t r = 0; r < rows; ++r) {
+        if (!keep_[r]) continue;
+        if (dv != nullptr) dst.doubles[w] = dv[r];
+        if (iv != nullptr) dst.ints[w] = iv[r];
+        if (nb != nullptr && NullBitGet(nb, r)) {
+          NullBitSet(dst.null_bits.data(), w);
+          dst.has_nulls = true;
+        }
+        ++w;
+      }
+      out->doubles[c] = dv != nullptr ? dst.doubles.data() : nullptr;
+      out->ints[c] = iv != nullptr ? dst.ints.data() : nullptr;
+      out->null_bits[c] = dst.has_nulls ? dst.null_bits.data() : nullptr;
+    }
+    out->rows = kept;
+    return true;
+  }
+
+  const storage::Table* partition_;
+  const std::vector<size_t>& slots_;
+  const std::vector<ColumnFilter>& filters_;
+  bool use_cache_;
+  bool served_ = false;
+  std::unique_ptr<storage::ColumnBatchScanner> scanner_;
+  storage::ColumnBatch batch_;
+  std::vector<uint8_t> keep_;
+  std::vector<ScratchColumn> scratch_;
+};
+
+}  // namespace
+
+ColumnarScanNode::ColumnarScanNode(const storage::PartitionedTable* table,
+                                   std::string table_name,
+                                   std::vector<size_t> slots,
+                                   std::vector<ColumnFilter> filters,
+                                   bool use_cache, size_t batch_capacity)
+    : PlanNode(nullptr),
+      table_(table),
+      table_name_(std::move(table_name)),
+      slots_(std::move(slots)),
+      filters_(std::move(filters)),
+      use_cache_(use_cache),
+      batch_capacity_(batch_capacity) {}
+
+std::string ColumnarScanNode::annotation() const {
+  std::string out = StringPrintf(
+      "%s: %llu rows, %zu partitions, %zu of %zu column(s), batch %zu, "
+      "cache %s",
+      table_name_.c_str(), static_cast<unsigned long long>(table_->num_rows()),
+      table_->num_partitions(), slots_.size(),
+      table_->schema().num_columns(), batch_capacity_,
+      use_cache_ ? "on" : "off");
+  if (!filters_.empty()) {
+    out += ", filter: ";
+    for (size_t i = 0; i < filters_.size(); ++i) {
+      if (i > 0) out += " AND ";
+      out += filters_[i].text;
+    }
+  }
+  return out;
+}
+
+StatusOr<ExecStreamPtr> ColumnarScanNode::OpenStream(size_t) const {
+  return Status::Internal(
+      "ColumnarScan produces column spans; it must be driven by "
+      "ColumnarAggregate");
+}
+
+StatusOr<ColumnStreamPtr> ColumnarScanNode::OpenColumnStream(size_t s) const {
+  return ColumnStreamPtr(new ColumnarScanStream(
+      &table_->partition(s), slots_, filters_, use_cache_, batch_capacity_));
+}
+
+}  // namespace nlq::engine::exec

@@ -1,0 +1,103 @@
+#ifndef NLQ_ENGINE_EXEC_COLUMNAR_SCAN_NODE_H_
+#define NLQ_ENGINE_EXEC_COLUMNAR_SCAN_NODE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/ast.h"
+#include "engine/exec/plan.h"
+#include "storage/column_batch.h"
+#include "storage/partitioned_table.h"
+
+namespace nlq::engine::exec {
+
+/// One pushed-down simple comparison (`column <op> literal`) evaluated
+/// directly on column spans. The literal is widened to double exactly
+/// like Datum::AsDouble, which is also how the row-path interpreter
+/// compares numeric operands — both paths keep or drop the same rows.
+/// A NULL column value makes the comparison UNKNOWN and drops the row,
+/// matching FilterNode.
+struct ColumnFilter {
+  size_t col = 0;               // index into the scan's projected columns
+  BinaryOp op = BinaryOp::kEq;  // comparison op only (kEq..kGe)
+  double value = 0.0;           // the literal operand
+  std::string text;             // display form for EXPLAIN
+};
+
+/// A batch of typed column spans produced by ColumnarScanNode streams.
+/// Spans alias buffers owned by the producing stream (or the table's
+/// decoded-column cache) and stay valid until its next Next() call.
+struct ColumnSpanBatch {
+  size_t rows = 0;
+  /// Per projected column: a dense value span of length `rows`.
+  /// Exactly one of doubles[i] / ints[i] is non-null, by column type.
+  std::vector<const double*> doubles;
+  std::vector<const int64_t*> ints;
+  /// Null bitmap per column (bit r set = row r NULL; value slot holds
+  /// 0/0.0 there), or nullptr when the span contains no NULLs.
+  std::vector<const uint64_t*> null_bits;
+};
+
+/// Pull cursor over one partition's column spans — the columnar
+/// counterpart of ExecStream. Batches are never empty: a filter that
+/// eliminates every row of a decode batch advances to the next one, so
+/// consumers can treat each batch as evidence that rows survived (the
+/// row path's FilterNode gives its aggregate the same guarantee).
+class ColumnStream {
+ public:
+  virtual ~ColumnStream() = default;
+
+  /// Points `out` at the next batch of spans; returns true while rows
+  /// were produced, false once the partition is exhausted.
+  virtual StatusOr<bool> Next(ColumnSpanBatch* out) = 0;
+};
+
+using ColumnStreamPtr = std::unique_ptr<ColumnStream>;
+
+/// Leaf of the columnar fast path: scans a partitioned table's pages
+/// straight into typed column arrays (no Datum boxing) and applies
+/// pushed-down simple comparisons by span compaction. Driven through
+/// OpenColumnStream by ColumnarAggregateNode; the row-oriented
+/// OpenStream is deliberately unimplemented.
+///
+/// With `use_cache` the scan decodes each partition's columns once
+/// into the table's decoded-column cache and serves whole-partition
+/// spans from it on every subsequent scan (iterative model building
+/// re-scans the same table many times); the cache is invalidated by
+/// appends. Without it the scan streams batches through a
+/// ColumnBatchScanner.
+class ColumnarScanNode : public PlanNode {
+ public:
+  ColumnarScanNode(const storage::PartitionedTable* table,
+                   std::string table_name, std::vector<size_t> slots,
+                   std::vector<ColumnFilter> filters, bool use_cache,
+                   size_t batch_capacity);
+
+  const char* name() const override { return "ColumnarScan"; }
+  std::string annotation() const override;
+  size_t output_width() const override { return slots_.size(); }
+  size_t num_streams() const override { return table_->num_partitions(); }
+
+  /// The columnar scan feeds ColumnarAggregateNode spans, not rows.
+  StatusOr<ExecStreamPtr> OpenStream(size_t s) const override;
+
+  StatusOr<ColumnStreamPtr> OpenColumnStream(size_t s) const;
+
+  /// Schema slot indices of the projected columns, in span order.
+  const std::vector<size_t>& slots() const { return slots_; }
+  const storage::Schema& schema() const { return table_->schema(); }
+
+ private:
+  const storage::PartitionedTable* table_;
+  std::string table_name_;
+  std::vector<size_t> slots_;
+  std::vector<ColumnFilter> filters_;
+  bool use_cache_;
+  size_t batch_capacity_;
+};
+
+}  // namespace nlq::engine::exec
+
+#endif  // NLQ_ENGINE_EXEC_COLUMNAR_SCAN_NODE_H_

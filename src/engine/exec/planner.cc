@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "common/strings.h"
+#include "engine/exec/columnar_aggregate_node.h"
+#include "engine/exec/columnar_scan_node.h"
 #include "engine/exec/cross_join_node.h"
 #include "engine/exec/filter_node.h"
 #include "engine/exec/gather_node.h"
@@ -152,14 +154,160 @@ bool IsAggregateSelect(const SelectStatement& select,
   return false;
 }
 
+// ---------------------------------------------------------------------------
+// Columnar fast path eligibility
+// ---------------------------------------------------------------------------
+
+/// Columnar fast-path plan fragment assembled by TryColumnarFastPath.
+struct ColumnarCandidate {
+  bool eligible = false;
+  std::vector<size_t> slots;           // driver schema slots to decode
+  std::vector<ColumnFilter> filters;   // cols are indices into `slots`
+  std::vector<ColumnarAggSpec> specs;  // parallel to the bound specs
+};
+
+/// Projection index of `slot`, appending it on first use.
+size_t ProjectSlot(std::vector<size_t>* slots, size_t slot) {
+  for (size_t i = 0; i < slots->size(); ++i) {
+    if ((*slots)[i] == slot) return i;
+  }
+  slots->push_back(slot);
+  return slots->size() - 1;
+}
+
+/// Maps `lit <op> col` to the equivalent `col <op'> lit`; false for
+/// non-comparison operators. The identity case doubles as the
+/// is-a-comparison check.
+bool MirrorComparison(BinaryOp op, bool swapped, BinaryOp* out) {
+  switch (op) {
+    case BinaryOp::kEq: *out = BinaryOp::kEq; return true;
+    case BinaryOp::kNe: *out = BinaryOp::kNe; return true;
+    case BinaryOp::kLt: *out = swapped ? BinaryOp::kGt : BinaryOp::kLt;
+      return true;
+    case BinaryOp::kLe: *out = swapped ? BinaryOp::kGe : BinaryOp::kLe;
+      return true;
+    case BinaryOp::kGt: *out = swapped ? BinaryOp::kLt : BinaryOp::kGt;
+      return true;
+    case BinaryOp::kGe: *out = swapped ? BinaryOp::kLe : BinaryOp::kGe;
+      return true;
+    default: return false;
+  }
+}
+
+/// Extracts a non-NULL numeric literal, folding a leading unary minus
+/// (the parser produces `-2` as kUnary(kNegate, kLiteral)).
+bool NumericLiteral(const Expr& e, double* v) {
+  if (e.kind == ExprKind::kUnary && e.unary_op == UnaryOp::kNegate &&
+      e.left != nullptr) {
+    if (!NumericLiteral(*e.left, v)) return false;
+    *v = -*v;
+    return true;
+  }
+  if (e.kind != ExprKind::kLiteral || e.literal.is_null() ||
+      e.literal.type() == DataType::kVarchar) {
+    return false;
+  }
+  *v = e.literal.AsDouble();
+  return true;
+}
+
+/// Decides whether a bound global aggregate can run on the columnar
+/// fast path, and if so reduces it to scan slots, pushed-down span
+/// filters and ColumnarAggSpecs. Eligible queries aggregate a single
+/// base table without GROUP BY / HAVING, every aggregate argument is a
+/// bare numeric column reference (after an aggregate UDF's leading
+/// literal arguments), and the WHERE clause — if any — is a
+/// conjunction of `column <op> numeric-literal` comparisons. Anything
+/// else stays on the row path.
+ColumnarCandidate TryColumnarFastPath(const SelectStatement& select,
+                                      const FromInputs& inputs,
+                                      const BoundAggregation& agg,
+                                      bool has_having) {
+  ColumnarCandidate cand;
+  if (inputs.driver == nullptr || !inputs.small_tables.empty()) return cand;
+  if (!agg.key_exprs.empty() || has_having) return cand;
+
+  if (select.where != nullptr) {
+    std::vector<const Expr*> conjuncts;
+    SplitConjuncts(select.where.get(), &conjuncts);
+    for (const Expr* conj : conjuncts) {
+      if (conj->kind != ExprKind::kBinary) return cand;
+      const Expr* colref = conj->left.get();
+      const Expr* lit = conj->right.get();
+      bool swapped = false;
+      if (colref->kind != ExprKind::kColumnRef) {
+        std::swap(colref, lit);
+        swapped = true;
+      }
+      ColumnFilter f;
+      if (colref->kind != ExprKind::kColumnRef ||
+          !NumericLiteral(*lit, &f.value) ||
+          !MirrorComparison(conj->binary_op, swapped, &f.op)) {
+        return cand;
+      }
+      StatusOr<std::pair<size_t, DataType>> resolved =
+          inputs.scope.Resolve(colref->table, colref->column);
+      if (!resolved.ok() || resolved.value().second == DataType::kVarchar) {
+        return cand;
+      }
+      f.col = ProjectSlot(&cand.slots, resolved.value().first);
+      f.text = conj->ToString();
+      cand.filters.push_back(std::move(f));
+    }
+  }
+
+  for (const AggregateSpec& spec : agg.specs) {
+    ColumnarAggSpec cs;
+    cs.kind = spec.kind;
+    cs.udaf = spec.udaf;
+    cs.result_type = spec.result_type;
+    if (spec.kind == AggregateSpec::Kind::kUdf) {
+      if (spec.udaf == nullptr || !spec.udaf->SupportsColumnarSpans()) {
+        return cand;
+      }
+      size_t a = 0;
+      storage::Datum lit;
+      while (a < spec.args.size() && spec.args[a]->AsLiteralValue(&lit)) {
+        cs.const_args.push_back(std::move(lit));
+        ++a;
+      }
+      if (a == spec.args.size()) return cand;  // no column spans at all
+      for (; a < spec.args.size(); ++a) {
+        size_t slot = 0;
+        if (!spec.args[a]->AsInputRef(&slot) ||
+            spec.args[a]->result_type() == DataType::kVarchar) {
+          return cand;
+        }
+        cs.arg_cols.push_back(ProjectSlot(&cand.slots, slot));
+      }
+    } else if (spec.kind != AggregateSpec::Kind::kCountStar) {
+      size_t slot = 0;
+      if (spec.args.size() != 1 || !spec.args[0]->AsInputRef(&slot) ||
+          spec.args[0]->result_type() == DataType::kVarchar) {
+        return cand;
+      }
+      cs.arg_cols.push_back(ProjectSlot(&cand.slots, slot));
+    }
+    cand.specs.push_back(std::move(cs));
+  }
+
+  // A pure COUNT(*) query decodes no columns; the row path is already
+  // optimal there.
+  if (cand.slots.empty()) return cand;
+  cand.eligible = true;
+  return cand;
+}
+
 }  // namespace
 
 Planner::Planner(storage::Catalog* catalog, const udf::UdfRegistry* registry,
-                 ThreadPool* pool, size_t batch_capacity)
+                 ThreadPool* pool, size_t batch_capacity,
+                 bool enable_column_cache)
     : catalog_(catalog),
       registry_(registry),
       pool_(pool),
-      batch_capacity_(batch_capacity) {}
+      batch_capacity_(batch_capacity),
+      enable_column_cache_(enable_column_cache) {}
 
 StatusOr<PhysicalPlan> Planner::Plan(const SelectStatement& select) const {
   NLQ_ASSIGN_OR_RETURN(FromInputs inputs, PrepareFrom(select, *catalog_));
@@ -218,10 +366,24 @@ StatusOr<PhysicalPlan> Planner::Plan(const SelectStatement& select) const {
       out_cols.push_back({ResultColumnName(select.items[i], i),
                           agg.projections[i]->result_type()});
     }
-    node = std::make_unique<HashAggregateNode>(
-        std::move(node), std::move(agg), has_having,
-        has_having ? select.having->ToString() : std::string(),
-        select.items.size(), pool_, batch_capacity_);
+    ColumnarCandidate cand =
+        TryColumnarFastPath(select, inputs, agg, has_having);
+    if (cand.eligible) {
+      // Replace the row-oriented scan/filter chain with the columnar
+      // one; the pushed-down comparisons run on column spans inside
+      // the scan.
+      auto scan = std::make_unique<ColumnarScanNode>(
+          inputs.driver, select.from[0].table_name, std::move(cand.slots),
+          std::move(cand.filters), enable_column_cache_, batch_capacity_);
+      node = std::make_unique<ColumnarAggregateNode>(
+          std::move(scan), std::move(cand.specs), std::move(agg.projections),
+          select.items.size(), pool_);
+    } else {
+      node = std::make_unique<HashAggregateNode>(
+          std::move(node), std::move(agg), has_having,
+          has_having ? select.having->ToString() : std::string(),
+          select.items.size(), pool_, batch_capacity_);
+    }
   } else {
     // Expand the select list (handling bare `*`).
     std::vector<BoundExprPtr> projections;

@@ -31,11 +31,23 @@ struct PhysicalPlan {
 /// execution is pure data flow. Planning a statement does not scan
 /// the driver table; only the small cross-join sides are
 /// materialized, exactly as the previous monolithic executor did.
+///
+/// Global aggregates over a single base table whose aggregate
+/// arguments are bare column references — the paper's N,L,Q summary
+/// queries — are planned as the columnar fast path instead:
+///
+///   [Limit] <- [Sort] <- ColumnarAggregate <- ColumnarScan
+///
+/// The WHERE clause (if any) must consist of simple
+/// `column <op> literal` comparisons, which are pushed into the scan
+/// and evaluated on column spans; anything else falls back to the row
+/// path, which remains the correctness oracle for the columnar one.
 class Planner {
  public:
   Planner(storage::Catalog* catalog, const udf::UdfRegistry* registry,
           ThreadPool* pool,
-          size_t batch_capacity = RowBatch::kDefaultCapacity);
+          size_t batch_capacity = RowBatch::kDefaultCapacity,
+          bool enable_column_cache = true);
 
   StatusOr<PhysicalPlan> Plan(const SelectStatement& select) const;
 
@@ -44,6 +56,7 @@ class Planner {
   const udf::UdfRegistry* registry_;
   ThreadPool* pool_;
   size_t batch_capacity_;
+  bool enable_column_cache_;
 };
 
 }  // namespace nlq::engine::exec

@@ -24,6 +24,10 @@ class LiteralNode : public BoundExpr {
     for (size_t i = 0; i < count; ++i) out[i] = value_;
   }
   DataType result_type() const override { return value_.type(); }
+  bool AsLiteralValue(Datum* value) const override {
+    *value = value_;
+    return true;
+  }
 
  private:
   Datum value_;
@@ -40,6 +44,10 @@ class InputRefNode : public BoundExpr {
     for (size_t i = 0; i < count; ++i) out[i] = rows[i][slot_];
   }
   DataType result_type() const override { return type_; }
+  bool AsInputRef(size_t* slot) const override {
+    *slot = slot_;
+    return true;
+  }
 
  private:
   size_t slot_;

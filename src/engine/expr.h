@@ -57,6 +57,19 @@ class BoundExpr {
 
   /// Static result type of this expression.
   virtual storage::DataType result_type() const = 0;
+
+  /// Fast-path introspection for the columnar planner: if this node is
+  /// a bare input column reference, stores its slot and returns true.
+  virtual bool AsInputRef(size_t* slot) const {
+    (void)slot;
+    return false;
+  }
+
+  /// If this node is a literal, stores its value and returns true.
+  virtual bool AsLiteralValue(storage::Datum* value) const {
+    (void)value;
+    return false;
+  }
 };
 
 using BoundExprPtr = std::unique_ptr<BoundExpr>;

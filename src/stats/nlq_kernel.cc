@@ -1,0 +1,291 @@
+#include "stats/nlq_kernel.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include "common/strings.h"
+
+namespace nlq::stats {
+namespace {
+
+/// Rows per block: one block of a 64-dim scan is ~512 KB of column
+/// data, so the Q passes re-read it from cache instead of RAM.
+constexpr size_t kRowBlock = 1024;
+
+/// Accumulator chains per inner loop. Each q[a][b] (and l[a]) is a
+/// strict sequential FP reduction — required for bit-identity with the
+/// row path — so a single chain is add-latency-bound; kTile parallel
+/// chains over *different* accumulators restore throughput.
+constexpr size_t kTile = 8;
+
+/// L + min/max for columns [a0, a0+an) over one row block.
+void AccumulateLMinMax(NlqState* s, const double* const* cols, size_t a0,
+                       size_t an, size_t rows) {
+  double lacc[kTile], mn[kTile], mx[kTile];
+  const double* x[kTile];
+  for (size_t j = 0; j < an; ++j) {
+    lacc[j] = s->l[a0 + j];
+    mn[j] = s->mn[a0 + j];
+    mx[j] = s->mx[a0 + j];
+    x[j] = cols[a0 + j];
+  }
+  if (an == kTile) {
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t j = 0; j < kTile; ++j) {
+        const double v = x[j][r];
+        lacc[j] += v;
+        if (v < mn[j]) mn[j] = v;
+        if (v > mx[j]) mx[j] = v;
+      }
+    }
+  } else {
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t j = 0; j < an; ++j) {
+        const double v = x[j][r];
+        lacc[j] += v;
+        if (v < mn[j]) mn[j] = v;
+        if (v > mx[j]) mx[j] = v;
+      }
+    }
+  }
+  for (size_t j = 0; j < an; ++j) {
+    s->l[a0 + j] = lacc[j];
+    s->mn[a0 + j] = mn[j];
+    s->mx[a0 + j] = mx[j];
+  }
+}
+
+/// One Q row tile: qrow[b0..b0+bn) += xa . x_b over the row block.
+void AccumulateQTile(double* qrow, const double* xa, const double* const* cols,
+                     size_t b0, size_t bn, size_t rows) {
+  double acc[kTile];
+  const double* xb[kTile];
+  for (size_t j = 0; j < bn; ++j) {
+    acc[j] = qrow[b0 + j];
+    xb[j] = cols[b0 + j];
+  }
+  if (bn == kTile) {
+    for (size_t r = 0; r < rows; ++r) {
+      const double v = xa[r];
+      for (size_t j = 0; j < kTile; ++j) acc[j] += v * xb[j][r];
+    }
+  } else {
+    for (size_t r = 0; r < rows; ++r) {
+      const double v = xa[r];
+      for (size_t j = 0; j < bn; ++j) acc[j] += v * xb[j][r];
+    }
+  }
+  for (size_t j = 0; j < bn; ++j) qrow[b0 + j] = acc[j];
+}
+
+/// Diagonal kind: L, Q diagonal, and min/max fused in one pass per
+/// column tile.
+void AccumulateDiagTile(NlqState* s, const double* const* cols, size_t a0,
+                        size_t an, size_t rows) {
+  double lacc[kTile], qacc[kTile], mn[kTile], mx[kTile];
+  const double* x[kTile];
+  for (size_t j = 0; j < an; ++j) {
+    lacc[j] = s->l[a0 + j];
+    qacc[j] = s->q[a0 + j][a0 + j];
+    mn[j] = s->mn[a0 + j];
+    mx[j] = s->mx[a0 + j];
+    x[j] = cols[a0 + j];
+  }
+  if (an == kTile) {
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t j = 0; j < kTile; ++j) {
+        const double v = x[j][r];
+        lacc[j] += v;
+        qacc[j] += v * v;
+        if (v < mn[j]) mn[j] = v;
+        if (v > mx[j]) mx[j] = v;
+      }
+    }
+  } else {
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t j = 0; j < an; ++j) {
+        const double v = x[j][r];
+        lacc[j] += v;
+        qacc[j] += v * v;
+        if (v < mn[j]) mn[j] = v;
+        if (v > mx[j]) mx[j] = v;
+      }
+    }
+  }
+  for (size_t j = 0; j < an; ++j) {
+    s->l[a0 + j] = lacc[j];
+    s->q[a0 + j][a0 + j] = qacc[j];
+    s->mn[a0 + j] = mn[j];
+    s->mx[a0 + j] = mx[j];
+  }
+}
+
+}  // namespace
+
+void ResetNlqState(NlqState* s) {
+  std::memset(s, 0, sizeof(NlqState));
+  s->d = -1;
+  s->kind = static_cast<int32_t>(MatrixKind::kLowerTriangular);
+  for (size_t a = 0; a < kMaxUdfDims; ++a) {
+    s->mn[a] = std::numeric_limits<double>::infinity();
+    s->mx[a] = -std::numeric_limits<double>::infinity();
+  }
+}
+
+Status SetNlqShape(NlqState* s, size_t d, MatrixKind kind) {
+  if (d == 0 || d > kMaxUdfDims) {
+    return Status::InvalidArgument(StringPrintf(
+        "nlq: d=%zu out of range 1..%zu (use nlq_block for higher d)", d,
+        kMaxUdfDims));
+  }
+  s->d = static_cast<int32_t>(d);
+  s->kind = static_cast<int32_t>(kind);
+  return Status::OK();
+}
+
+void NlqAccumulatePoint(NlqState* s, const double* x) {
+  const size_t d = static_cast<size_t>(s->d);
+  s->n += 1.0;
+  switch (static_cast<MatrixKind>(s->kind)) {
+    case MatrixKind::kDiagonal:
+      for (size_t a = 0; a < d; ++a) {
+        const double xa = x[a];
+        s->l[a] += xa;
+        s->q[a][a] += xa * xa;
+      }
+      break;
+    case MatrixKind::kLowerTriangular:
+      for (size_t a = 0; a < d; ++a) {
+        const double xa = x[a];
+        s->l[a] += xa;
+        double* row = s->q[a];
+        for (size_t b = 0; b <= a; ++b) row[b] += xa * x[b];
+      }
+      break;
+    case MatrixKind::kFull:
+      for (size_t a = 0; a < d; ++a) {
+        const double xa = x[a];
+        s->l[a] += xa;
+        double* row = s->q[a];
+        for (size_t b = 0; b < d; ++b) row[b] += xa * x[b];
+      }
+      break;
+  }
+  for (size_t a = 0; a < d; ++a) {
+    if (x[a] < s->mn[a]) s->mn[a] = x[a];
+    if (x[a] > s->mx[a]) s->mx[a] = x[a];
+  }
+}
+
+void NlqAccumulateSpans(NlqState* s, const double* const* cols, size_t rows) {
+  const size_t d = static_cast<size_t>(s->d);
+  const MatrixKind kind = static_cast<MatrixKind>(s->kind);
+  // n counts whole rows: doubles hold integers exactly here, so one
+  // bulk add equals `rows` sequential `+= 1.0`s bit-for-bit.
+  s->n += static_cast<double>(rows);
+  const double* shifted[kMaxUdfDims];
+  for (size_t r0 = 0; r0 < rows; r0 += kRowBlock) {
+    const size_t rn = std::min(kRowBlock, rows - r0);
+    for (size_t a = 0; a < d; ++a) shifted[a] = cols[a] + r0;
+    if (kind == MatrixKind::kDiagonal) {
+      for (size_t a0 = 0; a0 < d; a0 += kTile) {
+        AccumulateDiagTile(s, shifted, a0, std::min(kTile, d - a0), rn);
+      }
+      continue;
+    }
+    for (size_t a0 = 0; a0 < d; a0 += kTile) {
+      AccumulateLMinMax(s, shifted, a0, std::min(kTile, d - a0), rn);
+    }
+    for (size_t a = 0; a < d; ++a) {
+      const size_t bmax = kind == MatrixKind::kLowerTriangular ? a + 1 : d;
+      for (size_t b0 = 0; b0 < bmax; b0 += kTile) {
+        AccumulateQTile(s->q[a], shifted[a], shifted, b0,
+                        std::min(kTile, bmax - b0), rn);
+      }
+    }
+  }
+}
+
+Status NlqMergeStates(NlqState* dst, const NlqState* src) {
+  if (src->d < 0) return Status::OK();  // src saw no rows
+  if (dst->d < 0) {
+    std::memcpy(dst, src, sizeof(NlqState));
+    return Status::OK();
+  }
+  if (dst->d != src->d || dst->kind != src->kind) {
+    return Status::Internal("nlq: partial states disagree on d or kind");
+  }
+  const size_t d = static_cast<size_t>(dst->d);
+  dst->n += src->n;
+  for (size_t a = 0; a < d; ++a) {
+    dst->l[a] += src->l[a];
+    if (src->mn[a] < dst->mn[a]) dst->mn[a] = src->mn[a];
+    if (src->mx[a] > dst->mx[a]) dst->mx[a] = src->mx[a];
+    for (size_t b = 0; b < d; ++b) dst->q[a][b] += src->q[a][b];
+  }
+  return Status::OK();
+}
+
+StatusOr<storage::Datum> NlqFinalizeState(const NlqState* s) {
+  if (s->d < 0) {
+    // No rows: empty statistics.
+    return storage::Datum::Varchar(
+        SufStats(0, MatrixKind::kLowerTriangular).ToPackedString());
+  }
+  const size_t d = static_cast<size_t>(s->d);
+  // Emit the same packed layout as SufStats::ToPackedString so
+  // SufStats::FromPackedString decodes UDF results directly.
+  const SufStats shape(d, static_cast<MatrixKind>(s->kind));
+  std::string packed;
+  packed.reserve(64 + (3 * d + shape.NumQEntries()) * 18);
+  packed += std::to_string(d);
+  packed += '|';
+  packed += std::to_string(s->kind);
+  packed += '|';
+  AppendDouble(&packed, s->n);
+  packed += '|';
+  for (size_t a = 0; a < d; ++a) {
+    if (a > 0) packed += ';';
+    AppendDouble(&packed, s->l[a]);
+  }
+  packed += '|';
+  for (size_t a = 0; a < d; ++a) {
+    if (a > 0) packed += ';';
+    AppendDouble(&packed, s->n > 0 ? s->mn[a] : 0.0);
+  }
+  packed += '|';
+  for (size_t a = 0; a < d; ++a) {
+    if (a > 0) packed += ';';
+    AppendDouble(&packed, s->n > 0 ? s->mx[a] : 0.0);
+  }
+  packed += '|';
+  bool first = true;
+  for (size_t a = 0; a < d; ++a) {
+    switch (static_cast<MatrixKind>(s->kind)) {
+      case MatrixKind::kDiagonal:
+        if (!first) packed += ';';
+        AppendDouble(&packed, s->q[a][a]);
+        first = false;
+        break;
+      case MatrixKind::kLowerTriangular:
+        for (size_t b = 0; b <= a; ++b) {
+          if (!first) packed += ';';
+          AppendDouble(&packed, s->q[a][b]);
+          first = false;
+        }
+        break;
+      case MatrixKind::kFull:
+        for (size_t b = 0; b < d; ++b) {
+          if (!first) packed += ';';
+          AppendDouble(&packed, s->q[a][b]);
+          first = false;
+        }
+        break;
+    }
+  }
+  return storage::Datum::Varchar(std::move(packed));
+}
+
+}  // namespace nlq::stats

@@ -1,0 +1,66 @@
+#ifndef NLQ_STATS_NLQ_KERNEL_H_
+#define NLQ_STATS_NLQ_KERNEL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+#include "stats/sufstats.h"
+#include "storage/value.h"
+
+namespace nlq::stats {
+
+/// Maximum dimensionality one aggregate-UDF call handles. The UDF
+/// state is statically sized (the paper: "the UDF 'struct' record is
+/// statically defined to have a maximum dimensionality" because heap
+/// storage is allocated before the first row). Higher d uses the
+/// partitioned nlq_block calls (paper Table 6).
+inline constexpr size_t kMaxUdfDims = 64;
+
+/// The n, L, Q accumulation state shared by the row-path aggregate
+/// UDFs (nlq_list / nlq_string) and the columnar fast path — one
+/// definition so both paths provably run the same arithmetic (the
+/// paper's UDF_nLQ_storage struct).
+struct NlqState {
+  int32_t d;     // -1 until the first row fixes the dimensionality
+  int32_t kind;  // MatrixKind as int
+  double n;
+  double l[kMaxUdfDims];
+  double mn[kMaxUdfDims];
+  double mx[kMaxUdfDims];
+  double q[kMaxUdfDims][kMaxUdfDims];
+};
+
+/// INIT: zeroes the state (d = -1, min/max at +/-inf).
+void ResetNlqState(NlqState* s);
+
+/// Fixes d and kind on the first row; InvalidArgument when d is
+/// outside 1..kMaxUdfDims.
+Status SetNlqShape(NlqState* s, size_t d, MatrixKind kind);
+
+/// ROW: folds one complete (no-NULL) point into `s`. Requires the
+/// shape to be fixed. This is the paper's hot loop ("step 2 is the
+/// most intensive because it gets executed n times").
+void NlqAccumulatePoint(NlqState* s, const double* x);
+
+/// ROW, fused columnar form: folds `rows` dense points given as d
+/// column spans (cols[a][r] is dimension a of row r; no NULLs — the
+/// caller applies the skip-row policy by compaction upstream).
+///
+/// The loops are blocked (kRowBlock rows so a block's columns stay
+/// cache-resident across the Q passes) and tiled (kTile independent
+/// accumulator chains per inner loop, hiding FP-add latency), but
+/// every accumulator still receives its row contributions in row
+/// order, so the state is bit-identical to `rows` NlqAccumulatePoint
+/// calls.
+void NlqAccumulateSpans(NlqState* s, const double* const* cols, size_t rows);
+
+/// MERGE: folds `src` into `dst`; empty src is a no-op.
+Status NlqMergeStates(NlqState* dst, const NlqState* src);
+
+/// FINALIZE: packs the state in SufStats::ToPackedString layout.
+StatusOr<storage::Datum> NlqFinalizeState(const NlqState* s);
+
+}  // namespace nlq::stats
+
+#endif  // NLQ_STATS_NLQ_KERNEL_H_

@@ -15,164 +15,23 @@ using storage::Datum;
 namespace {
 
 // ---------------------------------------------------------------------------
-// nlq_list / nlq_string state (the paper's UDF_nLQ_storage struct)
+// nlq_list / nlq_string state: NlqState and its INIT/ROW/MERGE/
+// FINALIZE arithmetic live in stats/nlq_kernel.{h,cc}, shared with the
+// engine's columnar fast path so both produce byte-identical results.
 // ---------------------------------------------------------------------------
 
-struct NlqState {
-  int32_t d;     // -1 until the first row fixes the dimensionality
-  int32_t kind;  // MatrixKind as int
-  double n;
-  double l[kMaxUdfDims];
-  double mn[kMaxUdfDims];
-  double mx[kMaxUdfDims];
-  double q[kMaxUdfDims][kMaxUdfDims];
-};
 static_assert(sizeof(NlqState) <= udf::kDefaultHeapCapacity,
               "NlqState must fit one heap segment");
 static_assert(std::is_trivially_destructible_v<NlqState>);
 
-void ResetState(NlqState* s) {
-  std::memset(s, 0, sizeof(NlqState));
-  s->d = -1;
-  s->kind = static_cast<int32_t>(MatrixKind::kLowerTriangular);
-  for (size_t a = 0; a < kMaxUdfDims; ++a) {
-    s->mn[a] = std::numeric_limits<double>::infinity();
-    s->mx[a] = -std::numeric_limits<double>::infinity();
-  }
-}
-
 Status FixDimensionality(NlqState* s, size_t d, const Datum& kind_arg) {
-  if (d == 0 || d > kMaxUdfDims) {
-    return Status::InvalidArgument(StringPrintf(
-        "nlq: d=%zu out of range 1..%zu (use nlq_block for higher d)", d,
-        kMaxUdfDims));
-  }
   if (kind_arg.is_null() || kind_arg.type() != DataType::kVarchar) {
     return Status::InvalidArgument(
         "nlq: first argument must be 'diag', 'triang' or 'full'");
   }
   NLQ_ASSIGN_OR_RETURN(MatrixKind kind,
                        MatrixKindFromString(kind_arg.string_value()));
-  s->d = static_cast<int32_t>(d);
-  s->kind = static_cast<int32_t>(kind);
-  return Status::OK();
-}
-
-// The row-aggregation hot loop ("step 2 is the most intensive because
-// it gets executed n times"). Compiled, pointer-based — this is the
-// compiled-UDF speed advantage over interpreted SQL expressions.
-void AccumulatePoint(NlqState* s, const double* x) {
-  const size_t d = static_cast<size_t>(s->d);
-  s->n += 1.0;
-  switch (static_cast<MatrixKind>(s->kind)) {
-    case MatrixKind::kDiagonal:
-      for (size_t a = 0; a < d; ++a) {
-        const double xa = x[a];
-        s->l[a] += xa;
-        s->q[a][a] += xa * xa;
-      }
-      break;
-    case MatrixKind::kLowerTriangular:
-      for (size_t a = 0; a < d; ++a) {
-        const double xa = x[a];
-        s->l[a] += xa;
-        double* row = s->q[a];
-        for (size_t b = 0; b <= a; ++b) row[b] += xa * x[b];
-      }
-      break;
-    case MatrixKind::kFull:
-      for (size_t a = 0; a < d; ++a) {
-        const double xa = x[a];
-        s->l[a] += xa;
-        double* row = s->q[a];
-        for (size_t b = 0; b < d; ++b) row[b] += xa * x[b];
-      }
-      break;
-  }
-  for (size_t a = 0; a < d; ++a) {
-    if (x[a] < s->mn[a]) s->mn[a] = x[a];
-    if (x[a] > s->mx[a]) s->mx[a] = x[a];
-  }
-}
-
-Status MergeStates(NlqState* dst, const NlqState* src) {
-  if (src->d < 0) return Status::OK();  // src saw no rows
-  if (dst->d < 0) {
-    std::memcpy(dst, src, sizeof(NlqState));
-    return Status::OK();
-  }
-  if (dst->d != src->d || dst->kind != src->kind) {
-    return Status::Internal("nlq: partial states disagree on d or kind");
-  }
-  const size_t d = static_cast<size_t>(dst->d);
-  dst->n += src->n;
-  for (size_t a = 0; a < d; ++a) {
-    dst->l[a] += src->l[a];
-    if (src->mn[a] < dst->mn[a]) dst->mn[a] = src->mn[a];
-    if (src->mx[a] > dst->mx[a]) dst->mx[a] = src->mx[a];
-    for (size_t b = 0; b < d; ++b) dst->q[a][b] += src->q[a][b];
-  }
-  return Status::OK();
-}
-
-StatusOr<Datum> FinalizeState(const NlqState* s) {
-  if (s->d < 0) {
-    // No rows: empty statistics.
-    return Datum::Varchar(
-        SufStats(0, MatrixKind::kLowerTriangular).ToPackedString());
-  }
-  const size_t d = static_cast<size_t>(s->d);
-  // Emit the same packed layout as SufStats::ToPackedString so
-  // SufStats::FromPackedString decodes UDF results directly.
-  const SufStats shape(d, static_cast<MatrixKind>(s->kind));
-  std::string packed;
-  packed.reserve(64 + (3 * d + shape.NumQEntries()) * 18);
-  packed += std::to_string(d);
-  packed += '|';
-  packed += std::to_string(s->kind);
-  packed += '|';
-  AppendDouble(&packed, s->n);
-  packed += '|';
-  for (size_t a = 0; a < d; ++a) {
-    if (a > 0) packed += ';';
-    AppendDouble(&packed, s->l[a]);
-  }
-  packed += '|';
-  for (size_t a = 0; a < d; ++a) {
-    if (a > 0) packed += ';';
-    AppendDouble(&packed, s->n > 0 ? s->mn[a] : 0.0);
-  }
-  packed += '|';
-  for (size_t a = 0; a < d; ++a) {
-    if (a > 0) packed += ';';
-    AppendDouble(&packed, s->n > 0 ? s->mx[a] : 0.0);
-  }
-  packed += '|';
-  bool first = true;
-  for (size_t a = 0; a < d; ++a) {
-    switch (static_cast<MatrixKind>(s->kind)) {
-      case MatrixKind::kDiagonal:
-        if (!first) packed += ';';
-        AppendDouble(&packed, s->q[a][a]);
-        first = false;
-        break;
-      case MatrixKind::kLowerTriangular:
-        for (size_t b = 0; b <= a; ++b) {
-          if (!first) packed += ';';
-          AppendDouble(&packed, s->q[a][b]);
-          first = false;
-        }
-        break;
-      case MatrixKind::kFull:
-        for (size_t b = 0; b < d; ++b) {
-          if (!first) packed += ';';
-          AppendDouble(&packed, s->q[a][b]);
-          first = false;
-        }
-        break;
-    }
-  }
-  return Datum::Varchar(std::move(packed));
+  return SetNlqShape(s, d, kind);
 }
 
 // ---------------------------------------------------------------------------
@@ -204,7 +63,7 @@ class NlqListUdf : public udf::AggregateUdf {
     if (state == nullptr) {
       return Status::ResourceExhausted("nlq_list state exceeds heap segment");
     }
-    ResetState(state);
+    ResetNlqState(state);
     return state;
   }
 
@@ -213,22 +72,45 @@ class NlqListUdf : public udf::AggregateUdf {
     NlqState* s = static_cast<NlqState*>(raw_state);
     const size_t d = args.size() - 1;
     if (s->d < 0) NLQ_RETURN_IF_ERROR(FixDimensionality(s, d, args[0]));
+    // NULL policy: skip incomplete rows entirely (see nlq_udaf.h) —
+    // coercing NULL to 0.0 would silently bias L and Q.
+    for (size_t a = 0; a < d; ++a) {
+      if (args[a + 1].is_null()) return Status::OK();
+    }
     // List style: parameters map straight into the local array
     // ("the UDF directly assigns vector entries in the parameter list
     // to the UDF internal array entries").
     double x[kMaxUdfDims];
     for (size_t a = 0; a < d; ++a) x[a] = args[a + 1].AsDouble();
-    AccumulatePoint(s, x);
+    NlqAccumulatePoint(s, x);
+    return Status::OK();
+  }
+
+  bool SupportsColumnarSpans() const override { return true; }
+
+  Status AccumulateSpans(void* raw_state, const std::vector<Datum>& const_args,
+                         const double* const* cols, size_t num_cols,
+                         size_t rows) const override {
+    NlqState* s = static_cast<NlqState*>(raw_state);
+    if (const_args.size() != 1 || num_cols == 0) {
+      return Status::Internal("nlq_list spans: expected kind + value spans");
+    }
+    if (s->d < 0) {
+      NLQ_RETURN_IF_ERROR(FixDimensionality(s, num_cols, const_args[0]));
+    } else if (static_cast<size_t>(s->d) != num_cols) {
+      return Status::Internal("nlq_list spans: dimensionality changed");
+    }
+    NlqAccumulateSpans(s, cols, rows);
     return Status::OK();
   }
 
   Status Merge(void* state, const void* other) const override {
-    return MergeStates(static_cast<NlqState*>(state),
-                       static_cast<const NlqState*>(other));
+    return NlqMergeStates(static_cast<NlqState*>(state),
+                          static_cast<const NlqState*>(other));
   }
 
   StatusOr<Datum> Finalize(const void* state) const override {
-    return FinalizeState(static_cast<const NlqState*>(state));
+    return NlqFinalizeState(static_cast<const NlqState*>(state));
   }
 };
 
@@ -258,14 +140,17 @@ class NlqStringUdf : public udf::AggregateUdf {
       return Status::ResourceExhausted(
           "nlq_string state exceeds heap segment");
     }
-    ResetState(state);
+    ResetNlqState(state);
     return state;
   }
 
   Status Accumulate(void* raw_state,
                     const std::vector<Datum>& args) const override {
     NlqState* s = static_cast<NlqState*>(raw_state);
-    if (args[1].is_null() || args[1].type() != DataType::kVarchar) {
+    // NULL policy: a NULL packed point is an incomplete row — skip it
+    // (see nlq_udaf.h).
+    if (args[1].is_null()) return Status::OK();
+    if (args[1].type() != DataType::kVarchar) {
       return Status::InvalidArgument(
           "nlq_string expects a packed VARCHAR point");
     }
@@ -281,17 +166,17 @@ class NlqStringUdf : public udf::AggregateUdf {
       return Status::InvalidArgument(
           "nlq_string: packed point dimensionality changed mid-scan");
     }
-    AccumulatePoint(s, x);
+    NlqAccumulatePoint(s, x);
     return Status::OK();
   }
 
   Status Merge(void* state, const void* other) const override {
-    return MergeStates(static_cast<NlqState*>(state),
-                       static_cast<const NlqState*>(other));
+    return NlqMergeStates(static_cast<NlqState*>(state),
+                          static_cast<const NlqState*>(other));
   }
 
   StatusOr<Datum> Finalize(const void* state) const override {
-    return FinalizeState(static_cast<const NlqState*>(state));
+    return NlqFinalizeState(static_cast<const NlqState*>(state));
   }
 };
 
@@ -344,6 +229,10 @@ class NlqBlockUdf : public udf::AggregateUdf {
     const size_t cols = static_cast<size_t>(s->cols);
     if (args.size() != 4 + rows + cols) {
       return Status::InvalidArgument("nlq_block: argument count mismatch");
+    }
+    // NULL policy: skip incomplete rows entirely (see nlq_udaf.h).
+    for (size_t i = 4; i < args.size(); ++i) {
+      if (args[i].is_null()) return Status::OK();
     }
     double xa[kMaxUdfDims];
     double xb[kMaxUdfDims];

@@ -4,18 +4,20 @@
 #include <cstddef>
 
 #include "common/status.h"
+#include "stats/nlq_kernel.h"
 #include "stats/sufstats.h"
 #include "udf/udf.h"
 
 namespace nlq::stats {
 
-/// Maximum dimensionality one aggregate-UDF call handles. The UDF
-/// state is statically sized (the paper: "the UDF 'struct' record is
-/// statically defined to have a maximum dimensionality" because heap
-/// storage is allocated before the first row). Higher d uses the
-/// partitioned nlq_block calls (paper Table 6).
-inline constexpr size_t kMaxUdfDims = 64;
-
+/// NULL policy (paper Section 2.1 complete-data assumption): a row
+/// with a NULL in any dimension argument is skipped by every nlq UDF —
+/// it contributes to none of n, L, Q, min or max. The columnar fast
+/// path implements the same policy by compacting NULL rows away
+/// before the fused kernel (see engine/exec/columnar_aggregate_node).
+/// kMaxUdfDims and the shared accumulation state live in
+/// stats/nlq_kernel.h.
+///
 /// Registers the three aggregate UDFs with `registry`:
 ///
 ///   nlq_list('diag'|'triang'|'full', X1, ..., Xd) -> VARCHAR

@@ -1,0 +1,99 @@
+#include "storage/column_batch.h"
+
+#include <cstring>
+
+namespace nlq::storage {
+
+void ColumnVector::Reset(DataType t, size_t rows) {
+  type = t;
+  // Value slots may keep stale data from the previous cycle (a steady-
+  // state resize to the same size is a no-op); the decoder overwrites
+  // every live slot, writing 0/0.0 at NULL positions.
+  if (t == DataType::kDouble) {
+    ints.clear();
+    doubles.resize(rows);
+  } else {
+    doubles.clear();
+    ints.resize(rows);
+  }
+  null_bits.assign(NullBitmapWords(rows), 0);
+  null_count = 0;
+}
+
+void ColumnBatch::Configure(const Schema& schema,
+                            const std::vector<size_t>& slots,
+                            size_t capacity) {
+  slots_ = slots;
+  capacity_ = capacity;
+  size_ = 0;
+  columns_.resize(slots.size());
+  for (size_t i = 0; i < slots.size(); ++i) {
+    columns_[i].Reset(schema.column(slots[i]).type, capacity);
+  }
+}
+
+ColumnDecoder::ColumnDecoder(const Schema* schema,
+                             const std::vector<size_t>& slots) {
+  plan_.resize(schema->num_columns());
+  for (size_t c = 0; c < plan_.size(); ++c) {
+    plan_[c] = {schema->column(c).type, -1};
+  }
+  for (size_t i = 0; i < slots.size(); ++i) {
+    plan_[slots[i]].dest = static_cast<int>(i);
+  }
+}
+
+Status ColumnDecoder::DecodeRow(const char* data, size_t size, size_t* pos,
+                                ColumnVector* const* dests, size_t r) const {
+  size_t p = *pos;
+  for (size_t c = 0; c < plan_.size(); ++c) {
+    if (p + 1 > size) return Status::Internal("truncated row (null byte)");
+    const bool is_null = data[p] != 0;
+    ++p;
+    const int dest = plan_[c].dest;
+    switch (plan_[c].type) {
+      case DataType::kDouble: {
+        if (is_null) {
+          if (dest >= 0) {
+            dests[dest]->doubles[r] = 0.0;
+            NullBitSet(dests[dest]->null_bits.data(), r);
+            ++dests[dest]->null_count;
+          }
+          break;
+        }
+        if (p + 8 > size) return Status::Internal("truncated row (double)");
+        if (dest >= 0) std::memcpy(&dests[dest]->doubles[r], data + p, 8);
+        p += 8;
+        break;
+      }
+      case DataType::kInt64: {
+        if (is_null) {
+          if (dest >= 0) {
+            dests[dest]->ints[r] = 0;
+            NullBitSet(dests[dest]->null_bits.data(), r);
+            ++dests[dest]->null_count;
+          }
+          break;
+        }
+        if (p + 8 > size) return Status::Internal("truncated row (int64)");
+        if (dest >= 0) std::memcpy(&dests[dest]->ints[r], data + p, 8);
+        p += 8;
+        break;
+      }
+      case DataType::kVarchar: {
+        if (is_null) break;
+        if (p + 4 > size) return Status::Internal("truncated row (vlen)");
+        uint32_t len;
+        std::memcpy(&len, data + p, 4);
+        p += 4;
+        if (p + len > size) return Status::Internal("truncated row (vchar)");
+        p += len;
+        break;
+      }
+    }
+  }
+  *pos = p;
+  return Status::OK();
+}
+
+}  // namespace nlq::storage

@@ -1,0 +1,107 @@
+#ifndef NLQ_STORAGE_COLUMN_BATCH_H_
+#define NLQ_STORAGE_COLUMN_BATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace nlq::storage {
+
+/// Null-bitmap helpers: bit `r` set means row `r` is NULL. The bitmap
+/// is an array of 64-bit words, LSB-first within a word.
+inline size_t NullBitmapWords(size_t rows) { return (rows + 63) / 64; }
+inline bool NullBitGet(const uint64_t* bits, size_t r) {
+  return (bits[r >> 6] >> (r & 63)) & 1;
+}
+inline void NullBitSet(uint64_t* bits, size_t r) {
+  bits[r >> 6] |= uint64_t{1} << (r & 63);
+}
+
+/// One decoded column in SoA form: a typed contiguous value array plus
+/// a null bitmap. NULL rows hold 0/0.0 in the value array (a defined
+/// value; consumers must consult the bitmap — see `null_count` for the
+/// common fast path where no bitmap checks are needed at all).
+///
+/// Only fixed-width types (DOUBLE, BIGINT) are decoded columnar;
+/// VARCHAR columns stay on the row path.
+struct ColumnVector {
+  DataType type = DataType::kDouble;
+  std::vector<double> doubles;      // values when type == kDouble
+  std::vector<int64_t> ints;        // values when type == kInt64
+  std::vector<uint64_t> null_bits;  // bit r set = row r NULL
+  uint64_t null_count = 0;
+
+  /// Resizes the value array and zeroes the null bitmap for `rows`
+  /// rows of type `t`. Existing heap capacity is reused.
+  void Reset(DataType t, size_t rows);
+
+  bool has_nulls() const { return null_count > 0; }
+  const double* double_data() const { return doubles.data(); }
+  const int64_t* int_data() const { return ints.data(); }
+};
+
+/// A fixed-capacity batch of decoded columns — the SoA sibling of
+/// RowBatch. Holds only the *projected* columns of the table schema
+/// (`slots()`), in projection order; rows are dense within the batch.
+/// Storage is owned by the batch and reused across scanner calls so
+/// steady-state scanning performs no per-batch allocations.
+class ColumnBatch {
+ public:
+  static constexpr size_t kDefaultCapacity = 1024;
+
+  /// Schema slot indices of the projected columns, in column order.
+  const std::vector<size_t>& slots() const { return slots_; }
+  size_t num_columns() const { return columns_.size(); }
+  size_t size() const { return size_; }
+  size_t capacity() const { return capacity_; }
+  bool empty() const { return size_ == 0; }
+
+  /// The `i`-th projected column (i indexes `slots()`, not the schema).
+  const ColumnVector& column(size_t i) const { return columns_[i]; }
+
+ private:
+  friend class ColumnBatchScanner;
+
+  /// Re-types the batch for `slots` of `schema` and zeroes its bitmaps;
+  /// called by the scanner before each fill.
+  void Configure(const Schema& schema, const std::vector<size_t>& slots,
+                 size_t capacity);
+
+  std::vector<size_t> slots_;
+  std::vector<ColumnVector> columns_;  // parallel to slots_
+  size_t size_ = 0;
+  size_t capacity_ = kDefaultCapacity;
+};
+
+/// Schema-directed decoder from the RowCodec byte format straight into
+/// ColumnVectors, skipping Datum construction entirely. Non-projected
+/// columns are skipped by size-stepping the encoded bytes (VARCHAR
+/// costs one length read).
+class ColumnDecoder {
+ public:
+  /// `slots` are the schema columns to materialize; they must be
+  /// DOUBLE or BIGINT.
+  ColumnDecoder(const Schema* schema, const std::vector<size_t>& slots);
+
+  /// Decodes one encoded row starting at data[*pos], advancing *pos,
+  /// writing projected column `i`'s value into dests[i] at row index
+  /// `r` (dests parallel to the constructor's `slots`). Fails on
+  /// truncated input.
+  Status DecodeRow(const char* data, size_t size, size_t* pos,
+                   ColumnVector* const* dests, size_t r) const;
+
+ private:
+  struct ColPlan {
+    DataType type;
+    int dest;  // projection index, or -1 to skip
+  };
+  std::vector<ColPlan> plan_;
+};
+
+}  // namespace nlq::storage
+
+#endif  // NLQ_STORAGE_COLUMN_BATCH_H_

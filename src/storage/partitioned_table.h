@@ -41,6 +41,14 @@ class PartitionedTable {
     return partitions_[p]->ScanBatch();
   }
 
+  /// Opens a columnar cursor over partition `p` restricted to
+  /// `columns` (schema slot indices of DOUBLE/BIGINT columns).
+  ColumnBatchScanner ScanPartitionColumnBatches(
+      size_t p, std::vector<size_t> columns,
+      size_t batch_capacity = ColumnBatch::kDefaultCapacity) const {
+    return partitions_[p]->ScanColumnBatch(std::move(columns), batch_capacity);
+  }
+
   /// Materializes all rows across partitions (partition order, then
   /// insertion order within a partition).
   StatusOr<std::vector<Row>> ReadAllRows() const;

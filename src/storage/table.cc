@@ -67,6 +67,56 @@ bool BatchScanner::Next(RowBatch* out) {
   return !out->empty();
 }
 
+ColumnBatchScanner::ColumnBatchScanner(const Table* table,
+                                       std::vector<size_t> columns,
+                                       size_t batch_capacity)
+    : table_(table),
+      columns_(std::move(columns)),
+      batch_capacity_(batch_capacity),
+      decoder_(&table->schema(), columns_) {
+  for (const size_t slot : columns_) {
+    if (table_->schema().column(slot).type == DataType::kVarchar) {
+      status_ = Status::InvalidArgument(
+          "columnar scan supports only DOUBLE/BIGINT columns");
+      return;
+    }
+  }
+  if (table_->num_pages() > 0) {
+    rows_left_in_page_ = table_->page(0).row_count();
+  }
+}
+
+bool ColumnBatchScanner::Next(ColumnBatch* out) {
+  out->Configure(table_->schema(), columns_, batch_capacity_);
+  if (!status_.ok()) return false;
+  std::vector<ColumnVector*> dests(out->columns_.size());
+  for (size_t i = 0; i < dests.size(); ++i) dests[i] = &out->columns_[i];
+  size_t filled = 0;
+  while (filled < batch_capacity_) {
+    while (page_index_ < table_->num_pages() && rows_left_in_page_ == 0) {
+      ++page_index_;
+      page_offset_ = 0;
+      if (page_index_ < table_->num_pages()) {
+        rows_left_in_page_ = table_->page(page_index_).row_count();
+      }
+    }
+    if (page_index_ >= table_->num_pages()) break;
+    const Page& page = table_->page(page_index_);
+    size_t take = rows_left_in_page_;
+    const size_t space = batch_capacity_ - filled;
+    if (take > space) take = space;
+    for (size_t i = 0; i < take; ++i) {
+      status_ = decoder_.DecodeRow(page.payload(), page.payload_size(),
+                                   &page_offset_, dests.data(), filled + i);
+      if (!status_.ok()) return false;
+    }
+    filled += take;
+    rows_left_in_page_ -= take;
+  }
+  out->size_ = filled;
+  return filled > 0;
+}
+
 Table::Table(Schema schema) : schema_(std::move(schema)), codec_(&schema_) {}
 
 Status Table::AppendRow(const Row& row) {
@@ -76,6 +126,7 @@ Status Table::AppendRow(const Row& row) {
 }
 
 void Table::AppendRowUnchecked(const Row& row) {
+  if (!column_cache_.empty()) column_cache_.clear();
   encode_buffer_.clear();
   codec_.Encode(row, &encode_buffer_);
   if (pages_.empty() || !pages_.back()->Fits(encode_buffer_.size())) {
@@ -100,6 +151,44 @@ void Table::Clear() {
   pages_.clear();
   num_rows_ = 0;
   data_bytes_ = 0;
+  column_cache_.clear();
+}
+
+Status Table::EnsureDecodedColumns(const std::vector<size_t>& columns) const {
+  if (column_cache_.size() < schema_.num_columns()) {
+    column_cache_.resize(schema_.num_columns());
+  }
+  std::vector<size_t> missing;
+  for (const size_t slot : columns) {
+    if (schema_.column(slot).type == DataType::kVarchar) {
+      return Status::InvalidArgument(
+          "column cache supports only DOUBLE/BIGINT columns");
+    }
+    if (column_cache_[slot] == nullptr) missing.push_back(slot);
+  }
+  if (missing.empty()) return Status::OK();
+
+  std::vector<std::unique_ptr<ColumnVector>> fresh(missing.size());
+  std::vector<ColumnVector*> dests(missing.size());
+  for (size_t i = 0; i < missing.size(); ++i) {
+    fresh[i] = std::make_unique<ColumnVector>();
+    fresh[i]->Reset(schema_.column(missing[i]).type, num_rows_);
+    dests[i] = fresh[i].get();
+  }
+  const ColumnDecoder decoder(&schema_, missing);
+  size_t r = 0;
+  for (const auto& page : pages_) {
+    size_t offset = 0;
+    const uint32_t rows = page->row_count();
+    for (uint32_t i = 0; i < rows; ++i) {
+      NLQ_RETURN_IF_ERROR(decoder.DecodeRow(
+          page->payload(), page->payload_size(), &offset, dests.data(), r++));
+    }
+  }
+  for (size_t i = 0; i < missing.size(); ++i) {
+    column_cache_[missing[i]] = std::move(fresh[i]);
+  }
+  return Status::OK();
 }
 
 Status Table::SaveToFile(const std::string& path) const {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "storage/column_batch.h"
 #include "storage/page.h"
 #include "storage/row_batch.h"
 #include "storage/row_codec.h"
@@ -65,6 +66,37 @@ class BatchScanner {
   Status status_;
 };
 
+/// Columnar cursor over one table partition: decodes the projected
+/// columns of up to a batch's capacity of rows per call straight into
+/// typed arrays (no Datum construction). Non-projected columns are
+/// size-stepped in the encoded bytes.
+class ColumnBatchScanner {
+ public:
+  /// `columns` are schema slot indices to materialize; each must be a
+  /// DOUBLE or BIGINT column (VARCHAR stays on the row path).
+  ColumnBatchScanner(const Table* table, std::vector<size_t> columns,
+                     size_t batch_capacity = ColumnBatch::kDefaultCapacity);
+
+  /// Re-configures `out` for this scan's projection and fills it with
+  /// up to `batch_capacity` decoded rows. Returns false when the scan
+  /// is exhausted (out left empty) or on a decode error (see
+  /// `status()`).
+  bool Next(ColumnBatch* out);
+
+  /// Error observed during the scan, if any.
+  const Status& status() const { return status_; }
+
+ private:
+  const Table* table_;
+  std::vector<size_t> columns_;
+  size_t batch_capacity_;
+  ColumnDecoder decoder_;
+  size_t page_index_ = 0;
+  size_t page_offset_ = 0;
+  size_t rows_left_in_page_ = 0;
+  Status status_;
+};
+
 /// Append-only heap table: a schema plus a run of 64 KB pages.
 ///
 /// A Table is one *partition* in engine terms; PartitionedTable
@@ -98,6 +130,29 @@ class Table {
   /// Opens a batched scan cursor (one decode call per RowBatch).
   BatchScanner ScanBatch() const { return BatchScanner(this); }
 
+  /// Opens a columnar scan cursor over `columns` (schema slot indices
+  /// of DOUBLE/BIGINT columns).
+  ColumnBatchScanner ScanColumnBatch(
+      std::vector<size_t> columns,
+      size_t batch_capacity = ColumnBatch::kDefaultCapacity) const {
+    return ColumnBatchScanner(this, std::move(columns), batch_capacity);
+  }
+
+  /// Decoded-column cache: decodes every not-yet-cached column of
+  /// `columns` in one pass over the pages and keeps the full-partition
+  /// ColumnVectors for reuse (the paper's workload scans the same X
+  /// for the model build and again for scoring). Invalidated by any
+  /// append, Clear(), or LoadFromFile(). Not thread-safe against
+  /// concurrent fills: the engine touches each partition from exactly
+  /// one worker per statement.
+  Status EnsureDecodedColumns(const std::vector<size_t>& columns) const;
+
+  /// Cached decoded column `col`, or nullptr if not (or no longer)
+  /// cached. Pointers stay valid until the next mutation of the table.
+  const ColumnVector* decoded_column(size_t col) const {
+    return col < column_cache_.size() ? column_cache_[col].get() : nullptr;
+  }
+
   /// Materializes every row (tests / small model tables only).
   StatusOr<std::vector<Row>> ReadAllRows() const;
 
@@ -117,6 +172,7 @@ class Table {
  private:
   friend class TableScanner;
   friend class BatchScanner;
+  friend class ColumnBatchScanner;
 
   Schema schema_;
   RowCodec codec_;
@@ -124,6 +180,10 @@ class Table {
   uint64_t num_rows_ = 0;
   uint64_t data_bytes_ = 0;
   std::string encode_buffer_;
+
+  /// Lazily filled by EnsureDecodedColumns; indexed by schema slot,
+  /// nullptr = not cached. Any mutation clears the whole cache.
+  mutable std::vector<std::unique_ptr<ColumnVector>> column_cache_;
 };
 
 }  // namespace nlq::storage

@@ -72,6 +72,28 @@ class AggregateUdf {
 
   /// Produces the single return value.
   virtual StatusOr<storage::Datum> Finalize(const void* state) const = 0;
+
+  /// True if this UDF implements AccumulateSpans, letting the engine's
+  /// columnar fast path feed it typed column spans instead of one
+  /// boxed row at a time.
+  virtual bool SupportsColumnarSpans() const { return false; }
+
+  /// Columnar ROW phase: folds `rows` dense rows into `state` in row
+  /// order. `const_args` are the call's leading constant (literal)
+  /// arguments; `cols[0..num_cols)` are contiguous double spans for
+  /// the remaining arguments, each of length `rows`, with no NULLs
+  /// (the caller applies the skip-row NULL policy by compaction, and
+  /// may pass rows == 0 for a batch whose rows were all skipped — the
+  /// state must still fix its shape then, exactly as Accumulate does
+  /// before its own NULL check). Must produce state byte-identical to
+  /// `rows` Accumulate calls.
+  virtual Status AccumulateSpans(void* state,
+                                 const std::vector<storage::Datum>& const_args,
+                                 const double* const* cols, size_t num_cols,
+                                 size_t rows) const {
+    (void)state, (void)const_args, (void)cols, (void)num_cols, (void)rows;
+    return Status::Internal(name() + " does not support columnar spans");
+  }
 };
 
 /// Case-insensitive registry of scalar and aggregate UDFs. The engine

@@ -1,0 +1,277 @@
+// Columnar-vs-row equivalence: the columnar fast path (ColumnarScan →
+// ColumnarAggregate with the fused N,L,Q span kernel) must produce
+// results *byte-identical* to the row path it replaces — the row path
+// stays in the tree as the correctness oracle. The same query is
+// planned both ways by appending "WHERE 0 = 0" (a conjunct that keeps
+// every row but is not a simple column comparison, so it forces the
+// row path), and results are compared on exact bit patterns.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "engine/database.h"
+#include "stats/sufstats.h"
+#include "tests/test_util.h"
+
+namespace nlq::engine {
+namespace {
+
+using nlq::testing::MakeTestDatabase;
+using storage::DataType;
+using storage::Datum;
+
+/// Appends a conjunct that keeps every row but is not a pushable
+/// simple comparison, pinning the query to the row path.
+std::string PinToRowPath(const std::string& sql) {
+  return sql + (sql.find(" WHERE ") == std::string::npos ? " WHERE 0 = 0"
+                                                         : " AND 0 = 0");
+}
+
+/// Renders a result set as an exact signature: doubles by bit
+/// pattern, so "equal" means byte-identical, not approximately close.
+std::string ExactSignature(const ResultSet& result) {
+  std::string out;
+  for (const auto& row : result.rows()) {
+    for (const Datum& v : row) {
+      if (v.is_null()) {
+        out += "NULL,";
+        continue;
+      }
+      switch (v.type()) {
+        case DataType::kDouble: {
+          uint64_t bits = 0;
+          const double d = v.double_value();
+          std::memcpy(&bits, &d, sizeof(bits));
+          out += StringPrintf("d:%016llx,",
+                              static_cast<unsigned long long>(bits));
+          break;
+        }
+        case DataType::kInt64:
+          out += StringPrintf("i:%lld,",
+                              static_cast<long long>(v.int_value()));
+          break;
+        case DataType::kVarchar:
+          out += "s:" + v.string_value() + ",";
+          break;
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+/// Deterministic cell values that round-trip exactly through SQL text:
+/// k + m/128 is a dyadic rational with at most 7 decimal digits.
+double ValueAt(size_t row, size_t col) {
+  const int64_t k = static_cast<int64_t>((row * 37 + col * 11) % 41) - 20;
+  const int64_t m = static_cast<int64_t>((row * 13 + col * 7) % 128);
+  return static_cast<double>(k) + static_cast<double>(m) / 128.0;
+}
+
+void FillTable(Database* db, size_t n, size_t d) {
+  NLQ_ASSERT_OK(db->ExecuteCommand(
+      "CREATE TABLE X (i BIGINT, x1 DOUBLE, x2 DOUBLE, x3 DOUBLE, "
+      "x4 DOUBLE)"));
+  ASSERT_EQ(d, 4u);
+  std::string insert;
+  for (size_t r = 0; r < n; ++r) {
+    if (insert.empty()) insert = "INSERT INTO X VALUES ";
+    insert += StringPrintf("(%zu", r);
+    for (size_t c = 0; c < d; ++c) {
+      insert += StringPrintf(", %.7f", ValueAt(r, c));
+    }
+    insert += ")";
+    if ((r + 1) % 128 == 0 || r + 1 == n) {
+      NLQ_ASSERT_OK(db->ExecuteCommand(insert));
+      insert.clear();
+    } else {
+      insert += ", ";
+    }
+  }
+}
+
+/// Runs `sql` on the columnar path and again with the row-path pin,
+/// asserting bit-identical results; returns the shared signature.
+std::string AssertPathsAgree(Database* db, const std::string& sql) {
+  const std::string pinned = PinToRowPath(sql);
+  auto columnar = db->Execute(sql);
+  EXPECT_TRUE(columnar.ok()) << columnar.status().ToString();
+  auto rowpath = db->Execute(pinned);
+  EXPECT_TRUE(rowpath.ok()) << rowpath.status().ToString();
+  if (!columnar.ok() || !rowpath.ok()) return "";
+  // Sanity: the two statements really take different paths.
+  auto col_plan = db->Explain(sql);
+  auto row_plan = db->Explain(pinned);
+  EXPECT_TRUE(col_plan.ok() && row_plan.ok());
+  if (col_plan.ok() && row_plan.ok()) {
+    EXPECT_NE(col_plan->find("ColumnarAggregate"), std::string::npos)
+        << sql << "\n" << *col_plan;
+    EXPECT_EQ(row_plan->find("ColumnarAggregate"), std::string::npos)
+        << pinned << "\n" << *row_plan;
+  }
+  const std::string col_sig = ExactSignature(*columnar);
+  const std::string row_sig = ExactSignature(*rowpath);
+  EXPECT_EQ(col_sig, row_sig) << sql;
+  return col_sig;
+}
+
+TEST(ColumnarEquivalenceTest, BitIdenticalAcrossPartitionsSizesAndKinds) {
+  // Row counts straddle the decode batch capacity (1024) so partial
+  // batches, exactly-full batches and multi-batch streams all run.
+  const size_t kPartitions[] = {1, 2, 4, 7};
+  const size_t kRows[] = {0, 1, 1023, 1024, 1025};
+  const char* kKinds[] = {"diag", "triang", "full"};
+  for (const size_t parts : kPartitions) {
+    for (const size_t n : kRows) {
+      auto db = MakeTestDatabase(parts);
+      FillTable(db.get(), n, 4);
+      for (const char* kind : kKinds) {
+        const std::string sql = StringPrintf(
+            "SELECT nlq_list('%s', x1, x2, x3, x4) FROM X", kind);
+        const std::string first = AssertPathsAgree(db.get(), sql);
+        // Second columnar run serves spans from the decoded-column
+        // cache; it must not change a single bit.
+        auto again = db->Execute(sql);
+        NLQ_ASSERT_OK(again.status());
+        EXPECT_EQ(ExactSignature(*again), first)
+            << "cached rescan diverged: " << sql << " (partitions=" << parts
+            << ", n=" << n << ")";
+      }
+    }
+  }
+}
+
+TEST(ColumnarEquivalenceTest, BuiltinAggregatesMatchIncludingNullsAndInts) {
+  auto db = MakeTestDatabase(4);
+  NLQ_ASSERT_OK(
+      db->ExecuteCommand("CREATE TABLE T (i BIGINT, a DOUBLE, b BIGINT)"));
+  NLQ_ASSERT_OK(db->ExecuteCommand(
+      "INSERT INTO T VALUES (1, 0.5, 7), (2, NULL, -3), (3, 2.25, NULL), "
+      "(4, -1.75, 12), (5, NULL, NULL), (6, 4.5, 0)"));
+  AssertPathsAgree(
+      db.get(),
+      "SELECT count(*), count(a), sum(a), avg(a), min(a), max(a), "
+      "count(b), sum(b), min(b), max(b), avg(b) FROM T");
+}
+
+TEST(ColumnarEquivalenceTest, NullRowsAreSkippedByNlqUdfs) {
+  auto db = MakeTestDatabase(2);
+  NLQ_ASSERT_OK(db->ExecuteCommand(
+      "CREATE TABLE P (i BIGINT, x1 DOUBLE, x2 DOUBLE)"));
+  NLQ_ASSERT_OK(db->ExecuteCommand(
+      "INSERT INTO P VALUES (1, 1, 2), (2, NULL, 5), (3, 3, NULL), "
+      "(4, 2, 4)"));
+  // Both paths agree...
+  AssertPathsAgree(db.get(), "SELECT nlq_list('triang', x1, x2) FROM P");
+  // ...and on the documented skip-row policy: a NULL in any dimension
+  // removes the whole row (complete-data assumption), it is NOT
+  // coerced to 0. Only rows 1 and 4 survive.
+  auto result = db->Execute("SELECT nlq_list('triang', x1, x2) FROM P");
+  NLQ_ASSERT_OK(result.status());
+  NLQ_ASSERT_OK_AND_ASSIGN(
+      stats::SufStats stats,
+      stats::SufStats::FromPackedString(result->At(0, 0).string_value()));
+  EXPECT_EQ(stats.n(), 2.0);
+  EXPECT_EQ(stats.L(0), 3.0);   // 1 + 2
+  EXPECT_EQ(stats.L(1), 6.0);   // 2 + 4
+  EXPECT_EQ(stats.Q(0, 0), 5.0);   // 1 + 4
+  EXPECT_EQ(stats.Q(1, 0), 10.0);  // 1*2 + 2*4
+  EXPECT_EQ(stats.Q(1, 1), 20.0);  // 4 + 16
+  EXPECT_EQ(stats.Min(0), 1.0);
+  EXPECT_EQ(stats.Max(1), 4.0);
+  // count(*) still counts every row; count(x1) skips only x1's NULL.
+  auto counts = db->Execute("SELECT count(*), count(x1) FROM P");
+  NLQ_ASSERT_OK(counts.status());
+  EXPECT_EQ(counts->At(0, 0).int_value(), 4);
+  EXPECT_EQ(counts->At(0, 1).int_value(), 3);
+}
+
+TEST(ColumnarEquivalenceTest, SimpleWherePushdownMatchesRowPath) {
+  auto db = MakeTestDatabase(4);
+  FillTable(db.get(), 777, 4);
+  // NULL comparison semantics included: inject NULLs, which fail every
+  // pushed comparison (UNKNOWN drops the row) on both paths.
+  NLQ_ASSERT_OK(db->ExecuteCommand(
+      "INSERT INTO X VALUES (9001, NULL, 1, 1, 1), (9002, 5, NULL, 5, 5)"));
+  for (const char* where :
+       {" WHERE x1 > 0.5", " WHERE x1 >= -2 AND x2 < 3.25",
+        " WHERE 1.5 <= x3", " WHERE i <= 400 AND x4 <> 0"}) {
+    AssertPathsAgree(
+        db.get(),
+        std::string("SELECT nlq_list('triang', x1, x2, x3), count(*), "
+                    "sum(x4) FROM X") +
+            where);
+  }
+}
+
+TEST(ColumnarEquivalenceTest, ColumnCacheInvalidatedByAppend) {
+  auto db = MakeTestDatabase(4);
+  FillTable(db.get(), 100, 4);
+  const std::string sql = "SELECT nlq_list('full', x1, x2) FROM X";
+  const std::string before = AssertPathsAgree(db.get(), sql);
+  // Append after the cache is warm; the rescan must see the new row.
+  NLQ_ASSERT_OK(
+      db->ExecuteCommand("INSERT INTO X VALUES (500, 9.5, -3.25, 0, 0)"));
+  const std::string after = AssertPathsAgree(db.get(), sql);
+  EXPECT_NE(before, after);
+}
+
+TEST(ColumnarEquivalenceTest, PlannerChoosesColumnarOnlyWhenEligible) {
+  auto db = MakeTestDatabase(4);
+  FillTable(db.get(), 10, 4);
+  NLQ_ASSERT_OK(db->ExecuteCommand("CREATE TABLE M (j BIGINT, c DOUBLE)"));
+  NLQ_ASSERT_OK(db->ExecuteCommand("INSERT INTO M VALUES (1, 10)"));
+
+  // Eligible: global aggregate, bare columns, simple comparisons.
+  for (const char* sql :
+       {"SELECT nlq_list('triang', x1, x2) FROM X",
+        "SELECT sum(x1), count(*), avg(x2) FROM X",
+        "SELECT min(i), max(x3) FROM X WHERE x1 > 0 AND 2 >= x2",
+        "SELECT nlq_list('diag', x1) FROM X ORDER BY 1 LIMIT 3"}) {
+    NLQ_ASSERT_OK_AND_ASSIGN(std::string plan, db->Explain(sql));
+    EXPECT_NE(plan.find("ColumnarAggregate"), std::string::npos)
+        << sql << "\n" << plan;
+    EXPECT_NE(plan.find("ColumnarScan"), std::string::npos)
+        << sql << "\n" << plan;
+  }
+  // The pushed-down comparison is shown on the scan node.
+  NLQ_ASSERT_OK_AND_ASSIGN(
+      std::string filtered,
+      db->Explain("SELECT sum(x1) FROM X WHERE x2 <= 1.5"));
+  EXPECT_NE(filtered.find("filter: (x2 <= 1.5)"), std::string::npos)
+      << filtered;
+
+  // Ineligible shapes fall back to the row path.
+  for (const char* sql :
+       {"SELECT sum(x1) FROM X GROUP BY i",                  // group keys
+        "SELECT count(*) FROM X HAVING count(*) > 1",        // having
+        "SELECT sum(x1 + 1) FROM X",                         // expression arg
+        "SELECT sum(x1) FROM X WHERE x1 + x2 > 0",           // complex where
+        "SELECT sum(x1) FROM X, M",                          // cross join
+        "SELECT count(*) FROM X",                            // no columns
+        "SELECT nlq_string('diag', pack_point(x1)) FROM X"}) {  // expr arg
+    NLQ_ASSERT_OK_AND_ASSIGN(std::string plan, db->Explain(sql));
+    EXPECT_EQ(plan.find("Columnar"), std::string::npos) << sql << "\n" << plan;
+  }
+}
+
+TEST(ColumnarEquivalenceTest, CacheDisabledStillMatches) {
+  engine::DatabaseOptions options;
+  options.num_partitions = 3;
+  options.enable_column_cache = false;
+  auto db = std::make_unique<engine::Database>(options);
+  NLQ_ASSERT_OK(stats::RegisterAllStatsUdfs(&db->udfs()));
+  FillTable(db.get(), 300, 4);
+  const std::string sql = "SELECT nlq_list('triang', x1, x2, x3, x4) FROM X";
+  NLQ_ASSERT_OK_AND_ASSIGN(std::string plan, db->Explain(sql));
+  EXPECT_NE(plan.find("cache off"), std::string::npos) << plan;
+  AssertPathsAgree(db.get(), sql);
+}
+
+}  // namespace
+}  // namespace nlq::engine
