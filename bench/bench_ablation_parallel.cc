@@ -1,37 +1,71 @@
-// Ablation (DESIGN.md #4, beyond the paper's figures): how much of
-// the aggregate UDF's speed comes from Teradata-style shared-nothing
-// parallelism? The paper runs on 20 fixed AMP threads; here the same
-// UDF scan is repeated with 1..16 partitions/worker threads.
+// Ablation (DESIGN.md #4/#8, beyond the paper's figures): where does
+// the aggregate UDF's parallel speed come from?
+//
+// Altitude 1 — "partition": the paper's Teradata-style shared-nothing
+// coupling. One worker per partition, partition-granular work units
+// (morsel_rows = 0), swept over 1..16 partitions. Parallelism is
+// whatever the storage layout happens to be.
+//
+// Altitude 2 — "morsel": partition count pinned at 8, worker threads
+// and morsel size swept independently on (a) a uniform partitioning
+// and (b) a skewed one with 90% of rows in partition 0. Under the
+// partition-granular scheduler the skewed table degenerates to one
+// busy worker; the morsel grid re-divides the hot partition into
+// claimable units, so extra threads keep helping regardless of layout.
 //
 // Expected shape: near-linear scaling until the machine's cores are
-// saturated; the partial-merge cost (one NlqState per partition) is
-// negligible.
+// saturated; on skew, morsel rows > 0 beats morsel_rows = 0 at equal
+// thread count. All numbers are wall-clock (RegisterReal).
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
+#include "gen/datagen.h"
 #include "stats/scoring.h"
+#include "storage/schema.h"
 
 namespace {
 
 using namespace nlq;
 constexpr size_t kPartitions[] = {1, 2, 4, 8, 16};
+constexpr size_t kThreads[] = {1, 2, 4, 8};
+// 0 = partition-granular work units (the pre-morsel scheduler),
+// included as the baseline at every thread count.
+constexpr uint64_t kMorselRows[] = {0, 4096, 16384, 65536};
 constexpr size_t kD = 32;
+constexpr size_t kMorselAltitudeParts = 8;
 
-void BM_UdfScan(benchmark::State& state) {
-  const size_t parts = kPartitions[state.range(0)];
-  const uint64_t rows = bench::ScaledRows(1600);
-  engine::DatabaseOptions options;
-  options.num_partitions = parts;
-  engine::Database db(options);
-  if (Status s = stats::RegisterAllStatsUdfs(&db.udfs()); !s.ok()) {
-    state.SkipWithError(s.ToString().c_str());
-    return;
+/// Loads the same mixture LoadMixture produces, but places 90% of the
+/// rows in partition 0 (rest round-robin over the others) to model a
+/// badly partitioned warehouse table.
+void LoadSkewedMixture(engine::Database* db, const std::string& name,
+                       uint64_t rows, size_t d) {
+  auto created = db->catalog().CreateTable(name, storage::Schema::DataSet(d));
+  if (!created.ok()) std::abort();
+  storage::PartitionedTable* table = created.value();
+  const size_t parts = table->num_partitions();
+  gen::MixtureOptions options;
+  options.n = rows;
+  options.d = d;
+  gen::MixtureGenerator generator(options);
+  std::vector<double> x(d);
+  storage::Row row(1 + d);
+  for (uint64_t i = 1; i <= rows; ++i) {
+    generator.NextPoint(x.data(), nullptr);
+    row[0] = storage::Datum::Int64(static_cast<int64_t>(i));
+    for (size_t a = 0; a < d; ++a) row[1 + a] = storage::Datum::Double(x[a]);
+    const size_t p =
+        (i % 10 != 0 || parts == 1) ? 0 : 1 + (i / 10) % (parts - 1);
+    if (!table->AppendRowToPartition(p, row).ok()) std::abort();
   }
-  bench::LoadMixture(&db, "X", rows, kD);
-  stats::WarehouseMiner miner(&db);
+}
+
+void RunUdfScan(engine::Database* db, benchmark::State& state) {
+  stats::WarehouseMiner miner(db);
   for (auto _ : state) {
     auto stats = miner.ComputeSufStats("X", stats::DimensionColumns(kD),
                                        stats::MatrixKind::kLowerTriangular,
@@ -39,23 +73,67 @@ void BM_UdfScan(benchmark::State& state) {
     bench::Require(stats.status(), state);
     benchmark::DoNotOptimize(stats);
   }
+}
+
+// Altitude 1: parallelism coupled to partition count (one worker per
+// partition, partition-granular morsels).
+void BM_PartitionCoupled(benchmark::State& state) {
+  const size_t parts = kPartitions[state.range(0)];
+  const uint64_t rows = bench::ScaledRows(1600);
+  auto db = bench::MakeBenchDatabase(/*num_threads=*/parts,
+                                     /*morsel_rows=*/0, parts);
+  bench::LoadMixture(db.get(), "X", rows, kD);
+  RunUdfScan(db.get(), state);
   state.counters["partitions"] = static_cast<double>(parts);
+}
+
+// Altitude 2: threads x morsel size at a fixed 8-way partitioning.
+void BM_Morsel(benchmark::State& state) {
+  const size_t threads = kThreads[state.range(0)];
+  const uint64_t morsel = kMorselRows[state.range(1)];
+  const bool skewed = state.range(2) != 0;
+  const uint64_t rows = bench::ScaledRows(1600);
+  auto db = bench::MakeBenchDatabase(threads, morsel, kMorselAltitudeParts);
+  if (skewed) {
+    LoadSkewedMixture(db.get(), "X", rows, kD);
+  } else {
+    bench::LoadMixture(db.get(), "X", rows, kD);
+  }
+  RunUdfScan(db.get(), state);
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["morsel_rows"] = static_cast<double>(morsel);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::printf(
-      "=== Ablation: shared-nothing parallelism — UDF scan at d=32, "
-      "n=1600k scaled 1/%zu, 1..16 partitions ===\n",
+      "=== Ablation: parallel execution — UDF scan at d=32, n=1600k "
+      "scaled 1/%zu; partition-coupled 1..16, then threads x morsel "
+      "size on uniform and skewed 8-way partitionings ===\n",
       nlq::bench::ScaleDivisor());
   for (size_t pi = 0; pi < 5; ++pi) {
     const std::string label =
         "Ablation/UDF/partitions=" + std::to_string(kPartitions[pi]);
-    benchmark::RegisterBenchmark(label.c_str(), BM_UdfScan)
+    nlq::bench::RegisterReal(label, BM_PartitionCoupled)
         ->Arg(static_cast<int>(pi))
         ->Unit(benchmark::kMillisecond)
         ->Iterations(1);
+  }
+  for (int skewed = 0; skewed <= 1; ++skewed) {
+    for (size_t ti = 0; ti < 4; ++ti) {
+      for (size_t mi = 0; mi < 4; ++mi) {
+        const std::string label =
+            std::string("Ablation/Morsel/") +
+            (skewed ? "skewed" : "uniform") +
+            "/threads=" + std::to_string(kThreads[ti]) +
+            "/morsel=" + std::to_string(kMorselRows[mi]);
+        nlq::bench::RegisterReal(label, BM_Morsel)
+            ->Args({static_cast<int>(ti), static_cast<int>(mi), skewed})
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+      }
+    }
   }
   return nlq::bench::RunSuite("bench_ablation_parallel", &argc, argv);
 }

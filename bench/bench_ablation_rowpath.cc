@@ -162,27 +162,27 @@ int main(int argc, char** argv) {
       nlq::bench::ScaleDivisor());
   for (size_t di = 0; di < 3; ++di) {
     const std::string suffix = "/d=" + std::to_string(kDims[di]);
-    benchmark::RegisterBenchmark(("Ablation/raw" + suffix).c_str(),
+    nlq::bench::RegisterReal(("Ablation/raw" + suffix).c_str(),
                                  BM_RawArray)
         ->Arg(static_cast<int>(di))
         ->Unit(benchmark::kMillisecond)
         ->Iterations(1);
-    benchmark::RegisterBenchmark(("Ablation/rows" + suffix).c_str(),
+    nlq::bench::RegisterReal(("Ablation/rows" + suffix).c_str(),
                                  BM_DatumRows)
         ->Arg(static_cast<int>(di))
         ->Unit(benchmark::kMillisecond)
         ->Iterations(1);
-    benchmark::RegisterBenchmark(("Ablation/batched" + suffix).c_str(),
+    nlq::bench::RegisterReal(("Ablation/batched" + suffix).c_str(),
                                  BM_BatchedScan)
         ->Arg(static_cast<int>(di))
         ->Unit(benchmark::kMillisecond)
         ->Iterations(1);
-    benchmark::RegisterBenchmark(("Ablation/columnar" + suffix).c_str(),
+    nlq::bench::RegisterReal(("Ablation/columnar" + suffix).c_str(),
                                  BM_ColumnarScan)
         ->Arg(static_cast<int>(di))
         ->Unit(benchmark::kMillisecond)
         ->Iterations(1);
-    benchmark::RegisterBenchmark(("Ablation/engine" + suffix).c_str(),
+    nlq::bench::RegisterReal(("Ablation/engine" + suffix).c_str(),
                                  BM_EngineScan)
         ->Arg(static_cast<int>(di))
         ->Unit(benchmark::kMillisecond)

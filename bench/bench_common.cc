@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "stats/scoring.h"
@@ -31,13 +32,38 @@ std::string PaperN(uint64_t paper_thousands) {
   return std::to_string(paper_thousands) + "k";
 }
 
-std::unique_ptr<engine::Database> MakeBenchDatabase() {
+size_t BenchThreads() {
+  if (const char* threads = std::getenv("NLQ_BENCH_THREADS")) {
+    const long value = std::strtol(threads, nullptr, 10);
+    if (value >= 1) return static_cast<size_t>(value);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+uint64_t BenchMorselRows() {
+  if (const char* morsel = std::getenv("NLQ_BENCH_MORSEL")) {
+    const long long value = std::strtoll(morsel, nullptr, 10);
+    if (value >= 0) return static_cast<uint64_t>(value);
+  }
+  return engine::DatabaseOptions().morsel_rows;
+}
+
+std::unique_ptr<engine::Database> MakeBenchDatabase(size_t num_threads,
+                                                    uint64_t morsel_rows,
+                                                    size_t num_partitions) {
   engine::DatabaseOptions options;
-  options.num_partitions = 8;
+  options.num_partitions = num_partitions;
+  options.num_threads = num_threads;
+  options.morsel_rows = morsel_rows;
   auto db = std::make_unique<engine::Database>(options);
   const Status s = stats::RegisterAllStatsUdfs(&db->udfs());
   if (!s.ok()) std::abort();
   return db;
+}
+
+std::unique_ptr<engine::Database> MakeBenchDatabase() {
+  return MakeBenchDatabase(BenchThreads(), BenchMorselRows());
 }
 
 void LoadMixture(engine::Database* db, const std::string& name, uint64_t rows,
@@ -114,6 +140,9 @@ void WriteJson(const std::string& path, const std::string& suite,
   }
   std::fprintf(f, "{\n  \"suite\": \"%s\",\n  \"scale_divisor\": %zu,\n",
                suite.c_str(), ScaleDivisor());
+  std::fprintf(f, "  \"num_threads\": %zu,\n  \"morsel_rows\": %llu,\n",
+               BenchThreads(),
+               static_cast<unsigned long long>(BenchMorselRows()));
   std::fprintf(f, "  \"benchmarks\": [\n");
   for (size_t i = 0; i < runs.size(); ++i) {
     const CapturedRun& r = runs[i];

@@ -3,8 +3,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "engine/database.h"
 #include "gen/datagen.h"
@@ -28,8 +30,38 @@ uint64_t ScaledRows(uint64_t paper_thousands);
 /// Label helper: "100k" etc. for the paper's n.
 std::string PaperN(uint64_t paper_thousands);
 
-/// Fresh engine with 8 partitions and all stats UDFs registered.
+/// Worker-thread count every bench database runs with: the
+/// NLQ_BENCH_THREADS override if set, else the machine's hardware
+/// concurrency. Recorded in the NLQ_BENCH_JSON header so results from
+/// different machines are comparable.
+size_t BenchThreads();
+
+/// Morsel size (rows) every bench database runs with: the
+/// NLQ_BENCH_MORSEL override if set (0 = partition-granular morsels,
+/// the pre-morsel scheduler), else the engine default. Recorded in
+/// the NLQ_BENCH_JSON header.
+uint64_t BenchMorselRows();
+
+/// Fresh engine with 8 partitions and all stats UDFs registered,
+/// running BenchThreads() workers with BenchMorselRows()-row morsels.
+/// Pass explicit values to sweep threads/morsel size in an ablation.
+std::unique_ptr<engine::Database> MakeBenchDatabase(
+    size_t num_threads, uint64_t morsel_rows, size_t num_partitions = 8);
 std::unique_ptr<engine::Database> MakeBenchDatabase();
+
+/// Registers a benchmark that measures and compares wall-clock time.
+/// The engine's pool workers run outside the timed thread, so plain
+/// cpu_time under-reports parallel scans; every suite registers
+/// through this helper so the console and JSON numbers are real_time
+/// first, with cpu_time widened to whole-process CPU (which *does*
+/// include pool workers, making the real/cpu ratio a utilization
+/// readout).
+template <typename Fn>
+benchmark::internal::Benchmark* RegisterReal(const std::string& name, Fn fn) {
+  return benchmark::RegisterBenchmark(name.c_str(), std::move(fn))
+      ->UseRealTime()
+      ->MeasureProcessCPUTime();
+}
 
 /// Generates the paper's mixture data set into `name`.
 void LoadMixture(engine::Database* db, const std::string& name, uint64_t rows,
@@ -49,9 +81,11 @@ void Require(const Status& status, benchmark::State& state);
 ///   NLQ_BENCH_JSON=out/dir         — writes out/dir/<suite>.json
 ///   NLQ_BENCH_JSON=results.json    — writes exactly that file
 ///
-/// The file records the suite name, the row-scale divisor, and for
-/// each benchmark its name, iteration count, and real/cpu time in the
-/// benchmark's declared time unit.
+/// The file records the suite name, the row-scale divisor, the worker
+/// thread count and morsel size the suite ran with, and for each
+/// benchmark its name, iteration count, and real/cpu time in the
+/// benchmark's declared time unit. real_time is the headline number
+/// (see RegisterReal); cpu_time is whole-process CPU.
 int RunSuite(const char* suite, int* argc, char** argv);
 
 }  // namespace nlq::bench

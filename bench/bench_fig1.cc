@@ -49,11 +49,11 @@ int main(int argc, char** argv) {
     for (size_t ni = 0; ni < 4; ++ni) {
       const std::string suffix = "/d=" + std::to_string(kDims[di]) +
                                  "/n=" + nlq::bench::PaperN(kPaperN[ni]);
-      benchmark::RegisterBenchmark(("Fig1/SQL" + suffix).c_str(), BM_Sql)
+      nlq::bench::RegisterReal(("Fig1/SQL" + suffix).c_str(), BM_Sql)
           ->Args({static_cast<int>(ni), static_cast<int>(di)})
           ->Unit(benchmark::kMillisecond)
           ->Iterations(1);
-      benchmark::RegisterBenchmark(("Fig1/UDF" + suffix).c_str(), BM_Udf)
+      nlq::bench::RegisterReal(("Fig1/UDF" + suffix).c_str(), BM_Udf)
           ->Args({static_cast<int>(ni), static_cast<int>(di)})
           ->Unit(benchmark::kMillisecond)
           ->Iterations(1);

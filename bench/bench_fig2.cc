@@ -48,11 +48,11 @@ int main(int argc, char** argv) {
     for (size_t di = 0; di < 5; ++di) {
       const std::string suffix = "/n=" + nlq::bench::PaperN(kPaperN[ni]) +
                                  "/d=" + std::to_string(kDims[di]);
-      benchmark::RegisterBenchmark(("Fig2/SQL" + suffix).c_str(), BM_Sql)
+      nlq::bench::RegisterReal(("Fig2/SQL" + suffix).c_str(), BM_Sql)
           ->Args({static_cast<int>(ni), static_cast<int>(di)})
           ->Unit(benchmark::kMillisecond)
           ->Iterations(1);
-      benchmark::RegisterBenchmark(("Fig2/UDF" + suffix).c_str(), BM_Udf)
+      nlq::bench::RegisterReal(("Fig2/UDF" + suffix).c_str(), BM_Udf)
           ->Args({static_cast<int>(ni), static_cast<int>(di)})
           ->Unit(benchmark::kMillisecond)
           ->Iterations(1);

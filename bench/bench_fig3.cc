@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
       const std::string label = std::string("Fig3/varyN/d=8/") +
                                 (str ? "string" : "list") +
                                 "/n=" + nlq::bench::PaperN(kPanelAN[ni]);
-      benchmark::RegisterBenchmark(label.c_str(), BM_PanelA)
+      nlq::bench::RegisterReal(label.c_str(), BM_PanelA)
           ->Args({static_cast<int>(ni), str})
           ->Unit(benchmark::kMillisecond)
           ->Iterations(1);
@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
       const std::string label = std::string("Fig3/varyD/n=1600k/") +
                                 (str ? "string" : "list") +
                                 "/d=" + std::to_string(kPanelBD[di]);
-      benchmark::RegisterBenchmark(label.c_str(), BM_PanelB)
+      nlq::bench::RegisterReal(label.c_str(), BM_PanelB)
           ->Args({static_cast<int>(di), str})
           ->Unit(benchmark::kMillisecond)
           ->Iterations(1);

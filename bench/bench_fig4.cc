@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
       const std::string label = std::string("Fig4/varyN/d=64/") +
                                 kKindNames[kind] +
                                 "/n=" + nlq::bench::PaperN(kPanelAN[ni]);
-      benchmark::RegisterBenchmark(label.c_str(), BM_PanelA)
+      nlq::bench::RegisterReal(label.c_str(), BM_PanelA)
           ->Args({static_cast<int>(ni), static_cast<int>(kind)})
           ->Unit(benchmark::kMillisecond)
           ->Iterations(1);
@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
       const std::string label = std::string("Fig4/varyD/n=1600k/") +
                                 kKindNames[kind] +
                                 "/d=" + std::to_string(kPanelBD[di]);
-      benchmark::RegisterBenchmark(label.c_str(), BM_PanelB)
+      nlq::bench::RegisterReal(label.c_str(), BM_PanelB)
           ->Args({static_cast<int>(di), static_cast<int>(kind)})
           ->Unit(benchmark::kMillisecond)
           ->Iterations(1);

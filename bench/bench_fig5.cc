@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
             std::string("Fig5/varyN/") + kKindNames[kind] +
             "/d=" + std::to_string(kLeftD[di]) +
             "/n=" + nlq::bench::PaperN(kNValues[ni]);
-        benchmark::RegisterBenchmark(label.c_str(), BM_VaryN)
+        nlq::bench::RegisterReal(label.c_str(), BM_VaryN)
             ->Args({static_cast<int>(ni), static_cast<int>(di),
                     static_cast<int>(kind)})
             ->Unit(benchmark::kMillisecond)
@@ -77,7 +77,7 @@ int main(int argc, char** argv) {
             std::string("Fig5/varyD/") + kKindNames[kind] +
             "/n=" + nlq::bench::PaperN(kRightN[ni]) +
             "/d=" + std::to_string(kRightD[di]);
-        benchmark::RegisterBenchmark(label.c_str(), BM_VaryD)
+        nlq::bench::RegisterReal(label.c_str(), BM_VaryD)
             ->Args({static_cast<int>(di), static_cast<int>(ni),
                     static_cast<int>(kind)})
             ->Unit(benchmark::kMillisecond)

@@ -75,7 +75,7 @@ void RegisterSeries(const char* technique, Fn fn) {
   for (size_t ni = 0; ni < 5; ++ni) {
     const std::string label = std::string("Fig6/") + technique +
                               "/n=" + nlq::bench::PaperN(kPaperN[ni]);
-    benchmark::RegisterBenchmark(label.c_str(), fn)
+    nlq::bench::RegisterReal(label.c_str(), fn)
         ->Arg(static_cast<int>(ni))
         ->Unit(benchmark::kMillisecond)
         ->Iterations(1);

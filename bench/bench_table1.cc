@@ -105,16 +105,16 @@ int main(int argc, char** argv) {
       nlq::bench::ScaleDivisor());
   for (size_t i = 0; i < 5; ++i) {
     const std::string label = "/n=" + nlq::bench::PaperN(kPaperN[i]);
-    benchmark::RegisterBenchmark(("Table1/Cpp" + label).c_str(),
+    nlq::bench::RegisterReal(("Table1/Cpp" + label).c_str(),
                                  BM_ExternalCpp)
         ->Arg(static_cast<int>(i))
         ->Unit(benchmark::kMillisecond)
         ->Iterations(1);
-    benchmark::RegisterBenchmark(("Table1/SQL" + label).c_str(), BM_Sql)
+    nlq::bench::RegisterReal(("Table1/SQL" + label).c_str(), BM_Sql)
         ->Arg(static_cast<int>(i))
         ->Unit(benchmark::kMillisecond)
         ->Iterations(1);
-    benchmark::RegisterBenchmark(("Table1/UDF" + label).c_str(), BM_Udf)
+    nlq::bench::RegisterReal(("Table1/UDF" + label).c_str(), BM_Udf)
         ->Arg(static_cast<int>(i))
         ->Unit(benchmark::kMillisecond)
         ->Iterations(1);

@@ -95,16 +95,16 @@ int main(int argc, char** argv) {
     for (size_t di = 0; di < 4; ++di) {
       const std::string label = "/n=" + nlq::bench::PaperN(kPaperN[ni]) +
                                 "/d=" + std::to_string(kDims[di]);
-      benchmark::RegisterBenchmark(("Table2/Cpp" + label).c_str(),
+      nlq::bench::RegisterReal(("Table2/Cpp" + label).c_str(),
                                    BM_ExternalCpp)
           ->Args({static_cast<int>(ni), static_cast<int>(di)})
           ->Unit(benchmark::kMillisecond)
           ->Iterations(1);
-      benchmark::RegisterBenchmark(("Table2/SQL" + label).c_str(), BM_Sql)
+      nlq::bench::RegisterReal(("Table2/SQL" + label).c_str(), BM_Sql)
           ->Args({static_cast<int>(ni), static_cast<int>(di)})
           ->Unit(benchmark::kMillisecond)
           ->Iterations(1);
-      benchmark::RegisterBenchmark(("Table2/UDF" + label).c_str(), BM_Udf)
+      nlq::bench::RegisterReal(("Table2/UDF" + label).c_str(), BM_Udf)
           ->Args({static_cast<int>(ni), static_cast<int>(di)})
           ->Unit(benchmark::kMillisecond)
           ->Iterations(1);

@@ -116,7 +116,7 @@ void RegisterGrid(const char* technique, Fn fn) {
       const std::string label = std::string("Table3/") + technique +
                                 "/d=" + std::to_string(kDims[di]) +
                                 "/n=" + std::to_string(kNValues[ni]);
-      benchmark::RegisterBenchmark(label.c_str(), fn)
+      nlq::bench::RegisterReal(label.c_str(), fn)
           ->Args({static_cast<int>(di), static_cast<int>(ni)})
           ->Unit(benchmark::kMicrosecond);
     }

@@ -80,7 +80,7 @@ void RegisterGrid(const char* technique, Fn fn) {
       const std::string label = std::string("Table4/") + technique +
                                 (udf ? "/UDF" : "/SQL") +
                                 "/n=" + nlq::bench::PaperN(kPaperN[ni]);
-      benchmark::RegisterBenchmark(label.c_str(), fn)
+      nlq::bench::RegisterReal(label.c_str(), fn)
           ->Args({static_cast<int>(ni), udf})
           ->Unit(benchmark::kMillisecond)
           ->Iterations(1);

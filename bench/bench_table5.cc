@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
             std::string("Table5/") + (str ? "string" : "list") +
             "/n=" + nlq::bench::PaperN(kPaperN[ni]) +
             "/k=" + std::to_string(kGroups[ki]);
-        benchmark::RegisterBenchmark(label.c_str(), BM_Grouped)
+        nlq::bench::RegisterReal(label.c_str(), BM_Grouped)
             ->Args({static_cast<int>(ni), static_cast<int>(ki), str})
             ->Unit(benchmark::kMillisecond)
             ->Iterations(1);

@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
       nlq::bench::ScaleDivisor());
   for (size_t di = 0; di < 5; ++di) {
     const std::string label = "Table6/blocks/d=" + std::to_string(kDims[di]);
-    benchmark::RegisterBenchmark(label.c_str(), BM_Blocks)
+    nlq::bench::RegisterReal(label.c_str(), BM_Blocks)
         ->Arg(static_cast<int>(di))
         ->Unit(benchmark::kMillisecond)
         ->Iterations(1);

@@ -1,12 +1,24 @@
 #include "common/threadpool.h"
 
+#include <cassert>
+
 namespace nlq {
+namespace {
+
+/// Set while the current thread is executing a batch index; used to
+/// assert the "no nested ParallelFor" contract (a nested call would
+/// deadlock-by-starvation: the inner batch competes for the workers
+/// the outer batch is still counting on).
+thread_local bool tls_inside_parallel_section = false;
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+    // Worker id 0 is reserved for the thread calling ParallelFor*.
+    threads_.emplace_back([this, i] { WorkerLoop(i + 1); });
   }
 }
 
@@ -19,42 +31,78 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
-void ThreadPool::WorkerLoop() {
+bool ThreadPool::DrainBatch(Batch* batch, size_t worker_id) {
+  tls_inside_parallel_section = true;
+  bool completed_last = false;
   for (;;) {
-    std::function<void()> task;
+    const size_t i = batch->next_index.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch->count) break;
+    (*batch->fn)(worker_id, i);
+    if (batch->completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        batch->count) {
+      completed_last = true;
+    }
+  }
+  tls_inside_parallel_section = false;
+  return completed_last;
+}
+
+void ThreadPool::WorkerLoop(size_t worker_id) {
+  uint64_t seen_seq = 0;
+  for (;;) {
+    std::shared_ptr<Batch> batch;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(lock,
-                           [this] { return shutting_down_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (shutting_down_) return;
-        continue;
-      }
-      task = std::move(queue_.front());
-      queue_.pop();
+      work_available_.wait(lock, [this, seen_seq] {
+        return shutting_down_ || batch_seq_ != seen_seq;
+      });
+      if (shutting_down_) return;
+      seen_seq = batch_seq_;
+      batch = current_batch_;  // may be null if the batch already ended
     }
-    task();
-    {
+    if (batch != nullptr && DrainBatch(batch.get(), worker_id)) {
+      // This worker ran the batch's last index; wake the caller (which
+      // re-checks the completion count under the lock).
       std::lock_guard<std::mutex> lock(mu_);
-      --outstanding_;
-      if (outstanding_ == 0) batch_done_.notify_all();
+      batch_done_.notify_all();
     }
+  }
+}
+
+void ThreadPool::ParallelForMorsels(
+    size_t count, const std::function<void(size_t, size_t)>& fn) {
+  if (count == 0) return;
+  // Nested parallel sections are a programming error (see header).
+  assert(!tls_inside_parallel_section &&
+         "nested ThreadPool::ParallelFor* call from inside a pool task");
+  if (count == 1) {
+    tls_inside_parallel_section = true;
+    fn(0, 0);
+    tls_inside_parallel_section = false;
+    return;
+  }
+  auto batch = std::make_shared<Batch>(count, &fn);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_batch_ = batch;
+    ++batch_seq_;
+  }
+  work_available_.notify_all();
+  // The caller is worker 0: it pulls from the same queue rather than
+  // blocking while the pool works.
+  DrainBatch(batch.get(), 0);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    batch_done_.wait(lock, [&batch] {
+      return batch->completed.load(std::memory_order_acquire) == batch->count;
+    });
+    current_batch_.reset();
   }
 }
 
 void ThreadPool::ParallelFor(size_t count,
                              const std::function<void(size_t)>& fn) {
-  if (count == 0) return;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    outstanding_ += count;
-    for (size_t i = 0; i < count; ++i) {
-      queue_.push([&fn, i] { fn(i); });
-    }
-  }
-  work_available_.notify_all();
-  std::unique_lock<std::mutex> lock(mu_);
-  batch_done_.wait(lock, [this] { return outstanding_ == 0; });
+  ParallelForMorsels(count, [&fn](size_t, size_t i) { fn(i); });
 }
 
 }  // namespace nlq

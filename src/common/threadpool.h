@@ -1,19 +1,34 @@
 #ifndef NLQ_COMMON_THREADPOOL_H_
 #define NLQ_COMMON_THREADPOOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
 namespace nlq {
 
-/// Fixed-size worker pool used by the engine to run one task per table
-/// partition ("AMP" in Teradata terms). Tasks are plain callables;
-/// `ParallelFor` blocks until every task in the batch finished.
+/// Fixed-size worker pool running the engine's parallel sections.
+///
+/// Both entry points are *morsel-driven*: the indices of a batch form
+/// a shared work queue that workers (the pool threads plus the calling
+/// thread) drain by atomically claiming the next unclaimed index.
+/// Nothing is pre-assigned, so a worker stuck on a slow index never
+/// strands the indices behind it — the others keep pulling. This is
+/// what decouples the engine's degree of parallelism from the number
+/// of work items (partitions, morsels): 8 workers saturate on 2 huge
+/// morsels + 100 small ones just as well as on 102 equal ones.
+///
+/// Batches are serialized: one ParallelFor/ParallelForMorsels runs at
+/// a time per pool, issued from one external thread at a time.
+/// Nesting is a deadlock-shaped error — a task must never call back
+/// into ParallelFor* on any pool (the inner call would claim the
+/// outer batch's worker while holding one of its indices). Debug
+/// builds assert on it; see ParallelForMorsels.
 class ThreadPool {
  public:
   /// Creates `num_threads` workers (at least 1).
@@ -26,20 +41,51 @@ class ThreadPool {
 
   size_t num_threads() const { return threads_.size(); }
 
-  /// Runs fn(i) for i in [0, count), distributed over the pool, and
-  /// waits for completion. Safe to call concurrently from one thread
-  /// at a time per pool.
+  /// Workers participating in a parallel section: the pool threads
+  /// plus the calling thread, which drains indices too instead of
+  /// blocking idle.
+  size_t num_workers() const { return threads_.size() + 1; }
+
+  /// Runs fn(i) for i in [0, count) and waits for completion. Indices
+  /// are claimed dynamically (work-stealing from the shared counter),
+  /// in increasing order, with no per-index heap allocation.
   void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
 
+  /// Morsel-driven variant: runs fn(worker, i) for i in [0, count),
+  /// where `worker` in [0, num_workers()) identifies the claiming
+  /// worker (stable within the batch — use it to index per-worker
+  /// scratch). Which worker runs which index is scheduling-dependent;
+  /// callers needing deterministic results must make fn(w, i)'s
+  /// observable effect independent of `w` (per-index partial states
+  /// folded in index order — see engine/exec).
+  void ParallelForMorsels(
+      size_t count, const std::function<void(size_t, size_t)>& fn);
+
  private:
-  void WorkerLoop();
+  /// One parallel section: the shared claim counter and completion
+  /// count. Held by shared_ptr so workers that wake late (after the
+  /// caller returned) can still safely observe an exhausted batch.
+  struct Batch {
+    explicit Batch(size_t n, const std::function<void(size_t, size_t)>* f)
+        : count(n), fn(f) {}
+    const size_t count;
+    const std::function<void(size_t, size_t)>* fn;  // valid until completed
+    std::atomic<size_t> next_index{0};
+    std::atomic<size_t> completed{0};
+  };
+
+  void WorkerLoop(size_t worker_id);
+
+  /// Claims and runs indices of `batch` until exhausted; returns true
+  /// if this call completed the batch's last index.
+  bool DrainBatch(Batch* batch, size_t worker_id);
 
   std::vector<std::thread> threads_;
   std::mutex mu_;
   std::condition_variable work_available_;
   std::condition_variable batch_done_;
-  std::queue<std::function<void()>> queue_;
-  size_t outstanding_ = 0;
+  std::shared_ptr<Batch> current_batch_;  // non-null while a batch runs
+  uint64_t batch_seq_ = 0;                // bumped per published batch
   bool shutting_down_ = false;
 };
 

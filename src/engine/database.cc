@@ -67,8 +67,9 @@ Database::Database(DatabaseOptions options)
     : options_(options), catalog_(options.num_partitions) {
   size_t threads = options_.num_threads;
   if (threads == 0) {
-    const size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
-    threads = std::min(options_.num_partitions, hw);
+    // Morsel scheduling decouples worker count from partition count:
+    // default to the hardware, not min(partitions, hardware).
+    threads = std::max<size_t>(1, std::thread::hardware_concurrency());
   }
   pool_ = std::make_unique<ThreadPool>(threads);
 }
@@ -76,7 +77,7 @@ Database::Database(DatabaseOptions options)
 StatusOr<ResultSet> Database::ExecuteSelect(const SelectStatement& select) {
   exec::Planner planner(&catalog_, &registry_, pool_.get(),
                         storage::RowBatch::kDefaultCapacity,
-                        options_.enable_column_cache);
+                        options_.enable_column_cache, options_.morsel_rows);
   NLQ_ASSIGN_OR_RETURN(exec::PhysicalPlan plan, planner.Plan(select));
   return exec::ExecutePlan(plan);
 }
@@ -153,7 +154,7 @@ StatusOr<std::string> Database::Explain(std::string_view sql) {
   }
   exec::Planner planner(&catalog_, &registry_, pool_.get(),
                         storage::RowBatch::kDefaultCapacity,
-                        options_.enable_column_cache);
+                        options_.enable_column_cache, options_.morsel_rows);
   NLQ_ASSIGN_OR_RETURN(exec::PhysicalPlan plan, planner.Plan(*stmt.select));
   return exec::ExplainPlan(*plan.root);
 }

@@ -21,9 +21,18 @@ struct DatabaseOptions {
   /// threads" of the paper's Teradata deployment (it used 20).
   size_t num_partitions = 8;
 
-  /// Worker threads executing per-partition scan/aggregate tasks.
-  /// 0 = one per partition, capped at hardware concurrency.
+  /// Worker threads executing scan/aggregate morsels. 0 = hardware
+  /// concurrency. Morsel-driven scheduling decouples this from
+  /// `num_partitions`: any thread count drains any partition layout,
+  /// and results do not depend on the choice.
   size_t num_threads = 0;
+
+  /// Rows per scan morsel — the unit of work parallel scans hand to
+  /// pool workers. Morsel boundaries depend only on (partition,
+  /// offset), never on thread count, keeping query results
+  /// bit-identical whatever `num_threads` is. 0 = one morsel per
+  /// partition (the pre-morsel partition-granular behavior).
+  uint64_t morsel_rows = 16384;
 
   /// Keep per-partition decoded column arrays cached between columnar
   /// fast-path scans (iterative model building re-scans the same table

@@ -246,7 +246,9 @@ std::string ColumnarAggregateNode::annotation() const {
     if (spec.kind == AggregateSpec::Kind::kUdf) ++udfs;
   }
   if (udfs > 0) out += StringPrintf(", %zu fused UDF span call(s)", udfs);
-  out += StringPrintf("; merge: %zu partial state(s)", scan_->num_streams());
+  out += StringPrintf("; merge: %zu partial state(s), %zu worker(s)",
+                      scan_->num_streams(),
+                      pool_ != nullptr ? pool_->num_workers() : 1);
   return out;
 }
 
@@ -255,7 +257,13 @@ StatusOr<ExecStreamPtr> ColumnarAggregateNode::OpenStream(size_t) const {
 }
 
 StatusOr<std::vector<Row>> ColumnarAggregateNode::Compute() const {
-  // ROW phase: one partial state per partition, drained in parallel.
+  // Fill the decoded-column cache one partition per task BEFORE the
+  // morsel drain: concurrent morsels of one partition must only read
+  // an already-filled cache.
+  NLQ_RETURN_IF_ERROR(scan_->WarmCache(pool_));
+
+  // ROW phase: one partial state per morsel stream, drained by
+  // whichever workers claim them.
   const size_t parts = scan_->num_streams();
   std::vector<PartialState> partials(parts);
   std::vector<Status> statuses(parts);
@@ -296,8 +304,11 @@ StatusOr<std::vector<Row>> ColumnarAggregateNode::Compute() const {
   }
   for (const Status& s : statuses) NLQ_RETURN_IF_ERROR(s);
 
-  // MERGE phase: fold partial states into partition 0's, in partition
-  // order (the row path folds its per-stream tables the same way).
+  // MERGE phase: fold partial states into morsel 0's, in morsel-index
+  // order. The grid — and therefore this fold order — depends only on
+  // the partition layout, never on which worker drained which morsel,
+  // so results are bit-identical across thread counts and runs (and
+  // match the row path, which folds the same grid the same way).
   for (size_t p = 1; p < parts; ++p) {
     NLQ_RETURN_IF_ERROR(MergePartial(specs_, &partials[0], &partials[p]));
   }

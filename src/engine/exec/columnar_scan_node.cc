@@ -44,26 +44,29 @@ void ApplyFilter(const ColumnFilter& f, const ColumnSpanBatch& in,
   }
 }
 
-/// Stream over one partition. In streaming mode batches are decoded
-/// page-by-page through a ColumnBatchScanner into stream-owned
-/// buffers; in cache mode the whole partition is served as one batch
-/// of spans aliasing the table's decoded-column cache. Filtered
-/// batches are compacted (order-preserving) into stream-owned scratch
-/// columns.
+/// Stream over one morsel — rows [begin, end) of one partition. In
+/// streaming mode batches are decoded page-by-page through a
+/// range-restricted ColumnBatchScanner into stream-owned buffers; in
+/// cache mode the morsel is served as one batch of span slices
+/// aliasing the table's decoded-column cache. Filtered batches are
+/// compacted (order-preserving) into stream-owned scratch columns.
 class ColumnarScanStream : public ColumnStream {
  public:
-  ColumnarScanStream(const storage::Table* partition,
-                     const std::vector<size_t>& slots,
+  ColumnarScanStream(const storage::Table* partition, uint64_t begin_row,
+                     uint64_t end_row, const std::vector<size_t>& slots,
                      const std::vector<ColumnFilter>& filters, bool use_cache,
                      size_t batch_capacity)
       : partition_(partition),
+        begin_row_(begin_row),
+        end_row_(end_row),
         slots_(slots),
         filters_(filters),
         use_cache_(use_cache),
-        scanner_(use_cache
-                     ? nullptr
-                     : std::make_unique<storage::ColumnBatchScanner>(
-                           partition->ScanColumnBatch(slots, batch_capacity))),
+        scanner_(use_cache ? nullptr
+                           : std::make_unique<storage::ColumnBatchScanner>(
+                                 partition->ScanColumnBatchRange(
+                                     slots, begin_row, end_row,
+                                     batch_capacity))),
         scratch_(slots.size()) {}
 
   StatusOr<bool> Next(ColumnSpanBatch* out) override {
@@ -94,12 +97,41 @@ class ColumnarScanStream : public ColumnStream {
   StatusOr<bool> NextCached(ColumnSpanBatch* out) {
     if (served_) return false;
     served_ = true;
-    if (partition_->num_rows() == 0) return false;
+    if (end_row_ <= begin_row_) return false;
     NLQ_RETURN_IF_ERROR(partition_->EnsureDecodedColumns(slots_));
-    out->rows = static_cast<size_t>(partition_->num_rows());
-    Point(out, [this](size_t c) -> const ColumnVector& {
-      return *partition_->decoded_column(slots_[c]);
-    });
+    const size_t begin = static_cast<size_t>(begin_row_);
+    const size_t rows = static_cast<size_t>(end_row_ - begin_row_);
+    out->rows = rows;
+    const size_t ncols = slots_.size();
+    out->doubles.assign(ncols, nullptr);
+    out->ints.assign(ncols, nullptr);
+    out->null_bits.assign(ncols, nullptr);
+    if (slice_bits_.size() < ncols) slice_bits_.resize(ncols);
+    for (size_t c = 0; c < ncols; ++c) {
+      const ColumnVector& col = *partition_->decoded_column(slots_[c]);
+      if (col.type == DataType::kDouble) {
+        out->doubles[c] = col.double_data() + begin;
+      } else {
+        out->ints[c] = col.int_data() + begin;
+      }
+      if (!col.has_nulls()) continue;
+      if (begin % 64 == 0) {
+        // Word-aligned slice: alias the cached bitmap directly (bits
+        // past `rows` in the last word are never read).
+        out->null_bits[c] = col.null_bits.data() + begin / 64;
+      } else {
+        // Misaligned morsel boundary: repack the slice's bits to start
+        // at bit 0 of stream-owned scratch words.
+        std::vector<uint64_t>& dst = slice_bits_[c];
+        dst.assign(NullBitmapWords(rows), 0);
+        for (size_t r = 0; r < rows; ++r) {
+          if (NullBitGet(col.null_bits.data(), begin + r)) {
+            NullBitSet(dst.data(), r);
+          }
+        }
+        out->null_bits[c] = dst.data();
+      }
+    }
     return Filter(out);
   }
 
@@ -162,6 +194,8 @@ class ColumnarScanStream : public ColumnStream {
   }
 
   const storage::Table* partition_;
+  uint64_t begin_row_;
+  uint64_t end_row_;
   const std::vector<size_t>& slots_;
   const std::vector<ColumnFilter>& filters_;
   bool use_cache_;
@@ -170,6 +204,7 @@ class ColumnarScanStream : public ColumnStream {
   storage::ColumnBatch batch_;
   std::vector<uint8_t> keep_;
   std::vector<ScratchColumn> scratch_;
+  std::vector<std::vector<uint64_t>> slice_bits_;  // per column, cache mode
 };
 
 }  // namespace
@@ -178,22 +213,26 @@ ColumnarScanNode::ColumnarScanNode(const storage::PartitionedTable* table,
                                    std::string table_name,
                                    std::vector<size_t> slots,
                                    std::vector<ColumnFilter> filters,
-                                   bool use_cache, size_t batch_capacity)
+                                   bool use_cache, size_t batch_capacity,
+                                   uint64_t morsel_rows)
     : PlanNode(nullptr),
       table_(table),
       table_name_(std::move(table_name)),
       slots_(std::move(slots)),
       filters_(std::move(filters)),
       use_cache_(use_cache),
-      batch_capacity_(batch_capacity) {}
+      batch_capacity_(batch_capacity),
+      morsel_rows_(morsel_rows),
+      grid_(BuildMorselGrid(*table, morsel_rows)) {}
 
 std::string ColumnarScanNode::annotation() const {
   std::string out = StringPrintf(
       "%s: %llu rows, %zu partitions, %zu of %zu column(s), batch %zu, "
-      "cache %s",
+      "morsel %llu (%zu morsel(s)), cache %s",
       table_name_.c_str(), static_cast<unsigned long long>(table_->num_rows()),
       table_->num_partitions(), slots_.size(),
       table_->schema().num_columns(), batch_capacity_,
+      static_cast<unsigned long long>(morsel_rows_), grid_.size(),
       use_cache_ ? "on" : "off");
   if (!filters_.empty()) {
     out += ", filter: ";
@@ -212,8 +251,27 @@ StatusOr<ExecStreamPtr> ColumnarScanNode::OpenStream(size_t) const {
 }
 
 StatusOr<ColumnStreamPtr> ColumnarScanNode::OpenColumnStream(size_t s) const {
+  const Morsel& m = grid_[s];
   return ColumnStreamPtr(new ColumnarScanStream(
-      &table_->partition(s), slots_, filters_, use_cache_, batch_capacity_));
+      &table_->partition(m.partition), m.begin, m.end, slots_, filters_,
+      use_cache_, batch_capacity_));
+}
+
+Status ColumnarScanNode::WarmCache(ThreadPool* pool) const {
+  if (!use_cache_) return Status::OK();
+  const size_t parts = table_->num_partitions();
+  std::vector<Status> statuses(parts);
+  auto warm_one = [&](size_t p) {
+    if (table_->partition(p).num_rows() == 0) return;
+    statuses[p] = table_->partition(p).EnsureDecodedColumns(slots_);
+  };
+  if (parts == 1 || pool == nullptr) {
+    for (size_t p = 0; p < parts; ++p) warm_one(p);
+  } else {
+    pool->ParallelFor(parts, warm_one);
+  }
+  for (const Status& s : statuses) NLQ_RETURN_IF_ERROR(s);
+  return Status::OK();
 }
 
 }  // namespace nlq::engine::exec

@@ -6,7 +6,9 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/threadpool.h"
 #include "engine/ast.h"
+#include "engine/exec/morsel.h"
 #include "engine/exec/plan.h"
 #include "storage/column_batch.h"
 #include "storage/partitioned_table.h"
@@ -62,28 +64,41 @@ using ColumnStreamPtr = std::unique_ptr<ColumnStream>;
 /// OpenColumnStream by ColumnarAggregateNode; the row-oriented
 /// OpenStream is deliberately unimplemented.
 ///
+/// Streams are morsels from the same grid ParallelScanNode uses (same
+/// `morsel_rows`), so the row and columnar paths have identical stream
+/// structure and their stream-order merges stay mutually
+/// byte-identical (see tests/columnar_equivalence_test.cc).
+///
 /// With `use_cache` the scan decodes each partition's columns once
-/// into the table's decoded-column cache and serves whole-partition
-/// spans from it on every subsequent scan (iterative model building
+/// into the table's decoded-column cache and serves morsel-sized span
+/// slices of it on every subsequent scan (iterative model building
 /// re-scans the same table many times); the cache is invalidated by
-/// appends. Without it the scan streams batches through a
+/// appends. Without it each stream decodes its row range through a
 /// ColumnBatchScanner.
 class ColumnarScanNode : public PlanNode {
  public:
   ColumnarScanNode(const storage::PartitionedTable* table,
                    std::string table_name, std::vector<size_t> slots,
                    std::vector<ColumnFilter> filters, bool use_cache,
-                   size_t batch_capacity);
+                   size_t batch_capacity,
+                   uint64_t morsel_rows = kDefaultMorselRows);
 
   const char* name() const override { return "ColumnarScan"; }
   std::string annotation() const override;
   size_t output_width() const override { return slots_.size(); }
-  size_t num_streams() const override { return table_->num_partitions(); }
+  size_t num_streams() const override { return grid_.size(); }
 
   /// The columnar scan feeds ColumnarAggregateNode spans, not rows.
   StatusOr<ExecStreamPtr> OpenStream(size_t s) const override;
 
   StatusOr<ColumnStreamPtr> OpenColumnStream(size_t s) const;
+
+  /// Fills each partition's decoded-column cache, one partition per
+  /// pool task (Table::EnsureDecodedColumns is not safe against
+  /// concurrent fills of the SAME partition, which morsel streams
+  /// would otherwise do). No-op when the cache is disabled. Callers
+  /// draining column streams on a pool must call this first.
+  Status WarmCache(ThreadPool* pool) const;
 
   /// Schema slot indices of the projected columns, in span order.
   const std::vector<size_t>& slots() const { return slots_; }
@@ -96,6 +111,8 @@ class ColumnarScanNode : public PlanNode {
   std::vector<ColumnFilter> filters_;
   bool use_cache_;
   size_t batch_capacity_;
+  uint64_t morsel_rows_;
+  std::vector<Morsel> grid_;
 };
 
 }  // namespace nlq::engine::exec

@@ -85,7 +85,8 @@ GatherNode::GatherNode(PlanNodePtr child, ThreadPool* pool,
       batch_capacity_(batch_capacity) {}
 
 std::string GatherNode::annotation() const {
-  return StringPrintf("%zu stream(s)", child_->num_streams());
+  return StringPrintf("%zu stream(s), %zu worker(s)", child_->num_streams(),
+                      pool_ != nullptr ? pool_->num_workers() : 1);
 }
 
 StatusOr<ExecStreamPtr> GatherNode::OpenStream(size_t) const {

@@ -267,8 +267,9 @@ std::string HashAggregateNode::annotation() const {
   }
   if (udfs > 0) out += StringPrintf(", %zu aggregate UDF call(s)", udfs);
   if (has_having_) out += ", having: " + having_text_;
-  out += StringPrintf("; merge: %zu partial state(s) per group",
-                      child_->num_streams());
+  out += StringPrintf("; merge: %zu partial state(s) per group, %zu worker(s)",
+                      child_->num_streams(),
+                      pool_ != nullptr ? pool_->num_workers() : 1);
   return out;
 }
 

@@ -1,0 +1,25 @@
+#include "engine/exec/morsel.h"
+
+namespace nlq::engine::exec {
+
+std::vector<Morsel> BuildMorselGrid(const storage::PartitionedTable& table,
+                                    uint64_t morsel_rows) {
+  std::vector<Morsel> grid;
+  for (size_t p = 0; p < table.num_partitions(); ++p) {
+    const uint64_t rows = table.partition(p).num_rows();
+    if (rows == 0) continue;
+    if (morsel_rows == 0) {
+      grid.push_back({p, 0, rows});
+      continue;
+    }
+    for (uint64_t begin = 0; begin < rows; begin += morsel_rows) {
+      const uint64_t end =
+          begin + morsel_rows < rows ? begin + morsel_rows : rows;
+      grid.push_back({p, begin, end});
+    }
+  }
+  if (grid.empty()) grid.push_back({0, 0, 0});
+  return grid;
+}
+
+}  // namespace nlq::engine::exec

@@ -1,0 +1,42 @@
+#ifndef NLQ_ENGINE_EXEC_MORSEL_H_
+#define NLQ_ENGINE_EXEC_MORSEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "storage/partitioned_table.h"
+
+namespace nlq::engine::exec {
+
+/// Default morsel size in rows. Large enough that per-morsel overhead
+/// (claim, partial-state merge) is noise; small enough that a skewed
+/// partition splits into many units any worker can claim.
+inline constexpr uint64_t kDefaultMorselRows = 16384;
+
+/// One unit of parallel scan work: rows [begin, end) of a partition.
+struct Morsel {
+  size_t partition = 0;
+  uint64_t begin = 0;
+  uint64_t end = 0;
+
+  uint64_t rows() const { return end - begin; }
+};
+
+/// Splits every partition of `table` into morsels of up to
+/// `morsel_rows` rows. The grid depends only on the partition layout
+/// and `morsel_rows` — never on thread count or scheduling — so a plan
+/// over the same data produces the same streams whatever the pool
+/// looks like; that is what makes morsel-order merges deterministic.
+///
+/// `morsel_rows == 0` means one morsel per non-empty partition
+/// (partition-granular parallelism, the pre-morsel behavior).
+/// An empty table yields a single empty morsel so plans always have at
+/// least one stream (a global aggregate over no input still finalizes
+/// one group).
+std::vector<Morsel> BuildMorselGrid(const storage::PartitionedTable& table,
+                                    uint64_t morsel_rows);
+
+}  // namespace nlq::engine::exec
+
+#endif  // NLQ_ENGINE_EXEC_MORSEL_H_

@@ -302,12 +302,13 @@ ColumnarCandidate TryColumnarFastPath(const SelectStatement& select,
 
 Planner::Planner(storage::Catalog* catalog, const udf::UdfRegistry* registry,
                  ThreadPool* pool, size_t batch_capacity,
-                 bool enable_column_cache)
+                 bool enable_column_cache, uint64_t morsel_rows)
     : catalog_(catalog),
       registry_(registry),
       pool_(pool),
       batch_capacity_(batch_capacity),
-      enable_column_cache_(enable_column_cache) {}
+      enable_column_cache_(enable_column_cache),
+      morsel_rows_(morsel_rows) {}
 
 StatusOr<PhysicalPlan> Planner::Plan(const SelectStatement& select) const {
   NLQ_ASSIGN_OR_RETURN(FromInputs inputs, PrepareFrom(select, *catalog_));
@@ -320,7 +321,8 @@ StatusOr<PhysicalPlan> Planner::Plan(const SelectStatement& select) const {
   PlanNodePtr node;
   if (inputs.driver != nullptr) {
     node = std::make_unique<ParallelScanNode>(
-        inputs.driver, select.from[0].table_name, batch_capacity_);
+        inputs.driver, select.from[0].table_name, batch_capacity_,
+        morsel_rows_);
   } else {
     node = std::make_unique<ConstantInputNode>(is_aggregate ? 0 : 1);
   }
@@ -374,7 +376,8 @@ StatusOr<PhysicalPlan> Planner::Plan(const SelectStatement& select) const {
       // the scan.
       auto scan = std::make_unique<ColumnarScanNode>(
           inputs.driver, select.from[0].table_name, std::move(cand.slots),
-          std::move(cand.filters), enable_column_cache_, batch_capacity_);
+          std::move(cand.filters), enable_column_cache_, batch_capacity_,
+          morsel_rows_);
       node = std::make_unique<ColumnarAggregateNode>(
           std::move(scan), std::move(cand.specs), std::move(agg.projections),
           select.items.size(), pool_);

@@ -6,6 +6,7 @@
 #include "common/status.h"
 #include "common/threadpool.h"
 #include "engine/ast.h"
+#include "engine/exec/morsel.h"
 #include "engine/exec/plan.h"
 #include "storage/catalog.h"
 #include "storage/schema.h"
@@ -44,10 +45,13 @@ struct PhysicalPlan {
 /// path, which remains the correctness oracle for the columnar one.
 class Planner {
  public:
+  /// `morsel_rows` is the scan-morsel size handed to the leaf nodes
+  /// (0 = partition-granular streams, the pre-morsel behavior).
   Planner(storage::Catalog* catalog, const udf::UdfRegistry* registry,
           ThreadPool* pool,
           size_t batch_capacity = RowBatch::kDefaultCapacity,
-          bool enable_column_cache = true);
+          bool enable_column_cache = true,
+          uint64_t morsel_rows = kDefaultMorselRows);
 
   StatusOr<PhysicalPlan> Plan(const SelectStatement& select) const;
 
@@ -57,6 +61,7 @@ class Planner {
   ThreadPool* pool_;
   size_t batch_capacity_;
   bool enable_column_cache_;
+  uint64_t morsel_rows_;
 };
 
 }  // namespace nlq::engine::exec

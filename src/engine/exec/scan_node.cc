@@ -41,29 +41,30 @@ class ConstantStream : public ExecStream {
 
 ParallelScanNode::ParallelScanNode(const storage::PartitionedTable* table,
                                    std::string table_name,
-                                   size_t batch_capacity)
+                                   size_t batch_capacity, uint64_t morsel_rows)
     : PlanNode(nullptr),
       table_(table),
       table_name_(std::move(table_name)),
-      batch_capacity_(batch_capacity) {}
+      batch_capacity_(batch_capacity),
+      morsel_rows_(morsel_rows),
+      grid_(BuildMorselGrid(*table, morsel_rows)) {}
 
 std::string ParallelScanNode::annotation() const {
-  return StringPrintf("%s: %llu rows, %zu partitions, batch %zu",
-                      table_name_.c_str(),
-                      static_cast<unsigned long long>(table_->num_rows()),
-                      table_->num_partitions(), batch_capacity_);
+  return StringPrintf(
+      "%s: %llu rows, %zu partitions, batch %zu, morsel %llu (%zu morsel(s))",
+      table_name_.c_str(), static_cast<unsigned long long>(table_->num_rows()),
+      table_->num_partitions(), batch_capacity_,
+      static_cast<unsigned long long>(morsel_rows_), grid_.size());
 }
 
 size_t ParallelScanNode::output_width() const {
   return table_->schema().num_columns();
 }
 
-size_t ParallelScanNode::num_streams() const {
-  return table_->num_partitions();
-}
-
 StatusOr<ExecStreamPtr> ParallelScanNode::OpenStream(size_t s) const {
-  return ExecStreamPtr(new ScanStream(table_->ScanPartitionBatches(s)));
+  const Morsel& m = grid_[s];
+  return ExecStreamPtr(new ScanStream(
+      table_->ScanPartitionBatches(m.partition, m.begin, m.end)));
 }
 
 ConstantInputNode::ConstantInputNode(size_t num_rows)

@@ -2,31 +2,39 @@
 #define NLQ_ENGINE_EXEC_SCAN_NODE_H_
 
 #include <string>
+#include <vector>
 
+#include "engine/exec/morsel.h"
 #include "engine/exec/plan.h"
 #include "storage/partitioned_table.h"
 
 namespace nlq::engine::exec {
 
 /// Leaf: batched scan over a hash-partitioned table, one stream per
-/// partition (the per-AMP parallel scan of the paper's Teradata
-/// deployment). Each stream decodes a page's worth of rows per pull
-/// via the storage layer's BatchScanner.
+/// *morsel* — a fixed-size row range of one partition. The morsel grid
+/// is built from the partition layout and `morsel_rows` alone (never
+/// the thread count), so a skewed partition fans out into many
+/// independently claimable streams and downstream stream-order merges
+/// stay deterministic whatever pool drains them. `morsel_rows == 0`
+/// degrades to one stream per partition (the pre-morsel per-AMP scan).
 class ParallelScanNode : public PlanNode {
  public:
   ParallelScanNode(const storage::PartitionedTable* table,
-                   std::string table_name, size_t batch_capacity);
+                   std::string table_name, size_t batch_capacity,
+                   uint64_t morsel_rows = kDefaultMorselRows);
 
   const char* name() const override { return "ParallelScan"; }
   std::string annotation() const override;
   size_t output_width() const override;
-  size_t num_streams() const override;
+  size_t num_streams() const override { return grid_.size(); }
   StatusOr<ExecStreamPtr> OpenStream(size_t s) const override;
 
  private:
   const storage::PartitionedTable* table_;
   std::string table_name_;
   size_t batch_capacity_;
+  uint64_t morsel_rows_;
+  std::vector<Morsel> grid_;
 };
 
 /// Leaf for FROM-less queries: one stream yielding `num_rows` empty

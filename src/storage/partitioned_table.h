@@ -35,10 +35,16 @@ class PartitionedTable {
   const Table& partition(size_t p) const { return *partitions_[p]; }
   Table& partition(size_t p) { return *partitions_[p]; }
 
-  /// Opens a batched cursor over partition `p` — the per-partition
-  /// unit of the engine's morsel-parallel scans.
+  /// Opens a batched cursor over partition `p`.
   BatchScanner ScanPartitionBatches(size_t p) const {
     return partitions_[p]->ScanBatch();
+  }
+
+  /// Opens a batched cursor over rows [begin_row, end_row) of
+  /// partition `p` — one morsel of the engine's parallel scans.
+  BatchScanner ScanPartitionBatches(size_t p, uint64_t begin_row,
+                                    uint64_t end_row) const {
+    return partitions_[p]->ScanBatchRange(begin_row, end_row);
   }
 
   /// Opens a columnar cursor over partition `p` restricted to
@@ -47,6 +53,23 @@ class PartitionedTable {
       size_t p, std::vector<size_t> columns,
       size_t batch_capacity = ColumnBatch::kDefaultCapacity) const {
     return partitions_[p]->ScanColumnBatch(std::move(columns), batch_capacity);
+  }
+
+  /// Columnar counterpart of the morsel-range row cursor.
+  ColumnBatchScanner ScanPartitionColumnBatches(
+      size_t p, std::vector<size_t> columns, uint64_t begin_row,
+      uint64_t end_row,
+      size_t batch_capacity = ColumnBatch::kDefaultCapacity) const {
+    return partitions_[p]->ScanColumnBatchRange(std::move(columns), begin_row,
+                                                end_row, batch_capacity);
+  }
+
+  /// Appends to an explicit partition, bypassing hash routing — for
+  /// tests and benchmarks that need a controlled (e.g. skewed) layout.
+  Status AppendRowToPartition(size_t p, const Row& row) {
+    NLQ_RETURN_IF_ERROR(schema_.ValidateRow(row));
+    partitions_[p]->AppendRowUnchecked(row);
+    return Status::OK();
   }
 
   /// Materializes all rows across partitions (partition order, then

@@ -4,6 +4,44 @@
 #include "storage/disk_manager.h"
 
 namespace nlq::storage {
+namespace {
+
+/// Positions a scan cursor at absolute row `begin` of `table`: skips
+/// whole pages by their row counts, then size-steps the encoded bytes
+/// of the first partially-skipped page (an empty-projection
+/// ColumnDecoder steps every column without materializing anything).
+/// On return *page_index/*page_offset address row `begin` and
+/// *rows_left is the row count remaining in that page; past-the-end
+/// begins land on page_index == num_pages with rows_left == 0.
+Status SeekToRow(const Table& table, uint64_t begin, size_t* page_index,
+                 size_t* page_offset, size_t* rows_left) {
+  uint64_t remaining = begin;
+  size_t pi = 0;
+  while (pi < table.num_pages() && remaining >= table.page(pi).row_count()) {
+    remaining -= table.page(pi).row_count();
+    ++pi;
+  }
+  *page_index = pi;
+  *page_offset = 0;
+  if (pi >= table.num_pages()) {
+    *rows_left = 0;
+    return Status::OK();
+  }
+  *rows_left = table.page(pi).row_count();
+  if (remaining > 0) {
+    const ColumnDecoder skipper(&table.schema(), {});
+    const Page& page = table.page(pi);
+    for (uint64_t i = 0; i < remaining; ++i) {
+      NLQ_RETURN_IF_ERROR(skipper.DecodeRow(page.payload(),
+                                            page.payload_size(), page_offset,
+                                            nullptr, 0));
+    }
+    *rows_left -= static_cast<size_t>(remaining);
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 TableScanner::TableScanner(const Table* table)
     : table_(table), codec_(&table->schema()) {
@@ -30,16 +68,25 @@ bool TableScanner::Next() {
 }
 
 BatchScanner::BatchScanner(const Table* table)
-    : table_(table), codec_(&table->schema()) {
+    : table_(table), codec_(&table->schema()), rows_wanted_(table->num_rows()) {
   if (table_->num_pages() > 0) {
     rows_left_in_page_ = table_->page(0).row_count();
   }
 }
 
+BatchScanner::BatchScanner(const Table* table, uint64_t begin_row,
+                           uint64_t end_row)
+    : table_(table),
+      codec_(&table->schema()),
+      rows_wanted_(end_row > begin_row ? end_row - begin_row : 0) {
+  status_ = SeekToRow(*table, begin_row, &page_index_, &page_offset_,
+                      &rows_left_in_page_);
+}
+
 bool BatchScanner::Next(RowBatch* out) {
   out->Clear();
   if (!status_.ok()) return false;
-  while (!out->full()) {
+  while (!out->full() && rows_wanted_ > 0) {
     while (page_index_ < table_->num_pages() && rows_left_in_page_ == 0) {
       ++page_index_;
       page_offset_ = 0;
@@ -54,6 +101,7 @@ bool BatchScanner::Next(RowBatch* out) {
     size_t take = rows_left_in_page_;
     const size_t space = out->capacity() - out->size();
     if (take > space) take = space;
+    if (take > rows_wanted_) take = static_cast<size_t>(rows_wanted_);
     for (size_t i = 0; i < take; ++i) {
       status_ = codec_.Decode(page.payload(), page.payload_size(),
                               &page_offset_, &out->AppendRow());
@@ -63,6 +111,7 @@ bool BatchScanner::Next(RowBatch* out) {
       }
     }
     rows_left_in_page_ -= take;
+    rows_wanted_ -= take;
   }
   return !out->empty();
 }
@@ -73,17 +122,37 @@ ColumnBatchScanner::ColumnBatchScanner(const Table* table,
     : table_(table),
       columns_(std::move(columns)),
       batch_capacity_(batch_capacity),
-      decoder_(&table->schema(), columns_) {
+      decoder_(&table->schema(), columns_),
+      rows_wanted_(table->num_rows()) {
+  if (!CheckColumnTypes()) return;
+  if (table_->num_pages() > 0) {
+    rows_left_in_page_ = table_->page(0).row_count();
+  }
+}
+
+ColumnBatchScanner::ColumnBatchScanner(const Table* table,
+                                       std::vector<size_t> columns,
+                                       uint64_t begin_row, uint64_t end_row,
+                                       size_t batch_capacity)
+    : table_(table),
+      columns_(std::move(columns)),
+      batch_capacity_(batch_capacity),
+      decoder_(&table->schema(), columns_),
+      rows_wanted_(end_row > begin_row ? end_row - begin_row : 0) {
+  if (!CheckColumnTypes()) return;
+  status_ = SeekToRow(*table, begin_row, &page_index_, &page_offset_,
+                      &rows_left_in_page_);
+}
+
+bool ColumnBatchScanner::CheckColumnTypes() {
   for (const size_t slot : columns_) {
     if (table_->schema().column(slot).type == DataType::kVarchar) {
       status_ = Status::InvalidArgument(
           "columnar scan supports only DOUBLE/BIGINT columns");
-      return;
+      return false;
     }
   }
-  if (table_->num_pages() > 0) {
-    rows_left_in_page_ = table_->page(0).row_count();
-  }
+  return true;
 }
 
 bool ColumnBatchScanner::Next(ColumnBatch* out) {
@@ -92,7 +161,7 @@ bool ColumnBatchScanner::Next(ColumnBatch* out) {
   std::vector<ColumnVector*> dests(out->columns_.size());
   for (size_t i = 0; i < dests.size(); ++i) dests[i] = &out->columns_[i];
   size_t filled = 0;
-  while (filled < batch_capacity_) {
+  while (filled < batch_capacity_ && rows_wanted_ > 0) {
     while (page_index_ < table_->num_pages() && rows_left_in_page_ == 0) {
       ++page_index_;
       page_offset_ = 0;
@@ -105,6 +174,7 @@ bool ColumnBatchScanner::Next(ColumnBatch* out) {
     size_t take = rows_left_in_page_;
     const size_t space = batch_capacity_ - filled;
     if (take > space) take = space;
+    if (take > rows_wanted_) take = static_cast<size_t>(rows_wanted_);
     for (size_t i = 0; i < take; ++i) {
       status_ = decoder_.DecodeRow(page.payload(), page.payload_size(),
                                    &page_offset_, dests.data(), filled + i);
@@ -112,6 +182,7 @@ bool ColumnBatchScanner::Next(ColumnBatch* out) {
     }
     filled += take;
     rows_left_in_page_ -= take;
+    rows_wanted_ -= take;
   }
   out->size_ = filled;
   return filled > 0;

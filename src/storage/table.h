@@ -45,9 +45,15 @@ class TableScanner {
 /// Batched cursor over one table partition: decodes up to a batch's
 /// capacity of rows per call (a page's worth or more), amortizing
 /// cursor bookkeeping over the batch instead of paying it per row.
+///
+/// The range form scans rows [begin_row, end_row) in insertion order —
+/// the morsel-granular unit of the engine's parallel scans. Seeking
+/// skips whole pages by their row counts and size-steps the encoded
+/// bytes inside the first page, so no skipped row is materialized.
 class BatchScanner {
  public:
   explicit BatchScanner(const Table* table);
+  BatchScanner(const Table* table, uint64_t begin_row, uint64_t end_row);
 
   /// Clears `out` and fills it with up to `out->capacity()` decoded
   /// rows. Returns false when the scan is exhausted (out left empty)
@@ -63,6 +69,7 @@ class BatchScanner {
   size_t page_index_ = 0;
   size_t page_offset_ = 0;
   size_t rows_left_in_page_ = 0;
+  uint64_t rows_wanted_ = 0;  // rows still to produce before end_row
   Status status_;
 };
 
@@ -77,6 +84,12 @@ class ColumnBatchScanner {
   ColumnBatchScanner(const Table* table, std::vector<size_t> columns,
                      size_t batch_capacity = ColumnBatch::kDefaultCapacity);
 
+  /// Range form: decodes rows [begin_row, end_row) only (the columnar
+  /// morsel scan; see BatchScanner for the seek mechanics).
+  ColumnBatchScanner(const Table* table, std::vector<size_t> columns,
+                     uint64_t begin_row, uint64_t end_row,
+                     size_t batch_capacity = ColumnBatch::kDefaultCapacity);
+
   /// Re-configures `out` for this scan's projection and fills it with
   /// up to `batch_capacity` decoded rows. Returns false when the scan
   /// is exhausted (out left empty) or on a decode error (see
@@ -87,6 +100,9 @@ class ColumnBatchScanner {
   const Status& status() const { return status_; }
 
  private:
+  /// Rejects VARCHAR projections; sets status_ and returns false.
+  bool CheckColumnTypes();
+
   const Table* table_;
   std::vector<size_t> columns_;
   size_t batch_capacity_;
@@ -94,6 +110,7 @@ class ColumnBatchScanner {
   size_t page_index_ = 0;
   size_t page_offset_ = 0;
   size_t rows_left_in_page_ = 0;
+  uint64_t rows_wanted_ = 0;  // rows still to produce before end_row
   Status status_;
 };
 
@@ -130,12 +147,27 @@ class Table {
   /// Opens a batched scan cursor (one decode call per RowBatch).
   BatchScanner ScanBatch() const { return BatchScanner(this); }
 
+  /// Opens a batched scan cursor over rows [begin_row, end_row) — one
+  /// morsel of this partition. Ranges from the same fixed grid
+  /// partition the row space exactly, whatever thread drains them.
+  BatchScanner ScanBatchRange(uint64_t begin_row, uint64_t end_row) const {
+    return BatchScanner(this, begin_row, end_row);
+  }
+
   /// Opens a columnar scan cursor over `columns` (schema slot indices
   /// of DOUBLE/BIGINT columns).
   ColumnBatchScanner ScanColumnBatch(
       std::vector<size_t> columns,
       size_t batch_capacity = ColumnBatch::kDefaultCapacity) const {
     return ColumnBatchScanner(this, std::move(columns), batch_capacity);
+  }
+
+  /// Columnar counterpart of ScanBatchRange.
+  ColumnBatchScanner ScanColumnBatchRange(
+      std::vector<size_t> columns, uint64_t begin_row, uint64_t end_row,
+      size_t batch_capacity = ColumnBatch::kDefaultCapacity) const {
+    return ColumnBatchScanner(this, std::move(columns), begin_row, end_row,
+                              batch_capacity);
   }
 
   /// Decoded-column cache: decodes every not-yet-cached column of

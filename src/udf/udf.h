@@ -68,6 +68,14 @@ class AggregateUdf {
                             const std::vector<storage::Datum>& args) const = 0;
 
   /// Folds the partial aggregate `other` into `state`.
+  ///
+  /// Merge-ordering contract: the engine computes one partial state
+  /// per scan morsel and folds them in morsel-index order — a fixed
+  /// order derived from (partition, row offset), never from which
+  /// thread produced which partial. An implementation therefore need
+  /// not be commutative-in-floating-point: results stay bit-identical
+  /// across thread counts and runs as long as Merge is deterministic
+  /// for a given (state, other) pair.
   virtual Status Merge(void* state, const void* other) const = 0;
 
   /// Produces the single return value.

@@ -16,7 +16,10 @@ namespace {
 class ExplainTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    db_ = nlq::testing::MakeTestDatabase();
+    // Threads pinned: EXPLAIN prints worker counts, and the goldens
+    // must not depend on the machine's core count.
+    db_ = nlq::testing::MakeTestDatabase(/*num_partitions=*/4,
+                                         /*num_threads=*/3);
     NLQ_ASSERT_OK(db_->ExecuteCommand(
         "CREATE TABLE X (i BIGINT, X1 DOUBLE, X2 DOUBLE)"));
     for (int i = 1; i <= 50; ++i) {
@@ -40,9 +43,10 @@ class ExplainTest : public ::testing::Test {
 TEST_F(ExplainTest, SimpleScanIsFullTree) {
   const std::string plan = Plan("SELECT X1 FROM X");
   EXPECT_EQ(plan,
-            "Gather (4 stream(s))\n"
+            "Gather (4 stream(s), 4 worker(s))\n"
             "└─ Project (1 column(s))\n"
-            "   └─ ParallelScan (X: 50 rows, 4 partitions, batch 1024)\n");
+            "   └─ ParallelScan (X: 50 rows, 4 partitions, batch 1024, "
+            "morsel 16384 (4 morsel(s)))\n");
 }
 
 TEST_F(ExplainTest, ShowsPushdownDecision) {
@@ -68,7 +72,7 @@ TEST_F(ExplainTest, AggregatePlanCountsUdfCalls) {
                       "1 aggregate UDF call(s)"),
             std::string::npos)
       << plan;
-  EXPECT_NE(plan.find("merge: 4 partial state(s) per group"),
+  EXPECT_NE(plan.find("merge: 4 partial state(s) per group, 4 worker(s)"),
             std::string::npos);
   // The aggregate is a pipeline breaker: no separate Gather above it.
   EXPECT_EQ(plan.find("Gather"), std::string::npos);

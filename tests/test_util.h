@@ -15,9 +15,10 @@ namespace nlq::testing {
 
 /// Creates a Database with all stats UDFs registered.
 inline std::unique_ptr<engine::Database> MakeTestDatabase(
-    size_t num_partitions = 4) {
+    size_t num_partitions = 4, size_t num_threads = 0) {
   engine::DatabaseOptions options;
   options.num_partitions = num_partitions;
+  options.num_threads = num_threads;
   auto db = std::make_unique<engine::Database>(options);
   const Status s = stats::RegisterAllStatsUdfs(&db->udfs());
   EXPECT_TRUE(s.ok()) << s.ToString();
