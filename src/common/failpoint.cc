@@ -1,0 +1,78 @@
+#include "common/failpoint.h"
+
+#include <mutex>
+#include <unordered_map>
+
+namespace nlq::failpoint {
+namespace {
+
+struct ArmedPoint {
+  Status error;
+  int skip = 0;        // hits still to ignore before firing
+  int remaining = -1;  // fires left; -1 = unbounded
+  int hits = 0;        // total hits while armed
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, ArmedPoint> points;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();  // leaked: outlives workers
+  return *registry;
+}
+
+}  // namespace
+
+void Activate(const std::string& name, Status error, int skip,
+              int fire_count) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.points[name] = ArmedPoint{std::move(error), skip, fire_count, 0};
+}
+
+void Deactivate(const std::string& name) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.points.erase(name);
+}
+
+void DeactivateAll() {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.points.clear();
+}
+
+int HitCount(const std::string& name) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.points.find(name);
+  return it == reg.points.end() ? 0 : it->second.hits;
+}
+
+bool BuiltWithFailpoints() {
+#if defined(NLQ_FAILPOINTS)
+  return true;
+#else
+  return false;
+#endif
+}
+
+Status Check(const char* name) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.points.find(name);
+  if (it == reg.points.end()) return Status::OK();
+  ArmedPoint& point = it->second;
+  ++point.hits;
+  if (point.skip > 0) {
+    --point.skip;
+    return Status::OK();
+  }
+  if (point.remaining == 0) return Status::OK();
+  if (point.remaining > 0) --point.remaining;
+  return point.error;
+}
+
+}  // namespace nlq::failpoint

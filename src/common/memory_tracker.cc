@@ -1,0 +1,49 @@
+#include "common/memory_tracker.h"
+
+#include "common/strings.h"
+
+namespace nlq {
+namespace {
+
+void RaisePeak(std::atomic<uint64_t>* peak, uint64_t candidate) {
+  uint64_t seen = peak->load(std::memory_order_relaxed);
+  while (candidate > seen &&
+         !peak->compare_exchange_weak(seen, candidate,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Status MemoryTracker::Charge(uint64_t bytes, const char* what) {
+  const uint64_t total =
+      used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (limit_ != 0 && total > limit_) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+    return Status::ResourceExhausted(StringPrintf(
+        "query memory limit exceeded charging %llu bytes for %s "
+        "(%llu used of %llu budget)",
+        static_cast<unsigned long long>(bytes), what,
+        static_cast<unsigned long long>(total - bytes),
+        static_cast<unsigned long long>(limit_)));
+  }
+  RaisePeak(&peak_, total);
+  return Status::OK();
+}
+
+bool MemoryTracker::TryCharge(uint64_t bytes) {
+  const uint64_t total =
+      used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (limit_ != 0 && total > limit_) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+    return false;
+  }
+  RaisePeak(&peak_, total);
+  return true;
+}
+
+void MemoryTracker::Release(uint64_t bytes) {
+  used_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+}  // namespace nlq

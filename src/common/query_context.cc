@@ -1,0 +1,21 @@
+#include "common/query_context.h"
+
+#include "common/strings.h"
+
+namespace nlq {
+
+Status QueryContext::CheckAlive() const {
+  if (cancel_->load(std::memory_order_acquire)) {
+    return Status::Cancelled(
+        StringPrintf("query %llu cancelled",
+                     static_cast<unsigned long long>(query_id_)));
+  }
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    return Status::DeadlineExceeded(
+        StringPrintf("query %llu exceeded its deadline",
+                     static_cast<unsigned long long>(query_id_)));
+  }
+  return Status::OK();
+}
+
+}  // namespace nlq

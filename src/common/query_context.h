@@ -1,0 +1,72 @@
+#ifndef NLQ_COMMON_QUERY_CONTEXT_H_
+#define NLQ_COMMON_QUERY_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "common/memory_tracker.h"
+#include "common/status.h"
+
+namespace nlq {
+
+/// Per-query lifecycle state threaded through the engine: a shared
+/// cancellation token, an optional wall-clock deadline, and an
+/// optional memory budget. One QueryContext is created per statement
+/// (engine::Database::Execute) and every execution layer — the
+/// thread pool's morsel claims, the exec nodes' batch loops, the
+/// executor's result drain — polls CheckAlive() so a cancelled or
+/// timed-out query unwinds within one batch/morsel of latency.
+///
+/// The cancel token is a shared_ptr so Database::Cancel (called from
+/// another thread, after the query registered itself) can flip it
+/// without racing the query's teardown. Everything else is set up
+/// before execution starts and read-only afterwards.
+class QueryContext {
+ public:
+  QueryContext() : cancel_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  QueryContext(const QueryContext&) = delete;
+  QueryContext& operator=(const QueryContext&) = delete;
+
+  uint64_t query_id() const { return query_id_; }
+  void set_query_id(uint64_t id) { query_id_ = id; }
+
+  /// The shared token Database::Cancel flips; safe to hold past the
+  /// context's lifetime.
+  std::shared_ptr<std::atomic<bool>> cancel_token() const { return cancel_; }
+
+  void RequestCancel() { cancel_->store(true, std::memory_order_release); }
+  bool cancel_requested() const {
+    return cancel_->load(std::memory_order_acquire);
+  }
+
+  /// Arms the deadline `timeout_ms` milliseconds from now.
+  void SetTimeout(int64_t timeout_ms) {
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(timeout_ms);
+    has_deadline_ = true;
+  }
+  bool has_deadline() const { return has_deadline_; }
+
+  MemoryTracker* memory() const { return memory_; }
+  void set_memory(MemoryTracker* tracker) { memory_ = tracker; }
+
+  /// The cancellation point: kCancelled once RequestCancel was called,
+  /// kDeadlineExceeded once the deadline passed, OK otherwise.
+  /// Cancellation wins over an expired deadline (the explicit request
+  /// is the stronger signal).
+  Status CheckAlive() const;
+
+ private:
+  uint64_t query_id_ = 0;
+  std::shared_ptr<std::atomic<bool>> cancel_;
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+  MemoryTracker* memory_ = nullptr;
+};
+
+}  // namespace nlq
+
+#endif  // NLQ_COMMON_QUERY_CONTEXT_H_

@@ -1,6 +1,7 @@
 #include "common/threadpool.h"
 
 #include <cassert>
+#include <utility>
 
 namespace nlq {
 namespace {
@@ -31,13 +32,42 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
+void ThreadPool::RecordError(Batch* batch, size_t index, Status status) {
+  std::lock_guard<std::mutex> lock(batch->error_mu);
+  if (index < batch->first_error_index) {
+    batch->first_error_index = index;
+    batch->first_error = std::move(status);
+    batch->error_limit.store(index, std::memory_order_release);
+  }
+}
+
 bool ThreadPool::DrainBatch(Batch* batch, size_t worker_id) {
   tls_inside_parallel_section = true;
   bool completed_last = false;
   for (;;) {
     const size_t i = batch->next_index.fetch_add(1, std::memory_order_relaxed);
     if (i >= batch->count) break;
-    (*batch->fn)(worker_id, i);
+    // Indices past a recorded error (or past a dead query context) are
+    // claimed-and-skipped: they still count toward completion so the
+    // caller's join is unchanged, but the task never runs. Indices
+    // BELOW the first recorded error still run — that is what makes
+    // "first error" deterministic: whichever error ends up at the
+    // lowest index always gets the chance to report itself.
+    bool skip = i > batch->error_limit.load(std::memory_order_acquire);
+    if (!skip && batch->ctx != nullptr) {
+      Status alive = batch->ctx->CheckAlive();
+      if (!alive.ok()) {
+        // A dead context out-ranks any later data error but must not
+        // mask an earlier one, so record it at this index like any
+        // other failure.
+        RecordError(batch, i, std::move(alive));
+        skip = true;
+      }
+    }
+    if (!skip) {
+      Status s = (*batch->fn)(worker_id, i);
+      if (!s.ok()) RecordError(batch, i, std::move(s));
+    }
     if (batch->completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         batch->count) {
       completed_last = true;
@@ -69,19 +99,24 @@ void ThreadPool::WorkerLoop(size_t worker_id) {
   }
 }
 
-void ThreadPool::ParallelForMorsels(
-    size_t count, const std::function<void(size_t, size_t)>& fn) {
-  if (count == 0) return;
+Status ThreadPool::ParallelForMorsels(
+    size_t count, const std::function<Status(size_t, size_t)>& fn,
+    const QueryContext* ctx) {
+  if (count == 0) return Status::OK();
   // Nested parallel sections are a programming error (see header).
   assert(!tls_inside_parallel_section &&
          "nested ThreadPool::ParallelFor* call from inside a pool task");
   if (count == 1) {
+    if (ctx != nullptr) {
+      Status alive = ctx->CheckAlive();
+      if (!alive.ok()) return alive;
+    }
     tls_inside_parallel_section = true;
-    fn(0, 0);
+    Status s = fn(0, 0);
     tls_inside_parallel_section = false;
-    return;
+    return s;
   }
-  auto batch = std::make_shared<Batch>(count, &fn);
+  auto batch = std::make_shared<Batch>(count, &fn, ctx);
   {
     std::lock_guard<std::mutex> lock(mu_);
     current_batch_ = batch;
@@ -98,11 +133,17 @@ void ThreadPool::ParallelForMorsels(
     });
     current_batch_.reset();
   }
+  // All workers have left the batch; first_error is stable now.
+  std::lock_guard<std::mutex> lock(batch->error_mu);
+  return batch->first_error_index == SIZE_MAX ? Status::OK()
+                                              : std::move(batch->first_error);
 }
 
-void ThreadPool::ParallelFor(size_t count,
-                             const std::function<void(size_t)>& fn) {
-  ParallelForMorsels(count, [&fn](size_t, size_t i) { fn(i); });
+Status ThreadPool::ParallelFor(size_t count,
+                               const std::function<Status(size_t)>& fn,
+                               const QueryContext* ctx) {
+  return ParallelForMorsels(
+      count, [&fn](size_t, size_t i) { return fn(i); }, ctx);
 }
 
 }  // namespace nlq

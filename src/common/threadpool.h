@@ -10,6 +10,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/query_context.h"
+#include "common/status.h"
+
 namespace nlq {
 
 /// Fixed-size worker pool running the engine's parallel sections.
@@ -22,6 +25,26 @@ namespace nlq {
 /// what decouples the engine's degree of parallelism from the number
 /// of work items (partitions, morsels): 8 workers saturate on 2 huge
 /// morsels + 100 small ones just as well as on 102 equal ones.
+///
+/// Error / cancellation contract (both entry points):
+///
+///  - Tasks return Status. The section's return value is the failure
+///    with the LOWEST index among the tasks that ran — deterministic
+///    first-error-wins: indices are claimed in increasing order and,
+///    once an error at index k is recorded, indices below k still run
+///    to completion while indices above k are claimed-and-skipped.
+///    A data-dependent error therefore surfaces as the same Status
+///    whatever the thread count or scheduling, and sibling work past
+///    the failure is abandoned early instead of draining the whole
+///    batch.
+///  - When `ctx` is non-null, ctx->CheckAlive() is polled at EVERY
+///    index claim; a cancelled or expired context stops new work
+///    immediately (in-flight tasks finish their current index — tasks
+///    that poll the context at batch boundaries bound that latency
+///    too) and the section returns kCancelled / kDeadlineExceeded.
+///  - Skipped indices never invoke the task function; every claimed
+///    index is accounted for, so the section still joins cleanly and
+///    the pool is reusable for the next batch afterwards.
 ///
 /// Batches are serialized: one ParallelFor/ParallelForMorsels runs at
 /// a time per pool, issued from one external thread at a time.
@@ -46,10 +69,13 @@ class ThreadPool {
   /// blocking idle.
   size_t num_workers() const { return threads_.size() + 1; }
 
-  /// Runs fn(i) for i in [0, count) and waits for completion. Indices
-  /// are claimed dynamically (work-stealing from the shared counter),
-  /// in increasing order, with no per-index heap allocation.
-  void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+  /// Runs fn(i) for i in [0, count), waits for completion, and
+  /// returns the first (lowest-index) non-OK Status — see the
+  /// error/cancellation contract above. Indices are claimed
+  /// dynamically (work-stealing from the shared counter), in
+  /// increasing order, with no per-index heap allocation.
+  Status ParallelFor(size_t count, const std::function<Status(size_t)>& fn,
+                     const QueryContext* ctx = nullptr);
 
   /// Morsel-driven variant: runs fn(worker, i) for i in [0, count),
   /// where `worker` in [0, num_workers()) identifies the claiming
@@ -58,20 +84,31 @@ class ThreadPool {
   /// callers needing deterministic results must make fn(w, i)'s
   /// observable effect independent of `w` (per-index partial states
   /// folded in index order — see engine/exec).
-  void ParallelForMorsels(
-      size_t count, const std::function<void(size_t, size_t)>& fn);
+  Status ParallelForMorsels(
+      size_t count, const std::function<Status(size_t, size_t)>& fn,
+      const QueryContext* ctx = nullptr);
 
  private:
-  /// One parallel section: the shared claim counter and completion
-  /// count. Held by shared_ptr so workers that wake late (after the
-  /// caller returned) can still safely observe an exhausted batch.
+  /// One parallel section: the shared claim counter, completion
+  /// count, and first-error slot. Held by shared_ptr so workers that
+  /// wake late (after the caller returned) can still safely observe
+  /// an exhausted batch.
   struct Batch {
-    explicit Batch(size_t n, const std::function<void(size_t, size_t)>* f)
-        : count(n), fn(f) {}
+    Batch(size_t n, const std::function<Status(size_t, size_t)>* f,
+          const QueryContext* c)
+        : count(n), fn(f), ctx(c) {}
     const size_t count;
-    const std::function<void(size_t, size_t)>* fn;  // valid until completed
+    const std::function<Status(size_t, size_t)>* fn;  // valid until completed
+    const QueryContext* ctx;  // may be null; polled at every claim
     std::atomic<size_t> next_index{0};
     std::atomic<size_t> completed{0};
+    /// Lowest index with a recorded error; indices above it are
+    /// claimed-and-skipped. SIZE_MAX while no error. Mirrors
+    /// first_error_index for lock-free reads on the claim path.
+    std::atomic<size_t> error_limit{SIZE_MAX};
+    std::mutex error_mu;
+    size_t first_error_index = SIZE_MAX;  // guarded by error_mu
+    Status first_error;                   // guarded by error_mu
   };
 
   void WorkerLoop(size_t worker_id);
@@ -79,6 +116,9 @@ class ThreadPool {
   /// Claims and runs indices of `batch` until exhausted; returns true
   /// if this call completed the batch's last index.
   bool DrainBatch(Batch* batch, size_t worker_id);
+
+  /// Records a task failure at `index`, keeping the lowest-index one.
+  static void RecordError(Batch* batch, size_t index, Status status);
 
   std::vector<std::thread> threads_;
   std::mutex mu_;

@@ -1,7 +1,10 @@
 #include "connect/odbc_sim.h"
 
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
+#include "common/failpoint.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
 
@@ -24,6 +27,31 @@ double OdbcExportResult::TotalSeconds() const {
 
 StatusOr<OdbcExportResult> OdbcExporter::ExportTable(
     const storage::PartitionedTable& table, const std::string& path) const {
+  int64_t backoff_us = retry_.initial_backoff_us;
+  const int max_attempts = retry_.max_attempts > 0 ? retry_.max_attempts : 1;
+  for (int attempt = 1;; ++attempt) {
+    StatusOr<OdbcExportResult> result = ExportTableOnce(table, path);
+    if (result.ok()) {
+      result.value().attempts = attempt;
+      return result;
+    }
+    // Only transient link/disk faults are retryable; anything else
+    // (bad table state, cancellation) surfaces immediately.
+    if (result.status().code() != StatusCode::kIOError ||
+        attempt >= max_attempts) {
+      return result.status();
+    }
+    if (backoff_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    }
+    backoff_us = static_cast<int64_t>(static_cast<double>(backoff_us) *
+                                      retry_.multiplier);
+  }
+}
+
+StatusOr<OdbcExportResult> OdbcExporter::ExportTableOnce(
+    const storage::PartitionedTable& table, const std::string& path) const {
+  NLQ_FAILPOINT("odbc_export");
   Stopwatch watch;
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) {

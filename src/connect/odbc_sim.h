@@ -25,12 +25,23 @@ struct LinkModel {
                          uint64_t bytes) const;
 };
 
+/// Retry behavior for transient export failures. Real ODBC links
+/// drop: the exporter retries an attempt that fails with kIOError,
+/// backing off exponentially between attempts. Non-IO errors (bad
+/// table state, cancellation) are never retried.
+struct RetryPolicy {
+  int max_attempts = 3;            // total attempts, including the first
+  int64_t initial_backoff_us = 100;  // sleep before the first retry
+  double multiplier = 2.0;           // backoff growth per retry
+};
+
 /// Result of one export.
 struct OdbcExportResult {
   uint64_t rows = 0;
   uint64_t bytes = 0;           // text bytes written
   double serialize_seconds = 0; // measured CPU time to produce the file
   double modeled_link_seconds = 0;  // LinkModel estimate for the wire
+  int attempts = 1;             // attempts taken (> 1 means retries fired)
 
   /// Total export time a client would observe (serialization overlaps
   /// the wire in practice, so the max of the two plus a small setup).
@@ -45,17 +56,27 @@ struct OdbcExportResult {
 /// exactly this cost.
 class OdbcExporter {
  public:
-  explicit OdbcExporter(LinkModel link = LinkModel()) : link_(link) {}
+  explicit OdbcExporter(LinkModel link = LinkModel(),
+                        RetryPolicy retry = RetryPolicy())
+      : link_(link), retry_(retry) {}
 
   const LinkModel& link() const { return link_; }
+  const RetryPolicy& retry() const { return retry_; }
 
   /// Exports all rows (partition order) as CSV. NULLs export as empty
-  /// fields.
+  /// fields. An attempt that fails with kIOError is retried per the
+  /// RetryPolicy (the file is rewritten from scratch); the result's
+  /// `attempts` records how many were taken.
   StatusOr<OdbcExportResult> ExportTable(
       const storage::PartitionedTable& table, const std::string& path) const;
 
  private:
+  /// One serialization attempt, no retries.
+  StatusOr<OdbcExportResult> ExportTableOnce(
+      const storage::PartitionedTable& table, const std::string& path) const;
+
   LinkModel link_;
+  RetryPolicy retry_;
 };
 
 }  // namespace nlq::connect

@@ -74,25 +74,74 @@ Database::Database(DatabaseOptions options)
   pool_ = std::make_unique<ThreadPool>(threads);
 }
 
-StatusOr<ResultSet> Database::ExecuteSelect(const SelectStatement& select) {
+StatusOr<ResultSet> Database::ExecuteSelect(const SelectStatement& select,
+                                            const QueryContext* ctx) {
   exec::Planner planner(&catalog_, &registry_, pool_.get(),
                         storage::RowBatch::kDefaultCapacity,
-                        options_.enable_column_cache, options_.morsel_rows);
+                        options_.enable_column_cache, options_.morsel_rows,
+                        ctx);
   NLQ_ASSIGN_OR_RETURN(exec::PhysicalPlan plan, planner.Plan(select));
-  return exec::ExecutePlan(plan);
+  return exec::ExecutePlan(plan, ctx);
 }
 
-StatusOr<ResultSet> Database::Execute(std::string_view sql) {
+StatusOr<ResultSet> Database::Execute(std::string_view sql,
+                                      const QueryOptions& query_options) {
   NLQ_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+
+  // One QueryContext per statement: id, deadline, memory budget.
+  QueryContext ctx;
+  ctx.set_query_id(next_query_id_.fetch_add(1, std::memory_order_relaxed));
+  last_query_id_.store(ctx.query_id(), std::memory_order_release);
+  const int64_t timeout_ms = query_options.timeout_ms >= 0
+                                 ? query_options.timeout_ms
+                                 : options_.default_timeout_ms;
+  if (timeout_ms > 0) ctx.SetTimeout(timeout_ms);
+  const uint64_t memory_limit =
+      query_options.memory_limit >= 0
+          ? static_cast<uint64_t>(query_options.memory_limit)
+          : options_.query_memory_limit;
+  MemoryTracker tracker(memory_limit);
+  if (memory_limit > 0) ctx.set_memory(&tracker);
+
+  // Publish the cancel token for the duration of the statement so
+  // Cancel(query_id) from another thread can reach it; the token
+  // itself is shared, so a Cancel racing this frame's teardown flips
+  // a token nobody reads — harmless.
+  {
+    std::lock_guard<std::mutex> lock(live_mu_);
+    live_queries_[ctx.query_id()] = ctx.cancel_token();
+  }
+  StatusOr<ResultSet> result = ExecuteStatement(stmt, &ctx);
+  {
+    std::lock_guard<std::mutex> lock(live_mu_);
+    live_queries_.erase(ctx.query_id());
+  }
+  return result;
+}
+
+Status Database::Cancel(uint64_t query_id) {
+  std::lock_guard<std::mutex> lock(live_mu_);
+  auto it = live_queries_.find(query_id);
+  if (it == live_queries_.end()) {
+    return Status::NotFound(
+        StringPrintf("no running query with id %llu",
+                     static_cast<unsigned long long>(query_id)));
+  }
+  it->second->store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+StatusOr<ResultSet> Database::ExecuteStatement(Statement& stmt,
+                                               const QueryContext* ctx) {
   switch (stmt.kind) {
     case StatementKind::kSelect:
-      return ExecuteSelect(*stmt.select);
+      return ExecuteSelect(*stmt.select, ctx);
 
     case StatementKind::kCreateTable: {
       CreateTableStatement& create = *stmt.create_table;
       if (create.as_select != nullptr) {
         NLQ_ASSIGN_OR_RETURN(ResultSet result,
-                             ExecuteSelect(*create.as_select));
+                             ExecuteSelect(*create.as_select, ctx));
         NLQ_ASSIGN_OR_RETURN(
             PartitionedTable * table,
             catalog_.CreateTable(create.table_name, result.schema()));
@@ -109,7 +158,8 @@ StatusOr<ResultSet> Database::Execute(std::string_view sql) {
       NLQ_ASSIGN_OR_RETURN(PartitionedTable * table,
                            catalog_.GetTable(insert.table_name));
       if (insert.select != nullptr) {
-        NLQ_ASSIGN_OR_RETURN(ResultSet result, ExecuteSelect(*insert.select));
+        NLQ_ASSIGN_OR_RETURN(ResultSet result,
+                             ExecuteSelect(*insert.select, ctx));
         NLQ_RETURN_IF_ERROR(AppendResultToTable(result, table));
         return ResultSet();
       }

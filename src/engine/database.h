@@ -1,10 +1,15 @@
 #ifndef NLQ_ENGINE_DATABASE_H_
 #define NLQ_ENGINE_DATABASE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 
+#include "common/query_context.h"
 #include "common/status.h"
 #include "common/threadpool.h"
 #include "engine/result_set.h"
@@ -14,6 +19,7 @@
 namespace nlq::engine {
 
 struct SelectStatement;
+struct Statement;
 
 /// Engine configuration.
 struct DatabaseOptions {
@@ -39,6 +45,32 @@ struct DatabaseOptions {
   /// many times). Appends invalidate the cache; disable to bound
   /// memory at one decode per scan instead.
   bool enable_column_cache = true;
+
+  /// Default per-statement timeout in milliseconds; 0 = none. A
+  /// statement that runs past its deadline unwinds with
+  /// kDeadlineExceeded within one morsel/batch of latency instead of
+  /// running to completion. Overridable per query (QueryOptions).
+  int64_t default_timeout_ms = 0;
+
+  /// Default per-query memory budget in bytes for execution-time state
+  /// (UDF heap segments, hash-aggregate tables, sort/gather buffers,
+  /// decoded-column cache fills); 0 = unlimited. A query that would
+  /// exceed it fails with kResourceExhausted — except the column
+  /// cache, which falls back to streaming decode. Overridable per
+  /// query (QueryOptions).
+  uint64_t query_memory_limit = 0;
+};
+
+/// Per-statement execution overrides for Database::Execute.
+struct QueryOptions {
+  /// -1 = inherit DatabaseOptions::default_timeout_ms; 0 = no
+  /// timeout; > 0 = deadline this many milliseconds after Execute
+  /// starts.
+  int64_t timeout_ms = -1;
+
+  /// -1 = inherit DatabaseOptions::query_memory_limit; 0 = unlimited;
+  /// > 0 = budget in bytes.
+  int64_t memory_limit = -1;
 };
 
 /// Embedded relational engine: catalog + SQL executor + UDF registry.
@@ -69,7 +101,36 @@ class Database {
 
   /// Parses and executes one SQL statement. SELECT returns rows;
   /// CREATE/INSERT/DROP return an empty result set.
-  StatusOr<ResultSet> Execute(std::string_view sql);
+  ///
+  /// Every statement runs under a fresh QueryContext: it gets a new
+  /// query id (see last_query_id), the configured timeout arms its
+  /// deadline, and — when a memory limit applies — a MemoryTracker
+  /// scoped to the statement. Cancellation, deadline expiry, or budget
+  /// exhaustion unwind with kCancelled / kDeadlineExceeded /
+  /// kResourceExhausted; the engine stays usable and the next
+  /// statement starts clean.
+  StatusOr<ResultSet> Execute(std::string_view sql) {
+    return Execute(sql, QueryOptions());
+  }
+
+  /// Execute with per-statement overrides of the database-level
+  /// timeout and memory budget.
+  StatusOr<ResultSet> Execute(std::string_view sql,
+                              const QueryOptions& query_options);
+
+  /// Requests cancellation of the in-flight statement with id
+  /// `query_id`. Safe to call from any thread; returns NotFound when
+  /// no such statement is running (already finished, or never
+  /// existed). The cancelled statement returns kCancelled within one
+  /// morsel/batch of latency.
+  Status Cancel(uint64_t query_id);
+
+  /// Id assigned to the most recently started statement (0 before the
+  /// first one). With one application thread issuing statements, this
+  /// is the id a concurrent canceller passes to Cancel.
+  uint64_t last_query_id() const {
+    return last_query_id_.load(std::memory_order_acquire);
+  }
 
   /// Executes a statement expected to return no rows; convenience for
   /// DDL in tests and examples.
@@ -87,13 +148,29 @@ class Database {
   StatusOr<std::string> Explain(std::string_view sql);
 
  private:
-  /// Plans a bound SELECT (parse already done) and runs the plan.
-  StatusOr<ResultSet> ExecuteSelect(const SelectStatement& select);
+  /// Plans a bound SELECT (parse already done) and runs the plan
+  /// under `ctx` (may be null: internal sub-selects of DDL run
+  /// without lifecycle control when no context is supplied).
+  StatusOr<ResultSet> ExecuteSelect(const SelectStatement& select,
+                                    const QueryContext* ctx);
+
+  /// Dispatches a parsed statement under `ctx`.
+  StatusOr<ResultSet> ExecuteStatement(Statement& stmt,
+                                       const QueryContext* ctx);
 
   DatabaseOptions options_;
   storage::Catalog catalog_;
   udf::UdfRegistry registry_;
   std::unique_ptr<ThreadPool> pool_;
+
+  /// Cancel tokens of in-flight statements, keyed by query id. The
+  /// map (not the Database) is what Cancel may touch from another
+  /// thread, so it has its own mutex.
+  std::mutex live_mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<std::atomic<bool>>>
+      live_queries_;
+  std::atomic<uint64_t> next_query_id_{1};
+  std::atomic<uint64_t> last_query_id_{0};
 };
 
 }  // namespace nlq::engine

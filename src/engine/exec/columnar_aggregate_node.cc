@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/strings.h"
 #include "engine/exec/gather_node.h"
 #include "storage/column_batch.h"
@@ -36,13 +37,13 @@ struct PartialState {
 };
 
 Status InitPartial(const std::vector<ColumnarAggSpec>& specs,
-                   PartialState* state) {
+                   MemoryTracker* memory, PartialState* state) {
   state->builtin.resize(specs.size());
   state->heaps.resize(specs.size());
   state->udf_states.resize(specs.size(), nullptr);
   for (size_t i = 0; i < specs.size(); ++i) {
     if (specs[i].kind != AggregateSpec::Kind::kUdf) continue;
-    state->heaps[i] = std::make_unique<udf::HeapSegment>();
+    NLQ_ASSIGN_OR_RETURN(state->heaps[i], udf::HeapSegment::Create(memory));
     NLQ_ASSIGN_OR_RETURN(void* udf_state,
                          specs[i].udaf->Init(state->heaps[i].get()));
     state->udf_states[i] = udf_state;
@@ -121,6 +122,7 @@ Status AccumulateUdfSpans(const ColumnarAggSpec& spec,
     }
     for (size_t r = 0; r < in.rows; ++r) out_rows += scratch->keep[r];
   }
+  NLQ_FAILPOINT("udf_accumulate");
   for (size_t a = 0; a < ncols; ++a) {
     const size_t c = spec.arg_cols[a];
     const double* dv = in.doubles[c];
@@ -146,6 +148,7 @@ Status MergePartial(const std::vector<ColumnarAggSpec>& specs,
                     PartialState* dst, const PartialState* src) {
   for (size_t i = 0; i < specs.size(); ++i) {
     if (specs[i].kind == AggregateSpec::Kind::kUdf) {
+      NLQ_FAILPOINT("udf_merge");
       NLQ_RETURN_IF_ERROR(
           specs[i].udaf->Merge(dst->udf_states[i], src->udf_states[i]));
       continue;
@@ -230,12 +233,13 @@ class ColumnarAggregateStream : public ExecStream {
 ColumnarAggregateNode::ColumnarAggregateNode(
     std::unique_ptr<ColumnarScanNode> child,
     std::vector<ColumnarAggSpec> specs, std::vector<BoundExprPtr> projections,
-    size_t num_output, ThreadPool* pool)
+    size_t num_output, ThreadPool* pool, const QueryContext* ctx)
     : PlanNode(std::move(child)),
       specs_(std::move(specs)),
       projections_(std::move(projections)),
       num_output_(num_output),
-      pool_(pool) {
+      pool_(pool),
+      ctx_(ctx) {
   scan_ = static_cast<const ColumnarScanNode*>(child_.get());
 }
 
@@ -263,46 +267,39 @@ StatusOr<std::vector<Row>> ColumnarAggregateNode::Compute() const {
   NLQ_RETURN_IF_ERROR(scan_->WarmCache(pool_));
 
   // ROW phase: one partial state per morsel stream, drained by
-  // whichever workers claim them.
+  // whichever workers claim them. On failure `partials` is destroyed
+  // whole, tearing down every partial UDF heap segment.
   const size_t parts = scan_->num_streams();
   std::vector<PartialState> partials(parts);
-  std::vector<Status> statuses(parts);
-  auto drain_one = [&](size_t p) {
+  MemoryTracker* memory = ctx_ != nullptr ? ctx_->memory() : nullptr;
+  auto drain_one = [&](size_t p) -> Status {
     PartialState& state = partials[p];
-    Status status = InitPartial(specs_, &state);
-    if (!status.ok()) {
-      statuses[p] = std::move(status);
-      return;
-    }
-    statuses[p] = [&]() -> Status {
-      NLQ_ASSIGN_OR_RETURN(ColumnStreamPtr source,
-                           scan_->OpenColumnStream(p));
-      ColumnSpanBatch batch;
-      SpanScratch scratch;
-      for (;;) {
-        NLQ_ASSIGN_OR_RETURN(const bool more, source->Next(&batch));
-        if (!more) return Status::OK();
-        for (size_t i = 0; i < specs_.size(); ++i) {
-          const ColumnarAggSpec& spec = specs_[i];
-          if (spec.kind == AggregateSpec::Kind::kCountStar) {
-            state.builtin[i].count += static_cast<int64_t>(batch.rows);
-          } else if (spec.kind == AggregateSpec::Kind::kUdf) {
-            NLQ_RETURN_IF_ERROR(AccumulateUdfSpans(
-                spec, batch, state.udf_states[i], &scratch));
-          } else {
-            AccumulateBuiltinSpan(spec.kind, batch, spec.arg_cols[0],
-                                  &state.builtin[i]);
-          }
+    NLQ_RETURN_IF_ERROR(InitPartial(specs_, memory, &state));
+    NLQ_ASSIGN_OR_RETURN(ColumnStreamPtr source, scan_->OpenColumnStream(p));
+    ColumnSpanBatch batch;
+    SpanScratch scratch;
+    for (;;) {
+      NLQ_ASSIGN_OR_RETURN(const bool more, source->Next(&batch));
+      if (!more) return Status::OK();
+      for (size_t i = 0; i < specs_.size(); ++i) {
+        const ColumnarAggSpec& spec = specs_[i];
+        if (spec.kind == AggregateSpec::Kind::kCountStar) {
+          state.builtin[i].count += static_cast<int64_t>(batch.rows);
+        } else if (spec.kind == AggregateSpec::Kind::kUdf) {
+          NLQ_RETURN_IF_ERROR(
+              AccumulateUdfSpans(spec, batch, state.udf_states[i], &scratch));
+        } else {
+          AccumulateBuiltinSpan(spec.kind, batch, spec.arg_cols[0],
+                                &state.builtin[i]);
         }
       }
-    }();
+    }
   };
   if (parts == 1 || pool_ == nullptr) {
-    for (size_t p = 0; p < parts; ++p) drain_one(p);
+    for (size_t p = 0; p < parts; ++p) NLQ_RETURN_IF_ERROR(drain_one(p));
   } else {
-    pool_->ParallelFor(parts, drain_one);
+    NLQ_RETURN_IF_ERROR(pool_->ParallelFor(parts, drain_one, ctx_));
   }
-  for (const Status& s : statuses) NLQ_RETURN_IF_ERROR(s);
 
   // MERGE phase: fold partial states into morsel 0's, in morsel-index
   // order. The grid — and therefore this fold order — depends only on

@@ -44,7 +44,8 @@ class ColumnarAggregateNode : public PlanNode {
   ColumnarAggregateNode(std::unique_ptr<ColumnarScanNode> child,
                         std::vector<ColumnarAggSpec> specs,
                         std::vector<BoundExprPtr> projections,
-                        size_t num_output, ThreadPool* pool);
+                        size_t num_output, ThreadPool* pool,
+                        const QueryContext* ctx = nullptr);
 
   const char* name() const override { return "ColumnarAggregate"; }
   std::string annotation() const override;
@@ -62,6 +63,7 @@ class ColumnarAggregateNode : public PlanNode {
   std::vector<BoundExprPtr> projections_;
   size_t num_output_;
   ThreadPool* pool_;
+  const QueryContext* ctx_;
 };
 
 }  // namespace nlq::engine::exec

@@ -2,7 +2,9 @@
 
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/strings.h"
+#include "storage/column_batch.h"
 
 namespace nlq::engine::exec {
 namespace {
@@ -55,13 +57,14 @@ class ColumnarScanStream : public ColumnStream {
   ColumnarScanStream(const storage::Table* partition, uint64_t begin_row,
                      uint64_t end_row, const std::vector<size_t>& slots,
                      const std::vector<ColumnFilter>& filters, bool use_cache,
-                     size_t batch_capacity)
+                     size_t batch_capacity, const QueryContext* ctx)
       : partition_(partition),
         begin_row_(begin_row),
         end_row_(end_row),
         slots_(slots),
         filters_(filters),
         use_cache_(use_cache),
+        ctx_(ctx),
         scanner_(use_cache ? nullptr
                            : std::make_unique<storage::ColumnBatchScanner>(
                                  partition->ScanColumnBatchRange(
@@ -70,6 +73,8 @@ class ColumnarScanStream : public ColumnStream {
         scratch_(slots.size()) {}
 
   StatusOr<bool> Next(ColumnSpanBatch* out) override {
+    if (ctx_ != nullptr) NLQ_RETURN_IF_ERROR(ctx_->CheckAlive());
+    NLQ_FAILPOINT("partition_scan");
     return use_cache_ ? NextCached(out) : NextStreaming(out);
   }
 
@@ -199,6 +204,7 @@ class ColumnarScanStream : public ColumnStream {
   const std::vector<size_t>& slots_;
   const std::vector<ColumnFilter>& filters_;
   bool use_cache_;
+  const QueryContext* ctx_;
   bool served_ = false;
   std::unique_ptr<storage::ColumnBatchScanner> scanner_;
   storage::ColumnBatch batch_;
@@ -214,7 +220,8 @@ ColumnarScanNode::ColumnarScanNode(const storage::PartitionedTable* table,
                                    std::vector<size_t> slots,
                                    std::vector<ColumnFilter> filters,
                                    bool use_cache, size_t batch_capacity,
-                                   uint64_t morsel_rows)
+                                   uint64_t morsel_rows,
+                                   const QueryContext* ctx)
     : PlanNode(nullptr),
       table_(table),
       table_name_(std::move(table_name)),
@@ -223,6 +230,7 @@ ColumnarScanNode::ColumnarScanNode(const storage::PartitionedTable* table,
       use_cache_(use_cache),
       batch_capacity_(batch_capacity),
       morsel_rows_(morsel_rows),
+      ctx_(ctx),
       grid_(BuildMorselGrid(*table, morsel_rows)) {}
 
 std::string ColumnarScanNode::annotation() const {
@@ -254,24 +262,45 @@ StatusOr<ColumnStreamPtr> ColumnarScanNode::OpenColumnStream(size_t s) const {
   const Morsel& m = grid_[s];
   return ColumnStreamPtr(new ColumnarScanStream(
       &table_->partition(m.partition), m.begin, m.end, slots_, filters_,
-      use_cache_, batch_capacity_));
+      use_cache_ && !cache_suppressed_, batch_capacity_, ctx_));
 }
 
 Status ColumnarScanNode::WarmCache(ThreadPool* pool) const {
-  if (!use_cache_) return Status::OK();
+  if (!use_cache_ || cache_suppressed_) return Status::OK();
+
+  // Budget check: estimate what filling the cache would ADD (columns a
+  // previous statement already decoded are free) and skip the cache —
+  // not the query — when it does not fit.
+  MemoryTracker* memory = ctx_ != nullptr ? ctx_->memory() : nullptr;
+  if (memory != nullptr) {
+    uint64_t fill_bytes = 0;
+    for (size_t p = 0; p < table_->num_partitions(); ++p) {
+      const storage::Table& part = table_->partition(p);
+      const uint64_t rows = part.num_rows();
+      if (rows == 0) continue;
+      for (size_t slot : slots_) {
+        if (part.decoded_column(slot) != nullptr) continue;
+        // 8 bytes per value plus the worst-case null bitmap word span.
+        fill_bytes += rows * sizeof(double) +
+                      storage::NullBitmapWords(rows) * sizeof(uint64_t);
+      }
+    }
+    if (fill_bytes > 0 && !memory->TryCharge(fill_bytes)) {
+      cache_suppressed_ = true;
+      return Status::OK();
+    }
+  }
+
   const size_t parts = table_->num_partitions();
-  std::vector<Status> statuses(parts);
-  auto warm_one = [&](size_t p) {
-    if (table_->partition(p).num_rows() == 0) return;
-    statuses[p] = table_->partition(p).EnsureDecodedColumns(slots_);
+  auto warm_one = [&](size_t p) -> Status {
+    if (table_->partition(p).num_rows() == 0) return Status::OK();
+    return table_->partition(p).EnsureDecodedColumns(slots_);
   };
   if (parts == 1 || pool == nullptr) {
-    for (size_t p = 0; p < parts; ++p) warm_one(p);
-  } else {
-    pool->ParallelFor(parts, warm_one);
+    for (size_t p = 0; p < parts; ++p) NLQ_RETURN_IF_ERROR(warm_one(p));
+    return Status::OK();
   }
-  for (const Status& s : statuses) NLQ_RETURN_IF_ERROR(s);
-  return Status::OK();
+  return pool->ParallelFor(parts, warm_one, ctx_);
 }
 
 }  // namespace nlq::engine::exec

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/query_context.h"
 #include "common/status.h"
 #include "common/threadpool.h"
 #include "engine/ast.h"
@@ -81,7 +82,8 @@ class ColumnarScanNode : public PlanNode {
                    std::string table_name, std::vector<size_t> slots,
                    std::vector<ColumnFilter> filters, bool use_cache,
                    size_t batch_capacity,
-                   uint64_t morsel_rows = kDefaultMorselRows);
+                   uint64_t morsel_rows = kDefaultMorselRows,
+                   const QueryContext* ctx = nullptr);
 
   const char* name() const override { return "ColumnarScan"; }
   std::string annotation() const override;
@@ -98,6 +100,12 @@ class ColumnarScanNode : public PlanNode {
   /// concurrent fills of the SAME partition, which morsel streams
   /// would otherwise do). No-op when the cache is disabled. Callers
   /// draining column streams on a pool must call this first.
+  ///
+  /// When the query carries a memory budget, the bytes the fill would
+  /// add (not-yet-cached columns only) are estimated first; if they
+  /// do not fit, the cache is skipped for this statement and every
+  /// stream falls back to streaming page decode — the query still
+  /// succeeds, trading the re-scan speedup for bounded memory.
   Status WarmCache(ThreadPool* pool) const;
 
   /// Schema slot indices of the projected columns, in span order.
@@ -112,6 +120,10 @@ class ColumnarScanNode : public PlanNode {
   bool use_cache_;
   size_t batch_capacity_;
   uint64_t morsel_rows_;
+  const QueryContext* ctx_;
+  /// Set by WarmCache when the fill would bust the query's memory
+  /// budget; streams opened afterwards decode in streaming mode.
+  mutable bool cache_suppressed_ = false;
   std::vector<Morsel> grid_;
 };
 

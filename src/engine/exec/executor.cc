@@ -3,20 +3,31 @@
 #include <utility>
 #include <vector>
 
+#include "engine/exec/gather_node.h"
 #include "storage/row_batch.h"
 
 namespace nlq::engine::exec {
 
-StatusOr<ResultSet> ExecutePlan(const PhysicalPlan& plan) {
+StatusOr<ResultSet> ExecutePlan(const PhysicalPlan& plan,
+                                const QueryContext* ctx) {
   if (plan.root->num_streams() != 1) {
     return Status::Internal("plan root must produce a single stream");
   }
   NLQ_ASSIGN_OR_RETURN(ExecStreamPtr stream, plan.root->OpenStream(0));
+  MemoryTracker* memory = ctx != nullptr ? ctx->memory() : nullptr;
   std::vector<storage::Row> rows;
   RowBatch batch;
   for (;;) {
+    if (ctx != nullptr) NLQ_RETURN_IF_ERROR(ctx->CheckAlive());
     NLQ_ASSIGN_OR_RETURN(const bool more, stream->Next(&batch));
     if (!more) break;
+    if (memory != nullptr) {
+      size_t bytes = 0;
+      for (size_t i = 0; i < batch.size(); ++i) {
+        bytes += ApproxRowBytes(batch.row(i));
+      }
+      NLQ_RETURN_IF_ERROR(memory->Charge(bytes, "result rows"));
+    }
     for (size_t i = 0; i < batch.size(); ++i) {
       rows.push_back(std::move(batch.row(i)));
     }

@@ -1,6 +1,7 @@
 #ifndef NLQ_ENGINE_EXEC_EXECUTOR_H_
 #define NLQ_ENGINE_EXEC_EXECUTOR_H_
 
+#include "common/query_context.h"
 #include "common/status.h"
 #include "engine/exec/planner.h"
 #include "engine/result_set.h"
@@ -9,8 +10,11 @@ namespace nlq::engine::exec {
 
 /// Runs a physical plan to completion: pulls batches from the root's
 /// single output stream and materializes them into a ResultSet with
-/// the plan's output schema.
-StatusOr<ResultSet> ExecutePlan(const PhysicalPlan& plan);
+/// the plan's output schema. When `ctx` is non-null it is polled at
+/// every result batch (final cancellation point of the statement) and
+/// result rows are charged against the query's memory budget.
+StatusOr<ResultSet> ExecutePlan(const PhysicalPlan& plan,
+                                const QueryContext* ctx = nullptr);
 
 }  // namespace nlq::engine::exec
 

@@ -11,14 +11,16 @@ using storage::Row;
 /// replays the concatenation.
 class GatherStream : public ExecStream {
  public:
-  GatherStream(const PlanNode* child, ThreadPool* pool,
-               size_t batch_capacity)
-      : child_(child), pool_(pool), batch_capacity_(batch_capacity) {}
+  GatherStream(const PlanNode* child, ThreadPool* pool, size_t batch_capacity,
+               const QueryContext* ctx)
+      : child_(child), pool_(pool), batch_capacity_(batch_capacity),
+        ctx_(ctx) {}
 
   StatusOr<bool> Next(RowBatch* out) override {
     if (!materialized_) {
-      NLQ_ASSIGN_OR_RETURN(std::vector<Row> rows,
-                           DrainAllStreams(*child_, pool_, batch_capacity_));
+      NLQ_ASSIGN_OR_RETURN(
+          std::vector<Row> rows,
+          DrainAllStreams(*child_, pool_, batch_capacity_, ctx_));
       replay_ = std::make_unique<VectorStream>(std::move(rows));
       materialized_ = true;
     }
@@ -29,33 +31,45 @@ class GatherStream : public ExecStream {
   const PlanNode* child_;
   ThreadPool* pool_;
   size_t batch_capacity_;
+  const QueryContext* ctx_;
   bool materialized_ = false;
   std::unique_ptr<VectorStream> replay_;
 };
 
 }  // namespace
 
+size_t ApproxRowBytes(const storage::Row& row) {
+  size_t bytes = sizeof(Row) + row.capacity() * sizeof(storage::Datum);
+  for (const storage::Datum& d : row) {
+    if (!d.is_null() && d.type() == storage::DataType::kVarchar) {
+      bytes += d.string_value().size();
+    }
+  }
+  return bytes;
+}
+
 StatusOr<std::vector<Row>> DrainAllStreams(const PlanNode& node,
                                            ThreadPool* pool,
-                                           size_t batch_capacity) {
+                                           size_t batch_capacity,
+                                           const QueryContext* ctx) {
   const size_t streams = node.num_streams();
   std::vector<std::vector<Row>> buckets(streams);
-  std::vector<Status> statuses(streams);
+  MemoryTracker* memory = ctx != nullptr ? ctx->memory() : nullptr;
 
-  auto drain_one = [&](size_t s) {
-    StatusOr<ExecStreamPtr> stream = node.OpenStream(s);
-    if (!stream.ok()) {
-      statuses[s] = stream.status();
-      return;
-    }
+  auto drain_one = [&](size_t s) -> Status {
+    NLQ_ASSIGN_OR_RETURN(ExecStreamPtr stream, node.OpenStream(s));
     RowBatch batch(batch_capacity);
     for (;;) {
-      StatusOr<bool> more = (*stream)->Next(&batch);
-      if (!more.ok()) {
-        statuses[s] = more.status();
-        return;
+      if (ctx != nullptr) NLQ_RETURN_IF_ERROR(ctx->CheckAlive());
+      NLQ_ASSIGN_OR_RETURN(const bool more, stream->Next(&batch));
+      if (!more) return Status::OK();
+      if (memory != nullptr) {
+        size_t bytes = 0;
+        for (size_t i = 0; i < batch.size(); ++i) {
+          bytes += ApproxRowBytes(batch.row(i));
+        }
+        NLQ_RETURN_IF_ERROR(memory->Charge(bytes, "materialized rows"));
       }
-      if (!more.value()) return;
       for (size_t i = 0; i < batch.size(); ++i) {
         buckets[s].push_back(std::move(batch.row(i)));
       }
@@ -63,11 +77,10 @@ StatusOr<std::vector<Row>> DrainAllStreams(const PlanNode& node,
   };
 
   if (streams == 1 || pool == nullptr) {
-    for (size_t s = 0; s < streams; ++s) drain_one(s);
+    for (size_t s = 0; s < streams; ++s) NLQ_RETURN_IF_ERROR(drain_one(s));
   } else {
-    pool->ParallelFor(streams, drain_one);
+    NLQ_RETURN_IF_ERROR(pool->ParallelFor(streams, drain_one, ctx));
   }
-  for (const Status& s : statuses) NLQ_RETURN_IF_ERROR(s);
 
   size_t total = 0;
   for (const auto& b : buckets) total += b.size();
@@ -80,9 +93,9 @@ StatusOr<std::vector<Row>> DrainAllStreams(const PlanNode& node,
 }
 
 GatherNode::GatherNode(PlanNodePtr child, ThreadPool* pool,
-                       size_t batch_capacity)
+                       size_t batch_capacity, const QueryContext* ctx)
     : PlanNode(std::move(child)), pool_(pool),
-      batch_capacity_(batch_capacity) {}
+      batch_capacity_(batch_capacity), ctx_(ctx) {}
 
 std::string GatherNode::annotation() const {
   return StringPrintf("%zu stream(s), %zu worker(s)", child_->num_streams(),
@@ -91,7 +104,7 @@ std::string GatherNode::annotation() const {
 
 StatusOr<ExecStreamPtr> GatherNode::OpenStream(size_t) const {
   return ExecStreamPtr(
-      new GatherStream(child_.get(), pool_, batch_capacity_));
+      new GatherStream(child_.get(), pool_, batch_capacity_, ctx_));
 }
 
 }  // namespace nlq::engine::exec

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/query_context.h"
 #include "common/threadpool.h"
 #include "engine/exec/plan.h"
 #include "storage/value.h"
@@ -18,7 +19,8 @@ namespace nlq::engine::exec {
 /// order the monolithic executor produced.
 class GatherNode : public PlanNode {
  public:
-  GatherNode(PlanNodePtr child, ThreadPool* pool, size_t batch_capacity);
+  GatherNode(PlanNodePtr child, ThreadPool* pool, size_t batch_capacity,
+             const QueryContext* ctx = nullptr);
 
   const char* name() const override { return "Gather"; }
   std::string annotation() const override;
@@ -29,14 +31,24 @@ class GatherNode : public PlanNode {
  private:
   ThreadPool* pool_;
   size_t batch_capacity_;
+  const QueryContext* ctx_;
 };
 
 /// Drains every stream of `node` in parallel on `pool` (serially when
 /// the node has a single stream) and concatenates the rows in stream
-/// order. Shared by GatherNode and SortNode.
-StatusOr<std::vector<storage::Row>> DrainAllStreams(const PlanNode& node,
-                                                    ThreadPool* pool,
-                                                    size_t batch_capacity);
+/// order. Shared by GatherNode and SortNode. When `ctx` is non-null it
+/// is polled at every batch boundary (bounding cancellation latency to
+/// one batch per worker) and each buffered batch's approximate row
+/// bytes are charged against the query's memory budget; the charges
+/// are released with the tracker at statement end.
+StatusOr<std::vector<storage::Row>> DrainAllStreams(
+    const PlanNode& node, ThreadPool* pool, size_t batch_capacity,
+    const QueryContext* ctx = nullptr);
+
+/// Conservative materialized size of `row` for memory accounting: the
+/// Datum headers plus container overhead. String payloads are counted
+/// by length.
+size_t ApproxRowBytes(const storage::Row& row);
 
 /// Streams a materialized row vector batch-by-batch.
 class VectorStream : public ExecStream {

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/strings.h"
 #include "engine/exec/gather_node.h"
 #include "storage/value.h"
@@ -58,7 +59,17 @@ struct RowKeyEq {
 using GroupMap = std::unordered_map<Row, GroupState, RowKeyHash, RowKeyEq>;
 
 StatusOr<GroupState> InitGroupState(const std::vector<AggregateSpec>& specs,
-                                    Row keys) {
+                                    Row keys, MemoryTracker* memory) {
+  if (memory != nullptr) {
+    // Hash-table entry overhead: the group's key row plus the three
+    // parallel state vectors (heap segment charges ride on the
+    // segments themselves, below).
+    size_t bytes = sizeof(GroupState) + ApproxRowBytes(keys) +
+                   specs.size() * (sizeof(BuiltinAggState) +
+                                   sizeof(std::unique_ptr<udf::HeapSegment>) +
+                                   sizeof(void*));
+    NLQ_RETURN_IF_ERROR(memory->Charge(bytes, "hash-aggregate group"));
+  }
   GroupState state;
   state.keys = std::move(keys);
   state.builtin.resize(specs.size());
@@ -66,7 +77,7 @@ StatusOr<GroupState> InitGroupState(const std::vector<AggregateSpec>& specs,
   state.udf_states.resize(specs.size(), nullptr);
   for (size_t i = 0; i < specs.size(); ++i) {
     if (specs[i].kind != AggregateSpec::Kind::kUdf) continue;
-    state.heaps[i] = std::make_unique<udf::HeapSegment>();
+    NLQ_ASSIGN_OR_RETURN(state.heaps[i], udf::HeapSegment::Create(memory));
     NLQ_ASSIGN_OR_RETURN(void* udf_state,
                          specs[i].udaf->Init(state.heaps[i].get()));
     state.udf_states[i] = udf_state;
@@ -78,6 +89,7 @@ Status MergeGroup(const std::vector<AggregateSpec>& specs, GroupState* dst,
                   GroupState* src) {
   for (size_t i = 0; i < specs.size(); ++i) {
     if (specs[i].kind == AggregateSpec::Kind::kUdf) {
+      NLQ_FAILPOINT("udf_merge");
       NLQ_RETURN_IF_ERROR(
           specs[i].udaf->Merge(dst->udf_states[i], src->udf_states[i]));
       continue;
@@ -146,10 +158,12 @@ StatusOr<Row> FinalizeGroup(const std::vector<AggregateSpec>& specs,
 /// while its row is cache-hot is measurably faster.
 Status AccumulateStream(const PlanNode& child, size_t stream,
                         const BoundAggregation& agg, size_t batch_capacity,
-                        GroupMap* groups) {
+                        const QueryContext* query_ctx, GroupMap* groups) {
   NLQ_ASSIGN_OR_RETURN(ExecStreamPtr source, child.OpenStream(stream));
   const std::vector<AggregateSpec>& specs = agg.specs;
   const size_t num_keys = agg.key_exprs.size();
+  MemoryTracker* memory =
+      query_ctx != nullptr ? query_ctx->memory() : nullptr;
 
   RowBatch batch(batch_capacity);
   std::vector<std::vector<Datum>> key_cols(num_keys);
@@ -157,6 +171,7 @@ Status AccumulateStream(const PlanNode& child, size_t stream,
   std::vector<Datum> scratch;
 
   for (;;) {
+    if (query_ctx != nullptr) NLQ_RETURN_IF_ERROR(query_ctx->CheckAlive());
     NLQ_ASSIGN_OR_RETURN(const bool more, source->Next(&batch));
     if (!more) break;
     const size_t n = batch.size();
@@ -172,7 +187,8 @@ Status AccumulateStream(const PlanNode& child, size_t stream,
       for (size_t k = 0; k < num_keys; ++k) key[k] = key_cols[k][r];
       auto it = groups->find(key);
       if (it == groups->end()) {
-        NLQ_ASSIGN_OR_RETURN(GroupState fresh, InitGroupState(specs, key));
+        NLQ_ASSIGN_OR_RETURN(GroupState fresh,
+                             InitGroupState(specs, key, memory));
         it = groups->emplace(key, std::move(fresh)).first;
       }
       GroupState& state = it->second;
@@ -191,6 +207,7 @@ Status AccumulateStream(const PlanNode& child, size_t stream,
         }
         NLQ_RETURN_IF_ERROR(error);
         if (spec.kind == AggregateSpec::Kind::kUdf) {
+          NLQ_FAILPOINT("udf_accumulate");
           NLQ_RETURN_IF_ERROR(
               spec.udaf->Accumulate(state.udf_states[i], scratch));
           continue;
@@ -248,14 +265,16 @@ class AggregateStream : public ExecStream {
 HashAggregateNode::HashAggregateNode(PlanNodePtr child, BoundAggregation agg,
                                      bool has_having, std::string having_text,
                                      size_t num_output, ThreadPool* pool,
-                                     size_t batch_capacity)
+                                     size_t batch_capacity,
+                                     const QueryContext* ctx)
     : PlanNode(std::move(child)),
       agg_(std::move(agg)),
       has_having_(has_having),
       having_text_(std::move(having_text)),
       num_output_(num_output),
       pool_(pool),
-      batch_capacity_(batch_capacity) {}
+      batch_capacity_(batch_capacity),
+      ctx_(ctx) {}
 
 std::string HashAggregateNode::annotation() const {
   std::string out =
@@ -279,20 +298,19 @@ StatusOr<ExecStreamPtr> HashAggregateNode::OpenStream(size_t) const {
 
 StatusOr<std::vector<Row>> HashAggregateNode::Compute() const {
   // ROW phase: one hash table per child stream, drained in parallel.
+  // On failure `partials` is destroyed whole — every partial group
+  // state (and its UDF heap segments) is torn down with it.
   const size_t streams = child_->num_streams();
   std::vector<GroupMap> partials(streams);
-  std::vector<Status> statuses(streams);
-  auto drain_one = [&](size_t s) {
-    Status status =
-        AccumulateStream(*child_, s, agg_, batch_capacity_, &partials[s]);
-    statuses[s] = std::move(status);
+  auto drain_one = [&](size_t s) -> Status {
+    return AccumulateStream(*child_, s, agg_, batch_capacity_, ctx_,
+                            &partials[s]);
   };
   if (streams == 1 || pool_ == nullptr) {
-    for (size_t s = 0; s < streams; ++s) drain_one(s);
+    for (size_t s = 0; s < streams; ++s) NLQ_RETURN_IF_ERROR(drain_one(s));
   } else {
-    pool_->ParallelFor(streams, drain_one);
+    NLQ_RETURN_IF_ERROR(pool_->ParallelFor(streams, drain_one, ctx_));
   }
-  for (const Status& s : statuses) NLQ_RETURN_IF_ERROR(s);
 
   // MERGE phase: fold partial states into stream 0's table.
   GroupMap& global = partials[0];
@@ -310,7 +328,10 @@ StatusOr<std::vector<Row>> HashAggregateNode::Compute() const {
 
   // Global aggregate over empty input still yields one row.
   if (global.empty() && agg_.key_exprs.empty()) {
-    NLQ_ASSIGN_OR_RETURN(GroupState fresh, InitGroupState(agg_.specs, Row{}));
+    NLQ_ASSIGN_OR_RETURN(
+        GroupState fresh,
+        InitGroupState(agg_.specs, Row{},
+                       ctx_ != nullptr ? ctx_->memory() : nullptr));
     global.emplace(Row{}, std::move(fresh));
   }
 

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/query_context.h"
 #include "common/threadpool.h"
 #include "engine/exec/plan.h"
 #include "engine/expr.h"
@@ -35,7 +36,8 @@ class HashAggregateNode : public PlanNode {
   /// form the result row.
   HashAggregateNode(PlanNodePtr child, BoundAggregation agg, bool has_having,
                     std::string having_text, size_t num_output,
-                    ThreadPool* pool, size_t batch_capacity);
+                    ThreadPool* pool, size_t batch_capacity,
+                    const QueryContext* ctx = nullptr);
 
   const char* name() const override { return "HashAggregate"; }
   std::string annotation() const override;
@@ -54,6 +56,7 @@ class HashAggregateNode : public PlanNode {
   size_t num_output_;
   ThreadPool* pool_;
   size_t batch_capacity_;
+  const QueryContext* ctx_;
 };
 
 }  // namespace nlq::engine::exec

@@ -302,13 +302,15 @@ ColumnarCandidate TryColumnarFastPath(const SelectStatement& select,
 
 Planner::Planner(storage::Catalog* catalog, const udf::UdfRegistry* registry,
                  ThreadPool* pool, size_t batch_capacity,
-                 bool enable_column_cache, uint64_t morsel_rows)
+                 bool enable_column_cache, uint64_t morsel_rows,
+                 const QueryContext* ctx)
     : catalog_(catalog),
       registry_(registry),
       pool_(pool),
       batch_capacity_(batch_capacity),
       enable_column_cache_(enable_column_cache),
-      morsel_rows_(morsel_rows) {}
+      morsel_rows_(morsel_rows),
+      ctx_(ctx) {}
 
 StatusOr<PhysicalPlan> Planner::Plan(const SelectStatement& select) const {
   NLQ_ASSIGN_OR_RETURN(FromInputs inputs, PrepareFrom(select, *catalog_));
@@ -322,7 +324,7 @@ StatusOr<PhysicalPlan> Planner::Plan(const SelectStatement& select) const {
   if (inputs.driver != nullptr) {
     node = std::make_unique<ParallelScanNode>(
         inputs.driver, select.from[0].table_name, batch_capacity_,
-        morsel_rows_);
+        morsel_rows_, ctx_);
   } else {
     node = std::make_unique<ConstantInputNode>(is_aggregate ? 0 : 1);
   }
@@ -377,15 +379,15 @@ StatusOr<PhysicalPlan> Planner::Plan(const SelectStatement& select) const {
       auto scan = std::make_unique<ColumnarScanNode>(
           inputs.driver, select.from[0].table_name, std::move(cand.slots),
           std::move(cand.filters), enable_column_cache_, batch_capacity_,
-          morsel_rows_);
+          morsel_rows_, ctx_);
       node = std::make_unique<ColumnarAggregateNode>(
           std::move(scan), std::move(cand.specs), std::move(agg.projections),
-          select.items.size(), pool_);
+          select.items.size(), pool_, ctx_);
     } else {
       node = std::make_unique<HashAggregateNode>(
           std::move(node), std::move(agg), has_having,
           has_having ? select.having->ToString() : std::string(),
-          select.items.size(), pool_, batch_capacity_);
+          select.items.size(), pool_, batch_capacity_, ctx_);
     }
   } else {
     // Expand the select list (handling bare `*`).
@@ -413,7 +415,7 @@ StatusOr<PhysicalPlan> Planner::Plan(const SelectStatement& select) const {
                                                std::move(projections));
     if (node->num_streams() > 1) {
       node = std::make_unique<GatherNode>(std::move(node), pool_,
-                                          batch_capacity_);
+                                          batch_capacity_, ctx_);
     }
   }
 
@@ -447,7 +449,8 @@ StatusOr<PhysicalPlan> Planner::Plan(const SelectStatement& select) const {
       key_exprs.push_back(std::move(bound));
     }
     node = std::make_unique<SortNode>(std::move(node), std::move(key_exprs),
-                                      std::move(descending), select.limit);
+                                      std::move(descending), select.limit,
+                                      ctx_);
   }
 
   if (select.limit >= 0) {

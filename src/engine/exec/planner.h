@@ -3,6 +3,7 @@
 
 #include <memory>
 
+#include "common/query_context.h"
 #include "common/status.h"
 #include "common/threadpool.h"
 #include "engine/ast.h"
@@ -47,11 +48,16 @@ class Planner {
  public:
   /// `morsel_rows` is the scan-morsel size handed to the leaf nodes
   /// (0 = partition-granular streams, the pre-morsel behavior).
+  /// `ctx` — when non-null — is the statement's QueryContext; every
+  /// planned node that loops over batches or claims morsels polls it,
+  /// and memory-hungry operators charge its MemoryTracker. The context
+  /// must outlive the plan's execution.
   Planner(storage::Catalog* catalog, const udf::UdfRegistry* registry,
           ThreadPool* pool,
           size_t batch_capacity = RowBatch::kDefaultCapacity,
           bool enable_column_cache = true,
-          uint64_t morsel_rows = kDefaultMorselRows);
+          uint64_t morsel_rows = kDefaultMorselRows,
+          const QueryContext* ctx = nullptr);
 
   StatusOr<PhysicalPlan> Plan(const SelectStatement& select) const;
 
@@ -62,6 +68,7 @@ class Planner {
   size_t batch_capacity_;
   bool enable_column_cache_;
   uint64_t morsel_rows_;
+  const QueryContext* ctx_;
 };
 
 }  // namespace nlq::engine::exec

@@ -1,5 +1,6 @@
 #include "engine/exec/scan_node.h"
 
+#include "common/failpoint.h"
 #include "common/strings.h"
 
 namespace nlq::engine::exec {
@@ -7,10 +8,12 @@ namespace {
 
 class ScanStream : public ExecStream {
  public:
-  explicit ScanStream(storage::BatchScanner scanner)
-      : scanner_(std::move(scanner)) {}
+  ScanStream(storage::BatchScanner scanner, const QueryContext* ctx)
+      : scanner_(std::move(scanner)), ctx_(ctx) {}
 
   StatusOr<bool> Next(RowBatch* out) override {
+    if (ctx_ != nullptr) NLQ_RETURN_IF_ERROR(ctx_->CheckAlive());
+    NLQ_FAILPOINT("partition_scan");
     const bool more = scanner_.Next(out);
     if (!scanner_.status().ok()) return scanner_.status();
     return more;
@@ -18,6 +21,7 @@ class ScanStream : public ExecStream {
 
  private:
   storage::BatchScanner scanner_;
+  const QueryContext* ctx_;
 };
 
 class ConstantStream : public ExecStream {
@@ -41,12 +45,14 @@ class ConstantStream : public ExecStream {
 
 ParallelScanNode::ParallelScanNode(const storage::PartitionedTable* table,
                                    std::string table_name,
-                                   size_t batch_capacity, uint64_t morsel_rows)
+                                   size_t batch_capacity, uint64_t morsel_rows,
+                                   const QueryContext* ctx)
     : PlanNode(nullptr),
       table_(table),
       table_name_(std::move(table_name)),
       batch_capacity_(batch_capacity),
       morsel_rows_(morsel_rows),
+      ctx_(ctx),
       grid_(BuildMorselGrid(*table, morsel_rows)) {}
 
 std::string ParallelScanNode::annotation() const {
@@ -64,7 +70,7 @@ size_t ParallelScanNode::output_width() const {
 StatusOr<ExecStreamPtr> ParallelScanNode::OpenStream(size_t s) const {
   const Morsel& m = grid_[s];
   return ExecStreamPtr(new ScanStream(
-      table_->ScanPartitionBatches(m.partition, m.begin, m.end)));
+      table_->ScanPartitionBatches(m.partition, m.begin, m.end), ctx_));
 }
 
 ConstantInputNode::ConstantInputNode(size_t num_rows)

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/query_context.h"
 #include "engine/exec/morsel.h"
 #include "engine/exec/plan.h"
 #include "storage/partitioned_table.h"
@@ -21,7 +22,8 @@ class ParallelScanNode : public PlanNode {
  public:
   ParallelScanNode(const storage::PartitionedTable* table,
                    std::string table_name, size_t batch_capacity,
-                   uint64_t morsel_rows = kDefaultMorselRows);
+                   uint64_t morsel_rows = kDefaultMorselRows,
+                   const QueryContext* ctx = nullptr);
 
   const char* name() const override { return "ParallelScan"; }
   std::string annotation() const override;
@@ -34,6 +36,7 @@ class ParallelScanNode : public PlanNode {
   std::string table_name_;
   size_t batch_capacity_;
   uint64_t morsel_rows_;
+  const QueryContext* ctx_;
   std::vector<Morsel> grid_;
 };
 

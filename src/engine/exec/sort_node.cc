@@ -15,14 +15,15 @@ using storage::Row;
 class SortStream : public ExecStream {
  public:
   SortStream(const SortNode* node, const PlanNode* child,
-             size_t batch_capacity)
-      : node_(node), child_(child), batch_capacity_(batch_capacity) {}
+             size_t batch_capacity, const QueryContext* ctx)
+      : node_(node), child_(child), batch_capacity_(batch_capacity),
+        ctx_(ctx) {}
 
   StatusOr<bool> Next(RowBatch* out) override {
     if (!materialized_) {
       NLQ_ASSIGN_OR_RETURN(
           std::vector<Row> rows,
-          DrainAllStreams(*child_, /*pool=*/nullptr, batch_capacity_));
+          DrainAllStreams(*child_, /*pool=*/nullptr, batch_capacity_, ctx_));
       NLQ_RETURN_IF_ERROR(node_->SortRows(&rows));
       replay_ = std::make_unique<VectorStream>(std::move(rows));
       materialized_ = true;
@@ -34,6 +35,7 @@ class SortStream : public ExecStream {
   const SortNode* node_;
   const PlanNode* child_;
   size_t batch_capacity_;
+  const QueryContext* ctx_;
   bool materialized_ = false;
   std::unique_ptr<VectorStream> replay_;
 };
@@ -84,11 +86,13 @@ int CompareDatum(const Datum& a, const Datum& b) {
 }
 
 SortNode::SortNode(PlanNodePtr child, std::vector<BoundExprPtr> key_exprs,
-                   std::vector<bool> descending, int64_t limit)
+                   std::vector<bool> descending, int64_t limit,
+                   const QueryContext* ctx)
     : PlanNode(std::move(child)),
       key_exprs_(std::move(key_exprs)),
       descending_(std::move(descending)),
-      limit_(limit) {}
+      limit_(limit),
+      ctx_(ctx) {}
 
 std::string SortNode::annotation() const {
   std::string out = StringPrintf("%zu key(s)", key_exprs_.size());
@@ -100,12 +104,20 @@ std::string SortNode::annotation() const {
 
 StatusOr<ExecStreamPtr> SortNode::OpenStream(size_t) const {
   return ExecStreamPtr(
-      new SortStream(this, child_.get(), RowBatch::kDefaultCapacity));
+      new SortStream(this, child_.get(), RowBatch::kDefaultCapacity, ctx_));
 }
 
 Status SortNode::SortRows(std::vector<Row>* rows) const {
   const size_t n = rows->size();
   const size_t num_keys = key_exprs_.size();
+
+  // The sort's own buffers — the key table plus the index permutation
+  // — count against the query budget (the input rows were already
+  // charged as they materialized).
+  if (ctx_ != nullptr && ctx_->memory() != nullptr) {
+    NLQ_RETURN_IF_ERROR(ctx_->memory()->Charge(
+        n * (num_keys * sizeof(Datum) + sizeof(size_t)), "sort buffers"));
+  }
 
   // Evaluate each ORDER BY key once per row, column-at-a-time over
   // the materialized (contiguous) rows.

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/query_context.h"
 #include "engine/exec/plan.h"
 #include "engine/expr.h"
 #include "storage/value.h"
@@ -25,7 +26,8 @@ class SortNode : public PlanNode {
  public:
   /// `limit` < 0 means no limit hint.
   SortNode(PlanNodePtr child, std::vector<BoundExprPtr> key_exprs,
-           std::vector<bool> descending, int64_t limit);
+           std::vector<bool> descending, int64_t limit,
+           const QueryContext* ctx = nullptr);
 
   const char* name() const override { return "Sort"; }
   std::string annotation() const override;
@@ -41,6 +43,7 @@ class SortNode : public PlanNode {
   std::vector<BoundExprPtr> key_exprs_;
   std::vector<bool> descending_;
   int64_t limit_;
+  const QueryContext* ctx_;
 };
 
 }  // namespace nlq::engine::exec

@@ -1,6 +1,7 @@
 #include "gen/csv_loader.h"
 
 #include <cstdio>
+#include <utility>
 
 #include "common/strings.h"
 #include "storage/partitioned_table.h"
@@ -65,8 +66,15 @@ StatusOr<uint64_t> LoadCsvIntoTable(engine::Database* db,
           schema.num_columns()));
     }
     for (size_t c = 0; c < fields.size(); ++c) {
-      NLQ_ASSIGN_OR_RETURN(row[c],
-                           ParseField(fields[c], schema.column(c).type));
+      StatusOr<storage::Datum> parsed =
+          ParseField(fields[c], schema.column(c).type);
+      if (!parsed.ok()) {
+        return Status::ParseError(StringPrintf(
+            "row %llu, column '%s': %s",
+            static_cast<unsigned long long>(rows + 1),
+            schema.column(c).name.c_str(), parsed.status().message().c_str()));
+      }
+      row[c] = std::move(parsed).value();
     }
     table->AppendRowUnchecked(row);
     ++rows;

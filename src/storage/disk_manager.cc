@@ -1,6 +1,8 @@
 #include "storage/disk_manager.h"
 
 #include <fcntl.h>
+
+#include "common/failpoint.h"
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -45,6 +47,7 @@ StatusOr<uint64_t> DiskManager::PageCount() const {
 
 Status DiskManager::WritePage(uint64_t page_id, const Page& page) {
   if (fd_ < 0) return Status::Internal("DiskManager not open");
+  NLQ_FAILPOINT("disk_io");
   const off_t offset = static_cast<off_t>(page_id * kPageSize);
   size_t written = 0;
   while (written < kPageSize) {
@@ -61,6 +64,7 @@ Status DiskManager::WritePage(uint64_t page_id, const Page& page) {
 
 Status DiskManager::ReadPage(uint64_t page_id, Page* page) const {
   if (fd_ < 0) return Status::Internal("DiskManager not open");
+  NLQ_FAILPOINT("disk_io");
   const off_t offset = static_cast<off_t>(page_id * kPageSize);
   size_t read = 0;
   while (read < kPageSize) {

@@ -1,5 +1,6 @@
 #include "storage/table.h"
 
+#include "common/failpoint.h"
 #include "common/strings.h"
 #include "storage/disk_manager.h"
 
@@ -59,6 +60,7 @@ bool TableScanner::Next() {
     }
   }
   if (page_index_ >= table_->num_pages()) return false;
+  NLQ_FAILPOINT_BOOL("page_decode", &status_);
   const Page& page = table_->page(page_index_);
   status_ =
       codec_.Decode(page.payload(), page.payload_size(), &page_offset_, &row_);
@@ -86,6 +88,7 @@ BatchScanner::BatchScanner(const Table* table, uint64_t begin_row,
 bool BatchScanner::Next(RowBatch* out) {
   out->Clear();
   if (!status_.ok()) return false;
+  NLQ_FAILPOINT_BOOL("page_decode", &status_);
   while (!out->full() && rows_wanted_ > 0) {
     while (page_index_ < table_->num_pages() && rows_left_in_page_ == 0) {
       ++page_index_;
@@ -158,6 +161,7 @@ bool ColumnBatchScanner::CheckColumnTypes() {
 bool ColumnBatchScanner::Next(ColumnBatch* out) {
   out->Configure(table_->schema(), columns_, batch_capacity_);
   if (!status_.ok()) return false;
+  NLQ_FAILPOINT_BOOL("page_decode", &status_);
   std::vector<ColumnVector*> dests(out->columns_.size());
   for (size_t i = 0; i < dests.size(); ++i) dests[i] = &out->columns_[i];
   size_t filled = 0;
@@ -238,6 +242,7 @@ Status Table::EnsureDecodedColumns(const std::vector<size_t>& columns) const {
     if (column_cache_[slot] == nullptr) missing.push_back(slot);
   }
   if (missing.empty()) return Status::OK();
+  NLQ_FAILPOINT("page_decode");
 
   std::vector<std::unique_ptr<ColumnVector>> fresh(missing.size());
   std::vector<ColumnVector*> dests(missing.size());

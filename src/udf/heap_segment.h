@@ -6,6 +6,9 @@
 #include <memory>
 #include <type_traits>
 
+#include "common/memory_tracker.h"
+#include "common/status.h"
+
 namespace nlq::udf {
 
 /// Default heap capacity per aggregate state. Mirrors the Teradata
@@ -24,6 +27,26 @@ class HeapSegment {
 
   HeapSegment(const HeapSegment&) = delete;
   HeapSegment& operator=(const HeapSegment&) = delete;
+
+  ~HeapSegment() {
+    if (tracker_ != nullptr) tracker_->Release(capacity_);
+  }
+
+  /// Budget-charged construction: charges `capacity` against `tracker`
+  /// up front (segments are allocated whole) and fails with
+  /// kResourceExhausted instead of allocating past the query's memory
+  /// limit. The charge is released when the segment is destroyed —
+  /// partial aggregation states merged away mid-query give their
+  /// memory back. A null tracker means no budget (untracked segment).
+  static StatusOr<std::unique_ptr<HeapSegment>> Create(
+      MemoryTracker* tracker, size_t capacity = kDefaultHeapCapacity) {
+    if (tracker != nullptr) {
+      NLQ_RETURN_IF_ERROR(tracker->Charge(capacity, "UDF heap segment"));
+    }
+    auto segment = std::make_unique<HeapSegment>(capacity);
+    segment->tracker_ = tracker;
+    return segment;
+  }
 
   size_t capacity() const { return capacity_; }
   size_t used() const { return used_; }
@@ -55,6 +78,7 @@ class HeapSegment {
   size_t capacity_;
   size_t used_ = 0;
   std::unique_ptr<char[]> buffer_;
+  MemoryTracker* tracker_ = nullptr;  // set by Create; released in dtor
 };
 
 }  // namespace nlq::udf

@@ -3,7 +3,10 @@
 #include <atomic>
 #include <cmath>
 #include <set>
+#include <thread>
 
+#include "common/memory_tracker.h"
+#include "common/query_context.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "common/strings.h"
@@ -33,9 +36,19 @@ TEST(StatusTest, ErrorCarriesCodeAndMessage) {
 }
 
 TEST(StatusTest, AllCodesHaveNames) {
-  for (int c = 0; c <= static_cast<int>(StatusCode::kParseError); ++c) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kDeadlineExceeded); ++c) {
     EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
   }
+}
+
+TEST(StatusTest, LifecycleCodes) {
+  Status cancelled = Status::Cancelled("stop");
+  EXPECT_EQ(cancelled.code(), StatusCode::kCancelled);
+  EXPECT_EQ(cancelled.ToString(), "Cancelled: stop");
+
+  Status late = Status::DeadlineExceeded("too slow");
+  EXPECT_EQ(late.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(late.ToString(), "DeadlineExceeded: too slow");
 }
 
 TEST(StatusOrTest, HoldsValue) {
@@ -199,20 +212,29 @@ TEST(RandomTest, GaussianMeanStddev) {
 TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
   ThreadPool pool(4);
   std::vector<std::atomic<int>> hits(100);
-  pool.ParallelFor(100, [&](size_t i) { hits[i]++; });
+  NLQ_ASSERT_OK(pool.ParallelFor(100, [&](size_t i) {
+    hits[i]++;
+    return Status::OK();
+  }));
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
 TEST(ThreadPoolTest, ZeroTasksReturnsImmediately) {
   ThreadPool pool(2);
-  pool.ParallelFor(0, [](size_t) { FAIL(); });
+  NLQ_ASSERT_OK(pool.ParallelFor(0, [](size_t) {
+    ADD_FAILURE();
+    return Status::OK();
+  }));
 }
 
 TEST(ThreadPoolTest, SequentialBatches) {
   ThreadPool pool(3);
   std::atomic<int> counter{0};
   for (int batch = 0; batch < 10; ++batch) {
-    pool.ParallelFor(10, [&](size_t) { counter++; });
+    NLQ_ASSERT_OK(pool.ParallelFor(10, [&](size_t) {
+      counter++;
+      return Status::OK();
+    }));
     EXPECT_EQ(counter.load(), (batch + 1) * 10);
   }
 }
@@ -221,7 +243,10 @@ TEST(ThreadPoolTest, AtLeastOneThread) {
   ThreadPool pool(0);
   EXPECT_EQ(pool.num_threads(), 1u);
   std::atomic<int> counter{0};
-  pool.ParallelFor(5, [&](size_t) { counter++; });
+  NLQ_ASSERT_OK(pool.ParallelFor(5, [&](size_t) {
+    counter++;
+    return Status::OK();
+  }));
   EXPECT_EQ(counter.load(), 5);
 }
 
@@ -230,12 +255,195 @@ TEST(ThreadPoolTest, ActuallyParallel) {
   EXPECT_EQ(pool.num_threads(), 4u);
   std::set<std::thread::id> ids;
   std::mutex mu;
-  pool.ParallelFor(64, [&](size_t) {
+  NLQ_ASSERT_OK(pool.ParallelFor(64, [&](size_t) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
     std::lock_guard<std::mutex> lock(mu);
     ids.insert(std::this_thread::get_id());
-  });
+    return Status::OK();
+  }));
   EXPECT_GT(ids.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool: error propagation and early exit
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolErrorTest, FirstErrorWinsDeterministically) {
+  // Two failing indices: the error for the LOWEST index must surface
+  // no matter which thread hits which index first. Repeat to shake
+  // out scheduling luck.
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    Status s = pool.ParallelFor(100, [&](size_t i) -> Status {
+      if (i == 17) return Status::Internal("boom at 17");
+      if (i == 80) return Status::Internal("boom at 80");
+      return Status::OK();
+    });
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.message(), "boom at 17");
+  }
+}
+
+TEST(ThreadPoolErrorTest, ErrorSkipsRemainingIndices) {
+  // After index 0 fails, later indices are claimed-and-skipped; with a
+  // single worker the drain order is sequential so none of them run.
+  ThreadPool pool(0);
+  std::atomic<int> ran{0};
+  Status s = pool.ParallelFor(1000, [&](size_t i) -> Status {
+    if (i == 0) return Status::Internal("early");
+    ran++;
+    return Status::OK();
+  });
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ThreadPoolErrorTest, SingleIndexErrorPropagates) {
+  ThreadPool pool(2);
+  Status s = pool.ParallelForMorsels(
+      1, [](size_t, size_t) { return Status::NotFound("gone"); });
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST(ThreadPoolErrorTest, PoolUsableAfterError) {
+  ThreadPool pool(3);
+  Status bad = pool.ParallelFor(
+      10, [](size_t) { return Status::Internal("x"); });
+  ASSERT_FALSE(bad.ok());
+  std::atomic<int> counter{0};
+  NLQ_ASSERT_OK(pool.ParallelFor(10, [&](size_t) {
+    counter++;
+    return Status::OK();
+  }));
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolErrorTest, CancelledContextStopsClaims) {
+  ThreadPool pool(4);
+  QueryContext ctx;
+  ctx.RequestCancel();
+  std::atomic<int> ran{0};
+  Status s = pool.ParallelForMorsels(
+      100,
+      [&](size_t, size_t) {
+        ran++;
+        return Status::OK();
+      },
+      &ctx);
+  EXPECT_EQ(s.code(), StatusCode::kCancelled);
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ThreadPoolErrorTest, MidFlightCancellationSurfaces) {
+  ThreadPool pool(2);
+  QueryContext ctx;
+  std::atomic<int> seen{0};
+  Status s = pool.ParallelForMorsels(
+      1000,
+      [&](size_t, size_t) {
+        if (++seen == 3) ctx.RequestCancel();
+        return Status::OK();
+      },
+      &ctx);
+  EXPECT_EQ(s.code(), StatusCode::kCancelled);
+  EXPECT_LT(seen.load(), 1000);
+}
+
+// ---------------------------------------------------------------------------
+// MemoryTracker
+// ---------------------------------------------------------------------------
+
+TEST(MemoryTrackerTest, UnlimitedTracksUsage) {
+  MemoryTracker tracker;
+  NLQ_ASSERT_OK(tracker.Charge(1 << 20, "test"));
+  EXPECT_EQ(tracker.used(), 1u << 20);
+  EXPECT_EQ(tracker.peak(), 1u << 20);
+  tracker.Release(1 << 20);
+  EXPECT_EQ(tracker.used(), 0u);
+  EXPECT_EQ(tracker.peak(), 1u << 20);  // peak is sticky
+}
+
+TEST(MemoryTrackerTest, OverBudgetChargeFailsAndRollsBack) {
+  MemoryTracker tracker(1000);
+  NLQ_ASSERT_OK(tracker.Charge(600, "first"));
+  Status s = tracker.Charge(500, "second");
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(s.message().find("second"), std::string::npos);
+  EXPECT_EQ(tracker.used(), 600u);  // failed charge rolled back
+  NLQ_ASSERT_OK(tracker.Charge(400, "fits"));
+}
+
+TEST(MemoryTrackerTest, TryChargeIsAllOrNothing) {
+  MemoryTracker tracker(100);
+  EXPECT_TRUE(tracker.TryCharge(80));
+  EXPECT_FALSE(tracker.TryCharge(21));
+  EXPECT_EQ(tracker.used(), 80u);
+  EXPECT_TRUE(tracker.TryCharge(20));
+  EXPECT_EQ(tracker.used(), 100u);
+}
+
+TEST(MemoryTrackerTest, ConcurrentChargesNeverExceedLimit) {
+  MemoryTracker tracker(1000);
+  ThreadPool pool(4);
+  std::atomic<int> granted{0};
+  NLQ_ASSERT_OK(pool.ParallelFor(100, [&](size_t) {
+    if (tracker.TryCharge(10)) granted++;
+    return Status::OK();
+  }));
+  EXPECT_EQ(granted.load(), 100);
+  EXPECT_EQ(tracker.used(), 1000u);
+  EXPECT_FALSE(tracker.TryCharge(1));
+}
+
+// ---------------------------------------------------------------------------
+// QueryContext
+// ---------------------------------------------------------------------------
+
+TEST(QueryContextTest, FreshContextIsAlive) {
+  QueryContext ctx;
+  NLQ_EXPECT_OK(ctx.CheckAlive());
+  EXPECT_FALSE(ctx.cancel_requested());
+  EXPECT_FALSE(ctx.has_deadline());
+}
+
+TEST(QueryContextTest, CancelFlipsToCancelled) {
+  QueryContext ctx;
+  ctx.set_query_id(7);
+  ctx.RequestCancel();
+  Status s = ctx.CheckAlive();
+  EXPECT_EQ(s.code(), StatusCode::kCancelled);
+  EXPECT_NE(s.message().find('7'), std::string::npos);
+}
+
+TEST(QueryContextTest, ExpiredDeadlineIsDeadlineExceeded) {
+  QueryContext ctx;
+  ctx.SetTimeout(0);  // deadline == now: already expired
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(ctx.CheckAlive().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(QueryContextTest, FutureDeadlineStillAlive) {
+  QueryContext ctx;
+  ctx.SetTimeout(60'000);
+  NLQ_EXPECT_OK(ctx.CheckAlive());
+}
+
+TEST(QueryContextTest, CancellationOutranksExpiredDeadline) {
+  QueryContext ctx;
+  ctx.SetTimeout(0);
+  ctx.RequestCancel();
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(ctx.CheckAlive().code(), StatusCode::kCancelled);
+}
+
+TEST(QueryContextTest, SharedTokenOutlivesContext) {
+  std::shared_ptr<std::atomic<bool>> token;
+  {
+    QueryContext ctx;
+    token = ctx.cancel_token();
+  }
+  token->store(true);  // must not crash: token is shared, not borrowed
+  EXPECT_TRUE(token->load());
 }
 
 }  // namespace

@@ -85,6 +85,48 @@ TEST(CsvLoaderTest, RejectsBadNumbers) {
   std::remove(path.c_str());
 }
 
+TEST(CsvLoaderTest, MalformedRowErrorNamesRowAndColumn) {
+  // A bad value three data rows in: the ParseError must carry the
+  // 1-based row number and the offending column's name so the user
+  // can find the row in a million-line file.
+  auto db = nlq::testing::MakeTestDatabase();
+  const std::string path = TempPath("badrow.csv");
+  {
+    std::ofstream out(path);
+    out << "1,1.5\n";
+    out << "2,2.5\n";
+    out << "3,oops\n";
+  }
+  const Schema schema{std::vector<Column>{{"id", DataType::kInt64},
+                                          {"score", DataType::kDouble}}};
+  auto result = LoadCsvIntoTable(db.get(), "T", schema, path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+  EXPECT_NE(result.status().message().find("row 3"), std::string::npos)
+      << result.status().ToString();
+  EXPECT_NE(result.status().message().find("'score'"), std::string::npos)
+      << result.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(CsvLoaderTest, FieldCountErrorNamesRow) {
+  auto db = nlq::testing::MakeTestDatabase();
+  const std::string path = TempPath("badcount.csv");
+  {
+    std::ofstream out(path);
+    out << "1,2\n";
+    out << "3,4,5\n";
+  }
+  const Schema schema{std::vector<Column>{{"a", DataType::kInt64},
+                                          {"b", DataType::kInt64}}};
+  auto result = LoadCsvIntoTable(db.get(), "T", schema, path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+  EXPECT_NE(result.status().message().find("row 2"), std::string::npos)
+      << result.status().ToString();
+  std::remove(path.c_str());
+}
+
 TEST(CsvLoaderTest, MissingFileFails) {
   auto db = nlq::testing::MakeTestDatabase();
   const Schema schema{std::vector<Column>{{"a", DataType::kDouble}}};

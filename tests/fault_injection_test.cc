@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/failpoint.h"
+#include "connect/odbc_sim.h"
+#include "engine/database.h"
+#include "gen/datagen.h"
+#include "storage/table.h"
+#include "tests/test_util.h"
+
+namespace nlq {
+namespace {
+
+using storage::Datum;
+using storage::Row;
+using storage::Schema;
+using storage::Table;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// ---------------------------------------------------------------------------
+// Failpoint registry mechanics — Check() is compiled in every build
+// configuration, so these run even without -DNLQ_FAILPOINTS.
+// ---------------------------------------------------------------------------
+
+class FailpointMechanicsTest : public ::testing::Test {
+ protected:
+  void TearDown() override { failpoint::DeactivateAll(); }
+};
+
+TEST_F(FailpointMechanicsTest, UnarmedPointIsOk) {
+  NLQ_EXPECT_OK(failpoint::Check("never_armed"));
+  EXPECT_EQ(failpoint::HitCount("never_armed"), 0);
+}
+
+TEST_F(FailpointMechanicsTest, SkipThenFireThenExhaust) {
+  failpoint::Activate("fp", Status::Internal("injected"), /*skip=*/1,
+                      /*fire_count=*/2);
+  NLQ_EXPECT_OK(failpoint::Check("fp"));  // skipped
+  EXPECT_EQ(failpoint::Check("fp").code(), StatusCode::kInternal);
+  EXPECT_EQ(failpoint::Check("fp").code(), StatusCode::kInternal);
+  NLQ_EXPECT_OK(failpoint::Check("fp"));  // exhausted
+  EXPECT_EQ(failpoint::HitCount("fp"), 4);
+}
+
+TEST_F(FailpointMechanicsTest, DeactivateDisarms) {
+  failpoint::Activate("fp", Status::IOError("injected"));
+  EXPECT_EQ(failpoint::Check("fp").code(), StatusCode::kIOError);
+  failpoint::Deactivate("fp");
+  NLQ_EXPECT_OK(failpoint::Check("fp"));
+}
+
+TEST_F(FailpointMechanicsTest, RearmingResetsState) {
+  failpoint::Activate("fp", Status::Internal("a"), 0, 1);
+  EXPECT_FALSE(failpoint::Check("fp").ok());
+  failpoint::Activate("fp", Status::NotFound("b"));
+  EXPECT_EQ(failpoint::HitCount("fp"), 0);  // re-arm resets the counter
+  EXPECT_EQ(failpoint::Check("fp").code(), StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// Injected faults through the engine — need the check sites compiled
+// in (cmake -DNLQ_FAILPOINTS=ON); skip everywhere else.
+// ---------------------------------------------------------------------------
+
+constexpr uint64_t kRows = 1500;
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!failpoint::BuiltWithFailpoints()) {
+      GTEST_SKIP() << "build lacks NLQ_FAILPOINTS; fault sites compiled out";
+    }
+    failpoint::DeactivateAll();
+    db_ = nlq::testing::MakeTestDatabase(/*num_partitions=*/4);
+    gen::MixtureOptions options;
+    options.n = kRows;
+    options.d = 2;
+    options.seed = 77;
+    NLQ_ASSERT_OK(gen::GenerateDataSetTable(db_.get(), "X", options).status());
+  }
+
+  void TearDown() override { failpoint::DeactivateAll(); }
+
+  /// The post-fault invariant every test re-checks: the engine accepts
+  /// and correctly answers the next statement.
+  void ExpectEngineRecovered() {
+    auto after = db_->Execute("SELECT X1 FROM X");
+    ASSERT_TRUE(after.ok()) << after.status().ToString();
+    EXPECT_EQ(after.value().num_rows(), kRows);
+  }
+
+  std::unique_ptr<engine::Database> db_;
+};
+
+TEST_F(FaultInjectionTest, PageDecodeFaultFailsQuery) {
+  failpoint::Activate("page_decode", Status::IOError("injected decode fault"));
+  auto result = db_->Execute("SELECT X1 FROM X");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+  EXPECT_NE(result.status().message().find("injected decode fault"),
+            std::string::npos);
+  EXPECT_GE(failpoint::HitCount("page_decode"), 1);
+
+  failpoint::Deactivate("page_decode");
+  ExpectEngineRecovered();
+}
+
+TEST_F(FaultInjectionTest, PartitionScanFaultFailsQuery) {
+  failpoint::Activate("partition_scan",
+                      Status::Internal("injected scan fault"));
+  auto result = db_->Execute("SELECT X1, X2 FROM X");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_GE(failpoint::HitCount("partition_scan"), 1);
+
+  failpoint::Deactivate("partition_scan");
+  ExpectEngineRecovered();
+}
+
+TEST_F(FaultInjectionTest, UdfAccumulateFaultFailsAggregate) {
+  failpoint::Activate("udf_accumulate",
+                      Status::Internal("injected ROW-phase fault"));
+  auto result = db_->Execute("SELECT nlq_list('triang', X1, X2) FROM X");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("ROW-phase"), std::string::npos);
+  EXPECT_GE(failpoint::HitCount("udf_accumulate"), 1);
+
+  failpoint::Deactivate("udf_accumulate");
+  auto ok = db_->Execute("SELECT nlq_list('triang', X1, X2) FROM X");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  ExpectEngineRecovered();
+}
+
+TEST_F(FaultInjectionTest, UdfMergeFaultFailsAggregate) {
+  // 4 partitions → at least 4 partial states, so the MERGE phase
+  // always runs.
+  failpoint::Activate("udf_merge",
+                      Status::Internal("injected MERGE-phase fault"));
+  auto result = db_->Execute("SELECT nlq_list('triang', X1, X2) FROM X");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("MERGE-phase"), std::string::npos);
+  EXPECT_GE(failpoint::HitCount("udf_merge"), 1);
+
+  failpoint::Deactivate("udf_merge");
+  ExpectEngineRecovered();
+}
+
+TEST_F(FaultInjectionTest, PartialAggregatesDiscardedCleanlyUnderAsan) {
+  // The real assertion is ASan/LSan: a fault mid-aggregation must not
+  // leak the partial UDF heap segments or group states. Fire the
+  // accumulate fault late (skip most hits) so plenty of partial state
+  // exists when the query unwinds.
+  failpoint::Activate("udf_accumulate", Status::Internal("late fault"),
+                      /*skip=*/3);
+  auto result = db_->Execute("SELECT nlq_list('full', X1, X2) FROM X");
+  ASSERT_FALSE(result.ok());
+  failpoint::DeactivateAll();
+
+  auto ok = db_->Execute("SELECT nlq_list('full', X1, X2) FROM X");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+}
+
+TEST_F(FaultInjectionTest, DiskIoFaultFailsSaveAndLoad) {
+  const std::string path = TempPath("fault_disk_io.pages");
+  Table table(Schema::DataSet(1));
+  for (int i = 0; i < 100; ++i) {
+    table.AppendRowUnchecked({Datum::Int64(i), Datum::Double(i * 0.5)});
+  }
+
+  failpoint::Activate("disk_io", Status::IOError("injected disk fault"));
+  EXPECT_EQ(table.SaveToFile(path).code(), StatusCode::kIOError);
+  failpoint::Deactivate("disk_io");
+  NLQ_ASSERT_OK(table.SaveToFile(path));
+
+  Table loaded(Schema::DataSet(1));
+  failpoint::Activate("disk_io", Status::IOError("injected disk fault"));
+  EXPECT_EQ(loaded.LoadFromFile(path).code(), StatusCode::kIOError);
+  failpoint::Deactivate("disk_io");
+  NLQ_ASSERT_OK(loaded.LoadFromFile(path));
+  EXPECT_EQ(loaded.num_rows(), 100u);
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultInjectionTest, OdbcExportRetriesTransientFaultAndSucceeds) {
+  const std::string path = TempPath("fault_odbc_retry.csv");
+  auto table = db_->catalog().GetTable("X");
+  ASSERT_TRUE(table.ok());
+
+  // Two transient faults, then the link holds: the default policy
+  // (3 attempts) rides them out.
+  failpoint::Activate("odbc_export", Status::IOError("injected link drop"),
+                      /*skip=*/0, /*fire_count=*/2);
+  connect::OdbcExporter exporter;
+  auto result = exporter.ExportTable(**table, path);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().attempts, 3);
+  EXPECT_EQ(result.value().rows, kRows);
+  EXPECT_EQ(failpoint::HitCount("odbc_export"), 3);
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultInjectionTest, OdbcExportGivesUpAfterMaxAttempts) {
+  const std::string path = TempPath("fault_odbc_dead.csv");
+  auto table = db_->catalog().GetTable("X");
+  ASSERT_TRUE(table.ok());
+
+  failpoint::Activate("odbc_export", Status::IOError("injected dead link"));
+  connect::OdbcExporter exporter;
+  auto result = exporter.ExportTable(**table, path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+  EXPECT_EQ(failpoint::HitCount("odbc_export"), 3);  // attempts are bounded
+  failpoint::Deactivate("odbc_export");
+
+  auto retry = exporter.ExportTable(**table, path);
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  EXPECT_EQ(retry.value().attempts, 1);
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultInjectionTest, NonIoErrorsAreNotRetried) {
+  const std::string path = TempPath("fault_odbc_hard.csv");
+  auto table = db_->catalog().GetTable("X");
+  ASSERT_TRUE(table.ok());
+
+  failpoint::Activate("odbc_export", Status::Internal("injected hard fault"));
+  connect::OdbcExporter exporter;
+  auto result = exporter.ExportTable(**table, path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(failpoint::HitCount("odbc_export"), 1);  // no second attempt
+}
+
+TEST_F(FaultInjectionTest, ColumnCacheFillFaultSurfaces) {
+  // Columnar aggregates warm the decoded-column cache through
+  // EnsureDecodedColumns — the page_decode site covers that path too.
+  failpoint::Activate("page_decode", Status::IOError("injected cache fault"));
+  auto result = db_->Execute("SELECT SUM(X1) FROM X");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+
+  failpoint::Deactivate("page_decode");
+  auto ok = db_->Execute("SELECT SUM(X1) FROM X");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+}
+
+}  // namespace
+}  // namespace nlq

@@ -162,10 +162,11 @@ TEST(ParallelForMorselsTest, RunsEveryIndexOnceWithValidWorkerIds) {
   ASSERT_EQ(pool.num_workers(), 4u);
   std::vector<std::atomic<int>> hits(257);
   std::atomic<bool> bad_worker{false};
-  pool.ParallelForMorsels(257, [&](size_t worker, size_t i) {
+  NLQ_ASSERT_OK(pool.ParallelForMorsels(257, [&](size_t worker, size_t i) {
     if (worker >= pool.num_workers()) bad_worker = true;
     hits[i]++;
-  });
+    return Status::OK();
+  }));
   EXPECT_FALSE(bad_worker);
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
@@ -175,11 +176,12 @@ TEST(ParallelForMorselsTest, SingleIndexRunsInlineOnCaller) {
   const std::thread::id caller = std::this_thread::get_id();
   size_t seen_worker = 99;
   std::thread::id seen_thread;
-  pool.ParallelForMorsels(1, [&](size_t worker, size_t i) {
+  NLQ_ASSERT_OK(pool.ParallelForMorsels(1, [&](size_t worker, size_t i) {
     seen_worker = worker;
     seen_thread = std::this_thread::get_id();
     EXPECT_EQ(i, 0u);
-  });
+    return Status::OK();
+  }));
   EXPECT_EQ(seen_worker, 0u);
   EXPECT_EQ(seen_thread, caller);
 }
@@ -192,11 +194,12 @@ TEST(ParallelForMorselsTest, AllWorkersContributeUnderSkew) {
   ThreadPool pool(3);
   std::mutex mu;
   std::set<size_t> workers;
-  pool.ParallelForMorsels(64, [&](size_t worker, size_t) {
+  NLQ_ASSERT_OK(pool.ParallelForMorsels(64, [&](size_t worker, size_t) {
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
     std::lock_guard<std::mutex> lock(mu);
     workers.insert(worker);
-  });
+    return Status::OK();
+  }));
   EXPECT_EQ(workers.size(), pool.num_workers())
       << "a worker never claimed a morsel";
 }
@@ -205,7 +208,10 @@ TEST(ParallelForMorselsTest, SequentialBatchesReuseThePool) {
   ThreadPool pool(2);
   std::atomic<size_t> counter{0};
   for (int round = 0; round < 50; ++round) {
-    pool.ParallelForMorsels(20, [&](size_t, size_t) { counter++; });
+    NLQ_ASSERT_OK(pool.ParallelForMorsels(20, [&](size_t, size_t) {
+      counter++;
+      return Status::OK();
+    }));
   }
   EXPECT_EQ(counter.load(), 1000u);
 }
