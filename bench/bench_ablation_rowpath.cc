@@ -151,6 +151,7 @@ void BM_EngineScan(benchmark::State& state) {
     bench::Require(suf.status(), state);
     benchmark::DoNotOptimize(suf);
   }
+  bench::CaptureQueryBreakdown(db.get(), "engine/d=" + std::to_string(d));
 }
 
 }  // namespace

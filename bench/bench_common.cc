@@ -83,6 +83,19 @@ void Require(const Status& status, benchmark::State& state) {
 
 namespace {
 
+/// Labeled per-query stats captured by CaptureQueryBreakdown, emitted
+/// into the suite JSON as "query_breakdowns".
+struct LabeledBreakdown {
+  std::string label;
+  QueryStatsSnapshot stats;
+};
+
+std::vector<LabeledBreakdown>& Breakdowns() {
+  static std::vector<LabeledBreakdown>* breakdowns =
+      new std::vector<LabeledBreakdown>();
+  return *breakdowns;
+}
+
 /// One measured run, flattened for JSON emission.
 struct CapturedRun {
   std::string name;
@@ -155,11 +168,54 @@ void WriteJson(const std::string& path, const std::string& suite,
                  r.skipped ? "true" : "false",
                  i + 1 < runs.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  if (Breakdowns().empty()) {
+    std::fprintf(f, "  ]\n}\n");
+  } else {
+    std::fprintf(f, "  ],\n  \"query_breakdowns\": [\n");
+    const std::vector<LabeledBreakdown>& breakdowns = Breakdowns();
+    for (size_t i = 0; i < breakdowns.size(); ++i) {
+      std::fprintf(f, "    {\"label\": \"%s\", \"stats\": %s}%s\n",
+                   breakdowns[i].label.c_str(),
+                   breakdowns[i].stats.ToJson().c_str(),
+                   i + 1 < breakdowns.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+  }
   std::fclose(f);
 }
 
+/// Writes the process-wide metrics registry snapshot beside the suite
+/// JSON so CI can archive outcome counters and the latency histogram.
+void WriteMetricsSnapshot(const std::string& suite_json_path) {
+  const std::string path =
+      (std::filesystem::path(suite_json_path).parent_path() /
+       "metrics_snapshot.json")
+          .string();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "NLQ_BENCH_JSON: cannot open %s\n", path.c_str());
+    return;
+  }
+  const std::string json = MetricsRegistry::Global().GetSnapshot().ToJson();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("NLQ_BENCH_JSON: wrote %s\n", path.c_str());
+}
+
 }  // namespace
+
+void CaptureQueryBreakdown(engine::Database* db, const std::string& label) {
+  if (!db->last_query_stats().has_value()) return;
+  // Re-captures under the same label overwrite: benchmarks run their
+  // query many times, only the final iteration's stats matter.
+  for (LabeledBreakdown& b : Breakdowns()) {
+    if (b.label == label) {
+      b.stats = *db->last_query_stats();
+      return;
+    }
+  }
+  Breakdowns().push_back(LabeledBreakdown{label, *db->last_query_stats()});
+}
 
 int RunSuite(const char* suite, int* argc, char** argv) {
   benchmark::Initialize(argc, argv);
@@ -170,6 +226,7 @@ int RunSuite(const char* suite, int* argc, char** argv) {
     const std::string path = ResolveJsonPath(json, suite);
     WriteJson(path, suite, reporter.runs());
     std::printf("NLQ_BENCH_JSON: wrote %s\n", path.c_str());
+    WriteMetricsSnapshot(path);
   }
   benchmark::Shutdown();
   return 0;

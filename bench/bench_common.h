@@ -67,6 +67,13 @@ benchmark::internal::Benchmark* RegisterReal(const std::string& name, Fn fn) {
 void LoadMixture(engine::Database* db, const std::string& name, uint64_t rows,
                  size_t d, bool with_y = false, uint64_t seed = 42);
 
+/// Records `db`'s last_query_stats() under `label` for the suite's
+/// JSON output. Call once per benchmark after its measured loop: the
+/// NLQ_BENCH_JSON file then carries a "query_breakdowns" array with
+/// per-operator rows/batches/time for the final measured query — the
+/// paper's SQL-vs-UDF time attribution at operator granularity.
+void CaptureQueryBreakdown(engine::Database* db, const std::string& label);
+
 /// Aborts the benchmark with a readable message on error.
 void Require(const Status& status, benchmark::State& state);
 

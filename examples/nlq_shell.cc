@@ -23,7 +23,8 @@ using namespace nlq;
 void PrintHelp() {
   std::printf(
       "statements: SELECT / CREATE TABLE [AS] / INSERT / DROP TABLE;\n"
-      "            prefix a SELECT with EXPLAIN to see the plan\n"
+      "            EXPLAIN SELECT ... prints the plan;\n"
+      "            EXPLAIN ANALYZE SELECT ... runs it and adds actuals\n"
       "commands:   \\gen NAME N D   generate a mixture data set\n"
       "            \\tables         list tables\n"
       "            \\save DIR       snapshot the catalog\n"
@@ -112,11 +113,15 @@ int main() {
       continue;
     }
 
-    // EXPLAIN prefix.
+    // EXPLAIN [ANALYZE]: the engine handles both statement forms and
+    // returns a one-column "plan" result — print it bare, one rendered
+    // line per row, without the usual header/row-count decoration.
     if (line.size() > 8 && EqualsIgnoreCase(line.substr(0, 8), "EXPLAIN ")) {
-      auto plan = db.Explain(line.substr(8));
+      auto plan = db.Execute(line);
       if (plan.ok()) {
-        std::printf("%s", plan->c_str());
+        for (const auto& row : plan->rows()) {
+          std::printf("%s\n", row[0].string_value().c_str());
+        }
       } else {
         std::printf("error: %s\n", plan.status().ToString().c_str());
       }

@@ -3,6 +3,8 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "common/metrics.h"
+
 namespace nlq::failpoint {
 namespace {
 
@@ -72,6 +74,9 @@ Status Check(const char* name) {
   }
   if (point.remaining == 0) return Status::OK();
   if (point.remaining > 0) --point.remaining;
+  // Injected faults surface in the process-wide metrics like real
+  // ones would, so fault-injection runs can assert on the counter.
+  MetricsRegistry::Global().counter("failpoints.fired").Increment();
   return point.error;
 }
 

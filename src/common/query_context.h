@@ -11,6 +11,8 @@
 
 namespace nlq {
 
+class QueryStats;
+
 /// Per-query lifecycle state threaded through the engine: a shared
 /// cancellation token, an optional wall-clock deadline, and an
 /// optional memory budget. One QueryContext is created per statement
@@ -53,6 +55,12 @@ class QueryContext {
   MemoryTracker* memory() const { return memory_; }
   void set_memory(MemoryTracker* tracker) { memory_ = tracker; }
 
+  /// Per-query observability sink (common/metrics.h), or nullptr when
+  /// stats collection is off. Writers must tolerate nullptr: stats are
+  /// an overlay, never a dependency of execution.
+  QueryStats* stats() const { return stats_; }
+  void set_stats(QueryStats* stats) { stats_ = stats; }
+
   /// The cancellation point: kCancelled once RequestCancel was called,
   /// kDeadlineExceeded once the deadline passed, OK otherwise.
   /// Cancellation wins over an expired deadline (the explicit request
@@ -65,6 +73,7 @@ class QueryContext {
   bool has_deadline_ = false;
   std::chrono::steady_clock::time_point deadline_{};
   MemoryTracker* memory_ = nullptr;
+  QueryStats* stats_ = nullptr;
 };
 
 }  // namespace nlq

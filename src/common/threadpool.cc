@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "common/metrics.h"
+
 namespace nlq {
 namespace {
 
@@ -65,6 +67,11 @@ bool ThreadPool::DrainBatch(Batch* batch, size_t worker_id) {
       }
     }
     if (!skip) {
+      // Only indices that actually run count as claims: the skew/steal
+      // picture in the stats should show real work, not skip churn.
+      if (batch->ctx != nullptr && batch->ctx->stats() != nullptr) {
+        batch->ctx->stats()->CountMorselClaim(worker_id);
+      }
       Status s = (*batch->fn)(worker_id, i);
       if (!s.ok()) RecordError(batch, i, std::move(s));
     }
@@ -112,6 +119,9 @@ Status ThreadPool::ParallelForMorsels(
       if (!alive.ok()) return alive;
     }
     tls_inside_parallel_section = true;
+    if (ctx != nullptr && ctx->stats() != nullptr) {
+      ctx->stats()->CountMorselClaim(0);
+    }
     Status s = fn(0, 0);
     tls_inside_parallel_section = false;
     return s;

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/failpoint.h"
+#include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
 
@@ -41,6 +42,7 @@ StatusOr<OdbcExportResult> OdbcExporter::ExportTable(
         attempt >= max_attempts) {
       return result.status();
     }
+    MetricsRegistry::Global().counter("odbc.retries").Increment();
     if (backoff_us > 0) {
       std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
     }

@@ -128,11 +128,22 @@ struct DropTableStatement {
   std::string table_name;
 };
 
-enum class StatementKind { kSelect, kCreateTable, kInsert, kDropTable };
+enum class StatementKind {
+  kSelect,
+  kCreateTable,
+  kInsert,
+  kDropTable,
+  kExplain,
+};
 
 struct Statement {
   StatementKind kind;
+  /// The SELECT body; for kExplain this is the statement being
+  /// explained (EXPLAIN covers SELECT only).
   std::unique_ptr<SelectStatement> select;
+  /// kExplain only: EXPLAIN ANALYZE executes the statement and
+  /// renders actuals; plain EXPLAIN renders the plan without running.
+  bool explain_analyze = false;
   std::unique_ptr<CreateTableStatement> create_table;
   std::unique_ptr<InsertStatement> insert;
   std::unique_ptr<DropTableStatement> drop_table;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "common/stopwatch.h"
 #include "common/strings.h"
 #include "engine/exec/executor.h"
 #include "engine/exec/planner.h"
@@ -61,6 +62,33 @@ Status AppendResultToTable(const ResultSet& result, PartitionedTable* table) {
   return Status::OK();
 }
 
+/// Shapes EXPLAIN [ANALYZE] text into a one-VARCHAR-column result set,
+/// one row per rendered line.
+ResultSet PlanTextToResultSet(const std::string& rendered) {
+  std::vector<Row> rows;
+  for (std::string_view line : SplitString(rendered, '\n')) {
+    if (line.empty()) continue;  // trailing newline
+    Row row(1);
+    row[0] = Datum::Varchar(std::string(line));
+    rows.push_back(std::move(row));
+  }
+  return ResultSet(Schema({{"plan", DataType::kVarchar}}), std::move(rows));
+}
+
+/// Registry counter name for a finished statement's outcome.
+const char* OutcomeCounterName(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kCancelled:
+      return "queries.cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "queries.deadline_exceeded";
+    case StatusCode::kResourceExhausted:
+      return "queries.resource_exhausted";
+    default:
+      return status.ok() ? "queries.ok" : "queries.error";
+  }
+}
+
 }  // namespace
 
 Database::Database(DatabaseOptions options)
@@ -81,6 +109,9 @@ StatusOr<ResultSet> Database::ExecuteSelect(const SelectStatement& select,
                         options_.enable_column_cache, options_.morsel_rows,
                         ctx);
   NLQ_ASSIGN_OR_RETURN(exec::PhysicalPlan plan, planner.Plan(select));
+  if (ctx != nullptr && ctx->stats() != nullptr) {
+    exec::AttachQueryStats(plan.root.get(), ctx->stats());
+  }
   return exec::ExecutePlan(plan, ctx);
 }
 
@@ -103,6 +134,21 @@ StatusOr<ResultSet> Database::Execute(std::string_view sql,
   MemoryTracker tracker(memory_limit);
   if (memory_limit > 0) ctx.set_memory(&tracker);
 
+  // Observability: a QueryStats tree for the statement (EXPLAIN
+  // ANALYZE needs one even when collection is off) plus process-wide
+  // registry accounting of outcome and latency.
+  std::unique_ptr<QueryStats> stats;
+  if (options_.collect_query_stats ||
+      (stmt.kind == StatementKind::kExplain && stmt.explain_analyze)) {
+    stats = std::make_unique<QueryStats>();
+    stats->query_id = ctx.query_id();
+    stats->SetWorkerCount(pool_->num_workers());
+    ctx.set_stats(stats.get());
+  }
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  metrics.counter("queries.started").Increment();
+  Stopwatch timer;
+
   // Publish the cancel token for the duration of the statement so
   // Cancel(query_id) from another thread can reach it; the token
   // itself is shared, so a Cancel racing this frame's teardown flips
@@ -115,6 +161,31 @@ StatusOr<ResultSet> Database::Execute(std::string_view sql,
   {
     std::lock_guard<std::mutex> lock(live_mu_);
     live_queries_.erase(ctx.query_id());
+  }
+
+  const auto wall_ns =
+      static_cast<uint64_t>(timer.ElapsedSeconds() * 1e9);
+  metrics.counter(OutcomeCounterName(result.status())).Increment();
+  metrics.histogram("query.latency").Observe(wall_ns);
+  if (stats != nullptr) {
+    // EXPLAIN ANALYZE already stamped the inner statement's wall time
+    // for its rendering; keep that tighter number.
+    if (stats->wall_time_ns == 0) stats->wall_time_ns = wall_ns;
+    if (memory_limit > 0) stats->memory_peak_bytes = tracker.peak();
+    metrics.counter("query.rows_returned")
+        .Add(stats->rows_returned.load(std::memory_order_relaxed));
+    metrics.counter("storage.pages_decoded")
+        .Add(stats->pages_decoded.load(std::memory_order_relaxed));
+    metrics.counter("storage.column_cache.hits")
+        .Add(stats->column_cache_hits.load(std::memory_order_relaxed));
+    metrics.counter("storage.column_cache.misses")
+        .Add(stats->column_cache_misses.load(std::memory_order_relaxed));
+    metrics.counter("storage.column_cache.fallbacks")
+        .Add(stats->column_cache_fallbacks.load(std::memory_order_relaxed));
+    uint64_t claims = 0;
+    for (const uint64_t c : stats->WorkerMorselClaims()) claims += c;
+    metrics.counter("exec.morsels_claimed").Add(claims);
+    last_query_stats_ = SnapshotQueryStats(*stats);
   }
   return result;
 }
@@ -189,6 +260,30 @@ StatusOr<ResultSet> Database::ExecuteStatement(Statement& stmt,
     case StatementKind::kDropTable:
       NLQ_RETURN_IF_ERROR(catalog_.DropTable(stmt.drop_table->table_name));
       return ResultSet();
+
+    case StatementKind::kExplain: {
+      if (!stmt.explain_analyze) {
+        // Plain EXPLAIN: plan only, never execute.
+        exec::Planner planner(&catalog_, &registry_, pool_.get(),
+                              storage::RowBatch::kDefaultCapacity,
+                              options_.enable_column_cache,
+                              options_.morsel_rows, ctx);
+        NLQ_ASSIGN_OR_RETURN(exec::PhysicalPlan plan,
+                             planner.Plan(*stmt.select));
+        return PlanTextToResultSet(exec::ExplainPlan(*plan.root));
+      }
+      QueryStats* stats = ctx != nullptr ? ctx->stats() : nullptr;
+      if (stats == nullptr) {
+        return Status::Internal(
+            "EXPLAIN ANALYZE requires a stats-collecting query context");
+      }
+      Stopwatch timer;
+      NLQ_RETURN_IF_ERROR(ExecuteSelect(*stmt.select, ctx).status());
+      stats->wall_time_ns =
+          static_cast<uint64_t>(timer.ElapsedSeconds() * 1e9);
+      return PlanTextToResultSet(
+          exec::RenderAnalyzedPlan(SnapshotQueryStats(*stats)));
+    }
   }
   return Status::Internal("unhandled statement kind");
 }
@@ -207,6 +302,18 @@ StatusOr<std::string> Database::Explain(std::string_view sql) {
                         options_.enable_column_cache, options_.morsel_rows);
   NLQ_ASSIGN_OR_RETURN(exec::PhysicalPlan plan, planner.Plan(*stmt.select));
   return exec::ExplainPlan(*plan.root);
+}
+
+StatusOr<std::string> Database::ExplainAnalyze(std::string_view sql) {
+  std::string stmt_sql = "EXPLAIN ANALYZE ";
+  stmt_sql += sql;
+  NLQ_ASSIGN_OR_RETURN(ResultSet result, Execute(stmt_sql));
+  std::string out;
+  for (const Row& row : result.rows()) {
+    out += row[0].string_value();
+    out += "\n";
+  }
+  return out;
 }
 
 StatusOr<double> Database::QueryDouble(std::string_view sql) {

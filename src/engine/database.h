@@ -5,10 +5,12 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 
+#include "common/metrics.h"
 #include "common/query_context.h"
 #include "common/status.h"
 #include "common/threadpool.h"
@@ -59,6 +61,12 @@ struct DatabaseOptions {
   /// cache, which falls back to streaming decode. Overridable per
   /// query (QueryOptions).
   uint64_t query_memory_limit = 0;
+
+  /// Collect per-query observability stats (operator actuals, storage
+  /// counters, per-worker morsel claims; see common/metrics.h). On by
+  /// default — instrumentation is batch-granular and bit-invisible —
+  /// and forced on for EXPLAIN ANALYZE regardless of this flag.
+  bool collect_query_stats = true;
 };
 
 /// Per-statement execution overrides for Database::Execute.
@@ -147,6 +155,26 @@ class Database {
   /// residual filter, aggregation/projection, sort and limit.
   StatusOr<std::string> Explain(std::string_view sql);
 
+  /// Runs `sql` (a SELECT) and returns the EXPLAIN ANALYZE rendering:
+  /// the executed plan with actual rows/batches/time per operator and
+  /// a statement totals footer. Equivalent to executing
+  /// `EXPLAIN ANALYZE <sql>` and joining the result rows.
+  StatusOr<std::string> ExplainAnalyze(std::string_view sql);
+
+  /// Stats of the most recently completed statement, or nullopt before
+  /// the first one (or when collection was off). The snapshot survives
+  /// subsequent statements until the next one completes.
+  const std::optional<QueryStatsSnapshot>& last_query_stats() const {
+    return last_query_stats_;
+  }
+
+  /// Point-in-time copy of the process-wide metrics registry
+  /// (statement outcomes, latency histogram, storage counters,
+  /// failpoint/retry events). Shared across Database instances.
+  static MetricsSnapshot GetMetricsSnapshot() {
+    return MetricsRegistry::Global().GetSnapshot();
+  }
+
  private:
   /// Plans a bound SELECT (parse already done) and runs the plan
   /// under `ctx` (may be null: internal sub-selects of DDL run
@@ -171,6 +199,8 @@ class Database {
       live_queries_;
   std::atomic<uint64_t> next_query_id_{1};
   std::atomic<uint64_t> last_query_id_{0};
+
+  std::optional<QueryStatsSnapshot> last_query_stats_;
 };
 
 }  // namespace nlq::engine

@@ -256,7 +256,7 @@ std::string ColumnarAggregateNode::annotation() const {
   return out;
 }
 
-StatusOr<ExecStreamPtr> ColumnarAggregateNode::OpenStream(size_t) const {
+StatusOr<ExecStreamPtr> ColumnarAggregateNode::OpenStreamImpl(size_t) const {
   return ExecStreamPtr(new ColumnarAggregateStream(this));
 }
 

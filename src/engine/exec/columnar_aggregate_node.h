@@ -51,7 +51,7 @@ class ColumnarAggregateNode : public PlanNode {
   std::string annotation() const override;
   size_t output_width() const override { return num_output_; }
   size_t num_streams() const override { return 1; }
-  StatusOr<ExecStreamPtr> OpenStream(size_t s) const override;
+  StatusOr<ExecStreamPtr> OpenStreamImpl(size_t s) const override;
 
   /// Runs the full INIT/ROW/MERGE/FINALIZE protocol and returns the
   /// single output row.

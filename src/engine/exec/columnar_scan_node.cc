@@ -1,8 +1,10 @@
 #include "engine/exec/columnar_scan_node.h"
 
+#include <chrono>
 #include <utility>
 
 #include "common/failpoint.h"
+#include "common/metrics.h"
 #include "common/strings.h"
 #include "storage/column_batch.h"
 
@@ -89,6 +91,12 @@ class ColumnarScanStream : public ColumnStream {
   StatusOr<bool> NextStreaming(ColumnSpanBatch* out) {
     for (;;) {
       const bool more = scanner_->Next(&batch_);
+      if (ctx_ != nullptr && ctx_->stats() != nullptr) {
+        const size_t decoded = scanner_->pages_decoded();
+        ctx_->stats()->pages_decoded.fetch_add(decoded - pages_reported_,
+                                               std::memory_order_relaxed);
+        pages_reported_ = decoded;
+      }
       if (!scanner_->status().ok()) return scanner_->status();
       if (!more) return false;
       out->rows = batch_.size();
@@ -206,11 +214,39 @@ class ColumnarScanStream : public ColumnStream {
   bool use_cache_;
   const QueryContext* ctx_;
   bool served_ = false;
+  size_t pages_reported_ = 0;
   std::unique_ptr<storage::ColumnBatchScanner> scanner_;
   storage::ColumnBatch batch_;
   std::vector<uint8_t> keep_;
   std::vector<ScratchColumn> scratch_;
   std::vector<std::vector<uint64_t>> slice_bits_;  // per column, cache mode
+};
+
+/// Span-path twin of plan.cc's InstrumentedStream: counts the rows
+/// that survive pushed-down filters (so "rows_out" shows selectivity),
+/// span batches, and time inside Next().
+class InstrumentedColumnStream : public ColumnStream {
+ public:
+  InstrumentedColumnStream(ColumnStreamPtr inner, OperatorStats* stats)
+      : inner_(std::move(inner)), stats_(stats) {}
+
+  StatusOr<bool> Next(ColumnSpanBatch* out) override {
+    const auto start = std::chrono::steady_clock::now();
+    StatusOr<bool> result = inner_->Next(out);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    stats_->time_ns.fetch_add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count(),
+        std::memory_order_relaxed);
+    if (result.ok() && result.value()) {
+      stats_->rows_out.fetch_add(out->rows, std::memory_order_relaxed);
+      stats_->batches_out.fetch_add(1, std::memory_order_relaxed);
+    }
+    return result;
+  }
+
+ private:
+  ColumnStreamPtr inner_;
+  OperatorStats* stats_;
 };
 
 }  // namespace
@@ -252,7 +288,7 @@ std::string ColumnarScanNode::annotation() const {
   return out;
 }
 
-StatusOr<ExecStreamPtr> ColumnarScanNode::OpenStream(size_t) const {
+StatusOr<ExecStreamPtr> ColumnarScanNode::OpenStreamImpl(size_t) const {
   return Status::Internal(
       "ColumnarScan produces column spans; it must be driven by "
       "ColumnarAggregate");
@@ -260,13 +296,17 @@ StatusOr<ExecStreamPtr> ColumnarScanNode::OpenStream(size_t) const {
 
 StatusOr<ColumnStreamPtr> ColumnarScanNode::OpenColumnStream(size_t s) const {
   const Morsel& m = grid_[s];
-  return ColumnStreamPtr(new ColumnarScanStream(
+  ColumnStreamPtr stream(new ColumnarScanStream(
       &table_->partition(m.partition), m.begin, m.end, slots_, filters_,
       use_cache_ && !cache_suppressed_, batch_capacity_, ctx_));
+  if (stats() == nullptr) return stream;
+  return ColumnStreamPtr(
+      std::make_unique<InstrumentedColumnStream>(std::move(stream), stats()));
 }
 
 Status ColumnarScanNode::WarmCache(ThreadPool* pool) const {
   if (!use_cache_ || cache_suppressed_) return Status::OK();
+  QueryStats* qstats = ctx_ != nullptr ? ctx_->stats() : nullptr;
 
   // Budget check: estimate what filling the cache would ADD (columns a
   // previous statement already decoded are free) and skip the cache —
@@ -287,7 +327,37 @@ Status ColumnarScanNode::WarmCache(ThreadPool* pool) const {
     }
     if (fill_bytes > 0 && !memory->TryCharge(fill_bytes)) {
       cache_suppressed_ = true;
+      if (qstats != nullptr) {
+        qstats->column_cache_fallbacks.fetch_add(1,
+                                                 std::memory_order_relaxed);
+      }
       return Status::OK();
+    }
+  }
+
+  if (qstats != nullptr) {
+    // Cache accounting is per (partition, slot): a slot some earlier
+    // statement already decoded is a hit, one this warm-up must decode
+    // is a miss. Misses cost one full decode pass over the partition's
+    // pages (EnsureDecodedColumns fills all missing slots in one pass).
+    // Counted only once the budget check passed — a suppressed cache
+    // decodes nothing here and streams instead (one fallback event).
+    for (size_t p = 0; p < table_->num_partitions(); ++p) {
+      const storage::Table& part = table_->partition(p);
+      if (part.num_rows() == 0) continue;
+      bool any_missing = false;
+      for (const size_t slot : slots_) {
+        if (part.decoded_column(slot) != nullptr) {
+          qstats->column_cache_hits.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          qstats->column_cache_misses.fetch_add(1, std::memory_order_relaxed);
+          any_missing = true;
+        }
+      }
+      if (any_missing) {
+        qstats->pages_decoded.fetch_add(part.num_pages(),
+                                        std::memory_order_relaxed);
+      }
     }
   }
 

@@ -91,7 +91,7 @@ class ColumnarScanNode : public PlanNode {
   size_t num_streams() const override { return grid_.size(); }
 
   /// The columnar scan feeds ColumnarAggregateNode spans, not rows.
-  StatusOr<ExecStreamPtr> OpenStream(size_t s) const override;
+  StatusOr<ExecStreamPtr> OpenStreamImpl(size_t s) const override;
 
   StatusOr<ColumnStreamPtr> OpenColumnStream(size_t s) const;
 

@@ -92,7 +92,7 @@ size_t CrossJoinNode::output_width() const {
   return child_->output_width() + build_width_;
 }
 
-StatusOr<ExecStreamPtr> CrossJoinNode::OpenStream(size_t s) const {
+StatusOr<ExecStreamPtr> CrossJoinNode::OpenStreamImpl(size_t s) const {
   NLQ_ASSIGN_OR_RETURN(ExecStreamPtr input, child_->OpenStream(s));
   return ExecStreamPtr(
       new CrossJoinStream(std::move(input), &build_rows_, output_width()));

@@ -3,6 +3,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "engine/exec/gather_node.h"
 #include "storage/row_batch.h"
 
@@ -21,6 +22,10 @@ StatusOr<ResultSet> ExecutePlan(const PhysicalPlan& plan,
     if (ctx != nullptr) NLQ_RETURN_IF_ERROR(ctx->CheckAlive());
     NLQ_ASSIGN_OR_RETURN(const bool more, stream->Next(&batch));
     if (!more) break;
+    if (ctx != nullptr && ctx->stats() != nullptr) {
+      ctx->stats()->rows_returned.fetch_add(batch.size(),
+                                            std::memory_order_relaxed);
+    }
     if (memory != nullptr) {
       size_t bytes = 0;
       for (size_t i = 0; i < batch.size(); ++i) {

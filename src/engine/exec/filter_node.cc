@@ -58,7 +58,7 @@ std::string FilterNode::annotation() const {
   return out;
 }
 
-StatusOr<ExecStreamPtr> FilterNode::OpenStream(size_t s) const {
+StatusOr<ExecStreamPtr> FilterNode::OpenStreamImpl(size_t s) const {
   NLQ_ASSIGN_OR_RETURN(ExecStreamPtr input, child_->OpenStream(s));
   return ExecStreamPtr(new FilterStream(std::move(input), predicate_.get()));
 }

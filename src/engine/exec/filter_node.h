@@ -21,7 +21,7 @@ class FilterNode : public PlanNode {
   const char* name() const override { return "Filter"; }
   std::string annotation() const override;
   size_t output_width() const override { return child_->output_width(); }
-  StatusOr<ExecStreamPtr> OpenStream(size_t s) const override;
+  StatusOr<ExecStreamPtr> OpenStreamImpl(size_t s) const override;
 
  private:
   BoundExprPtr predicate_;

@@ -102,7 +102,7 @@ std::string GatherNode::annotation() const {
                       pool_ != nullptr ? pool_->num_workers() : 1);
 }
 
-StatusOr<ExecStreamPtr> GatherNode::OpenStream(size_t) const {
+StatusOr<ExecStreamPtr> GatherNode::OpenStreamImpl(size_t) const {
   return ExecStreamPtr(
       new GatherStream(child_.get(), pool_, batch_capacity_, ctx_));
 }

@@ -292,7 +292,7 @@ std::string HashAggregateNode::annotation() const {
   return out;
 }
 
-StatusOr<ExecStreamPtr> HashAggregateNode::OpenStream(size_t) const {
+StatusOr<ExecStreamPtr> HashAggregateNode::OpenStreamImpl(size_t) const {
   return ExecStreamPtr(new AggregateStream(this));
 }
 

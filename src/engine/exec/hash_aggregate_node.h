@@ -43,7 +43,7 @@ class HashAggregateNode : public PlanNode {
   std::string annotation() const override;
   size_t output_width() const override { return num_output_; }
   size_t num_streams() const override { return 1; }
-  StatusOr<ExecStreamPtr> OpenStream(size_t s) const override;
+  StatusOr<ExecStreamPtr> OpenStreamImpl(size_t s) const override;
 
   /// Runs the four phases to completion and returns the result rows.
   /// Exposed for the stream implementation and for operator tests.

@@ -40,7 +40,7 @@ std::string LimitNode::annotation() const {
   return StringPrintf("%lld rows", static_cast<long long>(limit_));
 }
 
-StatusOr<ExecStreamPtr> LimitNode::OpenStream(size_t) const {
+StatusOr<ExecStreamPtr> LimitNode::OpenStreamImpl(size_t) const {
   NLQ_ASSIGN_OR_RETURN(ExecStreamPtr input, child_->OpenStream(0));
   return ExecStreamPtr(
       new LimitStream(std::move(input), static_cast<uint64_t>(limit_)));

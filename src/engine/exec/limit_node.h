@@ -18,7 +18,7 @@ class LimitNode : public PlanNode {
   std::string annotation() const override;
   size_t output_width() const override { return child_->output_width(); }
   size_t num_streams() const override { return 1; }
-  StatusOr<ExecStreamPtr> OpenStream(size_t s) const override;
+  StatusOr<ExecStreamPtr> OpenStreamImpl(size_t s) const override;
 
  private:
   int64_t limit_;

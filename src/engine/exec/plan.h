@@ -3,7 +3,9 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "storage/row_batch.h"
 
@@ -61,21 +63,60 @@ class PlanNode {
   }
 
   /// Opens the pull cursor for stream `s` in [0, num_streams()).
-  virtual StatusOr<ExecStreamPtr> OpenStream(size_t s) const = 0;
+  /// When an OperatorStats sink is attached (AttachQueryStats), the
+  /// returned cursor is wrapped so every batch it yields is counted —
+  /// the wrapping happens here, in the non-virtual shell, so no node
+  /// implementation can forget to instrument itself.
+  StatusOr<ExecStreamPtr> OpenStream(size_t s) const;
 
   const PlanNode* child() const { return child_.get(); }
 
+  /// The per-operator stats sink, or nullptr when the query runs
+  /// without stats collection.
+  OperatorStats* stats() const { return stats_; }
+
  protected:
+  /// The actual cursor factory each operator implements.
+  virtual StatusOr<ExecStreamPtr> OpenStreamImpl(size_t s) const = 0;
+
   std::unique_ptr<PlanNode> child_;
+
+ private:
+  friend void AttachQueryStats(PlanNode* root, QueryStats* stats);
+
+  OperatorStats* stats_ = nullptr;
 };
 
 using PlanNodePtr = std::unique_ptr<PlanNode>;
+
+/// Registers every node of the chain with `stats` (root first, so the
+/// snapshot's operator order matches EXPLAIN's line order) and points
+/// each node at its OperatorStats sink. Pass stats == nullptr to
+/// detach. Must be called before any stream is opened.
+void AttachQueryStats(PlanNode* root, QueryStats* stats);
 
 /// Renders the plan tree top-down with `└─` connectors:
 ///   Sort (1 key(s))
 ///   └─ Gather (4 streams)
 ///      └─ ParallelScan (X: 50 rows, 4 partitions, batch 1024)
 std::string ExplainPlan(const PlanNode& root);
+
+/// Renders the EXPLAIN ANALYZE view of an executed statement: the same
+/// tree shape as ExplainPlan, each operator line suffixed with its
+/// actuals, then a statement-level totals footer:
+///   Sort (1 key(s)) [rows=50 batches=1 time=0.412ms self=0.101ms]
+///   └─ ...
+///   Totals: rows=50 pages_decoded=4 cache(hits=0 misses=0
+///   fallbacks=0) time=1.002ms
+/// `time` is cumulative over the operator and everything below it,
+/// summed across parallel streams (it can exceed wall clock); `self`
+/// subtracts the child's cumulative time, clamped at zero.
+std::string RenderAnalyzedPlan(const QueryStatsSnapshot& snapshot);
+
+/// Replaces every `time=<number>ms` / `self=<number>ms` value with
+/// `<T>` so EXPLAIN ANALYZE output can be golden-tested byte-for-byte
+/// (timings are the only nondeterminism in the rendering).
+std::string RedactTimings(std::string_view rendered);
 
 }  // namespace nlq::engine::exec
 

@@ -63,7 +63,7 @@ size_t ProjectNode::output_width() const {
   return pass_through_ ? child_->output_width() : projections_.size();
 }
 
-StatusOr<ExecStreamPtr> ProjectNode::OpenStream(size_t s) const {
+StatusOr<ExecStreamPtr> ProjectNode::OpenStreamImpl(size_t s) const {
   NLQ_ASSIGN_OR_RETURN(ExecStreamPtr input, child_->OpenStream(s));
   if (pass_through_) return input;  // forward child batches unchanged
   return ExecStreamPtr(new ProjectStream(std::move(input), &projections_));

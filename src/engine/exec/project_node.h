@@ -27,7 +27,7 @@ class ProjectNode : public PlanNode {
   const char* name() const override { return "Project"; }
   std::string annotation() const override;
   size_t output_width() const override;
-  StatusOr<ExecStreamPtr> OpenStream(size_t s) const override;
+  StatusOr<ExecStreamPtr> OpenStreamImpl(size_t s) const override;
 
  private:
   std::vector<BoundExprPtr> projections_;

@@ -1,6 +1,7 @@
 #include "engine/exec/scan_node.h"
 
 #include "common/failpoint.h"
+#include "common/metrics.h"
 #include "common/strings.h"
 
 namespace nlq::engine::exec {
@@ -15,6 +16,14 @@ class ScanStream : public ExecStream {
     if (ctx_ != nullptr) NLQ_RETURN_IF_ERROR(ctx_->CheckAlive());
     NLQ_FAILPOINT("partition_scan");
     const bool more = scanner_.Next(out);
+    if (ctx_ != nullptr && ctx_->stats() != nullptr) {
+      // Report the scanner's page counter as deltas so the query-wide
+      // total stays exact no matter how many batches a page spans.
+      const size_t decoded = scanner_.pages_decoded();
+      ctx_->stats()->pages_decoded.fetch_add(decoded - pages_reported_,
+                                             std::memory_order_relaxed);
+      pages_reported_ = decoded;
+    }
     if (!scanner_.status().ok()) return scanner_.status();
     return more;
   }
@@ -22,6 +31,7 @@ class ScanStream : public ExecStream {
  private:
   storage::BatchScanner scanner_;
   const QueryContext* ctx_;
+  size_t pages_reported_ = 0;
 };
 
 class ConstantStream : public ExecStream {
@@ -67,7 +77,7 @@ size_t ParallelScanNode::output_width() const {
   return table_->schema().num_columns();
 }
 
-StatusOr<ExecStreamPtr> ParallelScanNode::OpenStream(size_t s) const {
+StatusOr<ExecStreamPtr> ParallelScanNode::OpenStreamImpl(size_t s) const {
   const Morsel& m = grid_[s];
   return ExecStreamPtr(new ScanStream(
       table_->ScanPartitionBatches(m.partition, m.begin, m.end), ctx_));
@@ -76,7 +86,7 @@ StatusOr<ExecStreamPtr> ParallelScanNode::OpenStream(size_t s) const {
 ConstantInputNode::ConstantInputNode(size_t num_rows)
     : PlanNode(nullptr), num_rows_(num_rows) {}
 
-StatusOr<ExecStreamPtr> ConstantInputNode::OpenStream(size_t) const {
+StatusOr<ExecStreamPtr> ConstantInputNode::OpenStreamImpl(size_t) const {
   return ExecStreamPtr(new ConstantStream(num_rows_));
 }
 

@@ -29,7 +29,7 @@ class ParallelScanNode : public PlanNode {
   std::string annotation() const override;
   size_t output_width() const override;
   size_t num_streams() const override { return grid_.size(); }
-  StatusOr<ExecStreamPtr> OpenStream(size_t s) const override;
+  StatusOr<ExecStreamPtr> OpenStreamImpl(size_t s) const override;
 
  private:
   const storage::PartitionedTable* table_;
@@ -51,7 +51,7 @@ class ConstantInputNode : public PlanNode {
   std::string annotation() const override { return "no FROM"; }
   size_t output_width() const override { return 0; }
   size_t num_streams() const override { return 1; }
-  StatusOr<ExecStreamPtr> OpenStream(size_t s) const override;
+  StatusOr<ExecStreamPtr> OpenStreamImpl(size_t s) const override;
 
  private:
   size_t num_rows_;

@@ -102,7 +102,7 @@ std::string SortNode::annotation() const {
   return out;
 }
 
-StatusOr<ExecStreamPtr> SortNode::OpenStream(size_t) const {
+StatusOr<ExecStreamPtr> SortNode::OpenStreamImpl(size_t) const {
   return ExecStreamPtr(
       new SortStream(this, child_.get(), RowBatch::kDefaultCapacity, ctx_));
 }

@@ -33,7 +33,7 @@ class SortNode : public PlanNode {
   std::string annotation() const override;
   size_t output_width() const override { return child_->output_width(); }
   size_t num_streams() const override { return 1; }
-  StatusOr<ExecStreamPtr> OpenStream(size_t s) const override;
+  StatusOr<ExecStreamPtr> OpenStreamImpl(size_t s) const override;
 
   /// Sorts `rows` in place by this node's keys (applying the LIMIT
   /// hint). Exposed for the stream implementation and for tests.

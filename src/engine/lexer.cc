@@ -15,7 +15,7 @@ constexpr const char* kKeywords[] = {
     "THEN",   "ELSE",   "END",    "CREATE",   "TABLE",  "INSERT", "INTO",
     "VALUES", "DROP",   "CROSS",  "JOIN",     "IS",     "ASC",    "DESC",
     "LIMIT",  "DOUBLE", "BIGINT", "INT",      "INTEGER", "FLOAT", "VARCHAR",
-    "PRECISION",
+    "PRECISION", "EXPLAIN", "ANALYZE",
 };
 
 bool IsKeywordWord(std::string_view upper) {

@@ -81,8 +81,16 @@ StatusOr<Statement> Parser::ParseStatement() {
     NLQ_ASSIGN_OR_RETURN(stmt, ParseInsert());
   } else if (Peek().IsKeyword("DROP")) {
     NLQ_ASSIGN_OR_RETURN(stmt, ParseDrop());
+  } else if (Peek().IsKeyword("EXPLAIN")) {
+    Advance();
+    stmt.kind = StatementKind::kExplain;
+    stmt.explain_analyze = MatchKeyword("ANALYZE");
+    if (!Peek().IsKeyword("SELECT")) {
+      return Error("EXPLAIN supports SELECT statements only");
+    }
+    NLQ_ASSIGN_OR_RETURN(stmt.select, ParseSelect());
   } else {
-    return Error("expected SELECT, CREATE, INSERT or DROP");
+    return Error("expected SELECT, CREATE, INSERT, DROP or EXPLAIN");
   }
   MatchSymbol(";");
   if (Peek().type != TokenType::kEndOfInput) {

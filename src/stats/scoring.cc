@@ -32,6 +32,13 @@ class PackPointUdf : public udf::ScalarUdf {
   }
 
   StatusOr<Datum> Invoke(const std::vector<Datum>& args) const override {
+    // A NULL component makes the whole packed point NULL, so the
+    // consuming aggregate applies the same skip-row policy as the
+    // list style — coercing to 0.0 here would silently bias L and Q
+    // (caught by differential_query_test's list-vs-string sweep).
+    for (const Datum& arg : args) {
+      if (arg.is_null()) return Datum::Null(DataType::kVarchar);
+    }
     // The run-time cast of floating point numbers to text the paper
     // identifies as the string-style overhead.
     std::string packed;

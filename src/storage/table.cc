@@ -98,6 +98,10 @@ bool BatchScanner::Next(RowBatch* out) {
       }
     }
     if (page_index_ >= table_->num_pages()) break;
+    if (page_index_ != counted_page_) {
+      counted_page_ = page_index_;
+      ++pages_decoded_;
+    }
     // Decode the rest of the current page (or as much as fits) in one
     // tight loop over the page payload.
     const Page& page = table_->page(page_index_);
@@ -174,6 +178,10 @@ bool ColumnBatchScanner::Next(ColumnBatch* out) {
       }
     }
     if (page_index_ >= table_->num_pages()) break;
+    if (page_index_ != counted_page_) {
+      counted_page_ = page_index_;
+      ++pages_decoded_;
+    }
     const Page& page = table_->page(page_index_);
     size_t take = rows_left_in_page_;
     const size_t space = batch_capacity_ - filled;

@@ -1,6 +1,7 @@
 #ifndef NLQ_STORAGE_TABLE_H_
 #define NLQ_STORAGE_TABLE_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -63,6 +64,11 @@ class BatchScanner {
   /// Error observed during the scan, if any.
   const Status& status() const { return status_; }
 
+  /// Distinct pages this cursor decoded rows from so far. Seeked-over
+  /// pages don't count (their rows were never materialized); a page
+  /// split across two ranges is counted once by each range's cursor.
+  size_t pages_decoded() const { return pages_decoded_; }
+
  private:
   const Table* table_;
   RowCodec codec_;
@@ -70,6 +76,8 @@ class BatchScanner {
   size_t page_offset_ = 0;
   size_t rows_left_in_page_ = 0;
   uint64_t rows_wanted_ = 0;  // rows still to produce before end_row
+  size_t pages_decoded_ = 0;
+  size_t counted_page_ = SIZE_MAX;  // last page charged to pages_decoded_
   Status status_;
 };
 
@@ -99,6 +107,10 @@ class ColumnBatchScanner {
   /// Error observed during the scan, if any.
   const Status& status() const { return status_; }
 
+  /// Distinct pages this cursor decoded rows from (see
+  /// BatchScanner::pages_decoded).
+  size_t pages_decoded() const { return pages_decoded_; }
+
  private:
   /// Rejects VARCHAR projections; sets status_ and returns false.
   bool CheckColumnTypes();
@@ -111,6 +123,8 @@ class ColumnBatchScanner {
   size_t page_offset_ = 0;
   size_t rows_left_in_page_ = 0;
   uint64_t rows_wanted_ = 0;  // rows still to produce before end_row
+  size_t pages_decoded_ = 0;
+  size_t counted_page_ = SIZE_MAX;  // last page charged to pages_decoded_
   Status status_;
 };
 

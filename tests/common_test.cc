@@ -4,8 +4,10 @@
 #include <cmath>
 #include <set>
 #include <thread>
+#include <vector>
 
 #include "common/memory_tracker.h"
+#include "common/metrics.h"
 #include "common/query_context.h"
 #include "common/random.h"
 #include "common/status.h"
@@ -444,6 +446,133 @@ TEST(QueryContextTest, SharedTokenOutlivesContext) {
   }
   token->store(true);  // must not crash: token is shared, not borrowed
   EXPECT_TRUE(token->load());
+}
+
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+TEST(MetricsTest, ShardedCounterSumsConcurrentWriters) {
+  ShardedCounter counter;
+  constexpr size_t kWriters = 8;
+  constexpr uint64_t kPerWriter = 20000;
+  std::vector<std::thread> writers;
+  for (size_t t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kPerWriter; ++i) counter.Increment();
+    });
+  }
+  for (auto& w : writers) w.join();
+  EXPECT_EQ(counter.Value(), kWriters * kPerWriter);
+}
+
+TEST(MetricsTest, SnapshotDuringConcurrentWritesIsSane) {
+  // Writers hammer a counter and a histogram while a reader snapshots
+  // continuously: every observed total must be monotone and untorn
+  // (TSan runs this too — the sharded relaxed atomics must be clean).
+  MetricsRegistry registry;
+  ShardedCounter& counter = registry.counter("test.writes");
+  Histogram& latency = registry.histogram("test.latency");
+  std::atomic<bool> done{false};
+  constexpr size_t kWriters = 4;
+  constexpr uint64_t kPerWriter = 10000;
+  std::vector<std::thread> writers;
+  for (size_t t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&counter, &latency, t] {
+      for (uint64_t i = 0; i < kPerWriter; ++i) {
+        counter.Add(1);
+        latency.Observe((t + 1) * 1000 * (i % 64 + 1));
+      }
+    });
+  }
+  uint64_t last_total = 0;
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const MetricsSnapshot snap = registry.GetSnapshot();
+      const auto it = snap.counters.find("test.writes");
+      ASSERT_NE(it, snap.counters.end());
+      EXPECT_GE(it->second, last_total) << "counter went backwards";
+      EXPECT_LE(it->second, kWriters * kPerWriter);
+      last_total = it->second;
+    }
+  });
+  for (auto& w : writers) w.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+  const MetricsSnapshot final_snap = registry.GetSnapshot();
+  EXPECT_EQ(final_snap.counters.at("test.writes"), kWriters * kPerWriter);
+  const auto& hist = final_snap.histograms.at("test.latency");
+  EXPECT_EQ(hist.count, kWriters * kPerWriter);
+  uint64_t bucket_total = 0;
+  for (const auto& [le, n] : hist.buckets) bucket_total += n;
+  EXPECT_EQ(bucket_total, hist.count);
+}
+
+TEST(MetricsTest, HistogramBucketsArePowersOfTwoMicros) {
+  Histogram h;
+  h.Observe(500);         // < 1us -> first bucket
+  h.Observe(1500);        // ~1.5us
+  h.Observe(3 * 1000000); // 3ms
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_EQ(h.SumNanos(), 500u + 1500u + 3000000u);
+  uint64_t total = 0;
+  for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+    total += h.BucketCount(b);
+    if (b + 1 < Histogram::kNumBuckets) {
+      EXPECT_EQ(Histogram::BucketUpperNanos(b), (1ull << b) * 1000ull);
+    }
+  }
+  EXPECT_EQ(total, 3u);
+  // Each observation landed in a bucket whose bound exceeds it.
+  EXPECT_GE(Histogram::BucketUpperNanos(Histogram::kNumBuckets - 1),
+            uint64_t{3000000});
+}
+
+TEST(MetricsTest, GaugeLastWriteWins) {
+  MetricsRegistry registry;
+  registry.gauge("test.depth").Set(42);
+  registry.gauge("test.depth").Add(-2);
+  EXPECT_EQ(registry.gauge("test.depth").Value(), 40);
+  EXPECT_EQ(registry.GetSnapshot().gauges.at("test.depth"), 40);
+}
+
+TEST(MetricsTest, RegistryReturnsStableReferences) {
+  MetricsRegistry registry;
+  ShardedCounter& a = registry.counter("test.same");
+  ShardedCounter& b = registry.counter("test.same");
+  EXPECT_EQ(&a, &b);
+  a.Add(3);
+  EXPECT_EQ(b.Value(), 3u);
+}
+
+TEST(MetricsTest, QueryStatsWorkerClaimsAndOperators) {
+  QueryStats stats;
+  stats.SetWorkerCount(3);
+  OperatorStats* op = stats.AddOperator("Scan", "X: 10 rows", 1);
+  ASSERT_NE(op, nullptr);
+  std::vector<std::thread> workers;
+  for (size_t w = 0; w < 3; ++w) {
+    workers.emplace_back([&stats, op, w] {
+      for (int i = 0; i < 1000; ++i) {
+        stats.CountMorselClaim(w);
+        op->rows_out.fetch_add(2, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  stats.CountMorselClaim(99);  // unknown worker id: dropped, no crash
+  const QueryStatsSnapshot snap = SnapshotQueryStats(stats);
+  ASSERT_EQ(snap.worker_morsel_claims.size(), 3u);
+  for (const uint64_t c : snap.worker_morsel_claims) EXPECT_EQ(c, 1000u);
+  ASSERT_EQ(snap.operators.size(), 1u);
+  EXPECT_EQ(snap.operators[0].name, "Scan");
+  EXPECT_EQ(snap.operators[0].rows_out, 6000u);
+  EXPECT_EQ(snap.operators[0].depth, 1u);
+  // Snapshots serialize to JSON without touching the live tree.
+  const std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"Scan\""), std::string::npos);
+  EXPECT_NE(json.find("worker_morsel_claims"), std::string::npos);
 }
 
 }  // namespace

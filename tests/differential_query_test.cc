@@ -1,0 +1,486 @@
+// Differential/property suite (DESIGN.md #10): the same statistical
+// query must produce *bit-identical* sufficient statistics on every
+// execution path the engine has — the paper's "long" SQL query
+// (Section 3.4), the aggregate-UDF row path (Figure 3) and the fused
+// columnar fast path — and match an external C++ oracle that
+// recomputes (n, L, Q) straight from the storage layer, mirroring the
+// engine's morsel grid and morsel-index merge order. Every case is
+// additionally swept across worker-thread counts {1, 2, 4}; the
+// thread count must never change a single output bit, because the
+// morsel grid (and therefore the merge order) depends only on the
+// partition layout and morsel size, never on scheduling.
+//
+// Tables are generated from a seeded PRNG with dyadic-rational cell
+// values (exact through SQL text round-trips), mixed NULL densities,
+// row counts straddling the 1024-row decode batch, 1–8 partitions and
+// morsel sizes that split partitions mid-stream. NULL placement picks
+// the comparison set:
+//   - NULLs confined to an unused padding column: all four paths are
+//     comparable (the SQL query's sum(1.0) n-term counts every
+//     surviving row, which equals the UDF count when no dimension is
+//     NULL);
+//   - NULLs inside the dimensions: the wide SQL query's per-column /
+//     per-product NULL skipping diverges from the UDFs' documented
+//     skip-row policy by design, so those cases compare the three
+//     skip-row paths (UDF row, UDF columnar, oracle) only.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/strings.h"
+#include "engine/database.h"
+#include "engine/exec/morsel.h"
+#include "stats/scoring.h"
+#include "stats/sqlgen.h"
+#include "stats/sufstats.h"
+#include "storage/partitioned_table.h"
+#include "tests/test_util.h"
+
+namespace nlq::engine {
+namespace {
+
+using stats::MatrixKind;
+using stats::SufStats;
+using storage::Datum;
+using storage::Row;
+
+// ---------------------------------------------------------------------------
+// Bit-exact signatures
+// ---------------------------------------------------------------------------
+
+std::string Bits(double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return StringPrintf("%016llx", static_cast<unsigned long long>(bits));
+}
+
+/// Renders a result set so "equal" means byte-identical, not close.
+std::string ResultSignature(const ResultSet& result) {
+  std::string out;
+  for (const auto& row : result.rows()) {
+    for (const Datum& v : row) {
+      if (v.is_null()) {
+        out += "NULL,";
+        continue;
+      }
+      switch (v.type()) {
+        case storage::DataType::kDouble:
+          out += "d:" + Bits(v.double_value()) + ",";
+          break;
+        case storage::DataType::kInt64:
+          out += StringPrintf("i:%lld,", static_cast<long long>(v.int_value()));
+          break;
+        case storage::DataType::kVarchar:
+          out += "s:" + v.string_value() + ",";
+          break;
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+/// Bit pattern of every statistic a SufStats carries. Min/max are
+/// optional because the wide SQL query does not compute them.
+std::string SufSignature(const SufStats& s, bool with_minmax) {
+  std::string out = "n:" + Bits(s.n()) + "\n";
+  const size_t d = s.d();
+  for (size_t a = 0; a < d; ++a) {
+    out += StringPrintf("L%zu:", a) + Bits(s.L(a)) + "\n";
+  }
+  for (size_t a = 0; a < d; ++a) {
+    const size_t b_end = s.kind() == MatrixKind::kFull ? d : a + 1;
+    for (size_t b = 0; b < b_end; ++b) {
+      if (s.kind() == MatrixKind::kDiagonal && b != a) continue;
+      out += StringPrintf("Q%zu_%zu:", a, b) + Bits(s.Q(a, b)) + "\n";
+    }
+  }
+  if (with_minmax) {
+    for (size_t a = 0; a < d; ++a) {
+      out += StringPrintf("m%zu:", a) + Bits(s.Min(a)) + "," + Bits(s.Max(a)) +
+             "\n";
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Case generation
+// ---------------------------------------------------------------------------
+
+struct TableConfig {
+  size_t partitions;
+  size_t rows;
+  size_t d;
+  MatrixKind kind;
+  uint64_t morsel_rows;   // 0 = partition-granular morsels
+  unsigned null_pct;      // per-cell NULL probability in percent
+  bool nulls_in_dims;     // false: NULLs only in the padding column
+  uint64_t seed;
+};
+
+// Row counts straddle the 1024-row decode batch; morsel sizes split
+// partitions into several streams (the pre-existing equivalence tests
+// only ever ran one morsel per partition); partition counts include
+// layouts that divide the rows unevenly.
+const TableConfig kConfigs[] = {
+    // Four-path cases: dimensions stay NULL-free.
+    {1, 0, 2, MatrixKind::kLowerTriangular, 16384, 0, false, 101},
+    {1, 1, 1, MatrixKind::kDiagonal, 16384, 0, false, 102},
+    {2, 1, 3, MatrixKind::kFull, 0, 0, false, 103},
+    {2, 7, 2, MatrixKind::kLowerTriangular, 64, 0, false, 104},
+    {3, 100, 4, MatrixKind::kFull, 256, 0, false, 105},
+    {4, 100, 1, MatrixKind::kDiagonal, 64, 25, false, 106},
+    {4, 1023, 2, MatrixKind::kLowerTriangular, 16384, 0, false, 107},
+    {4, 1024, 2, MatrixKind::kFull, 1024, 0, false, 108},
+    {4, 1025, 3, MatrixKind::kLowerTriangular, 256, 10, false, 109},
+    {5, 511, 4, MatrixKind::kDiagonal, 128, 0, false, 110},
+    {7, 777, 3, MatrixKind::kFull, 0, 20, false, 111},
+    {8, 1200, 4, MatrixKind::kLowerTriangular, 1024, 0, false, 112},
+    {8, 64, 2, MatrixKind::kDiagonal, 64, 0, false, 113},
+    {6, 300, 3, MatrixKind::kLowerTriangular, 96, 15, false, 114},
+    {3, 1024, 1, MatrixKind::kFull, 0, 0, false, 115},
+    {2, 1025, 4, MatrixKind::kFull, 512, 0, false, 116},
+    // Three-path cases: NULLs land inside the dimensions, exercising
+    // the skip-row policy (and its columnar compaction) under WHERE.
+    {1, 50, 2, MatrixKind::kLowerTriangular, 16384, 30, true, 201},
+    {2, 100, 3, MatrixKind::kFull, 64, 20, true, 202},
+    {4, 1023, 2, MatrixKind::kDiagonal, 256, 10, true, 203},
+    {4, 1024, 3, MatrixKind::kLowerTriangular, 1024, 35, true, 204},
+    {5, 1025, 4, MatrixKind::kFull, 0, 15, true, 205},
+    {7, 777, 1, MatrixKind::kLowerTriangular, 128, 50, true, 206},
+    {8, 1200, 2, MatrixKind::kDiagonal, 16384, 5, true, 207},
+    {3, 7, 4, MatrixKind::kLowerTriangular, 64, 80, true, 208},
+};
+
+const char* KindName(MatrixKind kind) {
+  switch (kind) {
+    case MatrixKind::kDiagonal:
+      return "diag";
+    case MatrixKind::kLowerTriangular:
+      return "triang";
+    case MatrixKind::kFull:
+      return "full";
+  }
+  return "?";
+}
+
+/// Cell values are dyadic rationals k/256 with |k| < 2^15: at most 8
+/// fractional decimal digits, so "%.8f" round-trips them exactly
+/// through SQL text and back into the same double.
+double NextCell(Random* rng) {
+  const int64_t k =
+      static_cast<int64_t>(rng->NextUint64(1u << 16)) - (1 << 15);
+  return static_cast<double>(k) / 256.0;
+}
+
+/// Builds the batched INSERT statements for `cfg` — regenerated
+/// identically for every thread-count variant so all databases hold
+/// the same rows in the same partition layout.
+std::vector<std::string> BuildInserts(const TableConfig& cfg) {
+  Random rng(cfg.seed);
+  std::vector<std::string> statements;
+  std::string insert;
+  for (size_t r = 0; r < cfg.rows; ++r) {
+    if (insert.empty()) insert = "INSERT INTO T VALUES ";
+    insert += StringPrintf("(%zu", r);
+    for (size_t c = 0; c < cfg.d + 1; ++c) {  // d dimensions + padding
+      const bool dim = c < cfg.d;
+      const double v = NextCell(&rng);  // always drawn: keeps streams aligned
+      const bool null_here = cfg.null_pct > 0 &&
+                             (dim ? cfg.nulls_in_dims : !cfg.nulls_in_dims) &&
+                             rng.NextUint64(100) < cfg.null_pct;
+      if (null_here) {
+        insert += ", NULL";
+      } else {
+        insert += StringPrintf(", %.8f", v);
+      }
+    }
+    insert += ")";
+    if ((r + 1) % 128 == 0 || r + 1 == cfg.rows) {
+      statements.push_back(insert);
+      insert.clear();
+    } else {
+      insert += ", ";
+    }
+  }
+  return statements;
+}
+
+void CreateAndFill(Database* db, const TableConfig& cfg,
+                   const std::vector<std::string>& inserts) {
+  std::string create = "CREATE TABLE T (i BIGINT";
+  for (size_t a = 0; a < cfg.d; ++a) {
+    create += StringPrintf(", X%zu DOUBLE", a + 1);
+  }
+  create += ", PAD DOUBLE)";
+  NLQ_ASSERT_OK(db->ExecuteCommand(create));
+  for (const std::string& insert : inserts) {
+    NLQ_ASSERT_OK(db->ExecuteCommand(insert));
+  }
+}
+
+std::unique_ptr<Database> MakeDiffDatabase(const TableConfig& cfg,
+                                           size_t num_threads) {
+  DatabaseOptions options;
+  options.num_partitions = cfg.partitions;
+  options.num_threads = num_threads;
+  options.morsel_rows = cfg.morsel_rows;
+  auto db = std::make_unique<Database>(options);
+  EXPECT_TRUE(stats::RegisterAllStatsUdfs(&db->udfs()).ok());
+  return db;
+}
+
+/// One WHERE clause plus the oracle's row-level rendering of it. A
+/// NULL operand makes the SQL comparison UNKNOWN, which drops the row
+/// on every engine path; the predicates mirror that with an explicit
+/// is_null() check.
+struct WhereVariant {
+  std::string suffix;  // "" or " WHERE ..."
+  std::function<bool(const Row&)> pred;
+};
+
+std::vector<WhereVariant> BuildWheres(const TableConfig& cfg) {
+  std::vector<WhereVariant> wheres;
+  wheres.push_back({"", [](const Row&) { return true; }});
+  wheres.push_back({" WHERE X1 > -8.0", [](const Row& row) {
+                      return !row[1].is_null() && row[1].AsDouble() > -8.0;
+                    }});
+  const int64_t cutoff =
+      cfg.rows == 0 ? 1 : static_cast<int64_t>(cfg.rows * 3 / 4);
+  wheres.push_back(
+      {StringPrintf(" WHERE i < %lld", static_cast<long long>(cutoff)),
+       [cutoff](const Row& row) { return row[0].int_value() < cutoff; }});
+  return wheres;
+}
+
+std::string PinToRowPath(const std::string& sql) {
+  return sql + (sql.find(" WHERE ") == std::string::npos ? " WHERE 0 = 0"
+                                                         : " AND 0 = 0");
+}
+
+// ---------------------------------------------------------------------------
+// External oracle: recomputes SufStats straight from the storage
+// layer, outside the exec layer entirely, mirroring the engine's
+// accumulation structure — one partial per morsel of the same grid
+// BuildMorselGrid hands the scan nodes, merged in morsel-index order
+// (how both aggregate nodes fold their per-stream partials).
+// ---------------------------------------------------------------------------
+
+void ComputeOracle(const storage::PartitionedTable& table,
+                   const TableConfig& cfg, const WhereVariant& where,
+                   SufStats* out, uint64_t* surviving) {
+  const std::vector<exec::Morsel> grid =
+      exec::BuildMorselGrid(table, cfg.morsel_rows);
+  SufStats total(cfg.d, cfg.kind);
+  bool first = true;
+  uint64_t n_survive = 0;
+  std::vector<double> x(cfg.d);
+  for (const exec::Morsel& m : grid) {
+    SufStats part(cfg.d, cfg.kind);
+    storage::BatchScanner scanner =
+        table.ScanPartitionBatches(m.partition, m.begin, m.end);
+    storage::RowBatch batch;
+    while (scanner.Next(&batch)) {
+      for (size_t r = 0; r < batch.size(); ++r) {
+        const Row& row = batch.row(r);
+        if (!where.pred(row)) continue;
+        bool null_dim = false;
+        for (size_t a = 0; a < cfg.d; ++a) null_dim |= row[1 + a].is_null();
+        if (null_dim) continue;  // the UDFs' skip-row policy
+        for (size_t a = 0; a < cfg.d; ++a) x[a] = row[1 + a].double_value();
+        part.Update(x.data());
+        ++n_survive;
+      }
+    }
+    NLQ_ASSERT_OK(scanner.status());
+    if (first) {
+      total = part;
+      first = false;
+    } else {
+      NLQ_ASSERT_OK(total.Merge(part));
+    }
+  }
+  *out = total;
+  *surviving = n_survive;
+}
+
+// ---------------------------------------------------------------------------
+// One differential case
+// ---------------------------------------------------------------------------
+
+struct CaseSigs {
+  std::string row;  // UDF, pinned row path
+  std::string col;  // UDF, columnar fast path
+  std::string sql;  // wide SQL query (empty when not comparable)
+};
+
+void RunCase(Database* db, const TableConfig& cfg, const WhereVariant& where,
+             const SufStats& oracle, uint64_t surviving, CaseSigs* sigs) {
+  const std::vector<std::string> cols = stats::DimensionColumns(cfg.d);
+  const std::string udf_sql =
+      stats::NlqUdfQuery("T", cols, cfg.kind, stats::ParamStyle::kList) +
+      where.suffix;
+  const std::string pinned = PinToRowPath(udf_sql);
+
+  auto columnar = db->Execute(udf_sql);
+  auto rowpath = db->Execute(pinned);
+  NLQ_ASSERT_OK(columnar.status());
+  NLQ_ASSERT_OK(rowpath.status());
+
+  // The two statements must really take different paths, or this test
+  // degenerates into comparing a path with itself.
+  auto col_plan = db->Explain(udf_sql);
+  auto row_plan = db->Explain(pinned);
+  NLQ_ASSERT_OK(col_plan.status());
+  NLQ_ASSERT_OK(row_plan.status());
+  EXPECT_NE(col_plan->find("ColumnarAggregate"), std::string::npos)
+      << udf_sql << "\n"
+      << *col_plan;
+  EXPECT_EQ(row_plan->find("ColumnarAggregate"), std::string::npos)
+      << pinned << "\n"
+      << *row_plan;
+
+  sigs->col = ResultSignature(*columnar);
+  sigs->row = ResultSignature(*rowpath);
+  EXPECT_EQ(sigs->col, sigs->row) << udf_sql;
+
+  // Decoded UDF result vs the external oracle, bit for bit. Skipped
+  // when no row survived: a never-accumulated UDF state finalizes as
+  // the documented d=0 empty statistics, which carries no shape to
+  // compare (the cross-path and cross-thread equalities above still
+  // pin its exact bytes).
+  if (surviving > 0) {
+    NLQ_ASSERT_OK_AND_ASSIGN(
+        SufStats decoded,
+        SufStats::FromPackedString(rowpath->At(0, 0).string_value()));
+    EXPECT_EQ(SufSignature(decoded, /*with_minmax=*/true),
+              SufSignature(oracle, /*with_minmax=*/true))
+        << udf_sql;
+  }
+
+  // The paper's wide SQL query, decoded back into SufStats. Only when
+  // the dimensions are NULL-free (otherwise its per-column NULL
+  // skipping legitimately diverges from skip-row) and at least one
+  // row survived (SUM over nothing is NULL, which has no bit pattern
+  // to compare).
+  if (!cfg.nulls_in_dims && surviving > 0) {
+    const std::string wide_sql =
+        stats::NlqSqlQuery("T", cols, cfg.kind) + where.suffix;
+    auto wide = db->Execute(wide_sql);
+    NLQ_ASSERT_OK(wide.status());
+    sigs->sql = ResultSignature(*wide);
+    NLQ_ASSERT_OK_AND_ASSIGN(
+        SufStats from_sql,
+        stats::SufStatsFromWideRow(*wide, 0, cfg.d, cfg.kind));
+    EXPECT_EQ(SufSignature(from_sql, /*with_minmax=*/false),
+              SufSignature(oracle, /*with_minmax=*/false))
+        << wide_sql;
+  }
+}
+
+TEST(DifferentialQueryTest, AllPathsBitIdenticalAcrossThreads) {
+  const size_t kThreads[] = {1, 2, 4};
+  size_t cases = 0;
+  for (const TableConfig& cfg : kConfigs) {
+    const std::vector<std::string> inserts = BuildInserts(cfg);
+    const std::vector<WhereVariant> wheres = BuildWheres(cfg);
+    std::vector<CaseSigs> baseline(wheres.size());
+    for (size_t t = 0; t < 3; ++t) {
+      auto db = MakeDiffDatabase(cfg, kThreads[t]);
+      CreateAndFill(db.get(), cfg, inserts);
+      auto table = db->catalog().GetTable("T");
+      NLQ_ASSERT_OK(table.status());
+      for (size_t w = 0; w < wheres.size(); ++w) {
+        SCOPED_TRACE(StringPrintf(
+            "seed=%llu threads=%zu kind=%s where=[%s]",
+            static_cast<unsigned long long>(cfg.seed), kThreads[t],
+            KindName(cfg.kind), wheres[w].suffix.c_str()));
+        SufStats oracle;
+        uint64_t surviving = 0;
+        ComputeOracle(**table, cfg, wheres[w], &oracle, &surviving);
+        CaseSigs sigs;
+        RunCase(db.get(), cfg, wheres[w], oracle, surviving, &sigs);
+        if (t == 0) {
+          baseline[w] = sigs;
+        } else {
+          // Thread count must not change one bit of any path.
+          EXPECT_EQ(sigs.row, baseline[w].row);
+          EXPECT_EQ(sigs.col, baseline[w].col);
+          EXPECT_EQ(sigs.sql, baseline[w].sql);
+        }
+        ++cases;
+      }
+    }
+  }
+  // The issue's floor: this suite is only meaningful at volume.
+  EXPECT_GE(cases, 200u);
+}
+
+// The paper's second parameter-passing style (Figure 3's packed
+// string) runs through pack_point + nlq_string instead of nlq_list;
+// both must produce the identical packed statistics.
+TEST(DifferentialQueryTest, StringStyleMatchesListStyle) {
+  const size_t kPick[] = {4, 8, 18, 21};  // indexes into kConfigs
+  for (const size_t idx : kPick) {
+    const TableConfig& cfg = kConfigs[idx];
+    SCOPED_TRACE(StringPrintf("seed=%llu",
+                              static_cast<unsigned long long>(cfg.seed)));
+    auto db = MakeDiffDatabase(cfg, /*num_threads=*/2);
+    CreateAndFill(db.get(), cfg, BuildInserts(cfg));
+    const std::vector<std::string> cols = stats::DimensionColumns(cfg.d);
+    const std::string list_sql = PinToRowPath(
+        stats::NlqUdfQuery("T", cols, cfg.kind, stats::ParamStyle::kList));
+    const std::string string_sql = PinToRowPath(
+        stats::NlqUdfQuery("T", cols, cfg.kind, stats::ParamStyle::kString));
+    auto list_result = db->Execute(list_sql);
+    auto string_result = db->Execute(string_sql);
+    NLQ_ASSERT_OK(list_result.status());
+    NLQ_ASSERT_OK(string_result.status());
+    EXPECT_EQ(ResultSignature(*list_result), ResultSignature(*string_result));
+  }
+}
+
+// Builtin SQL aggregates against the same oracle: COUNT is the
+// surviving-row count, SUM/MIN/MAX over X1 are the oracle's L(0),
+// Min(0), Max(0) — bit for bit, on both paths.
+TEST(DifferentialQueryTest, BuiltinAggregatesMatchOracle) {
+  for (const TableConfig& cfg : kConfigs) {
+    if (cfg.nulls_in_dims || cfg.rows == 0) continue;
+    SCOPED_TRACE(StringPrintf("seed=%llu",
+                              static_cast<unsigned long long>(cfg.seed)));
+    auto db = MakeDiffDatabase(cfg, /*num_threads=*/4);
+    CreateAndFill(db.get(), cfg, BuildInserts(cfg));
+    auto table = db->catalog().GetTable("T");
+    NLQ_ASSERT_OK(table.status());
+    const std::vector<WhereVariant> wheres = BuildWheres(cfg);
+    for (const WhereVariant& where : wheres) {
+      SufStats oracle;
+      uint64_t surviving = 0;
+      ComputeOracle(**table, cfg, where, &oracle, &surviving);
+      if (surviving == 0) continue;
+      const std::string sql =
+          "SELECT count(*), sum(X1), min(X1), max(X1) FROM T" + where.suffix;
+      auto columnar = db->Execute(sql);
+      auto rowpath = db->Execute(PinToRowPath(sql));
+      NLQ_ASSERT_OK(columnar.status());
+      NLQ_ASSERT_OK(rowpath.status());
+      EXPECT_EQ(ResultSignature(*columnar), ResultSignature(*rowpath)) << sql;
+      EXPECT_EQ(columnar->At(0, 0).int_value(),
+                static_cast<int64_t>(surviving));
+      EXPECT_EQ(Bits(columnar->At(0, 1).double_value()), Bits(oracle.L(0)));
+      EXPECT_EQ(Bits(columnar->At(0, 2).double_value()), Bits(oracle.Min(0)));
+      EXPECT_EQ(Bits(columnar->At(0, 3).double_value()), Bits(oracle.Max(0)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nlq::engine
