@@ -13,6 +13,14 @@
 //            (pages decoded straight into double arrays, no Datum
 //            boxing) — what the engine's columnar fast path runs
 //            per partition;
+//   interpreted — the wide 1+d+|Q| SUM-of-products SQL query with the
+//            expression bytecode disabled (force_interpreted): every
+//            sum(Xa*Xb) argument walks the BoundExpr tree per row —
+//            the paper's "SQL arithmetic expressions are interpreted
+//            at run-time";
+//   compiled — the same wide SQL query on the default path: arguments
+//            compiled to register bytecode and evaluated over column
+//            spans by VectorHashAggregate (engine/exec/bytecode.h);
 //   engine — the full nlq_list query (the planner's columnar fast
 //            path: decode + fused kernel + partitioned execution +
 //            merge).
@@ -26,7 +34,9 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "engine/database.h"
 #include "stats/nlq_kernel.h"
+#include "stats/sqlgen.h"
 #include "storage/partitioned_table.h"
 
 namespace {
@@ -138,6 +148,39 @@ void BM_ColumnarScan(benchmark::State& state) {
   }
 }
 
+// Shared body for the interpreted/compiled altitudes: the wide
+// 1 + d + |Q| SUM-of-products query through the full engine, with the
+// expression bytecode forced off or left on. One untimed warmup run
+// pays compilation and the column-decode cache fill so the timed
+// delta is expression evaluation itself.
+void RunWideSqlAltitude(benchmark::State& state, bool force_interpreted) {
+  const size_t d = kDims[state.range(0)];
+  const uint64_t rows = bench::ScaledRows(1600);
+  auto db = bench::MakeBenchDatabase();
+  bench::LoadMixture(db.get(), "X", rows, d);
+  const std::string sql = stats::NlqSqlQuery("X", stats::DimensionColumns(d),
+                                             stats::MatrixKind::kLowerTriangular);
+  engine::QueryOptions qopts;
+  qopts.force_interpreted = force_interpreted;
+  bench::Require(db->Execute(sql, qopts).status(), state);  // warmup
+  for (auto _ : state) {
+    auto result = db->Execute(sql, qopts);
+    bench::Require(result.status(), state);
+    benchmark::DoNotOptimize(result);
+  }
+  bench::CaptureQueryBreakdown(
+      db.get(), std::string(force_interpreted ? "interpreted" : "compiled") +
+                    "/d=" + std::to_string(d));
+}
+
+void BM_InterpretedExprScan(benchmark::State& state) {
+  RunWideSqlAltitude(state, /*force_interpreted=*/true);
+}
+
+void BM_CompiledExprScan(benchmark::State& state) {
+  RunWideSqlAltitude(state, /*force_interpreted=*/false);
+}
+
 void BM_EngineScan(benchmark::State& state) {
   const size_t d = kDims[state.range(0)];
   const uint64_t rows = bench::ScaledRows(1600);
@@ -180,6 +223,16 @@ int main(int argc, char** argv) {
         ->Iterations(1);
     nlq::bench::RegisterReal(("Ablation/columnar" + suffix).c_str(),
                                  BM_ColumnarScan)
+        ->Arg(static_cast<int>(di))
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    nlq::bench::RegisterReal(("Ablation/interpreted" + suffix).c_str(),
+                                 BM_InterpretedExprScan)
+        ->Arg(static_cast<int>(di))
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    nlq::bench::RegisterReal(("Ablation/compiled" + suffix).c_str(),
+                                 BM_CompiledExprScan)
         ->Arg(static_cast<int>(di))
         ->Unit(benchmark::kMillisecond)
         ->Iterations(1);

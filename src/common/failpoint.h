@@ -29,6 +29,9 @@ namespace nlq::failpoint {
 ///   partition_scan  — exec-layer scan streams (row + columnar)
 ///   udf_accumulate  — aggregate-UDF ROW phase (row + span paths)
 ///   udf_merge       — aggregate-UDF MERGE phase
+///   expr_compile    — expression bytecode compilation (planner); an
+///                     armed fault forces the interpreted fallback
+///                     path, it never fails the statement
 ///   disk_io         — DiskManager page read/write
 ///   odbc_export     — odbc_sim export (retried as a transient link
 ///                     fault)

@@ -217,6 +217,7 @@ std::string QueryStatsSnapshot::ToJson() const {
       "\"memory_peak_bytes\": %llu, \"rows_returned\": %llu, "
       "\"pages_decoded\": %llu, \"column_cache_hits\": %llu, "
       "\"column_cache_misses\": %llu, \"column_cache_fallbacks\": %llu, "
+      "\"rows_vectorized\": %llu, "
       "\"operators\": [",
       static_cast<unsigned long long>(query_id),
       static_cast<unsigned long long>(wall_time_ns),
@@ -225,7 +226,8 @@ std::string QueryStatsSnapshot::ToJson() const {
       static_cast<unsigned long long>(pages_decoded),
       static_cast<unsigned long long>(column_cache_hits),
       static_cast<unsigned long long>(column_cache_misses),
-      static_cast<unsigned long long>(column_cache_fallbacks));
+      static_cast<unsigned long long>(column_cache_fallbacks),
+      static_cast<unsigned long long>(rows_vectorized));
   bool first = true;
   for (const OperatorStatsSnapshot& op : operators) {
     if (!first) out += ", ";
@@ -265,6 +267,8 @@ QueryStatsSnapshot SnapshotQueryStats(const QueryStats& stats) {
       stats.column_cache_misses.load(std::memory_order_relaxed);
   snap.column_cache_fallbacks =
       stats.column_cache_fallbacks.load(std::memory_order_relaxed);
+  snap.rows_vectorized =
+      stats.rows_vectorized.load(std::memory_order_relaxed);
   for (const OperatorStats& op : stats.operators()) {
     OperatorStatsSnapshot s;
     s.name = op.name;

@@ -184,6 +184,10 @@ class QueryStats {
   std::atomic<uint64_t> column_cache_misses{0};
   std::atomic<uint64_t> column_cache_fallbacks{0};
   std::atomic<uint64_t> rows_returned{0};
+  /// Rows whose expressions ran through the compiled bytecode path
+  /// (engine/exec/bytecode.h) rather than the interpreter; each
+  /// vectorized operator counts its input batch once per batch.
+  std::atomic<uint64_t> rows_vectorized{0};
 
   // Statement-level values written once, after execution.
   uint64_t query_id = 0;
@@ -219,6 +223,7 @@ struct QueryStatsSnapshot {
   uint64_t column_cache_hits = 0;
   uint64_t column_cache_misses = 0;
   uint64_t column_cache_fallbacks = 0;
+  uint64_t rows_vectorized = 0;
   std::vector<OperatorStatsSnapshot> operators;
   std::vector<uint64_t> worker_morsel_claims;
 

@@ -5,6 +5,7 @@
 
 #include "common/stopwatch.h"
 #include "common/strings.h"
+#include "engine/exec/bytecode.h"
 #include "engine/exec/executor.h"
 #include "engine/exec/planner.h"
 #include "engine/expr.h"
@@ -100,14 +101,19 @@ Database::Database(DatabaseOptions options)
     threads = std::max<size_t>(1, std::thread::hardware_concurrency());
   }
   pool_ = std::make_unique<ThreadPool>(threads);
+  bytecode_cache_ = std::make_unique<exec::BytecodeCache>();
 }
 
+Database::~Database() = default;
+
 StatusOr<ResultSet> Database::ExecuteSelect(const SelectStatement& select,
-                                            const QueryContext* ctx) {
+                                            const QueryContext* ctx,
+                                            bool force_interpreted) {
   exec::Planner planner(&catalog_, &registry_, pool_.get(),
                         storage::RowBatch::kDefaultCapacity,
                         options_.enable_column_cache, options_.morsel_rows,
-                        ctx);
+                        ctx, options_.enable_expr_compile && !force_interpreted,
+                        bytecode_cache_.get());
   NLQ_ASSIGN_OR_RETURN(exec::PhysicalPlan plan, planner.Plan(select));
   if (ctx != nullptr && ctx->stats() != nullptr) {
     exec::AttachQueryStats(plan.root.get(), ctx->stats());
@@ -157,7 +163,8 @@ StatusOr<ResultSet> Database::Execute(std::string_view sql,
     std::lock_guard<std::mutex> lock(live_mu_);
     live_queries_[ctx.query_id()] = ctx.cancel_token();
   }
-  StatusOr<ResultSet> result = ExecuteStatement(stmt, &ctx);
+  StatusOr<ResultSet> result =
+      ExecuteStatement(stmt, &ctx, query_options.force_interpreted);
   {
     std::lock_guard<std::mutex> lock(live_mu_);
     live_queries_.erase(ctx.query_id());
@@ -185,6 +192,8 @@ StatusOr<ResultSet> Database::Execute(std::string_view sql,
     uint64_t claims = 0;
     for (const uint64_t c : stats->WorkerMorselClaims()) claims += c;
     metrics.counter("exec.morsels_claimed").Add(claims);
+    metrics.counter("exec.rows_vectorized")
+        .Add(stats->rows_vectorized.load(std::memory_order_relaxed));
     last_query_stats_ = SnapshotQueryStats(*stats);
   }
   return result;
@@ -203,16 +212,18 @@ Status Database::Cancel(uint64_t query_id) {
 }
 
 StatusOr<ResultSet> Database::ExecuteStatement(Statement& stmt,
-                                               const QueryContext* ctx) {
+                                               const QueryContext* ctx,
+                                               bool force_interpreted) {
   switch (stmt.kind) {
     case StatementKind::kSelect:
-      return ExecuteSelect(*stmt.select, ctx);
+      return ExecuteSelect(*stmt.select, ctx, force_interpreted);
 
     case StatementKind::kCreateTable: {
       CreateTableStatement& create = *stmt.create_table;
       if (create.as_select != nullptr) {
-        NLQ_ASSIGN_OR_RETURN(ResultSet result,
-                             ExecuteSelect(*create.as_select, ctx));
+        NLQ_ASSIGN_OR_RETURN(
+            ResultSet result,
+            ExecuteSelect(*create.as_select, ctx, force_interpreted));
         NLQ_ASSIGN_OR_RETURN(
             PartitionedTable * table,
             catalog_.CreateTable(create.table_name, result.schema()));
@@ -229,8 +240,9 @@ StatusOr<ResultSet> Database::ExecuteStatement(Statement& stmt,
       NLQ_ASSIGN_OR_RETURN(PartitionedTable * table,
                            catalog_.GetTable(insert.table_name));
       if (insert.select != nullptr) {
-        NLQ_ASSIGN_OR_RETURN(ResultSet result,
-                             ExecuteSelect(*insert.select, ctx));
+        NLQ_ASSIGN_OR_RETURN(
+            ResultSet result,
+            ExecuteSelect(*insert.select, ctx, force_interpreted));
         NLQ_RETURN_IF_ERROR(AppendResultToTable(result, table));
         return ResultSet();
       }
@@ -264,10 +276,12 @@ StatusOr<ResultSet> Database::ExecuteStatement(Statement& stmt,
     case StatementKind::kExplain: {
       if (!stmt.explain_analyze) {
         // Plain EXPLAIN: plan only, never execute.
-        exec::Planner planner(&catalog_, &registry_, pool_.get(),
-                              storage::RowBatch::kDefaultCapacity,
-                              options_.enable_column_cache,
-                              options_.morsel_rows, ctx);
+        exec::Planner planner(
+            &catalog_, &registry_, pool_.get(),
+            storage::RowBatch::kDefaultCapacity,
+            options_.enable_column_cache, options_.morsel_rows, ctx,
+            options_.enable_expr_compile && !force_interpreted,
+            bytecode_cache_.get());
         NLQ_ASSIGN_OR_RETURN(exec::PhysicalPlan plan,
                              planner.Plan(*stmt.select));
         return PlanTextToResultSet(exec::ExplainPlan(*plan.root));
@@ -278,7 +292,8 @@ StatusOr<ResultSet> Database::ExecuteStatement(Statement& stmt,
             "EXPLAIN ANALYZE requires a stats-collecting query context");
       }
       Stopwatch timer;
-      NLQ_RETURN_IF_ERROR(ExecuteSelect(*stmt.select, ctx).status());
+      NLQ_RETURN_IF_ERROR(
+          ExecuteSelect(*stmt.select, ctx, force_interpreted).status());
       stats->wall_time_ns =
           static_cast<uint64_t>(timer.ElapsedSeconds() * 1e9);
       return PlanTextToResultSet(
@@ -292,14 +307,17 @@ Status Database::ExecuteCommand(std::string_view sql) {
   return Execute(sql).status();
 }
 
-StatusOr<std::string> Database::Explain(std::string_view sql) {
+StatusOr<std::string> Database::Explain(std::string_view sql,
+                                        const QueryOptions& query_options) {
   NLQ_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
   if (stmt.kind != StatementKind::kSelect) {
     return Status::InvalidArgument("EXPLAIN supports SELECT statements only");
   }
-  exec::Planner planner(&catalog_, &registry_, pool_.get(),
-                        storage::RowBatch::kDefaultCapacity,
-                        options_.enable_column_cache, options_.morsel_rows);
+  exec::Planner planner(
+      &catalog_, &registry_, pool_.get(), storage::RowBatch::kDefaultCapacity,
+      options_.enable_column_cache, options_.morsel_rows, /*ctx=*/nullptr,
+      options_.enable_expr_compile && !query_options.force_interpreted,
+      bytecode_cache_.get());
   NLQ_ASSIGN_OR_RETURN(exec::PhysicalPlan plan, planner.Plan(*stmt.select));
   return exec::ExplainPlan(*plan.root);
 }

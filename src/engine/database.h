@@ -20,6 +20,10 @@
 
 namespace nlq::engine {
 
+namespace exec {
+class BytecodeCache;
+}  // namespace exec
+
 struct SelectStatement;
 struct Statement;
 
@@ -67,6 +71,12 @@ struct DatabaseOptions {
   /// default — instrumentation is batch-granular and bit-invisible —
   /// and forced on for EXPLAIN ANALYZE regardless of this flag.
   bool collect_query_stats = true;
+
+  /// Compile bound expressions to bytecode and plan the columnar
+  /// pipeline where eligible (see DESIGN.md §11). Off plans every
+  /// statement on the pure interpreted row path — the differential
+  /// oracle. Results are bit-identical either way.
+  bool enable_expr_compile = true;
 };
 
 /// Per-statement execution overrides for Database::Execute.
@@ -79,6 +89,12 @@ struct QueryOptions {
   /// -1 = inherit DatabaseOptions::query_memory_limit; 0 = unlimited;
   /// > 0 = budget in bytes.
   int64_t memory_limit = -1;
+
+  /// Force this statement onto the interpreted row path, as if
+  /// DatabaseOptions::enable_expr_compile were off. Used by the
+  /// differential tests and the ablation bench to compare the compiled
+  /// and interpreted paths on one database instance.
+  bool force_interpreted = false;
 };
 
 /// Embedded relational engine: catalog + SQL executor + UDF registry.
@@ -96,6 +112,7 @@ struct QueryOptions {
 class Database {
  public:
   explicit Database(DatabaseOptions options = {});
+  ~Database();  // out-of-line: owns a forward-declared BytecodeCache
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
@@ -153,7 +170,14 @@ class Database {
   /// partition scan, materialized cross-join sides with their
   /// pushed-down predicates (the §3.6 join-optimization decisions),
   /// residual filter, aggregation/projection, sort and limit.
-  StatusOr<std::string> Explain(std::string_view sql);
+  StatusOr<std::string> Explain(std::string_view sql) {
+    return Explain(sql, QueryOptions());
+  }
+
+  /// Explain with per-statement overrides; `force_interpreted` shows
+  /// the plan the interpreted oracle would run.
+  StatusOr<std::string> Explain(std::string_view sql,
+                                const QueryOptions& query_options);
 
   /// Runs `sql` (a SELECT) and returns the EXPLAIN ANALYZE rendering:
   /// the executed plan with actual rows/batches/time per operator and
@@ -180,16 +204,23 @@ class Database {
   /// under `ctx` (may be null: internal sub-selects of DDL run
   /// without lifecycle control when no context is supplied).
   StatusOr<ResultSet> ExecuteSelect(const SelectStatement& select,
-                                    const QueryContext* ctx);
+                                    const QueryContext* ctx,
+                                    bool force_interpreted);
 
   /// Dispatches a parsed statement under `ctx`.
   StatusOr<ResultSet> ExecuteStatement(Statement& stmt,
-                                       const QueryContext* ctx);
+                                       const QueryContext* ctx,
+                                       bool force_interpreted);
 
   DatabaseOptions options_;
   storage::Catalog catalog_;
   udf::UdfRegistry registry_;
   std::unique_ptr<ThreadPool> pool_;
+
+  /// Compiled-program cache shared by every statement this database
+  /// executes (see exec/bytecode.h). Owned here so repeated model
+  /// builds reuse their programs.
+  std::unique_ptr<exec::BytecodeCache> bytecode_cache_;
 
   /// Cancel tokens of in-flight statements, keyed by query id. The
   /// map (not the Database) is what Cancel may touch from another

@@ -1,6 +1,5 @@
 #include "engine/exec/columnar_scan_node.h"
 
-#include <chrono>
 #include <utility>
 
 #include "common/failpoint.h"
@@ -81,13 +80,6 @@ class ColumnarScanStream : public ColumnStream {
   }
 
  private:
-  struct ScratchColumn {
-    std::vector<double> doubles;
-    std::vector<int64_t> ints;
-    std::vector<uint64_t> null_bits;
-    bool has_nulls = false;
-  };
-
   StatusOr<bool> NextStreaming(ColumnSpanBatch* out) {
     for (;;) {
       const bool more = scanner_->Next(&batch_);
@@ -171,39 +163,9 @@ class ColumnarScanStream : public ColumnStream {
   /// false when no row survives (the caller skips the batch).
   bool Filter(ColumnSpanBatch* out) {
     if (filters_.empty()) return true;
-    const size_t rows = out->rows;
-    keep_.assign(rows, 1);
+    keep_.assign(out->rows, 1);
     for (const ColumnFilter& f : filters_) ApplyFilter(f, *out, keep_.data());
-    size_t kept = 0;
-    for (size_t r = 0; r < rows; ++r) kept += keep_[r];
-    if (kept == rows) return true;
-    if (kept == 0) return false;
-    for (size_t c = 0; c < slots_.size(); ++c) {
-      ScratchColumn& dst = scratch_[c];
-      const double* dv = out->doubles[c];
-      const int64_t* iv = out->ints[c];
-      const uint64_t* nb = out->null_bits[c];
-      dst.has_nulls = false;
-      if (dv != nullptr) dst.doubles.resize(kept);
-      if (iv != nullptr) dst.ints.resize(kept);
-      if (nb != nullptr) dst.null_bits.assign(NullBitmapWords(kept), 0);
-      size_t w = 0;
-      for (size_t r = 0; r < rows; ++r) {
-        if (!keep_[r]) continue;
-        if (dv != nullptr) dst.doubles[w] = dv[r];
-        if (iv != nullptr) dst.ints[w] = iv[r];
-        if (nb != nullptr && NullBitGet(nb, r)) {
-          NullBitSet(dst.null_bits.data(), w);
-          dst.has_nulls = true;
-        }
-        ++w;
-      }
-      out->doubles[c] = dv != nullptr ? dst.doubles.data() : nullptr;
-      out->ints[c] = iv != nullptr ? dst.ints.data() : nullptr;
-      out->null_bits[c] = dst.has_nulls ? dst.null_bits.data() : nullptr;
-    }
-    out->rows = kept;
-    return true;
+    return CompactColumnSpans(out, keep_.data(), &scratch_) > 0;
   }
 
   const storage::Table* partition_;
@@ -220,33 +182,6 @@ class ColumnarScanStream : public ColumnStream {
   std::vector<uint8_t> keep_;
   std::vector<ScratchColumn> scratch_;
   std::vector<std::vector<uint64_t>> slice_bits_;  // per column, cache mode
-};
-
-/// Span-path twin of plan.cc's InstrumentedStream: counts the rows
-/// that survive pushed-down filters (so "rows_out" shows selectivity),
-/// span batches, and time inside Next().
-class InstrumentedColumnStream : public ColumnStream {
- public:
-  InstrumentedColumnStream(ColumnStreamPtr inner, OperatorStats* stats)
-      : inner_(std::move(inner)), stats_(stats) {}
-
-  StatusOr<bool> Next(ColumnSpanBatch* out) override {
-    const auto start = std::chrono::steady_clock::now();
-    StatusOr<bool> result = inner_->Next(out);
-    const auto elapsed = std::chrono::steady_clock::now() - start;
-    stats_->time_ns.fetch_add(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count(),
-        std::memory_order_relaxed);
-    if (result.ok() && result.value()) {
-      stats_->rows_out.fetch_add(out->rows, std::memory_order_relaxed);
-      stats_->batches_out.fetch_add(1, std::memory_order_relaxed);
-    }
-    return result;
-  }
-
- private:
-  ColumnStreamPtr inner_;
-  OperatorStats* stats_;
 };
 
 }  // namespace
@@ -294,14 +229,12 @@ StatusOr<ExecStreamPtr> ColumnarScanNode::OpenStreamImpl(size_t) const {
       "ColumnarAggregate");
 }
 
-StatusOr<ColumnStreamPtr> ColumnarScanNode::OpenColumnStream(size_t s) const {
+StatusOr<ColumnStreamPtr> ColumnarScanNode::OpenColumnStreamImpl(
+    size_t s) const {
   const Morsel& m = grid_[s];
-  ColumnStreamPtr stream(new ColumnarScanStream(
+  return ColumnStreamPtr(new ColumnarScanStream(
       &table_->partition(m.partition), m.begin, m.end, slots_, filters_,
       use_cache_ && !cache_suppressed_, batch_capacity_, ctx_));
-  if (stats() == nullptr) return stream;
-  return ColumnStreamPtr(
-      std::make_unique<InstrumentedColumnStream>(std::move(stream), stats()));
 }
 
 Status ColumnarScanNode::WarmCache(ThreadPool* pool) const {

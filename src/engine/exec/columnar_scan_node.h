@@ -29,40 +29,11 @@ struct ColumnFilter {
   std::string text;             // display form for EXPLAIN
 };
 
-/// A batch of typed column spans produced by ColumnarScanNode streams.
-/// Spans alias buffers owned by the producing stream (or the table's
-/// decoded-column cache) and stay valid until its next Next() call.
-struct ColumnSpanBatch {
-  size_t rows = 0;
-  /// Per projected column: a dense value span of length `rows`.
-  /// Exactly one of doubles[i] / ints[i] is non-null, by column type.
-  std::vector<const double*> doubles;
-  std::vector<const int64_t*> ints;
-  /// Null bitmap per column (bit r set = row r NULL; value slot holds
-  /// 0/0.0 there), or nullptr when the span contains no NULLs.
-  std::vector<const uint64_t*> null_bits;
-};
-
-/// Pull cursor over one partition's column spans — the columnar
-/// counterpart of ExecStream. Batches are never empty: a filter that
-/// eliminates every row of a decode batch advances to the next one, so
-/// consumers can treat each batch as evidence that rows survived (the
-/// row path's FilterNode gives its aggregate the same guarantee).
-class ColumnStream {
- public:
-  virtual ~ColumnStream() = default;
-
-  /// Points `out` at the next batch of spans; returns true while rows
-  /// were produced, false once the partition is exhausted.
-  virtual StatusOr<bool> Next(ColumnSpanBatch* out) = 0;
-};
-
-using ColumnStreamPtr = std::unique_ptr<ColumnStream>;
-
-/// Leaf of the columnar fast path: scans a partitioned table's pages
+/// Leaf of the columnar pipeline: scans a partitioned table's pages
 /// straight into typed column arrays (no Datum boxing) and applies
 /// pushed-down simple comparisons by span compaction. Driven through
-/// OpenColumnStream by ColumnarAggregateNode; the row-oriented
+/// OpenColumnStream by the columnar consumers (ColumnarAggregate,
+/// VectorFilter, VectorProject, VectorHashAggregate); the row-oriented
 /// OpenStream is deliberately unimplemented.
 ///
 /// Streams are morsels from the same grid ParallelScanNode uses (same
@@ -90,10 +61,10 @@ class ColumnarScanNode : public PlanNode {
   size_t output_width() const override { return slots_.size(); }
   size_t num_streams() const override { return grid_.size(); }
 
-  /// The columnar scan feeds ColumnarAggregateNode spans, not rows.
+  /// The columnar scan feeds its consumers spans, not rows.
   StatusOr<ExecStreamPtr> OpenStreamImpl(size_t s) const override;
 
-  StatusOr<ColumnStreamPtr> OpenColumnStream(size_t s) const;
+  StatusOr<ColumnStreamPtr> OpenColumnStreamImpl(size_t s) const override;
 
   /// Fills each partition's decoded-column cache, one partition per
   /// pool task (Table::EnsureDecodedColumns is not safe against

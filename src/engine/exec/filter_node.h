@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "common/query_context.h"
+#include "engine/exec/bytecode.h"
 #include "engine/exec/plan.h"
 #include "engine/expr.h"
 
@@ -13,10 +15,16 @@ namespace nlq::engine::exec {
 /// batch (batch expression evaluation) and compacts survivors in
 /// place. SQL semantics: a row passes when the predicate is non-NULL
 /// and non-zero.
+///
+/// When the planner compiled the predicate to bytecode, `compiled` is
+/// non-null and each batch runs through the register VM instead of the
+/// expression tree (bit-identical verdicts — same NULL/zero rule).
 class FilterNode : public PlanNode {
  public:
   FilterNode(PlanNodePtr child, BoundExprPtr predicate,
-             std::vector<std::string> conjunct_text);
+             std::vector<std::string> conjunct_text,
+             CompiledExprPtr compiled = nullptr,
+             const QueryContext* ctx = nullptr);
 
   const char* name() const override { return "Filter"; }
   std::string annotation() const override;
@@ -26,6 +34,8 @@ class FilterNode : public PlanNode {
  private:
   BoundExprPtr predicate_;
   std::vector<std::string> conjunct_text_;
+  CompiledExprPtr compiled_;
+  const QueryContext* ctx_;
 };
 
 }  // namespace nlq::engine::exec

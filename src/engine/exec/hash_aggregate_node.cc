@@ -6,6 +6,7 @@
 
 #include "common/failpoint.h"
 #include "common/strings.h"
+#include "engine/exec/aggregate_state.h"
 #include "engine/exec/gather_node.h"
 #include "storage/value.h"
 #include "udf/heap_segment.h"
@@ -13,141 +14,8 @@
 namespace nlq::engine::exec {
 namespace {
 
-using storage::DataType;
 using storage::Datum;
 using storage::Row;
-
-// ---------------------------------------------------------------------------
-// Aggregation state (INIT / ROW / MERGE / FINALIZE protocol)
-// ---------------------------------------------------------------------------
-
-struct BuiltinAggState {
-  double sum = 0.0;
-  int64_t count = 0;
-  double min = 0.0;
-  double max = 0.0;
-  bool seen = false;
-};
-
-struct GroupState {
-  Row keys;
-  std::vector<BuiltinAggState> builtin;  // parallel to specs
-  std::vector<std::unique_ptr<udf::HeapSegment>> heaps;
-  std::vector<void*> udf_states;  // parallel to specs, null for builtins
-};
-
-struct RowKeyHash {
-  size_t operator()(const Row& row) const {
-    size_t h = 0x9e3779b97f4a7c15ULL;
-    for (const Datum& d : row) {
-      h ^= d.KeyHash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-    }
-    return h;
-  }
-};
-
-struct RowKeyEq {
-  bool operator()(const Row& a, const Row& b) const {
-    if (a.size() != b.size()) return false;
-    for (size_t i = 0; i < a.size(); ++i) {
-      if (!a[i].KeyEquals(b[i])) return false;
-    }
-    return true;
-  }
-};
-
-using GroupMap = std::unordered_map<Row, GroupState, RowKeyHash, RowKeyEq>;
-
-StatusOr<GroupState> InitGroupState(const std::vector<AggregateSpec>& specs,
-                                    Row keys, MemoryTracker* memory) {
-  if (memory != nullptr) {
-    // Hash-table entry overhead: the group's key row plus the three
-    // parallel state vectors (heap segment charges ride on the
-    // segments themselves, below).
-    size_t bytes = sizeof(GroupState) + ApproxRowBytes(keys) +
-                   specs.size() * (sizeof(BuiltinAggState) +
-                                   sizeof(std::unique_ptr<udf::HeapSegment>) +
-                                   sizeof(void*));
-    NLQ_RETURN_IF_ERROR(memory->Charge(bytes, "hash-aggregate group"));
-  }
-  GroupState state;
-  state.keys = std::move(keys);
-  state.builtin.resize(specs.size());
-  state.heaps.resize(specs.size());
-  state.udf_states.resize(specs.size(), nullptr);
-  for (size_t i = 0; i < specs.size(); ++i) {
-    if (specs[i].kind != AggregateSpec::Kind::kUdf) continue;
-    NLQ_ASSIGN_OR_RETURN(state.heaps[i], udf::HeapSegment::Create(memory));
-    NLQ_ASSIGN_OR_RETURN(void* udf_state,
-                         specs[i].udaf->Init(state.heaps[i].get()));
-    state.udf_states[i] = udf_state;
-  }
-  return state;
-}
-
-Status MergeGroup(const std::vector<AggregateSpec>& specs, GroupState* dst,
-                  GroupState* src) {
-  for (size_t i = 0; i < specs.size(); ++i) {
-    if (specs[i].kind == AggregateSpec::Kind::kUdf) {
-      NLQ_FAILPOINT("udf_merge");
-      NLQ_RETURN_IF_ERROR(
-          specs[i].udaf->Merge(dst->udf_states[i], src->udf_states[i]));
-      continue;
-    }
-    BuiltinAggState& d = dst->builtin[i];
-    const BuiltinAggState& s = src->builtin[i];
-    d.sum += s.sum;
-    d.count += s.count;
-    if (s.seen) {
-      if (!d.seen || s.min < d.min) d.min = s.min;
-      if (!d.seen || s.max > d.max) d.max = s.max;
-      d.seen = true;
-    }
-  }
-  return Status::OK();
-}
-
-StatusOr<Row> FinalizeGroup(const std::vector<AggregateSpec>& specs,
-                            const GroupState& state) {
-  Row out(specs.size());
-  for (size_t i = 0; i < specs.size(); ++i) {
-    const AggregateSpec& spec = specs[i];
-    const BuiltinAggState& b = state.builtin[i];
-    switch (spec.kind) {
-      case AggregateSpec::Kind::kCountStar:
-      case AggregateSpec::Kind::kCount:
-        out[i] = Datum::Int64(b.count);
-        break;
-      case AggregateSpec::Kind::kSum:
-        out[i] = b.seen ? Datum::Double(b.sum) : Datum::Null(DataType::kDouble);
-        break;
-      case AggregateSpec::Kind::kAvg:
-        out[i] = b.count > 0
-                     ? Datum::Double(b.sum / static_cast<double>(b.count))
-                     : Datum::Null(DataType::kDouble);
-        break;
-      case AggregateSpec::Kind::kMin:
-      case AggregateSpec::Kind::kMax: {
-        if (!b.seen) {
-          out[i] = Datum::Null(spec.result_type);
-          break;
-        }
-        const double v =
-            spec.kind == AggregateSpec::Kind::kMin ? b.min : b.max;
-        out[i] = spec.result_type == DataType::kInt64
-                     ? Datum::Int64(static_cast<int64_t>(v))
-                     : Datum::Double(v);
-        break;
-      }
-      case AggregateSpec::Kind::kUdf: {
-        NLQ_ASSIGN_OR_RETURN(Datum v, spec.udaf->Finalize(state.udf_states[i]));
-        out[i] = std::move(v);
-        break;
-      }
-    }
-  }
-  return out;
-}
 
 /// ROW phase over one child stream: drains it batch-by-batch into
 /// `groups`. GROUP BY keys are evaluated column-at-a-time per batch;
@@ -312,52 +180,8 @@ StatusOr<std::vector<Row>> HashAggregateNode::Compute() const {
     NLQ_RETURN_IF_ERROR(pool_->ParallelFor(streams, drain_one, ctx_));
   }
 
-  // MERGE phase: fold partial states into stream 0's table.
-  GroupMap& global = partials[0];
-  for (size_t p = 1; p < partials.size(); ++p) {
-    for (auto& [key, state] : partials[p]) {
-      auto it = global.find(key);
-      if (it == global.end()) {
-        global.emplace(key, std::move(state));
-      } else {
-        NLQ_RETURN_IF_ERROR(MergeGroup(agg_.specs, &it->second, &state));
-      }
-    }
-    partials[p].clear();
-  }
-
-  // Global aggregate over empty input still yields one row.
-  if (global.empty() && agg_.key_exprs.empty()) {
-    NLQ_ASSIGN_OR_RETURN(
-        GroupState fresh,
-        InitGroupState(agg_.specs, Row{},
-                       ctx_ != nullptr ? ctx_->memory() : nullptr));
-    global.emplace(Row{}, std::move(fresh));
-  }
-
-  // FINALIZE phase: finalize aggregates, filter by HAVING, project.
-  std::vector<Row> rows;
-  rows.reserve(global.size());
-  Status error;
-  for (const auto& [key, state] : global) {
-    NLQ_ASSIGN_OR_RETURN(Row agg_values, FinalizeGroup(agg_.specs, state));
-    EvalContext ctx;
-    ctx.keys = &state.keys;
-    ctx.aggs = &agg_values;
-    ctx.error = &error;
-    if (has_having_) {
-      const Datum keep = agg_.projections[num_output_]->Eval(ctx);
-      NLQ_RETURN_IF_ERROR(error);
-      if (keep.is_null() || keep.AsDouble() == 0.0) continue;
-    }
-    Row out(num_output_);
-    for (size_t c = 0; c < num_output_; ++c) {
-      out[c] = agg_.projections[c]->Eval(ctx);
-    }
-    NLQ_RETURN_IF_ERROR(error);
-    rows.push_back(std::move(out));
-  }
-  return rows;
+  return MergeAndFinalize(agg_, has_having_, num_output_, &partials,
+                          ctx_ != nullptr ? ctx_->memory() : nullptr);
 }
 
 }  // namespace nlq::engine::exec

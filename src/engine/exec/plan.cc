@@ -35,6 +35,33 @@ class InstrumentedStream : public ExecStream {
   OperatorStats* stats_;
 };
 
+/// Span-path twin of InstrumentedStream: counts the rows each span
+/// batch carries (post-filter, so "rows_out" shows selectivity),
+/// batches, and time inside Next().
+class InstrumentedColumnStream : public ColumnStream {
+ public:
+  InstrumentedColumnStream(ColumnStreamPtr inner, OperatorStats* stats)
+      : inner_(std::move(inner)), stats_(stats) {}
+
+  StatusOr<bool> Next(ColumnSpanBatch* out) override {
+    const auto start = std::chrono::steady_clock::now();
+    StatusOr<bool> result = inner_->Next(out);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    stats_->time_ns.fetch_add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count(),
+        std::memory_order_relaxed);
+    if (result.ok() && result.value()) {
+      stats_->rows_out.fetch_add(out->rows, std::memory_order_relaxed);
+      stats_->batches_out.fetch_add(1, std::memory_order_relaxed);
+    }
+    return result;
+  }
+
+ private:
+  ColumnStreamPtr inner_;
+  OperatorStats* stats_;
+};
+
 void AppendMillis(uint64_t nanos, std::string* out) {
   *out += StringPrintf("%.3fms", static_cast<double>(nanos) / 1e6);
 }
@@ -46,6 +73,18 @@ StatusOr<ExecStreamPtr> PlanNode::OpenStream(size_t s) const {
   if (stats_ == nullptr) return stream;
   return ExecStreamPtr(
       std::make_unique<InstrumentedStream>(std::move(stream), stats_));
+}
+
+StatusOr<ColumnStreamPtr> PlanNode::OpenColumnStream(size_t s) const {
+  NLQ_ASSIGN_OR_RETURN(ColumnStreamPtr stream, OpenColumnStreamImpl(s));
+  if (stats_ == nullptr) return stream;
+  return ColumnStreamPtr(
+      std::make_unique<InstrumentedColumnStream>(std::move(stream), stats_));
+}
+
+StatusOr<ColumnStreamPtr> PlanNode::OpenColumnStreamImpl(size_t) const {
+  return Status::Internal(std::string(name()) +
+                          " produces rows, not column spans");
 }
 
 void AttachQueryStats(PlanNode* root, QueryStats* stats) {

@@ -7,6 +7,7 @@
 
 #include "common/metrics.h"
 #include "common/status.h"
+#include "engine/exec/column_stream.h"
 #include "storage/row_batch.h"
 
 namespace nlq::engine::exec {
@@ -69,6 +70,13 @@ class PlanNode {
   /// implementation can forget to instrument itself.
   StatusOr<ExecStreamPtr> OpenStream(size_t s) const;
 
+  /// Opens the span-batch cursor for stream `s` — the columnar
+  /// pipeline's counterpart of OpenStream, implemented only by nodes
+  /// that produce column spans (ColumnarScan, VectorFilter); the
+  /// default reports the node as row-only. Instrumented exactly like
+  /// OpenStream: rows_out counts span-batch rows.
+  StatusOr<ColumnStreamPtr> OpenColumnStream(size_t s) const;
+
   const PlanNode* child() const { return child_.get(); }
 
   /// The per-operator stats sink, or nullptr when the query runs
@@ -78,6 +86,9 @@ class PlanNode {
  protected:
   /// The actual cursor factory each operator implements.
   virtual StatusOr<ExecStreamPtr> OpenStreamImpl(size_t s) const = 0;
+
+  /// Span-cursor factory for columnar-pipeline nodes.
+  virtual StatusOr<ColumnStreamPtr> OpenColumnStreamImpl(size_t s) const;
 
   std::unique_ptr<PlanNode> child_;
 

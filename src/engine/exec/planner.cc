@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/strings.h"
+#include "engine/exec/bytecode.h"
 #include "engine/exec/columnar_aggregate_node.h"
 #include "engine/exec/columnar_scan_node.h"
 #include "engine/exec/cross_join_node.h"
@@ -16,6 +17,9 @@
 #include "engine/exec/project_node.h"
 #include "engine/exec/scan_node.h"
 #include "engine/exec/sort_node.h"
+#include "engine/exec/vector_filter_node.h"
+#include "engine/exec/vector_hash_aggregate_node.h"
+#include "engine/exec/vector_project_node.h"
 #include "engine/expr.h"
 #include "storage/partitioned_table.h"
 
@@ -211,6 +215,34 @@ bool NumericLiteral(const Expr& e, double* v) {
   return true;
 }
 
+/// Extracts one WHERE conjunct as a scan-pushable simple comparison
+/// (`column <op> numeric-literal`, either operand order) against the
+/// projected slot list. No slot is appended on failure.
+bool TrySimpleSpanFilter(const Expr& conj, const BindingScope& scope,
+                         std::vector<size_t>* slots, ColumnFilter* f) {
+  if (conj.kind != ExprKind::kBinary) return false;
+  const Expr* colref = conj.left.get();
+  const Expr* lit = conj.right.get();
+  bool swapped = false;
+  if (colref->kind != ExprKind::kColumnRef) {
+    std::swap(colref, lit);
+    swapped = true;
+  }
+  if (colref->kind != ExprKind::kColumnRef ||
+      !NumericLiteral(*lit, &f->value) ||
+      !MirrorComparison(conj.binary_op, swapped, &f->op)) {
+    return false;
+  }
+  StatusOr<std::pair<size_t, DataType>> resolved =
+      scope.Resolve(colref->table, colref->column);
+  if (!resolved.ok() || resolved.value().second == DataType::kVarchar) {
+    return false;
+  }
+  f->col = ProjectSlot(slots, resolved.value().first);
+  f->text = conj.ToString();
+  return true;
+}
+
 /// Decides whether a bound global aggregate can run on the columnar
 /// fast path, and if so reduces it to scan slots, pushed-down span
 /// filters and ColumnarAggSpecs. Eligible queries aggregate a single
@@ -231,27 +263,10 @@ ColumnarCandidate TryColumnarFastPath(const SelectStatement& select,
     std::vector<const Expr*> conjuncts;
     SplitConjuncts(select.where.get(), &conjuncts);
     for (const Expr* conj : conjuncts) {
-      if (conj->kind != ExprKind::kBinary) return cand;
-      const Expr* colref = conj->left.get();
-      const Expr* lit = conj->right.get();
-      bool swapped = false;
-      if (colref->kind != ExprKind::kColumnRef) {
-        std::swap(colref, lit);
-        swapped = true;
-      }
       ColumnFilter f;
-      if (colref->kind != ExprKind::kColumnRef ||
-          !NumericLiteral(*lit, &f.value) ||
-          !MirrorComparison(conj->binary_op, swapped, &f.op)) {
+      if (!TrySimpleSpanFilter(*conj, inputs.scope, &cand.slots, &f)) {
         return cand;
       }
-      StatusOr<std::pair<size_t, DataType>> resolved =
-          inputs.scope.Resolve(colref->table, colref->column);
-      if (!resolved.ok() || resolved.value().second == DataType::kVarchar) {
-        return cand;
-      }
-      f.col = ProjectSlot(&cand.slots, resolved.value().first);
-      f.text = conj->ToString();
       cand.filters.push_back(std::move(f));
     }
   }
@@ -298,24 +313,183 @@ ColumnarCandidate TryColumnarFastPath(const SelectStatement& select,
   return cand;
 }
 
+// ---------------------------------------------------------------------------
+// General columnar pipeline (compiled bytecode over span batches)
+// ---------------------------------------------------------------------------
+
+/// Plan fragment for the general columnar pipeline, assembled by
+/// TryVectorAggregate / TryVectorProjection. `slots` lists the driver
+/// schema slots the scan decodes; `slot_to_col` is its inverse
+/// (schema slot -> span column, -1 for unprojected slots), shared by
+/// every program in the fragment.
+struct VectorPipeline {
+  bool eligible = false;
+  std::vector<size_t> slots;
+  std::vector<ColumnFilter> scan_filters;  // cols index into `slots`
+  CompiledExprPtr where_prog;  // non-pushable conjuncts, ANDed; or null
+  std::vector<std::string> where_texts;
+  std::vector<int> slot_to_col;
+  // Aggregate form.
+  std::vector<CompiledExprPtr> key_progs;
+  std::vector<VectorAggSpec> spec_args;
+  // Projection form.
+  std::vector<CompiledExprPtr> proj_progs;
+};
+
+/// Splits the WHERE clause for the pipeline: simple comparisons become
+/// scan-pushed span filters, everything else is re-ANDed, bound and
+/// compiled into one VectorFilter program. Returns false when a
+/// residual conjunct does not compile (pipeline ineligible).
+bool SplitWhereForPipeline(const SelectStatement& select,
+                           const FromInputs& inputs,
+                           const udf::UdfRegistry* registry,
+                           BytecodeCache* cache, VectorPipeline* p) {
+  if (select.where == nullptr) return true;
+  std::vector<const Expr*> conjuncts;
+  SplitConjuncts(select.where.get(), &conjuncts);
+  std::vector<const Expr*> residual;
+  for (const Expr* conj : conjuncts) {
+    ColumnFilter f;
+    if (TrySimpleSpanFilter(*conj, inputs.scope, &p->slots, &f)) {
+      p->scan_filters.push_back(std::move(f));
+    } else {
+      residual.push_back(conj);
+    }
+  }
+  if (residual.empty()) return true;
+  ExprPtr combined = residual[0]->Clone();
+  p->where_texts.push_back(residual[0]->ToString());
+  for (size_t i = 1; i < residual.size(); ++i) {
+    combined = MakeBinary(BinaryOp::kAnd, std::move(combined),
+                          residual[i]->Clone());
+    p->where_texts.push_back(residual[i]->ToString());
+  }
+  StatusOr<BoundExprPtr> bound =
+      BindRowExpr(*combined, inputs.scope, registry);
+  if (!bound.ok()) return false;
+  p->where_prog = CompileExpr(*bound.value(), cache);
+  return p->where_prog != nullptr;
+}
+
+/// Seals the fragment: collects every program's referenced slots into
+/// the scan projection and builds the slot -> span-column map. A
+/// fragment that touches no columns at all (pure COUNT(*), constant
+/// projections) stays on the row path, which decodes nothing either.
+bool FinishPipeline(const FromInputs& inputs, VectorPipeline* p) {
+  auto collect = [&](const CompiledExprPtr& prog) {
+    if (prog == nullptr) return;
+    for (const size_t slot : prog->referenced_slots()) {
+      ProjectSlot(&p->slots, slot);
+    }
+  };
+  collect(p->where_prog);
+  for (const auto& prog : p->key_progs) collect(prog);
+  for (const auto& spec : p->spec_args) {
+    for (const auto& arg : spec.args) collect(arg.prog);
+  }
+  for (const auto& prog : p->proj_progs) collect(prog);
+  if (p->slots.empty()) return false;
+  p->slot_to_col.assign(inputs.scope.total_slots(), -1);
+  for (size_t i = 0; i < p->slots.size(); ++i) {
+    p->slot_to_col[p->slots[i]] = static_cast<int>(i);
+  }
+  p->eligible = true;
+  return true;
+}
+
+/// Second-chance plan for aggregates the fused fast path rejected:
+/// GROUP BY keys and aggregate arguments compile to bytecode and run
+/// over span batches (aggregate UDFs keep leading literal arguments as
+/// constants, like the fast path). HAVING and the SELECT projections
+/// operate per group on (keys, aggs) rows and stay interpreted.
+VectorPipeline TryVectorAggregate(const SelectStatement& select,
+                                  const FromInputs& inputs,
+                                  const BoundAggregation& agg,
+                                  const udf::UdfRegistry* registry,
+                                  BytecodeCache* cache) {
+  VectorPipeline p;
+  if (inputs.driver == nullptr || !inputs.small_tables.empty()) return p;
+  if (!SplitWhereForPipeline(select, inputs, registry, cache, &p)) {
+    return VectorPipeline{};
+  }
+  for (const BoundExprPtr& key : agg.key_exprs) {
+    CompiledExprPtr prog = CompileExpr(*key, cache);
+    if (prog == nullptr) return VectorPipeline{};
+    p.key_progs.push_back(std::move(prog));
+  }
+  for (const AggregateSpec& spec : agg.specs) {
+    VectorAggSpec vs;
+    if (spec.kind == AggregateSpec::Kind::kUdf) {
+      size_t a = 0;
+      storage::Datum lit;
+      while (a < spec.args.size() && spec.args[a]->AsLiteralValue(&lit)) {
+        VectorAggArg arg;
+        arg.constant = std::move(lit);
+        vs.args.push_back(std::move(arg));
+        ++a;
+      }
+      for (; a < spec.args.size(); ++a) {
+        VectorAggArg arg;
+        arg.prog = CompileExpr(*spec.args[a], cache);
+        if (arg.prog == nullptr) return VectorPipeline{};
+        vs.args.push_back(std::move(arg));
+      }
+    } else if (spec.kind != AggregateSpec::Kind::kCountStar) {
+      VectorAggArg arg;
+      arg.prog = spec.args.size() == 1 ? CompileExpr(*spec.args[0], cache)
+                                       : nullptr;
+      if (arg.prog == nullptr) return VectorPipeline{};
+      vs.args.push_back(std::move(arg));
+    }
+    p.spec_args.push_back(std::move(vs));
+  }
+  if (!FinishPipeline(inputs, &p)) return VectorPipeline{};
+  return p;
+}
+
+/// Pipeline form for plain projections: every SELECT item's bound
+/// expression must compile.
+VectorPipeline TryVectorProjection(const SelectStatement& select,
+                                   const FromInputs& inputs,
+                                   const std::vector<BoundExprPtr>& bound,
+                                   const udf::UdfRegistry* registry,
+                                   BytecodeCache* cache) {
+  VectorPipeline p;
+  if (inputs.driver == nullptr || !inputs.small_tables.empty()) return p;
+  if (!SplitWhereForPipeline(select, inputs, registry, cache, &p)) {
+    return VectorPipeline{};
+  }
+  for (const BoundExprPtr& expr : bound) {
+    CompiledExprPtr prog = CompileExpr(*expr, cache);
+    if (prog == nullptr) return VectorPipeline{};
+    p.proj_progs.push_back(std::move(prog));
+  }
+  if (!FinishPipeline(inputs, &p)) return VectorPipeline{};
+  return p;
+}
+
 }  // namespace
 
 Planner::Planner(storage::Catalog* catalog, const udf::UdfRegistry* registry,
                  ThreadPool* pool, size_t batch_capacity,
                  bool enable_column_cache, uint64_t morsel_rows,
-                 const QueryContext* ctx)
+                 const QueryContext* ctx, bool enable_expr_compile,
+                 BytecodeCache* bytecode_cache)
     : catalog_(catalog),
       registry_(registry),
       pool_(pool),
       batch_capacity_(batch_capacity),
       enable_column_cache_(enable_column_cache),
       morsel_rows_(morsel_rows),
-      ctx_(ctx) {}
+      ctx_(ctx),
+      enable_expr_compile_(enable_expr_compile),
+      bytecode_cache_(bytecode_cache) {}
 
 StatusOr<PhysicalPlan> Planner::Plan(const SelectStatement& select) const {
   NLQ_ASSIGN_OR_RETURN(FromInputs inputs, PrepareFrom(select, *catalog_));
   NLQ_RETURN_IF_ERROR(ApplyWherePushdown(select, registry_, &inputs));
   const bool is_aggregate = IsAggregateSelect(select, registry_);
+  const bool vectorize = enable_expr_compile_;
 
   // Leaf: parallel partition scan, or the constant input of a
   // FROM-less query (one empty row; none under aggregation, where an
@@ -340,11 +514,17 @@ StatusOr<PhysicalPlan> Planner::Plan(const SelectStatement& select) const {
         std::move(inputs.pushed_texts[s]));
   }
 
-  // Residual WHERE.
+  // Residual WHERE. The predicate gets a compiled program when its
+  // tree supports it; the interpreted tree stays as the fallback (and
+  // as EXPLAIN's source text).
   if (inputs.residual_where != nullptr) {
-    node = std::make_unique<FilterNode>(std::move(node),
-                                        std::move(inputs.residual_where),
-                                        std::move(inputs.residual_texts));
+    CompiledExprPtr pred;
+    if (vectorize) {
+      pred = CompileExpr(*inputs.residual_where, bytecode_cache_);
+    }
+    node = std::make_unique<FilterNode>(
+        std::move(node), std::move(inputs.residual_where),
+        std::move(inputs.residual_texts), std::move(pred), ctx_);
   }
 
   std::vector<storage::Column> out_cols;
@@ -371,7 +551,13 @@ StatusOr<PhysicalPlan> Planner::Plan(const SelectStatement& select) const {
                           agg.projections[i]->result_type()});
     }
     ColumnarCandidate cand =
-        TryColumnarFastPath(select, inputs, agg, has_having);
+        vectorize ? TryColumnarFastPath(select, inputs, agg, has_having)
+                  : ColumnarCandidate();
+    VectorPipeline vp;
+    if (!cand.eligible && vectorize) {
+      vp = TryVectorAggregate(select, inputs, agg, registry_,
+                              bytecode_cache_);
+    }
     if (cand.eligible) {
       // Replace the row-oriented scan/filter chain with the columnar
       // one; the pushed-down comparisons run on column spans inside
@@ -382,6 +568,27 @@ StatusOr<PhysicalPlan> Planner::Plan(const SelectStatement& select) const {
           morsel_rows_, ctx_);
       node = std::make_unique<ColumnarAggregateNode>(
           std::move(scan), std::move(cand.specs), std::move(agg.projections),
+          select.items.size(), pool_, ctx_);
+    } else if (vp.eligible) {
+      // General columnar pipeline: GROUP BY keys and aggregate
+      // arguments run compiled over span batches; non-pushable WHERE
+      // conjuncts run as one compiled VectorFilter program.
+      auto scan = std::make_unique<ColumnarScanNode>(
+          inputs.driver, select.from[0].table_name, std::move(vp.slots),
+          std::move(vp.scan_filters), enable_column_cache_, batch_capacity_,
+          morsel_rows_, ctx_);
+      const ColumnarScanNode* scan_ptr = scan.get();
+      PlanNodePtr chain = std::move(scan);
+      if (vp.where_prog != nullptr) {
+        chain = std::make_unique<VectorFilterNode>(
+            std::move(chain), std::move(vp.where_prog), vp.slot_to_col,
+            std::move(vp.where_texts), ctx_);
+      }
+      node = std::make_unique<VectorHashAggregateNode>(
+          std::move(chain), scan_ptr, std::move(agg),
+          std::move(vp.key_progs), std::move(vp.spec_args),
+          std::move(vp.slot_to_col), has_having,
+          has_having ? select.having->ToString() : std::string(),
           select.items.size(), pool_, ctx_);
     } else {
       node = std::make_unique<HashAggregateNode>(
@@ -407,12 +614,47 @@ StatusOr<PhysicalPlan> Planner::Plan(const SelectStatement& select) const {
       out_cols.push_back({ResultColumnName(item, i), bound->result_type()});
       projections.push_back(std::move(bound));
     }
-    // SELECT * forwards the joined row (star mixed with expressions
-    // is not supported: star copies the joined row).
-    node = has_star
-               ? std::make_unique<ProjectNode>(std::move(node))
-               : std::make_unique<ProjectNode>(std::move(node),
-                                               std::move(projections));
+    VectorPipeline vp;
+    if (vectorize && !has_star) {
+      vp = TryVectorProjection(select, inputs, projections, registry_,
+                               bytecode_cache_);
+    }
+    if (vp.eligible) {
+      // General columnar pipeline: projections (and non-pushable WHERE
+      // conjuncts) run compiled over span batches. The scan skips the
+      // decoded-column cache — Gather drains the streams in parallel
+      // and there is no safe single-threaded warm point here.
+      node = std::make_unique<ColumnarScanNode>(
+          inputs.driver, select.from[0].table_name, std::move(vp.slots),
+          std::move(vp.scan_filters), /*use_cache=*/false, batch_capacity_,
+          morsel_rows_, ctx_);
+      if (vp.where_prog != nullptr) {
+        node = std::make_unique<VectorFilterNode>(
+            std::move(node), std::move(vp.where_prog), vp.slot_to_col,
+            std::move(vp.where_texts), ctx_);
+      }
+      node = std::make_unique<VectorProjectNode>(std::move(node),
+                                                 std::move(vp.proj_progs),
+                                                 std::move(vp.slot_to_col),
+                                                 ctx_);
+    } else if (has_star) {
+      // SELECT * forwards the joined row (star mixed with expressions
+      // is not supported: star copies the joined row).
+      node = std::make_unique<ProjectNode>(std::move(node));
+    } else {
+      // Row path: each projection still gets a compiled program where
+      // its tree supports one; nullptr entries run interpreted.
+      std::vector<CompiledExprPtr> compiled;
+      if (vectorize) {
+        compiled.reserve(projections.size());
+        for (const BoundExprPtr& expr : projections) {
+          compiled.push_back(CompileExpr(*expr, bytecode_cache_));
+        }
+      }
+      node = std::make_unique<ProjectNode>(std::move(node),
+                                           std::move(projections),
+                                           std::move(compiled), ctx_);
+    }
     if (node->num_streams() > 1) {
       node = std::make_unique<GatherNode>(std::move(node), pool_,
                                           batch_capacity_, ctx_);

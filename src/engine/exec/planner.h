@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "common/threadpool.h"
 #include "engine/ast.h"
+#include "engine/exec/bytecode.h"
 #include "engine/exec/morsel.h"
 #include "engine/exec/plan.h"
 #include "storage/catalog.h"
@@ -44,6 +45,23 @@ struct PhysicalPlan {
 /// `column <op> literal` comparisons, which are pushed into the scan
 /// and evaluated on column spans; anything else falls back to the row
 /// path, which remains the correctness oracle for the columnar one.
+///
+/// Queries the fused fast path rejects get a second chance on the
+/// general columnar pipeline (when expression compilation is enabled):
+/// single-table SELECTs — grouped aggregates included — whose
+/// expressions all compile to bytecode run as
+///
+///   VectorHashAggregate <- [VectorFilter] <- ColumnarScan      or
+///   [Limit] <- [Sort] <- Gather <- VectorProject
+///       <- [VectorFilter] <- ColumnarScan
+///
+/// with simple comparisons still pushed into the scan and the
+/// remaining WHERE conjuncts ANDed into one compiled VectorFilter
+/// program. Queries that stay on the row path (joins, ORDER-BY-only
+/// shapes, scalar UDFs next to arithmetic) still get per-expression
+/// compiled programs inside Filter/Project wherever their
+/// subexpressions compile; only genuinely uncompilable constructs run
+/// interpreted.
 class Planner {
  public:
   /// `morsel_rows` is the scan-morsel size handed to the leaf nodes
@@ -52,12 +70,19 @@ class Planner {
   /// planned node that loops over batches or claims morsels polls it,
   /// and memory-hungry operators charge its MemoryTracker. The context
   /// must outlive the plan's execution.
+  /// `enable_expr_compile` gates every vectorized choice (the fused
+  /// fast path, the general pipeline, per-node programs): off plans
+  /// the pure interpreted row path, the differential oracle.
+  /// `bytecode_cache` — optional — deduplicates compiled programs
+  /// across statements; it must outlive the plan.
   Planner(storage::Catalog* catalog, const udf::UdfRegistry* registry,
           ThreadPool* pool,
           size_t batch_capacity = RowBatch::kDefaultCapacity,
           bool enable_column_cache = true,
           uint64_t morsel_rows = kDefaultMorselRows,
-          const QueryContext* ctx = nullptr);
+          const QueryContext* ctx = nullptr,
+          bool enable_expr_compile = true,
+          BytecodeCache* bytecode_cache = nullptr);
 
   StatusOr<PhysicalPlan> Plan(const SelectStatement& select) const;
 
@@ -69,6 +94,8 @@ class Planner {
   bool enable_column_cache_;
   uint64_t morsel_rows_;
   const QueryContext* ctx_;
+  bool enable_expr_compile_;
+  BytecodeCache* bytecode_cache_;
 };
 
 }  // namespace nlq::engine::exec

@@ -1,0 +1,82 @@
+#ifndef NLQ_ENGINE_EXEC_VECTOR_HASH_AGGREGATE_NODE_H_
+#define NLQ_ENGINE_EXEC_VECTOR_HASH_AGGREGATE_NODE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/query_context.h"
+#include "common/threadpool.h"
+#include "engine/exec/bytecode.h"
+#include "engine/exec/columnar_scan_node.h"
+#include "engine/exec/plan.h"
+#include "engine/expr.h"
+
+namespace nlq::engine::exec {
+
+/// One aggregate-call argument in the vectorized ROW phase: either a
+/// compiled program evaluated per batch, or a literal Datum passed
+/// through unchanged (aggregate UDFs like nlq_list take leading
+/// VARCHAR configuration literals, which must not require
+/// compilation).
+struct VectorAggArg {
+  CompiledExprPtr prog;     // null when `constant` applies
+  storage::Datum constant;
+};
+
+/// Per-AggregateSpec compiled arguments, parallel to
+/// BoundAggregation::specs. COUNT(*) has none; SQL builtins have
+/// exactly one program.
+struct VectorAggSpec {
+  std::vector<VectorAggArg> args;
+};
+
+/// GROUP BY hash aggregation over the columnar pipeline: the same
+/// INIT / ROW / MERGE / FINALIZE protocol as HashAggregateNode (the
+/// shared state machinery in aggregate_state.h), but the ROW phase
+/// evaluates GROUP BY keys and aggregate arguments through compiled
+/// bytecode over span batches instead of interpreted Datum trees.
+///
+/// Bit-exactness with the row path holds because (a) group-key Datums
+/// are boxed from the same arithmetic the interpreter performs, (b)
+/// groups are inserted per row in batch order (identical hash-table
+/// iteration order), and (c) per (group, aggregate) accumulation
+/// visits rows in the same order — only the loop nesting (per-spec
+/// outer instead of per-row outer) differs, which is observationally
+/// identical because argument programs are pure.
+class VectorHashAggregateNode : public PlanNode {
+ public:
+  /// `child` is the columnar chain (ColumnarScan, possibly under a
+  /// VectorFilter); `scan` points at its leaf for cache warming.
+  VectorHashAggregateNode(PlanNodePtr child, const ColumnarScanNode* scan,
+                          BoundAggregation agg,
+                          std::vector<CompiledExprPtr> key_progs,
+                          std::vector<VectorAggSpec> spec_args,
+                          std::vector<int> slot_to_col, bool has_having,
+                          std::string having_text, size_t num_output,
+                          ThreadPool* pool, const QueryContext* ctx = nullptr);
+
+  const char* name() const override { return "VectorHashAggregate"; }
+  std::string annotation() const override;
+  size_t output_width() const override { return num_output_; }
+  size_t num_streams() const override { return 1; }
+  StatusOr<ExecStreamPtr> OpenStreamImpl(size_t s) const override;
+
+  /// Runs the four phases to completion and returns the result rows.
+  StatusOr<std::vector<storage::Row>> Compute() const;
+
+ private:
+  const ColumnarScanNode* scan_;
+  BoundAggregation agg_;
+  std::vector<CompiledExprPtr> key_progs_;
+  std::vector<VectorAggSpec> spec_args_;
+  std::vector<int> slot_to_col_;
+  bool has_having_;
+  std::string having_text_;
+  size_t num_output_;
+  ThreadPool* pool_;
+  const QueryContext* ctx_;
+};
+
+}  // namespace nlq::engine::exec
+
+#endif  // NLQ_ENGINE_EXEC_VECTOR_HASH_AGGREGATE_NODE_H_

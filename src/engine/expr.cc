@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/strings.h"
+#include "engine/exec/bytecode.h"
 
 namespace nlq::engine {
 
@@ -28,6 +29,9 @@ class LiteralNode : public BoundExpr {
     *value = value_;
     return true;
   }
+  int EmitBytecode(exec::BytecodeBuilder* b) const override {
+    return b->Constant(value_);
+  }
 
  private:
   Datum value_;
@@ -47,6 +51,9 @@ class InputRefNode : public BoundExpr {
   bool AsInputRef(size_t* slot) const override {
     *slot = slot_;
     return true;
+  }
+  int EmitBytecode(exec::BytecodeBuilder* b) const override {
+    return b->LoadColumn(slot_, type_);
   }
 
  private:
@@ -105,6 +112,12 @@ class UnaryNode : public BoundExpr {
   DataType result_type() const override {
     if (op_ == UnaryOp::kNot) return DataType::kInt64;
     return operand_->result_type();
+  }
+
+  int EmitBytecode(exec::BytecodeBuilder* b) const override {
+    const int v = operand_->EmitBytecode(b);
+    if (v < 0) return -1;
+    return b->Unary(op_, v);
   }
 
  private:
@@ -181,6 +194,14 @@ class BinaryNode : public BoundExpr {
       default:
         return DataType::kInt64;  // booleans
     }
+  }
+
+  int EmitBytecode(exec::BytecodeBuilder* b) const override {
+    const int l = left_->EmitBytecode(b);
+    if (l < 0) return -1;
+    const int r = right_->EmitBytecode(b);
+    if (r < 0) return -1;
+    return b->Binary(op_, l, r);
   }
 
  private:
@@ -282,6 +303,12 @@ class IsNullNode : public BoundExpr {
   }
   DataType result_type() const override { return DataType::kInt64; }
 
+  int EmitBytecode(exec::BytecodeBuilder* b) const override {
+    const int v = operand_->EmitBytecode(b);
+    if (v < 0) return -1;
+    return b->IsNull(v, negated_);
+  }
+
  private:
   BoundExprPtr operand_;
   bool negated_;
@@ -303,6 +330,26 @@ class CaseNode : public BoundExpr {
 
   DataType result_type() const override {
     return branches_.front().second->result_type();
+  }
+
+  int EmitBytecode(exec::BytecodeBuilder* b) const override {
+    std::vector<std::pair<exec::BytecodeBuilder::ValueId,
+                          exec::BytecodeBuilder::ValueId>>
+        branches;
+    branches.reserve(branches_.size());
+    for (const auto& [cond, result] : branches_) {
+      const int c = cond->EmitBytecode(b);
+      if (c < 0) return -1;
+      const int v = result->EmitBytecode(b);
+      if (v < 0) return -1;
+      branches.emplace_back(c, v);
+    }
+    int else_value = exec::BytecodeBuilder::kInvalidValue;
+    if (else_expr_) {
+      else_value = else_expr_->EmitBytecode(b);
+      if (else_value < 0) return -1;
+    }
+    return b->Case(branches, else_value, result_type());
   }
 
  private:
@@ -417,6 +464,43 @@ class BuiltinFnNode : public BoundExpr {
   }
 
   DataType result_type() const override { return DataType::kDouble; }
+
+  int EmitBytecode(exec::BytecodeBuilder* b) const override {
+    std::vector<exec::BytecodeBuilder::ValueId> args;
+    args.reserve(args_.size());
+    for (const auto& a : args_) {
+      const int v = a->EmitBytecode(b);
+      if (v < 0) return -1;
+      args.push_back(v);
+    }
+    switch (fn_) {
+      case BuiltinFn::kSqrt:
+        return b->Call1(exec::ScalarFn1::kSqrt, args[0]);
+      case BuiltinFn::kAbs:
+        return b->Call1(exec::ScalarFn1::kAbs, args[0]);
+      case BuiltinFn::kExp:
+        return b->Call1(exec::ScalarFn1::kExp, args[0]);
+      case BuiltinFn::kLn:
+        return b->Call1(exec::ScalarFn1::kLn, args[0]);
+      case BuiltinFn::kFloor:
+        return b->Call1(exec::ScalarFn1::kFloor, args[0]);
+      case BuiltinFn::kCeil:
+        return b->Call1(exec::ScalarFn1::kCeil, args[0]);
+      case BuiltinFn::kRound:
+        return b->Call1(exec::ScalarFn1::kRound, args[0]);
+      case BuiltinFn::kPower:
+        return b->Power(args[0], args[1]);
+      case BuiltinFn::kMod:
+        return b->FMod(args[0], args[1]);
+      case BuiltinFn::kLeast:
+        return b->Least(args);
+      case BuiltinFn::kGreatest:
+        return b->Greatest(args);
+      case BuiltinFn::kCoalesce:
+        return b->Coalesce(args);
+    }
+    return -1;
+  }
 
  private:
   BuiltinFn fn_;

@@ -13,6 +13,10 @@
 
 namespace nlq::engine {
 
+namespace exec {
+class BytecodeBuilder;
+}  // namespace exec
+
 /// Row context a bound expression evaluates against.
 ///
 /// Row-level expressions read `input` (the joined input row).
@@ -69,6 +73,16 @@ class BoundExpr {
   virtual bool AsLiteralValue(storage::Datum* value) const {
     (void)value;
     return false;
+  }
+
+  /// Emits this subtree into `builder` for the vectorized bytecode
+  /// path (engine/exec/bytecode.h), returning the builder ValueId of
+  /// the result or a negative value when the construct cannot compile
+  /// (the default: scalar UDFs, key/agg refs, VARCHAR operands stay
+  /// interpreted).
+  virtual int EmitBytecode(exec::BytecodeBuilder* builder) const {
+    (void)builder;
+    return -1;
   }
 };
 

@@ -2,9 +2,9 @@
 // ColumnarAggregate with the fused N,L,Q span kernel) must produce
 // results *byte-identical* to the row path it replaces — the row path
 // stays in the tree as the correctness oracle. The same query is
-// planned both ways by appending "WHERE 0 = 0" (a conjunct that keeps
-// every row but is not a simple column comparison, so it forces the
-// row path), and results are compared on exact bit patterns.
+// planned both ways via QueryOptions::force_interpreted (which turns
+// off expression compilation and every columnar plan shape for that
+// statement), and results are compared on exact bit patterns.
 
 #include <gtest/gtest.h>
 
@@ -25,11 +25,12 @@ using nlq::testing::MakeTestDatabase;
 using storage::DataType;
 using storage::Datum;
 
-/// Appends a conjunct that keeps every row but is not a pushable
-/// simple comparison, pinning the query to the row path.
-std::string PinToRowPath(const std::string& sql) {
-  return sql + (sql.find(" WHERE ") == std::string::npos ? " WHERE 0 = 0"
-                                                         : " AND 0 = 0");
+/// Per-statement override that plans the pure interpreted row path —
+/// no fused fast path, no vector pipeline, no compiled programs.
+QueryOptions Interpreted() {
+  QueryOptions options;
+  options.force_interpreted = true;
+  return options;
 }
 
 /// Renders a result set as an exact signature: doubles by bit
@@ -98,21 +99,22 @@ void FillTable(Database* db, size_t n, size_t d) {
 /// Runs `sql` on the columnar path and again with the row-path pin,
 /// asserting bit-identical results; returns the shared signature.
 std::string AssertPathsAgree(Database* db, const std::string& sql) {
-  const std::string pinned = PinToRowPath(sql);
   auto columnar = db->Execute(sql);
   EXPECT_TRUE(columnar.ok()) << columnar.status().ToString();
-  auto rowpath = db->Execute(pinned);
+  auto rowpath = db->Execute(sql, Interpreted());
   EXPECT_TRUE(rowpath.ok()) << rowpath.status().ToString();
   if (!columnar.ok() || !rowpath.ok()) return "";
-  // Sanity: the two statements really take different paths.
+  // Sanity: the two executions really take different paths.
   auto col_plan = db->Explain(sql);
-  auto row_plan = db->Explain(pinned);
+  auto row_plan = db->Explain(sql, Interpreted());
   EXPECT_TRUE(col_plan.ok() && row_plan.ok());
   if (col_plan.ok() && row_plan.ok()) {
     EXPECT_NE(col_plan->find("ColumnarAggregate"), std::string::npos)
         << sql << "\n" << *col_plan;
-    EXPECT_EQ(row_plan->find("ColumnarAggregate"), std::string::npos)
-        << pinned << "\n" << *row_plan;
+    EXPECT_EQ(row_plan->find("Columnar"), std::string::npos)
+        << sql << "\n" << *row_plan;
+    EXPECT_EQ(row_plan->find("compiled"), std::string::npos)
+        << sql << "\n" << *row_plan;
   }
   const std::string col_sig = ExactSignature(*columnar);
   const std::string row_sig = ExactSignature(*rowpath);
@@ -246,17 +248,28 @@ TEST(ColumnarEquivalenceTest, PlannerChoosesColumnarOnlyWhenEligible) {
   EXPECT_NE(filtered.find("filter: (x2 <= 1.5)"), std::string::npos)
       << filtered;
 
-  // Ineligible shapes fall back to the row path.
+  // Shapes the fused kernel rejects get a second chance on the general
+  // compiled pipeline (VectorHashAggregate over ColumnarScan).
   for (const char* sql :
-       {"SELECT sum(x1) FROM X GROUP BY i",                  // group keys
-        "SELECT count(*) FROM X HAVING count(*) > 1",        // having
-        "SELECT sum(x1 + 1) FROM X",                         // expression arg
-        "SELECT sum(x1) FROM X WHERE x1 + x2 > 0",           // complex where
-        "SELECT sum(x1) FROM X, M",                          // cross join
+       {"SELECT sum(x1) FROM X GROUP BY i",         // group keys
+        "SELECT sum(x1 + 1) FROM X",                // expression arg
+        "SELECT sum(x1) FROM X WHERE x1 + x2 > 0",  // complex where
+        "SELECT count(*) FROM X GROUP BY i HAVING count(*) > 1"}) {  // having
+    NLQ_ASSERT_OK_AND_ASSIGN(std::string plan, db->Explain(sql));
+    EXPECT_EQ(plan.find("ColumnarAggregate"), std::string::npos)
+        << sql << "\n" << plan;
+    EXPECT_NE(plan.find("VectorHashAggregate"), std::string::npos)
+        << sql << "\n" << plan;
+  }
+
+  // Genuinely ineligible shapes fall back to the row path.
+  for (const char* sql :
+       {"SELECT sum(x1) FROM X, M",                          // cross join
         "SELECT count(*) FROM X",                            // no columns
-        "SELECT nlq_string('diag', pack_point(x1)) FROM X"}) {  // expr arg
+        "SELECT nlq_string('diag', pack_point(x1)) FROM X"}) {  // scalar UDF
     NLQ_ASSERT_OK_AND_ASSIGN(std::string plan, db->Explain(sql));
     EXPECT_EQ(plan.find("Columnar"), std::string::npos) << sql << "\n" << plan;
+    EXPECT_EQ(plan.find("Vector"), std::string::npos) << sql << "\n" << plan;
   }
 }
 

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <cstring>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -261,9 +262,13 @@ std::vector<WhereVariant> BuildWheres(const TableConfig& cfg) {
   return wheres;
 }
 
-std::string PinToRowPath(const std::string& sql) {
-  return sql + (sql.find(" WHERE ") == std::string::npos ? " WHERE 0 = 0"
-                                                         : " AND 0 = 0");
+/// Per-statement override planning the pure interpreted row path: no
+/// fused fast path, no vector pipeline, no compiled programs. This is
+/// the suite's oracle-side execution mode.
+QueryOptions Interpreted() {
+  QueryOptions options;
+  options.force_interpreted = true;
+  return options;
 }
 
 // ---------------------------------------------------------------------------
@@ -317,7 +322,7 @@ void ComputeOracle(const storage::PartitionedTable& table,
 // ---------------------------------------------------------------------------
 
 struct CaseSigs {
-  std::string row;  // UDF, pinned row path
+  std::string row;  // UDF, forced interpreted row path
   std::string col;  // UDF, columnar fast path
   std::string sql;  // wide SQL query (empty when not comparable)
 };
@@ -328,24 +333,23 @@ void RunCase(Database* db, const TableConfig& cfg, const WhereVariant& where,
   const std::string udf_sql =
       stats::NlqUdfQuery("T", cols, cfg.kind, stats::ParamStyle::kList) +
       where.suffix;
-  const std::string pinned = PinToRowPath(udf_sql);
 
   auto columnar = db->Execute(udf_sql);
-  auto rowpath = db->Execute(pinned);
+  auto rowpath = db->Execute(udf_sql, Interpreted());
   NLQ_ASSERT_OK(columnar.status());
   NLQ_ASSERT_OK(rowpath.status());
 
-  // The two statements must really take different paths, or this test
+  // The two executions must really take different paths, or this test
   // degenerates into comparing a path with itself.
   auto col_plan = db->Explain(udf_sql);
-  auto row_plan = db->Explain(pinned);
+  auto row_plan = db->Explain(udf_sql, Interpreted());
   NLQ_ASSERT_OK(col_plan.status());
   NLQ_ASSERT_OK(row_plan.status());
   EXPECT_NE(col_plan->find("ColumnarAggregate"), std::string::npos)
       << udf_sql << "\n"
       << *col_plan;
-  EXPECT_EQ(row_plan->find("ColumnarAggregate"), std::string::npos)
-      << pinned << "\n"
+  EXPECT_EQ(row_plan->find("Columnar"), std::string::npos)
+      << udf_sql << "\n"
       << *row_plan;
 
   sigs->col = ResultSignature(*columnar);
@@ -436,12 +440,12 @@ TEST(DifferentialQueryTest, StringStyleMatchesListStyle) {
     auto db = MakeDiffDatabase(cfg, /*num_threads=*/2);
     CreateAndFill(db.get(), cfg, BuildInserts(cfg));
     const std::vector<std::string> cols = stats::DimensionColumns(cfg.d);
-    const std::string list_sql = PinToRowPath(
-        stats::NlqUdfQuery("T", cols, cfg.kind, stats::ParamStyle::kList));
-    const std::string string_sql = PinToRowPath(
-        stats::NlqUdfQuery("T", cols, cfg.kind, stats::ParamStyle::kString));
-    auto list_result = db->Execute(list_sql);
-    auto string_result = db->Execute(string_sql);
+    const std::string list_sql =
+        stats::NlqUdfQuery("T", cols, cfg.kind, stats::ParamStyle::kList);
+    const std::string string_sql =
+        stats::NlqUdfQuery("T", cols, cfg.kind, stats::ParamStyle::kString);
+    auto list_result = db->Execute(list_sql, Interpreted());
+    auto string_result = db->Execute(string_sql, Interpreted());
     NLQ_ASSERT_OK(list_result.status());
     NLQ_ASSERT_OK(string_result.status());
     EXPECT_EQ(ResultSignature(*list_result), ResultSignature(*string_result));
@@ -469,7 +473,7 @@ TEST(DifferentialQueryTest, BuiltinAggregatesMatchOracle) {
       const std::string sql =
           "SELECT count(*), sum(X1), min(X1), max(X1) FROM T" + where.suffix;
       auto columnar = db->Execute(sql);
-      auto rowpath = db->Execute(PinToRowPath(sql));
+      auto rowpath = db->Execute(sql, Interpreted());
       NLQ_ASSERT_OK(columnar.status());
       NLQ_ASSERT_OK(rowpath.status());
       EXPECT_EQ(ResultSignature(*columnar), ResultSignature(*rowpath)) << sql;
@@ -478,6 +482,201 @@ TEST(DifferentialQueryTest, BuiltinAggregatesMatchOracle) {
       EXPECT_EQ(Bits(columnar->At(0, 1).double_value()), Bits(oracle.L(0)));
       EXPECT_EQ(Bits(columnar->At(0, 2).double_value()), Bits(oracle.Min(0)));
       EXPECT_EQ(Bits(columnar->At(0, 3).double_value()), Bits(oracle.Max(0)));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Segment models (GROUP BY) and scoring projections through the
+// compiled pipeline: the vectorized plans (VectorHashAggregate, and
+// compiled Project programs under a cross join) must match the forced
+// interpreted row path and the external oracle bit for bit, across
+// worker-thread counts {1, 2, 4}.
+// ---------------------------------------------------------------------------
+
+/// Per-group oracle mirroring the engine's structure exactly: one
+/// partial map per morsel of the same grid, folded into the total in
+/// morsel-index order (how both aggregate nodes merge their streams).
+void ComputeGroupedOracle(const storage::PartitionedTable& table,
+                          const TableConfig& cfg, int64_t modulus,
+                          std::map<int64_t, SufStats>* out) {
+  const std::vector<exec::Morsel> grid =
+      exec::BuildMorselGrid(table, cfg.morsel_rows);
+  std::map<int64_t, SufStats> total;
+  std::vector<double> x(cfg.d);
+  for (const exec::Morsel& m : grid) {
+    std::map<int64_t, SufStats> part;
+    storage::BatchScanner scanner =
+        table.ScanPartitionBatches(m.partition, m.begin, m.end);
+    storage::RowBatch batch;
+    while (scanner.Next(&batch)) {
+      for (size_t r = 0; r < batch.size(); ++r) {
+        const Row& row = batch.row(r);
+        bool null_dim = false;
+        for (size_t a = 0; a < cfg.d; ++a) null_dim |= row[1 + a].is_null();
+        if (null_dim) continue;
+        for (size_t a = 0; a < cfg.d; ++a) x[a] = row[1 + a].double_value();
+        const int64_t g = row[0].int_value() % modulus;
+        auto it = part.find(g);
+        if (it == part.end()) {
+          it = part.emplace(g, SufStats(cfg.d, cfg.kind)).first;
+        }
+        it->second.Update(x.data());
+      }
+    }
+    NLQ_ASSERT_OK(scanner.status());
+    for (auto& [g, stats] : part) {
+      auto it = total.find(g);
+      if (it == total.end()) {
+        total.emplace(g, stats);
+      } else {
+        NLQ_ASSERT_OK(it->second.Merge(stats));
+      }
+    }
+  }
+  *out = std::move(total);
+}
+
+TEST(DifferentialQueryTest, GroupedBuildsMatchOracleAcrossThreads) {
+  const size_t kThreads[] = {1, 2, 4};
+  const int64_t kModulus = 3;
+  // NULL-free dimensions, layouts straddling batch/morsel boundaries.
+  const size_t kPick[] = {4, 7, 11, 15};
+  for (const size_t idx : kPick) {
+    const TableConfig& cfg = kConfigs[idx];
+    ASSERT_FALSE(cfg.nulls_in_dims);
+    const std::vector<std::string> inserts = BuildInserts(cfg);
+    const std::vector<std::string> cols = stats::DimensionColumns(cfg.d);
+    const std::string udf_sql = stats::NlqUdfQueryGrouped(
+        "T", cols, cfg.kind, stats::ParamStyle::kList, "i % 3");
+    const std::string wide_sql =
+        stats::NlqSqlQueryGrouped("T", cols, cfg.kind, "i % 3");
+    std::string baseline;
+    for (const size_t threads : kThreads) {
+      SCOPED_TRACE(StringPrintf(
+          "seed=%llu threads=%zu",
+          static_cast<unsigned long long>(cfg.seed), threads));
+      auto db = MakeDiffDatabase(cfg, threads);
+      CreateAndFill(db.get(), cfg, inserts);
+
+      // The default plan is the compiled pipeline; forced interpreted
+      // is the row-path oracle. Identical output, including group
+      // order.
+      auto compiled = db->Execute(udf_sql);
+      auto interpreted = db->Execute(udf_sql, Interpreted());
+      NLQ_ASSERT_OK(compiled.status());
+      NLQ_ASSERT_OK(interpreted.status());
+      EXPECT_EQ(ResultSignature(*compiled), ResultSignature(*interpreted))
+          << udf_sql;
+      auto wide_compiled = db->Execute(wide_sql);
+      auto wide_interpreted = db->Execute(wide_sql, Interpreted());
+      NLQ_ASSERT_OK(wide_compiled.status());
+      NLQ_ASSERT_OK(wide_interpreted.status());
+      EXPECT_EQ(ResultSignature(*wide_compiled),
+                ResultSignature(*wide_interpreted))
+          << wide_sql;
+
+      // Both statements really vectorize (and the oracle run doesn't).
+      NLQ_ASSERT_OK_AND_ASSIGN(std::string plan, db->Explain(udf_sql));
+      EXPECT_NE(plan.find("VectorHashAggregate"), std::string::npos) << plan;
+      NLQ_ASSERT_OK_AND_ASSIGN(std::string row_plan,
+                               db->Explain(udf_sql, Interpreted()));
+      EXPECT_EQ(row_plan.find("Vector"), std::string::npos) << row_plan;
+
+      // Against the external per-group oracle, bit for bit.
+      auto table = db->catalog().GetTable("T");
+      NLQ_ASSERT_OK(table.status());
+      std::map<int64_t, SufStats> oracle;
+      ComputeGroupedOracle(**table, cfg, kModulus, &oracle);
+      ASSERT_EQ(compiled->num_rows(), oracle.size());
+      for (size_t r = 0; r < compiled->num_rows(); ++r) {
+        const int64_t g = compiled->At(r, 0).int_value();
+        ASSERT_TRUE(oracle.count(g)) << "unexpected group " << g;
+        NLQ_ASSERT_OK_AND_ASSIGN(
+            SufStats decoded,
+            SufStats::FromPackedString(compiled->At(r, 1).string_value()));
+        EXPECT_EQ(SufSignature(decoded, /*with_minmax=*/true),
+                  SufSignature(oracle.at(g), /*with_minmax=*/true))
+            << "group " << g;
+      }
+      for (size_t r = 0; r < wide_compiled->num_rows(); ++r) {
+        const int64_t g = wide_compiled->At(r, 0).int_value();
+        NLQ_ASSERT_OK_AND_ASSIGN(
+            SufStats from_sql,
+            stats::SufStatsFromWideRow(*wide_compiled, r, cfg.d, cfg.kind,
+                                       /*first_col=*/1));
+        EXPECT_EQ(SufSignature(from_sql, /*with_minmax=*/false),
+                  SufSignature(oracle.at(g), /*with_minmax=*/false))
+            << "group " << g;
+      }
+
+      // Thread count must not change one bit of either path.
+      const std::string sig =
+          ResultSignature(*compiled) + ResultSignature(*wide_compiled);
+      if (baseline.empty()) {
+        baseline = sig;
+      } else {
+        EXPECT_EQ(sig, baseline);
+      }
+    }
+  }
+}
+
+TEST(DifferentialQueryTest, ScoringProjectionsMatchAcrossThreads) {
+  const size_t kThreads[] = {1, 2, 4};
+  const size_t kPick[] = {4, 8, 15};
+  for (const size_t idx : kPick) {
+    const TableConfig& cfg = kConfigs[idx];
+    const std::vector<std::string> inserts = BuildInserts(cfg);
+    // One-row BETA(b0, b1..bd) with exact dyadic coefficients.
+    std::string create_beta = "CREATE TABLE BETA (b0 DOUBLE";
+    std::string insert_beta = "INSERT INTO BETA VALUES (0.5";
+    for (size_t a = 1; a <= cfg.d; ++a) {
+      create_beta += StringPrintf(", b%zu DOUBLE", a);
+      insert_beta += StringPrintf(", %.8f", 0.25 * static_cast<double>(a));
+    }
+    create_beta += ")";
+    insert_beta += ")";
+    const std::string score_sql =
+        stats::LinRegScoreSqlQuery("T", "BETA", cfg.d);
+    // The pure-projection flavor (no join) runs the vector pipeline.
+    std::string proj_sql = "SELECT i, X1 * X1 + 0.5 FROM T";
+    std::string baseline;
+    for (const size_t threads : kThreads) {
+      SCOPED_TRACE(StringPrintf(
+          "seed=%llu threads=%zu",
+          static_cast<unsigned long long>(cfg.seed), threads));
+      auto db = MakeDiffDatabase(cfg, threads);
+      CreateAndFill(db.get(), cfg, inserts);
+      NLQ_ASSERT_OK(db->ExecuteCommand(create_beta));
+      NLQ_ASSERT_OK(db->ExecuteCommand(insert_beta));
+
+      // Cross-join scoring stays on the row path but its projection
+      // gets a compiled program; the join-free projection runs the
+      // full vector pipeline.
+      NLQ_ASSERT_OK_AND_ASSIGN(std::string score_plan,
+                               db->Explain(score_sql));
+      EXPECT_NE(score_plan.find("; compiled "), std::string::npos)
+          << score_plan;
+      NLQ_ASSERT_OK_AND_ASSIGN(std::string proj_plan, db->Explain(proj_sql));
+      EXPECT_NE(proj_plan.find("VectorProject"), std::string::npos)
+          << proj_plan;
+
+      std::string sig;
+      for (const std::string& sql : {score_sql, proj_sql}) {
+        auto compiled = db->Execute(sql);
+        auto interpreted = db->Execute(sql, Interpreted());
+        NLQ_ASSERT_OK(compiled.status());
+        NLQ_ASSERT_OK(interpreted.status());
+        EXPECT_EQ(ResultSignature(*compiled), ResultSignature(*interpreted))
+            << sql;
+        sig += ResultSignature(*compiled);
+      }
+      if (baseline.empty()) {
+        baseline = sig;
+      } else {
+        EXPECT_EQ(sig, baseline);
+      }
     }
   }
 }

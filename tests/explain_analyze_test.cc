@@ -110,15 +110,18 @@ class ExplainAnalyzeTest : public ::testing::Test {
 // Every count below is deterministic: 50 rows over 4 partitions give
 // one decode batch (and one page) per morsel stream; the Gather
 // pipeline-breaker drains its inputs fully before Limit cuts the
-// output to 5, so the under-count appears at the Limit node only.
+// output to 5, so the under-count appears at the Limit node only. The
+// statement runs the compiled columnar pipeline: the simple comparison
+// is pushed into the scan and the projection is one bytecode program.
 constexpr const char* kGolden =
     "Limit (5 rows) [rows=5 batches=1 time=<T> self=<T>]\n"
     "└─ Gather (4 stream(s), 4 worker(s)) [rows=50 batches=1 time=<T> "
     "self=<T>]\n"
-    "   └─ Project (1 column(s)) [rows=50 batches=4 time=<T> self=<T>]\n"
-    "      └─ Filter ((X1 > 0)) [rows=50 batches=4 time=<T> self=<T>]\n"
-    "         └─ ParallelScan (X: 50 rows, 4 partitions, batch 1024, morsel "
-    "16384 (4 morsel(s))) [rows=50 batches=4 time=<T> self=<T>]\n"
+    "   └─ VectorProject (1 column(s); compiled, 1 op(s)) [rows=50 batches=4 "
+    "time=<T> self=<T>]\n"
+    "      └─ ColumnarScan (X: 50 rows, 4 partitions, 1 of 3 column(s), "
+    "batch 1024, morsel 16384 (4 morsel(s)), cache off, filter: (X1 > 0)) "
+    "[rows=50 batches=4 time=<T> self=<T>]\n"
     "Totals: rows=5 pages_decoded=4 cache(hits=0 misses=0 fallbacks=0) "
     "time=<T>\n";
 
@@ -163,7 +166,11 @@ TEST_F(ExplainAnalyzeTest, StatementFormReturnsPlanColumn) {
 // ---------------------------------------------------------------------------
 
 TEST_F(ExplainAnalyzeTest, ScanActualsAreExact) {
-  NLQ_ASSERT_OK(db_->Execute("SELECT X1 FROM X").status());
+  // Row-path actuals: force the interpreted plan (ParallelScan), the
+  // shape this test pins down.
+  QueryOptions interpreted;
+  interpreted.force_interpreted = true;
+  NLQ_ASSERT_OK(db_->Execute("SELECT X1 FROM X", interpreted).status());
   ASSERT_TRUE(db_->last_query_stats().has_value());
   const QueryStatsSnapshot& stats = *db_->last_query_stats();
   const OperatorStatsSnapshot* scan = FindOp(stats, "ParallelScan");
@@ -181,10 +188,33 @@ TEST_F(ExplainAnalyzeTest, ScanActualsAreExact) {
   EXPECT_EQ(claims, 4u);
   EXPECT_GT(stats.wall_time_ns, 0u);
   EXPECT_NE(stats.query_id, 0u);
+  // The interpreted plan vectorizes nothing.
+  EXPECT_EQ(stats.rows_vectorized, 0u);
+}
+
+TEST_F(ExplainAnalyzeTest, VectorizedActualsAreExact) {
+  // The default plan for the same statement is the compiled pipeline;
+  // every scanned row passes through a vectorized operator exactly
+  // once per pipeline stage (here: VectorProject).
+  NLQ_ASSERT_OK(db_->Execute("SELECT X1 FROM X").status());
+  ASSERT_TRUE(db_->last_query_stats().has_value());
+  const QueryStatsSnapshot& stats = *db_->last_query_stats();
+  const OperatorStatsSnapshot* scan = FindOp(stats, "ColumnarScan");
+  const OperatorStatsSnapshot* project = FindOp(stats, "VectorProject");
+  ASSERT_NE(scan, nullptr);
+  ASSERT_NE(project, nullptr);
+  EXPECT_EQ(scan->rows_out, 50u);
+  EXPECT_EQ(project->rows_out, 50u);
+  EXPECT_EQ(stats.rows_returned, 50u);
+  EXPECT_EQ(stats.rows_vectorized, 50u);
 }
 
 TEST_F(ExplainAnalyzeTest, WhereSelectivityShowsAtTheFilter) {
-  NLQ_ASSERT_OK(db_->Execute("SELECT X1 FROM S WHERE X1 > 6.5").status());
+  // Row-path shape: interpreted Filter above ParallelScan.
+  QueryOptions interpreted;
+  interpreted.force_interpreted = true;
+  NLQ_ASSERT_OK(
+      db_->Execute("SELECT X1 FROM S WHERE X1 > 6.5", interpreted).status());
   ASSERT_TRUE(db_->last_query_stats().has_value());
   const QueryStatsSnapshot& stats = *db_->last_query_stats();
   const OperatorStatsSnapshot* scan = FindOp(stats, "ParallelScan");

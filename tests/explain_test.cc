@@ -41,8 +41,23 @@ class ExplainTest : public ::testing::Test {
 };
 
 TEST_F(ExplainTest, SimpleScanIsFullTree) {
+  // A bare column projection compiles and runs the columnar pipeline
+  // (the scan skips the decoded-column cache: Gather drains streams in
+  // parallel, so there is no single-threaded warm point).
   const std::string plan = Plan("SELECT X1 FROM X");
   EXPECT_EQ(plan,
+            "Gather (4 stream(s), 4 worker(s))\n"
+            "└─ VectorProject (1 column(s); compiled, 1 op(s))\n"
+            "   └─ ColumnarScan (X: 50 rows, 4 partitions, 1 of 3 "
+            "column(s), batch 1024, morsel 16384 (4 morsel(s)), cache off)\n");
+}
+
+TEST_F(ExplainTest, ForceInterpretedPlansTheRowPath) {
+  QueryOptions interpreted;
+  interpreted.force_interpreted = true;
+  auto plan = db_->Explain("SELECT X1 FROM X", interpreted);
+  NLQ_ASSERT_OK(plan.status());
+  EXPECT_EQ(*plan,
             "Gather (4 stream(s), 4 worker(s))\n"
             "└─ Project (1 column(s))\n"
             "   └─ ParallelScan (X: 50 rows, 4 partitions, batch 1024, "
@@ -61,8 +76,11 @@ TEST_F(ExplainTest, ShowsPushdownDecision) {
   EXPECT_NE(plan.find("CrossJoin (M AS m2: materialized, 1 rows after "
                       "pushdown: (m2.j = 2))"),
             std::string::npos);
-  // The driver-only conjunct stays in the residual filter.
-  EXPECT_NE(plan.find("Filter ((X1 > 0))"), std::string::npos);
+  // The driver-only conjunct stays in the residual filter; the join
+  // keeps the query on the row path, but the predicate still gets a
+  // compiled program.
+  EXPECT_NE(plan.find("Filter ((X1 > 0); compiled, "), std::string::npos)
+      << plan;
 }
 
 TEST_F(ExplainTest, AggregatePlanCountsUdfCalls) {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 
@@ -164,6 +165,43 @@ TEST_F(FaultInjectionTest, PartialAggregatesDiscardedCleanlyUnderAsan) {
 
   auto ok = db_->Execute("SELECT nlq_list('full', X1, X2) FROM X");
   ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+}
+
+TEST_F(FaultInjectionTest, ExprCompileFaultForcesInterpretedFallback) {
+  // Unlike every other site, an armed expr_compile fault never fails
+  // the statement: compilation failure IS the interpreted fallback.
+  const char* kSql = "SELECT X1 * 2.0 + X2 FROM X WHERE X1 + X2 > -1000";
+  auto compiled = db_->Execute(kSql);
+  NLQ_ASSERT_OK(compiled.status());
+
+  failpoint::Activate("expr_compile",
+                      Status::Internal("injected compile fault"));
+  auto plan = db_->Explain(kSql);
+  NLQ_ASSERT_OK(plan.status());
+  EXPECT_EQ(plan->find("compiled"), std::string::npos) << *plan;
+  EXPECT_EQ(plan->find("Vector"), std::string::npos) << *plan;
+  auto fallback = db_->Execute(kSql);
+  ASSERT_TRUE(fallback.ok()) << fallback.status().ToString();
+  EXPECT_GE(failpoint::HitCount("expr_compile"), 1);
+
+  // The interpreted result is bit-identical to the compiled one.
+  ASSERT_EQ(fallback->num_rows(), compiled->num_rows());
+  for (size_t r = 0; r < compiled->num_rows(); ++r) {
+    const double a = compiled->At(r, 0).double_value();
+    const double b = fallback->At(r, 0).double_value();
+    uint64_t abits = 0, bbits = 0;
+    std::memcpy(&abits, &a, sizeof(abits));
+    std::memcpy(&bbits, &b, sizeof(bbits));
+    ASSERT_EQ(abits, bbits) << "row " << r;
+  }
+
+  // Disarmed, the planner compiles again.
+  failpoint::Deactivate("expr_compile");
+  auto plan_after = db_->Explain(kSql);
+  NLQ_ASSERT_OK(plan_after.status());
+  EXPECT_NE(plan_after->find("VectorProject"), std::string::npos)
+      << *plan_after;
+  ExpectEngineRecovered();
 }
 
 TEST_F(FaultInjectionTest, DiskIoFaultFailsSaveAndLoad) {

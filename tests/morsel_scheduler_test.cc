@@ -287,16 +287,19 @@ void FillPoints(Database* db, size_t n) {
   }
 }
 
-/// All three matrix kinds plus SQL builtins, columnar path and pinned
-/// row path, in one signature.
+/// All three matrix kinds plus SQL builtins, columnar path and forced
+/// interpreted row path, in one signature.
 std::string QuerySignature(Database* db) {
   std::string sig;
   for (const char* kind : {"diag", "triang", "full"}) {
-    for (const char* pin : {"", " WHERE 0 = 0"}) {
+    for (const bool interpreted : {false, true}) {
+      QueryOptions options;
+      options.force_interpreted = interpreted;
       auto result = db->Execute(
           StringPrintf("SELECT nlq_list('%s', x1, x2, x3), count(*), "
-                       "sum(x1), avg(x2) FROM X%s",
-                       kind, pin));
+                       "sum(x1), avg(x2) FROM X",
+                       kind),
+          options);
       EXPECT_TRUE(result.ok()) << result.status().ToString();
       if (result.ok()) sig += ExactSignature(*result);
     }
