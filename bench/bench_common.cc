@@ -104,6 +104,12 @@ struct CapturedRun {
   double real_time = 0.0;
   double cpu_time = 0.0;
   bool skipped = false;
+  /// User counters set via state.counters (insertion order lost — the
+  /// map is sorted by name). Suites use these for derived metrics the
+  /// timer cannot carry: compression ratios, effective scan GB/s, pool
+  /// hit rates. Counters must be plain values (no rate/iteration
+  /// flags); suites compute the final number themselves.
+  std::vector<std::pair<std::string, double>> counters;
 };
 
 /// Console reporter that also captures every run so RunSuite can emit
@@ -119,6 +125,10 @@ class CapturingReporter : public benchmark::ConsoleReporter {
       captured.real_time = run.GetAdjustedRealTime();
       captured.cpu_time = run.GetAdjustedCPUTime();
       captured.skipped = run.error_occurred;
+      for (const auto& [counter_name, counter] : run.counters) {
+        captured.counters.emplace_back(counter_name,
+                                       static_cast<double>(counter.value));
+      }
       runs_.push_back(std::move(captured));
     }
     ConsoleReporter::ReportRuns(reports);
@@ -162,11 +172,14 @@ void WriteJson(const std::string& path, const std::string& suite,
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"iterations\": %lld, "
                  "\"real_time\": %.6f, \"cpu_time\": %.6f, "
-                 "\"time_unit\": \"%s\", \"skipped\": %s}%s\n",
+                 "\"time_unit\": \"%s\", \"skipped\": %s",
                  r.name.c_str(), static_cast<long long>(r.iterations),
                  r.real_time, r.cpu_time, r.time_unit.c_str(),
-                 r.skipped ? "true" : "false",
-                 i + 1 < runs.size() ? "," : "");
+                 r.skipped ? "true" : "false");
+    for (const auto& [counter_name, value] : r.counters) {
+      std::fprintf(f, ", \"%s\": %.6f", counter_name.c_str(), value);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < runs.size() ? "," : "");
   }
   if (Breakdowns().empty()) {
     std::fprintf(f, "  ]\n}\n");

@@ -92,7 +92,11 @@ void Require(const Status& status, benchmark::State& state);
 /// thread count and morsel size the suite ran with, and for each
 /// benchmark its name, iteration count, and real/cpu time in the
 /// benchmark's declared time unit. real_time is the headline number
-/// (see RegisterReal); cpu_time is whole-process CPU.
+/// (see RegisterReal); cpu_time is whole-process CPU. Any user
+/// counters a benchmark sets (state.counters["..."]) are emitted as
+/// extra per-benchmark fields — the storage suite uses this to record
+/// compression_ratio, scan_gb_per_s and pool_hit_rate next to the
+/// timings. Set counters as plain values, not benchmark rate flags.
 int RunSuite(const char* suite, int* argc, char** argv);
 
 }  // namespace nlq::bench

@@ -33,6 +33,8 @@ namespace nlq::failpoint {
 ///                     armed fault forces the interpreted fallback
 ///                     path, it never fails the statement
 ///   disk_io         — DiskManager page read/write
+///   page_decompress — column-codec block decode (spilled-chunk reads,
+///                     the buffer-pool read path)
 ///   odbc_export     — odbc_sim export (retried as a transient link
 ///                     fault)
 ///

@@ -202,6 +202,17 @@ void QueryStats::CountMorselClaim(size_t worker_id) {
   }
 }
 
+void QueryStats::AddCacheNote(const std::string& note) {
+  std::lock_guard<std::mutex> lock(note_mu_);
+  if (!column_cache_note_.empty()) column_cache_note_ += "; ";
+  column_cache_note_ += note;
+}
+
+std::string QueryStats::CacheNote() const {
+  std::lock_guard<std::mutex> lock(note_mu_);
+  return column_cache_note_;
+}
+
 std::vector<uint64_t> QueryStats::WorkerMorselClaims() const {
   std::vector<uint64_t> claims;
   claims.reserve(workers_.size());
@@ -217,8 +228,7 @@ std::string QueryStatsSnapshot::ToJson() const {
       "\"memory_peak_bytes\": %llu, \"rows_returned\": %llu, "
       "\"pages_decoded\": %llu, \"column_cache_hits\": %llu, "
       "\"column_cache_misses\": %llu, \"column_cache_fallbacks\": %llu, "
-      "\"rows_vectorized\": %llu, "
-      "\"operators\": [",
+      "\"rows_vectorized\": %llu, ",
       static_cast<unsigned long long>(query_id),
       static_cast<unsigned long long>(wall_time_ns),
       static_cast<unsigned long long>(memory_peak_bytes),
@@ -228,6 +238,9 @@ std::string QueryStatsSnapshot::ToJson() const {
       static_cast<unsigned long long>(column_cache_misses),
       static_cast<unsigned long long>(column_cache_fallbacks),
       static_cast<unsigned long long>(rows_vectorized));
+  out += "\"column_cache_note\": ";
+  AppendJsonString(column_cache_note, &out);
+  out += ", \"operators\": [";
   bool first = true;
   for (const OperatorStatsSnapshot& op : operators) {
     if (!first) out += ", ";
@@ -269,6 +282,7 @@ QueryStatsSnapshot SnapshotQueryStats(const QueryStats& stats) {
       stats.column_cache_fallbacks.load(std::memory_order_relaxed);
   snap.rows_vectorized =
       stats.rows_vectorized.load(std::memory_order_relaxed);
+  snap.column_cache_note = stats.CacheNote();
   for (const OperatorStats& op : stats.operators()) {
     OperatorStatsSnapshot s;
     s.name = op.name;

@@ -194,8 +194,17 @@ class QueryStats {
   uint64_t wall_time_ns = 0;
   uint64_t memory_peak_bytes = 0;
 
+  /// Appends a note naming which consumer forced a decoded-column
+  /// cache fallback and why (budget exhausted, spilled table, ...).
+  /// Multiple notes join with "; ". Mutex-guarded so concurrent scan
+  /// warm-ups cannot tear the string.
+  void AddCacheNote(const std::string& note);
+  std::string CacheNote() const;
+
  private:
   std::deque<OperatorStats> operators_;
+  mutable std::mutex note_mu_;
+  std::string column_cache_note_;
   struct alignas(64) WorkerCounter {
     std::atomic<uint64_t> claims{0};
   };
@@ -224,6 +233,9 @@ struct QueryStatsSnapshot {
   uint64_t column_cache_misses = 0;
   uint64_t column_cache_fallbacks = 0;
   uint64_t rows_vectorized = 0;
+  /// Why the decoded-column cache fell back (empty when it did not):
+  /// names the consumer and the budget arithmetic that rejected it.
+  std::string column_cache_note;
   std::vector<OperatorStatsSnapshot> operators;
   std::vector<uint64_t> worker_morsel_claims;
 

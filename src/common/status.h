@@ -24,6 +24,7 @@ enum class StatusCode {
   kParseError,
   kCancelled,
   kDeadlineExceeded,
+  kCorruption,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -81,6 +82,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -106,6 +106,24 @@ Database::Database(DatabaseOptions options)
 
 Database::~Database() = default;
 
+Status Database::SpillTable(std::string_view name) {
+  NLQ_ASSIGN_OR_RETURN(storage::PartitionedTable * table,
+                       catalog_.GetTable(std::string(name)));
+  if (buffer_pool_ == nullptr) {
+    buffer_pool_ =
+        std::make_unique<storage::BufferPool>(options_.buffer_pool_bytes);
+  }
+  const size_t chunk_rows = options_.spill_chunk_rows > 0
+                                ? options_.spill_chunk_rows
+                                : storage::SpillSegment::kDefaultChunkRows;
+  // Scratch name: directory + table + this database's address keeps
+  // concurrent databases apart; the file is unlinked on open anyway.
+  const std::string path =
+      options_.spill_directory + "/nlq_spill_" + std::string(name) + "_" +
+      std::to_string(reinterpret_cast<uintptr_t>(this));
+  return table->SpillToDisk(path, buffer_pool_.get(), chunk_rows);
+}
+
 StatusOr<ResultSet> Database::ExecuteSelect(const SelectStatement& select,
                                             const QueryContext* ctx,
                                             bool force_interpreted) {

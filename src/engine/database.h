@@ -77,6 +77,23 @@ struct DatabaseOptions {
   /// statement on the pure interpreted row path — the differential
   /// oracle. Results are bit-identical either way.
   bool enable_expr_compile = true;
+
+  /// Frame budget of the buffer pool backing spilled tables (see
+  /// storage/buffer_pool.h); the pool is created lazily on the first
+  /// SpillTable call, so databases that never spill pay nothing. The
+  /// pool's MemoryTracker peak proves the storage-layer RSS bound:
+  /// scans of arbitrarily large spilled tables stay within this many
+  /// bytes (rounded up to whole frames, floor BufferPool::kMinFrames).
+  uint64_t buffer_pool_bytes = 64ull << 20;
+
+  /// Directory for spill scratch files. Files are unlinked the moment
+  /// they are opened (the fd keeps the data alive), so nothing is left
+  /// behind however the process exits.
+  std::string spill_directory = "/tmp";
+
+  /// Rows per spill chunk — the decode granularity of spilled scans.
+  /// 0 = SpillSegment::kDefaultChunkRows.
+  size_t spill_chunk_rows = 0;
 };
 
 /// Per-statement execution overrides for Database::Execute.
@@ -185,6 +202,19 @@ class Database {
   /// `EXPLAIN ANALYZE <sql>` and joining the result rows.
   StatusOr<std::string> ExplainAnalyze(std::string_view sql);
 
+  /// Spills table `name` to compressed on-disk segments (one scratch
+  /// file per partition under options().spill_directory, unlinked
+  /// immediately) and re-points its scans at the database buffer pool.
+  /// The in-memory pages and the decoded-column cache are released;
+  /// subsequent scans stream chunks through the pool, bit-identical to
+  /// the resident table. The table becomes read-only: INSERT fails
+  /// with NotSupported until DROP/CREATE. Idempotent per partition.
+  Status SpillTable(std::string_view name);
+
+  /// The buffer pool backing spilled tables, or nullptr before the
+  /// first SpillTable call.
+  storage::BufferPool* buffer_pool() { return buffer_pool_.get(); }
+
   /// Stats of the most recently completed statement, or nullopt before
   /// the first one (or when collection was off). The snapshot survives
   /// subsequent statements until the next one completes.
@@ -213,6 +243,12 @@ class Database {
                                        bool force_interpreted);
 
   DatabaseOptions options_;
+
+  /// Lazily created by SpillTable. Declared before catalog_ so it is
+  /// destroyed after it: spilled segments owned by catalog tables
+  /// unregister from the pool in their destructors.
+  std::unique_ptr<storage::BufferPool> buffer_pool_;
+
   storage::Catalog catalog_;
   udf::UdfRegistry registry_;
   std::unique_ptr<ThreadPool> pool_;

@@ -202,7 +202,14 @@ ColumnarScanNode::ColumnarScanNode(const storage::PartitionedTable* table,
       batch_capacity_(batch_capacity),
       morsel_rows_(morsel_rows),
       ctx_(ctx),
-      grid_(BuildMorselGrid(*table, morsel_rows)) {}
+      grid_(BuildMorselGrid(*table, morsel_rows)) {
+  for (size_t p = 0; p < table_->num_partitions(); ++p) {
+    if (table_->partition(p).is_spilled()) {
+      spilled_ = true;
+      break;
+    }
+  }
+}
 
 std::string ColumnarScanNode::annotation() const {
   std::string out = StringPrintf(
@@ -212,7 +219,7 @@ std::string ColumnarScanNode::annotation() const {
       table_->num_partitions(), slots_.size(),
       table_->schema().num_columns(), batch_capacity_,
       static_cast<unsigned long long>(morsel_rows_), grid_.size(),
-      use_cache_ ? "on" : "off");
+      spilled_ ? "spilled" : (use_cache_ ? "on" : "off"));
   if (!filters_.empty()) {
     out += ", filter: ";
     for (size_t i = 0; i < filters_.size(); ++i) {
@@ -234,12 +241,27 @@ StatusOr<ColumnStreamPtr> ColumnarScanNode::OpenColumnStreamImpl(
   const Morsel& m = grid_[s];
   return ColumnStreamPtr(new ColumnarScanStream(
       &table_->partition(m.partition), m.begin, m.end, slots_, filters_,
-      use_cache_ && !cache_suppressed_, batch_capacity_, ctx_));
+      use_cache_ && !cache_suppressed_ && !spilled_, batch_capacity_, ctx_));
 }
 
 Status ColumnarScanNode::WarmCache(ThreadPool* pool) const {
   if (!use_cache_ || cache_suppressed_) return Status::OK();
   QueryStats* qstats = ctx_ != nullptr ? ctx_->stats() : nullptr;
+
+  // A spilled table streams through the buffer pool by design; letting
+  // the cache re-materialize every decoded column in RAM would undo
+  // the spill. Suppress the cache (one fallback event) and say why.
+  if (spilled_) {
+    cache_suppressed_ = true;
+    if (qstats != nullptr) {
+      qstats->column_cache_fallbacks.fetch_add(1, std::memory_order_relaxed);
+      qstats->AddCacheNote(StringPrintf(
+          "decoded-column cache bypassed for table %s: table is spilled, "
+          "streaming through the buffer pool instead",
+          table_name_.c_str()));
+    }
+    return Status::OK();
+  }
 
   // Budget check: estimate what filling the cache would ADD (columns a
   // previous statement already decoded are free) and skip the cache —
@@ -263,6 +285,16 @@ Status ColumnarScanNode::WarmCache(ThreadPool* pool) const {
       if (qstats != nullptr) {
         qstats->column_cache_fallbacks.fetch_add(1,
                                                  std::memory_order_relaxed);
+        // Name the consumer that exhausted the budget and show the
+        // arithmetic: what the fill would have added on top of what the
+        // query had already charged against its limit.
+        qstats->AddCacheNote(StringPrintf(
+            "decoded-column cache for table %s needs %llu more bytes; "
+            "query memory budget %llu has %llu in use",
+            table_name_.c_str(),
+            static_cast<unsigned long long>(fill_bytes),
+            static_cast<unsigned long long>(memory->limit()),
+            static_cast<unsigned long long>(memory->used())));
       }
       return Status::OK();
     }

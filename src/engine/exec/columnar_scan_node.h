@@ -92,6 +92,10 @@ class ColumnarScanNode : public PlanNode {
   size_t batch_capacity_;
   uint64_t morsel_rows_;
   const QueryContext* ctx_;
+  /// Any partition spilled at plan time: the decoded-column cache is
+  /// never used (re-materializing a spilled table in RAM would undo
+  /// the spill); streams decode chunks through the buffer pool.
+  bool spilled_ = false;
   /// Set by WarmCache when the fill would bust the query's memory
   /// budget; streams opened afterwards decode in streaming mode.
   mutable bool cache_suppressed_ = false;

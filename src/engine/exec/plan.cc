@@ -160,6 +160,13 @@ std::string RenderAnalyzedPlan(const QueryStatsSnapshot& snapshot) {
       static_cast<unsigned long long>(snapshot.column_cache_fallbacks));
   AppendMillis(snapshot.wall_time_ns, &out);
   out += "\n";
+  // When the decoded-column cache fell back, say who hit the budget and
+  // why — the counters alone do not name the consumer.
+  if (!snapshot.column_cache_note.empty()) {
+    out += "cache=fallback (";
+    out += snapshot.column_cache_note;
+    out += ")\n";
+  }
   return out;
 }
 

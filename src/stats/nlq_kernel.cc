@@ -1,11 +1,17 @@
 #include "stats/nlq_kernel.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <limits>
 #include <string>
 
 #include "common/strings.h"
+
+#if defined(__x86_64__) || defined(__amd64__)
+#include <immintrin.h>
+#define NLQ_KERNEL_X86 1
+#endif
 
 namespace nlq::stats {
 namespace {
@@ -122,6 +128,125 @@ void AccumulateDiagTile(NlqState* s, const double* const* cols, size_t a0,
   }
 }
 
+/// The blocked + tiled scalar implementation — the bit-exactness
+/// oracle the AVX2 path is verified against.
+void AccumulateSpansScalar(NlqState* s, const double* const* cols,
+                           size_t rows) {
+  const size_t d = static_cast<size_t>(s->d);
+  const MatrixKind kind = static_cast<MatrixKind>(s->kind);
+  const double* shifted[kMaxUdfDims];
+  for (size_t r0 = 0; r0 < rows; r0 += kRowBlock) {
+    const size_t rn = std::min(kRowBlock, rows - r0);
+    for (size_t a = 0; a < d; ++a) shifted[a] = cols[a] + r0;
+    if (kind == MatrixKind::kDiagonal) {
+      for (size_t a0 = 0; a0 < d; a0 += kTile) {
+        AccumulateDiagTile(s, shifted, a0, std::min(kTile, d - a0), rn);
+      }
+      continue;
+    }
+    for (size_t a0 = 0; a0 < d; a0 += kTile) {
+      AccumulateLMinMax(s, shifted, a0, std::min(kTile, d - a0), rn);
+    }
+    for (size_t a = 0; a < d; ++a) {
+      const size_t bmax = kind == MatrixKind::kLowerTriangular ? a + 1 : d;
+      for (size_t b0 = 0; b0 < bmax; b0 += kTile) {
+        AccumulateQTile(s->q[a], shifted[a], shifted, b0,
+                        std::min(kTile, bmax - b0), rn);
+      }
+    }
+  }
+}
+
+std::atomic<NlqKernelMode> g_kernel_mode{NlqKernelMode::kAuto};
+
+bool CpuHasAvx2() {
+#if defined(NLQ_KERNEL_X86)
+  static const bool has = __builtin_cpu_supports("avx2");
+  return has;
+#else
+  return false;
+#endif
+}
+
+bool SimdSelected() {
+  switch (g_kernel_mode.load(std::memory_order_relaxed)) {
+    case NlqKernelMode::kScalar:
+      return false;
+    case NlqKernelMode::kSimd:
+    case NlqKernelMode::kAuto:
+      return CpuHasAvx2();
+  }
+  return false;
+}
+
+#if defined(NLQ_KERNEL_X86)
+
+/// Rows transposed per AVX2 block: 64 rows x 64 dims = 32 KB of
+/// row-major scratch, small enough to stay L1/L2-resident together
+/// with the Q matrix rows the per-row updates stream over.
+constexpr size_t kSimdRowBlock = 64;
+
+/// AVX2 span accumulation for the lower-triangular and full kinds.
+///
+/// Strategy: transpose the block to row-major scratch, then fold one
+/// row at a time exactly like NlqAccumulatePoint, vectorizing each
+/// row's rank-1 update across *accumulators* (4 adjacent l/mn/mx slots
+/// or 4 adjacent q[a][b..b+3] slots per lane group). Every accumulator
+/// therefore still sees its contributions as one sequential FP chain
+/// in row order — bit-identical to the scalar paths. Multiplies and
+/// adds stay separate intrinsics (this TU enables AVX2 but not FMA, so
+/// the compiler cannot contract them), and MINPD/MAXPD with the new
+/// value as the *first* operand reproduces `(v < mn) ? v : mn`
+/// exactly, signed zeros and NaNs included.
+__attribute__((target("avx2"))) void AccumulateSpansAvx2(
+    NlqState* s, const double* const* cols, size_t rows) {
+  const size_t d = static_cast<size_t>(s->d);
+  const bool lower =
+      static_cast<MatrixKind>(s->kind) == MatrixKind::kLowerTriangular;
+  alignas(32) double xrow[kSimdRowBlock * kMaxUdfDims];
+  for (size_t r0 = 0; r0 < rows; r0 += kSimdRowBlock) {
+    const size_t rn = std::min(kSimdRowBlock, rows - r0);
+    for (size_t a = 0; a < d; ++a) {
+      const double* col = cols[a] + r0;
+      for (size_t i = 0; i < rn; ++i) xrow[i * d + a] = col[i];
+    }
+    for (size_t i = 0; i < rn; ++i) {
+      const double* x = xrow + i * d;
+      size_t a = 0;
+      for (; a + 4 <= d; a += 4) {
+        const __m256d xv = _mm256_loadu_pd(x + a);
+        const __m256d lv = _mm256_loadu_pd(s->l + a);
+        _mm256_storeu_pd(s->l + a, _mm256_add_pd(lv, xv));
+        const __m256d mnv = _mm256_loadu_pd(s->mn + a);
+        _mm256_storeu_pd(s->mn + a, _mm256_min_pd(xv, mnv));
+        const __m256d mxv = _mm256_loadu_pd(s->mx + a);
+        _mm256_storeu_pd(s->mx + a, _mm256_max_pd(xv, mxv));
+      }
+      for (; a < d; ++a) {
+        const double v = x[a];
+        s->l[a] += v;
+        if (v < s->mn[a]) s->mn[a] = v;
+        if (v > s->mx[a]) s->mx[a] = v;
+      }
+      for (a = 0; a < d; ++a) {
+        const __m256d xav = _mm256_set1_pd(x[a]);
+        double* qrow = s->q[a];
+        const size_t bmax = lower ? a + 1 : d;
+        size_t b = 0;
+        for (; b + 4 <= bmax; b += 4) {
+          const __m256d xbv = _mm256_loadu_pd(x + b);
+          const __m256d qv = _mm256_loadu_pd(qrow + b);
+          _mm256_storeu_pd(qrow + b,
+                           _mm256_add_pd(qv, _mm256_mul_pd(xav, xbv)));
+        }
+        for (; b < bmax; ++b) qrow[b] += x[a] * x[b];
+      }
+    }
+  }
+}
+
+#endif  // NLQ_KERNEL_X86
+
 }  // namespace
 
 void ResetNlqState(NlqState* s) {
@@ -179,33 +304,27 @@ void NlqAccumulatePoint(NlqState* s, const double* x) {
   }
 }
 
+void SetNlqKernelMode(NlqKernelMode mode) {
+  g_kernel_mode.store(mode, std::memory_order_relaxed);
+}
+
+const char* NlqKernelVariant() { return SimdSelected() ? "avx2" : "scalar"; }
+
 void NlqAccumulateSpans(NlqState* s, const double* const* cols, size_t rows) {
-  const size_t d = static_cast<size_t>(s->d);
-  const MatrixKind kind = static_cast<MatrixKind>(s->kind);
   // n counts whole rows: doubles hold integers exactly here, so one
   // bulk add equals `rows` sequential `+= 1.0`s bit-for-bit.
   s->n += static_cast<double>(rows);
-  const double* shifted[kMaxUdfDims];
-  for (size_t r0 = 0; r0 < rows; r0 += kRowBlock) {
-    const size_t rn = std::min(kRowBlock, rows - r0);
-    for (size_t a = 0; a < d; ++a) shifted[a] = cols[a] + r0;
-    if (kind == MatrixKind::kDiagonal) {
-      for (size_t a0 = 0; a0 < d; a0 += kTile) {
-        AccumulateDiagTile(s, shifted, a0, std::min(kTile, d - a0), rn);
-      }
-      continue;
-    }
-    for (size_t a0 = 0; a0 < d; a0 += kTile) {
-      AccumulateLMinMax(s, shifted, a0, std::min(kTile, d - a0), rn);
-    }
-    for (size_t a = 0; a < d; ++a) {
-      const size_t bmax = kind == MatrixKind::kLowerTriangular ? a + 1 : d;
-      for (size_t b0 = 0; b0 < bmax; b0 += kTile) {
-        AccumulateQTile(s->q[a], shifted[a], shifted, b0,
-                        std::min(kTile, bmax - b0), rn);
-      }
-    }
+#if defined(NLQ_KERNEL_X86)
+  // The AVX2 path covers the dense kinds where the Q update dominates;
+  // the diagonal kind and tiny d stay on the (already cheap) scalar
+  // path rather than paying the transpose.
+  if (static_cast<MatrixKind>(s->kind) != MatrixKind::kDiagonal &&
+      static_cast<size_t>(s->d) >= 4 && SimdSelected()) {
+    AccumulateSpansAvx2(s, cols, rows);
+    return;
   }
+#endif
+  AccumulateSpansScalar(s, cols, rows);
 }
 
 Status NlqMergeStates(NlqState* dst, const NlqState* src) {

@@ -47,13 +47,32 @@ void NlqAccumulatePoint(NlqState* s, const double* x);
 /// column spans (cols[a][r] is dimension a of row r; no NULLs — the
 /// caller applies the skip-row policy by compaction upstream).
 ///
-/// The loops are blocked (kRowBlock rows so a block's columns stay
-/// cache-resident across the Q passes) and tiled (kTile independent
-/// accumulator chains per inner loop, hiding FP-add latency), but
-/// every accumulator still receives its row contributions in row
-/// order, so the state is bit-identical to `rows` NlqAccumulatePoint
-/// calls.
+/// Two implementations sit behind runtime dispatch, both bit-identical
+/// to `rows` NlqAccumulatePoint calls because every accumulator (each
+/// l[a], q[a][b], mn/mx[a]) receives its row contributions as the same
+/// strict sequential chain in row order:
+///  - scalar: blocked (kRowBlock rows stay cache-resident across the Q
+///    passes) and tiled (independent accumulator chains per inner loop
+///    hide FP-add latency);
+///  - avx2 (x86-64 with AVX2, lower-triangular/full kinds, d >= 4):
+///    transposes each block to row-major and performs per-row rank-1
+///    updates with lanes across *accumulators* (separate vector mul
+///    then add — never FMA — and MINPD/MAXPD operand order chosen to
+///    reproduce the scalar `if (v < mn)` semantics including NaN and
+///    signed-zero cases).
 void NlqAccumulateSpans(NlqState* s, const double* const* cols, size_t rows);
+
+/// Kernel selection for NlqAccumulateSpans. kAuto (default) picks AVX2
+/// when the CPU supports it; kScalar forces the blocked-scalar path
+/// (the differential oracle); kSimd asks for AVX2 and silently falls
+/// back to scalar where unsupported. Process-wide, for tests and
+/// benchmarks; answers are bit-identical either way by construction.
+enum class NlqKernelMode { kAuto = 0, kScalar = 1, kSimd = 2 };
+void SetNlqKernelMode(NlqKernelMode mode);
+
+/// The variant NlqAccumulateSpans resolves to right now: "avx2" or
+/// "scalar".
+const char* NlqKernelVariant();
 
 /// MERGE: folds `src` into `dst`; empty src is a no-op.
 Status NlqMergeStates(NlqState* dst, const NlqState* src);

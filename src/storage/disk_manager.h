@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "storage/page.h"
@@ -10,8 +11,14 @@
 namespace nlq::storage {
 
 /// Page-granular file I/O (pread/pwrite on a single backing file).
-/// Tables use it to persist and reload page runs; the tests use it to
-/// verify that page images round-trip through disk.
+/// Tables use it to persist and reload page runs, the buffer pool
+/// fronts it for spilled segments, and the tests use it to verify that
+/// page images round-trip through disk.
+///
+/// Reads and writes tick the process metrics registry
+/// (`disk.pages_read` / `disk.read_bytes` / `disk.pages_written` /
+/// `disk.write_bytes`), so scan-path I/O is visible next to the buffer
+/// pool's hit/miss counters.
 class DiskManager {
  public:
   DiskManager() = default;
@@ -38,6 +45,13 @@ class DiskManager {
 
   /// Reads the page at index `page_id` into `*page`.
   Status ReadPage(uint64_t page_id, Page* page) const;
+
+  /// Vectored read of `bufs.size()` consecutive pages starting at
+  /// `first_page`, scattering page i into bufs[i] (each a kPageSize
+  /// buffer). One preadv covers up to IOV_MAX pages per syscall, so
+  /// readahead issues one syscall per run instead of one per page.
+  Status ReadPages(uint64_t first_page,
+                   const std::vector<char*>& bufs) const;
 
   /// Flushes file data to stable storage.
   Status Sync();

@@ -32,7 +32,11 @@ size_t PartitionedTable::RouteRow(const Row& row) const {
 
 Status PartitionedTable::AppendRow(const Row& row) {
   NLQ_RETURN_IF_ERROR(schema_.ValidateRow(row));
-  partitions_[RouteRow(row)]->AppendRowUnchecked(row);
+  Table* part = partitions_[RouteRow(row)].get();
+  if (part->is_spilled()) {
+    return Status::NotSupported("table is spilled and read-only");
+  }
+  part->AppendRowUnchecked(row);
   return Status::OK();
 }
 
@@ -48,6 +52,23 @@ StatusOr<std::vector<Row>> PartitionedTable::ReadAllRows() const {
     for (auto& r : part_rows) rows.push_back(std::move(r));
   }
   return rows;
+}
+
+Status PartitionedTable::SpillToDisk(const std::string& path_prefix,
+                                     BufferPool* pool, size_t chunk_rows) {
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    if (partitions_[p]->is_spilled()) continue;
+    NLQ_RETURN_IF_ERROR(partitions_[p]->SpillToDisk(
+        path_prefix + ".p" + std::to_string(p), pool, chunk_rows));
+  }
+  return Status::OK();
+}
+
+bool PartitionedTable::is_spilled() const {
+  for (const auto& p : partitions_) {
+    if (!p->is_spilled()) return false;
+  }
+  return true;
 }
 
 void PartitionedTable::Clear() {

@@ -68,6 +68,9 @@ class PartitionedTable {
   /// tests and benchmarks that need a controlled (e.g. skewed) layout.
   Status AppendRowToPartition(size_t p, const Row& row) {
     NLQ_RETURN_IF_ERROR(schema_.ValidateRow(row));
+    if (partitions_[p]->is_spilled()) {
+      return Status::NotSupported("table is spilled and read-only");
+    }
     partitions_[p]->AppendRowUnchecked(row);
     return Status::OK();
   }
@@ -75,6 +78,18 @@ class PartitionedTable {
   /// Materializes all rows across partitions (partition order, then
   /// insertion order within a partition).
   StatusOr<std::vector<Row>> ReadAllRows() const;
+
+  /// Spills every partition to compressed on-disk segments under
+  /// `path_prefix` (one scratch file per partition, suffixed ".pN"),
+  /// read back through `pool`. See Table::SpillToDisk for semantics;
+  /// fails partway leaves already-spilled partitions spilled — scans
+  /// stay correct either way.
+  Status SpillToDisk(const std::string& path_prefix, BufferPool* pool,
+                     size_t chunk_rows = SpillSegment::kDefaultChunkRows);
+
+  /// True if every partition is spilled (false for an empty table with
+  /// no spill call yet).
+  bool is_spilled() const;
 
   /// Removes all rows from all partitions.
   void Clear();

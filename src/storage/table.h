@@ -12,11 +12,32 @@
 #include "storage/row_batch.h"
 #include "storage/row_codec.h"
 #include "storage/schema.h"
+#include "storage/spill_segment.h"
 #include "storage/value.h"
 
 namespace nlq::storage {
 
 class Table;
+
+/// Cursor state shared by the scanners when the partition is spilled:
+/// the decoded image of the current chunk plus the absolute row window
+/// still to produce. Lives behind a unique_ptr so the resident scan
+/// path pays nothing for it.
+struct SpilledScanState {
+  const SpillSegment* seg = nullptr;
+  std::vector<size_t> columns;          // schema slots decoded per chunk
+  std::vector<ColumnVector> cols;       // parallel to columns
+  std::vector<ColumnVector*> col_ptrs;  // parallel to cols
+  std::string scratch;                  // chunk reassembly buffer
+  uint64_t next_row = 0;                // absolute next row to produce
+  uint64_t end_row = 0;
+  size_t loaded_chunk = SIZE_MAX;
+  size_t pages_decoded = 0;  // spill pages read for loaded chunks
+
+  /// Decodes the chunk holding `row` unless already loaded, and queues
+  /// background readahead for the next chunk of the scan window.
+  Status EnsureChunkFor(uint64_t row);
+};
 
 /// Sequential cursor over one table partition. Decodes rows page by
 /// page; `Next` returns false at end of data.
@@ -41,6 +62,7 @@ class TableScanner {
   size_t rows_left_in_page_ = 0;
   Row row_;
   Status status_;
+  std::unique_ptr<SpilledScanState> spill_;  // set iff the table is spilled
 };
 
 /// Batched cursor over one table partition: decodes up to a batch's
@@ -79,6 +101,7 @@ class BatchScanner {
   size_t pages_decoded_ = 0;
   size_t counted_page_ = SIZE_MAX;  // last page charged to pages_decoded_
   Status status_;
+  std::unique_ptr<SpilledScanState> spill_;  // set iff the table is spilled
 };
 
 /// Columnar cursor over one table partition: decodes the projected
@@ -126,6 +149,7 @@ class ColumnBatchScanner {
   size_t pages_decoded_ = 0;
   size_t counted_page_ = SIZE_MAX;  // last page charged to pages_decoded_
   Status status_;
+  std::unique_ptr<SpilledScanState> spill_;  // set iff the table is spilled
 };
 
 /// Append-only heap table: a schema plus a run of 64 KB pages.
@@ -149,11 +173,27 @@ class Table {
   /// Total payload bytes across pages (row data only).
   uint64_t data_bytes() const { return data_bytes_; }
 
-  /// Validates against the schema and appends.
+  /// Validates against the schema and appends. Fails with
+  /// kNotSupported once the table is spilled.
   Status AppendRow(const Row& row);
 
   /// Appends without schema validation (trusted bulk-load path).
+  /// Must not be called on a spilled table.
   void AppendRowUnchecked(const Row& row);
+
+  /// Converts this partition's row pages into a compressed columnar
+  /// SpillSegment at `path`, read back through `pool`, and frees the
+  /// in-memory pages — the larger-than-RAM mode of the engine. Every
+  /// scanner transparently serves the same rows in the same order
+  /// afterwards; appends and SaveToFile become kNotSupported. VARCHAR
+  /// schemas cannot spill.
+  Status SpillToDisk(const std::string& path, BufferPool* pool,
+                     size_t chunk_rows = SpillSegment::kDefaultChunkRows);
+
+  bool is_spilled() const { return spill_ != nullptr; }
+
+  /// The on-disk segment backing a spilled table (nullptr otherwise).
+  const SpillSegment* spill() const { return spill_.get(); }
 
   /// Opens a scan cursor.
   TableScanner Scan() const { return TableScanner(this); }
@@ -202,11 +242,13 @@ class Table {
   /// Materializes every row (tests / small model tables only).
   StatusOr<std::vector<Row>> ReadAllRows() const;
 
-  /// Removes all rows, keeping the schema.
+  /// Removes all rows, keeping the schema. A spilled table reverts to
+  /// an empty in-memory one (the spill file is dropped).
   void Clear();
 
   /// Persists pages to `path` (page images preceded by no catalog
-  /// metadata; the caller re-creates the schema).
+  /// metadata; the caller re-creates the schema). kNotSupported on a
+  /// spilled table.
   Status SaveToFile(const std::string& path) const;
 
   /// Replaces this table's pages with the content of `path`. The file
@@ -230,6 +272,10 @@ class Table {
   /// Lazily filled by EnsureDecodedColumns; indexed by schema slot,
   /// nullptr = not cached. Any mutation clears the whole cache.
   mutable std::vector<std::unique_ptr<ColumnVector>> column_cache_;
+
+  /// Non-null once SpillToDisk succeeded; pages_ is empty then and
+  /// every scan goes through the segment + buffer pool.
+  std::unique_ptr<SpillSegment> spill_;
 };
 
 }  // namespace nlq::storage

@@ -27,6 +27,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <map>
@@ -41,6 +42,8 @@
 #include "stats/scoring.h"
 #include "stats/sqlgen.h"
 #include "stats/sufstats.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
 #include "storage/partitioned_table.h"
 #include "tests/test_util.h"
 
@@ -215,6 +218,18 @@ std::vector<std::string> BuildInserts(const TableConfig& cfg) {
   return statements;
 }
 
+/// NLQ_TEST_SPILL=1 (the CI spill-smoke job) runs the entire suite
+/// against spilled tables behind a minimum-size buffer pool: every
+/// query streams compressed chunks through eviction + readahead, and
+/// the suite's cross-path bit-equality checks double as the
+/// spilled-vs-resident differential — the oracle reads the same
+/// spilled table through BatchScanner, so a single flipped bit
+/// anywhere in the codec/pool/readahead stack fails the run.
+bool SpillSmoke() {
+  const char* v = std::getenv("NLQ_TEST_SPILL");
+  return v != nullptr && v[0] == '1';
+}
+
 void CreateAndFill(Database* db, const TableConfig& cfg,
                    const std::vector<std::string>& inserts) {
   std::string create = "CREATE TABLE T (i BIGINT";
@@ -226,6 +241,7 @@ void CreateAndFill(Database* db, const TableConfig& cfg,
   for (const std::string& insert : inserts) {
     NLQ_ASSERT_OK(db->ExecuteCommand(insert));
   }
+  if (SpillSmoke()) NLQ_ASSERT_OK(db->SpillTable("T"));
 }
 
 std::unique_ptr<Database> MakeDiffDatabase(const TableConfig& cfg,
@@ -234,6 +250,12 @@ std::unique_ptr<Database> MakeDiffDatabase(const TableConfig& cfg,
   options.num_partitions = cfg.partitions;
   options.num_threads = num_threads;
   options.morsel_rows = cfg.morsel_rows;
+  if (SpillSmoke()) {
+    // Smallest legal pool: every config's table is then larger than
+    // the frame set, so scans must evict and re-read continuously.
+    options.buffer_pool_bytes =
+        storage::kPageSize * storage::BufferPool::kMinFrames;
+  }
   auto db = std::make_unique<Database>(options);
   EXPECT_TRUE(stats::RegisterAllStatsUdfs(&db->udfs()).ok());
   return db;

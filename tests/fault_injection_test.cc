@@ -275,6 +275,50 @@ TEST_F(FaultInjectionTest, NonIoErrorsAreNotRetried) {
   EXPECT_EQ(failpoint::HitCount("odbc_export"), 1);  // no second attempt
 }
 
+TEST_F(FaultInjectionTest, PageDecompressFaultFailsSpilledScanCleanly) {
+  // Spill X, then poison the codec decode path: the query must unwind
+  // with the injected error (no crash, no partial result) and succeed
+  // once disarmed — the buffer pool and segment stay usable.
+  NLQ_ASSERT_OK(db_->SpillTable("X"));
+  failpoint::Activate("page_decompress",
+                      Status::Corruption("injected decompress fault"));
+  auto result = db_->Execute("SELECT X1 FROM X");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(result.status().message().find("injected decompress fault"),
+            std::string::npos);
+  EXPECT_GE(failpoint::HitCount("page_decompress"), 1);
+
+  failpoint::Deactivate("page_decompress");
+  ExpectEngineRecovered();
+}
+
+TEST_F(FaultInjectionTest, TransientDecompressFaultFailsOneStatementOnly) {
+  // Fire exactly once: the hit statement fails, the very next one
+  // re-reads the same chunk successfully (failed chunk loads must not
+  // poison the pool or the scan state).
+  NLQ_ASSERT_OK(db_->SpillTable("X"));
+  failpoint::Activate("page_decompress", Status::IOError("transient"),
+                      /*skip=*/0, /*fire_count=*/1);
+  auto result = db_->Execute("SELECT nlq_list('triang', X1, X2) FROM X");
+  ASSERT_FALSE(result.ok());
+  ExpectEngineRecovered();
+}
+
+TEST_F(FaultInjectionTest, DiskIoFaultFailsSpilledScanCleanly) {
+  // The same contract one layer down: a read fault under the buffer
+  // pool surfaces as the statement's error and leaves no poisoned
+  // frame behind.
+  NLQ_ASSERT_OK(db_->SpillTable("X"));
+  failpoint::Activate("disk_io", Status::IOError("injected spill read fault"));
+  auto result = db_->Execute("SELECT X1 FROM X");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+
+  failpoint::Deactivate("disk_io");
+  ExpectEngineRecovered();
+}
+
 TEST_F(FaultInjectionTest, ColumnCacheFillFaultSurfaces) {
   // Columnar aggregates warm the decoded-column cache through
   // EnsureDecodedColumns — the page_decode site covers that path too.
