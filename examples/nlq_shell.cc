@@ -12,6 +12,7 @@
 // Also works non-interactively: echo "SELECT 1+1;" | ./nlq_shell
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "nlq.h"
@@ -88,7 +89,14 @@ bool HandleCommand(engine::Database& db, const std::string& line) {
 }  // namespace
 
 int main() {
-  engine::Database db;
+  engine::DatabaseOptions options;
+  // NLQ_SHELL_VIEWS=1 turns on maintained n,L,Q views (DESIGN.md §13)
+  // so the incremental-refresh path can be driven interactively;
+  // EXPLAIN then shows the view=fresh|stale|ineligible decision.
+  const char* views_env = std::getenv("NLQ_SHELL_VIEWS");
+  options.enable_view_maintenance =
+      views_env != nullptr && views_env[0] == '1';
+  engine::Database db(options);
   if (Status s = stats::RegisterAllStatsUdfs(&db.udfs()); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;

@@ -37,6 +37,10 @@ namespace nlq::failpoint {
 ///                     the buffer-pool read path)
 ///   odbc_export     — odbc_sim export (retried as a transient link
 ///                     fault)
+///   view_maintenance — maintained-view delta/seed accumulation
+///                     (engine/exec/view_registry.cc); an armed fault
+///                     drops the view and degrades the statement to a
+///                     plain full rescan — results stay correct
 ///
 /// All functions are thread-safe; parallel workers hit the same
 /// failpoint concurrently.

@@ -228,7 +228,9 @@ std::string QueryStatsSnapshot::ToJson() const {
       "\"memory_peak_bytes\": %llu, \"rows_returned\": %llu, "
       "\"pages_decoded\": %llu, \"column_cache_hits\": %llu, "
       "\"column_cache_misses\": %llu, \"column_cache_fallbacks\": %llu, "
-      "\"rows_vectorized\": %llu, ",
+      "\"rows_vectorized\": %llu, \"view_hits\": %llu, "
+      "\"view_misses\": %llu, \"view_delta_rows\": %llu, "
+      "\"view_rebuilds\": %llu, ",
       static_cast<unsigned long long>(query_id),
       static_cast<unsigned long long>(wall_time_ns),
       static_cast<unsigned long long>(memory_peak_bytes),
@@ -237,7 +239,11 @@ std::string QueryStatsSnapshot::ToJson() const {
       static_cast<unsigned long long>(column_cache_hits),
       static_cast<unsigned long long>(column_cache_misses),
       static_cast<unsigned long long>(column_cache_fallbacks),
-      static_cast<unsigned long long>(rows_vectorized));
+      static_cast<unsigned long long>(rows_vectorized),
+      static_cast<unsigned long long>(view_hits),
+      static_cast<unsigned long long>(view_misses),
+      static_cast<unsigned long long>(view_delta_rows),
+      static_cast<unsigned long long>(view_rebuilds));
   out += "\"column_cache_note\": ";
   AppendJsonString(column_cache_note, &out);
   out += ", \"operators\": [";
@@ -282,6 +288,11 @@ QueryStatsSnapshot SnapshotQueryStats(const QueryStats& stats) {
       stats.column_cache_fallbacks.load(std::memory_order_relaxed);
   snap.rows_vectorized =
       stats.rows_vectorized.load(std::memory_order_relaxed);
+  snap.view_hits = stats.view_hits.load(std::memory_order_relaxed);
+  snap.view_misses = stats.view_misses.load(std::memory_order_relaxed);
+  snap.view_delta_rows =
+      stats.view_delta_rows.load(std::memory_order_relaxed);
+  snap.view_rebuilds = stats.view_rebuilds.load(std::memory_order_relaxed);
   snap.column_cache_note = stats.CacheNote();
   for (const OperatorStats& op : stats.operators()) {
     OperatorStatsSnapshot s;

@@ -189,6 +189,16 @@ class QueryStats {
   /// vectorized operator counts its input batch once per batch.
   std::atomic<uint64_t> rows_vectorized{0};
 
+  // Maintained-view counters (engine/exec/view_registry.h). A hit is a
+  // statement served from registered partials (delta_rows = appended
+  // rows it accumulated, possibly 0); a miss had to seed the view from
+  // a full accumulate; rebuilds counts those full accumulations
+  // (seeding and degrade-to-rescan fallbacks alike).
+  std::atomic<uint64_t> view_hits{0};
+  std::atomic<uint64_t> view_misses{0};
+  std::atomic<uint64_t> view_delta_rows{0};
+  std::atomic<uint64_t> view_rebuilds{0};
+
   // Statement-level values written once, after execution.
   uint64_t query_id = 0;
   uint64_t wall_time_ns = 0;
@@ -233,6 +243,10 @@ struct QueryStatsSnapshot {
   uint64_t column_cache_misses = 0;
   uint64_t column_cache_fallbacks = 0;
   uint64_t rows_vectorized = 0;
+  uint64_t view_hits = 0;
+  uint64_t view_misses = 0;
+  uint64_t view_delta_rows = 0;
+  uint64_t view_rebuilds = 0;
   /// Why the decoded-column cache fell back (empty when it did not):
   /// names the consumer and the budget arithmetic that rejected it.
   std::string column_cache_note;

@@ -8,6 +8,7 @@
 #include "engine/exec/bytecode.h"
 #include "engine/exec/executor.h"
 #include "engine/exec/planner.h"
+#include "engine/exec/view_registry.h"
 #include "engine/expr.h"
 #include "engine/parser.h"
 #include "storage/partitioned_table.h"
@@ -55,10 +56,26 @@ StatusOr<Row> CoerceRowToSchema(const Row& row, const Schema& schema) {
   return out;
 }
 
-Status AppendResultToTable(const ResultSet& result, PartitionedTable* table) {
+/// Rewrites the bare kNotSupported a spilled table returns on append
+/// into an actionable INSERT error: name the table and point at the
+/// resident path (spilling is one-way; appends need a resident table).
+Status WrapAppendError(Status status, const std::string& table_name) {
+  if (status.ok() || status.code() != StatusCode::kNotSupported) {
+    return status;
+  }
+  return Status::NotSupported(StringPrintf(
+      "cannot INSERT into '%s': the table is spilled to disk and "
+      "read-only; DROP TABLE %s and re-CREATE it resident (then reload "
+      "and re-append) to continue inserting",
+      table_name.c_str(), table_name.c_str()));
+}
+
+Status AppendResultToTable(const ResultSet& result, PartitionedTable* table,
+                           const std::string& table_name) {
   for (const Row& row : result.rows()) {
     NLQ_ASSIGN_OR_RETURN(Row coerced, CoerceRowToSchema(row, table->schema()));
-    NLQ_RETURN_IF_ERROR(table->AppendRow(coerced));
+    NLQ_RETURN_IF_ERROR(WrapAppendError(table->AppendRow(coerced),
+                                        table_name));
   }
   return Status::OK();
 }
@@ -102,6 +119,10 @@ Database::Database(DatabaseOptions options)
   }
   pool_ = std::make_unique<ThreadPool>(threads);
   bytecode_cache_ = std::make_unique<exec::BytecodeCache>();
+  if (options_.enable_view_maintenance) {
+    view_registry_ = std::make_unique<exec::ViewRegistry>(
+        options_.max_maintained_views, options_.view_memory_limit);
+  }
 }
 
 Database::~Database() = default;
@@ -121,6 +142,11 @@ Status Database::SpillTable(std::string_view name) {
   const std::string path =
       options_.spill_directory + "/nlq_spill_" + std::string(name) + "_" +
       std::to_string(reinterpret_cast<uintptr_t>(this));
+  // Spilling is a destructive mutation for view purposes: drop any
+  // maintained views before the partitions change underneath them.
+  if (view_registry_ != nullptr) {
+    view_registry_->InvalidateTable(std::string(name));
+  }
   return table->SpillToDisk(path, buffer_pool_.get(), chunk_rows);
 }
 
@@ -131,7 +157,7 @@ StatusOr<ResultSet> Database::ExecuteSelect(const SelectStatement& select,
                         storage::RowBatch::kDefaultCapacity,
                         options_.enable_column_cache, options_.morsel_rows,
                         ctx, options_.enable_expr_compile && !force_interpreted,
-                        bytecode_cache_.get());
+                        bytecode_cache_.get(), view_registry_.get());
   NLQ_ASSIGN_OR_RETURN(exec::PhysicalPlan plan, planner.Plan(select));
   if (ctx != nullptr && ctx->stats() != nullptr) {
     exec::AttachQueryStats(plan.root.get(), ctx->stats());
@@ -212,6 +238,18 @@ StatusOr<ResultSet> Database::Execute(std::string_view sql,
     metrics.counter("exec.morsels_claimed").Add(claims);
     metrics.counter("exec.rows_vectorized")
         .Add(stats->rows_vectorized.load(std::memory_order_relaxed));
+    metrics.counter("view.hits")
+        .Add(stats->view_hits.load(std::memory_order_relaxed));
+    metrics.counter("view.misses")
+        .Add(stats->view_misses.load(std::memory_order_relaxed));
+    metrics.counter("view.delta_rows")
+        .Add(stats->view_delta_rows.load(std::memory_order_relaxed));
+    metrics.counter("view.rebuilds")
+        .Add(stats->view_rebuilds.load(std::memory_order_relaxed));
+    if (view_registry_ != nullptr) {
+      metrics.gauge("view.state_bytes")
+          .Set(static_cast<int64_t>(view_registry_->state_bytes()));
+    }
     last_query_stats_ = SnapshotQueryStats(*stats);
   }
   return result;
@@ -245,7 +283,8 @@ StatusOr<ResultSet> Database::ExecuteStatement(Statement& stmt,
         NLQ_ASSIGN_OR_RETURN(
             PartitionedTable * table,
             catalog_.CreateTable(create.table_name, result.schema()));
-        NLQ_RETURN_IF_ERROR(AppendResultToTable(result, table));
+        NLQ_RETURN_IF_ERROR(
+            AppendResultToTable(result, table, create.table_name));
         return ResultSet();
       }
       NLQ_RETURN_IF_ERROR(
@@ -261,7 +300,8 @@ StatusOr<ResultSet> Database::ExecuteStatement(Statement& stmt,
         NLQ_ASSIGN_OR_RETURN(
             ResultSet result,
             ExecuteSelect(*insert.select, ctx, force_interpreted));
-        NLQ_RETURN_IF_ERROR(AppendResultToTable(result, table));
+        NLQ_RETURN_IF_ERROR(
+            AppendResultToTable(result, table, insert.table_name));
         return ResultSet();
       }
       // VALUES rows: constant expressions bound against an empty scope.
@@ -282,13 +322,19 @@ StatusOr<ResultSet> Database::ExecuteStatement(Statement& stmt,
         NLQ_RETURN_IF_ERROR(error);
         NLQ_ASSIGN_OR_RETURN(Row coerced,
                              CoerceRowToSchema(row, table->schema()));
-        NLQ_RETURN_IF_ERROR(table->AppendRow(coerced));
+        NLQ_RETURN_IF_ERROR(WrapAppendError(table->AppendRow(coerced),
+                                            insert.table_name));
       }
       return ResultSet();
     }
 
     case StatementKind::kDropTable:
       NLQ_RETURN_IF_ERROR(catalog_.DropTable(stmt.drop_table->table_name));
+      // A later CREATE TABLE with the same name must never alias a
+      // stale entry's epochs; drop its views eagerly.
+      if (view_registry_ != nullptr) {
+        view_registry_->InvalidateTable(stmt.drop_table->table_name);
+      }
       return ResultSet();
 
     case StatementKind::kExplain: {
@@ -299,7 +345,7 @@ StatusOr<ResultSet> Database::ExecuteStatement(Statement& stmt,
             storage::RowBatch::kDefaultCapacity,
             options_.enable_column_cache, options_.morsel_rows, ctx,
             options_.enable_expr_compile && !force_interpreted,
-            bytecode_cache_.get());
+            bytecode_cache_.get(), view_registry_.get());
         NLQ_ASSIGN_OR_RETURN(exec::PhysicalPlan plan,
                              planner.Plan(*stmt.select));
         return PlanTextToResultSet(exec::ExplainPlan(*plan.root));
@@ -335,7 +381,7 @@ StatusOr<std::string> Database::Explain(std::string_view sql,
       &catalog_, &registry_, pool_.get(), storage::RowBatch::kDefaultCapacity,
       options_.enable_column_cache, options_.morsel_rows, /*ctx=*/nullptr,
       options_.enable_expr_compile && !query_options.force_interpreted,
-      bytecode_cache_.get());
+      bytecode_cache_.get(), view_registry_.get());
   NLQ_ASSIGN_OR_RETURN(exec::PhysicalPlan plan, planner.Plan(*stmt.select));
   return exec::ExplainPlan(*plan.root);
 }

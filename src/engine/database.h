@@ -22,6 +22,7 @@ namespace nlq::engine {
 
 namespace exec {
 class BytecodeCache;
+class ViewRegistry;
 }  // namespace exec
 
 struct SelectStatement;
@@ -94,6 +95,25 @@ struct DatabaseOptions {
   /// Rows per spill chunk — the decode granularity of spilled scans.
   /// 0 = SpillSegment::kDefaultChunkRows.
   size_t spill_chunk_rows = 0;
+
+  /// Maintain materialized sufficient-statistic views: eligible global
+  /// n,L,Q aggregates keep per-morsel partials registered across
+  /// statements, so a model rebuild after k appended rows accumulates
+  /// only those k rows (O(delta)) instead of rescanning the table.
+  /// Results are bit-identical to a full rescan (DESIGN.md §13); any
+  /// non-append mutation invalidates the view and falls back to the
+  /// normal columnar pipeline.
+  bool enable_view_maintenance = false;
+
+  /// Byte budget for stored view partial state across all maintained
+  /// views (0 = unlimited, still tracked). Exceeding it fails that
+  /// view's accumulate, which degrades the statement to a plain rescan
+  /// and drops the view.
+  uint64_t view_memory_limit = 256ull << 20;
+
+  /// Maximum number of maintained views kept; registering past the cap
+  /// evicts the least-recently-served entry.
+  size_t max_maintained_views = 16;
 };
 
 /// Per-statement execution overrides for Database::Execute.
@@ -215,6 +235,11 @@ class Database {
   /// first SpillTable call.
   storage::BufferPool* buffer_pool() { return buffer_pool_.get(); }
 
+  /// The maintained-view registry, or nullptr when
+  /// options().enable_view_maintenance is off. Exposed for tests and
+  /// observability (state_bytes / num_views).
+  exec::ViewRegistry* view_registry() { return view_registry_.get(); }
+
   /// Stats of the most recently completed statement, or nullopt before
   /// the first one (or when collection was off). The snapshot survives
   /// subsequent statements until the next one completes.
@@ -257,6 +282,13 @@ class Database {
   /// executes (see exec/bytecode.h). Owned here so repeated model
   /// builds reuse their programs.
   std::unique_ptr<exec::BytecodeCache> bytecode_cache_;
+
+  /// Maintained-view registry (see exec/view_registry.h), created only
+  /// when options_.enable_view_maintenance is set. Declared after
+  /// catalog_ so entries never outlive the tables they reference
+  /// observationally (entries hold table pointers but only compare
+  /// them; DROP TABLE and SpillTable invalidate eagerly).
+  std::unique_ptr<exec::ViewRegistry> view_registry_;
 
   /// Cancel tokens of in-flight statements, keyed by query id. The
   /// map (not the Database) is what Cancel may touch from another

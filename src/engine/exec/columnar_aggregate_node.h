@@ -57,6 +57,13 @@ class ColumnarAggregateNode : public PlanNode {
   /// single output row.
   StatusOr<std::vector<storage::Row>> Compute() const;
 
+  /// EXPLAIN view annotation ("view=stale", "view=ineligible (...)"),
+  /// appended to the annotation when the planner runs with view
+  /// maintenance enabled but this statement cannot (or must not this
+  /// once) be served from the registry. Empty = no view commentary,
+  /// keeping default EXPLAIN output unchanged.
+  void set_view_note(std::string note) { view_note_ = std::move(note); }
+
  private:
   const ColumnarScanNode* scan_;  // == child_.get()
   std::vector<ColumnarAggSpec> specs_;
@@ -64,6 +71,7 @@ class ColumnarAggregateNode : public PlanNode {
   size_t num_output_;
   ThreadPool* pool_;
   const QueryContext* ctx_;
+  std::string view_note_;
 };
 
 }  // namespace nlq::engine::exec

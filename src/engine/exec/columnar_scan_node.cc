@@ -8,7 +8,6 @@
 #include "storage/column_batch.h"
 
 namespace nlq::engine::exec {
-namespace {
 
 using storage::ColumnVector;
 using storage::DataType;
@@ -16,12 +15,8 @@ using storage::NullBitGet;
 using storage::NullBitmapWords;
 using storage::NullBitSet;
 
-/// ANDs one pushed-down comparison into `keep`. Values are widened to
-/// double exactly like Datum::AsDouble, so the verdict matches the
-/// row-path interpreter bit for bit; NULL operands fail every
-/// comparison (UNKNOWN drops the row, as in FilterNode).
-void ApplyFilter(const ColumnFilter& f, const ColumnSpanBatch& in,
-                 uint8_t* keep) {
+void ApplyColumnFilter(const ColumnFilter& f, const ColumnSpanBatch& in,
+                       uint8_t* keep) {
   const double* dv = in.doubles[f.col];
   const int64_t* iv = in.ints[f.col];
   const uint64_t* nb = in.null_bits[f.col];
@@ -46,6 +41,8 @@ void ApplyFilter(const ColumnFilter& f, const ColumnSpanBatch& in,
     if (!pass) keep[r] = 0;
   }
 }
+
+namespace {
 
 /// Stream over one morsel — rows [begin, end) of one partition. In
 /// streaming mode batches are decoded page-by-page through a
@@ -164,7 +161,9 @@ class ColumnarScanStream : public ColumnStream {
   bool Filter(ColumnSpanBatch* out) {
     if (filters_.empty()) return true;
     keep_.assign(out->rows, 1);
-    for (const ColumnFilter& f : filters_) ApplyFilter(f, *out, keep_.data());
+    for (const ColumnFilter& f : filters_) {
+      ApplyColumnFilter(f, *out, keep_.data());
+    }
     return CompactColumnSpans(out, keep_.data(), &scratch_) > 0;
   }
 

@@ -29,6 +29,15 @@ struct ColumnFilter {
   std::string text;             // display form for EXPLAIN
 };
 
+/// ANDs one pushed-down comparison into `keep`. Values are widened to
+/// double exactly like Datum::AsDouble, so the verdict matches the
+/// row-path interpreter bit for bit; NULL operands fail every
+/// comparison (UNKNOWN drops the row, as in FilterNode). Shared with
+/// the maintained-view refresh path, which must keep and drop exactly
+/// the rows the scan would.
+void ApplyColumnFilter(const ColumnFilter& f, const ColumnSpanBatch& in,
+                       uint8_t* keep);
+
 /// Leaf of the columnar pipeline: scans a partitioned table's pages
 /// straight into typed column arrays (no Datum boxing) and applies
 /// pushed-down simple comparisons by span compaction. Driven through

@@ -14,6 +14,7 @@
 #include "engine/exec/gather_node.h"
 #include "engine/exec/hash_aggregate_node.h"
 #include "engine/exec/limit_node.h"
+#include "engine/exec/maintained_view_node.h"
 #include "engine/exec/project_node.h"
 #include "engine/exec/scan_node.h"
 #include "engine/exec/sort_node.h"
@@ -474,7 +475,7 @@ Planner::Planner(storage::Catalog* catalog, const udf::UdfRegistry* registry,
                  ThreadPool* pool, size_t batch_capacity,
                  bool enable_column_cache, uint64_t morsel_rows,
                  const QueryContext* ctx, bool enable_expr_compile,
-                 BytecodeCache* bytecode_cache)
+                 BytecodeCache* bytecode_cache, ViewRegistry* views)
     : catalog_(catalog),
       registry_(registry),
       pool_(pool),
@@ -483,7 +484,8 @@ Planner::Planner(storage::Catalog* catalog, const udf::UdfRegistry* registry,
       morsel_rows_(morsel_rows),
       ctx_(ctx),
       enable_expr_compile_(enable_expr_compile),
-      bytecode_cache_(bytecode_cache) {}
+      bytecode_cache_(bytecode_cache),
+      views_(views) {}
 
 StatusOr<PhysicalPlan> Planner::Plan(const SelectStatement& select) const {
   NLQ_ASSIGN_OR_RETURN(FromInputs inputs, PrepareFrom(select, *catalog_));
@@ -559,16 +561,65 @@ StatusOr<PhysicalPlan> Planner::Plan(const SelectStatement& select) const {
                               bytecode_cache_);
     }
     if (cand.eligible) {
-      // Replace the row-oriented scan/filter chain with the columnar
-      // one; the pushed-down comparisons run on column spans inside
-      // the scan.
-      auto scan = std::make_unique<ColumnarScanNode>(
-          inputs.driver, select.from[0].table_name, std::move(cand.slots),
-          std::move(cand.filters), enable_column_cache_, batch_capacity_,
-          morsel_rows_, ctx_);
-      node = std::make_unique<ColumnarAggregateNode>(
-          std::move(scan), std::move(cand.specs), std::move(agg.projections),
-          select.items.size(), pool_, ctx_);
+      // Maintained-view decision: a global aggregate on the fused fast
+      // path whose states are relocatable can be served from (and
+      // incrementally maintain) registered per-morsel partials. A
+      // spilled or unmaintainable statement, and the one statement that
+      // observes a just-invalidated entry, runs the normal columnar
+      // pipeline with an explanatory EXPLAIN note instead.
+      std::string view_note;
+      bool planned_view = false;
+      if (views_ != nullptr) {
+        if (inputs.driver->is_spilled()) {
+          view_note = "view=ineligible (spilled)";
+        } else if (!MaintainableSpecs(cand.specs)) {
+          view_note = "view=ineligible (non-relocatable aggregate state)";
+        } else {
+          ViewDescriptor d;
+          d.table = inputs.driver;
+          d.table_name = select.from[0].table_name;
+          d.slots = cand.slots;
+          d.filters = cand.filters;
+          d.specs = &cand.specs;
+          d.morsel_rows = morsel_rows_;
+          d.batch_capacity = batch_capacity_;
+          const ViewProbe probe = views_->Probe(d);
+          if (probe.invalidated) {
+            // The entry was dropped; this statement rescans normally
+            // and the next eligible one reseeds the view.
+            view_note = "view=stale";
+          } else {
+            std::string state =
+                probe.registered
+                    ? StringPrintf(
+                          "view=fresh delta=%llu of %llu row(s)",
+                          static_cast<unsigned long long>(probe.delta_rows),
+                          static_cast<unsigned long long>(probe.total_rows))
+                    : StringPrintf(
+                          "view=stale (seeding %llu row(s))",
+                          static_cast<unsigned long long>(probe.total_rows));
+            node = std::make_unique<MaintainedViewNode>(
+                views_, std::move(d), std::move(cand.specs),
+                std::move(agg.projections), select.items.size(),
+                std::move(state), pool_, ctx_);
+            planned_view = true;
+          }
+        }
+      }
+      if (!planned_view) {
+        // Replace the row-oriented scan/filter chain with the columnar
+        // one; the pushed-down comparisons run on column spans inside
+        // the scan.
+        auto scan = std::make_unique<ColumnarScanNode>(
+            inputs.driver, select.from[0].table_name, std::move(cand.slots),
+            std::move(cand.filters), enable_column_cache_, batch_capacity_,
+            morsel_rows_, ctx_);
+        auto cagg = std::make_unique<ColumnarAggregateNode>(
+            std::move(scan), std::move(cand.specs), std::move(agg.projections),
+            select.items.size(), pool_, ctx_);
+        if (!view_note.empty()) cagg->set_view_note(std::move(view_note));
+        node = std::move(cagg);
+      }
     } else if (vp.eligible) {
       // General columnar pipeline: GROUP BY keys and aggregate
       // arguments run compiled over span batches; non-pushable WHERE
@@ -584,12 +635,22 @@ StatusOr<PhysicalPlan> Planner::Plan(const SelectStatement& select) const {
             std::move(chain), std::move(vp.where_prog), vp.slot_to_col,
             std::move(vp.where_texts), ctx_);
       }
-      node = std::make_unique<VectorHashAggregateNode>(
+      bool grouped_udf = false;
+      if (views_ != nullptr && !agg.key_exprs.empty()) {
+        for (const AggregateSpec& spec : agg.specs) {
+          if (spec.kind == AggregateSpec::Kind::kUdf) grouped_udf = true;
+        }
+      }
+      auto vagg = std::make_unique<VectorHashAggregateNode>(
           std::move(chain), scan_ptr, std::move(agg),
           std::move(vp.key_progs), std::move(vp.spec_args),
           std::move(vp.slot_to_col), has_having,
           has_having ? select.having->ToString() : std::string(),
           select.items.size(), pool_, ctx_);
+      // Grouped n,L,Q aggregates stay unmaintained: hash-table output
+      // ordering is not replayable bit-identically (DESIGN.md §13).
+      if (grouped_udf) vagg->set_view_note("view=ineligible (group-by)");
+      node = std::move(vagg);
     } else {
       node = std::make_unique<HashAggregateNode>(
           std::move(node), std::move(agg), has_having,

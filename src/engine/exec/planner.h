@@ -16,6 +16,8 @@
 
 namespace nlq::engine::exec {
 
+class ViewRegistry;
+
 /// A planned SELECT: the physical operator tree plus the result
 /// schema its root produces.
 struct PhysicalPlan {
@@ -75,6 +77,10 @@ class Planner {
   /// the pure interpreted row path, the differential oracle.
   /// `bytecode_cache` — optional — deduplicates compiled programs
   /// across statements; it must outlive the plan.
+  /// `views` — optional — is the maintained-view registry: when set,
+  /// eligible global n,L,Q aggregates plan a MaintainedViewScan that
+  /// serves (and incrementally refreshes) materialized per-morsel
+  /// partials instead of rescanning; it must outlive the plan.
   Planner(storage::Catalog* catalog, const udf::UdfRegistry* registry,
           ThreadPool* pool,
           size_t batch_capacity = RowBatch::kDefaultCapacity,
@@ -82,7 +88,8 @@ class Planner {
           uint64_t morsel_rows = kDefaultMorselRows,
           const QueryContext* ctx = nullptr,
           bool enable_expr_compile = true,
-          BytecodeCache* bytecode_cache = nullptr);
+          BytecodeCache* bytecode_cache = nullptr,
+          ViewRegistry* views = nullptr);
 
   StatusOr<PhysicalPlan> Plan(const SelectStatement& select) const;
 
@@ -96,6 +103,7 @@ class Planner {
   const QueryContext* ctx_;
   bool enable_expr_compile_;
   BytecodeCache* bytecode_cache_;
+  ViewRegistry* views_;
 };
 
 }  // namespace nlq::engine::exec

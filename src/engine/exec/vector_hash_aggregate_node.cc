@@ -203,6 +203,7 @@ std::string VectorHashAggregateNode::annotation() const {
     }
   }
   out += StringPrintf("; compiled, %zu op(s)", ops);
+  if (!view_note_.empty()) out += ", " + view_note_;
   return out;
 }
 

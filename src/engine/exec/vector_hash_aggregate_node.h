@@ -64,6 +64,11 @@ class VectorHashAggregateNode : public PlanNode {
   /// Runs the four phases to completion and returns the result rows.
   StatusOr<std::vector<storage::Row>> Compute() const;
 
+  /// EXPLAIN view annotation (e.g. "view=ineligible (group-by)") set
+  /// only when the planner runs with view maintenance enabled; empty
+  /// keeps the default EXPLAIN output unchanged.
+  void set_view_note(std::string note) { view_note_ = std::move(note); }
+
  private:
   const ColumnarScanNode* scan_;
   BoundAggregation agg_;
@@ -75,6 +80,7 @@ class VectorHashAggregateNode : public PlanNode {
   size_t num_output_;
   ThreadPool* pool_;
   const QueryContext* ctx_;
+  std::string view_note_;
 };
 
 }  // namespace nlq::engine::exec

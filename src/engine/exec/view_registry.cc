@@ -1,0 +1,364 @@
+#include "engine/exec/view_registry.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "common/strings.h"
+#include "engine/exec/morsel.h"
+#include "storage/column_batch.h"
+
+namespace nlq::engine::exec {
+namespace {
+
+using storage::ColumnVector;
+using storage::DataType;
+using storage::Datum;
+using storage::Row;
+
+void AppendDoubleBits(double v, std::string* out) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  *out += StringPrintf("%llx", static_cast<unsigned long long>(bits));
+}
+
+void AppendDatumKey(const Datum& v, std::string* out) {
+  if (v.is_null()) {
+    *out += "null";
+    return;
+  }
+  switch (v.type()) {
+    case DataType::kDouble:
+      AppendDoubleBits(v.double_value(), out);
+      break;
+    case DataType::kInt64:
+      *out += StringPrintf("%lld", static_cast<long long>(v.int_value()));
+      break;
+    case DataType::kVarchar:
+      *out += v.string_value();
+      break;
+  }
+}
+
+/// Accumulates rows [begin, end) of `part` into `state` through the
+/// exact batch semantics of the streaming columnar scan: spans pointed
+/// at the scanner's decoded columns, pushed-down filters ANDed into a
+/// keep mask, fully-filtered batches skipped entirely (AccumulateSpans
+/// is never called for them — matching ColumnarScanStream::Filter),
+/// surviving batches compacted order-preserving. Identical code path
+/// shape ⇒ identical FP operation sequence ⇒ identical bits.
+Status AccumulateRange(const storage::Table& part, const ViewDescriptor& d,
+                       PartialState* state, uint64_t begin, uint64_t end,
+                       const QueryContext* ctx, bool use_failpoint,
+                       SpanScratch* scratch,
+                       std::vector<ScratchColumn>* compact,
+                       std::vector<uint8_t>* keep) {
+  if (use_failpoint) NLQ_FAILPOINT("view_maintenance");
+  storage::ColumnBatchScanner scanner =
+      part.ScanColumnBatchRange(d.slots, begin, end, d.batch_capacity);
+  storage::ColumnBatch batch;
+  ColumnSpanBatch span;
+  const size_t ncols = d.slots.size();
+  for (;;) {
+    if (ctx != nullptr) NLQ_RETURN_IF_ERROR(ctx->CheckAlive());
+    const bool more = scanner.Next(&batch);
+    if (!scanner.status().ok()) return scanner.status();
+    if (!more) break;
+    span.rows = batch.size();
+    span.doubles.assign(ncols, nullptr);
+    span.ints.assign(ncols, nullptr);
+    span.null_bits.assign(ncols, nullptr);
+    for (size_t c = 0; c < ncols; ++c) {
+      const ColumnVector& col = batch.column(c);
+      if (col.type == DataType::kDouble) {
+        span.doubles[c] = col.double_data();
+      } else {
+        span.ints[c] = col.int_data();
+      }
+      if (col.has_nulls()) span.null_bits[c] = col.null_bits.data();
+    }
+    if (!d.filters.empty()) {
+      keep->assign(span.rows, 1);
+      for (const ColumnFilter& f : d.filters) {
+        ApplyColumnFilter(f, span, keep->data());
+      }
+      if (CompactColumnSpans(&span, keep->data(), compact) == 0) continue;
+    }
+    NLQ_RETURN_IF_ERROR(AccumulateSpecsBatch(*d.specs, span, state, scratch));
+  }
+  if (ctx != nullptr && ctx->stats() != nullptr) {
+    ctx->stats()->pages_decoded.fetch_add(scanner.pages_decoded(),
+                                          std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+ViewRegistry::ViewRegistry(size_t max_views, uint64_t memory_limit_bytes)
+    : max_views_(max_views), memory_(memory_limit_bytes) {}
+
+std::string ViewRegistry::KeyOf(const ViewDescriptor& d) {
+  std::string key = d.table_name;
+  key += "|s:";
+  for (const size_t slot : d.slots) key += StringPrintf("%zu,", slot);
+  key += "|f:";
+  for (const ColumnFilter& f : d.filters) {
+    key += StringPrintf("%zu~%d~", f.col, static_cast<int>(f.op));
+    AppendDoubleBits(f.value, &key);
+    key += ";";
+  }
+  key += "|a:";
+  for (const ColumnarAggSpec& spec : *d.specs) {
+    key += StringPrintf("%d:", static_cast<int>(spec.kind));
+    if (spec.udaf != nullptr) key += spec.udaf->name();
+    key += "(";
+    for (const Datum& c : spec.const_args) {
+      AppendDatumKey(c, &key);
+      key += ",";
+    }
+    key += ")";
+    for (const size_t col : spec.arg_cols) key += StringPrintf("%zu,", col);
+    key += StringPrintf("%d;", static_cast<int>(spec.result_type));
+  }
+  key += StringPrintf("|m:%llu", static_cast<unsigned long long>(d.morsel_rows));
+  return key;
+}
+
+bool ViewRegistry::EntryCurrent(const Entry& e, const ViewDescriptor& d) {
+  if (e.table != d.table) return false;  // DROP + CREATE reused the name
+  const size_t parts = d.table->num_partitions();
+  if (e.epochs.size() != parts) return false;
+  for (size_t p = 0; p < parts; ++p) {
+    const storage::Table& part = d.table->partition(p);
+    if (part.is_spilled()) return false;
+    if (part.mutation_epoch() != e.epochs[p]) return false;
+    if (part.num_rows() < e.watermarks[p]) return false;
+  }
+  return true;
+}
+
+ViewProbe ViewRegistry::Probe(const ViewDescriptor& d) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ViewProbe probe;
+  probe.total_rows = d.table->num_rows();
+  auto it = views_.find(KeyOf(d));
+  if (it == views_.end()) return probe;
+  if (!EntryCurrent(*it->second, d)) {
+    // Stale state can never be reused; drop it now so the next
+    // statement re-seeds instead of re-probing a corpse.
+    views_.erase(it);
+    probe.invalidated = true;
+    return probe;
+  }
+  probe.registered = true;
+  for (size_t p = 0; p < d.table->num_partitions(); ++p) {
+    probe.delta_rows +=
+        d.table->partition(p).num_rows() - it->second->watermarks[p];
+  }
+  return probe;
+}
+
+Status ViewRegistry::AccumulateDeltas(Entry* e, const ViewDescriptor& d,
+                                      ThreadPool* pool,
+                                      const QueryContext* ctx,
+                                      uint64_t* delta_rows) {
+  const size_t parts = d.table->num_partitions();
+  uint64_t delta = 0;
+  for (size_t p = 0; p < parts; ++p) {
+    delta += d.table->partition(p).num_rows() - e->watermarks[p];
+  }
+  *delta_rows = delta;
+
+  auto refresh_one = [&](size_t p) -> Status {
+    const storage::Table& part = d.table->partition(p);
+    const uint64_t cur = part.num_rows();
+    uint64_t wm = e->watermarks[p];
+    if (cur == wm) return Status::OK();
+    const uint64_t mr = d.morsel_rows;
+    auto& plist = e->partials[p];
+    SpanScratch scratch;
+    std::vector<ScratchColumn> compact(d.slots.size());
+    std::vector<uint8_t> keep;
+    while (wm < cur) {
+      // The morsel the watermark sits in: extend its partial from the
+      // watermark to the morsel end (or table end). Morsel boundaries
+      // come from the fixed (partition, offset) grid, so the stored
+      // partials line up one-to-one with the full-rescan grid; the
+      // kernel's strictly sequential per-accumulator chains make
+      // resuming mid-morsel bit-identical to one uninterrupted pass.
+      const size_t mi = mr == 0 ? 0 : static_cast<size_t>(wm / mr);
+      const uint64_t mend =
+          mr == 0 ? cur
+                  : std::min(cur, (static_cast<uint64_t>(mi) + 1) * mr);
+      if (mi >= plist.size()) {
+        plist.push_back(std::make_unique<PartialState>());
+        NLQ_RETURN_IF_ERROR(InitPartial(*d.specs, &memory_,
+                                        plist.back().get()));
+      }
+      NLQ_RETURN_IF_ERROR(AccumulateRange(part, d, plist[mi].get(), wm, mend,
+                                          ctx, /*use_failpoint=*/true,
+                                          &scratch, &compact, &keep));
+      wm = mend;
+    }
+    e->watermarks[p] = cur;
+    return Status::OK();
+  };
+
+  if (parts == 1 || pool == nullptr) {
+    for (size_t p = 0; p < parts; ++p) NLQ_RETURN_IF_ERROR(refresh_one(p));
+    return Status::OK();
+  }
+  return pool->ParallelFor(parts, refresh_one, ctx);
+}
+
+StatusOr<Row> ViewRegistry::MergeAndFinalize(const Entry& e,
+                                             const ViewDescriptor& d) {
+  // Fold a CLONE of the stored partials (never the stored state
+  // itself: merging mutates the destination, and the registered
+  // partials must survive for the next refresh). Clone-then-merge
+  // replays the rescan's fold arithmetic exactly: the accumulator
+  // starts as a byte copy of the first grid morsel's state, then the
+  // remaining morsels fold in morsel-index order.
+  PartialState acc;
+  bool have_first = false;
+  for (const auto& plist : e.partials) {
+    for (const auto& pm : plist) {
+      if (!have_first) {
+        NLQ_RETURN_IF_ERROR(
+            ClonePartialInto(*d.specs, /*memory=*/nullptr, *pm, &acc));
+        have_first = true;
+        continue;
+      }
+      NLQ_RETURN_IF_ERROR(MergePartial(*d.specs, &acc, pm.get()));
+    }
+  }
+  if (!have_first) {
+    // Empty table: the rescan grid has one empty morsel whose partial
+    // is a freshly Init-ed state; replicate it.
+    NLQ_RETURN_IF_ERROR(InitPartial(*d.specs, /*memory=*/nullptr, &acc));
+  }
+  return FinalizePartial(*d.specs, acc);
+}
+
+StatusOr<Row> ViewRegistry::RescanWithoutView(const ViewDescriptor& d,
+                                              ThreadPool* pool,
+                                              const QueryContext* ctx) {
+  const std::vector<Morsel> grid = BuildMorselGrid(*d.table, d.morsel_rows);
+  const size_t n = grid.size();
+  std::vector<PartialState> partials(n);
+  MemoryTracker* memory = ctx != nullptr ? ctx->memory() : nullptr;
+  auto drain_one = [&](size_t m) -> Status {
+    NLQ_RETURN_IF_ERROR(InitPartial(*d.specs, memory, &partials[m]));
+    SpanScratch scratch;
+    std::vector<ScratchColumn> compact(d.slots.size());
+    std::vector<uint8_t> keep;
+    return AccumulateRange(d.table->partition(grid[m].partition), d,
+                           &partials[m], grid[m].begin, grid[m].end, ctx,
+                           /*use_failpoint=*/false, &scratch, &compact,
+                           &keep);
+  };
+  if (n == 1 || pool == nullptr) {
+    for (size_t m = 0; m < n; ++m) NLQ_RETURN_IF_ERROR(drain_one(m));
+  } else {
+    NLQ_RETURN_IF_ERROR(pool->ParallelFor(n, drain_one, ctx));
+  }
+  for (size_t m = 1; m < n; ++m) {
+    NLQ_RETURN_IF_ERROR(MergePartial(*d.specs, &partials[0], &partials[m]));
+  }
+  return FinalizePartial(*d.specs, partials[0]);
+}
+
+StatusOr<Row> ViewRegistry::Serve(const ViewDescriptor& d, ThreadPool* pool,
+                                  const QueryContext* ctx) {
+  std::lock_guard<std::mutex> lock(mu_);
+  QueryStats* stats = ctx != nullptr ? ctx->stats() : nullptr;
+  const std::string key = KeyOf(d);
+
+  auto it = views_.find(key);
+  if (it != views_.end() && !EntryCurrent(*it->second, d)) {
+    views_.erase(it);
+    it = views_.end();
+  }
+  const bool seeded = it == views_.end();
+  if (seeded) {
+    auto entry = std::make_unique<Entry>();
+    entry->table = d.table;
+    entry->table_name = d.table_name;
+    const size_t parts = d.table->num_partitions();
+    entry->epochs.resize(parts);
+    entry->watermarks.assign(parts, 0);
+    entry->partials.resize(parts);
+    for (size_t p = 0; p < parts; ++p) {
+      entry->epochs[p] = d.table->partition(p).mutation_epoch();
+    }
+    it = views_.emplace(key, std::move(entry)).first;
+  }
+  it->second->last_served = ++lru_tick_;
+
+  uint64_t delta_rows = 0;
+  Status status =
+      AccumulateDeltas(it->second.get(), d, pool, ctx, &delta_rows);
+  StatusOr<Row> row = status.ok() ? MergeAndFinalize(*it->second, d)
+                                  : StatusOr<Row>(status);
+  if (!row.ok()) {
+    // A half-applied delta leaves the stored partials unusable either
+    // way: drop the entry. Cancellation/deadline unwind the statement;
+    // anything else (injected view_maintenance fault, exhausted view
+    // memory, decode error) degrades to a registry-free full rescan —
+    // a slower statement, never a wrong one.
+    views_.erase(it);
+    const StatusCode code = row.status().code();
+    if (code == StatusCode::kCancelled ||
+        code == StatusCode::kDeadlineExceeded) {
+      return row.status();
+    }
+    if (stats != nullptr) {
+      stats->view_misses.fetch_add(1, std::memory_order_relaxed);
+      stats->view_rebuilds.fetch_add(1, std::memory_order_relaxed);
+    }
+    return RescanWithoutView(d, pool, ctx);
+  }
+
+  if (stats != nullptr) {
+    if (seeded) {
+      stats->view_misses.fetch_add(1, std::memory_order_relaxed);
+      stats->view_rebuilds.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      stats->view_hits.fetch_add(1, std::memory_order_relaxed);
+      stats->view_delta_rows.fetch_add(delta_rows,
+                                       std::memory_order_relaxed);
+    }
+  }
+  if (seeded) EvictIfNeeded();
+  return row;
+}
+
+void ViewRegistry::InvalidateTable(const std::string& table_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = views_.begin(); it != views_.end();) {
+    if (it->second->table_name == table_name) {
+      it = views_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t ViewRegistry::num_views() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return views_.size();
+}
+
+void ViewRegistry::EvictIfNeeded() {
+  while (views_.size() > max_views_) {
+    auto victim = views_.begin();
+    for (auto it = views_.begin(); it != views_.end(); ++it) {
+      if (it->second->last_served < victim->second->last_served) victim = it;
+    }
+    views_.erase(victim);
+  }
+}
+
+}  // namespace nlq::engine::exec

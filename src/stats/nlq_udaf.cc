@@ -112,6 +112,10 @@ class NlqListUdf : public udf::AggregateUdf {
   StatusOr<Datum> Finalize(const void* state) const override {
     return NlqFinalizeState(static_cast<const NlqState*>(state));
   }
+
+  /// NlqState is a self-contained POD (static_asserted above), so the
+  /// maintained-view registry may memcpy it between heap segments.
+  size_t RelocatableStateSize() const override { return sizeof(NlqState); }
 };
 
 // ---------------------------------------------------------------------------
@@ -178,6 +182,8 @@ class NlqStringUdf : public udf::AggregateUdf {
   StatusOr<Datum> Finalize(const void* state) const override {
     return NlqFinalizeState(static_cast<const NlqState*>(state));
   }
+
+  size_t RelocatableStateSize() const override { return sizeof(NlqState); }
 };
 
 // ---------------------------------------------------------------------------
@@ -265,6 +271,10 @@ class NlqBlockUdf : public udf::AggregateUdf {
       for (int32_t b = 0; b < dst->cols; ++b) dst->q[a][b] += src->q[a][b];
     }
     return Status::OK();
+  }
+
+  size_t RelocatableStateSize() const override {
+    return sizeof(NlqBlockState);
   }
 
   StatusOr<Datum> Finalize(const void* raw_state) const override {

@@ -69,7 +69,8 @@ class PartitionedTable {
   Status AppendRowToPartition(size_t p, const Row& row) {
     NLQ_RETURN_IF_ERROR(schema_.ValidateRow(row));
     if (partitions_[p]->is_spilled()) {
-      return Status::NotSupported("table is spilled and read-only");
+      return Status::NotSupported(
+          "cannot append: partition is spilled to disk and read-only");
     }
     partitions_[p]->AppendRowUnchecked(row);
     return Status::OK();

@@ -362,7 +362,9 @@ Table::Table(Schema schema) : schema_(std::move(schema)), codec_(&schema_) {}
 
 Status Table::AppendRow(const Row& row) {
   if (is_spilled()) {
-    return Status::NotSupported("cannot append to a spilled table");
+    return Status::NotSupported(
+        "cannot append to a spilled table: spilled partitions are "
+        "read-only");
   }
   NLQ_RETURN_IF_ERROR(schema_.ValidateRow(row));
   AppendRowUnchecked(row);
@@ -398,6 +400,7 @@ void Table::Clear() {
   data_bytes_ = 0;
   column_cache_.clear();
   spill_.reset();
+  ++mutation_epoch_;
 }
 
 Status Table::SpillToDisk(const std::string& path, BufferPool* pool,
@@ -408,6 +411,7 @@ Status Table::SpillToDisk(const std::string& path, BufferPool* pool,
   spill_ = std::move(seg);
   pages_.clear();
   column_cache_.clear();
+  ++mutation_epoch_;
   return Status::OK();
 }
 

@@ -170,6 +170,15 @@ class Table {
   uint64_t num_rows() const { return num_rows_; }
   size_t num_pages() const { return pages_.size(); }
 
+  /// Counts destructive mutations: Clear(), SpillToDisk() and
+  /// LoadFromFile() (which Clears first) bump it; appends do NOT —
+  /// appends only grow the row space, so incremental consumers (the
+  /// maintained-view registry) can tell "rows were added past my
+  /// watermark" (epoch unchanged, num_rows grew: accumulate the delta)
+  /// from "history I already consumed was rewritten" (epoch changed:
+  /// discard and rebuild).
+  uint64_t mutation_epoch() const { return mutation_epoch_; }
+
   /// Total payload bytes across pages (row data only).
   uint64_t data_bytes() const { return data_bytes_; }
 
@@ -267,6 +276,7 @@ class Table {
   std::vector<std::unique_ptr<Page>> pages_;
   uint64_t num_rows_ = 0;
   uint64_t data_bytes_ = 0;
+  uint64_t mutation_epoch_ = 0;
   std::string encode_buffer_;
 
   /// Lazily filled by EnsureDecodedColumns; indexed by schema slot,

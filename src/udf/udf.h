@@ -102,6 +102,17 @@ class AggregateUdf {
     (void)state, (void)const_args, (void)cols, (void)num_cols, (void)rows;
     return Status::Internal(name() + " does not support columnar spans");
   }
+
+  /// Size in bytes of the state when it is a self-contained
+  /// trivially-copyable block: memcpy-ing that many bytes from one
+  /// Init-ed state to another transplants the aggregate exactly (no
+  /// interior pointers, no heap references beyond the block). 0 means
+  /// the state is NOT relocatable and may only live where Init placed
+  /// it. Relocatability is what lets the engine keep materialized
+  /// partial states across statements (the maintained-view registry
+  /// clones stored partials before merging so refreshes never corrupt
+  /// the registered state).
+  virtual size_t RelocatableStateSize() const { return 0; }
 };
 
 /// Case-insensitive registry of scalar and aggregate UDFs. The engine

@@ -230,6 +230,19 @@ bool SpillSmoke() {
   return v != nullptr && v[0] == '1';
 }
 
+/// NLQ_TEST_VIEWS=1 (the CI views-smoke job) re-runs the suite with
+/// maintained-view registration enabled: every eligible aggregate is
+/// executed twice — the first statement seeds the view's per-morsel
+/// partials, the second serves the registered entry — and both must be
+/// bit-identical to the views-off columnar result, which the row path
+/// and the external oracle already pin. Under NLQ_TEST_SPILL the
+/// tables are spilled, so views are ineligible and the mode degrades
+/// to the plain suite.
+bool ViewsSmoke() {
+  const char* v = std::getenv("NLQ_TEST_VIEWS");
+  return v != nullptr && v[0] == '1';
+}
+
 void CreateAndFill(Database* db, const TableConfig& cfg,
                    const std::vector<std::string>& inserts) {
   std::string create = "CREATE TABLE T (i BIGINT";
@@ -256,6 +269,7 @@ std::unique_ptr<Database> MakeDiffDatabase(const TableConfig& cfg,
     options.buffer_pool_bytes =
         storage::kPageSize * storage::BufferPool::kMinFrames;
   }
+  options.enable_view_maintenance = ViewsSmoke();
   auto db = std::make_unique<Database>(options);
   EXPECT_TRUE(stats::RegisterAllStatsUdfs(&db->udfs()).ok());
   return db;
@@ -367,9 +381,19 @@ void RunCase(Database* db, const TableConfig& cfg, const WhereVariant& where,
   auto row_plan = db->Explain(udf_sql, Interpreted());
   NLQ_ASSERT_OK(col_plan.status());
   NLQ_ASSERT_OK(row_plan.status());
-  EXPECT_NE(col_plan->find("ColumnarAggregate"), std::string::npos)
-      << udf_sql << "\n"
-      << *col_plan;
+  if (ViewsSmoke() && !SpillSmoke()) {
+    // The execution above seeded the view; the plan now serves it.
+    EXPECT_NE(col_plan->find("MaintainedViewScan"), std::string::npos)
+        << udf_sql << "\n"
+        << *col_plan;
+    EXPECT_NE(col_plan->find("view=fresh"), std::string::npos)
+        << udf_sql << "\n"
+        << *col_plan;
+  } else {
+    EXPECT_NE(col_plan->find("ColumnarAggregate"), std::string::npos)
+        << udf_sql << "\n"
+        << *col_plan;
+  }
   EXPECT_EQ(row_plan->find("Columnar"), std::string::npos)
       << udf_sql << "\n"
       << *row_plan;
@@ -377,6 +401,14 @@ void RunCase(Database* db, const TableConfig& cfg, const WhereVariant& where,
   sigs->col = ResultSignature(*columnar);
   sigs->row = ResultSignature(*rowpath);
   EXPECT_EQ(sigs->col, sigs->row) << udf_sql;
+
+  if (ViewsSmoke()) {
+    // Fresh-hit pass: the registered view (zero delta) must reproduce
+    // the seeding statement's bytes exactly.
+    auto again = db->Execute(udf_sql);
+    NLQ_ASSERT_OK(again.status());
+    EXPECT_EQ(ResultSignature(*again), sigs->col) << udf_sql;
+  }
 
   // Decoded UDF result vs the external oracle, bit for bit. Skipped
   // when no row survived: a never-accumulated UDF state finalizes as

@@ -8,6 +8,7 @@
 #include "common/failpoint.h"
 #include "connect/odbc_sim.h"
 #include "engine/database.h"
+#include "engine/exec/view_registry.h"
 #include "gen/datagen.h"
 #include "storage/table.h"
 #include "tests/test_util.h"
@@ -317,6 +318,47 @@ TEST_F(FaultInjectionTest, DiskIoFaultFailsSpilledScanCleanly) {
 
   failpoint::Deactivate("disk_io");
   ExpectEngineRecovered();
+}
+
+TEST_F(FaultInjectionTest, ViewMaintenanceFaultDegradesToRescanNotWrongResults) {
+  // A fault in the view's delta/seed accumulation must never fail the
+  // statement or change a bit of its result: the registry drops the
+  // poisoned entry and the statement degrades to a plain full rescan.
+  const char* kSql = "SELECT nlq_list('triang', X1, X2) FROM X";
+  auto baseline = db_->Execute(kSql);  // db_ has no view maintenance
+  NLQ_ASSERT_OK(baseline.status());
+
+  engine::DatabaseOptions options;
+  options.num_partitions = 4;
+  options.enable_view_maintenance = true;
+  engine::Database vdb(options);
+  NLQ_ASSERT_OK(stats::RegisterAllStatsUdfs(&vdb.udfs()));
+  gen::MixtureOptions gen_options;
+  gen_options.n = kRows;
+  gen_options.d = 2;
+  gen_options.seed = 77;  // same rows as db_'s X
+  NLQ_ASSERT_OK(gen::GenerateDataSetTable(&vdb, "X", gen_options).status());
+
+  failpoint::Activate("view_maintenance",
+                      Status::Internal("injected view fault"));
+  auto degraded = vdb.Execute(kSql);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_GE(failpoint::HitCount("view_maintenance"), 1);
+  EXPECT_EQ(degraded->At(0, 0).string_value(),
+            baseline->At(0, 0).string_value());
+  // The half-seeded entry was dropped, not kept.
+  ASSERT_NE(vdb.view_registry(), nullptr);
+  EXPECT_EQ(vdb.view_registry()->num_views(), 0u);
+  ASSERT_TRUE(vdb.last_query_stats().has_value());
+  EXPECT_EQ(vdb.last_query_stats()->view_rebuilds, 1u);
+
+  // Disarmed, the same statement seeds the view and still matches.
+  failpoint::Deactivate("view_maintenance");
+  auto seeded = vdb.Execute(kSql);
+  ASSERT_TRUE(seeded.ok()) << seeded.status().ToString();
+  EXPECT_EQ(seeded->At(0, 0).string_value(),
+            baseline->At(0, 0).string_value());
+  EXPECT_EQ(vdb.view_registry()->num_views(), 1u);
 }
 
 TEST_F(FaultInjectionTest, ColumnCacheFillFaultSurfaces) {

@@ -158,6 +158,12 @@ TEST(SpillEquivalenceTest, SpilledTableIsReadOnlyAndSpillIsIdempotent) {
   auto insert = db->Execute("INSERT INTO X VALUES (1, 2.0, 3.0)");
   ASSERT_FALSE(insert.ok());
   EXPECT_EQ(insert.status().code(), StatusCode::kNotSupported);
+  // The error names the table and points at the resident path, not a
+  // bare "not supported".
+  const std::string message(insert.status().message());
+  EXPECT_NE(message.find("INSERT into 'X'"), std::string::npos) << message;
+  EXPECT_NE(message.find("spilled"), std::string::npos) << message;
+  EXPECT_NE(message.find("DROP TABLE X"), std::string::npos) << message;
 
   // Re-spilling is a no-op, not an error; the data stays intact.
   NLQ_ASSERT_OK(db->SpillTable("X"));

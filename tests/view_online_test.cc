@@ -1,0 +1,218 @@
+// The online scenario maintained views exist for (ISSUE 8): concurrent
+// writers streaming appends into disjoint partitions, a periodic model
+// refresh served from the maintained view (O(delta) per refresh), and
+// scoring readers consuming the latest model snapshot — all while the
+// final model stays bit-identical to a from-scratch rescan of the same
+// rows on a views-free database.
+//
+// Synchronization contract (the Database itself is NOT thread-safe):
+// writers append through PartitionedTable::AppendRowToPartition, each
+// owning one partition, under a shared lock — concurrent with each
+// other (different Table objects), excluded from statements; the
+// refresher takes the lock exclusively around each Database::Execute.
+// Scoring readers never touch the database: they decode the latest
+// published model snapshot under its own mutex. Run under TSan, this
+// is the race check for the whole append + view-refresh + scoring
+// stack; run anywhere, the bit-exactness assertions hold.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/strings.h"
+#include "engine/database.h"
+#include "engine/exec/view_registry.h"
+#include "stats/sufstats.h"
+#include "storage/partitioned_table.h"
+#include "tests/test_util.h"
+
+namespace nlq::engine {
+namespace {
+
+using storage::Datum;
+using storage::Row;
+
+constexpr size_t kPartitions = 4;
+constexpr size_t kInitialPerPartition = 300;
+constexpr size_t kStreamPerPartition = 900;  // appended by the writers
+constexpr const char* kModelSql = "SELECT nlq_list('triang', X1, X2) FROM T";
+
+/// Deterministic dyadic cell, a pure function of (partition, row,
+/// column): the writer streams and the oracle replay generate the
+/// exact same rows without any shared state.
+double CellValue(size_t p, size_t r, size_t c) {
+  const int64_t k =
+      static_cast<int64_t>((p * 7919 + r * 37 + c * 131 + 3) % 4096) - 2048;
+  return static_cast<double>(k) / 256.0;
+}
+
+Row MakeRow(size_t p, size_t r) {
+  return {Datum::Int64(static_cast<int64_t>(p * 1000000 + r)),
+          Datum::Double(CellValue(p, r, 1)), Datum::Double(CellValue(p, r, 2))};
+}
+
+std::unique_ptr<Database> MakeDb(size_t threads, bool views) {
+  DatabaseOptions options;
+  options.num_partitions = kPartitions;
+  options.num_threads = threads;
+  options.morsel_rows = 256;
+  options.enable_view_maintenance = views;
+  auto db = std::make_unique<Database>(options);
+  EXPECT_TRUE(stats::RegisterAllStatsUdfs(&db->udfs()).ok());
+  return db;
+}
+
+void CreateT(Database* db) {
+  NLQ_ASSERT_OK(
+      db->ExecuteCommand("CREATE TABLE T (i BIGINT, X1 DOUBLE, X2 DOUBLE)"));
+}
+
+/// Appends rows [begin, end) of partition `p`'s stream.
+void AppendStream(storage::PartitionedTable* table, size_t p, size_t begin,
+                  size_t end) {
+  for (size_t r = begin; r < end; ++r) {
+    NLQ_ASSERT_OK(table->AppendRowToPartition(p, MakeRow(p, r)));
+  }
+}
+
+TEST(ViewOnlineTest, ConcurrentAppendRefreshScoreStaysBitExact) {
+  const size_t kThreads[] = {1, 2, 4};
+  std::string baseline;
+  for (const size_t threads : kThreads) {
+    SCOPED_TRACE(StringPrintf("threads=%zu", threads));
+    auto db = MakeDb(threads, /*views=*/true);
+    CreateT(db.get());
+    NLQ_ASSERT_OK_AND_ASSIGN(storage::PartitionedTable * table,
+                             db->catalog().GetTable("T"));
+    for (size_t p = 0; p < kPartitions; ++p) {
+      AppendStream(table, p, 0, kInitialPerPartition);
+    }
+
+    std::shared_mutex db_mu;       // writers shared, statements exclusive
+    std::mutex model_mu;           // guards the published snapshot
+    std::string latest_model;      // packed SufStats of the last refresh
+    std::atomic<bool> writers_done{false};
+    std::atomic<uint64_t> refreshes{0};
+    std::atomic<uint64_t> view_hits{0};
+    std::atomic<uint64_t> models_scored{0};
+
+    // One writer per partition, appending its stream in chunks.
+    std::vector<std::thread> workers;
+    for (size_t p = 0; p < kPartitions; ++p) {
+      workers.emplace_back([&, p] {
+        constexpr size_t kChunk = 64;
+        for (size_t r = kInitialPerPartition; r < kStreamPerPartition;
+             r += kChunk) {
+          const size_t end = std::min(r + kChunk, kStreamPerPartition);
+          std::shared_lock<std::shared_mutex> lock(db_mu);
+          AppendStream(table, p, r, end);
+        }
+      });
+    }
+
+    // Periodic model refresh: every statement runs exclusively; the
+    // maintained view turns each one into an O(delta) accumulate. At
+    // least one refresh always runs (the seeding one), however fast
+    // the writers drain.
+    auto refresh_once = [&] {
+      std::unique_lock<std::shared_mutex> lock(db_mu);
+      auto result = db->Execute(kModelSql);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      ASSERT_TRUE(db->last_query_stats().has_value());
+      view_hits.fetch_add(db->last_query_stats()->view_hits,
+                          std::memory_order_relaxed);
+      std::lock_guard<std::mutex> model_lock(model_mu);
+      latest_model = result->At(0, 0).string_value();
+    };
+    workers.emplace_back([&] {
+      do {
+        refresh_once();
+        refreshes.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::yield();
+      } while (!writers_done.load(std::memory_order_acquire));
+    });
+
+    // Scoring readers: consume whatever model is current. They touch
+    // only the published snapshot, never the database. The stop flag
+    // is raised only after a final model is published, so every reader
+    // scores at least once before exiting.
+    std::atomic<bool> stop_readers{false};
+    std::vector<std::thread> readers;
+    for (size_t i = 0; i < 2; ++i) {
+      readers.emplace_back([&] {
+        while (true) {
+          const bool stopping = stop_readers.load(std::memory_order_acquire);
+          std::string model;
+          {
+            std::lock_guard<std::mutex> lock(model_mu);
+            model = latest_model;
+          }
+          if (!model.empty()) {
+            auto decoded = stats::SufStats::FromPackedString(model);
+            ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+            ASSERT_GT(decoded->n(), 0.0);
+            models_scored.fetch_add(1, std::memory_order_relaxed);
+          }
+          if (stopping) break;
+          std::this_thread::yield();
+        }
+      });
+    }
+
+    for (size_t p = 0; p < kPartitions; ++p) workers[p].join();
+    writers_done.store(true, std::memory_order_release);
+    workers.back().join();
+
+    // The authoritative final refresh: a guaranteed view hit (the
+    // refresher seeded the entry and nothing invalidated it since).
+    refresh_once();
+    stop_readers.store(true, std::memory_order_release);
+    for (auto& t : readers) t.join();
+
+    EXPECT_GE(refreshes.load(), 1u);
+    EXPECT_GE(view_hits.load(), 1u);
+    EXPECT_GE(models_scored.load(), 2u);
+
+    // The final refresh saw every appended row.
+    std::string final_model;
+    {
+      std::lock_guard<std::mutex> lock(model_mu);
+      final_model = latest_model;
+    }
+    NLQ_ASSERT_OK_AND_ASSIGN(stats::SufStats final_stats,
+                             stats::SufStats::FromPackedString(final_model));
+    EXPECT_EQ(final_stats.n(),
+              static_cast<double>(kPartitions * kStreamPerPartition));
+
+    // Bit-exact against a from-scratch, views-free replay of the same
+    // per-partition streams.
+    auto oracle_db = MakeDb(threads, /*views=*/false);
+    CreateT(oracle_db.get());
+    NLQ_ASSERT_OK_AND_ASSIGN(storage::PartitionedTable * oracle_table,
+                             oracle_db->catalog().GetTable("T"));
+    for (size_t p = 0; p < kPartitions; ++p) {
+      AppendStream(oracle_table, p, 0, kStreamPerPartition);
+    }
+    auto oracle = oracle_db->Execute(kModelSql);
+    NLQ_ASSERT_OK(oracle.status());
+    EXPECT_EQ(final_model, oracle->At(0, 0).string_value());
+
+    // And across worker-thread counts: the same bytes every time.
+    if (baseline.empty()) {
+      baseline = final_model;
+    } else {
+      EXPECT_EQ(final_model, baseline);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nlq::engine
