@@ -1,0 +1,175 @@
+// Server front-end throughput (DESIGN.md section 14): statements/sec
+// and p95 admission queue-wait through the full wire path — client
+// encode → TCP loopback → admission → shared Database → reply — at
+// client counts {1, 4, 16} against a server pinned to 4 concurrent
+// statements. 1 client measures protocol overhead on an idle server,
+// 4 clients saturate the slots without queueing, 16 clients run
+// overloaded so the queue-wait histogram shows real waiting (the
+// queue is deep enough that nothing is rejected; rejection behavior
+// is the overload test's job, not a throughput number).
+//
+// Counters per client count:
+//   statements_per_sec — completed statements over wall-clock
+//   queue_wait_p95_ms  — p95 of server.queue_wait across this run
+//   rejected           — retryable rejections (0 at these depths)
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/metrics.h"
+#include "server/client.h"
+#include "server/server.h"
+
+namespace {
+
+using namespace nlq;
+
+constexpr size_t kClientCounts[] = {1, 4, 16};
+constexpr int kStatementsPerClientPerIter = 8;
+constexpr char kSql[] = "SELECT COUNT(*), SUM(X1), SUM(X1*X1) FROM X";
+
+struct ServerFixture {
+  std::unique_ptr<engine::Database> db;
+  std::unique_ptr<server::Server> server;
+};
+
+/// One shared server for the whole suite: 100k-scale mixture table,
+/// 4 admission slots, queue deep enough that clients wait rather
+/// than bounce.
+ServerFixture& Fixture() {
+  static ServerFixture* fixture = [] {
+    auto* f = new ServerFixture();
+    f->db = bench::MakeBenchDatabase();
+    bench::LoadMixture(f->db.get(), "X", bench::ScaledRows(100), /*d=*/4);
+    server::ServerOptions options;
+    options.port = 0;
+    options.admission.max_concurrent_statements = 4;
+    options.admission.max_queue_depth = 64;
+    options.admission.max_queue_wait_ms = 60'000;
+    f->server = std::make_unique<server::Server>(f->db.get(), options);
+    Status started = f->server->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "server start failed: %s\n",
+                   started.ToString().c_str());
+      std::abort();
+    }
+    return f;
+  }();
+  return *fixture;
+}
+
+/// p95 upper bound (ms) of the queue-wait histogram restricted to
+/// observations made after `before` was captured.
+double QueueWaitP95Ms(const Histogram& hist,
+                      const std::vector<uint64_t>& before) {
+  std::vector<uint64_t> delta(Histogram::kNumBuckets);
+  uint64_t total = 0;
+  for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+    delta[b] = hist.BucketCount(b) - before[b];
+    total += delta[b];
+  }
+  if (total == 0) return 0.0;
+  const uint64_t target = (total * 95 + 99) / 100;  // ceil
+  uint64_t seen = 0;
+  for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+    seen += delta[b];
+    if (seen >= target) {
+      const uint64_t upper = Histogram::BucketUpperNanos(b);
+      return upper == UINT64_MAX ? 1e9 : static_cast<double>(upper) / 1e6;
+    }
+  }
+  return 0.0;
+}
+
+void BenchServerThroughput(benchmark::State& state, size_t num_clients) {
+  ServerFixture& f = Fixture();
+
+  // Persistent connections: each worker thread owns one client for
+  // the whole benchmark, so the measured loop is statements, not
+  // handshakes.
+  std::vector<std::unique_ptr<server::NlqClient>> clients;
+  for (size_t c = 0; c < num_clients; ++c) {
+    auto client = std::make_unique<server::NlqClient>();
+    Status connected =
+        client->Connect("127.0.0.1", f.server->port(), /*timeout_ms=*/60'000);
+    if (!connected.ok()) {
+      state.SkipWithError(connected.ToString().c_str());
+      return;
+    }
+    clients.push_back(std::move(client));
+  }
+
+  Histogram& queue_wait =
+      MetricsRegistry::Global().histogram("server.queue_wait");
+  std::vector<uint64_t> hist_before(Histogram::kNumBuckets);
+  for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+    hist_before[b] = queue_wait.BucketCount(b);
+  }
+
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> rejected{0};
+  std::atomic<uint64_t> errors{0};
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  for (auto _ : state) {
+    std::vector<std::thread> workers;
+    workers.reserve(num_clients);
+    for (size_t c = 0; c < num_clients; ++c) {
+      workers.emplace_back([&, c] {
+        server::NlqClient& client = *clients[c];
+        for (int s = 0; s < kStatementsPerClientPerIter; ++s) {
+          auto result = client.Query(kSql);
+          if (result.ok()) {
+            completed.fetch_add(1, std::memory_order_relaxed);
+          } else if (client.last_error_retryable()) {
+            rejected.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            errors.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  if (errors.load() > 0) {
+    state.SkipWithError("statements failed with non-retryable errors");
+    return;
+  }
+  state.counters["statements_per_sec"] =
+      wall_seconds > 0
+          ? static_cast<double>(completed.load()) / wall_seconds
+          : 0.0;
+  state.counters["queue_wait_p95_ms"] = QueueWaitP95Ms(queue_wait, hist_before);
+  state.counters["rejected"] = static_cast<double>(rejected.load());
+
+  for (auto& client : clients) client->Goodbye();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Fixture();  // build the table + server before any timing
+  for (const size_t clients : kClientCounts) {
+    bench::RegisterReal(
+        "server_throughput/clients:" + std::to_string(clients),
+        [clients](benchmark::State& state) {
+          BenchServerThroughput(state, clients);
+        });
+  }
+  const int rc = nlq::bench::RunSuite("bench_server_throughput", &argc, argv);
+  Fixture().server->Shutdown();
+  return rc;
+}

@@ -1,0 +1,184 @@
+// Multi-threaded load driver for nlq_server: N worker threads each
+// open a connection and fire statements back-to-back for a fixed
+// duration (or statement count), then the driver prints a JSON
+// summary. CI's server-smoke job asserts on these fields:
+//
+//   {"completed": .., "rejected": .., "internal_errors": ..,
+//    "io_errors": .., "statements_per_sec": ..,
+//    "queue_wait_p95_ms": .., "queue_wait_count": ..}
+//
+// "rejected" counts retryable admission rejections (the expected
+// overload behavior); "internal_errors" counts everything else — a
+// healthy overloaded server keeps it at 0.
+//
+// Usage:
+//   nlq_client_driver --port N [--host A] [--threads N]
+//                     [--statements N] [--duration-ms N] [--sql S]
+//                     [--retry-rejected 0|1]
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.h"
+
+namespace {
+
+int64_t ArgInt(int argc, char** argv, const char* flag, int64_t fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return std::atoll(argv[i + 1]);
+  }
+  return fallback;
+}
+
+std::string ArgStr(int argc, char** argv, const char* flag,
+                   const std::string& fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+struct WorkerTotals {
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> rejected{0};
+  std::atomic<uint64_t> internal_errors{0};
+  std::atomic<uint64_t> io_errors{0};
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string host = ArgStr(argc, argv, "--host", "127.0.0.1");
+  const uint16_t port =
+      static_cast<uint16_t>(ArgInt(argc, argv, "--port", 7687));
+  const size_t threads =
+      static_cast<size_t>(ArgInt(argc, argv, "--threads", 8));
+  const int64_t per_thread_statements =
+      ArgInt(argc, argv, "--statements", 50);
+  const int64_t duration_ms = ArgInt(argc, argv, "--duration-ms", 0);
+  const bool retry_rejected = ArgInt(argc, argv, "--retry-rejected", 0) != 0;
+  const std::string sql = ArgStr(
+      argc, argv, "--sql",
+      "SELECT COUNT(*), SUM(X1), SUM(X1*X1) FROM X");
+
+  WorkerTotals totals;
+  const auto start = std::chrono::steady_clock::now();
+  const auto stop_at = start + std::chrono::milliseconds(duration_ms);
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      nlq::server::NlqClient client;
+      if (!client.Connect(host, port).ok()) {
+        totals.io_errors.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      int64_t sent = 0;
+      while (duration_ms > 0
+                 ? std::chrono::steady_clock::now() < stop_at
+                 : sent < per_thread_statements) {
+        ++sent;
+        nlq::StatusOr<nlq::engine::ResultSet> result = client.Query(sql);
+        if (result.ok()) {
+          totals.completed.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (client.last_error_retryable()) {
+          totals.rejected.fetch_add(1, std::memory_order_relaxed);
+          if (retry_rejected) {
+            // Spread retries out instead of hammering in lockstep.
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1 + (t % 7)));
+            --sent;
+          }
+          continue;
+        }
+        if (!client.connected()) {
+          // Stream died (server gone / write timeout): count and stop.
+          totals.io_errors.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        totals.internal_errors.fetch_add(1, std::memory_order_relaxed);
+      }
+      client.Goodbye();
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const double elapsed_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  // Queue-wait p95 from the server's own histogram.
+  double queue_wait_p95_ms = -1.0;
+  uint64_t queue_wait_count = 0;
+  {
+    nlq::server::NlqClient client;
+    if (client.Connect(host, port).ok()) {
+      // The text snapshot carries the histogram; rather than parse
+      // JSON here, ask again in binary-friendly form: the snapshot is
+      // small, so scan for the queue-wait entries.
+      nlq::StatusOr<std::string> metrics = client.Metrics();
+      if (metrics.ok()) {
+        // "server.queue_wait": {"count": N, "sum_nanos": N,
+        //   "buckets": [{"le_nanos": U, "count": C}, ...]}
+        // (the overflow bucket has "le_nanos": null)
+        const std::string& json = *metrics;
+        size_t at = json.find("\"server.queue_wait\"");
+        if (at != std::string::npos) {
+          size_t count_at = json.find("\"count\": ", at);
+          if (count_at != std::string::npos) {
+            queue_wait_count =
+                std::strtoull(json.c_str() + count_at + 9, nullptr, 10);
+          }
+          size_t buckets_at = json.find("\"buckets\": [", at);
+          if (buckets_at != std::string::npos && queue_wait_count > 0) {
+            // Walk the cumulative counts to the 95th percentile bound.
+            uint64_t seen = 0;
+            const uint64_t target =
+                (queue_wait_count * 95 + 99) / 100;  // ceil
+            size_t pos = buckets_at;
+            const size_t buckets_end = json.find(']', buckets_at);
+            while (seen < target) {
+              size_t le_at = json.find("\"le_nanos\": ", pos);
+              if (le_at == std::string::npos || le_at > buckets_end) break;
+              char* end = nullptr;
+              const uint64_t upper =
+                  std::strtoull(json.c_str() + le_at + 12, &end, 10);
+              size_t c_at = json.find("\"count\": ", le_at);
+              if (c_at == std::string::npos) break;
+              seen += std::strtoull(json.c_str() + c_at + 9, &end, 10);
+              if (seen >= target) {
+                // upper is 0 for the "le_nanos": null overflow bucket.
+                queue_wait_p95_ms =
+                    upper > 0 ? static_cast<double>(upper) / 1e6 : 1e9;
+              }
+              pos = c_at + 9;
+            }
+          }
+        }
+      }
+      client.Goodbye();
+    }
+  }
+
+  const uint64_t completed = totals.completed.load();
+  std::printf(
+      "{\"completed\": %llu, \"rejected\": %llu, \"internal_errors\": %llu, "
+      "\"io_errors\": %llu, \"statements_per_sec\": %.1f, "
+      "\"queue_wait_p95_ms\": %.3f, \"queue_wait_count\": %llu}\n",
+      static_cast<unsigned long long>(completed),
+      static_cast<unsigned long long>(totals.rejected.load()),
+      static_cast<unsigned long long>(totals.internal_errors.load()),
+      static_cast<unsigned long long>(totals.io_errors.load()),
+      elapsed_sec > 0 ? static_cast<double>(completed) / elapsed_sec : 0.0,
+      queue_wait_p95_ms,
+      static_cast<unsigned long long>(queue_wait_count));
+  return totals.internal_errors.load() == 0 ? 0 : 1;
+}

@@ -1,0 +1,119 @@
+// The nlq_server binary: serves one embedded Database over the wire
+// protocol (src/server) until SIGTERM/SIGINT, then drains gracefully
+// and exits 0.
+//
+// Usage:
+//   nlq_server [--port N] [--host A] [--max-concurrent N]
+//              [--max-queue N] [--queue-wait-ms N] [--global-memory-mb N]
+//              [--max-sessions N] [--seed-rows N] [--seed-dims N]
+//
+// The server seeds a demo table X(i, X1..Xd, Y) so clients have
+// something to query; --seed-rows 0 starts with an empty catalog.
+
+#include <errno.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "engine/database.h"
+#include "gen/datagen.h"
+#include "server/server.h"
+
+namespace {
+
+// Self-pipe written by the signal handler; main blocks reading it.
+int g_signal_pipe[2] = {-1, -1};
+
+void HandleSignal(int /*sig*/) {
+  char byte = 1;
+  ssize_t ignored = write(g_signal_pipe[1], &byte, 1);
+  (void)ignored;
+}
+
+int64_t ArgInt(int argc, char** argv, const char* flag, int64_t fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return std::atoll(argv[i + 1]);
+  }
+  return fallback;
+}
+
+std::string ArgStr(int argc, char** argv, const char* flag,
+                   const std::string& fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  nlq::server::ServerOptions options;
+  options.host = ArgStr(argc, argv, "--host", "127.0.0.1");
+  options.port = static_cast<uint16_t>(ArgInt(argc, argv, "--port", 7687));
+  options.max_sessions =
+      static_cast<size_t>(ArgInt(argc, argv, "--max-sessions", 64));
+  options.admission.max_concurrent_statements =
+      static_cast<size_t>(ArgInt(argc, argv, "--max-concurrent", 4));
+  options.admission.max_queue_depth =
+      static_cast<size_t>(ArgInt(argc, argv, "--max-queue", 64));
+  options.admission.max_queue_wait_ms =
+      ArgInt(argc, argv, "--queue-wait-ms", 30'000);
+  options.admission.global_memory_limit = static_cast<uint64_t>(
+      ArgInt(argc, argv, "--global-memory-mb", 1024) * (1ll << 20));
+  options.admission.per_statement_reserve_bytes = static_cast<uint64_t>(
+      ArgInt(argc, argv, "--per-statement-reserve-mb", 64) * (1ll << 20));
+
+  nlq::engine::Database db;
+  const int64_t seed_rows = ArgInt(argc, argv, "--seed-rows", 20'000);
+  const int64_t seed_dims = ArgInt(argc, argv, "--seed-dims", 4);
+  if (seed_rows > 0) {
+    nlq::gen::MixtureOptions gen;
+    gen.n = static_cast<uint64_t>(seed_rows);
+    gen.d = static_cast<size_t>(seed_dims);
+    gen.with_y = true;
+    nlq::StatusOr<uint64_t> seeded =
+        nlq::gen::GenerateDataSetTable(&db, "X", gen);
+    if (!seeded.ok()) {
+      std::fprintf(stderr, "seeding demo table failed: %s\n",
+                   seeded.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  if (pipe(g_signal_pipe) != 0) {
+    std::perror("pipe");
+    return 1;
+  }
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = HandleSignal;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+  signal(SIGPIPE, SIG_IGN);  // dead clients must not kill the server
+
+  nlq::server::Server server(&db, options);
+  if (nlq::Status started = server.Start(); !started.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("nlq_server listening on %s:%u (max_concurrent=%zu)\n",
+              options.host.c_str(), server.port(),
+              options.admission.max_concurrent_statements);
+  std::fflush(stdout);
+
+  // Wait for SIGTERM/SIGINT.
+  char byte;
+  while (read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+
+  std::printf("draining...\n");
+  std::fflush(stdout);
+  server.Shutdown();
+  std::printf("drained, exiting\n");
+  return 0;
+}

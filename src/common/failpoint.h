@@ -41,6 +41,15 @@ namespace nlq::failpoint {
 ///                     (engine/exec/view_registry.cc); an armed fault
 ///                     drops the view and degrades the statement to a
 ///                     plain full rescan — results stay correct
+///   server_accept   — server accept path (server/server.cc); an armed
+///                     fault drops that one accepted connection, the
+///                     listener survives
+///   server_read     — server/client frame reads (server/protocol.cc);
+///                     fails that connection's request, others keep
+///                     working
+///   server_write    — server/client frame writes; the session closes
+///                     cleanly, in-flight statements elsewhere are
+///                     unaffected
 ///
 /// All functions are thread-safe; parallel workers hit the same
 /// failpoint concurrently.

@@ -39,6 +39,15 @@ class QueryContext {
   /// context's lifetime.
   std::shared_ptr<std::atomic<bool>> cancel_token() const { return cancel_; }
 
+  /// Replaces the context's token with an externally owned one (the
+  /// server hands each session statement a token it can flip during
+  /// the admission wait as well as mid-execution). Call before
+  /// execution starts; a token already flipped cancels the statement
+  /// at its first CheckAlive.
+  void set_cancel_token(std::shared_ptr<std::atomic<bool>> token) {
+    if (token != nullptr) cancel_ = std::move(token);
+  }
+
   void RequestCancel() { cancel_->store(true, std::memory_order_release); }
   bool cancel_requested() const {
     return cancel_->load(std::memory_order_acquire);

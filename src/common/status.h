@@ -25,6 +25,11 @@ enum class StatusCode {
   kCancelled,
   kDeadlineExceeded,
   kCorruption,
+  /// The service is refusing work it would normally accept — a
+  /// draining server, a closed listener. Distinct from
+  /// kResourceExhausted (try again shortly) in that retrying against
+  /// the same endpoint will not help until it comes back.
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -85,6 +90,9 @@ class Status {
   }
   static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -126,6 +126,10 @@ Status ThreadPool::ParallelForMorsels(
     tls_inside_parallel_section = false;
     return s;
   }
+  // One section at a time: a concurrent statement's section waits
+  // here until the running one has fully torn down (current_batch_
+  // reset), keeping the publish/join protocol single-writer.
+  std::lock_guard<std::mutex> section_lock(section_mu_);
   auto batch = std::make_shared<Batch>(count, &fn, ctx);
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -47,11 +47,16 @@ namespace nlq {
 ///    the pool is reusable for the next batch afterwards.
 ///
 /// Batches are serialized: one ParallelFor/ParallelForMorsels runs at
-/// a time per pool, issued from one external thread at a time.
-/// Nesting is a deadlock-shaped error — a task must never call back
-/// into ParallelFor* on any pool (the inner call would claim the
-/// outer batch's worker while holding one of its indices). Debug
-/// builds assert on it; see ParallelForMorsels.
+/// a time per pool. Concurrent external callers (the server runs many
+/// sessions over one engine pool) are safe — a section mutex queues
+/// their batches, so a second statement's parallel section simply
+/// waits for the running one to drain before it is published. The
+/// wait is bounded by one section, not one statement: statements
+/// interleave at section granularity. Nesting is still a
+/// deadlock-shaped error — a task must never call back into
+/// ParallelFor* on any pool (the inner call would claim the outer
+/// batch's worker while holding one of its indices). Debug builds
+/// assert on it; see ParallelForMorsels.
 class ThreadPool {
  public:
   /// Creates `num_threads` workers (at least 1).
@@ -121,6 +126,12 @@ class ThreadPool {
   static void RecordError(Batch* batch, size_t index, Status status);
 
   std::vector<std::thread> threads_;
+  /// Serializes whole parallel sections across concurrent external
+  /// callers: held from batch publication to batch teardown, so two
+  /// statements issuing sections against one pool queue FIFO-ish
+  /// instead of corrupting current_batch_. Ordered before mu_ (a
+  /// section-holder takes mu_; never the reverse).
+  std::mutex section_mu_;
   std::mutex mu_;
   std::condition_variable work_available_;
   std::condition_variable batch_done_;

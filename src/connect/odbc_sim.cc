@@ -6,10 +6,24 @@
 
 #include "common/failpoint.h"
 #include "common/metrics.h"
+#include "common/random.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
 
 namespace nlq::connect {
+
+int64_t JitteredBackoffUs(const RetryPolicy& policy, int retry_index,
+                          int64_t backoff_us) {
+  if (backoff_us <= 0) return 0;
+  if (!policy.jitter) return backoff_us;
+  // One generator per (seed, retry_index): the draw for retry k does
+  // not depend on how earlier draws consumed the stream, so a test
+  // can predict any retry's sleep in isolation.
+  Random rng(policy.jitter_seed * 0x9e3779b97f4a7c15ull +
+             static_cast<uint64_t>(retry_index));
+  return static_cast<int64_t>(
+      rng.NextUint64(static_cast<uint64_t>(backoff_us) + 1));
+}
 
 double LinkModel::TransferSeconds(uint64_t rows, size_t values_per_row,
                                   uint64_t bytes) const {
@@ -43,9 +57,13 @@ StatusOr<OdbcExportResult> OdbcExporter::ExportTable(
       return result.status();
     }
     MetricsRegistry::Global().counter("odbc.retries").Increment();
-    if (backoff_us > 0) {
-      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    const int64_t sleep_us =
+        JitteredBackoffUs(retry_, /*retry_index=*/attempt - 1, backoff_us);
+    if (sleep_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
     }
+    // The growth schedule stays on the un-jittered bound, so a lucky
+    // short sleep does not also shrink every later bound.
     backoff_us = static_cast<int64_t>(static_cast<double>(backoff_us) *
                                       retry_.multiplier);
   }

@@ -29,11 +29,27 @@ struct LinkModel {
 /// drop: the exporter retries an attempt that fails with kIOError,
 /// backing off exponentially between attempts. Non-IO errors (bad
 /// table state, cancellation) are never retried.
+///
+/// Backoff uses full jitter (AWS-style): each sleep is uniform in
+/// [0, backoff] where backoff itself grows by `multiplier` per retry.
+/// Un-jittered exponential backoff synchronizes a fleet of clients
+/// that failed together into retrying together; the jitter spreads
+/// the retry storm out. `jitter_seed` makes the draw deterministic
+/// for tests; 0 seeds from the policy defaults (still deterministic
+/// per-exporter, varying per attempt sequence).
 struct RetryPolicy {
   int max_attempts = 3;            // total attempts, including the first
-  int64_t initial_backoff_us = 100;  // sleep before the first retry
+  int64_t initial_backoff_us = 100;  // backoff bound before the first retry
   double multiplier = 2.0;           // backoff growth per retry
+  bool jitter = true;                // sleep uniform in [0, backoff]
+  uint64_t jitter_seed = 0x0dbcu;    // deterministic jitter stream
 };
+
+/// The jittered sleep for retry `retry_index` (0 = first retry) given
+/// `backoff_us`, the un-jittered bound for that retry. Exposed for
+/// tests: the exporter sleeps exactly this with the same policy/seed.
+int64_t JitteredBackoffUs(const RetryPolicy& policy, int retry_index,
+                          int64_t backoff_us);
 
 /// Result of one export.
 struct OdbcExportResult {

@@ -128,6 +128,9 @@ Database::Database(DatabaseOptions options)
 Database::~Database() = default;
 
 Status Database::SpillTable(std::string_view name) {
+  // Spilling rewrites a table's storage out from under scans: take the
+  // statement gate exclusively like any other mutation.
+  std::unique_lock<std::shared_mutex> gate(statement_mu_);
   NLQ_ASSIGN_OR_RETURN(storage::PartitionedTable * table,
                        catalog_.GetTable(std::string(name)));
   if (buffer_pool_ == nullptr) {
@@ -169,10 +172,12 @@ StatusOr<ResultSet> Database::Execute(std::string_view sql,
                                       const QueryOptions& query_options) {
   NLQ_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
 
-  // One QueryContext per statement: id, deadline, memory budget.
+  // One QueryContext per statement: id, deadline, memory budget. The
+  // caller may supply the cancel token (server sessions do) so a
+  // cancel that raced the statement's start still lands.
   QueryContext ctx;
+  ctx.set_cancel_token(query_options.cancel_token);
   ctx.set_query_id(next_query_id_.fetch_add(1, std::memory_order_relaxed));
-  last_query_id_.store(ctx.query_id(), std::memory_order_release);
   const int64_t timeout_ms = query_options.timeout_ms >= 0
                                  ? query_options.timeout_ms
                                  : options_.default_timeout_ms;
@@ -202,13 +207,29 @@ StatusOr<ResultSet> Database::Execute(std::string_view sql,
   // Publish the cancel token for the duration of the statement so
   // Cancel(query_id) from another thread can reach it; the token
   // itself is shared, so a Cancel racing this frame's teardown flips
-  // a token nobody reads — harmless.
+  // a token nobody reads — harmless. Registration happens BEFORE the
+  // id is announced through last_query_id_: a canceller acting on the
+  // published id must never fall into a registered-but-unfindable
+  // window and get NotFound while the statement runs (the token it
+  // flips here is polled from the first morsel claim on).
   {
     std::lock_guard<std::mutex> lock(live_mu_);
     live_queries_[ctx.query_id()] = ctx.cancel_token();
   }
-  StatusOr<ResultSet> result =
-      ExecuteStatement(stmt, &ctx, query_options.force_interpreted);
+  last_query_id_.store(ctx.query_id(), std::memory_order_release);
+
+  // The statement gate: read-only statements execute concurrently,
+  // mutating ones exclusively (see the class comment).
+  const bool read_only = stmt.kind == StatementKind::kSelect ||
+                         stmt.kind == StatementKind::kExplain;
+  StatusOr<ResultSet> result = Status::Internal("statement did not run");
+  if (read_only) {
+    std::shared_lock<std::shared_mutex> gate(statement_mu_);
+    result = ExecuteStatement(stmt, &ctx, query_options.force_interpreted);
+  } else {
+    std::unique_lock<std::shared_mutex> gate(statement_mu_);
+    result = ExecuteStatement(stmt, &ctx, query_options.force_interpreted);
+  }
   {
     std::lock_guard<std::mutex> lock(live_mu_);
     live_queries_.erase(ctx.query_id());
@@ -250,6 +271,7 @@ StatusOr<ResultSet> Database::Execute(std::string_view sql,
       metrics.gauge("view.state_bytes")
           .Set(static_cast<int64_t>(view_registry_->state_bytes()));
     }
+    std::lock_guard<std::mutex> stats_lock(last_stats_mu_);
     last_query_stats_ = SnapshotQueryStats(*stats);
   }
   return result;
@@ -377,6 +399,8 @@ StatusOr<std::string> Database::Explain(std::string_view sql,
   if (stmt.kind != StatementKind::kSelect) {
     return Status::InvalidArgument("EXPLAIN supports SELECT statements only");
   }
+  // Planning reads the catalog; exclude concurrent DDL.
+  std::shared_lock<std::shared_mutex> gate(statement_mu_);
   exec::Planner planner(
       &catalog_, &registry_, pool_.get(), storage::RowBatch::kDefaultCapacity,
       options_.enable_column_cache, options_.morsel_rows, /*ctx=*/nullptr,

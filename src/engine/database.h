@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -132,14 +133,32 @@ struct QueryOptions {
   /// differential tests and the ablation bench to compare the compiled
   /// and interpreted paths on one database instance.
   bool force_interpreted = false;
+
+  /// Externally owned cancel token for this statement; null = the
+  /// engine creates its own (cancellable via Database::Cancel only).
+  /// The server threads one per session statement so cancel-by-session
+  /// reaches a statement whether it is queued in admission, between
+  /// registration and its first poll, or mid-execution. Flipping the
+  /// token to true cancels the statement within one morsel/batch.
+  std::shared_ptr<std::atomic<bool>> cancel_token;
 };
 
 /// Embedded relational engine: catalog + SQL executor + UDF registry.
 ///
 /// Statements execute their partition scans in parallel internally,
-/// but the Database object itself is NOT thread-safe: issue one
-/// statement at a time per Database (DDL mutates the catalog and the
-/// worker pool serves one batch at a time).
+/// and Execute itself may be called from several threads at once: an
+/// internal statement gate runs read-only statements (SELECT/EXPLAIN)
+/// concurrently and serializes catalog-mutating ones (CREATE/INSERT/
+/// DROP, SpillTable) exclusively against everything else, like a
+/// database-level S/X lock. Concurrent SELECTs share the thread pool
+/// (sections queue), the bytecode cache, and the decoded-column cache
+/// (per-table fill lock) — results stay bit-identical to running the
+/// same statements one at a time. This is what the server front end
+/// (src/server) builds on; embedded single-threaded use pays one
+/// uncontended shared_mutex acquisition per statement.
+///
+/// last_query_stats() and last_query_id() are "most recent" notions
+/// that only make sense to read when no other thread is mid-Execute.
 ///
 /// This is the DBMS substrate standing in for Teradata V2R6: tables
 /// are hash-partitioned across AMP-style partitions, scans and
@@ -185,6 +204,13 @@ class Database {
   /// no such statement is running (already finished, or never
   /// existed). The cancelled statement returns kCancelled within one
   /// morsel/batch of latency.
+  ///
+  /// Ordering guarantee: a statement's cancel token is registered
+  /// BEFORE its id is published through last_query_id(), so a
+  /// canceller that observed the id via last_query_id() never gets
+  /// NotFound while that statement is still running — even if the
+  /// statement has not reached its first cancellation poll yet (the
+  /// flipped token fires at the first poll).
   Status Cancel(uint64_t query_id);
 
   /// Id assigned to the most recently started statement (0 before the
@@ -269,6 +295,14 @@ class Database {
 
   DatabaseOptions options_;
 
+  /// The statement gate: SELECT/EXPLAIN hold it shared, catalog- or
+  /// data-mutating statements (CREATE/INSERT/DROP, SpillTable) hold it
+  /// exclusive. What makes shared mode safe is that every structure a
+  /// read-only statement touches is internally synchronized — pool
+  /// sections, bytecode cache, per-table column-cache fills, view
+  /// registry, live-query map, metrics.
+  mutable std::shared_mutex statement_mu_;
+
   /// Lazily created by SpillTable. Declared before catalog_ so it is
   /// destroyed after it: spilled segments owned by catalog tables
   /// unregister from the pool in their destructors.
@@ -299,6 +333,10 @@ class Database {
   std::atomic<uint64_t> next_query_id_{1};
   std::atomic<uint64_t> last_query_id_{0};
 
+  /// Guards writes to last_query_stats_ (concurrent statements both
+  /// finish "last"); reads via the accessor are only meaningful when
+  /// no statement is in flight.
+  std::mutex last_stats_mu_;
   std::optional<QueryStatsSnapshot> last_query_stats_;
 };
 

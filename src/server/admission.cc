@@ -1,0 +1,238 @@
+#include "server/admission.h"
+
+#include <chrono>
+
+#include "common/metrics.h"
+
+namespace nlq::server {
+
+namespace {
+
+struct AdmissionMetrics {
+  ShardedCounter& admitted;
+  ShardedCounter& rejected_queue;
+  ShardedCounter& rejected_timeout;
+  ShardedCounter& rejected_cancelled;
+  ShardedCounter& rejected_shutdown;
+  Gauge& in_flight;
+  Gauge& queue_depth;
+  Histogram& queue_wait;
+
+  static AdmissionMetrics& Get() {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    static AdmissionMetrics m{
+        reg.counter("server.admission.admitted"),
+        reg.counter("server.admission.rejected_queue"),
+        reg.counter("server.admission.rejected_timeout"),
+        reg.counter("server.admission.rejected_cancelled"),
+        reg.counter("server.admission.rejected_shutdown"),
+        reg.gauge("server.statements_in_flight"),
+        reg.gauge("server.queue_depth"),
+        reg.histogram("server.queue_wait"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options), global_memory_(options.global_memory_limit) {}
+
+AdmissionController::~AdmissionController() {
+  BeginShutdown();
+  WaitIdle();
+}
+
+AdmissionController::Ticket& AdmissionController::Ticket::operator=(
+    Ticket&& other) noexcept {
+  if (this != &other) {
+    Release();
+    controller_ = other.controller_;
+    session_id_ = other.session_id_;
+    other.controller_ = nullptr;
+  }
+  return *this;
+}
+
+void AdmissionController::Ticket::Release() {
+  if (controller_ == nullptr) return;
+  controller_->ReleaseTicket(session_id_);
+  controller_ = nullptr;
+}
+
+StatusOr<AdmissionController::Ticket> AdmissionController::Admit(
+    uint64_t session_id, std::shared_ptr<std::atomic<bool>> cancel) {
+  AdmissionMetrics& metrics = AdmissionMetrics::Get();
+  const auto enqueued_at = std::chrono::steady_clock::now();
+  auto observe_wait = [&metrics, enqueued_at] {
+    metrics.queue_wait.Observe(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - enqueued_at)
+            .count()));
+  };
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (shutdown_) {
+    metrics.rejected_shutdown.Increment();
+    return Status::Unavailable("server is shutting down");
+  }
+  if (cancel != nullptr && cancel->load(std::memory_order_acquire)) {
+    metrics.rejected_cancelled.Increment();
+    return Status::Cancelled("statement cancelled before admission");
+  }
+
+  // Fast path: nobody queued ahead and a free slot whose reservation
+  // fits — anything else would let this statement overtake the FIFO.
+  if (queue_.empty() && in_flight_ < options_.max_concurrent_statements &&
+      (options_.per_statement_reserve_bytes == 0 ||
+       global_memory_.TryCharge(options_.per_statement_reserve_bytes))) {
+    ++in_flight_;
+    metrics.in_flight.Set(static_cast<int64_t>(in_flight_));
+    metrics.admitted.Increment();
+    observe_wait();
+    return Ticket(this, session_id);
+  }
+
+  // Queue caps reject instantly: an overloaded server answers "try
+  // again" in microseconds rather than making the client discover the
+  // overload by timeout.
+  if (queue_.size() >= options_.max_queue_depth) {
+    metrics.rejected_queue.Increment();
+    return Status::ResourceExhausted(
+        "admission queue full (" + std::to_string(options_.max_queue_depth) +
+        " waiting)");
+  }
+  {
+    auto it = queued_per_session_.find(session_id);
+    if (it != queued_per_session_.end() &&
+        it->second >= options_.max_queued_per_session) {
+      metrics.rejected_queue.Increment();
+      return Status::ResourceExhausted(
+          "session has " + std::to_string(it->second) +
+          " statements queued (per-session cap)");
+    }
+  }
+
+  Waiter waiter;
+  waiter.session_id = session_id;
+  queue_.push_back(&waiter);
+  ++queued_per_session_[session_id];
+  metrics.queue_depth.Set(static_cast<int64_t>(queue_.size()));
+  GrantLocked();  // a slot may already be free (queue was just empty
+                  // of eligible heads, or memory just fit)
+
+  // Removes a still-queued waiter on every non-granted exit. Granted
+  // waiters were already removed by GrantLocked.
+  auto unqueue = [this, &waiter] {
+    queue_.remove(&waiter);
+    auto it = queued_per_session_.find(waiter.session_id);
+    if (it != queued_per_session_.end() && --it->second == 0) {
+      queued_per_session_.erase(it);
+    }
+    AdmissionMetrics::Get().queue_depth.Set(
+        static_cast<int64_t>(queue_.size()));
+    cv_.notify_all();  // WaitIdle watches queue_.empty()
+  };
+
+  const bool bounded_wait = options_.max_queue_wait_ms > 0;
+  const auto deadline =
+      enqueued_at + std::chrono::milliseconds(options_.max_queue_wait_ms);
+  for (;;) {
+    if (waiter.granted) {
+      metrics.admitted.Increment();
+      observe_wait();
+      return Ticket(this, session_id);
+    }
+    if (waiter.aborted) {
+      unqueue();
+      metrics.rejected_shutdown.Increment();
+      return Status::Unavailable("server is shutting down");
+    }
+    if (cancel != nullptr && cancel->load(std::memory_order_acquire)) {
+      unqueue();
+      GrantLocked();  // the vacated head may unblock the next waiter
+      metrics.rejected_cancelled.Increment();
+      return Status::Cancelled("statement cancelled while queued");
+    }
+    if (bounded_wait && std::chrono::steady_clock::now() >= deadline) {
+      unqueue();
+      GrantLocked();
+      metrics.rejected_timeout.Increment();
+      return Status::DeadlineExceeded(
+          "statement waited " + std::to_string(options_.max_queue_wait_ms) +
+          " ms for an execution slot");
+    }
+    if (bounded_wait) {
+      cv_.wait_until(lock, deadline);
+    } else {
+      cv_.wait(lock);
+    }
+  }
+}
+
+void AdmissionController::GrantLocked() {
+  // Strict FIFO: only the head is eligible. If its memory reservation
+  // does not fit, later waiters wait too — that is the fairness
+  // guarantee (no small statement overtakes a big one forever).
+  bool granted_any = false;
+  while (!queue_.empty() && in_flight_ < options_.max_concurrent_statements) {
+    Waiter* head = queue_.front();
+    if (options_.per_statement_reserve_bytes != 0 &&
+        !global_memory_.TryCharge(options_.per_statement_reserve_bytes)) {
+      break;
+    }
+    ++in_flight_;
+    head->granted = true;
+    queue_.pop_front();
+    auto it = queued_per_session_.find(head->session_id);
+    if (it != queued_per_session_.end() && --it->second == 0) {
+      queued_per_session_.erase(it);
+    }
+    granted_any = true;
+  }
+  AdmissionMetrics& metrics = AdmissionMetrics::Get();
+  metrics.in_flight.Set(static_cast<int64_t>(in_flight_));
+  metrics.queue_depth.Set(static_cast<int64_t>(queue_.size()));
+  if (granted_any) cv_.notify_all();
+}
+
+void AdmissionController::ReleaseTicket(uint64_t /*session_id*/) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.per_statement_reserve_bytes != 0) {
+    global_memory_.Release(options_.per_statement_reserve_bytes);
+  }
+  --in_flight_;
+  AdmissionMetrics::Get().in_flight.Set(static_cast<int64_t>(in_flight_));
+  GrantLocked();
+  cv_.notify_all();  // WaitIdle watches in_flight_
+}
+
+void AdmissionController::Kick() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cv_.notify_all();
+}
+
+void AdmissionController::BeginShutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shutdown_ = true;
+  for (Waiter* w : queue_) w->aborted = true;
+  cv_.notify_all();
+}
+
+void AdmissionController::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return in_flight_ == 0 && queue_.empty(); });
+}
+
+size_t AdmissionController::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+size_t AdmissionController::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace nlq::server

@@ -1,0 +1,154 @@
+#ifndef NLQ_SERVER_ADMISSION_H_
+#define NLQ_SERVER_ADMISSION_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/memory_tracker.h"
+#include "common/status.h"
+
+namespace nlq::server {
+
+/// Knobs bounding concurrent statement execution across all sessions.
+struct AdmissionOptions {
+  /// Statements executing at once; queued beyond this.
+  size_t max_concurrent_statements = 4;
+
+  /// Waiters queued across all sessions; overflow rejects immediately
+  /// with kResourceExhausted (retryable).
+  size_t max_queue_depth = 64;
+
+  /// Waiters one session may have queued — with request/reply framing
+  /// this is at most 1 per connection, but the cap keeps a burst of
+  /// connections from one client from monopolizing the queue.
+  size_t max_queued_per_session = 8;
+
+  /// Longest a statement waits for a slot before rejecting with
+  /// kDeadlineExceeded (retryable); 0 = wait forever.
+  int64_t max_queue_wait_ms = 30'000;
+
+  /// Global execution-memory cap shared by every admitted statement;
+  /// 0 = unlimited. Composes with the per-query budget: admission
+  /// reserves `per_statement_reserve_bytes` here at grant time, and
+  /// the statement's own MemoryTracker bounds what it actually uses.
+  uint64_t global_memory_limit = 0;
+
+  /// Bytes reserved against the global cap per admitted statement
+  /// (the per-query budget it will run under). A reservation that
+  /// does not fit keeps the statement queued until memory frees.
+  uint64_t per_statement_reserve_bytes = 64ull << 20;
+};
+
+/// Gates statement execution: at most `max_concurrent_statements` run
+/// at once, overflow waits in a fair FIFO queue (strict arrival order
+/// — the head waiter blocks on memory too, so no later statement can
+/// starve it), and each admitted statement holds a reservation against
+/// the global memory cap until its Ticket is released.
+///
+/// Rejections are always clean Status errors, never blocking forever:
+///   kResourceExhausted  queue full / session queue cap (retryable)
+///   kDeadlineExceeded   queue-wait deadline expired (retryable)
+///   kCancelled          the statement's cancel token flipped while
+///                       queued
+///   kUnavailable        the server is draining
+///
+/// Shutdown protocol: BeginShutdown() rejects new Admit calls and
+/// aborts queued waiters with kUnavailable while in-flight statements
+/// keep their slots; WaitIdle() then blocks until every Ticket is
+/// released — callers release tickets only after writing the reply, so
+/// a drained server has delivered every admitted statement's result.
+///
+/// Thread-safe. Metrics: server.admission.{admitted,rejected_queue,
+/// rejected_timeout,rejected_cancelled,rejected_shutdown} counters,
+/// server.statements_in_flight / server.queue_depth gauges, and the
+/// server.queue_wait latency histogram.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options);
+  ~AdmissionController();
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// An admitted statement's slot + memory reservation; RAII release.
+  /// Movable so Admit can return it through StatusOr.
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(Ticket&& other) noexcept { *this = std::move(other); }
+    Ticket& operator=(Ticket&& other) noexcept;
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket() { Release(); }
+
+    /// Frees the slot and memory reservation (idempotent). Call after
+    /// the statement's reply is fully written so WaitIdle covers reply
+    /// delivery.
+    void Release();
+    bool valid() const { return controller_ != nullptr; }
+
+   private:
+    friend class AdmissionController;
+    Ticket(AdmissionController* controller, uint64_t session_id)
+        : controller_(controller), session_id_(session_id) {}
+    AdmissionController* controller_ = nullptr;
+    uint64_t session_id_ = 0;
+  };
+
+  /// Blocks until a slot and memory reservation are granted, then
+  /// returns the Ticket. `cancel` (may be null) aborts the wait with
+  /// kCancelled when flipped — flip it and call Kick() from another
+  /// thread.
+  StatusOr<Ticket> Admit(uint64_t session_id,
+                         std::shared_ptr<std::atomic<bool>> cancel);
+
+  /// Wakes every queued waiter to re-check its cancel token; call
+  /// after flipping one.
+  void Kick();
+
+  /// Rejects new admissions and aborts queued waiters (kUnavailable);
+  /// in-flight statements are unaffected.
+  void BeginShutdown();
+
+  /// Blocks until no statement holds a ticket. Meaningful after
+  /// BeginShutdown (otherwise new statements may keep arriving).
+  void WaitIdle();
+
+  const AdmissionOptions& options() const { return options_; }
+  /// The global execution-memory accountant statements reserve from.
+  MemoryTracker& global_memory() { return global_memory_; }
+
+  size_t in_flight() const;
+  size_t queue_depth() const;
+
+ private:
+  struct Waiter {
+    uint64_t session_id = 0;
+    bool granted = false;
+    bool aborted = false;  // shutdown
+  };
+
+  /// Grants queue-head waiters while slots and memory allow. Caller
+  /// holds mu_.
+  void GrantLocked();
+  void ReleaseTicket(uint64_t session_id);
+
+  const AdmissionOptions options_;
+  MemoryTracker global_memory_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::list<Waiter*> queue_;
+  std::unordered_map<uint64_t, size_t> queued_per_session_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace nlq::server
+
+#endif  // NLQ_SERVER_ADMISSION_H_

@@ -1,0 +1,198 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace nlq::server {
+
+Status NlqClient::Connect(const std::string& host, uint16_t port,
+                          int64_t timeout_ms) {
+  if (fd_ >= 0) return Status::AlreadyExists("client already connected");
+  timeout_ms_ = timeout_ms;
+
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + ::strerror(errno));
+  }
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad server address '" + host + "'");
+  }
+  // Bounded connect: non-blocking + poll, then back to blocking.
+  int flags = ::fcntl(fd_, F_GETFL, 0);
+  ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc != 0 && errno == EINPROGRESS) {
+    struct pollfd pfd = {fd_, POLLOUT, 0};
+    int ready = ::poll(&pfd, 1,
+                       timeout_ms < 0 ? -1 : static_cast<int>(timeout_ms));
+    if (ready <= 0) {
+      Close();
+      return ready == 0
+                 ? Status::DeadlineExceeded("connect timed out")
+                 : Status::IOError(std::string("poll: ") + ::strerror(errno));
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      Close();
+      return Status::IOError(std::string("connect: ") + ::strerror(err));
+    }
+  } else if (rc != 0) {
+    Status s = Status::IOError(std::string("connect: ") + ::strerror(errno));
+    Close();
+    return s;
+  }
+  ::fcntl(fd_, F_SETFL, flags);
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  WireWriter hello;
+  hello.PutU32(kProtocolVersion);
+  Opcode reply_opcode;
+  std::vector<uint8_t> reply_body;
+  Status handshake =
+      RoundTrip(Opcode::kHello, hello.buffer(), &reply_opcode, &reply_body);
+  if (!handshake.ok()) {
+    Close();
+    return handshake;
+  }
+  if (reply_opcode != Opcode::kHelloOk) {
+    Close();
+    return Status::ParseError("unexpected handshake reply opcode");
+  }
+  WireReader in(reply_body);
+  NLQ_ASSIGN_OR_RETURN(session_id_, in.GetU64());
+  NLQ_ASSIGN_OR_RETURN(uint32_t version, in.GetU32());
+  NLQ_RETURN_IF_ERROR(in.ExpectEnd());
+  if (version != kProtocolVersion) {
+    Close();
+    return Status::NotSupported("server speaks protocol version " +
+                                std::to_string(version));
+  }
+  return Status::OK();
+}
+
+Status NlqClient::RoundTrip(Opcode opcode, const std::vector<uint8_t>& body,
+                            Opcode* reply_opcode,
+                            std::vector<uint8_t>* reply_body) {
+  if (fd_ < 0) return Status::IOError("client is not connected");
+  last_error_retryable_ = false;
+  NLQ_RETURN_IF_ERROR(WriteFrame(fd_, opcode, body, timeout_ms_));
+  Status read = ReadFrame(fd_, timeout_ms_, timeout_ms_,
+                          kDefaultMaxFrameBytes, reply_opcode, reply_body);
+  if (!read.ok()) {
+    // A dead server mid-reply poisons the stream; drop the socket so
+    // the caller cannot misread a later frame as this reply.
+    Close();
+    return read;
+  }
+  if (*reply_opcode == Opcode::kError) {
+    WireReader in(*reply_body);
+    NLQ_ASSIGN_OR_RETURN(WireError err, DecodeError(&in));
+    last_error_retryable_ = err.retryable;
+    return err.status;
+  }
+  return Status::OK();
+}
+
+StatusOr<engine::ResultSet> NlqClient::Query(const std::string& sql) {
+  WireWriter out;
+  out.PutString(sql);
+  Opcode reply_opcode;
+  std::vector<uint8_t> reply_body;
+  NLQ_RETURN_IF_ERROR(
+      RoundTrip(Opcode::kQuery, out.buffer(), &reply_opcode, &reply_body));
+  if (reply_opcode != Opcode::kResultSet) {
+    return Status::ParseError("unexpected reply opcode to QUERY");
+  }
+  WireReader in(reply_body);
+  return DecodeResultSet(&in);
+}
+
+Status NlqClient::Cancel(uint64_t target_session) {
+  WireWriter out;
+  out.PutU64(target_session);
+  Opcode reply_opcode;
+  std::vector<uint8_t> reply_body;
+  NLQ_RETURN_IF_ERROR(
+      RoundTrip(Opcode::kCancel, out.buffer(), &reply_opcode, &reply_body));
+  if (reply_opcode != Opcode::kOk) {
+    return Status::ParseError("unexpected reply opcode to CANCEL");
+  }
+  return Status::OK();
+}
+
+StatusOr<std::string> NlqClient::Metrics() {
+  Opcode reply_opcode;
+  std::vector<uint8_t> reply_body;
+  NLQ_RETURN_IF_ERROR(
+      RoundTrip(Opcode::kMetrics, {}, &reply_opcode, &reply_body));
+  if (reply_opcode != Opcode::kMetricsText) {
+    return Status::ParseError("unexpected reply opcode to METRICS");
+  }
+  WireReader in(reply_body);
+  NLQ_ASSIGN_OR_RETURN(std::string json, in.GetString());
+  NLQ_RETURN_IF_ERROR(in.ExpectEnd());
+  return json;
+}
+
+Status NlqClient::Ping() {
+  Opcode reply_opcode;
+  std::vector<uint8_t> reply_body;
+  NLQ_RETURN_IF_ERROR(
+      RoundTrip(Opcode::kPing, {}, &reply_opcode, &reply_body));
+  if (reply_opcode != Opcode::kPong) {
+    return Status::ParseError("unexpected reply opcode to PING");
+  }
+  return Status::OK();
+}
+
+Status NlqClient::SetOptions(int64_t timeout_ms, int64_t memory_limit,
+                             bool force_interpreted) {
+  WireWriter out;
+  out.PutI64(timeout_ms);
+  out.PutI64(memory_limit);
+  out.PutU8(force_interpreted ? 1 : 0);
+  Opcode reply_opcode;
+  std::vector<uint8_t> reply_body;
+  NLQ_RETURN_IF_ERROR(RoundTrip(Opcode::kSetOptions, out.buffer(),
+                                &reply_opcode, &reply_body));
+  if (reply_opcode != Opcode::kOk) {
+    return Status::ParseError("unexpected reply opcode to SET_OPTIONS");
+  }
+  return Status::OK();
+}
+
+Status NlqClient::Goodbye() {
+  Opcode reply_opcode;
+  std::vector<uint8_t> reply_body;
+  Status s = RoundTrip(Opcode::kGoodbye, {}, &reply_opcode, &reply_body);
+  Close();
+  return s;
+}
+
+void NlqClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  session_id_ = 0;
+}
+
+}  // namespace nlq::server

@@ -1,0 +1,79 @@
+#ifndef NLQ_SERVER_CLIENT_H_
+#define NLQ_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "engine/result_set.h"
+#include "server/protocol.h"
+
+namespace nlq::server {
+
+/// Client-side connection to an nlq_server: one TCP socket, strict
+/// request/reply. NOT thread-safe — one NlqClient per thread (the
+/// multi-threaded driver opens one per worker).
+///
+/// Error statuses from Query are exactly what the server sent: an
+/// admission rejection arrives as kResourceExhausted or
+/// kDeadlineExceeded with last_error_retryable() true — back off and
+/// retry; an engine error (including per-query budget exhaustion,
+/// which is also kResourceExhausted) arrives with the flag false.
+class NlqClient {
+ public:
+  NlqClient() = default;
+  ~NlqClient() { Close(); }
+
+  NlqClient(const NlqClient&) = delete;
+  NlqClient& operator=(const NlqClient&) = delete;
+
+  /// Connects and performs the HELLO handshake. `timeout_ms` bounds
+  /// the connect and every subsequent per-frame wait.
+  Status Connect(const std::string& host, uint16_t port,
+                 int64_t timeout_ms = 10'000);
+
+  /// Session id assigned by the server (valid after Connect); another
+  /// client's Cancel can target it.
+  uint64_t session_id() const { return session_id_; }
+  bool connected() const { return fd_ >= 0; }
+
+  /// Executes one statement and returns its rows. Results are
+  /// bit-identical to embedded execution (doubles travel as raw bit
+  /// patterns).
+  StatusOr<engine::ResultSet> Query(const std::string& sql);
+
+  /// Whether the most recent error reply was flagged retryable.
+  bool last_error_retryable() const { return last_error_retryable_; }
+
+  /// Cancels `target_session`'s current (or next) statement.
+  Status Cancel(uint64_t target_session);
+
+  /// Fetches the server's metrics snapshot JSON.
+  StatusOr<std::string> Metrics();
+
+  Status Ping();
+
+  /// Sets this session's default QueryOptions (see
+  /// engine::QueryOptions for the -1/0 conventions).
+  Status SetOptions(int64_t timeout_ms, int64_t memory_limit,
+                    bool force_interpreted);
+
+  /// Polite goodbye + close; Close() alone just drops the socket.
+  Status Goodbye();
+  void Close();
+
+ private:
+  /// Sends `body` under `opcode`, reads one reply frame, decodes
+  /// kError replies into their carried Status.
+  Status RoundTrip(Opcode opcode, const std::vector<uint8_t>& body,
+                   Opcode* reply_opcode, std::vector<uint8_t>* reply_body);
+
+  int fd_ = -1;
+  uint64_t session_id_ = 0;
+  int64_t timeout_ms_ = 10'000;
+  bool last_error_retryable_ = false;
+};
+
+}  // namespace nlq::server
+
+#endif  // NLQ_SERVER_CLIENT_H_

@@ -1,0 +1,343 @@
+#include "server/protocol.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/failpoint.h"
+
+namespace nlq::server {
+
+void WireWriter::PutU32(uint32_t v) {
+  buf_.push_back(static_cast<uint8_t>(v));
+  buf_.push_back(static_cast<uint8_t>(v >> 8));
+  buf_.push_back(static_cast<uint8_t>(v >> 16));
+  buf_.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void WireWriter::PutU64(uint64_t v) {
+  PutU32(static_cast<uint32_t>(v));
+  PutU32(static_cast<uint32_t>(v >> 32));
+}
+
+void WireWriter::PutDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void WireWriter::PutString(std::string_view s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+StatusOr<uint8_t> WireReader::GetU8() {
+  if (pos_ + 1 > size_) return Status::ParseError("frame body truncated (u8)");
+  return data_[pos_++];
+}
+
+StatusOr<uint32_t> WireReader::GetU32() {
+  if (pos_ + 4 > size_) return Status::ParseError("frame body truncated (u32)");
+  uint32_t v = static_cast<uint32_t>(data_[pos_]) |
+               static_cast<uint32_t>(data_[pos_ + 1]) << 8 |
+               static_cast<uint32_t>(data_[pos_ + 2]) << 16 |
+               static_cast<uint32_t>(data_[pos_ + 3]) << 24;
+  pos_ += 4;
+  return v;
+}
+
+StatusOr<uint64_t> WireReader::GetU64() {
+  NLQ_ASSIGN_OR_RETURN(uint32_t lo, GetU32());
+  NLQ_ASSIGN_OR_RETURN(uint32_t hi, GetU32());
+  return static_cast<uint64_t>(lo) | static_cast<uint64_t>(hi) << 32;
+}
+
+StatusOr<int64_t> WireReader::GetI64() {
+  NLQ_ASSIGN_OR_RETURN(uint64_t v, GetU64());
+  return static_cast<int64_t>(v);
+}
+
+StatusOr<double> WireReader::GetDouble() {
+  NLQ_ASSIGN_OR_RETURN(uint64_t bits, GetU64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+StatusOr<std::string> WireReader::GetString() {
+  NLQ_ASSIGN_OR_RETURN(uint32_t len, GetU32());
+  if (len > remaining()) {
+    return Status::ParseError("string length exceeds frame body");
+  }
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
+  pos_ += len;
+  return s;
+}
+
+Status WireReader::ExpectEnd() const {
+  if (pos_ != size_) {
+    return Status::ParseError("trailing bytes after frame body");
+  }
+  return Status::OK();
+}
+
+void EncodeResultSet(const engine::ResultSet& rs, WireWriter* out) {
+  const storage::Schema& schema = rs.schema();
+  out->PutU32(static_cast<uint32_t>(schema.num_columns()));
+  for (const storage::Column& col : schema.columns()) {
+    out->PutString(col.name);
+    out->PutU8(static_cast<uint8_t>(col.type));
+  }
+  out->PutU64(rs.num_rows());
+  for (const storage::Row& row : rs.rows()) {
+    for (const storage::Datum& v : row) {
+      out->PutU8(static_cast<uint8_t>(v.type()));
+      out->PutU8(v.is_null() ? 1 : 0);
+      if (v.is_null()) continue;
+      switch (v.type()) {
+        case storage::DataType::kDouble:
+          out->PutDouble(v.double_value());
+          break;
+        case storage::DataType::kInt64:
+          out->PutI64(v.int_value());
+          break;
+        case storage::DataType::kVarchar:
+          out->PutString(v.string_value());
+          break;
+      }
+    }
+  }
+}
+
+namespace {
+
+StatusOr<storage::DataType> DecodeType(uint8_t raw) {
+  switch (raw) {
+    case 0:
+      return storage::DataType::kDouble;
+    case 1:
+      return storage::DataType::kInt64;
+    case 2:
+      return storage::DataType::kVarchar;
+    default:
+      return Status::ParseError("unknown data type tag");
+  }
+}
+
+}  // namespace
+
+StatusOr<engine::ResultSet> DecodeResultSet(WireReader* in) {
+  NLQ_ASSIGN_OR_RETURN(uint32_t num_cols, in->GetU32());
+  // Each column costs at least 5 bytes (empty name + type tag): a
+  // count the remaining body cannot hold is a length lie.
+  if (static_cast<uint64_t>(num_cols) * 5 > in->remaining()) {
+    return Status::ParseError("column count exceeds frame body");
+  }
+  std::vector<storage::Column> cols;
+  cols.reserve(num_cols);
+  for (uint32_t c = 0; c < num_cols; ++c) {
+    NLQ_ASSIGN_OR_RETURN(std::string name, in->GetString());
+    NLQ_ASSIGN_OR_RETURN(uint8_t raw_type, in->GetU8());
+    NLQ_ASSIGN_OR_RETURN(storage::DataType type, DecodeType(raw_type));
+    cols.push_back({std::move(name), type});
+  }
+  NLQ_ASSIGN_OR_RETURN(uint64_t num_rows, in->GetU64());
+  // Each datum costs at least 2 bytes (type + null flag).
+  if (num_cols > 0 && num_rows * num_cols * 2 > in->remaining()) {
+    return Status::ParseError("row count exceeds frame body");
+  }
+  if (num_cols == 0 && num_rows > 0) {
+    return Status::ParseError("rows without columns");
+  }
+  std::vector<storage::Row> rows;
+  rows.reserve(num_rows);
+  for (uint64_t r = 0; r < num_rows; ++r) {
+    storage::Row row;
+    row.reserve(num_cols);
+    for (uint32_t c = 0; c < num_cols; ++c) {
+      NLQ_ASSIGN_OR_RETURN(uint8_t raw_type, in->GetU8());
+      NLQ_ASSIGN_OR_RETURN(storage::DataType type, DecodeType(raw_type));
+      NLQ_ASSIGN_OR_RETURN(uint8_t is_null, in->GetU8());
+      if (is_null > 1) return Status::ParseError("bad null flag");
+      if (is_null != 0) {
+        row.push_back(storage::Datum::Null(type));
+        continue;
+      }
+      switch (type) {
+        case storage::DataType::kDouble: {
+          NLQ_ASSIGN_OR_RETURN(double v, in->GetDouble());
+          row.push_back(storage::Datum::Double(v));
+          break;
+        }
+        case storage::DataType::kInt64: {
+          NLQ_ASSIGN_OR_RETURN(int64_t v, in->GetI64());
+          row.push_back(storage::Datum::Int64(v));
+          break;
+        }
+        case storage::DataType::kVarchar: {
+          NLQ_ASSIGN_OR_RETURN(std::string v, in->GetString());
+          row.push_back(storage::Datum::Varchar(std::move(v)));
+          break;
+        }
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  NLQ_RETURN_IF_ERROR(in->ExpectEnd());
+  return engine::ResultSet(storage::Schema(std::move(cols)), std::move(rows));
+}
+
+void EncodeError(const Status& status, bool retryable, WireWriter* out) {
+  out->PutU8(static_cast<uint8_t>(status.code()));
+  out->PutU8(retryable ? 1 : 0);
+  out->PutString(status.message());
+}
+
+StatusOr<WireError> DecodeError(WireReader* in) {
+  NLQ_ASSIGN_OR_RETURN(uint8_t raw_code, in->GetU8());
+  if (raw_code == 0 || raw_code > static_cast<uint8_t>(StatusCode::kUnavailable)) {
+    return Status::ParseError("unknown status code in error frame");
+  }
+  NLQ_ASSIGN_OR_RETURN(uint8_t retryable, in->GetU8());
+  NLQ_ASSIGN_OR_RETURN(std::string msg, in->GetString());
+  NLQ_RETURN_IF_ERROR(in->ExpectEnd());
+  WireError err;
+  err.status = Status(static_cast<StatusCode>(raw_code), std::move(msg));
+  err.retryable = retryable != 0;
+  return err;
+}
+
+namespace {
+
+/// Polls `fd` for `events` up to `timeout_ms` (-1 = forever). OK when
+/// ready, kDeadlineExceeded on timeout, kIOError on poll failure.
+Status PollFor(int fd, short events, int64_t timeout_ms) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  pfd.revents = 0;
+  int timeout = timeout_ms < 0 ? -1
+                               : static_cast<int>(timeout_ms > INT32_MAX
+                                                      ? INT32_MAX
+                                                      : timeout_ms);
+  for (;;) {
+    int rc = ::poll(&pfd, 1, timeout);
+    if (rc > 0) return Status::OK();
+    if (rc == 0) return Status::DeadlineExceeded("socket poll timed out");
+    if (errno == EINTR) continue;
+    return Status::IOError(std::string("poll: ") + ::strerror(errno));
+  }
+}
+
+/// Reads exactly `len` bytes. `first_timeout_ms` bounds the wait for
+/// the first byte; `io_timeout_ms` bounds every subsequent wait.
+/// kUnavailable = clean EOF before the first byte (only when
+/// `eof_ok`); kIOError = EOF/error mid-read.
+Status ReadExact(int fd, uint8_t* dst, size_t len, int64_t first_timeout_ms,
+                 int64_t io_timeout_ms, bool eof_ok) {
+  size_t done = 0;
+  while (done < len) {
+    NLQ_RETURN_IF_ERROR(
+        PollFor(fd, POLLIN, done == 0 ? first_timeout_ms : io_timeout_ms));
+    ssize_t n = ::read(fd, dst + done, len - done);
+    if (n > 0) {
+      done += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      if (done == 0 && eof_ok) {
+        return Status::Unavailable("connection closed");
+      }
+      return Status::IOError("connection closed mid-frame");
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    return Status::IOError(std::string("read: ") + ::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ReadFrame(int fd, int64_t timeout_ms, int64_t io_timeout_ms,
+                 uint32_t max_frame_bytes, Opcode* opcode,
+                 std::vector<uint8_t>* body) {
+  NLQ_FAILPOINT("server_read");
+  uint8_t header[4];
+  NLQ_RETURN_IF_ERROR(ReadExact(fd, header, sizeof(header), timeout_ms,
+                                io_timeout_ms, /*eof_ok=*/true));
+  uint32_t frame_len = static_cast<uint32_t>(header[0]) |
+                       static_cast<uint32_t>(header[1]) << 8 |
+                       static_cast<uint32_t>(header[2]) << 16 |
+                       static_cast<uint32_t>(header[3]) << 24;
+  if (frame_len == 0) {
+    return Status::InvalidArgument("zero-length frame");
+  }
+  if (frame_len > max_frame_bytes) {
+    return Status::InvalidArgument(
+        "frame of " + std::to_string(frame_len) + " bytes exceeds limit of " +
+        std::to_string(max_frame_bytes));
+  }
+  uint8_t op;
+  NLQ_RETURN_IF_ERROR(ReadExact(fd, &op, 1, io_timeout_ms, io_timeout_ms,
+                                /*eof_ok=*/false));
+  *opcode = static_cast<Opcode>(op);
+  body->resize(frame_len - 1);
+  if (!body->empty()) {
+    NLQ_RETURN_IF_ERROR(ReadExact(fd, body->data(), body->size(),
+                                  io_timeout_ms, io_timeout_ms,
+                                  /*eof_ok=*/false));
+  }
+  return Status::OK();
+}
+
+Status WriteFrame(int fd, Opcode opcode, const std::vector<uint8_t>& body,
+                  int64_t timeout_ms) {
+  NLQ_FAILPOINT("server_write");
+  if (body.size() + 1 > UINT32_MAX) {
+    return Status::InvalidArgument("frame body too large");
+  }
+  const uint32_t frame_len = static_cast<uint32_t>(body.size() + 1);
+  std::vector<uint8_t> frame;
+  frame.reserve(4 + frame_len);
+  frame.push_back(static_cast<uint8_t>(frame_len));
+  frame.push_back(static_cast<uint8_t>(frame_len >> 8));
+  frame.push_back(static_cast<uint8_t>(frame_len >> 16));
+  frame.push_back(static_cast<uint8_t>(frame_len >> 24));
+  frame.push_back(static_cast<uint8_t>(opcode));
+  frame.insert(frame.end(), body.begin(), body.end());
+
+  size_t done = 0;
+  while (done < frame.size()) {
+    NLQ_RETURN_IF_ERROR(PollFor(fd, POLLOUT, timeout_ms));
+    // MSG_NOSIGNAL: a peer that closed mid-write yields EPIPE, not a
+    // process-killing SIGPIPE — neither the server nor client library
+    // requires the embedding process to install a SIGPIPE handler.
+    ssize_t n = ::send(fd, frame.data() + done, frame.size() - done,
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      done += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 &&
+        (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+      continue;
+    }
+    return Status::IOError(std::string("write: ") +
+                           (n < 0 ? ::strerror(errno) : "zero-byte write"));
+  }
+  return Status::OK();
+}
+
+Status WriteError(int fd, const Status& status, bool retryable,
+                  int64_t timeout_ms) {
+  WireWriter body;
+  EncodeError(status, retryable, &body);
+  return WriteFrame(fd, Opcode::kError, body.buffer(), timeout_ms);
+}
+
+}  // namespace nlq::server

@@ -1,0 +1,155 @@
+#ifndef NLQ_SERVER_PROTOCOL_H_
+#define NLQ_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/result_set.h"
+
+namespace nlq::server {
+
+/// The nlq wire protocol: length-prefixed binary frames over a byte
+/// stream (TCP). Every frame is
+///
+///   [u32 LE frame_len][u8 opcode][frame_len - 1 bytes of body]
+///
+/// where frame_len counts the opcode byte plus the body, so the
+/// smallest legal frame is frame_len == 1 (opcode, empty body). All
+/// integers are little-endian; doubles travel as their IEEE-754 bit
+/// pattern in a u64, so query results are bit-identical to embedded
+/// execution. Strings are u32 length + raw bytes.
+///
+/// A connection speaks strictly request/reply: the client sends one
+/// request frame and reads exactly one reply frame (kCancel targets
+/// another session precisely so no connection ever needs to interleave
+/// frames on its own stream). The first request on a connection must
+/// be kHello; the kHelloOk reply carries the session id other
+/// connections can aim kCancel at.
+///
+/// Robustness contract (tests/server_fuzz_test.cc): a frame that is
+/// oversized, truncated, or semantically malformed gets a clean
+/// kError reply where one can still be written, and the connection is
+/// closed — never a crash, never a hang past the read timeout.
+
+/// Request opcodes (client -> server).
+enum class Opcode : uint8_t {
+  kHello = 0x01,       // body: u32 protocol version
+  kQuery = 0x02,       // body: string sql
+  kCancel = 0x03,      // body: u64 target session id
+  kMetrics = 0x04,     // body: empty
+  kPing = 0x05,        // body: empty
+  kGoodbye = 0x06,     // body: empty
+  kSetOptions = 0x07,  // body: i64 timeout_ms, i64 memory_limit,
+                       //       u8 force_interpreted
+
+  // Reply opcodes (server -> client).
+  kHelloOk = 0x81,      // body: u64 session id, u32 protocol version
+  kResultSet = 0x82,    // body: encoded ResultSet
+  kError = 0x83,        // body: u8 status code, u8 retryable, string msg
+  kMetricsText = 0x84,  // body: string (metrics snapshot JSON)
+  kPong = 0x85,         // body: empty
+  kOk = 0x86,           // body: empty
+};
+
+/// Protocol version carried in kHello/kHelloOk.
+inline constexpr uint32_t kProtocolVersion = 1;
+
+/// Default ceiling on frame_len. A frame announcing more is rejected
+/// before any allocation — a length-field lie cannot make the server
+/// reserve gigabytes.
+inline constexpr uint32_t kDefaultMaxFrameBytes = 16u << 20;
+
+/// Append-only body builder. Writers never fail; the frame length is
+/// prepended at send time.
+class WireWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  /// IEEE-754 bit pattern, bit-exact round trip.
+  void PutDouble(double v);
+  void PutString(std::string_view s);
+
+  const std::vector<uint8_t>& buffer() const { return buf_; }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Bounds-checked body reader: every getter fails with kParseError
+/// instead of reading past the frame, so a lying length field or
+/// truncated body surfaces as a clean error reply.
+class WireReader {
+ public:
+  WireReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit WireReader(const std::vector<uint8_t>& body)
+      : WireReader(body.data(), body.size()) {}
+
+  StatusOr<uint8_t> GetU8();
+  StatusOr<uint32_t> GetU32();
+  StatusOr<uint64_t> GetU64();
+  StatusOr<int64_t> GetI64();
+  StatusOr<double> GetDouble();
+  StatusOr<std::string> GetString();
+
+  size_t remaining() const { return size_ - pos_; }
+  /// Frames must be fully consumed; trailing garbage is malformed.
+  Status ExpectEnd() const;
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// Encodes `rs` into `out` (schema then rows; doubles bit-exact).
+void EncodeResultSet(const engine::ResultSet& rs, WireWriter* out);
+
+/// Decodes a kResultSet body. Fails with kParseError on any malformed
+/// or oversized field (row/column counts are validated against the
+/// remaining bytes before reserving).
+StatusOr<engine::ResultSet> DecodeResultSet(WireReader* in);
+
+/// Encodes a kError body. `retryable` is an explicit wire flag, not
+/// derived from the code: an admission rejection is kResourceExhausted
+/// AND retryable, while a per-query memory budget overflow is
+/// kResourceExhausted and NOT retryable (retrying the same statement
+/// meets the same budget).
+void EncodeError(const Status& status, bool retryable, WireWriter* out);
+
+/// Decoded kError body.
+struct WireError {
+  Status status;
+  bool retryable = false;
+};
+StatusOr<WireError> DecodeError(WireReader* in);
+
+/// Reads one frame from `fd`. Blocks up to `timeout_ms` for the first
+/// byte (-1 = forever) and up to `io_timeout_ms` between subsequent
+/// reads — a peer that stalls mid-frame cannot pin the session thread.
+/// Returns:
+///   kUnavailable       clean EOF before any byte of a frame (peer
+///                      closed between requests — the normal goodbye)
+///   kDeadlineExceeded  timeout expired
+///   kIOError           socket error or EOF mid-frame (truncated)
+///   kInvalidArgument   frame_len == 0 or > max_frame_bytes
+Status ReadFrame(int fd, int64_t timeout_ms, int64_t io_timeout_ms,
+                 uint32_t max_frame_bytes, Opcode* opcode,
+                 std::vector<uint8_t>* body);
+
+/// Writes one frame, bounding each poll-for-writable by
+/// `timeout_ms` — a dead or slow reader fails the write with
+/// kDeadlineExceeded instead of blocking the session forever.
+Status WriteFrame(int fd, Opcode opcode, const std::vector<uint8_t>& body,
+                  int64_t timeout_ms);
+
+/// Convenience: WriteFrame(kError) for `status`.
+Status WriteError(int fd, const Status& status, bool retryable,
+                  int64_t timeout_ms);
+
+}  // namespace nlq::server
+
+#endif  // NLQ_SERVER_PROTOCOL_H_

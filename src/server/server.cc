@@ -1,0 +1,431 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "common/metrics.h"
+
+namespace nlq::server {
+
+namespace {
+
+/// The accept-path fault site, wrapped so the NLQ_FAILPOINT macro's
+/// early return has a Status-returning function to return from. An
+/// armed fault makes one accepted connection fail server-side — the
+/// listener and every other session keep working.
+Status AcceptCheck() {
+  NLQ_FAILPOINT("server_accept");
+  return Status::OK();
+}
+
+void CloseFd(int* fd) {
+  if (*fd >= 0) {
+    ::close(*fd);
+    *fd = -1;
+  }
+}
+
+/// True when an admission rejection is worth retrying against this
+/// same server: the overload is transient (queue full, queue-wait
+/// deadline). Cancelled and draining are not.
+bool AdmissionRetryable(const Status& status) {
+  return status.code() == StatusCode::kResourceExhausted ||
+         status.code() == StatusCode::kDeadlineExceeded;
+}
+
+}  // namespace
+
+Server::Server(engine::Database* db, ServerOptions options)
+    : db_(db),
+      options_(std::move(options)),
+      admission_(options_.admission),
+      registry_(options_.max_sessions) {}
+
+Server::~Server() { Shutdown(); }
+
+Status Server::Start() {
+  if (started_.load(std::memory_order_acquire)) {
+    return Status::AlreadyExists("server already started");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + ::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    CloseFd(&listen_fd_);
+    return Status::InvalidArgument("bad listen address '" + options_.host +
+                                   "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    Status s = Status::IOError(std::string("bind: ") + ::strerror(errno));
+    CloseFd(&listen_fd_);
+    return s;
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    Status s = Status::IOError(std::string("listen: ") + ::strerror(errno));
+    CloseFd(&listen_fd_);
+    return s;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                    &len) != 0) {
+    Status s = Status::IOError(std::string("getsockname: ") +
+                               ::strerror(errno));
+    CloseFd(&listen_fd_);
+    return s;
+  }
+  bound_port_ = ntohs(addr.sin_port);
+
+  if (::pipe(wake_pipe_) != 0) {
+    Status s = Status::IOError(std::string("pipe: ") + ::strerror(errno));
+    CloseFd(&listen_fd_);
+    return s;
+  }
+
+  started_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Server::AcceptLoop() {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  for (;;) {
+    struct pollfd pfds[2];
+    pfds[0] = {listen_fd_, POLLIN, 0};
+    pfds[1] = {wake_pipe_[0], POLLIN, 0};
+    int rc = ::poll(pfds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((pfds[1].revents & POLLIN) != 0 ||
+        draining_.load(std::memory_order_acquire)) {
+      break;  // Shutdown woke us
+    }
+    if ((pfds[0].revents & POLLIN) == 0) continue;
+
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      reg.counter("server.accept_failures").Increment();
+      continue;  // transient (EMFILE etc.): keep the listener alive
+    }
+    if (Status accepted = AcceptCheck(); !accepted.ok()) {
+      // Injected accept fault: this connection dies, the server does
+      // not. The peer sees a clean close before any handshake.
+      reg.counter("server.accept_failures").Increment();
+      ::close(fd);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    reg.counter("server.connections_accepted").Increment();
+
+    ReapConnections();
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      connections_.push_back(std::move(conn));
+    }
+    raw->thread = std::thread([this, raw] { SessionLoop(raw); });
+  }
+}
+
+void Server::ReapConnections() {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      CloseFd(&(*it)->fd);
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::SessionLoop(Connection* conn) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  const int fd = conn->fd;
+
+  // Handshake: the first frame must be kHello, within the I/O timeout.
+  Opcode opcode;
+  std::vector<uint8_t> body;
+  std::shared_ptr<SessionState> session;
+  Status read = ReadFrame(fd, options_.io_timeout_ms, options_.io_timeout_ms,
+                          options_.max_frame_bytes, &opcode, &body);
+  bool ok = false;
+  if (read.ok() && opcode == Opcode::kHello) {
+    WireReader in(body);
+    StatusOr<uint32_t> version = in.GetU32();
+    if (version.ok() && in.ExpectEnd().ok() &&
+        *version == kProtocolVersion) {
+      if (draining_.load(std::memory_order_acquire)) {
+        WriteError(fd, Status::Unavailable("server is shutting down"),
+                   /*retryable=*/false, options_.io_timeout_ms);
+      } else if (StatusOr<std::shared_ptr<SessionState>> opened =
+                     registry_.Open();
+                 !opened.ok()) {
+        WriteError(fd, opened.status(), /*retryable=*/true,
+                   options_.io_timeout_ms);
+      } else {
+        session = std::move(opened).value();
+        WireWriter out;
+        out.PutU64(session->id);
+        out.PutU32(kProtocolVersion);
+        ok = WriteFrame(fd, Opcode::kHelloOk, out.buffer(),
+                        options_.io_timeout_ms)
+                 .ok();
+      }
+    } else {
+      WriteError(fd,
+                 Status::InvalidArgument("malformed hello or bad protocol "
+                                         "version"),
+                 /*retryable=*/false, options_.io_timeout_ms);
+      reg.counter("server.frames_malformed").Increment();
+    }
+  } else if (read.ok()) {
+    WriteError(fd, Status::InvalidArgument("first frame must be HELLO"),
+               /*retryable=*/false, options_.io_timeout_ms);
+    reg.counter("server.frames_malformed").Increment();
+  } else if (read.code() == StatusCode::kInvalidArgument) {
+    // Oversized / zero-length frame: reply, then drop the connection —
+    // the stream position is unrecoverable.
+    WriteError(fd, read, /*retryable=*/false, options_.io_timeout_ms);
+    reg.counter("server.frames_malformed").Increment();
+  }
+
+  // Request/reply loop.
+  while (ok) {
+    const int64_t first_timeout =
+        options_.idle_timeout_ms > 0 ? options_.idle_timeout_ms : -1;
+    read = ReadFrame(fd, first_timeout, options_.io_timeout_ms,
+                     options_.max_frame_bytes, &opcode, &body);
+    if (!read.ok()) {
+      if (read.code() == StatusCode::kDeadlineExceeded) {
+        WriteError(fd, Status::DeadlineExceeded("session idle timeout"),
+                   /*retryable=*/false, options_.io_timeout_ms);
+        reg.counter("server.idle_timeouts").Increment();
+      } else if (read.code() == StatusCode::kInvalidArgument) {
+        WriteError(fd, read, /*retryable=*/false, options_.io_timeout_ms);
+        reg.counter("server.frames_malformed").Increment();
+      }
+      // kUnavailable = clean goodbye; kIOError = truncated/refused —
+      // either way the stream is done.
+      break;
+    }
+    ok = HandleFrame(conn, session.get(), opcode, body);
+  }
+
+  if (session != nullptr) registry_.Close(session->id);
+  ::shutdown(fd, SHUT_RDWR);
+  conn->done.store(true, std::memory_order_release);
+}
+
+bool Server::HandleFrame(Connection* conn, SessionState* session,
+                         Opcode opcode, const std::vector<uint8_t>& body) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  const int fd = conn->fd;
+  WireReader in(body);
+  switch (opcode) {
+    case Opcode::kQuery:
+      return HandleQuery(conn, session, body);
+
+    case Opcode::kCancel: {
+      StatusOr<uint64_t> target = in.GetU64();
+      if (!target.ok() || !in.ExpectEnd().ok()) break;
+      Status cancelled = registry_.CancelSession(*target);
+      if (cancelled.ok()) {
+        // The target may be waiting in admission: wake it to notice
+        // its flipped token.
+        admission_.Kick();
+        return WriteFrame(fd, Opcode::kOk, {}, options_.io_timeout_ms).ok();
+      }
+      return WriteError(fd, cancelled, /*retryable=*/false,
+                        options_.io_timeout_ms)
+          .ok();
+    }
+
+    case Opcode::kMetrics: {
+      if (!in.ExpectEnd().ok()) break;
+      WireWriter out;
+      out.PutString(MetricsRegistry::Global().GetSnapshot().ToJson());
+      return WriteFrame(fd, Opcode::kMetricsText, out.buffer(),
+                        options_.io_timeout_ms)
+          .ok();
+    }
+
+    case Opcode::kPing:
+      if (!in.ExpectEnd().ok()) break;
+      return WriteFrame(fd, Opcode::kPong, {}, options_.io_timeout_ms).ok();
+
+    case Opcode::kGoodbye:
+      WriteFrame(fd, Opcode::kOk, {}, options_.io_timeout_ms);
+      return false;
+
+    case Opcode::kSetOptions: {
+      StatusOr<int64_t> timeout_ms = in.GetI64();
+      StatusOr<int64_t> memory_limit = in.GetI64();
+      StatusOr<uint8_t> force_interpreted = in.GetU8();
+      if (!timeout_ms.ok() || !memory_limit.ok() ||
+          !force_interpreted.ok() || !in.ExpectEnd().ok() ||
+          *force_interpreted > 1) {
+        break;
+      }
+      // Only this session's connection thread reads these; no lock.
+      session->default_options.timeout_ms = *timeout_ms;
+      session->default_options.memory_limit = *memory_limit;
+      session->default_options.force_interpreted = *force_interpreted != 0;
+      return WriteFrame(fd, Opcode::kOk, {}, options_.io_timeout_ms).ok();
+    }
+
+    case Opcode::kHello:
+      WriteError(fd, Status::InvalidArgument("duplicate HELLO"),
+                 /*retryable=*/false, options_.io_timeout_ms);
+      reg.counter("server.frames_malformed").Increment();
+      return false;
+
+    default:
+      WriteError(fd,
+                 Status::InvalidArgument(
+                     "unknown opcode " +
+                     std::to_string(static_cast<unsigned>(opcode))),
+                 /*retryable=*/false, options_.io_timeout_ms);
+      reg.counter("server.frames_malformed").Increment();
+      return false;
+  }
+  // Fell out of a case: the body was malformed for that opcode.
+  WriteError(fd, Status::ParseError("malformed request body"),
+             /*retryable=*/false, options_.io_timeout_ms);
+  reg.counter("server.frames_malformed").Increment();
+  return false;
+}
+
+bool Server::HandleQuery(Connection* conn, SessionState* session,
+                         const std::vector<uint8_t>& body) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  const int fd = conn->fd;
+  WireReader in(body);
+  StatusOr<std::string> sql = in.GetString();
+  if (!sql.ok() || !in.ExpectEnd().ok()) {
+    WriteError(fd, Status::ParseError("malformed QUERY body"),
+               /*retryable=*/false, options_.io_timeout_ms);
+    reg.counter("server.frames_malformed").Increment();
+    return false;
+  }
+  if (draining_.load(std::memory_order_acquire)) {
+    return WriteError(fd, Status::Unavailable("server is shutting down"),
+                      /*retryable=*/false, options_.io_timeout_ms)
+        .ok();
+  }
+
+  // The statement's cancel token exists from before admission until
+  // after the reply: cancel-by-session reaches it anywhere in that
+  // window (see SessionState::current_cancel).
+  auto cancel = std::make_shared<std::atomic<bool>>(false);
+  registry_.BeginStatement(session, cancel);
+
+  StatusOr<AdmissionController::Ticket> ticket =
+      admission_.Admit(session->id, cancel);
+  if (!ticket.ok()) {
+    registry_.EndStatement(session);
+    return WriteError(fd, ticket.status(),
+                      AdmissionRetryable(ticket.status()),
+                      options_.io_timeout_ms)
+        .ok();
+  }
+
+  engine::QueryOptions query_options = session->default_options;
+  query_options.cancel_token = cancel;
+  StatusOr<engine::ResultSet> result = db_->Execute(*sql, query_options);
+  registry_.EndStatement(session);
+
+  // Write the reply BEFORE releasing the ticket: graceful drain
+  // (Shutdown's WaitIdle) then covers reply delivery, not just
+  // execution.
+  bool write_ok;
+  if (result.ok()) {
+    reg.counter("server.statements_ok").Increment();
+    WireWriter out;
+    EncodeResultSet(*result, &out);
+    write_ok = WriteFrame(fd, Opcode::kResultSet, out.buffer(),
+                          options_.io_timeout_ms)
+                   .ok();
+  } else {
+    reg.counter("server.statements_error").Increment();
+    // Engine errors are not admission rejections: a per-query budget
+    // or timeout failure would hit the same wall on a bare retry.
+    write_ok = WriteError(fd, result.status(), /*retryable=*/false,
+                          options_.io_timeout_ms)
+                   .ok();
+  }
+  ticket.value().Release();
+  return write_ok;
+}
+
+void Server::Shutdown() {
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  if (!started_.load(std::memory_order_acquire) || shutdown_done_) return;
+  shutdown_done_ = true;
+  draining_.store(true, std::memory_order_release);
+
+  // 1. Stop accepting: wake the accept loop and join it.
+  if (wake_pipe_[1] >= 0) {
+    char byte = 1;
+    ssize_t ignored = ::write(wake_pipe_[1], &byte, 1);
+    (void)ignored;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  CloseFd(&listen_fd_);
+
+  // 2. Abort queued waiters; in-flight statements keep running.
+  admission_.BeginShutdown();
+
+  // 3. Drain: every admitted statement finishes and its reply is
+  // written (tickets release after the write).
+  admission_.WaitIdle();
+
+  // 4. Unblock idle session threads out of ReadFrame and join them.
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (auto& conn : connections_) {
+      ::shutdown(conn->fd, SHUT_RDWR);
+    }
+  }
+  for (;;) {
+    std::unique_ptr<Connection> victim;
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      if (connections_.empty()) break;
+      victim = std::move(connections_.back());
+      connections_.pop_back();
+    }
+    if (victim->thread.joinable()) victim->thread.join();
+    CloseFd(&victim->fd);
+  }
+
+  CloseFd(&wake_pipe_[0]);
+  CloseFd(&wake_pipe_[1]);
+}
+
+}  // namespace nlq::server

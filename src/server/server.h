@@ -1,0 +1,124 @@
+#ifndef NLQ_SERVER_SERVER_H_
+#define NLQ_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/database.h"
+#include "server/admission.h"
+#include "server/protocol.h"
+#include "server/session.h"
+
+namespace nlq::server {
+
+/// Server configuration.
+struct ServerOptions {
+  /// Listen address. Tests bind 127.0.0.1 port 0 (ephemeral) and read
+  /// the bound port back via Server::port().
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+
+  AdmissionOptions admission;
+
+  /// Concurrent sessions (== connection threads); connections past the
+  /// cap are greeted with kResourceExhausted and closed.
+  size_t max_sessions = 64;
+
+  /// How long a session may sit idle between requests before the
+  /// server closes it (0 = forever).
+  int64_t idle_timeout_ms = 60'000;
+
+  /// Bound on every mid-frame read and on each write poll: a peer
+  /// that stalls mid-frame or stops draining its receive buffer costs
+  /// one session thread for at most this long.
+  int64_t io_timeout_ms = 10'000;
+
+  uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+/// The nlq_server front end: a TCP listener speaking the
+/// protocol.h frame format, one thread per connection, every statement
+/// gated through the AdmissionController before it reaches the shared
+/// embedded Database. See DESIGN.md section 14.
+///
+/// Lifecycle: construct → Start() → ... → Shutdown() (or destruction,
+/// which calls Shutdown). Shutdown is graceful:
+///   1. stop accepting connections and refuse new statements
+///      (kUnavailable),
+///   2. abort queued admission waiters (kUnavailable),
+///   3. wait until every in-flight statement's reply is fully written
+///      (tickets release after the reply),
+///   4. shut down session sockets and join connection threads.
+/// A SIGTERM handler calling Shutdown gives the acceptance property:
+/// drain, then exit 0.
+class Server {
+ public:
+  Server(engine::Database* db, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the accept thread.
+  Status Start();
+
+  /// The bound port (useful with port 0). Valid after Start.
+  uint16_t port() const { return bound_port_; }
+
+  /// Graceful drain; idempotent, safe from a signal-handling thread
+  /// (not from a signal handler itself — it blocks).
+  void Shutdown();
+
+  AdmissionController& admission() { return admission_; }
+  SessionRegistry& sessions() { return registry_; }
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void SessionLoop(Connection* conn);
+
+  /// Handles one request frame; false = close the connection. Owns
+  /// the reply for every outcome.
+  bool HandleFrame(Connection* conn, SessionState* session, Opcode opcode,
+                   const std::vector<uint8_t>& body);
+  bool HandleQuery(Connection* conn, SessionState* session,
+                   const std::vector<uint8_t>& body);
+
+  /// Joins and erases finished connection threads.
+  void ReapConnections();
+
+  engine::Database* const db_;
+  const ServerOptions options_;
+  AdmissionController admission_;
+  SessionRegistry registry_;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  uint16_t bound_port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> started_{false};
+
+  /// Serializes Shutdown callers (destructor vs signal thread).
+  std::mutex shutdown_mu_;
+  bool shutdown_done_ = false;
+
+  std::mutex conn_mu_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace nlq::server
+
+#endif  // NLQ_SERVER_SERVER_H_

@@ -1,0 +1,65 @@
+#include "server/session.h"
+
+#include "common/metrics.h"
+
+namespace nlq::server {
+
+StatusOr<std::shared_ptr<SessionState>> SessionRegistry::Open() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sessions_.size() >= max_sessions_) {
+    return Status::ResourceExhausted(
+        "session limit of " + std::to_string(max_sessions_) + " reached");
+  }
+  auto session = std::make_shared<SessionState>();
+  session->id = next_id_++;
+  sessions_[session->id] = session;
+  MetricsRegistry::Global().gauge("server.sessions").Set(
+      static_cast<int64_t>(sessions_.size()));
+  MetricsRegistry::Global().counter("server.sessions_opened").Increment();
+  return session;
+}
+
+void SessionRegistry::Close(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sessions_.erase(id);
+  MetricsRegistry::Global().gauge("server.sessions").Set(
+      static_cast<int64_t>(sessions_.size()));
+}
+
+Status SessionRegistry::CancelSession(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no session with id " + std::to_string(id));
+  }
+  SessionState& session = *it->second;
+  if (session.current_cancel != nullptr) {
+    session.current_cancel->store(true, std::memory_order_release);
+  } else {
+    session.pending_cancel = true;
+  }
+  MetricsRegistry::Global().counter("server.cancels").Increment();
+  return Status::OK();
+}
+
+void SessionRegistry::BeginStatement(
+    SessionState* session, std::shared_ptr<std::atomic<bool>> token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (session->pending_cancel) {
+    session->pending_cancel = false;
+    token->store(true, std::memory_order_release);
+  }
+  session->current_cancel = std::move(token);
+}
+
+void SessionRegistry::EndStatement(SessionState* session) {
+  std::lock_guard<std::mutex> lock(mu_);
+  session->current_cancel = nullptr;
+}
+
+size_t SessionRegistry::active_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+}  // namespace nlq::server

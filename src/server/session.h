@@ -1,0 +1,82 @@
+#ifndef NLQ_SERVER_SESSION_H_
+#define NLQ_SERVER_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/database.h"
+
+namespace nlq::server {
+
+/// One connected client's server-side state. The connection thread
+/// owns everything except the cancel plumbing, which CancelSession
+/// touches from other connections' threads under the registry mutex.
+struct SessionState {
+  uint64_t id = 0;
+
+  /// Per-session default QueryOptions (kSetOptions overwrites them);
+  /// each statement starts from a copy.
+  engine::QueryOptions default_options;
+
+  /// Cancel token of the statement this session currently has queued
+  /// in admission or executing; null between statements. This is the
+  /// layer over the engine's live-query registry: the same token the
+  /// session injects via QueryOptions::cancel_token is what
+  /// Database::Execute registers in its live-query map, so flipping it
+  /// here reaches the statement wherever it is — waiting for
+  /// admission, registered but not yet polling, or mid-execution.
+  std::shared_ptr<std::atomic<bool>> current_cancel;
+
+  /// A cancel that arrived while no statement was in flight. The
+  /// session's next statement consumes it and starts pre-cancelled:
+  /// cancel-by-session is "stop what this session is doing or is
+  /// about to do", and losing the race to the statement boundary must
+  /// not turn the cancel into a no-op.
+  bool pending_cancel = false;
+};
+
+/// Process-wide table of open sessions: assigns ids, routes
+/// cancel-by-session, and enforces the connection cap. Thread-safe;
+/// connection threads and the accept loop call concurrently.
+class SessionRegistry {
+ public:
+  explicit SessionRegistry(size_t max_sessions)
+      : max_sessions_(max_sessions) {}
+
+  /// Opens a session; kResourceExhausted (retryable) at the cap.
+  StatusOr<std::shared_ptr<SessionState>> Open();
+
+  /// Closes `id` (no-op when already closed).
+  void Close(uint64_t id);
+
+  /// Cancels session `id`'s current statement, or arms its
+  /// pending-cancel flag when none is in flight. NotFound for unknown
+  /// ids.
+  Status CancelSession(uint64_t id);
+
+  /// Installs `token` as `session`'s current statement token,
+  /// consuming a pending cancel by returning it pre-flipped. Call at
+  /// statement start, before Admit.
+  void BeginStatement(SessionState* session,
+                      std::shared_ptr<std::atomic<bool>> token);
+
+  /// Clears the current token at statement end.
+  void EndStatement(SessionState* session);
+
+  size_t active_count() const;
+
+ private:
+  const size_t max_sessions_;
+  mutable std::mutex mu_;
+  uint64_t next_id_ = 1;
+  std::unordered_map<uint64_t, std::shared_ptr<SessionState>> sessions_;
+};
+
+}  // namespace nlq::server
+
+#endif  // NLQ_SERVER_SESSION_H_

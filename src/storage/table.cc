@@ -358,7 +358,10 @@ bool ColumnBatchScanner::Next(ColumnBatch* out) {
   return filled > 0;
 }
 
-Table::Table(Schema schema) : schema_(std::move(schema)), codec_(&schema_) {}
+Table::Table(Schema schema)
+    : schema_(std::move(schema)),
+      codec_(&schema_),
+      cache_(std::make_unique<ColumnCache>(schema_.num_columns())) {}
 
 Status Table::AppendRow(const Row& row) {
   if (is_spilled()) {
@@ -373,7 +376,7 @@ Status Table::AppendRow(const Row& row) {
 
 void Table::AppendRowUnchecked(const Row& row) {
   assert(!is_spilled() && "cannot append to a spilled table");
-  if (!column_cache_.empty()) column_cache_.clear();
+  cache_->Invalidate();
   encode_buffer_.clear();
   codec_.Encode(row, &encode_buffer_);
   if (pages_.empty() || !pages_.back()->Fits(encode_buffer_.size())) {
@@ -398,7 +401,7 @@ void Table::Clear() {
   pages_.clear();
   num_rows_ = 0;
   data_bytes_ = 0;
-  column_cache_.clear();
+  cache_->Invalidate();
   spill_.reset();
   ++mutation_epoch_;
 }
@@ -410,22 +413,25 @@ Status Table::SpillToDisk(const std::string& path, BufferPool* pool,
                        SpillSegment::Create(*this, path, pool, chunk_rows));
   spill_ = std::move(seg);
   pages_.clear();
-  column_cache_.clear();
+  cache_->Invalidate();
   ++mutation_epoch_;
   return Status::OK();
 }
 
 Status Table::EnsureDecodedColumns(const std::vector<size_t>& columns) const {
-  if (column_cache_.size() < schema_.num_columns()) {
-    column_cache_.resize(schema_.num_columns());
-  }
+  // Fills serialize: a concurrent statement asking for the same slots
+  // waits here and then sees them already cached. Readers never take
+  // this lock — they acquire-load their slot pointers.
+  std::lock_guard<std::mutex> fill_lock(cache_->fill_mu);
   std::vector<size_t> missing;
   for (const size_t slot : columns) {
     if (schema_.column(slot).type == DataType::kVarchar) {
       return Status::InvalidArgument(
           "column cache supports only DOUBLE/BIGINT columns");
     }
-    if (column_cache_[slot] == nullptr) missing.push_back(slot);
+    if (cache_->slots[slot].load(std::memory_order_relaxed) == nullptr) {
+      missing.push_back(slot);
+    }
   }
   if (missing.empty()) return Status::OK();
   NLQ_FAILPOINT("page_decode");
@@ -466,7 +472,8 @@ Status Table::EnsureDecodedColumns(const std::vector<size_t>& columns) const {
     }
   }
   for (size_t i = 0; i < missing.size(); ++i) {
-    column_cache_[missing[i]] = std::move(fresh[i]);
+    cache_->slots[missing[i]].store(fresh[i].release(),
+                                    std::memory_order_release);
   }
   return Status::OK();
 }

@@ -1,8 +1,10 @@
 #ifndef NLQ_STORAGE_TABLE_H_
 #define NLQ_STORAGE_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -237,15 +239,23 @@ class Table {
   /// `columns` in one pass over the pages and keeps the full-partition
   /// ColumnVectors for reuse (the paper's workload scans the same X
   /// for the model build and again for scoring). Invalidated by any
-  /// append, Clear(), or LoadFromFile(). Not thread-safe against
-  /// concurrent fills: the engine touches each partition from exactly
-  /// one worker per statement.
+  /// append, Clear(), or LoadFromFile(). Concurrent fills from
+  /// different statements serialize on an internal mutex; fills may
+  /// run concurrently with readers of already-cached slots (the server
+  /// executes many SELECTs against one table at once). Mutations are
+  /// NOT safe against concurrent fills or reads — the engine excludes
+  /// them with its statement gate (DESIGN.md §14).
   Status EnsureDecodedColumns(const std::vector<size_t>& columns) const;
 
   /// Cached decoded column `col`, or nullptr if not (or no longer)
   /// cached. Pointers stay valid until the next mutation of the table.
+  /// Safe to call concurrently with fills of other statements; a
+  /// non-null result is fully decoded (release/acquire pairing with
+  /// the filling thread).
   const ColumnVector* decoded_column(size_t col) const {
-    return col < column_cache_.size() ? column_cache_[col].get() : nullptr;
+    return col < cache_->slots.size()
+               ? cache_->slots[col].load(std::memory_order_acquire)
+               : nullptr;
   }
 
   /// Materializes every row (tests / small model tables only).
@@ -279,9 +289,25 @@ class Table {
   uint64_t mutation_epoch_ = 0;
   std::string encode_buffer_;
 
-  /// Lazily filled by EnsureDecodedColumns; indexed by schema slot,
-  /// nullptr = not cached. Any mutation clears the whole cache.
-  mutable std::vector<std::unique_ptr<ColumnVector>> column_cache_;
+  /// Lazily filled by EnsureDecodedColumns; one owning slot per schema
+  /// column, nullptr = not cached. The slot array is sized once at
+  /// construction and never resized, so readers need no lock: they
+  /// acquire-load their slot while another statement's fill
+  /// release-stores a different one. fill_mu serializes fills; any
+  /// mutation (which the engine runs exclusively) clears every slot.
+  /// Held behind unique_ptr so Table stays movable despite the mutex.
+  struct ColumnCache {
+    explicit ColumnCache(size_t num_slots) : slots(num_slots) {}
+    ~ColumnCache() { Invalidate(); }
+    void Invalidate() {
+      for (auto& slot : slots) {
+        delete slot.exchange(nullptr, std::memory_order_acq_rel);
+      }
+    }
+    std::mutex fill_mu;
+    std::vector<std::atomic<ColumnVector*>> slots;
+  };
+  std::unique_ptr<ColumnCache> cache_;
 
   /// Non-null once SpillToDisk succeeded; pages_ is empty then and
   /// every scan goes through the segment + buffer pool.

@@ -206,5 +206,63 @@ TEST_F(CancellationTest, LifecycleOptionsDoNotPerturbResults) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// The registration-ordering guarantee (see Database::Cancel): a
+// statement's cancel token is registered BEFORE its id is published
+// through last_query_id(). These tests race the canceller into the
+// narrow window right after publication, where the statement may not
+// have reached its first cancellation poll yet.
+// ---------------------------------------------------------------------------
+
+TEST_F(CancellationTest, CancelRightAfterIdPublishedNeverNotFound) {
+  // Repeat to stress the startup window: the canceller fires the
+  // instant it sees a fresh id, often before the first morsel runs.
+  // Before the ordering fix, this intermittently hit NotFound (id
+  // published, token not yet registered) and the statement ran to
+  // completion despite the "successful" cancel attempt.
+  for (int round = 0; round < 12; ++round) {
+    const uint64_t prev_id = db_->last_query_id();
+    Status cancel_status = Status::Internal("canceller never fired");
+    std::thread canceller([&] {
+      while (db_->last_query_id() == prev_id) {
+        std::this_thread::yield();
+      }
+      cancel_status = db_->Cancel(db_->last_query_id());
+    });
+    auto result = db_->Execute(kSlowQuery);
+    canceller.join();
+
+    NLQ_EXPECT_OK(cancel_status);
+    ASSERT_FALSE(result.ok()) << "round " << round;
+    EXPECT_EQ(result.status().code(), StatusCode::kCancelled)
+        << "round " << round;
+  }
+
+  auto after = db_->Execute("SELECT X1 FROM X");
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after.value().num_rows(), kRows);
+}
+
+TEST_F(CancellationTest, PreFlippedTokenCancelsAtFirstPoll) {
+  // A token flipped before Execute even starts models the server's
+  // pending_cancel (cancel arrives while the statement is queued in
+  // admission): the statement must die at its first poll, not run.
+  QueryOptions q;
+  q.cancel_token = std::make_shared<std::atomic<bool>>(true);
+  auto result = db_->Execute(kSlowQuery, q);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  EXPECT_LT(g_slow_rows.load(), kRows) << "statement ran to completion";
+
+  // The token is externally owned and one statement's cancellation
+  // must not leak: a fresh statement with its own (unflipped) token
+  // runs normally.
+  QueryOptions clean;
+  clean.cancel_token = std::make_shared<std::atomic<bool>>(false);
+  auto after = db_->Execute("SELECT X1 FROM X", clean);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after.value().num_rows(), kRows);
+}
+
 }  // namespace
 }  // namespace nlq::engine

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -372,6 +373,28 @@ TEST_F(FaultInjectionTest, ColumnCacheFillFaultSurfaces) {
   failpoint::Deactivate("page_decode");
   auto ok = db_->Execute("SELECT SUM(X1) FROM X");
   ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+}
+
+TEST_F(FaultInjectionTest, CancelBeforeFirstScanPollNeverReachesTheScan) {
+  // Uses partition_scan purely as a HIT COUNTER: armed with a huge
+  // skip it never fires, but HitCount() reports how many scan batches
+  // ran. Both scan paths poll CheckAlive() immediately BEFORE the
+  // partition_scan site, so a statement whose token was flipped
+  // before execution (the server's queued-cancel case: registered,
+  // never yet polling) must die at its very first poll — the scan
+  // site is never reached and the counter stays at zero.
+  failpoint::Activate("partition_scan", Status::Internal("counter only"),
+                      /*skip=*/1 << 30, /*fire_count=*/0);
+  engine::QueryOptions q;
+  q.cancel_token = std::make_shared<std::atomic<bool>>(true);
+  auto result = db_->Execute("SELECT X1, X2 FROM X", q);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(failpoint::HitCount("partition_scan"), 0)
+      << "a scan batch ran after the statement was already cancelled";
+
+  failpoint::Deactivate("partition_scan");
+  ExpectEngineRecovered();
 }
 
 }  // namespace

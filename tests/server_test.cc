@@ -1,0 +1,728 @@
+// Server front-end tests: wire codec round trips, AdmissionController
+// semantics, and end-to-end client/server behavior over loopback TCP
+// (bind 127.0.0.1 port 0, read the port back). Chaos/fuzz/overload
+// coverage lives in server_chaos_test.cc, server_fuzz_test.cc and
+// server_overload_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "server/admission.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "tests/test_util.h"
+
+namespace nlq::server {
+namespace {
+
+using ::nlq::testing::MakeTestDatabase;
+
+// ---------------------------------------------------------------------------
+// Wire codec
+
+TEST(WireCodecTest, ScalarRoundTrip) {
+  WireWriter w;
+  w.PutU8(0x7f);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefull);
+  w.PutI64(-42);
+  w.PutDouble(3.141592653589793);
+  w.PutString("hello");
+
+  WireReader r(w.buffer());
+  NLQ_ASSERT_OK_AND_ASSIGN(uint8_t u8, r.GetU8());
+  EXPECT_EQ(u8, 0x7f);
+  NLQ_ASSERT_OK_AND_ASSIGN(uint32_t u32, r.GetU32());
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  NLQ_ASSERT_OK_AND_ASSIGN(uint64_t u64, r.GetU64());
+  EXPECT_EQ(u64, 0x0123456789abcdefull);
+  NLQ_ASSERT_OK_AND_ASSIGN(int64_t i64, r.GetI64());
+  EXPECT_EQ(i64, -42);
+  NLQ_ASSERT_OK_AND_ASSIGN(double d, r.GetDouble());
+  EXPECT_EQ(d, 3.141592653589793);
+  NLQ_ASSERT_OK_AND_ASSIGN(std::string s, r.GetString());
+  EXPECT_EQ(s, "hello");
+  NLQ_ASSERT_OK(r.ExpectEnd());
+}
+
+TEST(WireCodecTest, TruncatedReadsFailCleanly) {
+  WireWriter w;
+  w.PutU32(7);
+  WireReader r(w.buffer());
+  EXPECT_TRUE(r.GetU64().status().code() == StatusCode::kParseError);
+
+  // A string whose announced length exceeds the body.
+  WireWriter w2;
+  w2.PutU32(1000);  // length field only
+  WireReader r2(w2.buffer());
+  EXPECT_EQ(r2.GetString().status().code(), StatusCode::kParseError);
+}
+
+TEST(WireCodecTest, ResultSetRoundTripBitExact) {
+  std::vector<storage::Column> cols = {
+      {"i", storage::DataType::kInt64},
+      {"x", storage::DataType::kDouble},
+      {"name", storage::DataType::kVarchar},
+  };
+  std::vector<storage::Row> rows;
+  // Values chosen to catch any non-bit-exact double path: denormal,
+  // negative zero, an irrational fraction, infinity, NaN.
+  const double doubles[] = {5e-324, -0.0, 1.0 / 3.0,
+                            std::numeric_limits<double>::infinity(),
+                            std::nan("")};
+  for (int i = 0; i < 5; ++i) {
+    storage::Row row;
+    row.push_back(storage::Datum::Int64(i * 1000003));
+    row.push_back(storage::Datum::Double(doubles[i]));
+    row.push_back(i == 2 ? storage::Datum::Null(storage::DataType::kVarchar)
+                         : storage::Datum::Varchar("row" + std::to_string(i)));
+    rows.push_back(std::move(row));
+  }
+  engine::ResultSet original(storage::Schema(cols), rows);
+
+  WireWriter w;
+  EncodeResultSet(original, &w);
+  WireReader r(w.buffer());
+  NLQ_ASSERT_OK_AND_ASSIGN(engine::ResultSet decoded, DecodeResultSet(&r));
+
+  ASSERT_EQ(decoded.num_rows(), original.num_rows());
+  ASSERT_EQ(decoded.num_columns(), original.num_columns());
+  for (size_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(decoded.schema().column(c).name, cols[c].name);
+    EXPECT_EQ(decoded.schema().column(c).type, cols[c].type);
+  }
+  for (size_t i = 0; i < original.num_rows(); ++i) {
+    for (size_t c = 0; c < 3; ++c) {
+      const storage::Datum& a = original.At(i, c);
+      const storage::Datum& b = decoded.At(i, c);
+      ASSERT_EQ(a.type(), b.type());
+      ASSERT_EQ(a.is_null(), b.is_null());
+      if (a.is_null()) continue;
+      switch (a.type()) {
+        case storage::DataType::kDouble: {
+          // Bit-exact, including NaN payloads and -0.0.
+          uint64_t ba, bb;
+          double da = a.double_value(), db = b.double_value();
+          std::memcpy(&ba, &da, sizeof(da));
+          std::memcpy(&bb, &db, sizeof(db));
+          EXPECT_EQ(ba, bb);
+          break;
+        }
+        case storage::DataType::kInt64:
+          EXPECT_EQ(a.int_value(), b.int_value());
+          break;
+        case storage::DataType::kVarchar:
+          EXPECT_EQ(a.string_value(), b.string_value());
+          break;
+      }
+    }
+  }
+}
+
+TEST(WireCodecTest, ResultSetDecodeRejectsLengthLies) {
+  // A column count far beyond what the body holds must fail before
+  // allocating.
+  WireWriter w;
+  w.PutU32(0x40000000);
+  WireReader r(w.buffer());
+  EXPECT_EQ(DecodeResultSet(&r).status().code(), StatusCode::kParseError);
+
+  // Row count lie.
+  WireWriter w2;
+  w2.PutU32(1);
+  w2.PutString("x");
+  w2.PutU8(0);  // kDouble
+  w2.PutU64(0x1000000000ull);
+  WireReader r2(w2.buffer());
+  EXPECT_EQ(DecodeResultSet(&r2).status().code(), StatusCode::kParseError);
+}
+
+TEST(WireCodecTest, ErrorRoundTripCarriesRetryable) {
+  WireWriter w;
+  EncodeError(Status::ResourceExhausted("queue full"), /*retryable=*/true,
+              &w);
+  WireReader r(w.buffer());
+  NLQ_ASSERT_OK_AND_ASSIGN(WireError err, DecodeError(&r));
+  EXPECT_EQ(err.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(err.status.message(), "queue full");
+  EXPECT_TRUE(err.retryable);
+
+  WireWriter w2;
+  EncodeError(Status::ResourceExhausted("query memory budget"), false, &w2);
+  WireReader r2(w2.buffer());
+  NLQ_ASSERT_OK_AND_ASSIGN(WireError err2, DecodeError(&r2));
+  EXPECT_FALSE(err2.retryable);  // same code, distinct retryability
+}
+
+// ---------------------------------------------------------------------------
+// AdmissionController
+
+TEST(AdmissionTest, FastPathAdmitsUpToLimit) {
+  AdmissionOptions options;
+  options.max_concurrent_statements = 2;
+  options.per_statement_reserve_bytes = 0;
+  AdmissionController admission(options);
+
+  NLQ_ASSERT_OK_AND_ASSIGN(auto t1, admission.Admit(1, nullptr));
+  NLQ_ASSERT_OK_AND_ASSIGN(auto t2, admission.Admit(1, nullptr));
+  EXPECT_EQ(admission.in_flight(), 2u);
+  t1.Release();
+  EXPECT_EQ(admission.in_flight(), 1u);
+  t2.Release();
+  EXPECT_EQ(admission.in_flight(), 0u);
+}
+
+TEST(AdmissionTest, QueueOverflowRejectsResourceExhausted) {
+  AdmissionOptions options;
+  options.max_concurrent_statements = 1;
+  options.max_queue_depth = 0;  // no queueing at all
+  options.per_statement_reserve_bytes = 0;
+  AdmissionController admission(options);
+
+  NLQ_ASSERT_OK_AND_ASSIGN(auto ticket, admission.Admit(1, nullptr));
+  auto rejected = admission.Admit(2, nullptr);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  ticket.Release();
+}
+
+TEST(AdmissionTest, QueueWaitDeadlineRejectsDeadlineExceeded) {
+  AdmissionOptions options;
+  options.max_concurrent_statements = 1;
+  options.max_queue_wait_ms = 50;
+  options.per_statement_reserve_bytes = 0;
+  AdmissionController admission(options);
+
+  NLQ_ASSERT_OK_AND_ASSIGN(auto ticket, admission.Admit(1, nullptr));
+  const auto start = std::chrono::steady_clock::now();
+  auto waited = admission.Admit(2, nullptr);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(waited.ok());
+  EXPECT_EQ(waited.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            45);
+  ticket.Release();
+}
+
+TEST(AdmissionTest, QueuedWaiterGetsSlotOnRelease) {
+  AdmissionOptions options;
+  options.max_concurrent_statements = 1;
+  options.per_statement_reserve_bytes = 0;
+  AdmissionController admission(options);
+
+  NLQ_ASSERT_OK_AND_ASSIGN(auto ticket, admission.Admit(1, nullptr));
+  std::atomic<bool> admitted{false};
+  std::thread waiter([&] {
+    auto t = admission.Admit(2, nullptr);
+    if (t.ok()) {
+      admitted.store(true);
+      t->Release();
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(admitted.load());
+  ticket.Release();
+  waiter.join();
+  EXPECT_TRUE(admitted.load());
+}
+
+TEST(AdmissionTest, FifoOrderAcrossWaiters) {
+  AdmissionOptions options;
+  options.max_concurrent_statements = 1;
+  options.per_statement_reserve_bytes = 0;
+  AdmissionController admission(options);
+
+  NLQ_ASSERT_OK_AND_ASSIGN(auto gate, admission.Admit(0, nullptr));
+  std::vector<int> order;
+  std::mutex order_mu;
+  std::vector<std::thread> waiters;
+  for (int i = 1; i <= 4; ++i) {
+    waiters.emplace_back([&, i] {
+      auto t = admission.Admit(static_cast<uint64_t>(i), nullptr);
+      ASSERT_TRUE(t.ok());
+      {
+        std::lock_guard<std::mutex> lock(order_mu);
+        order.push_back(i);
+      }
+      // Hold briefly so release order is deterministic enough.
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      t->Release();
+    });
+    // Stagger arrivals so queue order is deterministic.
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+  gate.Release();
+  for (auto& w : waiters) w.join();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(AdmissionTest, CancelTokenAbortsQueuedWaiter) {
+  AdmissionOptions options;
+  options.max_concurrent_statements = 1;
+  options.per_statement_reserve_bytes = 0;
+  AdmissionController admission(options);
+
+  NLQ_ASSERT_OK_AND_ASSIGN(auto ticket, admission.Admit(1, nullptr));
+  auto cancel = std::make_shared<std::atomic<bool>>(false);
+  std::atomic<bool> done{false};
+  Status result;
+  std::thread waiter([&] {
+    auto t = admission.Admit(2, cancel);
+    result = t.status();
+    done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(done.load());
+  cancel->store(true);
+  admission.Kick();
+  waiter.join();
+  EXPECT_EQ(result.code(), StatusCode::kCancelled);
+  ticket.Release();
+}
+
+TEST(AdmissionTest, MemoryReservationGatesAdmission) {
+  AdmissionOptions options;
+  options.max_concurrent_statements = 8;
+  options.global_memory_limit = 100;
+  options.per_statement_reserve_bytes = 40;
+  options.max_queue_wait_ms = 50;
+  AdmissionController admission(options);
+
+  // Two reservations fit (80 <= 100); the third must wait and times
+  // out even though concurrency slots are free.
+  NLQ_ASSERT_OK_AND_ASSIGN(auto t1, admission.Admit(1, nullptr));
+  NLQ_ASSERT_OK_AND_ASSIGN(auto t2, admission.Admit(1, nullptr));
+  auto t3 = admission.Admit(1, nullptr);
+  ASSERT_FALSE(t3.ok());
+  EXPECT_EQ(t3.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(admission.global_memory().used(), 80u);
+
+  t1.Release();
+  EXPECT_EQ(admission.global_memory().used(), 40u);
+  NLQ_ASSERT_OK_AND_ASSIGN(auto t4, admission.Admit(2, nullptr));
+  t2.Release();
+  t4.Release();
+  EXPECT_EQ(admission.global_memory().used(), 0u);
+}
+
+TEST(AdmissionTest, ShutdownAbortsWaitersAndDrains) {
+  AdmissionOptions options;
+  options.max_concurrent_statements = 1;
+  options.per_statement_reserve_bytes = 0;
+  AdmissionController admission(options);
+
+  NLQ_ASSERT_OK_AND_ASSIGN(auto ticket, admission.Admit(1, nullptr));
+  Status queued_result;
+  std::thread waiter([&] {
+    queued_result = admission.Admit(2, nullptr).status();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  admission.BeginShutdown();
+  waiter.join();
+  EXPECT_EQ(queued_result.code(), StatusCode::kUnavailable);
+
+  // New admissions refused; in-flight ticket still valid.
+  EXPECT_EQ(admission.Admit(3, nullptr).status().code(),
+            StatusCode::kUnavailable);
+  std::atomic<bool> idle{false};
+  std::thread drainer([&] {
+    admission.WaitIdle();
+    idle.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(idle.load());
+  ticket.Release();
+  drainer.join();
+  EXPECT_TRUE(idle.load());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end server
+
+struct TestServer {
+  std::unique_ptr<engine::Database> db;
+  std::unique_ptr<Server> server;
+};
+
+TestServer StartTestServer(ServerOptions options = {}) {
+  TestServer ts;
+  ts.db = MakeTestDatabase();
+  options.host = "127.0.0.1";
+  options.port = 0;
+  ts.server = std::make_unique<Server>(ts.db.get(), options);
+  EXPECT_TRUE(ts.server->Start().ok());
+  return ts;
+}
+
+TEST(ServerTest, HandshakeQueryAndGoodbye) {
+  TestServer ts = StartTestServer();
+  NLQ_ASSERT_OK(ts.db->ExecuteCommand("CREATE TABLE t (i BIGINT, x DOUBLE)"));
+  NLQ_ASSERT_OK(ts.db->ExecuteCommand(
+      "INSERT INTO t VALUES (1, 1.5), (2, 2.5), (3, NULL)"));
+
+  NlqClient client;
+  NLQ_ASSERT_OK(client.Connect("127.0.0.1", ts.server->port()));
+  EXPECT_GT(client.session_id(), 0u);
+  NLQ_ASSERT_OK(client.Ping());
+
+  NLQ_ASSERT_OK_AND_ASSIGN(
+      engine::ResultSet rs,
+      client.Query("SELECT i, x FROM t ORDER BY i"));
+  ASSERT_EQ(rs.num_rows(), 3u);
+  EXPECT_EQ(rs.At(0, 0).int_value(), 1);
+  EXPECT_EQ(rs.At(1, 1).double_value(), 2.5);
+  EXPECT_TRUE(rs.At(2, 1).is_null());
+  NLQ_ASSERT_OK(client.Goodbye());
+}
+
+TEST(ServerTest, RemoteResultsBitIdenticalToEmbedded) {
+  TestServer ts = StartTestServer();
+  NLQ_ASSERT_OK(ts.db->ExecuteCommand(
+      "CREATE TABLE pts (i BIGINT, x1 DOUBLE, x2 DOUBLE)"));
+  // Values with non-terminating binary expansions: any text round
+  // trip or double mangling shows up as a bit difference.
+  NLQ_ASSERT_OK(ts.db->ExecuteCommand(
+      "INSERT INTO pts VALUES (1, 0.1, 0.3), (2, 0.2, 0.7), "
+      "(3, 1e-300, 3.3333333333333335)"));
+  const std::string sql =
+      "SELECT COUNT(*), SUM(x1), SUM(x1*x2), SUM(x2*x2) FROM pts";
+
+  engine::QueryOptions qopts;
+  NLQ_ASSERT_OK_AND_ASSIGN(engine::ResultSet embedded,
+                           ts.db->Execute(sql, qopts));
+
+  NlqClient client;
+  NLQ_ASSERT_OK(client.Connect("127.0.0.1", ts.server->port()));
+  NLQ_ASSERT_OK_AND_ASSIGN(engine::ResultSet remote, client.Query(sql));
+
+  ASSERT_EQ(remote.num_rows(), embedded.num_rows());
+  ASSERT_EQ(remote.num_columns(), embedded.num_columns());
+  for (size_t c = 0; c < embedded.num_columns(); ++c) {
+    const double de = embedded.GetDouble(0, c);
+    const double dr = remote.GetDouble(0, c);
+    uint64_t be, br;
+    std::memcpy(&be, &de, sizeof(de));
+    std::memcpy(&br, &dr, sizeof(dr));
+    EXPECT_EQ(be, br) << "column " << c;
+  }
+}
+
+TEST(ServerTest, ConcurrentSessionsAllComplete) {
+  ServerOptions options;
+  options.admission.max_concurrent_statements = 3;
+  TestServer ts = StartTestServer(options);
+  NLQ_ASSERT_OK(ts.db->ExecuteCommand("CREATE TABLE t (i BIGINT, x DOUBLE)"));
+  NLQ_ASSERT_OK(ts.db->ExecuteCommand(
+      "INSERT INTO t VALUES (1, 1.0), (2, 2.0), (3, 3.0), (4, 4.0)"));
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10;
+  std::atomic<int> completed{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      NlqClient client;
+      if (!client.Connect("127.0.0.1", ts.server->port()).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int q = 0; q < kPerThread; ++q) {
+        auto rs = client.Query("SELECT SUM(x), COUNT(*) FROM t");
+        if (rs.ok() && rs->num_rows() == 1 &&
+            rs->GetDouble(0, 0) == 10.0) {
+          completed.fetch_add(1);
+        } else {
+          failures.fetch_add(1);
+        }
+      }
+      client.Goodbye();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(completed.load(), kThreads * kPerThread);
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ServerTest, EngineErrorsArriveAsNonRetryable) {
+  TestServer ts = StartTestServer();
+  NlqClient client;
+  NLQ_ASSERT_OK(client.Connect("127.0.0.1", ts.server->port()));
+  auto rs = client.Query("SELECT * FROM nonexistent_table");
+  ASSERT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(client.last_error_retryable());
+  // The connection survives an engine error.
+  NLQ_ASSERT_OK(client.Ping());
+}
+
+TEST(ServerTest, PerQueryBudgetExhaustionIsNotRetryable) {
+  TestServer ts = StartTestServer();
+  NLQ_ASSERT_OK(ts.db->ExecuteCommand(
+      "CREATE TABLE big (i BIGINT, x DOUBLE)"));
+  std::string insert = "INSERT INTO big VALUES (0, 0.5)";
+  for (int i = 1; i < 512; ++i) {
+    insert += ", (" + std::to_string(i) + ", 0.5)";
+  }
+  NLQ_ASSERT_OK(ts.db->ExecuteCommand(insert));
+
+  NlqClient client;
+  NLQ_ASSERT_OK(client.Connect("127.0.0.1", ts.server->port()));
+  // A 1-byte per-query budget: the statement's own tracker rejects.
+  NLQ_ASSERT_OK(client.SetOptions(/*timeout_ms=*/-1, /*memory_limit=*/1,
+                                  /*force_interpreted=*/false));
+  auto rs = client.Query(
+      "SELECT i, COUNT(*), SUM(x) FROM big GROUP BY i ORDER BY i");
+  ASSERT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kResourceExhausted);
+  // Distinct from admission rejection: NOT retryable.
+  EXPECT_FALSE(client.last_error_retryable());
+}
+
+TEST(ServerTest, AdmissionRejectionIsRetryable) {
+  ServerOptions options;
+  options.admission.max_concurrent_statements = 1;
+  options.admission.max_queue_depth = 0;  // second statement rejects
+  TestServer ts = StartTestServer(options);
+  NLQ_ASSERT_OK(ts.db->ExecuteCommand(
+      "CREATE TABLE t (i BIGINT, x DOUBLE)"));
+  std::string insert = "INSERT INTO t VALUES (0, 0.5)";
+  for (int i = 1; i < 1500; ++i) {
+    insert += ", (" + std::to_string(i) + ", 0.5)";
+  }
+  NLQ_ASSERT_OK(ts.db->ExecuteCommand(insert));
+
+  // Session A occupies the only slot with a multi-ms cross join;
+  // session B probes until it catches the overload.
+  // The cross join can run for tens of seconds under TSan on a loaded
+  // machine — the slow session must not trip the client I/O timeout
+  // while its own statement is executing.
+  NlqClient slow, probe;
+  NLQ_ASSERT_OK(
+      slow.Connect("127.0.0.1", ts.server->port(), /*timeout_ms=*/180'000));
+  NLQ_ASSERT_OK(probe.Connect("127.0.0.1", ts.server->port()));
+
+  std::atomic<bool> saw_retryable{false};
+  std::atomic<int> rejections{0};
+  std::atomic<bool> slow_done{false};
+  std::thread prober([&] {
+    while (!slow_done.load() && rejections.load() == 0) {
+      auto rs = probe.Query("SELECT COUNT(*) FROM t");
+      if (!rs.ok() &&
+          rs.status().code() == StatusCode::kResourceExhausted) {
+        rejections.fetch_add(1);
+        if (probe.last_error_retryable()) saw_retryable.store(true);
+      }
+    }
+  });
+  // Keep the slot occupied until the prober has actually overlapped a
+  // running statement — a fixed iteration count can starve the prober
+  // on a loaded single-core CI machine.
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (rejections.load() == 0 &&
+         std::chrono::steady_clock::now() < give_up) {
+    auto ignored = slow.Query(
+        "SELECT COUNT(*), SUM(a.x * b.x) FROM t a, t b "
+        "WHERE a.x + b.x > 0");
+    // The prober's own statement can hold the single slot when this
+    // one arrives, in which case *this* side is the one rejected —
+    // equally fine, just retry.
+    ASSERT_TRUE(ignored.ok() ||
+                ignored.status().code() == StatusCode::kResourceExhausted)
+        << ignored.status().ToString();
+  }
+  slow_done.store(true);
+  prober.join();
+  ASSERT_GT(rejections.load(), 0)
+      << "probe never caught the occupied slot";
+  EXPECT_TRUE(saw_retryable.load());
+}
+
+TEST(ServerTest, CancelBySessionStopsRunningStatement) {
+  TestServer ts = StartTestServer();
+  NLQ_ASSERT_OK(ts.db->ExecuteCommand(
+      "CREATE TABLE t (i BIGINT, x DOUBLE)"));
+  std::string insert = "INSERT INTO t VALUES (0, 0.5)";
+  for (int i = 1; i < 2000; ++i) {
+    insert += ", (" + std::to_string(i) + ", 0.5)";
+  }
+  NLQ_ASSERT_OK(ts.db->ExecuteCommand(insert));
+
+  NlqClient victim, canceller;
+  NLQ_ASSERT_OK(victim.Connect("127.0.0.1", ts.server->port()));
+  NLQ_ASSERT_OK(canceller.Connect("127.0.0.1", ts.server->port()));
+  const uint64_t victim_id = victim.session_id();
+
+  std::thread cancel_thread([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    Status cancelled = canceller.Cancel(victim_id);
+    EXPECT_TRUE(cancelled.ok()) << cancelled.ToString();
+  });
+  // A long cross-join aggregation (2000^2 pairs): runs well past the
+  // cancel unless the token lands.
+  auto rs = victim.Query(
+      "SELECT COUNT(*), SUM(a.x * b.x) FROM t a, t b WHERE a.x + b.x > 0");
+  cancel_thread.join();
+  // Either the cancel landed mid-statement (kCancelled) or the
+  // statement won the race; both leave the session healthy.
+  if (!rs.ok()) {
+    EXPECT_EQ(rs.status().code(), StatusCode::kCancelled);
+    EXPECT_FALSE(victim.last_error_retryable());
+  }
+  NLQ_ASSERT_OK(victim.Ping());
+}
+
+TEST(ServerTest, CancelBetweenStatementsHitsNextStatement) {
+  TestServer ts = StartTestServer();
+  NLQ_ASSERT_OK(ts.db->ExecuteCommand("CREATE TABLE t (i BIGINT)"));
+  NLQ_ASSERT_OK(ts.db->ExecuteCommand(
+      "INSERT INTO t VALUES (1)"));
+
+  NlqClient victim, canceller;
+  NLQ_ASSERT_OK(victim.Connect("127.0.0.1", ts.server->port()));
+  NLQ_ASSERT_OK(canceller.Connect("127.0.0.1", ts.server->port()));
+
+  // Victim is idle: the cancel arms pending_cancel.
+  NLQ_ASSERT_OK(canceller.Cancel(victim.session_id()));
+  auto rs = victim.Query("SELECT COUNT(*) FROM t");
+  ASSERT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kCancelled);
+  // One-shot: the statement after that runs normally.
+  NLQ_ASSERT_OK(victim.Query("SELECT COUNT(*) FROM t").status());
+}
+
+TEST(ServerTest, CancelUnknownSessionIsNotFound) {
+  TestServer ts = StartTestServer();
+  NlqClient client;
+  NLQ_ASSERT_OK(client.Connect("127.0.0.1", ts.server->port()));
+  Status s = client.Cancel(999999);
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  NLQ_ASSERT_OK(client.Ping());
+}
+
+TEST(ServerTest, MetricsCommandReturnsServerMetrics) {
+  TestServer ts = StartTestServer();
+  NLQ_ASSERT_OK(ts.db->ExecuteCommand("CREATE TABLE t (i BIGINT)"));
+  NLQ_ASSERT_OK(ts.db->ExecuteCommand(
+      "INSERT INTO t VALUES (1)"));
+  NlqClient client;
+  NLQ_ASSERT_OK(client.Connect("127.0.0.1", ts.server->port()));
+  NLQ_ASSERT_OK(client.Query("SELECT COUNT(*) FROM t").status());
+  NLQ_ASSERT_OK_AND_ASSIGN(std::string json, client.Metrics());
+  EXPECT_NE(json.find("server.admission.admitted"), std::string::npos);
+  EXPECT_NE(json.find("server.sessions"), std::string::npos);
+  EXPECT_NE(json.find("server.queue_wait"), std::string::npos);
+}
+
+TEST(ServerTest, SessionCapRefusesExtraConnections) {
+  ServerOptions options;
+  options.max_sessions = 2;
+  TestServer ts = StartTestServer(options);
+
+  NlqClient a, b, c;
+  NLQ_ASSERT_OK(a.Connect("127.0.0.1", ts.server->port()));
+  NLQ_ASSERT_OK(b.Connect("127.0.0.1", ts.server->port()));
+  Status third = c.Connect("127.0.0.1", ts.server->port());
+  ASSERT_FALSE(third.ok());
+  EXPECT_EQ(third.code(), StatusCode::kResourceExhausted);
+
+  // Closing one frees a slot.
+  NLQ_ASSERT_OK(a.Goodbye());
+  for (int i = 0; i < 100; ++i) {  // Close is processed asynchronously
+    if (c.Connect("127.0.0.1", ts.server->port()).ok()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(c.connected());
+}
+
+TEST(ServerTest, IdleTimeoutClosesSession) {
+  ServerOptions options;
+  options.idle_timeout_ms = 100;
+  TestServer ts = StartTestServer(options);
+
+  NlqClient client;
+  NLQ_ASSERT_OK(client.Connect("127.0.0.1", ts.server->port()));
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  // The server has sent an idle-timeout error and closed; the next
+  // request fails rather than hanging.
+  Status s = client.Ping();
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(ServerTest, GracefulShutdownDrainsInFlightStatement) {
+  TestServer ts = StartTestServer();
+  NLQ_ASSERT_OK(ts.db->ExecuteCommand(
+      "CREATE TABLE t (i BIGINT, x DOUBLE)"));
+  std::string insert = "INSERT INTO t VALUES (0, 0.5)";
+  for (int i = 1; i < 500; ++i) {
+    insert += ", (" + std::to_string(i) + ", 0.5)";
+  }
+  NLQ_ASSERT_OK(ts.db->ExecuteCommand(insert));
+
+  NlqClient client;
+  NLQ_ASSERT_OK(client.Connect("127.0.0.1", ts.server->port()));
+
+  std::atomic<bool> query_done{false};
+  StatusOr<engine::ResultSet> result = Status::Internal("not run");
+  std::thread querier([&] {
+    result = client.Query(
+        "SELECT COUNT(*), SUM(a.x * b.x) FROM t a, t b");
+    query_done.store(true);
+  });
+  // Let the statement get admitted, then shut down mid-flight.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  ts.server->Shutdown();
+  querier.join();
+  // The drain must have delivered the reply: either the full result
+  // or (if the statement had not been admitted yet) a clean
+  // unavailable rejection — never a torn stream.
+  if (result.ok()) {
+    EXPECT_EQ(result->num_rows(), 1u);
+    EXPECT_EQ(result->GetDouble(0, 0), 250000.0);
+  } else {
+    EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  }
+  EXPECT_TRUE(query_done.load());
+
+  // New connections are refused after shutdown.
+  NlqClient late;
+  EXPECT_FALSE(late.Connect("127.0.0.1", ts.server->port()).ok());
+}
+
+TEST(ServerTest, SetOptionsAppliesStatementTimeout) {
+  TestServer ts = StartTestServer();
+  NLQ_ASSERT_OK(ts.db->ExecuteCommand(
+      "CREATE TABLE t (i BIGINT, x DOUBLE)"));
+  std::string insert = "INSERT INTO t VALUES (0, 0.5)";
+  for (int i = 1; i < 2000; ++i) {
+    insert += ", (" + std::to_string(i) + ", 0.5)";
+  }
+  NLQ_ASSERT_OK(ts.db->ExecuteCommand(insert));
+
+  NlqClient client;
+  NLQ_ASSERT_OK(client.Connect("127.0.0.1", ts.server->port()));
+  NLQ_ASSERT_OK(client.SetOptions(/*timeout_ms=*/20, /*memory_limit=*/-1,
+                                  /*force_interpreted=*/false));
+  auto rs = client.Query(
+      "SELECT COUNT(*), SUM(a.x * b.x) FROM t a, t b WHERE a.x + b.x > 0");
+  if (!rs.ok()) {
+    EXPECT_EQ(rs.status().code(), StatusCode::kDeadlineExceeded);
+    EXPECT_FALSE(client.last_error_retryable());
+  }
+  NLQ_ASSERT_OK(client.Ping());
+}
+
+}  // namespace
+}  // namespace nlq::server
