@@ -70,23 +70,17 @@ ServerFixture& Fixture() {
 /// observations made after `before` was captured.
 double QueueWaitP95Ms(const Histogram& hist,
                       const std::vector<uint64_t>& before) {
-  std::vector<uint64_t> delta(Histogram::kNumBuckets);
-  uint64_t total = 0;
+  // Restrict to observations made after `before` was captured, then
+  // reuse the registry's audited percentile walk.
+  MetricsSnapshot::HistogramData delta;
   for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
-    delta[b] = hist.BucketCount(b) - before[b];
-    total += delta[b];
+    const uint64_t d = hist.BucketCount(b) - before[b];
+    if (d > 0) delta.buckets.emplace_back(Histogram::BucketUpperNanos(b), d);
+    delta.count += d;
   }
-  if (total == 0) return 0.0;
-  const uint64_t target = (total * 95 + 99) / 100;  // ceil
-  uint64_t seen = 0;
-  for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
-    seen += delta[b];
-    if (seen >= target) {
-      const uint64_t upper = Histogram::BucketUpperNanos(b);
-      return upper == UINT64_MAX ? 1e9 : static_cast<double>(upper) / 1e6;
-    }
-  }
-  return 0.0;
+  if (delta.count == 0) return 0.0;
+  const uint64_t upper = delta.PercentileNanos(0.95);
+  return upper == UINT64_MAX ? 1e9 : static_cast<double>(upper) / 1e6;
 }
 
 void BenchServerThroughput(benchmark::State& state, size_t num_clients) {

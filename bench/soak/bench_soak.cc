@@ -1,0 +1,90 @@
+// Mixed-workload soak runner (EXPERIMENTS.md "Soak & SLO"): N client
+// threads over the wire protocol, six workload classes, per-class
+// latency SLOs, a bit-exact build oracle, a retryable-flag invariant,
+// and failpoint chaos phases. Prints the JSON report; exit status is
+// nonzero unless the run was healthy (zero oracle mismatches, zero
+// wrong retryable flags, zero unexplained errors).
+//
+// Usage:
+//   bench_soak [--duration-ms N] [--clients N] [--seed N]
+//              [--slots N] [--queue-depth N] [--queue-wait-ms N]
+//              [--tables N] [--dims N] [--seed-batches N]
+//              [--batch-rows N] [--chaos 0|1] [--chaos-phase-ms N]
+//              [--verify 0|1] [--json PATH]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench/soak/soak.h"
+
+namespace {
+
+int64_t ArgInt(int argc, char** argv, const char* flag, int64_t fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return std::atoll(argv[i + 1]);
+  }
+  return fallback;
+}
+
+std::string ArgStr(int argc, char** argv, const char* flag,
+                   const std::string& fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  nlq::soak::SoakOptions options;
+  options.duration_ms = ArgInt(argc, argv, "--duration-ms", 60'000);
+  options.clients =
+      static_cast<size_t>(ArgInt(argc, argv, "--clients", 16));
+  options.rng_seed = static_cast<uint64_t>(ArgInt(argc, argv, "--seed", 42));
+  options.max_concurrent_statements =
+      static_cast<size_t>(ArgInt(argc, argv, "--slots", 4));
+  options.max_queue_depth =
+      static_cast<size_t>(ArgInt(argc, argv, "--queue-depth", 32));
+  options.max_queue_wait_ms = ArgInt(argc, argv, "--queue-wait-ms", 5'000);
+  options.tables = static_cast<size_t>(ArgInt(argc, argv, "--tables", 2));
+  options.dims = static_cast<size_t>(ArgInt(argc, argv, "--dims", 3));
+  options.seed_batches =
+      static_cast<uint64_t>(ArgInt(argc, argv, "--seed-batches", 32));
+  options.batch_rows =
+      static_cast<uint64_t>(ArgInt(argc, argv, "--batch-rows", 64));
+  options.chaos = ArgInt(argc, argv, "--chaos", 1) != 0;
+  options.chaos_phase_ms = ArgInt(argc, argv, "--chaos-phase-ms", 3'000);
+  options.verify_builds = ArgInt(argc, argv, "--verify", 1) != 0;
+  const std::string json_path = ArgStr(argc, argv, "--json", "");
+
+  nlq::soak::SoakDriver driver(options);
+  nlq::Status run = driver.Run();
+  if (!run.ok()) {
+    std::fprintf(stderr, "soak failed to run: %s\n", run.ToString().c_str());
+    return 2;
+  }
+
+  const nlq::soak::SoakReport& report = driver.report();
+  const std::string json = report.ToJson();
+  std::fputs(json.c_str(), stdout);
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+  }
+
+  if (!report.Healthy()) {
+    for (const std::string& e : driver.errors()) {
+      std::fprintf(stderr, "soak error: %s\n", e.c_str());
+    }
+    return 1;
+  }
+  return 0;
+}

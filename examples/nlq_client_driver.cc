@@ -115,53 +115,22 @@ int main(int argc, char** argv) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
 
-  // Queue-wait p95 from the server's own histogram.
+  // Queue-wait p95 from the server's own histogram, summarized
+  // server-side (METRICS_HISTOGRAM) — no JSON text parsing here.
   double queue_wait_p95_ms = -1.0;
   uint64_t queue_wait_count = 0;
   {
     nlq::server::NlqClient client;
     if (client.Connect(host, port).ok()) {
-      // The text snapshot carries the histogram; rather than parse
-      // JSON here, ask again in binary-friendly form: the snapshot is
-      // small, so scan for the queue-wait entries.
-      nlq::StatusOr<std::string> metrics = client.Metrics();
-      if (metrics.ok()) {
-        // "server.queue_wait": {"count": N, "sum_nanos": N,
-        //   "buckets": [{"le_nanos": U, "count": C}, ...]}
-        // (the overflow bucket has "le_nanos": null)
-        const std::string& json = *metrics;
-        size_t at = json.find("\"server.queue_wait\"");
-        if (at != std::string::npos) {
-          size_t count_at = json.find("\"count\": ", at);
-          if (count_at != std::string::npos) {
-            queue_wait_count =
-                std::strtoull(json.c_str() + count_at + 9, nullptr, 10);
-          }
-          size_t buckets_at = json.find("\"buckets\": [", at);
-          if (buckets_at != std::string::npos && queue_wait_count > 0) {
-            // Walk the cumulative counts to the 95th percentile bound.
-            uint64_t seen = 0;
-            const uint64_t target =
-                (queue_wait_count * 95 + 99) / 100;  // ceil
-            size_t pos = buckets_at;
-            const size_t buckets_end = json.find(']', buckets_at);
-            while (seen < target) {
-              size_t le_at = json.find("\"le_nanos\": ", pos);
-              if (le_at == std::string::npos || le_at > buckets_end) break;
-              char* end = nullptr;
-              const uint64_t upper =
-                  std::strtoull(json.c_str() + le_at + 12, &end, 10);
-              size_t c_at = json.find("\"count\": ", le_at);
-              if (c_at == std::string::npos) break;
-              seen += std::strtoull(json.c_str() + c_at + 9, &end, 10);
-              if (seen >= target) {
-                // upper is 0 for the "le_nanos": null overflow bucket.
-                queue_wait_p95_ms =
-                    upper > 0 ? static_cast<double>(upper) / 1e6 : 1e9;
-              }
-              pos = c_at + 9;
-            }
-          }
+      nlq::StatusOr<nlq::server::HistogramSummary> summary =
+          client.MetricsHistogram("server.queue_wait");
+      if (summary.ok()) {
+        queue_wait_count = summary->count;
+        if (summary->count > 0) {
+          queue_wait_p95_ms = summary->p95_nanos == UINT64_MAX
+                                  ? 1e9
+                                  : static_cast<double>(summary->p95_nanos) /
+                                        1e6;
         }
       }
       client.Goodbye();

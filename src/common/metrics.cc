@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 
 #include "common/strings.h"
 
@@ -73,6 +74,48 @@ void Histogram::Observe(uint64_t nanos) {
 uint64_t Histogram::BucketUpperNanos(size_t b) {
   if (b + 1 >= kNumBuckets) return UINT64_MAX;
   return (uint64_t{1} << b) * 1000;
+}
+
+namespace {
+
+/// Shared quantile walk over (upper_nanos, count) pairs in bucket
+/// order. `total` is the observation count the rank is taken against.
+uint64_t PercentileFromBuckets(
+    const std::vector<std::pair<uint64_t, uint64_t>>& buckets,
+    uint64_t total, double q) {
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation, 1-based: ceil(q * total), clamped
+  // into [1, total] so q == 0 still selects the first observation.
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+  uint64_t cumulative = 0;
+  for (const auto& [upper, count] : buckets) {
+    cumulative += count;
+    if (cumulative >= rank) return upper;
+  }
+  // Writers may race a concurrent snapshot so the bucket sum can trail
+  // `total`; answer with the largest populated bucket.
+  return buckets.empty() ? 0 : buckets.back().first;
+}
+
+}  // namespace
+
+uint64_t Histogram::Percentile(double q) const {
+  std::vector<std::pair<uint64_t, uint64_t>> buckets;
+  buckets.reserve(kNumBuckets);
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    const uint64_t count = buckets_[b].Value();
+    if (count > 0) buckets.emplace_back(BucketUpperNanos(b), count);
+  }
+  return PercentileFromBuckets(buckets, Count(), q);
+}
+
+uint64_t MetricsSnapshot::HistogramData::PercentileNanos(double q) const {
+  return PercentileFromBuckets(buckets, count, q);
 }
 
 std::string MetricsSnapshot::ToJson() const {

@@ -77,6 +77,14 @@ class Histogram {
   /// (UINT64_MAX for the overflow bucket).
   static uint64_t BucketUpperNanos(size_t b);
 
+  /// Upper-bound estimate of the q-quantile (q in [0, 1]) in
+  /// nanoseconds: the exclusive upper bound of the bucket holding the
+  /// ceil(q * count)-th observation. Returns 0 for an empty histogram
+  /// and UINT64_MAX when the quantile lands in the overflow bucket.
+  /// Safe to call concurrently with writers; the result is then a
+  /// point-in-time-ish estimate, never a crash.
+  uint64_t Percentile(double q) const;
+
  private:
   ShardedCounter buckets_[kNumBuckets];
   ShardedCounter count_;
@@ -92,6 +100,11 @@ struct MetricsSnapshot {
     uint64_t sum_nanos = 0;
     /// (exclusive upper bound in nanos, count), zero buckets omitted.
     std::vector<std::pair<uint64_t, uint64_t>> buckets;
+
+    /// Same quantile estimate as Histogram::Percentile, computed from
+    /// the snapshot's sparse bucket list (so wire/JSON consumers share
+    /// one audited implementation instead of re-deriving it).
+    uint64_t PercentileNanos(double q) const;
   };
   std::map<std::string, uint64_t> counters;
   std::map<std::string, int64_t> gauges;

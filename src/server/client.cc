@@ -152,6 +152,21 @@ StatusOr<std::string> NlqClient::Metrics() {
   return json;
 }
 
+StatusOr<HistogramSummary> NlqClient::MetricsHistogram(
+    const std::string& name) {
+  WireWriter out;
+  out.PutString(name);
+  Opcode reply_opcode;
+  std::vector<uint8_t> reply_body;
+  NLQ_RETURN_IF_ERROR(RoundTrip(Opcode::kMetricsHistogram, out.buffer(),
+                                &reply_opcode, &reply_body));
+  if (reply_opcode != Opcode::kHistogramSummary) {
+    return Status::ParseError("unexpected reply opcode to METRICS_HISTOGRAM");
+  }
+  WireReader in(reply_body);
+  return DecodeHistogramSummary(&in);
+}
+
 Status NlqClient::Ping() {
   Opcode reply_opcode;
   std::vector<uint8_t> reply_body;

@@ -51,6 +51,11 @@ class NlqClient {
   /// Fetches the server's metrics snapshot JSON.
   StatusOr<std::string> Metrics();
 
+  /// Fetches one named server histogram summarized server-side:
+  /// count, sum and p50/p95/p99 computed by the registry's percentile
+  /// extraction (kNotFound if no such histogram is registered yet).
+  StatusOr<HistogramSummary> MetricsHistogram(const std::string& name);
+
   Status Ping();
 
   /// Sets this session's default QueryOptions (see

@@ -212,6 +212,25 @@ StatusOr<WireError> DecodeError(WireReader* in) {
   return err;
 }
 
+void EncodeHistogramSummary(const HistogramSummary& summary, WireWriter* out) {
+  out->PutU64(summary.count);
+  out->PutU64(summary.sum_nanos);
+  out->PutU64(summary.p50_nanos);
+  out->PutU64(summary.p95_nanos);
+  out->PutU64(summary.p99_nanos);
+}
+
+StatusOr<HistogramSummary> DecodeHistogramSummary(WireReader* in) {
+  HistogramSummary summary;
+  NLQ_ASSIGN_OR_RETURN(summary.count, in->GetU64());
+  NLQ_ASSIGN_OR_RETURN(summary.sum_nanos, in->GetU64());
+  NLQ_ASSIGN_OR_RETURN(summary.p50_nanos, in->GetU64());
+  NLQ_ASSIGN_OR_RETURN(summary.p95_nanos, in->GetU64());
+  NLQ_ASSIGN_OR_RETURN(summary.p99_nanos, in->GetU64());
+  NLQ_RETURN_IF_ERROR(in->ExpectEnd());
+  return summary;
+}
+
 namespace {
 
 /// Polls `fd` for `events` up to `timeout_ms` (-1 = forever). OK when

@@ -43,6 +43,7 @@ enum class Opcode : uint8_t {
   kGoodbye = 0x06,     // body: empty
   kSetOptions = 0x07,  // body: i64 timeout_ms, i64 memory_limit,
                        //       u8 force_interpreted
+  kMetricsHistogram = 0x08,  // body: string histogram name
 
   // Reply opcodes (server -> client).
   kHelloOk = 0x81,      // body: u64 session id, u32 protocol version
@@ -51,6 +52,8 @@ enum class Opcode : uint8_t {
   kMetricsText = 0x84,  // body: string (metrics snapshot JSON)
   kPong = 0x85,         // body: empty
   kOk = 0x86,           // body: empty
+  kHistogramSummary = 0x87,  // body: u64 count, u64 sum_nanos,
+                             //       u64 p50/p95/p99 upper-bound nanos
 };
 
 /// Protocol version carried in kHello/kHelloOk.
@@ -126,6 +129,26 @@ struct WireError {
   bool retryable = false;
 };
 StatusOr<WireError> DecodeError(WireReader* in);
+
+/// One named histogram summarized server-side (kHistogramSummary):
+/// count, sum and the p50/p95/p99 quantile estimates from
+/// MetricsSnapshot::HistogramData::PercentileNanos — bucket upper
+/// bounds in nanoseconds, 0 for an empty histogram, UINT64_MAX when a
+/// quantile lands in the overflow bucket. Consumers read percentiles
+/// off the wire instead of re-parsing METRICS JSON text.
+struct HistogramSummary {
+  uint64_t count = 0;
+  uint64_t sum_nanos = 0;
+  uint64_t p50_nanos = 0;
+  uint64_t p95_nanos = 0;
+  uint64_t p99_nanos = 0;
+};
+
+/// Encodes a kHistogramSummary body.
+void EncodeHistogramSummary(const HistogramSummary& summary, WireWriter* out);
+
+/// Decodes a kHistogramSummary body.
+StatusOr<HistogramSummary> DecodeHistogramSummary(WireReader* in);
 
 /// Reads one frame from `fd`. Blocks up to `timeout_ms` for the first
 /// byte (-1 = forever) and up to `io_timeout_ms` between subsequent

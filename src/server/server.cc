@@ -275,6 +275,31 @@ bool Server::HandleFrame(Connection* conn, SessionState* session,
           .ok();
     }
 
+    case Opcode::kMetricsHistogram: {
+      StatusOr<std::string> name = in.GetString();
+      if (!name.ok() || !in.ExpectEnd().ok()) break;
+      const MetricsSnapshot snap = MetricsRegistry::Global().GetSnapshot();
+      auto it = snap.histograms.find(*name);
+      if (it == snap.histograms.end()) {
+        return WriteError(fd,
+                          Status::NotFound("no histogram named '" + *name +
+                                           "'"),
+                          /*retryable=*/false, options_.io_timeout_ms)
+            .ok();
+      }
+      HistogramSummary summary;
+      summary.count = it->second.count;
+      summary.sum_nanos = it->second.sum_nanos;
+      summary.p50_nanos = it->second.PercentileNanos(0.50);
+      summary.p95_nanos = it->second.PercentileNanos(0.95);
+      summary.p99_nanos = it->second.PercentileNanos(0.99);
+      WireWriter out;
+      EncodeHistogramSummary(summary, &out);
+      return WriteFrame(fd, Opcode::kHistogramSummary, out.buffer(),
+                        options_.io_timeout_ms)
+          .ok();
+    }
+
     case Opcode::kPing:
       if (!in.ExpectEnd().ok()) break;
       return WriteFrame(fd, Opcode::kPong, {}, options_.io_timeout_ms).ok();

@@ -529,6 +529,52 @@ TEST(MetricsTest, HistogramBucketsArePowersOfTwoMicros) {
             uint64_t{3000000});
 }
 
+TEST(MetricsTest, PercentileEmptyHistogramIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.Percentile(0.0), 0u);
+  EXPECT_EQ(h.Percentile(0.5), 0u);
+  EXPECT_EQ(h.Percentile(1.0), 0u);
+  MetricsSnapshot::HistogramData empty;
+  EXPECT_EQ(empty.PercentileNanos(0.95), 0u);
+}
+
+TEST(MetricsTest, PercentileBucketBoundaries) {
+  Histogram h;
+  // 10 observations in the ~1.5us bucket (upper bound 2us), then one
+  // at ~3ms. Every quantile up to 10/11 must answer with the 2us
+  // bucket's bound; anything above must land in the 3ms bucket.
+  for (int i = 0; i < 10; ++i) h.Observe(1500);
+  h.Observe(3 * 1000 * 1000);
+  const uint64_t low = h.Percentile(0.5);
+  EXPECT_EQ(low, 2000u);  // 2^1 us
+  EXPECT_EQ(h.Percentile(0.9), 2000u);  // rank ceil(9.9) = 10th obs
+  const uint64_t high = h.Percentile(0.99);
+  EXPECT_EQ(high, 4 * 1024 * 1000u);  // 3ms rounds up to the 2^12-us bucket
+  EXPECT_EQ(h.Percentile(1.0), high);
+  // q == 0 selects the first observation, never "nothing".
+  EXPECT_EQ(h.Percentile(0.0), 2000u);
+  // Out-of-range q clamps instead of crashing.
+  EXPECT_EQ(h.Percentile(-1.0), 2000u);
+  EXPECT_EQ(h.Percentile(2.0), high);
+}
+
+TEST(MetricsTest, PercentileOverflowBucketIsMax) {
+  Histogram h;
+  h.Observe(UINT64_MAX / 2);  // far beyond the last bounded bucket
+  EXPECT_EQ(h.Percentile(0.5), UINT64_MAX);
+}
+
+TEST(MetricsTest, SnapshotPercentileMatchesLiveHistogram) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("test.p");
+  for (int i = 0; i < 100; ++i) h.Observe(uint64_t(i) * 100 * 1000);
+  const MetricsSnapshot snap = registry.GetSnapshot();
+  const auto& data = snap.histograms.at("test.p");
+  for (const double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(data.PercentileNanos(q), h.Percentile(q)) << "q=" << q;
+  }
+}
+
 TEST(MetricsTest, GaugeLastWriteWins) {
   MetricsRegistry registry;
   registry.gauge("test.depth").Set(42);

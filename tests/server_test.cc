@@ -724,5 +724,142 @@ TEST(ServerTest, SetOptionsAppliesStatementTimeout) {
   NLQ_ASSERT_OK(client.Ping());
 }
 
+TEST(ServerTest, SetOptionsMidSessionScopesToSubsequentStatements) {
+  TestServer ts = StartTestServer();
+  NLQ_ASSERT_OK(ts.db->ExecuteCommand(
+      "CREATE TABLE t (i BIGINT, x DOUBLE)"));
+  std::string insert = "INSERT INTO t VALUES (0, 0.5)";
+  for (int i = 1; i < 2000; ++i) {
+    insert += ", (" + std::to_string(i) + ", 0.5)";
+  }
+  NLQ_ASSERT_OK(ts.db->ExecuteCommand(insert));
+  const std::string long_sql =
+      "SELECT COUNT(*), SUM(a.x * b.x) FROM t a, t b WHERE a.x + b.x > 0";
+
+  NlqClient tight, other;
+  NLQ_ASSERT_OK(tight.Connect("127.0.0.1", ts.server->port()));
+  NLQ_ASSERT_OK(other.Connect("127.0.0.1", ts.server->port()));
+
+  // Before any SET_OPTIONS the statement runs to completion.
+  NLQ_ASSERT_OK(tight.Query(long_sql).status());
+
+  // A 1ms budget applies to the statements that follow on THIS
+  // session only: the same statement now times out here while the
+  // untouched session still completes it.
+  NLQ_ASSERT_OK(tight.SetOptions(/*timeout_ms=*/1, /*memory_limit=*/-1,
+                                 /*force_interpreted=*/false));
+  auto rs = tight.Query(long_sql);
+  ASSERT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_FALSE(tight.last_error_retryable());
+  NLQ_ASSERT_OK(other.Query(long_sql).status());
+
+  // Resetting the option un-applies it for later statements; the
+  // session itself stayed healthy throughout.
+  NLQ_ASSERT_OK(tight.SetOptions(/*timeout_ms=*/-1, /*memory_limit=*/-1,
+                                 /*force_interpreted=*/false));
+  NLQ_ASSERT_OK(tight.Query(long_sql).status());
+}
+
+TEST(ServerTest, IdleTimeoutSparesInFlightStatement) {
+  ServerOptions options;
+  options.idle_timeout_ms = 100;
+  TestServer ts = StartTestServer(options);
+  NLQ_ASSERT_OK(ts.db->ExecuteCommand(
+      "CREATE TABLE t (i BIGINT, x DOUBLE)"));
+  std::string insert = "INSERT INTO t VALUES (0, 0.5)";
+  for (int i = 1; i < 2000; ++i) {
+    insert += ", (" + std::to_string(i) + ", 0.5)";
+  }
+  NLQ_ASSERT_OK(ts.db->ExecuteCommand(insert));
+
+  NlqClient client;
+  NLQ_ASSERT_OK(client.Connect("127.0.0.1", ts.server->port()));
+
+  // A statement that (on any non-heroic build) runs well past the
+  // idle timeout: executing is not idling, so the session must not be
+  // reaped mid-statement. No hard timing assertion — on a fast enough
+  // machine the in-flight case is simply exercised less deeply.
+  NLQ_ASSERT_OK(client.Query(
+      "SELECT COUNT(*), SUM(a.x * b.x) FROM t a, t b WHERE a.x + b.x > 0")
+          .status());
+
+  // Actually idling past the timeout still closes the session.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  EXPECT_FALSE(client.Ping().ok());
+}
+
+TEST(ServerTest, CancelBySessionAbortsQueuedStatement) {
+  ServerOptions options;
+  options.admission.max_concurrent_statements = 1;
+  options.admission.max_queue_depth = 8;
+  options.admission.max_queue_wait_ms = 60'000;
+  TestServer ts = StartTestServer(options);
+  NLQ_ASSERT_OK(ts.db->ExecuteCommand(
+      "CREATE TABLE t (i BIGINT, x DOUBLE)"));
+  std::string insert = "INSERT INTO t VALUES (0, 0.5)";
+  for (int i = 1; i < 2000; ++i) {
+    insert += ", (" + std::to_string(i) + ", 0.5)";
+  }
+  NLQ_ASSERT_OK(ts.db->ExecuteCommand(insert));
+  const std::string long_sql =
+      "SELECT COUNT(*), SUM(a.x * b.x) FROM t a, t b WHERE a.x + b.x > 0";
+
+  NlqClient holder, queued, canceller;
+  NLQ_ASSERT_OK(holder.Connect("127.0.0.1", ts.server->port()));
+  NLQ_ASSERT_OK(queued.Connect("127.0.0.1", ts.server->port()));
+  NLQ_ASSERT_OK(canceller.Connect("127.0.0.1", ts.server->port()));
+  const uint64_t queued_id = queued.session_id();
+
+  StatusOr<engine::ResultSet> holder_rs = Status::Internal("not run");
+  StatusOr<engine::ResultSet> queued_rs = Status::Internal("not run");
+  std::thread holder_thread([&] { holder_rs = holder.Query(long_sql); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  std::thread queued_thread([&] {
+    queued_rs = queued.Query("SELECT COUNT(*) FROM t");
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  // The victim is sitting in the admission wait queue (one slot, held
+  // by the cross join). Cancelling its session must abort the WAIT —
+  // a definitive kCancelled, not retryable — without touching the
+  // statement that holds the slot.
+  NLQ_ASSERT_OK(canceller.Cancel(queued_id));
+  queued_thread.join();
+  holder_thread.join();
+
+  NLQ_ASSERT_OK(holder_rs.status());
+  if (!queued_rs.ok()) {
+    EXPECT_EQ(queued_rs.status().code(), StatusCode::kCancelled);
+    EXPECT_FALSE(queued.last_error_retryable());
+  }
+  // Cancel is one-shot; both sessions stay usable.
+  NLQ_ASSERT_OK(queued.Ping());
+  NLQ_ASSERT_OK(holder.Ping());
+}
+
+TEST(ServerTest, MetricsHistogramSummaryOverTheWire) {
+  TestServer ts = StartTestServer();
+  NLQ_ASSERT_OK(ts.db->ExecuteCommand("CREATE TABLE t (i BIGINT)"));
+  NLQ_ASSERT_OK(ts.db->ExecuteCommand("INSERT INTO t VALUES (1), (2)"));
+
+  NlqClient client;
+  NLQ_ASSERT_OK(client.Connect("127.0.0.1", ts.server->port()));
+  for (int i = 0; i < 5; ++i) {
+    NLQ_ASSERT_OK(client.Query("SELECT COUNT(*) FROM t").status());
+  }
+
+  NLQ_ASSERT_OK_AND_ASSIGN(HistogramSummary summary,
+                           client.MetricsHistogram("server.queue_wait"));
+  EXPECT_GE(summary.count, 5u);
+  EXPECT_GT(summary.sum_nanos, 0u);
+  EXPECT_LE(summary.p50_nanos, summary.p95_nanos);
+  EXPECT_LE(summary.p95_nanos, summary.p99_nanos);
+
+  Status missing = client.MetricsHistogram("no.such.histogram").status();
+  EXPECT_EQ(missing.code(), StatusCode::kNotFound);
+  EXPECT_FALSE(client.last_error_retryable());
+  NLQ_ASSERT_OK(client.Ping());
+}
+
 }  // namespace
 }  // namespace nlq::server

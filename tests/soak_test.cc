@@ -1,0 +1,180 @@
+// The soak harness's own test layer (ISSUE 10): a miniature mixed-
+// workload soak — real server, real wire protocol, all six classes,
+// chaos on where the build allows — must come out healthy (zero
+// oracle mismatches, zero wrong retryable flags, zero unexplained
+// errors) with every class exercised; plus direct checks that the
+// oracle actually detects corruption (a harness whose oracle cannot
+// fail proves nothing) and that the deterministic batch generator
+// round-trips bit-exactly through SQL text.
+
+#include "bench/soak/soak.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "engine/database.h"
+#include "stats/scoring.h"
+#include "stats/sqlgen.h"
+#include "stats/sufstats.h"
+
+namespace nlq::soak {
+namespace {
+
+SoakOptions MiniOptions() {
+  SoakOptions options;
+  options.clients = 4;
+  options.duration_ms = 4'000;
+  options.tables = 2;
+  options.dims = 2;
+  options.seed_batches = 4;
+  options.batch_rows = 16;
+  options.iterations = 2;
+  options.scoring_burst = 2;
+  options.scoring_limit = 64;
+  options.max_concurrent_statements = 2;
+  options.max_queue_depth = 8;
+  options.max_queue_wait_ms = 1'000;
+  options.chaos = failpoint::BuiltWithFailpoints();
+  options.chaos_phase_ms = 500;
+  return options;
+}
+
+std::unique_ptr<engine::Database> ReplayDb(const SoakOptions& options,
+                                           const std::string& table) {
+  engine::DatabaseOptions dbopts;
+  dbopts.num_partitions = options.num_partitions;
+  dbopts.morsel_rows = options.morsel_rows;
+  dbopts.num_threads = 1;
+  auto db = std::make_unique<engine::Database>(dbopts);
+  EXPECT_TRUE(stats::RegisterAllStatsUdfs(&db->udfs()).ok());
+  EXPECT_TRUE(
+      db->ExecuteCommand(BuildOracle::CreateTableSql(options, table)).ok());
+  return db;
+}
+
+TEST(SoakTest, MiniSoakIsHealthyAndExercisesEveryClass) {
+  SoakOptions options = MiniOptions();
+  SoakDriver driver(options);
+  ASSERT_TRUE(driver.Run().ok());
+
+  const SoakReport& report = driver.report();
+  for (const std::string& e : driver.errors()) {
+    ADD_FAILURE() << "soak error: " << e;
+  }
+  EXPECT_EQ(report.oracle_mismatches, 0u);
+  EXPECT_EQ(report.retryable_flag_violations, 0u);
+  EXPECT_EQ(report.internal_errors, 0u);
+  EXPECT_TRUE(report.Healthy());
+
+  EXPECT_GT(report.total_completed, 0u);
+  EXPECT_GT(report.oracle_checks, 0u);
+  ASSERT_EQ(report.classes.size(), kNumClasses);
+  for (const ClassReport& c : report.classes) {
+    EXPECT_GT(c.attempts, 0u) << "class " << c.name << " never ran";
+  }
+  if (failpoint::BuiltWithFailpoints()) {
+    EXPECT_TRUE(report.chaos_enabled);
+    EXPECT_GT(report.chaos_phases, 0u);
+  }
+
+  // The JSON report must carry the scoreboard fields CI greps for.
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"oracle_mismatches\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"retryable_flag_violations\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"internal_errors\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"stmts_per_sec_at_slo\""), std::string::npos);
+}
+
+TEST(SoakTest, OracleAcceptsCorrectBuildResult) {
+  SoakOptions options = MiniOptions();
+  const std::string table = BuildOracle::TableName(0);
+  auto db = ReplayDb(options, table);
+  for (uint64_t b = 0; b < 3; ++b) {
+    ASSERT_TRUE(
+        db->ExecuteCommand(BuildOracle::BatchInsertSql(options, 0, b)).ok());
+  }
+  const std::string sql =
+      stats::NlqUdfQuery(table, stats::DimensionColumns(options.dims),
+                         stats::MatrixKind::kLowerTriangular,
+                         stats::ParamStyle::kList);
+  auto result = db->Execute(sql);
+  ASSERT_TRUE(result.ok());
+
+  BuildOracle oracle(options);
+  EXPECT_TRUE(
+      oracle.VerifyBuild(0, 3 * options.batch_rows, sql, *result).ok());
+}
+
+TEST(SoakTest, OracleRejectsTamperedBuildResult) {
+  SoakOptions options = MiniOptions();
+  const std::string table = BuildOracle::TableName(0);
+  auto db = ReplayDb(options, table);
+  for (uint64_t b = 0; b < 3; ++b) {
+    ASSERT_TRUE(
+        db->ExecuteCommand(BuildOracle::BatchInsertSql(options, 0, b)).ok());
+  }
+  const std::string sql =
+      stats::NlqUdfQuery(table, stats::DimensionColumns(options.dims),
+                         stats::MatrixKind::kLowerTriangular,
+                         stats::ParamStyle::kList);
+
+  BuildOracle oracle(options);
+
+  // Same statement against a table missing one batch: any lost or
+  // extra row must flip some sufficient statistic, and the oracle
+  // must notice.
+  auto stale_db = ReplayDb(options, table);
+  for (uint64_t b = 0; b < 2; ++b) {
+    ASSERT_TRUE(
+        stale_db->ExecuteCommand(BuildOracle::BatchInsertSql(options, 0, b))
+            .ok());
+  }
+  auto stale = stale_db->Execute(sql);
+  ASSERT_TRUE(stale.ok());
+  EXPECT_FALSE(
+      oracle.VerifyBuild(0, 3 * options.batch_rows, sql, *stale).ok());
+
+  // A row count that is not a batch boundary is a torn append by
+  // definition — rejected before any replay happens.
+  auto fresh = db->Execute(sql);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE(
+      oracle.VerifyBuild(0, 3 * options.batch_rows + 1, sql, *fresh).ok());
+}
+
+TEST(SoakTest, ExpectBitIdenticalDistinguishesUlps) {
+  SoakOptions options = MiniOptions();
+  const std::string table = BuildOracle::TableName(1);
+  auto db = ReplayDb(options, table);
+  ASSERT_TRUE(
+      db->ExecuteCommand(BuildOracle::BatchInsertSql(options, 1, 0)).ok());
+
+  const std::string sum = "SELECT SUM(X1), SUM(X2) FROM " + table;
+  auto a = db->Execute(sum);
+  auto b = db->Execute(sum);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(ExpectBitIdentical(*a, *b).ok());
+
+  // Same shape, different aggregate: must not compare equal.
+  auto c = db->Execute("SELECT SUM(X1), SUM(X2 + 0.0000001) FROM " + table);
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(ExpectBitIdentical(*a, *c).ok());
+}
+
+TEST(SoakTest, BatchInsertSqlIsDeterministic) {
+  SoakOptions options = MiniOptions();
+  EXPECT_EQ(BuildOracle::BatchInsertSql(options, 0, 7),
+            BuildOracle::BatchInsertSql(options, 0, 7));
+  EXPECT_NE(BuildOracle::BatchInsertSql(options, 0, 7),
+            BuildOracle::BatchInsertSql(options, 0, 8));
+  EXPECT_NE(BuildOracle::BatchInsertSql(options, 0, 7),
+            BuildOracle::BatchInsertSql(options, 1, 7));
+}
+
+}  // namespace
+}  // namespace nlq::soak

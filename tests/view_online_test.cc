@@ -214,5 +214,120 @@ TEST(ViewOnlineTest, ConcurrentAppendRefreshScoreStaysBitExact) {
   }
 }
 
+// A spill landing in the middle of the online scenario (ISSUE 10):
+// writers stream appends, a refresher serves the model from the
+// maintained view, and then the table is spilled out from under both.
+// From that point every refresh must either carry the explicit
+// `view=ineligible (spilled)` plan note or be a correct full rescan —
+// a stale pre-spill view answer is never acceptable. Run under TSan
+// this interleaves append + view refresh + spill; run anywhere the
+// bit-exactness assertions hold.
+TEST(ViewOnlineTest, SpillMidStreamDegradesViewToRescanNeverStale) {
+  auto db = MakeDb(/*threads=*/4, /*views=*/true);
+  CreateT(db.get());
+  NLQ_ASSERT_OK_AND_ASSIGN(storage::PartitionedTable * table,
+                           db->catalog().GetTable("T"));
+  for (size_t p = 0; p < kPartitions; ++p) {
+    AppendStream(table, p, 0, kInitialPerPartition);
+  }
+
+  std::shared_mutex db_mu;  // writers shared, statements + spill exclusive
+  std::atomic<bool> spilled{false};
+  std::atomic<size_t> applied[kPartitions];
+  for (auto& a : applied) a.store(kInitialPerPartition);
+
+  // Writers stop at the first chunk boundary where they observe the
+  // spill (checked under the shared lock, so a chunk can never be
+  // mid-append while SpillTable holds the lock exclusively).
+  std::vector<std::thread> writers;
+  for (size_t p = 0; p < kPartitions; ++p) {
+    writers.emplace_back([&, p] {
+      constexpr size_t kChunk = 64;
+      for (size_t r = kInitialPerPartition; r < kStreamPerPartition;
+           r += kChunk) {
+        const size_t end = std::min(r + kChunk, kStreamPerPartition);
+        std::shared_lock<std::shared_mutex> lock(db_mu);
+        if (spilled.load(std::memory_order_acquire)) return;
+        AppendStream(table, p, r, end);
+        applied[p].store(end, std::memory_order_release);
+      }
+    });
+  }
+
+  // Refresher: keeps serving the model across the spill. Post-spill
+  // results are collected for the never-stale check; post-spill plans
+  // must carry the ineligibility note.
+  std::atomic<uint64_t> pre_spill_refreshes{0};
+  std::vector<std::string> post_spill_models;
+  std::thread refresher([&] {
+    while (true) {
+      bool was_spilled;
+      std::string model;
+      {
+        std::unique_lock<std::shared_mutex> lock(db_mu);
+        was_spilled = spilled.load(std::memory_order_acquire);
+        auto result = db->Execute(kModelSql);
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        model = result->At(0, 0).string_value();
+        if (was_spilled) {
+          auto plan = db->Explain(kModelSql);
+          ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+          EXPECT_NE(plan->find("view=ineligible (spilled)"),
+                    std::string::npos)
+              << *plan;
+        }
+      }
+      if (was_spilled) {
+        post_spill_models.push_back(std::move(model));
+        if (post_spill_models.size() >= 3) return;
+      } else {
+        pre_spill_refreshes.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  // The spiller strikes mid-stream (or, on a fast machine, after the
+  // writers drained — the post-spill assertions hold either way).
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  {
+    std::unique_lock<std::shared_mutex> lock(db_mu);
+    NLQ_ASSERT_OK(db->SpillTable("T"));
+    spilled.store(true, std::memory_order_release);
+  }
+
+  for (auto& w : writers) w.join();
+  refresher.join();
+
+  // Frozen table: all post-spill refreshes returned identical bytes.
+  ASSERT_GE(post_spill_models.size(), 3u);
+  for (const std::string& m : post_spill_models) {
+    EXPECT_EQ(m, post_spill_models.front());
+  }
+
+  // Never stale: the post-spill model is bit-exact against a resident
+  // views-free replay of exactly the rows that landed before the
+  // spill (spilled == resident, PR-7's guarantee, carried through the
+  // view layer's degrade path).
+  auto oracle_db = MakeDb(/*threads=*/1, /*views=*/false);
+  CreateT(oracle_db.get());
+  NLQ_ASSERT_OK_AND_ASSIGN(storage::PartitionedTable * oracle_table,
+                           oracle_db->catalog().GetTable("T"));
+  size_t total_rows = 0;
+  for (size_t p = 0; p < kPartitions; ++p) {
+    const size_t rows = applied[p].load(std::memory_order_acquire);
+    AppendStream(oracle_table, p, 0, rows);
+    total_rows += rows;
+  }
+  auto oracle = oracle_db->Execute(kModelSql);
+  NLQ_ASSERT_OK(oracle.status());
+  EXPECT_EQ(post_spill_models.front(), oracle->At(0, 0).string_value());
+
+  NLQ_ASSERT_OK_AND_ASSIGN(
+      stats::SufStats frozen,
+      stats::SufStats::FromPackedString(post_spill_models.front()));
+  EXPECT_EQ(frozen.n(), static_cast<double>(total_rows));
+}
+
 }  // namespace
 }  // namespace nlq::engine
